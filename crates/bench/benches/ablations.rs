@@ -1,0 +1,64 @@
+//! Benches for the ablation experiments E6–E8 of DESIGN.md: way
+//! partitioning versus set partitioning, FIFO partition sizing, and the
+//! optimiser comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use compmem::optimizer::{solve, OptimizerKind};
+use compmem_bench::{jpeg_canny_experiment, Scale};
+use compmem_workloads::apps::jpeg_canny_app;
+
+fn bench_ablations(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let experiment = jpeg_canny_experiment(scale);
+    let (_, profiles) = experiment
+        .run_shared_with_profiles()
+        .expect("profiling run succeeds");
+    let app = jpeg_canny_app(&scale.jpeg_canny_params()).expect("application builds");
+    let problem = experiment.build_allocation_problem(&app, profiles);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // E6: the column-caching baseline run.
+    group.bench_function("way_partitioned_run", |b| {
+        b.iter(|| {
+            let run = experiment
+                .run_way_partitioned()
+                .expect("way-partitioned run succeeds");
+            black_box(run.report.l2.misses)
+        })
+    });
+
+    // E8: solver comparison on the measured profiles.
+    group.bench_function("optimizer_exact_vs_greedy_vs_equal", |b| {
+        b.iter(|| {
+            let exact = solve(&problem, OptimizerKind::ExactIlp).expect("feasible");
+            let greedy = solve(&problem, OptimizerKind::Greedy).expect("feasible");
+            let equal = solve(&problem, OptimizerKind::EqualSplit).expect("feasible");
+            assert!(exact.predicted_misses <= greedy.predicted_misses);
+            assert!(exact.predicted_misses <= equal.predicted_misses);
+            black_box((exact.predicted_misses, greedy.predicted_misses, equal.predicted_misses))
+        })
+    });
+
+    // E7: FIFO sizing — evaluate the profiles at one unit versus the pinned
+    // size for every FIFO entity.
+    group.bench_function("fifo_sizing_lookup", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for entity in &problem.entities {
+                if let Some(profile) = problem.profiles.profile(entity.key) {
+                    let pinned = *entity.candidates.first().unwrap_or(&1);
+                    total += profile.misses_at(1) - profile.misses_at(pinned).min(profile.misses_at(1));
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Bench for Figure 2 (E3): per-entity misses of the shared versus the best
+//! partitioned cache — the two full-system simulation runs the figure is
+//! built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use compmem::optimizer::{solve, OptimizerKind};
+use compmem_bench::{jpeg_canny_experiment, mpeg2_experiment, Scale};
+
+fn bench_figure2(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let mut group = c.benchmark_group("figure2_shared_vs_partitioned");
+    group.sample_size(10);
+
+    let experiment = jpeg_canny_experiment(scale);
+    let (_, profiles) = experiment
+        .run_shared_with_profiles()
+        .expect("profiling run succeeds");
+    let app = compmem_workloads::apps::jpeg_canny_app(&scale.jpeg_canny_params()).expect("builds");
+    let problem = experiment.build_allocation_problem(&app, profiles);
+    let allocation = solve(&problem, OptimizerKind::ExactIlp).expect("feasible");
+
+    group.bench_function("jpeg_canny_partitioned_run", |b| {
+        b.iter(|| {
+            let outcome = experiment
+                .run_partitioned(&allocation)
+                .expect("partitioned run succeeds");
+            black_box(outcome.report.l2.misses)
+        })
+    });
+
+    let mpeg2 = mpeg2_experiment(scale);
+    group.bench_function("mpeg2_shared_run", |b| {
+        b.iter(|| {
+            let (outcome, _) = mpeg2
+                .run_shared_with_profiles()
+                .expect("shared run succeeds");
+            black_box(outcome.report.l2.misses)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for Figure 3 (E4): the expected-versus-simulated comparison that
+//! demonstrates compositionality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use compmem::compositionality::CompositionalityReport;
+use compmem_bench::{run_jpeg_canny_flow, Scale};
+
+fn bench_figure3(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let outcome = run_jpeg_canny_flow(scale).expect("paper flow succeeds");
+    assert!(
+        outcome.compositionality.max_relative_difference() < 0.05,
+        "the reproduced system must be compositional"
+    );
+
+    let mut group = c.benchmark_group("figure3_compositionality");
+    group.sample_size(30);
+    group.bench_function("expected_vs_simulated_comparison", |b| {
+        b.iter(|| {
+            let report = CompositionalityReport::compare(
+                &outcome.profiles,
+                &outcome.allocation,
+                &outcome.partitioned.misses_by_key(),
+            );
+            black_box(report.max_relative_difference())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for the headline metrics of §5 (E5): miss rates, miss-improvement
+//! factors and CPI of the shared and partitioned systems, including the
+//! larger shared L2 data point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use compmem_bench::{mpeg2_experiment, run_mpeg2_flow, Scale};
+
+fn bench_headline(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let outcome = run_mpeg2_flow(scale).expect("paper flow succeeds");
+    // Sanity of the headline direction: partitioning must not lose misses.
+    assert!(outcome.partitioned.report.l2.misses <= outcome.shared.report.l2.misses);
+
+    let mut group = c.benchmark_group("headline_metrics");
+    group.sample_size(10);
+    group.bench_function("mpeg2_large_shared_l2_run", |b| {
+        let experiment = mpeg2_experiment(scale);
+        b.iter(|| {
+            let run = experiment
+                .run_shared_with_l2(scale.large_l2())
+                .expect("large shared run succeeds");
+            black_box((run.report.l2.misses, run.report.average_cpi()))
+        })
+    });
+    group.bench_function("headline_formatting", |b| {
+        b.iter(|| black_box(compmem::report::format_headline(&outcome).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_headline);
+criterion_main!(benches);

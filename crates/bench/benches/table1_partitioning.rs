@@ -1,0 +1,43 @@
+//! Bench for Table 1 (E1): allocation of L2 sets to the tasks and buffers
+//! of the "two JPEG decoders + Canny" application — profiling run plus
+//! partition-sizing optimisation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use compmem::optimizer::{solve, OptimizerKind};
+use compmem_bench::{jpeg_canny_experiment, Scale};
+use compmem_workloads::apps::jpeg_canny_app;
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let experiment = jpeg_canny_experiment(scale);
+    // Profiles are measured once; the bench measures the optimisation that
+    // produces the table from them, which is the new step the paper adds.
+    let (_, profiles) = experiment
+        .run_shared_with_profiles()
+        .expect("profiling run succeeds");
+    let app = jpeg_canny_app(&scale.jpeg_canny_params()).expect("application builds");
+
+    let mut group = c.benchmark_group("table1_partitioning");
+    group.sample_size(20);
+    group.bench_function("profile_and_size_partitions", |b| {
+        b.iter(|| {
+            let problem = experiment.build_allocation_problem(&app, profiles.clone());
+            let allocation = solve(&problem, OptimizerKind::ExactIlp).expect("feasible");
+            black_box(allocation.total_units)
+        })
+    });
+    group.bench_function("full_profiling_run", |b| {
+        b.iter(|| {
+            let (outcome, profiles) = experiment
+                .run_shared_with_profiles()
+                .expect("profiling run succeeds");
+            black_box((outcome.report.l2.misses, profiles.keys().len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

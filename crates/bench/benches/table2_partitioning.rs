@@ -1,0 +1,32 @@
+//! Bench for Table 2 (E2): allocation of L2 sets to the tasks and buffers of
+//! the MPEG-2 decoder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use compmem::optimizer::{solve, OptimizerKind};
+use compmem_bench::{mpeg2_experiment, Scale};
+use compmem_workloads::apps::mpeg2_app;
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let experiment = mpeg2_experiment(scale);
+    let (_, profiles) = experiment
+        .run_shared_with_profiles()
+        .expect("profiling run succeeds");
+    let app = mpeg2_app(&scale.mpeg2_params()).expect("application builds");
+
+    let mut group = c.benchmark_group("table2_partitioning");
+    group.sample_size(20);
+    group.bench_function("profile_and_size_partitions", |b| {
+        b.iter(|| {
+            let problem = experiment.build_allocation_problem(&app, profiles.clone());
+            let allocation = solve(&problem, OptimizerKind::ExactIlp).expect("feasible");
+            black_box(allocation.total_units)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

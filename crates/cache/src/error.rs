@@ -1,0 +1,111 @@
+//! Error type of the cache crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring caches and partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// A geometry parameter was zero or not a power of two.
+    InvalidGeometry {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Value supplied.
+        value: u64,
+    },
+    /// A partition referenced sets outside the cache.
+    PartitionOutOfRange {
+        /// First set of the partition.
+        base_set: u32,
+        /// Number of sets of the partition.
+        sets: u32,
+        /// Number of sets in the cache.
+        cache_sets: u32,
+    },
+    /// A partition's set count was not a power of two.
+    PartitionNotPowerOfTwo {
+        /// Number of sets requested.
+        sets: u32,
+    },
+    /// Two partitions overlap.
+    PartitionOverlap {
+        /// First set of the overlapping range.
+        base_set: u32,
+        /// Number of sets of the overlapping range.
+        sets: u32,
+    },
+    /// A way-partition mask was empty or referenced ways beyond the
+    /// associativity.
+    InvalidWayMask {
+        /// The offending mask.
+        mask: u64,
+        /// Associativity of the cache.
+        ways: u32,
+    },
+    /// An access hit a region with no partition assigned.
+    UnassignedRegion {
+        /// Index of the region.
+        region: usize,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::InvalidGeometry { parameter, value } => {
+                write!(f, "cache {parameter} of {value} is not a non-zero power of two")
+            }
+            CacheError::PartitionOutOfRange {
+                base_set,
+                sets,
+                cache_sets,
+            } => write!(
+                f,
+                "partition [{base_set}, {}) exceeds the {cache_sets} sets of the cache",
+                base_set + sets
+            ),
+            CacheError::PartitionNotPowerOfTwo { sets } => {
+                write!(f, "partition size of {sets} sets is not a power of two")
+            }
+            CacheError::PartitionOverlap { base_set, sets } => {
+                write!(f, "partition [{base_set}, {}) overlaps an existing partition", base_set + sets)
+            }
+            CacheError::InvalidWayMask { mask, ways } => {
+                write!(f, "way mask {mask:#b} is invalid for a {ways}-way cache")
+            }
+            CacheError::UnassignedRegion { region } => {
+                write!(f, "region {region} has no cache partition assigned")
+            }
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_values() {
+        let e = CacheError::InvalidGeometry {
+            parameter: "sets",
+            value: 3,
+        };
+        assert!(e.to_string().contains("sets"));
+        assert!(e.to_string().contains('3'));
+        let e = CacheError::PartitionOutOfRange {
+            base_set: 100,
+            sets: 64,
+            cache_sets: 128,
+        };
+        assert!(e.to_string().contains("164"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CacheError>();
+    }
+}

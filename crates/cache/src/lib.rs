@@ -1,0 +1,64 @@
+//! Cache models for the `compmem` compositional memory system.
+//!
+//! This crate provides the cache substrate of the reproduction of
+//! *"Compositional memory systems for multimedia communicating tasks"*
+//! (Molnos et al., DATE 2005):
+//!
+//! * [`CacheGeometry`] / [`CacheConfig`] — line/set/way organisation.
+//! * [`SetAssocCache`] — a set-associative cache with selectable
+//!   [`ReplacementPolicy`] (LRU, tree-PLRU, FIFO, random), write-back /
+//!   write-allocate behaviour, and per-task / per-region miss accounting.
+//! * [`SharedCache`] — the baseline organisation of the paper: all tasks
+//!   index the cache directly and evict each other freely.
+//! * [`SetPartitionedCache`] — the paper's proposal: an OS-loaded
+//!   translation table maps every region (task, FIFO, frame buffer, shared
+//!   static section) to an exclusive group of sets, and the set index is
+//!   recomputed inside that group.
+//! * [`WayPartitionedCache`] — the column-caching baseline from the related
+//!   work (Suh et al. / Stone et al.), which restricts each partition to a
+//!   subset of the ways of every set; its granularity is limited by the
+//!   associativity, which is the argument §2 of the paper makes against it.
+//! * [`CacheOrganization`] — the trait the multiprocessor platform uses so
+//!   the three organisations are interchangeable.
+//!
+//! # Example
+//!
+//! ```
+//! use compmem_cache::{CacheConfig, CacheOrganization, SharedCache};
+//! use compmem_trace::{Access, Addr, RegionId, TaskId};
+//!
+//! # fn main() -> Result<(), compmem_cache::CacheError> {
+//! let config = CacheConfig::new(64, 4)?; // 64 sets, 4 ways, 64-byte lines
+//! let mut cache = SharedCache::new(config);
+//! let a = Access::load(Addr::new(0x4000), 4, TaskId::new(0), RegionId::new(0));
+//! let first = cache.access(&a);
+//! let second = cache.access(&a);
+//! assert!(!first.hit);
+//! assert!(second.hit);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod error;
+mod geometry;
+mod organization;
+mod partition;
+mod replacement;
+mod set;
+mod stats;
+mod way_partition;
+
+pub use cache::{AccessOutcome, EvictedLine, SetAssocCache};
+pub use config::CacheConfig;
+pub use error::CacheError;
+pub use geometry::CacheGeometry;
+pub use organization::{CacheOrganization, SharedCache};
+pub use partition::{Partition, PartitionKey, PartitionMap, SetPartitionedCache};
+pub use replacement::ReplacementPolicy;
+pub use stats::{CacheStats, KeyStats, StatsByKey};
+pub use way_partition::{WayAllocation, WayPartitionedCache};

@@ -1,0 +1,519 @@
+//! Set-partitioned cache: the paper's proposal.
+//!
+//! Every "memory-active entity" — a task, a FIFO, a frame buffer or one of
+//! the shared static sections — is a [`PartitionKey`]. The operating system
+//! assigns each key an exclusive group of cache sets ([`Partition`]) and
+//! loads the resulting [`PartitionMap`] into the cache controller. On every
+//! access the controller finds the region of the address (the interval table
+//! of `compmem-trace`), derives the key, and re-computes the set index
+//! *inside* the key's partition. Tasks therefore can never evict each
+//! other's lines, which is exactly the compositionality mechanism of §3.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use compmem_trace::{Access, BufferId, RegionId, RegionKind, RegionTable, TaskId};
+
+use crate::cache::{AccessOutcome, SetAssocCache};
+use crate::config::CacheConfig;
+use crate::error::CacheError;
+use crate::geometry::CacheGeometry;
+use crate::organization::CacheOrganization;
+use crate::stats::{CacheStats, KeyStats, StatsByKey};
+
+/// The entity a cache partition is allocated to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PartitionKey {
+    /// All private regions (code, data, bss, heap, stack) of one task.
+    Task(TaskId),
+    /// One inter-task communication buffer (FIFO or frame buffer).
+    Buffer(BufferId),
+    /// Application-wide initialised data shared by all tasks.
+    AppData,
+    /// Application-wide zero-initialised data shared by all tasks.
+    AppBss,
+    /// Run-time-system initialised data.
+    RtData,
+    /// Run-time-system zero-initialised data.
+    RtBss,
+}
+
+impl PartitionKey {
+    /// Derives the partition key an address of the given region kind is
+    /// cached under.
+    pub fn from_region_kind(kind: RegionKind) -> Self {
+        match kind {
+            RegionKind::TaskCode { task }
+            | RegionKind::TaskData { task }
+            | RegionKind::TaskBss { task }
+            | RegionKind::TaskHeap { task }
+            | RegionKind::TaskStack { task } => PartitionKey::Task(task),
+            RegionKind::Fifo { buffer } | RegionKind::FrameBuffer { buffer } => {
+                PartitionKey::Buffer(buffer)
+            }
+            RegionKind::AppData => PartitionKey::AppData,
+            RegionKind::AppBss => PartitionKey::AppBss,
+            RegionKind::RtData => PartitionKey::RtData,
+            RegionKind::RtBss => PartitionKey::RtBss,
+        }
+    }
+}
+
+impl fmt::Display for PartitionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionKey::Task(t) => write!(f, "task {t}"),
+            PartitionKey::Buffer(b) => write!(f, "buffer {b}"),
+            PartitionKey::AppData => write!(f, "app.data"),
+            PartitionKey::AppBss => write!(f, "app.bss"),
+            PartitionKey::RtData => write!(f, "rt.data"),
+            PartitionKey::RtBss => write!(f, "rt.bss"),
+        }
+    }
+}
+
+/// An exclusive group of consecutive cache sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Partition {
+    /// First set of the group.
+    pub base_set: u32,
+    /// Number of sets in the group (a power of two).
+    pub sets: u32,
+}
+
+impl Partition {
+    /// The set an address line maps to inside this partition.
+    pub fn index_of(&self, line: compmem_trace::LineAddr) -> u32 {
+        self.base_set + (line.value() % u64::from(self.sets)) as u32
+    }
+
+    /// One-past-the-last set of the group.
+    pub fn end_set(&self) -> u32 {
+        self.base_set + self.sets
+    }
+
+    /// Returns `true` if the two partitions share any set.
+    pub fn overlaps(&self, other: &Partition) -> bool {
+        self.base_set < other.end_set() && other.base_set < self.end_set()
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sets [{}, {})", self.base_set, self.end_set())
+    }
+}
+
+/// The OS-managed table assigning an exclusive partition to every key.
+///
+/// ```
+/// use compmem_cache::{CacheGeometry, PartitionKey, PartitionMap};
+/// use compmem_trace::TaskId;
+/// # fn main() -> Result<(), compmem_cache::CacheError> {
+/// let geometry = CacheGeometry::new(128, 4)?;
+/// let mut map = PartitionMap::new(geometry);
+/// map.assign(PartitionKey::Task(TaskId::new(0)), 0, 32)?;
+/// map.assign(PartitionKey::Task(TaskId::new(1)), 32, 64)?;
+/// assert_eq!(map.assigned_sets(), 96);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionMap {
+    geometry: CacheGeometry,
+    assignments: BTreeMap<PartitionKey, Partition>,
+}
+
+impl PartitionMap {
+    /// Creates an empty map for a cache of the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        PartitionMap {
+            geometry,
+            assignments: BTreeMap::new(),
+        }
+    }
+
+    /// Geometry the map was built for.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Assigns `sets` consecutive sets starting at `base_set` to `key`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CacheError::PartitionNotPowerOfTwo`] if `sets` is not a non-zero
+    ///   power of two,
+    /// * [`CacheError::PartitionOutOfRange`] if the range exceeds the cache,
+    /// * [`CacheError::PartitionOverlap`] if the range overlaps an existing
+    ///   partition of a *different* key (re-assigning the same key replaces
+    ///   its partition).
+    pub fn assign(
+        &mut self,
+        key: PartitionKey,
+        base_set: u32,
+        sets: u32,
+    ) -> Result<(), CacheError> {
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(CacheError::PartitionNotPowerOfTwo { sets });
+        }
+        let partition = Partition { base_set, sets };
+        if partition.end_set() > self.geometry.sets() {
+            return Err(CacheError::PartitionOutOfRange {
+                base_set,
+                sets,
+                cache_sets: self.geometry.sets(),
+            });
+        }
+        for (other_key, other) in &self.assignments {
+            if *other_key != key && partition.overlaps(other) {
+                return Err(CacheError::PartitionOverlap { base_set, sets });
+            }
+        }
+        self.assignments.insert(key, partition);
+        Ok(())
+    }
+
+    /// Packs the given `(key, sets)` requests back to back starting at set 0.
+    ///
+    /// This is how the experiment driver turns an optimiser result (sizes
+    /// only) into concrete set ranges.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`assign`](Self::assign); in addition the total must fit in
+    /// the cache.
+    pub fn pack(
+        geometry: CacheGeometry,
+        sizes: &[(PartitionKey, u32)],
+    ) -> Result<Self, CacheError> {
+        let mut map = PartitionMap::new(geometry);
+        let mut base = 0u32;
+        for &(key, sets) in sizes {
+            map.assign(key, base, sets)?;
+            base += sets;
+        }
+        Ok(map)
+    }
+
+    /// Returns the partition assigned to `key`, if any.
+    pub fn partition_for(&self, key: PartitionKey) -> Option<Partition> {
+        self.assignments.get(&key).copied()
+    }
+
+    /// Iterates over `(key, partition)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PartitionKey, &Partition)> {
+        self.assignments.iter()
+    }
+
+    /// Number of keys with a partition.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Returns `true` if no partition has been assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Total number of sets assigned over all keys.
+    pub fn assigned_sets(&self) -> u32 {
+        self.assignments.values().map(|p| p.sets).sum()
+    }
+
+    /// Checks that every region of `table` maps to a key with a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnassignedRegion`] naming the first uncovered
+    /// region.
+    pub fn validate_covers(&self, table: &RegionTable) -> Result<(), CacheError> {
+        for region in table.iter() {
+            let key = PartitionKey::from_region_kind(region.kind);
+            if !self.assignments.contains_key(&key) {
+                return Err(CacheError::UnassignedRegion {
+                    region: region.id.index(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The set-partitioned shared cache of the paper.
+///
+/// Construction takes the application's [`RegionTable`] and the OS
+/// [`PartitionMap`]; every region must be covered. Accesses are indexed
+/// inside the partition of their region's key, so no entity can evict
+/// another entity's lines.
+#[derive(Debug, Clone)]
+pub struct SetPartitionedCache {
+    inner: SetAssocCache,
+    /// Dense map: region index -> (partition, key).
+    region_partitions: Vec<(Partition, PartitionKey)>,
+    by_partition: StatsByKey<PartitionKey>,
+}
+
+impl SetPartitionedCache {
+    /// Creates a partitioned cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the partition map does not cover every region of
+    /// the table (see [`PartitionMap::validate_covers`]).
+    pub fn new(
+        config: CacheConfig,
+        regions: &RegionTable,
+        map: &PartitionMap,
+    ) -> Result<Self, CacheError> {
+        map.validate_covers(regions)?;
+        let region_partitions = regions
+            .iter()
+            .map(|r| {
+                let key = PartitionKey::from_region_kind(r.kind);
+                let partition = map
+                    .partition_for(key)
+                    .expect("validated above: every region key has a partition");
+                (partition, key)
+            })
+            .collect();
+        Ok(SetPartitionedCache {
+            inner: SetAssocCache::new(config),
+            region_partitions,
+            by_partition: StatsByKey::new(),
+        })
+    }
+
+    /// Per-partition-key statistics (tasks, buffers, shared sections).
+    pub fn stats_by_partition(&self) -> &StatsByKey<PartitionKey> {
+        &self.by_partition
+    }
+
+    /// Counters for one partition key.
+    pub fn partition_stats(&self, key: PartitionKey) -> KeyStats {
+        self.by_partition.get(&key)
+    }
+
+    /// The partition an access of region `region` would be cached in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` was not part of the region table given at
+    /// construction.
+    pub fn partition_of_region(&self, region: RegionId) -> Partition {
+        self.region_partitions[region.index()].0
+    }
+}
+
+impl CacheOrganization for SetPartitionedCache {
+    fn access(&mut self, access: &Access) -> AccessOutcome {
+        let (partition, key) = self.region_partitions[access.region.index()];
+        let set = partition.index_of(access.addr.line());
+        let outcome = self.inner.access_at(set, u64::MAX, access);
+        self.by_partition.record(key, outcome.hit);
+        outcome
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.inner.geometry()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.inner.stats()
+    }
+
+    fn stats_by_task(&self) -> &StatsByKey<TaskId> {
+        self.inner.stats_by_task()
+    }
+
+    fn stats_by_region(&self) -> &StatsByKey<RegionId> {
+        self.inner.stats_by_region()
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.inner.flush()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+        self.by_partition = StatsByKey::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compmem_trace::RegionKind;
+
+    fn two_task_table() -> (RegionTable, RegionId, RegionId) {
+        let mut table = RegionTable::new();
+        let r0 = table
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                64 * 1024,
+            )
+            .unwrap();
+        let r1 = table
+            .insert(
+                "t1.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(1),
+                },
+                64 * 1024,
+            )
+            .unwrap();
+        (table, r0, r1)
+    }
+
+    fn map_for(geometry: CacheGeometry) -> PartitionMap {
+        PartitionMap::pack(
+            geometry,
+            &[
+                (PartitionKey::Task(TaskId::new(0)), 2),
+                (PartitionKey::Task(TaskId::new(1)), 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_map_rejects_bad_assignments() {
+        let g = CacheGeometry::new(16, 2).unwrap();
+        let mut map = PartitionMap::new(g);
+        assert!(matches!(
+            map.assign(PartitionKey::AppData, 0, 3),
+            Err(CacheError::PartitionNotPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            map.assign(PartitionKey::AppData, 12, 8),
+            Err(CacheError::PartitionOutOfRange { .. })
+        ));
+        map.assign(PartitionKey::AppData, 0, 8).unwrap();
+        assert!(matches!(
+            map.assign(PartitionKey::AppBss, 4, 4),
+            Err(CacheError::PartitionOverlap { .. })
+        ));
+        // Re-assigning the same key replaces it rather than overlapping.
+        map.assign(PartitionKey::AppData, 0, 4).unwrap();
+        assert_eq!(map.partition_for(PartitionKey::AppData).unwrap().sets, 4);
+    }
+
+    #[test]
+    fn uncovered_region_is_rejected_at_construction() {
+        let (table, _, _) = two_task_table();
+        let g = CacheGeometry::new(16, 2).unwrap();
+        let map = PartitionMap::pack(g, &[(PartitionKey::Task(TaskId::new(0)), 2)]).unwrap();
+        let err = SetPartitionedCache::new(CacheConfig::new(16, 2).unwrap(), &table, &map);
+        assert!(matches!(err, Err(CacheError::UnassignedRegion { .. })));
+    }
+
+    #[test]
+    fn tasks_do_not_evict_each_other() {
+        let (table, r0, r1) = two_task_table();
+        let config = CacheConfig::new(16, 2).unwrap();
+        let map = map_for(config.geometry());
+        let mut cache = SetPartitionedCache::new(config, &table, &map).unwrap();
+
+        let base0 = table.region(r0).base;
+        let base1 = table.region(r1).base;
+        // Task 0 touches 4 lines (fits in 2 sets * 2 ways), then task 1
+        // sweeps a large working set; task 0 must still hit afterwards.
+        let t0_lines: Vec<Access> = (0..4)
+            .map(|i| Access::load(base0.offset(i * 64), 4, TaskId::new(0), r0))
+            .collect();
+        for a in &t0_lines {
+            cache.access(a);
+        }
+        for i in 0..1024 {
+            let a = Access::load(base1.offset(i * 64), 4, TaskId::new(1), r1);
+            cache.access(&a);
+        }
+        for a in &t0_lines {
+            assert!(cache.access(a).hit, "task 1 evicted task 0's line");
+        }
+        assert_eq!(
+            cache
+                .partition_stats(PartitionKey::Task(TaskId::new(0)))
+                .misses,
+            4,
+            "only the four cold misses"
+        );
+    }
+
+    #[test]
+    fn partition_indexing_stays_in_range() {
+        let (table, r0, _) = two_task_table();
+        let config = CacheConfig::new(16, 2).unwrap();
+        let map = map_for(config.geometry());
+        let cache = SetPartitionedCache::new(config, &table, &map).unwrap();
+        let p = cache.partition_of_region(r0);
+        for i in 0..100 {
+            let set = p.index_of(compmem_trace::LineAddr::new(i * 37));
+            assert!(set >= p.base_set && set < p.end_set());
+        }
+    }
+
+    #[test]
+    fn key_derivation_groups_task_sections() {
+        let t = TaskId::new(4);
+        for kind in [
+            RegionKind::TaskCode { task: t },
+            RegionKind::TaskData { task: t },
+            RegionKind::TaskBss { task: t },
+            RegionKind::TaskHeap { task: t },
+            RegionKind::TaskStack { task: t },
+        ] {
+            assert_eq!(PartitionKey::from_region_kind(kind), PartitionKey::Task(t));
+        }
+        assert_eq!(
+            PartitionKey::from_region_kind(RegionKind::Fifo {
+                buffer: BufferId::new(2)
+            }),
+            PartitionKey::Buffer(BufferId::new(2))
+        );
+        assert_eq!(
+            PartitionKey::from_region_kind(RegionKind::RtBss),
+            PartitionKey::RtBss
+        );
+    }
+
+    #[test]
+    fn pack_lays_out_back_to_back() {
+        let g = CacheGeometry::new(64, 4).unwrap();
+        let map = PartitionMap::pack(
+            g,
+            &[
+                (PartitionKey::AppData, 4),
+                (PartitionKey::AppBss, 8),
+                (PartitionKey::RtData, 16),
+            ],
+        )
+        .unwrap();
+        assert_eq!(map.partition_for(PartitionKey::AppData).unwrap().base_set, 0);
+        assert_eq!(map.partition_for(PartitionKey::AppBss).unwrap().base_set, 4);
+        assert_eq!(map.partition_for(PartitionKey::RtData).unwrap().base_set, 12);
+        assert_eq!(map.assigned_sets(), 28);
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            PartitionKey::Task(TaskId::new(2)).to_string(),
+            "task T2"
+        );
+        assert_eq!(
+            Partition {
+                base_set: 4,
+                sets: 8
+            }
+            .to_string(),
+            "sets [4, 12)"
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Way-partitioned (column-caching) baseline.
+//!
+//! The related work the paper compares against (Suh et al., Stone et al.)
+//! partitions the cache by *ways*: every key is restricted to a subset of
+//! the ways of every set. Section 2 of the paper argues that this severely
+//! restricts the allocation granularity — a 4-way cache can only be divided
+//! into at most four exclusive partitions, and the smallest possible
+//! partition is a quarter of the cache. This module implements that scheme
+//! so the ablation experiment (E6 of DESIGN.md) can quantify the argument.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use compmem_trace::{Access, RegionId, RegionTable, TaskId};
+
+use crate::cache::{AccessOutcome, SetAssocCache};
+use crate::config::CacheConfig;
+use crate::error::CacheError;
+use crate::geometry::CacheGeometry;
+use crate::organization::CacheOrganization;
+use crate::partition::PartitionKey;
+use crate::stats::{CacheStats, StatsByKey};
+
+/// Assignment of way masks to partition keys.
+///
+/// ```
+/// use compmem_cache::{CacheGeometry, PartitionKey, WayAllocation};
+/// use compmem_trace::TaskId;
+/// # fn main() -> Result<(), compmem_cache::CacheError> {
+/// let geometry = CacheGeometry::new(128, 4)?;
+/// let mut alloc = WayAllocation::new(geometry);
+/// alloc.assign(PartitionKey::Task(TaskId::new(0)), 0b0011)?;
+/// alloc.assign(PartitionKey::Task(TaskId::new(1)), 0b1100)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WayAllocation {
+    geometry: CacheGeometry,
+    masks: BTreeMap<PartitionKey, u64>,
+}
+
+impl WayAllocation {
+    /// Creates an empty allocation for a cache of the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        WayAllocation {
+            geometry,
+            masks: BTreeMap::new(),
+        }
+    }
+
+    /// Assigns the ways selected by `mask` to `key`.
+    ///
+    /// Masks of different keys may overlap (shared ways), as in dynamic
+    /// column caching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidWayMask`] if the mask is zero or selects
+    /// ways beyond the associativity.
+    pub fn assign(&mut self, key: PartitionKey, mask: u64) -> Result<(), CacheError> {
+        let ways = self.geometry.ways();
+        let valid = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+        if mask == 0 || mask & !valid != 0 {
+            return Err(CacheError::InvalidWayMask { mask, ways });
+        }
+        self.masks.insert(key, mask);
+        Ok(())
+    }
+
+    /// Splits the ways as evenly as possible over `keys`, in order, giving
+    /// each key at least one way. With more keys than ways the ways are
+    /// shared round-robin (which is exactly the granularity problem §2 of
+    /// the paper points out).
+    pub fn equal_split(geometry: CacheGeometry, keys: &[PartitionKey]) -> Self {
+        let mut alloc = WayAllocation::new(geometry);
+        if keys.is_empty() {
+            return alloc;
+        }
+        let ways = geometry.ways() as usize;
+        for (i, &key) in keys.iter().enumerate() {
+            let mask = if keys.len() <= ways {
+                // Contiguous chunk of ways for each key.
+                let per = ways / keys.len();
+                let extra = ways % keys.len();
+                let start = i * per + i.min(extra);
+                let count = per + usize::from(i < extra);
+                ((1u64 << count) - 1) << start
+            } else {
+                // More keys than ways: each key gets a single (shared) way.
+                1u64 << (i % ways)
+            };
+            alloc
+                .assign(key, mask)
+                .expect("constructed masks are valid");
+        }
+        alloc
+    }
+
+    /// Returns the mask assigned to `key`, if any.
+    pub fn mask_for(&self, key: PartitionKey) -> Option<u64> {
+        self.masks.get(&key).copied()
+    }
+
+    /// Number of keys with an assigned mask.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Returns `true` if no mask has been assigned.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Checks that every region of `table` maps to a key with a mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnassignedRegion`] naming the first uncovered
+    /// region.
+    pub fn validate_covers(&self, table: &RegionTable) -> Result<(), CacheError> {
+        for region in table.iter() {
+            let key = PartitionKey::from_region_kind(region.kind);
+            if !self.masks.contains_key(&key) {
+                return Err(CacheError::UnassignedRegion {
+                    region: region.id.index(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for WayAllocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "way allocation ({} ways):", self.geometry.ways())?;
+        for (key, mask) in &self.masks {
+            writeln!(f, "  {key}: {mask:#06b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Column-caching organisation: conventional set indexing, but fills and
+/// evictions of each key are restricted to its assigned ways.
+#[derive(Debug, Clone)]
+pub struct WayPartitionedCache {
+    inner: SetAssocCache,
+    region_masks: Vec<(u64, PartitionKey)>,
+    by_partition: StatsByKey<PartitionKey>,
+}
+
+impl WayPartitionedCache {
+    /// Creates a way-partitioned cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the allocation does not cover every region of the
+    /// table.
+    pub fn new(
+        config: CacheConfig,
+        regions: &RegionTable,
+        allocation: &WayAllocation,
+    ) -> Result<Self, CacheError> {
+        allocation.validate_covers(regions)?;
+        let region_masks = regions
+            .iter()
+            .map(|r| {
+                let key = PartitionKey::from_region_kind(r.kind);
+                let mask = allocation
+                    .mask_for(key)
+                    .expect("validated above: every region key has a mask");
+                (mask, key)
+            })
+            .collect();
+        Ok(WayPartitionedCache {
+            inner: SetAssocCache::new(config),
+            region_masks,
+            by_partition: StatsByKey::new(),
+        })
+    }
+
+    /// Per-partition-key statistics.
+    pub fn stats_by_partition(&self) -> &StatsByKey<PartitionKey> {
+        &self.by_partition
+    }
+}
+
+impl CacheOrganization for WayPartitionedCache {
+    fn access(&mut self, access: &Access) -> AccessOutcome {
+        let (mask, key) = self.region_masks[access.region.index()];
+        let set = self.inner.geometry().index_of(access.addr.line());
+        let outcome = self.inner.access_at(set, mask, access);
+        self.by_partition.record(key, outcome.hit);
+        outcome
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.inner.geometry()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.inner.stats()
+    }
+
+    fn stats_by_task(&self) -> &StatsByKey<TaskId> {
+        self.inner.stats_by_task()
+    }
+
+    fn stats_by_region(&self) -> &StatsByKey<RegionId> {
+        self.inner.stats_by_region()
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.inner.flush()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+        self.by_partition = StatsByKey::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compmem_trace::RegionKind;
+
+    fn two_task_table() -> (RegionTable, RegionId, RegionId) {
+        let mut table = RegionTable::new();
+        let r0 = table
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                64 * 1024,
+            )
+            .unwrap();
+        let r1 = table
+            .insert(
+                "t1.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(1),
+                },
+                64 * 1024,
+            )
+            .unwrap();
+        (table, r0, r1)
+    }
+
+    #[test]
+    fn mask_validation() {
+        let g = CacheGeometry::new(16, 4).unwrap();
+        let mut alloc = WayAllocation::new(g);
+        assert!(matches!(
+            alloc.assign(PartitionKey::AppData, 0),
+            Err(CacheError::InvalidWayMask { .. })
+        ));
+        assert!(matches!(
+            alloc.assign(PartitionKey::AppData, 0b10000),
+            Err(CacheError::InvalidWayMask { .. })
+        ));
+        alloc.assign(PartitionKey::AppData, 0b1010).unwrap();
+        assert_eq!(alloc.mask_for(PartitionKey::AppData), Some(0b1010));
+    }
+
+    #[test]
+    fn equal_split_covers_all_ways_disjointly_when_possible() {
+        let g = CacheGeometry::new(16, 4).unwrap();
+        let keys = [
+            PartitionKey::Task(TaskId::new(0)),
+            PartitionKey::Task(TaskId::new(1)),
+        ];
+        let alloc = WayAllocation::equal_split(g, &keys);
+        let m0 = alloc.mask_for(keys[0]).unwrap();
+        let m1 = alloc.mask_for(keys[1]).unwrap();
+        assert_eq!(m0 & m1, 0);
+        assert_eq!(m0 | m1, 0b1111);
+    }
+
+    #[test]
+    fn equal_split_shares_ways_when_keys_exceed_associativity() {
+        let g = CacheGeometry::new(16, 2).unwrap();
+        let keys: Vec<_> = (0..5).map(|i| PartitionKey::Task(TaskId::new(i))).collect();
+        let alloc = WayAllocation::equal_split(g, &keys);
+        for k in &keys {
+            let m = alloc.mask_for(*k).unwrap();
+            assert_eq!(m.count_ones(), 1);
+        }
+        // With 5 keys over 2 ways some keys must share a way.
+        let distinct: std::collections::BTreeSet<u64> =
+            keys.iter().map(|k| alloc.mask_for(*k).unwrap()).collect();
+        assert!(distinct.len() <= 2);
+    }
+
+    #[test]
+    fn disjoint_ways_isolate_tasks() {
+        let (table, r0, r1) = two_task_table();
+        let config = CacheConfig::new(16, 4).unwrap();
+        let alloc = WayAllocation::equal_split(
+            config.geometry(),
+            &[
+                PartitionKey::Task(TaskId::new(0)),
+                PartitionKey::Task(TaskId::new(1)),
+            ],
+        );
+        let mut cache = WayPartitionedCache::new(config, &table, &alloc).unwrap();
+        let base0 = table.region(r0).base;
+        let base1 = table.region(r1).base;
+        // Task 0 fills its two ways of set 0 (lines 0 and 16 both map to set
+        // 0 of a 16-set cache).
+        let t0 = [
+            Access::load(base0, 4, TaskId::new(0), r0),
+            Access::load(base0.offset(16 * 64), 4, TaskId::new(0), r0),
+        ];
+        for a in &t0 {
+            cache.access(a);
+        }
+        // Task 1 thrashes the same sets heavily.
+        for i in 0..512 {
+            let a = Access::load(base1.offset(i * 64), 4, TaskId::new(1), r1);
+            cache.access(&a);
+        }
+        for a in &t0 {
+            assert!(cache.access(a).hit, "task 1 stole a way from task 0");
+        }
+    }
+
+    #[test]
+    fn uncovered_region_rejected() {
+        let (table, _, _) = two_task_table();
+        let config = CacheConfig::new(16, 4).unwrap();
+        let mut alloc = WayAllocation::new(config.geometry());
+        alloc
+            .assign(PartitionKey::Task(TaskId::new(0)), 0b0011)
+            .unwrap();
+        assert!(matches!(
+            WayPartitionedCache::new(config, &table, &alloc),
+            Err(CacheError::UnassignedRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn display_lists_masks() {
+        let g = CacheGeometry::new(16, 4).unwrap();
+        let mut alloc = WayAllocation::new(g);
+        alloc.assign(PartitionKey::RtData, 0b0001).unwrap();
+        let s = alloc.to_string();
+        assert!(s.contains("rt.data"));
+        assert!(s.contains("0b0001"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type of the top-level crate.
+
+use std::error::Error;
+use std::fmt;
+
+use compmem_cache::CacheError;
+use compmem_platform::PlatformError;
+use compmem_workloads::WorkloadError;
+
+/// Errors produced while sizing partitions and running experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The requested partition sizes do not fit in the cache.
+    CapacityExceeded {
+        /// Units requested.
+        requested: u32,
+        /// Units available.
+        available: u32,
+    },
+    /// A partition key has no miss profile (it never reached the L2 during
+    /// profiling and was not pinned to a size).
+    MissingProfile {
+        /// Display name of the key.
+        key: String,
+    },
+    /// The allocation problem has no feasible solution (e.g. more keys than
+    /// allocation units).
+    Infeasible {
+        /// Explanation of the infeasibility.
+        reason: String,
+    },
+    /// An underlying cache-model error.
+    Cache(CacheError),
+    /// An underlying platform error.
+    Platform(PlatformError),
+    /// An underlying workload error.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::CapacityExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "allocation requests {requested} units but only {available} are available"
+            ),
+            CoreError::MissingProfile { key } => {
+                write!(f, "no miss profile for partition key `{key}`")
+            }
+            CoreError::Infeasible { reason } => write!(f, "allocation infeasible: {reason}"),
+            CoreError::Cache(e) => write!(f, "cache error: {e}"),
+            CoreError::Platform(e) => write!(f, "platform error: {e}"),
+            CoreError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Cache(e) => Some(e),
+            CoreError::Platform(e) => Some(e),
+            CoreError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheError> for CoreError {
+    fn from(value: CacheError) -> Self {
+        CoreError::Cache(value)
+    }
+}
+
+impl From<PlatformError> for CoreError {
+    fn from(value: PlatformError) -> Self {
+        CoreError::Platform(value)
+    }
+}
+
+impl From<WorkloadError> for CoreError {
+    fn from(value: WorkloadError) -> Self {
+        CoreError::Workload(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: CoreError = CacheError::PartitionNotPowerOfTwo { sets: 3 }.into();
+        assert!(e.to_string().contains('3'));
+        assert!(e.source().is_some());
+        let e = CoreError::CapacityExceeded {
+            requested: 200,
+            available: 128,
+        };
+        assert!(e.to_string().contains("200"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

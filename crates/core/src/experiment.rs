@@ -1,0 +1,514 @@
+//! Experiment drivers that regenerate the paper's evaluation.
+//!
+//! The central entry point is [`Experiment::run_paper_flow`], which performs
+//! the full method of the paper on one application:
+//!
+//! 1. run the application on the conventional **shared** L2 (this run also
+//!    measures the per-entity miss profiles through the
+//!    [`ProfilingCache`](crate::profile::ProfilingCache)),
+//! 2. size the partitions by minimising the total predicted misses
+//!    (FIFOs pinned to their own size, everything else optimised),
+//! 3. run the application on the **set-partitioned** L2 with that
+//!    allocation,
+//! 4. compare expected and simulated per-entity misses (compositionality).
+//!
+//! Individual runs (shared with a different L2 size, way-partitioned
+//! column-caching baseline, alternative optimisers) are exposed for the
+//! ablation experiments of DESIGN.md.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use compmem_cache::{
+    CacheConfig, CacheOrganization, KeyStats, PartitionKey, PartitionMap, SetPartitionedCache,
+    WayAllocation, WayPartitionedCache,
+};
+use compmem_platform::{PlatformConfig, System, SystemReport};
+use compmem_trace::{RegionKind, RegionTable};
+use compmem_workloads::apps::Application;
+
+use crate::compositionality::CompositionalityReport;
+use crate::error::CoreError;
+use crate::optimizer::{self, Allocation, AllocationEntity, AllocationProblem, OptimizerKind};
+use crate::profile::{CacheSizeLattice, MissProfiles, ProfilingCache};
+
+/// Configuration shared by all experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Platform (processors, L1s, latencies, task switching).
+    pub platform: PlatformConfig,
+    /// Shared L2 configuration.
+    pub l2: CacheConfig,
+    /// Cache sets per allocation unit.
+    pub sets_per_unit: u32,
+    /// Solver used to size the partitions.
+    pub optimizer: OptimizerKind,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            platform: PlatformConfig::default(),
+            l2: CacheConfig::paper_l2(),
+            sets_per_unit: 16,
+            optimizer: OptimizerKind::ExactIlp,
+        }
+    }
+}
+
+/// The result of one simulation run with per-entity L2 statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// The platform report (cycles, CPI, cache statistics).
+    pub report: SystemReport,
+    /// L2 accesses and misses per partition key (task, buffer, section).
+    pub by_key: BTreeMap<PartitionKey, KeyStats>,
+}
+
+impl RunOutcome {
+    /// L2 misses of one entity.
+    pub fn misses_of(&self, key: PartitionKey) -> u64 {
+        self.by_key.get(&key).map_or(0, |s| s.misses)
+    }
+
+    /// Per-entity misses (for the compositionality comparison).
+    pub fn misses_by_key(&self) -> BTreeMap<PartitionKey, u64> {
+        self.by_key.iter().map(|(k, s)| (*k, s.misses)).collect()
+    }
+}
+
+/// Complete outcome of the paper's method on one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaperFlowOutcome {
+    /// Application name (`"jpeg_canny"` or `"mpeg2"`).
+    pub app_name: String,
+    /// Shared-cache baseline run.
+    pub shared: RunOutcome,
+    /// Per-entity miss profiles measured during the shared run.
+    pub profiles: MissProfiles,
+    /// Chosen partition sizes.
+    pub allocation: Allocation,
+    /// Set-partitioned run with that allocation.
+    pub partitioned: RunOutcome,
+    /// Expected-versus-simulated comparison (Figure 3).
+    pub compositionality: CompositionalityReport,
+    /// Display names of every partition key, following the paper's tables.
+    pub key_names: BTreeMap<PartitionKey, String>,
+    /// Sets per allocation unit (to convert units to the tables' set counts).
+    pub sets_per_unit: u32,
+}
+
+impl PaperFlowOutcome {
+    /// Display name of a partition key.
+    pub fn key_name(&self, key: PartitionKey) -> String {
+        self.key_names
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| key.to_string())
+    }
+
+    /// Ratio of shared-cache misses to partitioned-cache misses (the "N
+    /// times less misses" headline).
+    pub fn miss_improvement_factor(&self) -> f64 {
+        let partitioned = self.partitioned.report.l2.misses;
+        if partitioned == 0 {
+            return f64::INFINITY;
+        }
+        self.shared.report.l2.misses as f64 / partitioned as f64
+    }
+
+    /// Shared-cache L2 miss rate.
+    pub fn shared_miss_rate(&self) -> f64 {
+        self.shared.report.l2_miss_rate()
+    }
+
+    /// Partitioned-cache L2 miss rate.
+    pub fn partitioned_miss_rate(&self) -> f64 {
+        self.partitioned.report.l2_miss_rate()
+    }
+
+    /// Average CPI of the shared-cache run.
+    pub fn shared_cpi(&self) -> f64 {
+        self.shared.report.average_cpi()
+    }
+
+    /// Average CPI of the partitioned run.
+    pub fn partitioned_cpi(&self) -> f64 {
+        self.partitioned.report.average_cpi()
+    }
+
+    /// Rows of the allocation table (Tables 1 / 2): entity name, allocation
+    /// units and L2 sets.
+    pub fn table_rows(&self) -> Vec<(String, u32, u32)> {
+        self.allocation
+            .iter()
+            .map(|(key, &units)| (self.key_name(*key), units, units * self.sets_per_unit))
+            .collect()
+    }
+
+    /// Rows of Figure 2: entity name, shared-cache misses, partitioned
+    /// misses.
+    pub fn figure2_rows(&self) -> Vec<(String, u64, u64)> {
+        self.allocation
+            .iter()
+            .map(|(key, _)| {
+                (
+                    self.key_name(*key),
+                    self.shared.misses_of(*key),
+                    self.partitioned.misses_of(*key),
+                )
+            })
+            .collect()
+    }
+
+    /// Rows of Figure 3: entity name, expected misses, simulated misses.
+    pub fn figure3_rows(&self) -> Vec<(String, u64, u64)> {
+        self.compositionality
+            .entries
+            .iter()
+            .map(|e| (self.key_name(e.key), e.expected_misses, e.simulated_misses))
+            .collect()
+    }
+
+    /// One-paragraph human-readable summary of the headline numbers.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: shared L2 miss rate {:.2}% (CPI {:.2}) -> partitioned {:.2}% (CPI {:.2}); \
+             {:.1}x fewer L2 misses; compositionality error {:.2}%",
+            self.app_name,
+            100.0 * self.shared_miss_rate(),
+            self.shared_cpi(),
+            100.0 * self.partitioned_miss_rate(),
+            self.partitioned_cpi(),
+            self.miss_improvement_factor(),
+            100.0 * self.compositionality.max_relative_difference(),
+        )
+    }
+}
+
+/// Aggregates per-region statistics into per-partition-key statistics.
+fn by_key_from_regions(
+    table: &RegionTable,
+    report: &SystemReport,
+) -> BTreeMap<PartitionKey, KeyStats> {
+    let mut out: BTreeMap<PartitionKey, KeyStats> = BTreeMap::new();
+    for (region, stats) in &report.l2_by_region {
+        if let Some(r) = table.regions().get(region.index()) {
+            let key = PartitionKey::from_region_kind(r.kind);
+            let entry = out.entry(key).or_default();
+            entry.accesses += stats.accesses;
+            entry.misses += stats.misses;
+        }
+    }
+    out
+}
+
+/// Builds the display-name table for every partition key of an application.
+fn key_names(app: &Application) -> BTreeMap<PartitionKey, String> {
+    let mut names = BTreeMap::new();
+    for region in app.space.table().iter() {
+        let key = PartitionKey::from_region_kind(region.kind);
+        let name = match region.kind {
+            RegionKind::Fifo { .. } | RegionKind::FrameBuffer { .. } => region.name.clone(),
+            RegionKind::AppData => "appl data".to_string(),
+            RegionKind::AppBss => "appl bss".to_string(),
+            RegionKind::RtData => "rt data".to_string(),
+            RegionKind::RtBss => "rt bss".to_string(),
+            _ => match region.kind.owner_task() {
+                Some(task) => app.task_name(task).to_string(),
+                None => region.name.clone(),
+            },
+        };
+        names.entry(key).or_insert(name);
+    }
+    names
+}
+
+/// An experiment bound to an application factory.
+///
+/// The factory is invoked once per simulation run (the process network is
+/// consumed by execution); it must be deterministic so that all runs see the
+/// same address-space layout.
+pub struct Experiment<F> {
+    config: ExperimentConfig,
+    factory: F,
+}
+
+impl<F: Fn() -> Application> Experiment<F> {
+    /// Creates an experiment.
+    pub fn new(config: ExperimentConfig, factory: F) -> Self {
+        Experiment { config, factory }
+    }
+
+    /// The configuration of the experiment.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    fn platform_for(&self, app: &Application) -> PlatformConfig {
+        self.config.platform.with_os_regions(app.os_regions)
+    }
+
+    fn lattice(&self) -> CacheSizeLattice {
+        CacheSizeLattice::new(self.config.l2.geometry(), self.config.sets_per_unit)
+    }
+
+    fn run_app<L2: CacheOrganization>(
+        &self,
+        mut app: Application,
+        l2: L2,
+    ) -> Result<(RunOutcome, L2, Application), CoreError> {
+        let platform = self.platform_for(&app);
+        let mut system = System::new(platform, l2, app.mapping.clone())?;
+        let report = system.run(&mut app.network)?;
+        let by_key = by_key_from_regions(app.space.table(), &report);
+        let l2 = system.into_l2();
+        Ok((RunOutcome { report, by_key }, l2, app))
+    }
+
+    /// Runs the shared-cache baseline and measures the per-entity miss
+    /// profiles in the same run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and workload errors.
+    pub fn run_shared_with_profiles(&self) -> Result<(RunOutcome, MissProfiles), CoreError> {
+        let app = (self.factory)();
+        let profiler = ProfilingCache::new(self.config.l2, app.space.table(), self.lattice());
+        let (outcome, profiler, _) = self.run_app(app, profiler)?;
+        Ok((outcome, profiler.into_profiles()))
+    }
+
+    /// Runs the shared-cache baseline with an alternative L2 configuration
+    /// (e.g. the paper's 1 MB comparison point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and workload errors.
+    pub fn run_shared_with_l2(&self, l2: CacheConfig) -> Result<RunOutcome, CoreError> {
+        let app = (self.factory)();
+        let cache = compmem_cache::SharedCache::new(l2);
+        let (outcome, _, _) = self.run_app(app, cache)?;
+        Ok(outcome)
+    }
+
+    /// Builds the allocation problem for the application: FIFOs are pinned
+    /// to their own size (the paper's predictability rule), every other
+    /// entity may take any candidate size.
+    pub fn build_allocation_problem(
+        &self,
+        app: &Application,
+        profiles: MissProfiles,
+    ) -> AllocationProblem {
+        let lattice = self.lattice();
+        let geometry = self.config.l2.geometry();
+        let mut entities: Vec<AllocationEntity> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for region in app.space.table().iter() {
+            let key = PartitionKey::from_region_kind(region.kind);
+            if !seen.insert(key) {
+                continue;
+            }
+            let candidates = match region.kind {
+                RegionKind::Fifo { .. } => {
+                    vec![lattice.units_for_bytes(geometry, region.size)]
+                }
+                _ => lattice.candidate_units.clone(),
+            };
+            entities.push(AllocationEntity { key, candidates });
+        }
+        AllocationProblem {
+            entities,
+            profiles,
+            total_units: lattice.total_units,
+        }
+    }
+
+    /// Runs the application on the set-partitioned L2 with the given
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache, platform and workload errors (e.g. an allocation
+    /// that does not fit).
+    pub fn run_partitioned(&self, allocation: &Allocation) -> Result<RunOutcome, CoreError> {
+        let app = (self.factory)();
+        let lattice = self.lattice();
+        if allocation.total_units > lattice.total_units {
+            return Err(CoreError::CapacityExceeded {
+                requested: allocation.total_units,
+                available: lattice.total_units,
+            });
+        }
+        let sizes: Vec<(PartitionKey, u32)> = allocation
+            .iter()
+            .map(|(k, &units)| (*k, lattice.sets_of(units)))
+            .collect();
+        let map = PartitionMap::pack(self.config.l2.geometry(), &sizes)?;
+        let cache = SetPartitionedCache::new(self.config.l2, app.space.table(), &map)?;
+        let (outcome, _, _) = self.run_app(app, cache)?;
+        Ok(outcome)
+    }
+
+    /// Runs the application on the way-partitioned (column caching)
+    /// baseline, splitting the ways evenly over all entities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache, platform and workload errors.
+    pub fn run_way_partitioned(&self) -> Result<RunOutcome, CoreError> {
+        let app = (self.factory)();
+        let mut keys: Vec<PartitionKey> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for region in app.space.table().iter() {
+            let key = PartitionKey::from_region_kind(region.kind);
+            if seen.insert(key) {
+                keys.push(key);
+            }
+        }
+        let allocation = WayAllocation::equal_split(self.config.l2.geometry(), &keys);
+        let cache = WayPartitionedCache::new(self.config.l2, app.space.table(), &allocation)?;
+        let (outcome, _, _) = self.run_app(app, cache)?;
+        Ok(outcome)
+    }
+
+    /// Compares the three partition-sizing strategies on already-measured
+    /// profiles (the optimiser ablation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimiser errors.
+    pub fn compare_optimizers(
+        &self,
+        app: &Application,
+        profiles: &MissProfiles,
+    ) -> Result<Vec<Allocation>, CoreError> {
+        let problem = self.build_allocation_problem(app, profiles.clone());
+        Ok(vec![
+            optimizer::solve(&problem, OptimizerKind::ExactIlp)?,
+            optimizer::solve(&problem, OptimizerKind::Greedy)?,
+            optimizer::solve(&problem, OptimizerKind::EqualSplit)?,
+        ])
+    }
+
+    /// Runs the complete method of the paper on the application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates all underlying errors.
+    pub fn run_paper_flow(&self) -> Result<PaperFlowOutcome, CoreError> {
+        let reference_app = (self.factory)();
+        let names = key_names(&reference_app);
+        let app_name = reference_app.name.clone();
+
+        let (shared, profiles) = self.run_shared_with_profiles()?;
+        let problem = self.build_allocation_problem(&reference_app, profiles.clone());
+        let allocation = optimizer::solve(&problem, self.config.optimizer)?;
+        let partitioned = self.run_partitioned(&allocation)?;
+        let compositionality = CompositionalityReport::compare(
+            &profiles,
+            &allocation,
+            &partitioned.misses_by_key(),
+        );
+        Ok(PaperFlowOutcome {
+            app_name,
+            shared,
+            profiles,
+            allocation,
+            partitioned,
+            compositionality,
+            key_names: names,
+            sets_per_unit: self.config.sets_per_unit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compmem_workloads::apps::{jpeg_canny_app, mpeg2_app, JpegCannyParams, Mpeg2Params};
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            platform: PlatformConfig::default(),
+            // A small L2 so the tiny workloads still exhibit contention, but
+            // with enough allocation units for every entity of the tiny apps.
+            l2: CacheConfig::with_size_bytes(64 * 1024, 4).unwrap(),
+            sets_per_unit: 4,
+            optimizer: OptimizerKind::ExactIlp,
+        }
+    }
+
+    #[test]
+    fn paper_flow_on_tiny_jpeg_canny_is_compositional_and_reduces_misses() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let outcome = experiment.run_paper_flow().unwrap();
+        assert_eq!(outcome.app_name, "jpeg_canny");
+        assert!(outcome.shared.report.l2.accesses > 0);
+        assert!(outcome.partitioned.report.l2.misses > 0);
+        // Partitioning must not increase misses dramatically and the
+        // partitioned run must match the stand-alone expectation closely.
+        assert!(
+            outcome.compositionality.max_relative_difference() < 0.05,
+            "compositionality error {}",
+            outcome.compositionality.max_relative_difference()
+        );
+        assert!(outcome.allocation.total_units <= 64);
+        assert!(!outcome.table_rows().is_empty());
+        assert_eq!(outcome.figure2_rows().len(), outcome.allocation.units.len());
+        assert!(!outcome.summary().is_empty());
+    }
+
+    #[test]
+    fn paper_flow_on_tiny_mpeg2_runs() {
+        let params = Mpeg2Params::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            mpeg2_app(&params).expect("valid params")
+        });
+        let outcome = experiment.run_paper_flow().unwrap();
+        assert_eq!(outcome.app_name, "mpeg2");
+        assert!(outcome.shared.report.total_instructions() > 0);
+        assert!(outcome
+            .key_names
+            .values()
+            .any(|n| n == "vld" || n == "idct"));
+        assert!(outcome.compositionality.max_relative_difference() < 0.1);
+    }
+
+    #[test]
+    fn way_partitioned_and_larger_shared_runs_work() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let way = experiment.run_way_partitioned().unwrap();
+        assert!(way.report.l2.accesses > 0);
+        let big = experiment
+            .run_shared_with_l2(CacheConfig::with_size_bytes(64 * 1024, 4).unwrap())
+            .unwrap();
+        let small = experiment
+            .run_shared_with_l2(CacheConfig::with_size_bytes(8 * 1024, 4).unwrap())
+            .unwrap();
+        assert!(big.report.l2.misses <= small.report.l2.misses);
+    }
+
+    #[test]
+    fn optimizer_comparison_orders_strategies() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let (_, profiles) = experiment.run_shared_with_profiles().unwrap();
+        let app = jpeg_canny_app(&JpegCannyParams::tiny()).unwrap();
+        let allocations = experiment.compare_optimizers(&app, &profiles).unwrap();
+        assert_eq!(allocations.len(), 3);
+        let exact = &allocations[0];
+        for other in &allocations[1..] {
+            assert!(exact.predicted_misses <= other.predicted_misses);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Compositional memory systems for multimedia communicating tasks.
+//!
+//! This crate is the top of the reproduction of Molnos et al., *DATE 2005*:
+//! it combines the cache models (`compmem-cache`), the CAKE-like
+//! multiprocessor simulator (`compmem-platform`), the YAPI runtime
+//! (`compmem-kpn`) and the multimedia workloads (`compmem-workloads`) into
+//! the method the paper proposes:
+//!
+//! 1. **Miss profiling** ([`profile`]) — measure, for every memory-active
+//!    entity (task, communication buffer, shared static section), the number
+//!    of L2 misses as a function of the exclusively allocated cache size
+//!    (power-of-two allocation units), exactly the `m_i(S_k)` inputs of the
+//!    paper's ILP.
+//! 2. **Partition sizing** ([`optimizer`]) — minimise the total number of
+//!    misses subject to the cache capacity, with an exact
+//!    dynamic-programming solver equivalent to the paper's (M)ILP, a greedy
+//!    marginal-gain approximation and an equal-split strawman.
+//! 3. **Compositional execution** — run the application on the
+//!    set-partitioned L2 and verify that per-task misses match the
+//!    stand-alone expectation ([`compositionality`]), which is the paper's
+//!    Figure 3 result (≤ 2 % deviation).
+//! 4. **Experiments** ([`experiment`]) — drivers that regenerate every table
+//!    and figure of the paper's evaluation (Tables 1–2, Figures 2–3, the
+//!    headline miss-rate/CPI numbers) plus the ablations listed in
+//!    DESIGN.md.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use compmem::experiment::{Experiment, ExperimentConfig};
+//! use compmem_workloads::apps::{jpeg_canny_app, JpegCannyParams};
+//!
+//! # fn main() -> Result<(), compmem::CoreError> {
+//! let params = JpegCannyParams::tiny();
+//! let experiment = Experiment::new(ExperimentConfig::default(), move || {
+//!     jpeg_canny_app(&params).expect("valid parameters")
+//! });
+//! let outcome = experiment.run_paper_flow()?;
+//! println!("{}", outcome.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compositionality;
+mod error;
+pub mod experiment;
+pub mod model;
+pub mod optimizer;
+pub mod profile;
+pub mod report;
+
+pub use error::CoreError;
+pub use optimizer::{Allocation, AllocationProblem, OptimizerKind};
+pub use profile::{CacheSizeLattice, MissProfile, MissProfiles, ProfilingCache};

@@ -1,0 +1,157 @@
+//! Plain-text formatting of the reproduced tables and figures.
+
+use crate::experiment::PaperFlowOutcome;
+
+/// Formats the allocation table of an application (the analogue of Tables 1
+/// and 2 of the paper): one row per entity with the allocated units and L2
+/// sets.
+pub fn format_allocation_table(outcome: &PaperFlowOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Allocated L2 sets for `{}` (1 unit = {} sets)\n",
+        outcome.app_name, outcome.sets_per_unit
+    ));
+    out.push_str(&format!("{:<28} {:>8} {:>10}\n", "entity", "units", "L2 sets"));
+    for (name, units, sets) in outcome.table_rows() {
+        out.push_str(&format!("{name:<28} {units:>8} {sets:>10}\n"));
+    }
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>10}\n",
+        "total",
+        outcome.allocation.total_units,
+        outcome.allocation.total_units * outcome.sets_per_unit
+    ));
+    out
+}
+
+/// Formats the shared-versus-partitioned per-entity miss comparison
+/// (Figure 2 of the paper).
+pub fn format_figure2(outcome: &PaperFlowOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Shared vs best partitioned cache misses for `{}`\n",
+        outcome.app_name
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>12}\n",
+        "entity", "shared", "partitioned"
+    ));
+    for (name, shared, partitioned) in outcome.figure2_rows() {
+        out.push_str(&format!("{name:<28} {shared:>12} {partitioned:>12}\n"));
+    }
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>12}\n",
+        "total", outcome.shared.report.l2.misses, outcome.partitioned.report.l2.misses
+    ));
+    out
+}
+
+/// Formats the expected-versus-simulated per-entity comparison (Figure 3 of
+/// the paper).
+pub fn format_figure3(outcome: &PaperFlowOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Expected vs simulated misses for `{}` (compositionality)\n",
+        outcome.app_name
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>12} {:>10}\n",
+        "entity", "expected", "simulated", "diff/total"
+    ));
+    let total = outcome.compositionality.total_simulated_misses.max(1);
+    for (name, expected, simulated) in outcome.figure3_rows() {
+        let rel = expected.abs_diff(simulated) as f64 / total as f64;
+        out.push_str(&format!(
+            "{name:<28} {expected:>12} {simulated:>12} {:>9.2}%\n",
+            100.0 * rel
+        ));
+    }
+    out.push_str(&format!(
+        "largest relative difference: {:.2}%\n",
+        100.0 * outcome.compositionality.max_relative_difference()
+    ));
+    out
+}
+
+/// Formats the headline miss-rate / CPI comparison reported in the text of
+/// §5 of the paper.
+pub fn format_headline(outcome: &PaperFlowOutcome) -> String {
+    format!(
+        "Headline metrics for `{}`\n\
+         {:<30} {:>12} {:>12}\n\
+         {:<30} {:>11.2}% {:>11.2}%\n\
+         {:<30} {:>12.3} {:>12.3}\n\
+         {:<30} {:>12} {:>12}\n\
+         miss improvement factor: {:.2}x\n",
+        outcome.app_name,
+        "",
+        "shared",
+        "partitioned",
+        "L2 miss rate",
+        100.0 * outcome.shared_miss_rate(),
+        100.0 * outcome.partitioned_miss_rate(),
+        "CPI (average over CPUs)",
+        outcome.shared_cpi(),
+        outcome.partitioned_cpi(),
+        "L2 misses",
+        outcome.shared.report.l2.misses,
+        outcome.partitioned.report.l2.misses,
+        outcome.miss_improvement_factor(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compositionality::CompositionalityReport;
+    use crate::experiment::RunOutcome;
+    use crate::optimizer::{Allocation, OptimizerKind};
+    use crate::profile::MissProfiles;
+    use compmem_cache::PartitionKey;
+    use compmem_trace::TaskId;
+    use std::collections::BTreeMap;
+
+    fn outcome() -> PaperFlowOutcome {
+        let key = PartitionKey::Task(TaskId::new(0));
+        let allocation = Allocation {
+            kind: OptimizerKind::ExactIlp,
+            units: [(key, 4u32)].into_iter().collect(),
+            total_units: 4,
+            predicted_misses: 100,
+        };
+        let mut shared = RunOutcome::default();
+        shared.report.l2.accesses = 1000;
+        shared.report.l2.misses = 500;
+        let mut partitioned = RunOutcome::default();
+        partitioned.report.l2.accesses = 1000;
+        partitioned.report.l2.misses = 100;
+        let mut key_names = BTreeMap::new();
+        key_names.insert(key, "FrontEnd1".to_string());
+        PaperFlowOutcome {
+            app_name: "demo".to_string(),
+            shared,
+            profiles: MissProfiles::default(),
+            allocation,
+            partitioned,
+            compositionality: CompositionalityReport::default(),
+            key_names,
+            sets_per_unit: 16,
+        }
+    }
+
+    #[test]
+    fn tables_and_figures_contain_entity_names_and_totals() {
+        let o = outcome();
+        let table = format_allocation_table(&o);
+        assert!(table.contains("FrontEnd1"));
+        assert!(table.contains("64"), "4 units of 16 sets");
+        let fig2 = format_figure2(&o);
+        assert!(fig2.contains("500"));
+        assert!(fig2.contains("100"));
+        let fig3 = format_figure3(&o);
+        assert!(fig3.contains("largest relative difference"));
+        let headline = format_headline(&o);
+        assert!(headline.contains("5.00x") || headline.contains("5.0"));
+        assert!(headline.contains("50.00%"));
+    }
+}

@@ -1,0 +1,329 @@
+//! The firing context handed to a process.
+
+use compmem_platform::Op;
+use compmem_trace::{Access, AccessSink, TaskId};
+
+use crate::fifo::Fifo;
+use crate::frame::FrameStore;
+use crate::network::{ChannelId, FrameId};
+
+/// Everything a process may touch during one firing: its input and output
+/// FIFOs, the network's frame buffers, and a compute-cost accumulator.
+///
+/// The context records every memory operation of the firing (FIFO copies,
+/// frame-buffer accesses, accesses of the process's private arrays routed
+/// through the [`AccessSink`] impl, and compute instructions) as a list of
+/// [`Op`]s; the network turns that list into a burst for the platform
+/// simulator.
+#[derive(Debug)]
+pub struct FireContext<'a> {
+    task: TaskId,
+    inputs: &'a [ChannelId],
+    outputs: &'a [ChannelId],
+    fifos: &'a mut [Fifo],
+    frames: &'a mut [FrameStore],
+    ops: Vec<Op>,
+}
+
+impl<'a> FireContext<'a> {
+    pub(crate) fn new(
+        task: TaskId,
+        inputs: &'a [ChannelId],
+        outputs: &'a [ChannelId],
+        fifos: &'a mut [Fifo],
+        frames: &'a mut [FrameStore],
+    ) -> Self {
+        FireContext {
+            task,
+            inputs,
+            outputs,
+            fifos,
+            frames,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The task this firing belongs to.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// Number of input ports.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output ports.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    fn input_fifo(&self, port: usize) -> &Fifo {
+        let id = self.inputs.get(port).unwrap_or_else(|| {
+            panic!("task {} has no input port {port}", self.task)
+        });
+        &self.fifos[id.index()]
+    }
+
+    fn output_fifo(&self, port: usize) -> &Fifo {
+        let id = self.outputs.get(port).unwrap_or_else(|| {
+            panic!("task {} has no output port {port}", self.task)
+        });
+        &self.fifos[id.index()]
+    }
+
+    /// Tokens available on input port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn available(&self, port: usize) -> usize {
+        self.input_fifo(port).len()
+    }
+
+    /// Free token slots on output port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn space(&self, port: usize) -> usize {
+        self.output_fifo(port).space()
+    }
+
+    /// Returns `true` if the producer of input port `port` has finished and
+    /// every token has been consumed (end of stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn input_closed(&self, port: usize) -> bool {
+        self.input_fifo(port).is_closed_and_drained()
+    }
+
+    /// Pops one token from input port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or the FIFO is empty (the process
+    /// must check [`available`](Self::available) first).
+    pub fn pop(&mut self, port: usize) -> i32 {
+        let id = self.inputs.get(port).copied().unwrap_or_else(|| {
+            panic!("task {} has no input port {port}", self.task)
+        });
+        let task = self.task;
+        // Split borrows: the FIFO is mutated, the ops vector records the copy.
+        let (fifo, ops) = (&mut self.fifos[id.index()], &mut self.ops);
+        let mut sink = OpSink(ops);
+        fifo.pop(&mut sink, task)
+    }
+
+    /// Pushes one token onto output port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or the FIFO is full (the process
+    /// must check [`space`](Self::space) first).
+    pub fn push(&mut self, port: usize, value: i32) {
+        let id = self.outputs.get(port).copied().unwrap_or_else(|| {
+            panic!("task {} has no output port {port}", self.task)
+        });
+        let task = self.task;
+        let (fifo, ops) = (&mut self.fifos[id.index()], &mut self.ops);
+        let mut sink = OpSink(ops);
+        fifo.push(&mut sink, task, value);
+    }
+
+    /// Pops `n` tokens into a vector (helper for block-granular protocols).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` tokens are available.
+    pub fn pop_many(&mut self, port: usize, n: usize) -> Vec<i32> {
+        (0..n).map(|_| self.pop(port)).collect()
+    }
+
+    /// Pushes all values of `values` onto output port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is not enough space.
+    pub fn push_all(&mut self, port: usize, values: &[i32]) {
+        for &v in values {
+            self.push(port, v);
+        }
+    }
+
+    /// Number of elements of frame buffer `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame does not exist.
+    pub fn frame_len(&self, frame: FrameId) -> usize {
+        self.frames[frame.index()].len()
+    }
+
+    /// Reads element `index` of frame buffer `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame or index does not exist.
+    pub fn frame_read(&mut self, frame: FrameId, index: usize) -> i32 {
+        let task = self.task;
+        let (store, ops) = (&mut self.frames[frame.index()], &mut self.ops);
+        let mut sink = OpSink(ops);
+        store.read(&mut sink, task, index)
+    }
+
+    /// Writes element `index` of frame buffer `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame or index does not exist.
+    pub fn frame_write(&mut self, frame: FrameId, index: usize, value: i32) {
+        let task = self.task;
+        let (store, ops) = (&mut self.frames[frame.index()], &mut self.ops);
+        let mut sink = OpSink(ops);
+        store.write(&mut sink, task, index, value);
+    }
+
+    /// Accounts `instructions` compute instructions (no memory access).
+    pub fn compute(&mut self, instructions: u32) {
+        if instructions > 0 {
+            self.ops.push(Op::Compute(instructions));
+        }
+    }
+
+    /// Number of operations recorded so far in this firing.
+    pub fn recorded_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub(crate) fn into_ops(self) -> Vec<Op> {
+        self.ops
+    }
+}
+
+/// Routes private-array accesses (recorded through the `AccessSink` impl of
+/// the context) into the firing's operation list.
+impl AccessSink for FireContext<'_> {
+    fn record(&mut self, access: Access) {
+        self.ops.push(Op::Mem(access));
+    }
+}
+
+struct OpSink<'a>(&'a mut Vec<Op>);
+
+impl AccessSink for OpSink<'_> {
+    fn record(&mut self, access: Access) {
+        self.0.push(Op::Mem(access));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compmem_trace::{Addr, RegionId};
+
+    fn fifos() -> Vec<Fifo> {
+        vec![
+            Fifo::new("in", RegionId::new(0), Addr::new(0x1000), 4),
+            Fifo::new("out", RegionId::new(1), Addr::new(0x2000), 4),
+        ]
+    }
+
+    fn frames() -> Vec<FrameStore> {
+        vec![FrameStore::new(
+            "frame",
+            RegionId::new(2),
+            Addr::new(0x4000),
+            64,
+            1,
+        )]
+    }
+
+    #[test]
+    fn fifo_ports_map_to_channels() {
+        let mut fifos = fifos();
+        let mut frames = frames();
+        // Pre-load the input FIFO.
+        {
+            let mut sink = compmem_trace::TraceBuffer::new();
+            fifos[0].push(&mut sink, TaskId::new(9), 41);
+        }
+        let inputs = [ChannelId::new(0)];
+        let outputs = [ChannelId::new(1)];
+        let mut ctx = FireContext::new(TaskId::new(1), &inputs, &outputs, &mut fifos, &mut frames);
+        assert_eq!(ctx.task(), TaskId::new(1));
+        assert_eq!(ctx.input_count(), 1);
+        assert_eq!(ctx.output_count(), 1);
+        assert_eq!(ctx.available(0), 1);
+        assert_eq!(ctx.space(0), 4);
+        let v = ctx.pop(0);
+        ctx.compute(3);
+        ctx.push(0, v + 1);
+        assert_eq!(ctx.recorded_ops(), 3);
+        let ops = ctx.into_ops();
+        assert!(matches!(ops[0], Op::Mem(a) if a.kind.is_read()));
+        assert!(matches!(ops[1], Op::Compute(3)));
+        assert!(matches!(ops[2], Op::Mem(a) if a.kind.is_write()));
+        assert_eq!(fifos[1].peek(0), Some(42));
+    }
+
+    #[test]
+    fn frame_access_and_bulk_helpers() {
+        let mut fifos = fifos();
+        let mut frames = frames();
+        let inputs = [ChannelId::new(0)];
+        let outputs = [ChannelId::new(1)];
+        let mut ctx = FireContext::new(TaskId::new(0), &inputs, &outputs, &mut fifos, &mut frames);
+        assert_eq!(ctx.frame_len(FrameId::new(0)), 64);
+        ctx.frame_write(FrameId::new(0), 10, 7);
+        assert_eq!(ctx.frame_read(FrameId::new(0), 10), 7);
+        ctx.push_all(0, &[1, 2, 3]);
+        assert_eq!(ctx.available(0), 0, "port 0 input is a different fifo");
+        let ops = ctx.into_ops();
+        assert_eq!(ops.len(), 2 + 3);
+        // The output fifo now holds the three tokens; pop them back through a
+        // fresh context wired the other way round.
+        let inputs2 = [ChannelId::new(1)];
+        let outputs2 = [ChannelId::new(0)];
+        let mut ctx2 =
+            FireContext::new(TaskId::new(1), &inputs2, &outputs2, &mut fifos, &mut frames);
+        assert_eq!(ctx2.pop_many(0, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_compute_records_nothing() {
+        let mut fifos = fifos();
+        let mut frames = frames();
+        let mut ctx = FireContext::new(TaskId::new(0), &[], &[], &mut fifos, &mut frames);
+        ctx.compute(0);
+        assert_eq!(ctx.recorded_ops(), 0);
+    }
+
+    #[test]
+    fn private_array_accesses_flow_through_the_sink_impl() {
+        use compmem_trace::{AddressSpace, RegionKind, ScalarArray};
+        let mut space = AddressSpace::new();
+        let t = TaskId::new(0);
+        let r = space
+            .allocate_region("t.data", RegionKind::TaskData { task: t }, 256)
+            .unwrap();
+        let mut array: ScalarArray = space.array(r).unwrap();
+        let mut fifos = fifos();
+        let mut frames = frames();
+        let mut ctx = FireContext::new(t, &[], &[], &mut fifos, &mut frames);
+        array.write(&mut ctx, t, 0, 5);
+        let _ = array.read(&mut ctx, t, 0);
+        assert_eq!(ctx.recorded_ops(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no input port")]
+    fn missing_port_panics() {
+        let mut fifos = fifos();
+        let mut frames = frames();
+        let mut ctx = FireContext::new(TaskId::new(0), &[], &[], &mut fifos, &mut frames);
+        let _ = ctx.pop(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type of the Kahn-process-network runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use compmem_trace::TraceError;
+
+/// Errors produced while building or running a process network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KpnError {
+    /// A FIFO was created with zero capacity.
+    ZeroCapacityFifo {
+        /// Name of the FIFO.
+        name: String,
+    },
+    /// A port was connected to a channel that does not exist.
+    UnknownChannel {
+        /// Index of the offending channel.
+        channel: usize,
+    },
+    /// A port was connected to a process that does not exist.
+    UnknownProcess {
+        /// Index of the offending process.
+        process: usize,
+    },
+    /// A FIFO already has a producer / consumer connected.
+    ChannelAlreadyConnected {
+        /// Name of the FIFO.
+        name: String,
+        /// `"producer"` or `"consumer"`.
+        end: &'static str,
+    },
+    /// A FIFO was left without a producer or consumer.
+    DanglingChannel {
+        /// Name of the FIFO.
+        name: String,
+    },
+    /// The functional run did not finish within the firing budget.
+    FunctionalRunStalled {
+        /// Number of firings performed before giving up.
+        firings: u64,
+    },
+    /// An underlying address-space error.
+    Trace(TraceError),
+}
+
+impl fmt::Display for KpnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KpnError::ZeroCapacityFifo { name } => {
+                write!(f, "fifo `{name}` has zero capacity")
+            }
+            KpnError::UnknownChannel { channel } => {
+                write!(f, "channel {channel} does not exist")
+            }
+            KpnError::UnknownProcess { process } => {
+                write!(f, "process {process} does not exist")
+            }
+            KpnError::ChannelAlreadyConnected { name, end } => {
+                write!(f, "fifo `{name}` already has a {end}")
+            }
+            KpnError::DanglingChannel { name } => {
+                write!(f, "fifo `{name}` is missing a producer or consumer")
+            }
+            KpnError::FunctionalRunStalled { firings } => {
+                write!(f, "functional run stalled after {firings} firings")
+            }
+            KpnError::Trace(e) => write!(f, "address space error: {e}"),
+        }
+    }
+}
+
+impl Error for KpnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KpnError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for KpnError {
+    fn from(value: TraceError) -> Self {
+        KpnError::Trace(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = KpnError::ZeroCapacityFifo {
+            name: "x".to_string(),
+        };
+        assert!(e.to_string().contains('x'));
+        let e = KpnError::ChannelAlreadyConnected {
+            name: "f".to_string(),
+            end: "producer",
+        };
+        assert!(e.to_string().contains("producer"));
+    }
+
+    #[test]
+    fn trace_error_converts_and_sources() {
+        let e: KpnError = TraceError::EmptyRegion {
+            name: "r".to_string(),
+        }
+        .into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KpnError>();
+    }
+}

@@ -1,0 +1,236 @@
+//! Bounded token FIFOs mapped onto their own memory regions.
+
+use std::collections::VecDeque;
+
+use compmem_trace::{Access, AccessSink, Addr, RegionId, TaskId};
+
+/// A bounded FIFO of 4-byte tokens living in its own memory region.
+///
+/// Every push copies the token into the FIFO's circular buffer in memory
+/// (one store) and every pop copies it out (one load); the addresses wrap
+/// around the region, exactly like a software circular buffer. The paper's
+/// rule for predictable FIFO accesses — allocate the FIFO a cache partition
+/// as large as the FIFO itself — works because the region and the partition
+/// then have the same number of lines.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    name: String,
+    region: RegionId,
+    base: Addr,
+    capacity: usize,
+    tokens: VecDeque<i32>,
+    /// Next slot index to write (wraps at `capacity`).
+    write_slot: usize,
+    /// Next slot index to read (wraps at `capacity`).
+    read_slot: usize,
+    total_pushed: u64,
+    total_popped: u64,
+    producer_finished: bool,
+}
+
+impl Fifo {
+    /// Creates an empty FIFO of `capacity` tokens mapped at `base` in
+    /// `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (the builder validates this before
+    /// allocating the region).
+    pub fn new(name: impl Into<String>, region: RegionId, base: Addr, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        Fifo {
+            name: name.into(),
+            region,
+            base,
+            capacity,
+            tokens: VecDeque::with_capacity(capacity),
+            write_slot: 0,
+            read_slot: 0,
+            total_pushed: 0,
+            total_popped: 0,
+            producer_finished: false,
+        }
+    }
+
+    /// Name of the FIFO.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Region the FIFO's storage lives in.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Capacity in tokens.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tokens currently queued.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Returns `true` if no token is queued.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Free slots.
+    pub fn space(&self) -> usize {
+        self.capacity - self.tokens.len()
+    }
+
+    /// Total tokens ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Total tokens ever popped.
+    pub fn total_popped(&self) -> u64 {
+        self.total_popped
+    }
+
+    /// Marks that the producer will push no more tokens.
+    pub fn set_producer_finished(&mut self) {
+        self.producer_finished = true;
+    }
+
+    /// Returns `true` if the producer has finished and the FIFO is drained.
+    pub fn is_closed_and_drained(&self) -> bool {
+        self.producer_finished && self.tokens.is_empty()
+    }
+
+    /// Pushes a token on behalf of `task`, recording the store to the FIFO's
+    /// region in `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full; callers check [`space`](Self::space)
+    /// first (blocking write).
+    pub fn push<S: AccessSink>(&mut self, sink: &mut S, task: TaskId, value: i32) {
+        assert!(self.space() > 0, "push into full fifo `{}`", self.name);
+        let addr = self.base.offset(self.write_slot as u64 * 4);
+        sink.record(Access::store(addr, 4, task, self.region));
+        self.write_slot = (self.write_slot + 1) % self.capacity;
+        self.tokens.push_back(value);
+        self.total_pushed += 1;
+    }
+
+    /// Pops a token on behalf of `task`, recording the load from the FIFO's
+    /// region in `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is empty; callers check
+    /// [`len`](Self::len)/[`is_empty`](Self::is_empty) first (blocking read).
+    pub fn pop<S: AccessSink>(&mut self, sink: &mut S, task: TaskId) -> i32 {
+        assert!(!self.is_empty(), "pop from empty fifo `{}`", self.name);
+        let addr = self.base.offset(self.read_slot as u64 * 4);
+        sink.record(Access::load(addr, 4, task, self.region));
+        self.read_slot = (self.read_slot + 1) % self.capacity;
+        self.total_popped += 1;
+        self.tokens.pop_front().expect("checked non-empty")
+    }
+
+    /// Looks at the `offset`-th queued token without consuming it (no memory
+    /// access is recorded; peeking models a register-held head token).
+    pub fn peek(&self, offset: usize) -> Option<i32> {
+        self.tokens.get(offset).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compmem_trace::{AccessKind, TraceBuffer};
+
+    fn fifo(capacity: usize) -> Fifo {
+        Fifo::new("f", RegionId::new(7), Addr::new(0x1000), capacity)
+    }
+
+    #[test]
+    fn push_pop_is_fifo_ordered() {
+        let mut f = fifo(4);
+        let mut sink = TraceBuffer::new();
+        let t = TaskId::new(0);
+        for v in [10, 20, 30] {
+            f.push(&mut sink, t, v);
+        }
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.space(), 1);
+        assert_eq!(f.pop(&mut sink, t), 10);
+        assert_eq!(f.pop(&mut sink, t), 20);
+        assert_eq!(f.pop(&mut sink, t), 30);
+        assert!(f.is_empty());
+        assert_eq!(f.total_pushed(), 3);
+        assert_eq!(f.total_popped(), 3);
+    }
+
+    #[test]
+    fn accesses_wrap_around_the_region() {
+        let mut f = fifo(2);
+        let mut sink = TraceBuffer::new();
+        let t = TaskId::new(1);
+        // Push/pop four tokens through a two-slot FIFO: slot addresses must
+        // alternate between base and base+4.
+        for i in 0..4 {
+            f.push(&mut sink, t, i);
+            let _ = f.pop(&mut sink, t);
+        }
+        let addrs: Vec<u64> = sink.iter().map(|a| a.addr.value()).collect();
+        assert_eq!(addrs, vec![
+            0x1000, 0x1000, 0x1004, 0x1004, 0x1000, 0x1000, 0x1004, 0x1004
+        ]);
+        assert_eq!(sink.accesses()[0].kind, AccessKind::Store);
+        assert_eq!(sink.accesses()[1].kind, AccessKind::Load);
+        assert!(sink.iter().all(|a| a.region == RegionId::new(7)));
+    }
+
+    #[test]
+    fn peek_does_not_consume_or_trace() {
+        let mut f = fifo(4);
+        let mut sink = TraceBuffer::new();
+        f.push(&mut sink, TaskId::new(0), 5);
+        let traced = sink.len();
+        assert_eq!(f.peek(0), Some(5));
+        assert_eq!(f.peek(1), None);
+        assert_eq!(f.len(), 1);
+        assert_eq!(sink.len(), traced);
+    }
+
+    #[test]
+    fn producer_finished_tracking() {
+        let mut f = fifo(2);
+        let mut sink = TraceBuffer::new();
+        f.push(&mut sink, TaskId::new(0), 1);
+        f.set_producer_finished();
+        assert!(!f.is_closed_and_drained());
+        let _ = f.pop(&mut sink, TaskId::new(1));
+        assert!(f.is_closed_and_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "full fifo")]
+    fn overfull_push_panics() {
+        let mut f = fifo(1);
+        let mut sink = TraceBuffer::new();
+        f.push(&mut sink, TaskId::new(0), 1);
+        f.push(&mut sink, TaskId::new(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fifo")]
+    fn empty_pop_panics() {
+        let mut f = fifo(1);
+        let mut sink = TraceBuffer::new();
+        let _ = f.pop(&mut sink, TaskId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = fifo(0);
+    }
+}

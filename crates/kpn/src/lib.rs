@@ -1,0 +1,95 @@
+//! YAPI-style Kahn-process-network runtime.
+//!
+//! The applications of *"Compositional memory systems for multimedia
+//! communicating tasks"* (Molnos et al., DATE 2005) are described with YAPI:
+//! parallel tasks that communicate through bounded FIFOs (blocking read /
+//! blocking write) and frame buffers. This crate provides that model of
+//! computation for the reproduction:
+//!
+//! * [`Process`] — a task; its [`fire`](Process::fire) method performs one
+//!   firing (one grain of work) against a [`FireContext`].
+//! * [`Fifo`] — a bounded token FIFO mapped onto its own memory region, so
+//!   the partitioned L2 can give it an exclusive partition.
+//! * [`FrameStore`] — a frame buffer written completely before it is read,
+//!   also mapped onto its own region.
+//! * [`Network`] / [`NetworkBuilder`] — the process graph. `Network`
+//!   implements [`WorkloadDriver`](compmem_platform::WorkloadDriver), so it
+//!   plugs straight into the multiprocessor platform simulator: every firing
+//!   becomes a burst of compute instructions, data accesses and
+//!   instruction fetches.
+//!
+//! # Example
+//!
+//! A two-stage pipeline in which a producer writes squares into a FIFO and a
+//! consumer accumulates them:
+//!
+//! ```
+//! use compmem_kpn::{FireContext, FireResult, NetworkBuilder, Process, TaskLayout};
+//! use compmem_trace::{AddressSpace, RegionKind};
+//!
+//! struct Producer { next: i32, count: i32 }
+//! impl Process for Producer {
+//!     fn name(&self) -> &str { "producer" }
+//!     fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+//!         if self.next == self.count { return FireResult::Finished; }
+//!         if ctx.space(0) < 1 { return FireResult::Blocked; }
+//!         ctx.compute(5);
+//!         let v = self.next * self.next;
+//!         ctx.push(0, v);
+//!         self.next += 1;
+//!         FireResult::Fired
+//!     }
+//! }
+//!
+//! struct Consumer { sum: i64, seen: i32, count: i32 }
+//! impl Process for Consumer {
+//!     fn name(&self) -> &str { "consumer" }
+//!     fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+//!         if self.seen == self.count { return FireResult::Finished; }
+//!         if ctx.available(0) < 1 { return FireResult::Blocked; }
+//!         let v = ctx.pop(0);
+//!         ctx.compute(2);
+//!         self.sum += i64::from(v);
+//!         self.seen += 1;
+//!         FireResult::Fired
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut space = AddressSpace::new();
+//! let mut builder = NetworkBuilder::new();
+//! let p = builder.add_process(
+//!     Box::new(Producer { next: 0, count: 10 }),
+//!     TaskLayout::with_code_size(&mut space, "producer", builder.next_task_id(), 2048)?,
+//! );
+//! let c = builder.add_process(
+//!     Box::new(Consumer { sum: 0, seen: 0, count: 10 }),
+//!     TaskLayout::with_code_size(&mut space, "consumer", builder.next_task_id(), 2048)?,
+//! );
+//! let fifo = builder.add_fifo(&mut space, "squares", 4)?;
+//! builder.connect_output(p, 0, fifo)?;
+//! builder.connect_input(c, 0, fifo)?;
+//! let mut network = builder.build()?;
+//! let completed = network.run_functional(10_000)?;
+//! assert!(completed);
+//! # let _ = RegionKind::AppData;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod error;
+mod fifo;
+mod frame;
+mod network;
+mod process;
+
+pub use context::FireContext;
+pub use error::KpnError;
+pub use fifo::Fifo;
+pub use frame::FrameStore;
+pub use network::{communication_regions, ChannelId, FrameId, Network, NetworkBuilder};
+pub use process::{FireResult, Process, TaskLayout};

@@ -1,0 +1,98 @@
+//! Error type of the platform crate.
+
+use std::error::Error;
+use std::fmt;
+
+use compmem_trace::TaskId;
+
+/// Errors produced while configuring or running the platform simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A task was mapped to a processor that does not exist.
+    ProcessorOutOfRange {
+        /// The offending processor index.
+        processor: usize,
+        /// Number of processors configured.
+        processors: usize,
+    },
+    /// A task appeared more than once in the mapping.
+    DuplicateTask {
+        /// The duplicated task.
+        task: TaskId,
+    },
+    /// The mapping contained no tasks.
+    EmptyMapping,
+    /// No task could make progress although none had finished: the workload
+    /// deadlocked (e.g. a process network with undersized FIFOs).
+    Deadlock {
+        /// Tasks that were still blocked when progress stopped.
+        blocked: Vec<TaskId>,
+    },
+    /// The simulation exceeded the configured cycle limit.
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid platform configuration: {parameter}: {reason}")
+            }
+            PlatformError::ProcessorOutOfRange {
+                processor,
+                processors,
+            } => write!(
+                f,
+                "task mapped to processor {processor} but only {processors} processors exist"
+            ),
+            PlatformError::DuplicateTask { task } => {
+                write!(f, "task {task} is mapped to more than one processor")
+            }
+            PlatformError::EmptyMapping => write!(f, "task mapping contains no tasks"),
+            PlatformError::Deadlock { blocked } => {
+                write!(f, "workload deadlocked with {} blocked tasks", blocked.len())
+            }
+            PlatformError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PlatformError::ProcessorOutOfRange {
+            processor: 7,
+            processors: 4,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('4'));
+        let e = PlatformError::Deadlock {
+            blocked: vec![TaskId::new(0), TaskId::new(1)],
+        };
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlatformError>();
+    }
+}

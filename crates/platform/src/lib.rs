@@ -1,0 +1,83 @@
+//! Cycle-approximate multiprocessor memory-hierarchy simulator.
+//!
+//! This crate models the experimental platform of *"Compositional memory
+//! systems for multimedia communicating tasks"* (Molnos et al., DATE 2005):
+//! one tile of the CAKE architecture — a homogeneous set of processors with
+//! private L1 instruction and data caches, a shared unified L2 cache
+//! (conventional, set-partitioned or way-partitioned, see `compmem-cache`),
+//! a shared arbitrated memory bus and off-chip DRAM.
+//!
+//! The simulator is *workload driven*: tasks are supplied by a
+//! [`WorkloadDriver`] that hands out [`Burst`]s of operations (compute
+//! instructions and memory accesses). The Kahn-process-network runtime of
+//! `compmem-kpn` implements this trait; synthetic drivers are used in unit
+//! tests.
+//!
+//! What is modelled, and what deliberately is not:
+//!
+//! * Processors execute one instruction per cycle when not stalled (the
+//!   TriMedia VLIW issue width is folded into the workloads' instruction
+//!   counts). Memory stalls come from L1 misses that go to the shared L2 and
+//!   possibly to DRAM over the shared bus.
+//! * The shared bus serialises L2/DRAM transfers (round-robin by request
+//!   time), so co-running tasks perturb each other's *timing* — but under a
+//!   partitioned L2 they can no longer perturb each other's *miss counts*,
+//!   which is the compositionality property the paper establishes.
+//! * Task switching costs a configurable number of cycles and (optionally)
+//!   touches the run-time-system data/bss regions, as in the paper's
+//!   experimental set-up where the RT system has its own cache partition.
+//!
+//! # Example
+//!
+//! ```
+//! use compmem_cache::{CacheConfig, SharedCache};
+//! use compmem_platform::{Burst, BurstOutcome, Op, PlatformConfig, System, TaskMapping,
+//!     WorkloadDriver};
+//! use compmem_trace::{Access, Addr, RegionId, TaskId};
+//!
+//! /// A driver with a single task that loads one line and finishes.
+//! struct OneShot { fired: bool }
+//! impl WorkloadDriver for OneShot {
+//!     fn next_burst(&mut self, _task: TaskId) -> BurstOutcome {
+//!         if self.fired { return BurstOutcome::Finished; }
+//!         self.fired = true;
+//!         BurstOutcome::Ready(Burst::new(vec![
+//!             Op::Compute(10),
+//!             Op::Mem(Access::load(Addr::new(0x1000), 4, TaskId::new(0), RegionId::new(0))),
+//!         ]))
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = PlatformConfig::default().processors(1);
+//! let l2 = SharedCache::new(CacheConfig::paper_l2());
+//! let mapping = TaskMapping::single_processor(&[TaskId::new(0)]);
+//! let mut system = System::new(config, l2, mapping)?;
+//! let report = system.run(&mut OneShot { fired: false })?;
+//! assert_eq!(report.total_instructions(), 11);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod config;
+mod error;
+mod memory;
+mod metrics;
+mod op;
+mod processor;
+mod scheduler;
+mod system;
+
+pub use bus::Bus;
+pub use config::{OsRegions, PlatformConfig};
+pub use error::PlatformError;
+pub use memory::{MemoryLevel, MemorySystem};
+pub use metrics::{ProcessorReport, SystemReport};
+pub use op::{Burst, BurstOutcome, Op, WorkloadDriver};
+pub use processor::ProcessorId;
+pub use scheduler::TaskMapping;
+pub use system::System;

@@ -1,0 +1,252 @@
+//! The memory hierarchy: private L1 caches, the shared L2 and DRAM.
+
+use serde::{Deserialize, Serialize};
+
+use compmem_cache::{CacheOrganization, CacheStats, SetAssocCache};
+use compmem_trace::{Access, LINE_SIZE_BYTES};
+
+use crate::bus::Bus;
+use crate::config::PlatformConfig;
+
+/// One level of the hierarchy, used to label aggregated statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryLevel {
+    /// Private L1 instruction cache.
+    L1Instruction,
+    /// Private L1 data cache.
+    L1Data,
+    /// Shared unified L2 cache.
+    L2,
+    /// Off-chip DRAM.
+    Dram,
+}
+
+/// The full memory hierarchy of one tile.
+///
+/// Each processor has private L1 instruction and data caches; all
+/// processors share the L2 organisation `L2` (conventional, set-partitioned
+/// or way-partitioned) and the bus to it and to DRAM.
+#[derive(Debug, Clone)]
+pub struct MemorySystem<L2> {
+    l1i: Vec<SetAssocCache>,
+    l1d: Vec<SetAssocCache>,
+    l2: L2,
+    bus: Bus,
+    l2_hit_latency: u32,
+    dram_latency: u32,
+    dram_accesses: u64,
+    dram_writebacks: u64,
+}
+
+impl<L2: CacheOrganization> MemorySystem<L2> {
+    /// Builds the hierarchy for `config.num_processors` processors around the
+    /// given shared L2 organisation.
+    pub fn new(config: &PlatformConfig, l2: L2) -> Self {
+        let l1i = (0..config.num_processors)
+            .map(|_| SetAssocCache::new(config.l1i))
+            .collect();
+        let l1d = (0..config.num_processors)
+            .map(|_| SetAssocCache::new(config.l1d))
+            .collect();
+        MemorySystem {
+            l1i,
+            l1d,
+            l2,
+            bus: Bus::new(config.bus_bytes_per_cycle),
+            l2_hit_latency: config.l2_hit_latency,
+            dram_latency: config.dram_latency,
+            dram_accesses: 0,
+            dram_writebacks: 0,
+        }
+    }
+
+    /// Performs one access from `processor` at time `now` and returns the
+    /// stall cycles seen by the processor (zero on an L1 hit).
+    pub fn access(&mut self, processor: usize, now: u64, access: &Access) -> u64 {
+        let l1 = if access.kind.is_instruction() {
+            &mut self.l1i[processor]
+        } else {
+            &mut self.l1d[processor]
+        };
+        let l1_outcome = l1.access(access);
+        if l1_outcome.hit {
+            return 0;
+        }
+
+        // L1 refill: the line travels over the shared bus from the L2.
+        let (bus_wait, bus_duration) = self.bus.request(now, LINE_SIZE_BYTES as u32);
+        // A dirty L1 victim is written back to the L2; it consumes bus
+        // bandwidth but does not stall the processor (write buffer).
+        if l1_outcome.evicted.is_some_and(|e| e.dirty) {
+            let _ = self.bus.request(now, LINE_SIZE_BYTES as u32);
+        }
+
+        let l2_outcome = self.l2.access(access);
+        let mut stall = bus_wait + bus_duration + u64::from(self.l2_hit_latency);
+        if !l2_outcome.hit {
+            self.dram_accesses += 1;
+            stall += u64::from(self.dram_latency);
+            let (dram_wait, dram_duration) = self.bus.request(now + stall, LINE_SIZE_BYTES as u32);
+            stall += dram_wait + dram_duration;
+        }
+        if l2_outcome.evicted.is_some_and(|e| e.dirty) {
+            // L2 write-back to DRAM: bus traffic only.
+            self.dram_writebacks += 1;
+            let _ = self.bus.request(now + stall, LINE_SIZE_BYTES as u32);
+        }
+        stall
+    }
+
+    /// Shared L2 organisation.
+    pub fn l2(&self) -> &L2 {
+        &self.l2
+    }
+
+    /// Mutable access to the shared L2 organisation.
+    pub fn l2_mut(&mut self) -> &mut L2 {
+        &mut self.l2
+    }
+
+    /// Consumes the hierarchy and returns the shared L2 organisation.
+    pub fn into_l2(self) -> L2 {
+        self.l2
+    }
+
+    /// Statistics of the L1 instruction cache of `processor`.
+    pub fn l1i_stats(&self, processor: usize) -> &CacheStats {
+        self.l1i[processor].stats()
+    }
+
+    /// Statistics of the L1 data cache of `processor`.
+    pub fn l1d_stats(&self, processor: usize) -> &CacheStats {
+        self.l1d[processor].stats()
+    }
+
+    /// Aggregate L1 statistics over all processors and both L1 caches.
+    pub fn l1_aggregate_stats(&self) -> CacheStats {
+        let mut agg = CacheStats::new();
+        for c in self.l1i.iter().chain(self.l1d.iter()) {
+            agg.merge(c.stats());
+        }
+        agg
+    }
+
+    /// Number of accesses served by DRAM (L2 misses).
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_accesses
+    }
+
+    /// Number of dirty L2 lines written back to DRAM.
+    pub fn dram_writebacks(&self) -> u64 {
+        self.dram_writebacks
+    }
+
+    /// The shared bus.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Number of processors the hierarchy was built for.
+    pub fn processors(&self) -> usize {
+        self.l1d.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compmem_cache::{CacheConfig, SharedCache};
+    use compmem_trace::{Addr, RegionId, TaskId};
+
+    fn tiny_system() -> MemorySystem<SharedCache> {
+        let config = PlatformConfig::default()
+            .processors(2)
+            .l1(CacheConfig::new(4, 2).unwrap());
+        MemorySystem::new(&config, SharedCache::new(CacheConfig::new(64, 4).unwrap()))
+    }
+
+    fn load(addr: u64, task: u32) -> Access {
+        Access::load(Addr::new(addr), 4, TaskId::new(task), RegionId::new(0))
+    }
+
+    #[test]
+    fn l1_hit_has_no_stall() {
+        let mut m = tiny_system();
+        let a = load(0x1000, 0);
+        let first = m.access(0, 0, &a);
+        assert!(first > 0, "cold miss must stall");
+        let second = m.access(0, 10_000, &a);
+        assert_eq!(second, 0, "L1 hit must not stall");
+    }
+
+    #[test]
+    fn l2_hit_is_cheaper_than_dram() {
+        let mut m = tiny_system();
+        let a = load(0x2000, 0);
+        let cold = m.access(0, 0, &a); // misses both levels -> DRAM
+        // Evict it from the tiny L1 of processor 0 by touching conflicting
+        // lines (same L1 set: L1 has 4 sets of 64 B => 256 B stride).
+        for i in 1..=2 {
+            let _ = m.access(0, 10_000 * i, &load(0x2000 + i as u64 * 256, 0));
+        }
+        let warm = m.access(0, 100_000, &a); // misses L1, hits L2
+        assert!(warm > 0);
+        assert!(
+            warm < cold,
+            "L2 hit ({warm}) should be cheaper than DRAM ({cold})"
+        );
+        assert_eq!(m.dram_accesses(), 3);
+    }
+
+    #[test]
+    fn l1_caches_are_private_per_processor() {
+        let mut m = tiny_system();
+        let a = load(0x3000, 0);
+        let _ = m.access(0, 0, &a);
+        // Processor 1 misses its own L1 but hits the shared L2.
+        let stall = m.access(1, 1_000, &a);
+        assert!(stall > 0);
+        assert_eq!(m.l1d_stats(1).misses, 1);
+        assert_eq!(m.l1d_stats(0).misses, 1);
+        assert_eq!(m.l2().stats().accesses, 2);
+        assert_eq!(m.l2().stats().misses, 1);
+    }
+
+    #[test]
+    fn instruction_fetches_use_the_instruction_cache() {
+        let mut m = tiny_system();
+        let i = Access::ifetch(Addr::new(0x4000), 64, TaskId::new(0), RegionId::new(1));
+        let _ = m.access(0, 0, &i);
+        assert_eq!(m.l1i_stats(0).accesses, 1);
+        assert_eq!(m.l1d_stats(0).accesses, 0);
+        let agg = m.l1_aggregate_stats();
+        assert_eq!(agg.accesses, 1);
+    }
+
+    #[test]
+    fn bus_contention_inflates_stalls() {
+        let mut m = tiny_system();
+        // Two processors miss at the same instant: the second pays a
+        // queueing delay on the shared bus.
+        let s0 = m.access(0, 0, &load(0x8000, 0));
+        let s1 = m.access(1, 0, &load(0x9000, 1));
+        assert!(s1 > s0 - 8, "second request cannot be faster");
+        assert!(m.bus().total_wait_cycles() > 0);
+        assert!(m.bus().transfers() >= 2);
+    }
+
+    #[test]
+    fn dirty_writebacks_reach_dram_counter() {
+        let config = PlatformConfig::default()
+            .processors(1)
+            .l1(CacheConfig::new(1, 1).unwrap());
+        let mut m = MemorySystem::new(&config, SharedCache::new(CacheConfig::new(1, 1).unwrap()));
+        let w = Access::store(Addr::new(0), 4, TaskId::new(0), RegionId::new(0));
+        let _ = m.access(0, 0, &w);
+        // Conflicting store evicts the dirty line from the one-line L2.
+        let w2 = Access::store(Addr::new(64), 4, TaskId::new(0), RegionId::new(0));
+        let _ = m.access(0, 100, &w2);
+        assert_eq!(m.dram_writebacks(), 1);
+        assert_eq!(m.processors(), 1);
+    }
+}

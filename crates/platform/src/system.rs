@@ -1,0 +1,584 @@
+//! The simulation engine: processors, scheduler and memory hierarchy tied
+//! together.
+
+use std::collections::VecDeque;
+
+use compmem_cache::CacheOrganization;
+use compmem_trace::{Access, TaskId, LINE_SIZE_BYTES};
+
+use crate::config::PlatformConfig;
+use crate::error::PlatformError;
+use crate::memory::MemorySystem;
+use crate::metrics::{ProcessorReport, SystemReport};
+use crate::op::{BurstOutcome, Op, WorkloadDriver};
+use crate::processor::ProcessorCounters;
+use crate::scheduler::TaskMapping;
+
+/// Number of operations executed per scheduling turn, so that the L2 access
+/// streams of different processors interleave at a fine grain.
+const CHUNK_OPS: usize = 64;
+
+#[derive(Debug)]
+struct Running {
+    ops: Vec<Op>,
+    next: usize,
+}
+
+#[derive(Debug)]
+struct ProcState {
+    counters: ProcessorCounters,
+    /// Unfinished tasks of this processor, front = next to try.
+    queue: VecDeque<TaskId>,
+    /// Task currently loaded on the processor (register state resident).
+    current_task: Option<TaskId>,
+    running: Option<Running>,
+    quantum_left: u64,
+    /// If the processor found all its tasks blocked, the burst-event count
+    /// at which it parked; it is only re-polled after new events.
+    parked_at_event: Option<u64>,
+}
+
+/// The multiprocessor system: configuration, memory hierarchy and task
+/// mapping.
+///
+/// `System` is generic over the shared-L2 organisation so the same engine
+/// runs the paper's baseline (shared cache), its proposal (set-partitioned
+/// cache) and the column-caching ablation.
+#[derive(Debug)]
+pub struct System<L2> {
+    config: PlatformConfig,
+    memory: MemorySystem<L2>,
+    mapping: TaskMapping,
+}
+
+impl<L2: CacheOrganization> System<L2> {
+    /// Builds a system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlatformError`] if the configuration or the mapping is
+    /// invalid.
+    pub fn new(
+        config: PlatformConfig,
+        l2: L2,
+        mapping: TaskMapping,
+    ) -> Result<Self, PlatformError> {
+        config.validate()?;
+        mapping.validate(config.num_processors)?;
+        let memory = MemorySystem::new(&config, l2);
+        Ok(System {
+            config,
+            memory,
+            mapping,
+        })
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The memory hierarchy (e.g. to inspect L2 statistics after a run).
+    pub fn memory(&self) -> &MemorySystem<L2> {
+        &self.memory
+    }
+
+    /// The task mapping.
+    pub fn mapping(&self) -> &TaskMapping {
+        &self.mapping
+    }
+
+    /// Consumes the system and returns the shared L2 organisation (used to
+    /// recover results accumulated inside the organisation itself, such as
+    /// the shadow-cache miss profiles of the profiling organisation).
+    pub fn into_l2(self) -> L2 {
+        self.memory.into_l2()
+    }
+
+    /// Runs the workload to completion and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::Deadlock`] if unfinished tasks remain but none can
+    ///   make progress,
+    /// * [`PlatformError::CycleLimitExceeded`] if a processor's local clock
+    ///   exceeds the configured limit.
+    pub fn run<D: WorkloadDriver>(&mut self, driver: &mut D) -> Result<SystemReport, PlatformError> {
+        let mut procs: Vec<ProcState> = (0..self.config.num_processors)
+            .map(|p| ProcState {
+                counters: ProcessorCounters::default(),
+                queue: self.mapping.tasks_of(p).iter().copied().collect(),
+                current_task: None,
+                running: None,
+                quantum_left: self.config.quantum_instructions.unwrap_or(u64::MAX),
+                parked_at_event: None,
+            })
+            .collect();
+
+        let mut burst_events: u64 = 0;
+        let mut last_event_time: u64 = 0;
+
+        loop {
+            if procs
+                .iter()
+                .all(|p| p.queue.is_empty() && p.running.is_none())
+            {
+                break;
+            }
+
+            let candidate = procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    p.running.is_some()
+                        || (!p.queue.is_empty()
+                            && p.parked_at_event.is_none_or(|e| e < burst_events))
+                })
+                .min_by_key(|(_, p)| p.counters.time)
+                .map(|(i, _)| i);
+
+            let Some(pi) = candidate else {
+                let blocked: Vec<TaskId> = procs
+                    .iter()
+                    .flat_map(|p| p.queue.iter().copied())
+                    .collect();
+                return Err(PlatformError::Deadlock { blocked });
+            };
+
+            if procs[pi].running.is_none() {
+                self.dispatch(pi, &mut procs, driver, &mut burst_events, last_event_time);
+                continue;
+            }
+
+            let finished_burst = self.execute_chunk(pi, &mut procs);
+            if procs[pi].counters.time > self.config.cycle_limit {
+                return Err(PlatformError::CycleLimitExceeded {
+                    limit: self.config.cycle_limit,
+                });
+            }
+            if finished_burst {
+                burst_events += 1;
+                last_event_time = last_event_time.max(procs[pi].counters.time);
+            }
+        }
+
+        Ok(self.report(&procs))
+    }
+
+    /// Tries to give processor `pi` a new burst; parks it if every one of its
+    /// unfinished tasks is blocked.
+    fn dispatch<D: WorkloadDriver>(
+        &mut self,
+        pi: usize,
+        procs: &mut [ProcState],
+        driver: &mut D,
+        burst_events: &mut u64,
+        last_event_time: u64,
+    ) {
+        // Quantum expiry: demote the current task to the back of the queue.
+        if self.config.quantum_instructions.is_some() && procs[pi].quantum_left == 0 {
+            if let Some(current) = procs[pi].current_task {
+                if procs[pi].queue.front() == Some(&current) && procs[pi].queue.len() > 1 {
+                    procs[pi].queue.rotate_left(1);
+                }
+            }
+            procs[pi].quantum_left = self.config.quantum_instructions.unwrap_or(u64::MAX);
+        }
+
+        let attempts = procs[pi].queue.len();
+        for _ in 0..attempts {
+            let task = *procs[pi].queue.front().expect("queue checked non-empty");
+            match driver.next_burst(task) {
+                BurstOutcome::Ready(burst) => {
+                    let was_parked = procs[pi].parked_at_event.take().is_some();
+                    if was_parked && last_event_time > procs[pi].counters.time {
+                        let gap = last_event_time - procs[pi].counters.time;
+                        procs[pi].counters.idle_cycles += gap;
+                        procs[pi].counters.time = last_event_time;
+                    }
+                    if procs[pi].current_task != Some(task) {
+                        self.perform_task_switch(pi, procs, task);
+                    }
+                    procs[pi].running = Some(Running {
+                        ops: burst.into_ops(),
+                        next: 0,
+                    });
+                    return;
+                }
+                BurstOutcome::Finished => {
+                    procs[pi].queue.pop_front();
+                    // Retiring a task is an event: a producer waiting for a
+                    // final consumption attempt must be re-polled.
+                    *burst_events += 1;
+                    if procs[pi].queue.is_empty() {
+                        return;
+                    }
+                }
+                BurstOutcome::Blocked => {
+                    procs[pi].queue.rotate_left(1);
+                }
+            }
+        }
+        if !procs[pi].queue.is_empty() {
+            procs[pi].parked_at_event = Some(*burst_events);
+        }
+    }
+
+    /// Accounts a task switch on processor `pi`, including the run-time
+    /// system's memory traffic if configured.
+    fn perform_task_switch(&mut self, pi: usize, procs: &mut [ProcState], task: TaskId) {
+        let p = &mut procs[pi];
+        let first_dispatch = p.current_task.is_none();
+        p.current_task = Some(task);
+        p.quantum_left = self.config.quantum_instructions.unwrap_or(u64::MAX);
+        if first_dispatch {
+            return;
+        }
+        p.counters.task_switches += 1;
+        p.counters.switch_cycles += u64::from(self.config.task_switch_cycles);
+        p.counters.time += u64::from(self.config.task_switch_cycles);
+        if let Some(os) = self.config.os_regions {
+            for i in 0..os.lines_per_switch {
+                for (region, base) in [(os.rt_data, os.rt_data_base), (os.rt_bss, os.rt_bss_base)]
+                {
+                    let addr = base.offset(u64::from(i) * LINE_SIZE_BYTES);
+                    let access = Access::load(addr, 4, os.os_task, region);
+                    let stall = self.memory.access(pi, procs[pi].counters.time, &access);
+                    let p = &mut procs[pi];
+                    p.counters.switch_cycles += 1 + stall;
+                    p.counters.time += 1 + stall;
+                }
+            }
+        }
+    }
+
+    /// Executes up to [`CHUNK_OPS`] operations of the running burst of
+    /// processor `pi`; returns `true` when the burst completed.
+    fn execute_chunk(&mut self, pi: usize, procs: &mut [ProcState]) -> bool {
+        let mut executed = 0;
+        loop {
+            let (op, task_done) = {
+                let p = &mut procs[pi];
+                let running = p.running.as_mut().expect("execute_chunk requires a burst");
+                if running.next >= running.ops.len() {
+                    (None, true)
+                } else {
+                    let op = running.ops[running.next];
+                    running.next += 1;
+                    (Some(op), false)
+                }
+            };
+            if task_done {
+                procs[pi].running = None;
+                return true;
+            }
+            let op = op.expect("op present when burst not done");
+            match op {
+                Op::Compute(n) => {
+                    let p = &mut procs[pi];
+                    p.counters.time += u64::from(n);
+                    p.counters.busy_cycles += u64::from(n);
+                    p.counters.instructions += u64::from(n);
+                    p.quantum_left = p.quantum_left.saturating_sub(u64::from(n));
+                }
+                Op::Mem(access) => {
+                    let now = procs[pi].counters.time;
+                    let stall = self.memory.access(pi, now, &access);
+                    let p = &mut procs[pi];
+                    if access.kind.is_instruction() {
+                        p.counters.time += stall;
+                        p.counters.stall_cycles += stall;
+                    } else {
+                        p.counters.time += 1 + stall;
+                        p.counters.busy_cycles += 1;
+                        p.counters.stall_cycles += stall;
+                        p.counters.instructions += 1;
+                        p.quantum_left = p.quantum_left.saturating_sub(1);
+                    }
+                }
+            }
+            executed += 1;
+            if executed >= CHUNK_OPS {
+                // Chunk budget exhausted; if the burst also happens to be
+                // done, report it now so waiters are unparked promptly.
+                let p = &mut procs[pi];
+                let done = p
+                    .running
+                    .as_ref()
+                    .is_some_and(|r| r.next >= r.ops.len());
+                if done {
+                    p.running = None;
+                }
+                return done;
+            }
+        }
+    }
+
+    fn report(&self, procs: &[ProcState]) -> SystemReport {
+        let processors: Vec<ProcessorReport> = procs
+            .iter()
+            .map(|p| ProcessorReport {
+                cycles: p.counters.time,
+                busy_cycles: p.counters.busy_cycles,
+                stall_cycles: p.counters.stall_cycles,
+                switch_cycles: p.counters.switch_cycles,
+                idle_cycles: p.counters.idle_cycles,
+                instructions: p.counters.instructions,
+                task_switches: p.counters.task_switches,
+            })
+            .collect();
+        let makespan_cycles = processors.iter().map(|p| p.cycles).max().unwrap_or(0);
+        let l2 = self.memory.l2();
+        SystemReport {
+            l1: self.memory.l1_aggregate_stats(),
+            l2: *l2.stats(),
+            l2_by_task: l2
+                .stats_by_task()
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+            l2_by_region: l2
+                .stats_by_region()
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+            dram_accesses: self.memory.dram_accesses(),
+            dram_writebacks: self.memory.dram_writebacks(),
+            bus_wait_cycles: self.memory.bus().total_wait_cycles(),
+            bus_bytes: self.memory.bus().bytes_transferred(),
+            makespan_cycles,
+            processors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Burst;
+    use compmem_cache::{CacheConfig, SharedCache};
+    use compmem_trace::{Addr, RegionId};
+
+    /// A driver where each task performs `bursts` bursts of `ops_per_burst`
+    /// strided loads over its own address range, never blocking.
+    struct StridedDriver {
+        remaining: Vec<u32>,
+        ops_per_burst: u32,
+        issued: Vec<u64>,
+    }
+
+    impl StridedDriver {
+        fn new(tasks: usize, bursts: u32, ops_per_burst: u32) -> Self {
+            StridedDriver {
+                remaining: vec![bursts; tasks],
+                ops_per_burst,
+                issued: vec![0; tasks],
+            }
+        }
+    }
+
+    impl WorkloadDriver for StridedDriver {
+        fn next_burst(&mut self, task: TaskId) -> BurstOutcome {
+            let t = task.index();
+            if self.remaining[t] == 0 {
+                return BurstOutcome::Finished;
+            }
+            self.remaining[t] -= 1;
+            let base = 0x10_0000 * (t as u64 + 1);
+            let mut ops = Vec::new();
+            for _ in 0..self.ops_per_burst {
+                let addr = base + self.issued[t] * 64;
+                self.issued[t] += 1;
+                ops.push(Op::Compute(2));
+                ops.push(Op::Mem(Access::load(
+                    Addr::new(addr),
+                    4,
+                    task,
+                    RegionId::new(t as u32),
+                )));
+            }
+            BurstOutcome::Ready(Burst::new(ops))
+        }
+    }
+
+    /// Producer/consumer pair communicating through a one-token mailbox, to
+    /// exercise blocking, parking and un-parking.
+    struct PingPong {
+        tokens: u32,
+        mailbox: bool,
+        produced: u32,
+        consumed: u32,
+    }
+
+    impl WorkloadDriver for PingPong {
+        fn next_burst(&mut self, task: TaskId) -> BurstOutcome {
+            match task.index() {
+                0 => {
+                    if self.produced == self.tokens {
+                        return BurstOutcome::Finished;
+                    }
+                    if self.mailbox {
+                        return BurstOutcome::Blocked;
+                    }
+                    self.mailbox = true;
+                    self.produced += 1;
+                    BurstOutcome::Ready(Burst::new(vec![
+                        Op::Compute(5),
+                        Op::Mem(Access::store(
+                            Addr::new(0x9000),
+                            4,
+                            task,
+                            RegionId::new(9),
+                        )),
+                    ]))
+                }
+                _ => {
+                    if self.consumed == self.tokens {
+                        return BurstOutcome::Finished;
+                    }
+                    if !self.mailbox {
+                        return BurstOutcome::Blocked;
+                    }
+                    self.mailbox = false;
+                    self.consumed += 1;
+                    BurstOutcome::Ready(Burst::new(vec![
+                        Op::Mem(Access::load(Addr::new(0x9000), 4, task, RegionId::new(9))),
+                        Op::Compute(3),
+                    ]))
+                }
+            }
+        }
+    }
+
+    fn shared_l2() -> SharedCache {
+        SharedCache::new(CacheConfig::new(256, 4).unwrap())
+    }
+
+    #[test]
+    fn single_task_counts_instructions_and_cycles() {
+        let config = PlatformConfig::default().processors(1);
+        let mapping = TaskMapping::single_processor(&[TaskId::new(0)]);
+        let mut system = System::new(config, shared_l2(), mapping).unwrap();
+        let mut driver = StridedDriver::new(1, 4, 10);
+        let report = system.run(&mut driver).unwrap();
+        // 4 bursts * 10 * (2 compute + 1 load) = 120 instructions.
+        assert_eq!(report.total_instructions(), 120);
+        assert!(report.processors[0].cycles >= 120);
+        assert!(report.processors[0].stall_cycles > 0, "cold misses stall");
+        assert!(report.l2.misses > 0);
+        assert!(report.average_cpi() > 1.0);
+        assert_eq!(report.processors[0].task_switches, 0);
+    }
+
+    #[test]
+    fn tasks_on_different_processors_run_concurrently() {
+        let config = PlatformConfig::default().processors(2);
+        let mapping = TaskMapping::round_robin(&[TaskId::new(0), TaskId::new(1)], 2);
+        let mut system = System::new(config, shared_l2(), mapping).unwrap();
+        let mut driver = StridedDriver::new(2, 8, 16);
+        let report = system.run(&mut driver).unwrap();
+        let p0 = report.processors[0].cycles;
+        let p1 = report.processors[1].cycles;
+        // Both processors did comparable work; the makespan is far less than
+        // the serial sum.
+        assert!(p0 > 0 && p1 > 0);
+        assert!(report.makespan_cycles < p0 + p1);
+        assert_eq!(report.total_instructions(), 2 * 8 * 16 * 3);
+    }
+
+    #[test]
+    fn two_tasks_on_one_processor_incur_task_switches() {
+        let config = PlatformConfig::default().processors(1).quantum(30);
+        let mapping =
+            TaskMapping::single_processor(&[TaskId::new(0), TaskId::new(1)]);
+        let mut system = System::new(config, shared_l2(), mapping).unwrap();
+        let mut driver = StridedDriver::new(2, 6, 10);
+        let report = system.run(&mut driver).unwrap();
+        assert!(report.processors[0].task_switches > 0);
+        assert!(report.processors[0].switch_cycles > 0);
+        assert_eq!(report.total_instructions(), 2 * 6 * 10 * 3);
+    }
+
+    #[test]
+    fn blocking_producer_consumer_completes() {
+        let config = PlatformConfig::default().processors(2);
+        let mapping = TaskMapping::round_robin(&[TaskId::new(0), TaskId::new(1)], 2);
+        let mut system = System::new(config, shared_l2(), mapping).unwrap();
+        let mut driver = PingPong {
+            tokens: 25,
+            mailbox: false,
+            produced: 0,
+            consumed: 0,
+        };
+        let report = system.run(&mut driver).unwrap();
+        assert_eq!(driver.produced, 25);
+        assert_eq!(driver.consumed, 25);
+        // Consumer instructions: 25 * (1 load + 3 compute); producer: 25 * 6.
+        assert_eq!(report.total_instructions(), 25 * 6 + 25 * 4);
+        assert!(report.processors.iter().any(|p| p.idle_cycles > 0));
+    }
+
+    #[test]
+    fn deadlocked_workload_is_detected() {
+        struct AlwaysBlocked;
+        impl WorkloadDriver for AlwaysBlocked {
+            fn next_burst(&mut self, _task: TaskId) -> BurstOutcome {
+                BurstOutcome::Blocked
+            }
+        }
+        let config = PlatformConfig::default().processors(1);
+        let mapping = TaskMapping::single_processor(&[TaskId::new(0), TaskId::new(1)]);
+        let mut system = System::new(config, shared_l2(), mapping).unwrap();
+        let err = system.run(&mut AlwaysBlocked).unwrap_err();
+        match err {
+            PlatformError::Deadlock { blocked } => assert_eq!(blocked.len(), 2),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let config = PlatformConfig::default()
+            .processors(1)
+            .with_cycle_limit(100);
+        let mapping = TaskMapping::single_processor(&[TaskId::new(0)]);
+        let mut system = System::new(config, shared_l2(), mapping).unwrap();
+        let mut driver = StridedDriver::new(1, 1000, 64);
+        let err = system.run(&mut driver).unwrap_err();
+        assert!(matches!(err, PlatformError::CycleLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn invalid_mapping_is_rejected_at_construction() {
+        let config = PlatformConfig::default().processors(1);
+        let mapping = TaskMapping::new(vec![vec![TaskId::new(0)], vec![TaskId::new(1)]]);
+        assert!(System::new(config, shared_l2(), mapping).is_err());
+    }
+
+    #[test]
+    fn os_traffic_is_attributed_to_the_os_task() {
+        let os_task = TaskId::new(99);
+        let config = PlatformConfig::default()
+            .processors(1)
+            .quantum(20)
+            .with_os_regions(crate::OsRegions {
+                os_task,
+                rt_data: RegionId::new(50),
+                rt_data_base: Addr::new(0x50_0000),
+                rt_bss: RegionId::new(51),
+                rt_bss_base: Addr::new(0x60_0000),
+                lines_per_switch: 4,
+            });
+        let mapping = TaskMapping::single_processor(&[TaskId::new(0), TaskId::new(1)]);
+        let mut system = System::new(config, shared_l2(), mapping).unwrap();
+        let mut driver = StridedDriver::new(2, 10, 10);
+        let report = system.run(&mut driver).unwrap();
+        assert!(report.processors[0].task_switches > 0);
+        let os_accesses = report
+            .l2_by_task
+            .get(&os_task)
+            .map_or(0, |s| s.accesses);
+        assert!(os_accesses > 0, "OS traffic must reach the L2 at least once");
+        assert!(report.l2_by_region.contains_key(&RegionId::new(50)));
+    }
+}

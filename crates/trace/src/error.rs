@@ -1,0 +1,91 @@
+//! Error type of the trace crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::Addr;
+
+/// Errors produced while building address spaces and traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A region of zero bytes was requested.
+    EmptyRegion {
+        /// Name of the offending region.
+        name: String,
+    },
+    /// A region name was used twice in the same table.
+    DuplicateRegionName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An access fell outside every allocated region.
+    UnmappedAddress {
+        /// The offending address.
+        addr: Addr,
+    },
+    /// An array index exceeded the bounds of its region.
+    IndexOutOfBounds {
+        /// Name of the region being accessed.
+        region: String,
+        /// Requested element index.
+        index: usize,
+        /// Number of elements in the region.
+        len: usize,
+    },
+    /// A region id did not belong to the address space it was used with.
+    UnknownRegion {
+        /// The offending region index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::EmptyRegion { name } => {
+                write!(f, "region `{name}` has zero size")
+            }
+            TraceError::DuplicateRegionName { name } => {
+                write!(f, "region name `{name}` is already in use")
+            }
+            TraceError::UnmappedAddress { addr } => {
+                write!(f, "address {addr} is not mapped by any region")
+            }
+            TraceError::IndexOutOfBounds { region, index, len } => {
+                write!(
+                    f,
+                    "index {index} out of bounds for region `{region}` of {len} elements"
+                )
+            }
+            TraceError::UnknownRegion { index } => {
+                write!(f, "region id {index} does not belong to this address space")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = TraceError::EmptyRegion {
+            name: "x".to_string(),
+        };
+        assert_eq!(e.to_string(), "region `x` has zero size");
+        let e = TraceError::UnmappedAddress {
+            addr: Addr::new(0x40),
+        };
+        assert!(e.to_string().contains("0x40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

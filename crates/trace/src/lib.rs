@@ -1,0 +1,62 @@
+//! Memory-access trace primitives for the `compmem` compositional memory
+//! system.
+//!
+//! This crate is the lowest layer of the reproduction of *"Compositional
+//! memory systems for multimedia communicating tasks"* (Molnos et al.,
+//! DATE 2005). Everything above it — cache models, the multiprocessor
+//! platform, the Kahn-process-network runtime and the workloads — speaks in
+//! terms of the types defined here:
+//!
+//! * [`Addr`] — a byte address in the flat, linear address space of the
+//!   simulated platform.
+//! * [`RegionId`] / [`RegionKind`] / [`RegionTable`] — the "memory-active
+//!   entities" of the paper: task code/data/bss/heap, FIFOs, frame buffers
+//!   and the shared application / run-time-system sections. The partitioned
+//!   L2 cache keys its index-translation table on the region an address
+//!   belongs to.
+//! * [`Access`] — one memory reference (instruction fetch, load or store)
+//!   attributed to a task and a region.
+//! * [`AccessSink`] / [`TraceBuffer`] — how instrumented workloads emit and
+//!   collect references.
+//! * [`gen`] — synthetic access-stream generators used by unit tests,
+//!   property tests and micro-benchmarks.
+//! * [`stats`] — footprint and reuse-distance analysis of traces.
+//!
+//! # Example
+//!
+//! ```
+//! use compmem_trace::{AddressSpace, AccessKind, RegionKind, TaskId, TraceBuffer};
+//!
+//! # fn main() -> Result<(), compmem_trace::TraceError> {
+//! let mut space = AddressSpace::new();
+//! let task = TaskId::new(0);
+//! let region = space.allocate_region("idct.coeffs", RegionKind::TaskData { task }, 4096)?;
+//! let mut sink = TraceBuffer::new();
+//! let mut array = space.array(region)?;
+//! array.write(&mut sink, task, 10, 42);
+//! let v = array.read(&mut sink, task, 10);
+//! assert_eq!(v, 42);
+//! assert_eq!(sink.len(), 2);
+//! assert_eq!(sink.accesses()[1].kind, AccessKind::Load);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod addr;
+mod error;
+pub mod gen;
+mod memspace;
+mod region;
+mod sink;
+pub mod stats;
+
+pub use access::{Access, AccessKind};
+pub use addr::{Addr, LineAddr, LINE_SIZE_BYTES};
+pub use error::TraceError;
+pub use memspace::{AddressSpace, ScalarArray};
+pub use region::{BufferId, Region, RegionId, RegionKind, RegionTable, TaskId};
+pub use sink::{AccessSink, CountingSink, NullSink, TraceBuffer};

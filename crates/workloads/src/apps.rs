@@ -1,0 +1,348 @@
+//! Assembly of the paper's two benchmark applications.
+//!
+//! * [`jpeg_canny_app`] — two JPEG decoders working on different picture
+//!   formats plus one Canny edge detector: 15 tasks, as in Table 1.
+//! * [`mpeg2_app`] — the MPEG-2 video decoder: 13 tasks, as in Table 2.
+//!
+//! Each assembled [`Application`] carries everything the experiment driver
+//! needs: the address space (region table), the executable process network,
+//! the static task-to-processor mapping for the 4-CPU CAKE tile, the shared
+//! static sections and the run-time-system descriptor, plus display names
+//! matching the paper's tables.
+
+use compmem_kpn::Network;
+use compmem_platform::{OsRegions, TaskMapping};
+use compmem_trace::{AddressSpace, TaskId};
+
+use crate::canny::build_canny;
+use crate::error::WorkloadError;
+use crate::jpeg::build_jpeg_decoder;
+use crate::mpeg2::build_mpeg2_decoder;
+use crate::pixels::SyntheticImage;
+use crate::sections::SharedSections;
+
+/// Task identifier used to attribute run-time-system (OS) traffic.
+pub const OS_TASK: TaskId = TaskId::new(999);
+
+/// A fully assembled benchmark application.
+#[derive(Debug)]
+pub struct Application {
+    /// Short machine-readable name (`"jpeg_canny"` or `"mpeg2"`).
+    pub name: String,
+    /// The address space with every region of the application.
+    pub space: AddressSpace,
+    /// The executable process network.
+    pub network: Network,
+    /// Static task-to-processor mapping for the 4-processor tile.
+    pub mapping: TaskMapping,
+    /// Shared static sections (app data/bss, RT data/bss).
+    pub sections: SharedSections,
+    /// Run-time-system traffic descriptor for the platform.
+    pub os_regions: OsRegions,
+    /// Display name of every task, in the order of Tables 1 / 2.
+    pub task_names: Vec<(TaskId, String)>,
+}
+
+impl Application {
+    /// Display name of a task (falls back to the process name for tasks not
+    /// in the table, which does not happen for the two built-in apps).
+    pub fn task_name(&self, task: TaskId) -> &str {
+        self.task_names
+            .iter()
+            .find(|(t, _)| *t == task)
+            .map(|(_, n)| n.as_str())
+            .unwrap_or("?")
+    }
+
+    /// All task identifiers of the application.
+    pub fn tasks(&self) -> Vec<TaskId> {
+        self.network.tasks()
+    }
+}
+
+/// Parameters of the "two JPEG decoders + Canny" application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JpegCannyParams {
+    /// Picture size of the first JPEG decoder.
+    pub jpeg1: (usize, usize),
+    /// Picture size of the second JPEG decoder (a different format).
+    pub jpeg2: (usize, usize),
+    /// Picture size of the Canny edge detector.
+    pub canny: (usize, usize),
+    /// Canny edge threshold.
+    pub threshold: i32,
+    /// Seed of the synthetic input pictures.
+    pub seed: u64,
+}
+
+impl JpegCannyParams {
+    /// The scale used to regenerate the paper's tables: picture footprints
+    /// large enough that the combined working set far exceeds the 512 KB L2.
+    pub fn paper_scale() -> Self {
+        JpegCannyParams {
+            jpeg1: (384, 256),
+            jpeg2: (256, 192),
+            canny: (384, 256),
+            threshold: 60,
+            seed: 2005,
+        }
+    }
+
+    /// A miniature instance for unit and integration tests.
+    pub fn tiny() -> Self {
+        JpegCannyParams {
+            jpeg1: (48, 32),
+            jpeg2: (32, 32),
+            canny: (32, 24),
+            threshold: 60,
+            seed: 7,
+        }
+    }
+}
+
+impl Default for JpegCannyParams {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+/// Parameters of the MPEG-2 decoder application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mpeg2Params {
+    /// Picture width in pixels (multiple of 16).
+    pub width: usize,
+    /// Picture height in pixels (multiple of 16).
+    pub height: usize,
+    /// Number of coded pictures (first intra, rest inter).
+    pub pictures: usize,
+    /// Seed of the synthetic source sequence.
+    pub seed: u64,
+}
+
+impl Mpeg2Params {
+    /// The scale used to regenerate the paper's tables (CIF pictures).
+    pub fn paper_scale() -> Self {
+        Mpeg2Params {
+            width: 352,
+            height: 288,
+            pictures: 3,
+            seed: 2005,
+        }
+    }
+
+    /// A miniature instance for unit and integration tests.
+    pub fn tiny() -> Self {
+        Mpeg2Params {
+            width: 32,
+            height: 32,
+            pictures: 2,
+            seed: 7,
+        }
+    }
+}
+
+impl Default for Mpeg2Params {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+fn shared_sections(space: &mut AddressSpace) -> Result<SharedSections, WorkloadError> {
+    SharedSections::allocate(space, 8 * 1024, 16 * 1024, 8 * 1024, 16 * 1024)
+}
+
+/// Builds the first application of the paper: two JPEG decoders on
+/// different picture formats plus a Canny edge detector (15 tasks).
+///
+/// # Errors
+///
+/// Returns an error for invalid dimensions or allocation failures.
+pub fn jpeg_canny_app(params: &JpegCannyParams) -> Result<Application, WorkloadError> {
+    let mut space = AddressSpace::new();
+    let sections = shared_sections(&mut space)?;
+    let mut builder = compmem_kpn::NetworkBuilder::new();
+
+    let image1 = SyntheticImage::generate(params.jpeg1.0, params.jpeg1.1, params.seed);
+    let image2 = SyntheticImage::generate(params.jpeg2.0, params.jpeg2.1, params.seed + 1);
+    let canny_image = SyntheticImage::generate(params.canny.0, params.canny.1, params.seed + 2);
+
+    let jpeg1 = build_jpeg_decoder(&mut builder, &mut space, &sections, &image1, "jpeg1")?;
+    let jpeg2 = build_jpeg_decoder(&mut builder, &mut space, &sections, &image2, "jpeg2")?;
+    let canny = build_canny(
+        &mut builder,
+        &mut space,
+        &sections,
+        &canny_image,
+        "canny",
+        params.threshold,
+    )?;
+
+    let network = builder.build()?;
+
+    let task_names = vec![
+        (jpeg1.frontend, "FrontEnd1".to_string()),
+        (jpeg1.idct, "IDCT1".to_string()),
+        (jpeg1.raster, "Raster1".to_string()),
+        (jpeg1.backend, "BackEnd1".to_string()),
+        (jpeg2.frontend, "FrontEnd2".to_string()),
+        (jpeg2.idct, "IDCT2".to_string()),
+        (jpeg2.raster, "Raster2".to_string()),
+        (jpeg2.backend, "BackEnd2".to_string()),
+        (canny.frontend, "Fr.canny".to_string()),
+        (canny.lowpass, "LowPass".to_string()),
+        (canny.horiz_sobel, "HorizSobel".to_string()),
+        (canny.vert_sobel, "VertSobel".to_string()),
+        (canny.horiz_nms, "HorizNMS".to_string()),
+        (canny.vert_nms, "VertNMS".to_string()),
+        (canny.max_threshold, "MaxTreshold".to_string()),
+    ];
+
+    // Static mapping: one JPEG decoder per processor, the Canny pipeline
+    // split over the remaining two.
+    let mapping = TaskMapping::new(vec![
+        vec![jpeg1.frontend, jpeg1.idct, jpeg1.raster, jpeg1.backend],
+        vec![jpeg2.frontend, jpeg2.idct, jpeg2.raster, jpeg2.backend],
+        vec![
+            canny.frontend,
+            canny.lowpass,
+            canny.horiz_sobel,
+            canny.vert_sobel,
+        ],
+        vec![canny.horiz_nms, canny.vert_nms, canny.max_threshold],
+    ]);
+
+    let os_regions = sections.os_regions(&space, OS_TASK, 8);
+    Ok(Application {
+        name: "jpeg_canny".to_string(),
+        space,
+        network,
+        mapping,
+        sections,
+        os_regions,
+        task_names,
+    })
+}
+
+/// Builds the second application of the paper: the MPEG-2 decoder
+/// (13 tasks).
+///
+/// # Errors
+///
+/// Returns an error for invalid dimensions or allocation failures.
+pub fn mpeg2_app(params: &Mpeg2Params) -> Result<Application, WorkloadError> {
+    let mut space = AddressSpace::new();
+    let sections = shared_sections(&mut space)?;
+    let mut builder = compmem_kpn::NetworkBuilder::new();
+    let handles = build_mpeg2_decoder(
+        &mut builder,
+        &mut space,
+        &sections,
+        params.width,
+        params.height,
+        params.pictures,
+        params.seed,
+    )?;
+    let network = builder.build()?;
+
+    let task_names = vec![
+        (handles.input, "input".to_string()),
+        (handles.vld, "vld".to_string()),
+        (handles.hdr, "hdr".to_string()),
+        (handles.isiq, "isiq".to_string()),
+        (handles.mem_man, "memMan".to_string()),
+        (handles.idct, "idct".to_string()),
+        (handles.add, "add".to_string()),
+        (handles.dec_mv, "decMV".to_string()),
+        (handles.predict, "predict".to_string()),
+        (handles.predict_rd, "predictRD".to_string()),
+        (handles.write_mb, "writeMB".to_string()),
+        (handles.store, "store".to_string()),
+        (handles.output, "output".to_string()),
+    ];
+
+    let mapping = TaskMapping::new(vec![
+        vec![handles.input, handles.vld, handles.hdr],
+        vec![handles.isiq, handles.idct, handles.mem_man],
+        vec![handles.dec_mv, handles.predict, handles.predict_rd],
+        vec![
+            handles.add,
+            handles.write_mb,
+            handles.store,
+            handles.output,
+        ],
+    ]);
+
+    let os_regions = sections.os_regions(&space, OS_TASK, 8);
+    Ok(Application {
+        name: "mpeg2".to_string(),
+        space,
+        network,
+        mapping,
+        sections,
+        os_regions,
+        task_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jpeg_canny_app_has_fifteen_tasks_mapped_to_four_processors() {
+        let app = jpeg_canny_app(&JpegCannyParams::tiny()).unwrap();
+        assert_eq!(app.network.task_count(), 15);
+        assert_eq!(app.mapping.task_count(), 15);
+        assert_eq!(app.mapping.processors_used(), 4);
+        assert!(app.mapping.validate(4).is_ok());
+        assert_eq!(app.task_names.len(), 15);
+        assert_eq!(app.task_name(app.task_names[0].0), "FrontEnd1");
+        assert_eq!(app.task_name(TaskId::new(500)), "?");
+        // Regions exist for tasks, FIFOs, frames and the shared sections.
+        assert!(app.space.table().len() > 30);
+        assert!(app.space.table().by_name("app.data").is_some());
+        assert!(app.space.table().by_name("rt.bss").is_some());
+    }
+
+    #[test]
+    fn mpeg2_app_has_thirteen_tasks_mapped_to_four_processors() {
+        let app = mpeg2_app(&Mpeg2Params::tiny()).unwrap();
+        assert_eq!(app.network.task_count(), 13);
+        assert_eq!(app.mapping.task_count(), 13);
+        assert_eq!(app.mapping.processors_used(), 4);
+        assert!(app.mapping.validate(4).is_ok());
+        let names: Vec<&str> = app.task_names.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "input", "vld", "hdr", "isiq", "memMan", "idct", "add", "decMV", "predict",
+                "predictRD", "writeMB", "store", "output"
+            ]
+        );
+    }
+
+    #[test]
+    fn tiny_apps_run_functionally_to_completion() {
+        let mut app = jpeg_canny_app(&JpegCannyParams::tiny()).unwrap();
+        assert!(app.network.run_functional(100_000_000).unwrap());
+        let mut app = mpeg2_app(&Mpeg2Params::tiny()).unwrap();
+        assert!(app.network.run_functional(100_000_000).unwrap());
+    }
+
+    #[test]
+    fn paper_scale_footprints_exceed_the_l2_capacity() {
+        // The combined footprint of each application must exceed the 512 KB
+        // shared L2 for the shared-cache baseline to thrash, as in the paper.
+        let app1 = jpeg_canny_app(&JpegCannyParams::paper_scale()).unwrap();
+        assert!(app1.space.table().total_footprint() > 512 * 1024);
+        let app2 = mpeg2_app(&Mpeg2Params::paper_scale()).unwrap();
+        assert!(app2.space.table().total_footprint() > 512 * 1024);
+    }
+
+    #[test]
+    fn os_task_does_not_collide_with_application_tasks() {
+        let app = mpeg2_app(&Mpeg2Params::tiny()).unwrap();
+        assert!(app.tasks().iter().all(|&t| t != OS_TASK));
+        assert_eq!(app.os_regions.os_task, OS_TASK);
+    }
+}

@@ -1,0 +1,511 @@
+//! The line-based Canny edge-detection task graph.
+//!
+//! Seven tasks, matching the names of Table 1 of the paper: a frontend
+//! (`Fr.canny`) streaming image lines, a low-pass (Gaussian) filter,
+//! horizontal and vertical Sobel gradient filters, horizontal and vertical
+//! non-maximum suppression, and a final maximum/threshold stage writing the
+//! edge map. All 3x3 stages keep a three-line history window in private
+//! memory, which is what gives each task the working set the partitioning
+//! study cares about.
+
+use compmem_kpn::{FireContext, FireResult, FrameId, NetworkBuilder, Process, TaskLayout};
+use compmem_trace::{AddressSpace, RegionKind, ScalarArray, TaskId};
+
+use crate::error::WorkloadError;
+use crate::pixels::SyntheticImage;
+use crate::sections::SharedSections;
+
+/// Task ids and the output frame of one Canny instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CannyHandles {
+    /// Frontend streaming the source picture line by line.
+    pub frontend: TaskId,
+    /// Gaussian low-pass filter.
+    pub lowpass: TaskId,
+    /// Horizontal Sobel gradient.
+    pub horiz_sobel: TaskId,
+    /// Vertical Sobel gradient.
+    pub vert_sobel: TaskId,
+    /// Horizontal non-maximum suppression.
+    pub horiz_nms: TaskId,
+    /// Vertical non-maximum suppression.
+    pub vert_nms: TaskId,
+    /// Maximum / threshold stage.
+    pub max_threshold: TaskId,
+    /// Frame buffer holding the resulting edge map.
+    pub edge_frame: FrameId,
+}
+
+/// Frontend: pushes the source image line by line.
+pub struct FrCanny {
+    task: TaskId,
+    source: ScalarArray,
+    width: usize,
+    height: usize,
+    next_line: usize,
+}
+
+impl Process for FrCanny {
+    fn name(&self) -> &str {
+        "Fr.canny"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if self.next_line == self.height {
+            return FireResult::Finished;
+        }
+        if ctx.space(0) < self.width {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        for x in 0..self.width {
+            let v = self.source.read(ctx, task, self.next_line * self.width + x);
+            ctx.compute(1);
+            ctx.push(0, v);
+        }
+        self.next_line += 1;
+        FireResult::Fired
+    }
+}
+
+/// The 3x3 kernel a [`WindowStage`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowKernel {
+    /// Gaussian blur (1 2 1 / 2 4 2 / 1 2 1) / 16.
+    LowPass,
+    /// Horizontal Sobel gradient magnitude.
+    SobelHoriz,
+    /// Vertical Sobel gradient magnitude.
+    SobelVert,
+    /// Vertical non-maximum suppression (keep values that are column maxima).
+    NmsVert,
+}
+
+impl WindowKernel {
+    fn stage_name(self) -> &'static str {
+        match self {
+            WindowKernel::LowPass => "LowPass",
+            WindowKernel::SobelHoriz => "HorizSobel",
+            WindowKernel::SobelVert => "VertSobel",
+            WindowKernel::NmsVert => "VertNMS",
+        }
+    }
+
+    fn apply(self, window: &[[i32; 3]; 3]) -> i32 {
+        match self {
+            WindowKernel::LowPass => {
+                let w = [[1, 2, 1], [2, 4, 2], [1, 2, 1]];
+                let mut acc = 0;
+                for (r, row) in window.iter().enumerate() {
+                    for (c, &v) in row.iter().enumerate() {
+                        acc += v * w[r][c];
+                    }
+                }
+                acc / 16
+            }
+            WindowKernel::SobelHoriz => {
+                let gx = -window[0][0] + window[0][2] - 2 * window[1][0] + 2 * window[1][2]
+                    - window[2][0]
+                    + window[2][2];
+                gx.abs().min(255)
+            }
+            WindowKernel::SobelVert => {
+                let gy = -window[0][0] - 2 * window[0][1] - window[0][2]
+                    + window[2][0]
+                    + 2 * window[2][1]
+                    + window[2][2];
+                gy.abs().min(255)
+            }
+            WindowKernel::NmsVert => {
+                let v = window[1][1];
+                if v >= window[0][1] && v >= window[2][1] {
+                    v
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// A pipeline stage operating on a sliding three-line window. Each firing
+/// consumes one input line into a private history buffer and, once three
+/// lines are present, produces one output line on every output port.
+pub struct WindowStage {
+    task: TaskId,
+    kernel: WindowKernel,
+    width: usize,
+    history: ScalarArray,
+    lines_in: usize,
+    outputs: usize,
+}
+
+impl Process for WindowStage {
+    fn name(&self) -> &str {
+        self.kernel.stage_name()
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        let width = self.width;
+        if ctx.available(0) < width {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        // Popping this line may immediately trigger an output line; make
+        // sure there is room before consuming anything.
+        let will_emit = self.lines_in + 1 >= 3;
+        if will_emit {
+            for port in 0..self.outputs {
+                if ctx.space(port) < width {
+                    return FireResult::Blocked;
+                }
+            }
+        }
+        let task = self.task;
+        let slot = self.lines_in % 3;
+        for x in 0..width {
+            let v = ctx.pop(0);
+            ctx.compute(1);
+            self.history.write(ctx, task, slot * width + x, v);
+        }
+        self.lines_in += 1;
+        if !will_emit {
+            return FireResult::Fired;
+        }
+        // Rows of the window, oldest first.
+        let newest = (self.lines_in - 1) % 3;
+        let middle = (self.lines_in + 1) % 3;
+        let oldest = self.lines_in % 3;
+        for x in 0..width {
+            let mut window = [[0i32; 3]; 3];
+            for (r, &row_slot) in [oldest, middle, newest].iter().enumerate() {
+                for (c, dx) in (-1i64..=1).enumerate() {
+                    let col = (x as i64 + dx).clamp(0, width as i64 - 1) as usize;
+                    window[r][c] = self.history.read(ctx, task, row_slot * width + col);
+                }
+            }
+            ctx.compute(14);
+            let out = self.kernel.apply(&window);
+            for port in 0..self.outputs {
+                ctx.push(port, out);
+            }
+        }
+        FireResult::Fired
+    }
+}
+
+/// Horizontal non-maximum suppression: a single-line stage that keeps only
+/// values that are maxima among their left/right neighbours.
+pub struct HorizNms {
+    task: TaskId,
+    width: usize,
+    line: ScalarArray,
+}
+
+impl Process for HorizNms {
+    fn name(&self) -> &str {
+        "HorizNMS"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        let width = self.width;
+        if ctx.available(0) < width {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < width {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        for x in 0..width {
+            let v = ctx.pop(0);
+            self.line.write(ctx, task, x, v);
+        }
+        for x in 0..width {
+            let left = self.line.read(ctx, task, x.saturating_sub(1));
+            let v = self.line.read(ctx, task, x);
+            let right = self.line.read(ctx, task, (x + 1).min(width - 1));
+            ctx.compute(6);
+            ctx.push(0, if v >= left && v >= right { v } else { 0 });
+        }
+        FireResult::Fired
+    }
+}
+
+/// Final stage: combines the two suppressed gradients, thresholds and writes
+/// the edge map.
+pub struct MaxThreshold {
+    width: usize,
+    threshold: i32,
+    frame: FrameId,
+    lines_written: usize,
+    max_lines: usize,
+}
+
+impl Process for MaxThreshold {
+    fn name(&self) -> &str {
+        "MaxTreshold"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        let width = self.width;
+        let have_h = ctx.available(0) >= width;
+        let have_v = ctx.available(1) >= width;
+        let h_closed = ctx.input_closed(0);
+        let v_closed = ctx.input_closed(1);
+        if self.lines_written >= self.max_lines || (h_closed && v_closed && !have_h && !have_v) {
+            return FireResult::Finished;
+        }
+        // Combine when both lines are present, or drain the surviving input
+        // once the other stream has ended (the windowed path is two lines
+        // shorter).
+        let mode = if have_h && have_v {
+            2
+        } else if have_h && v_closed {
+            1
+        } else if have_v && h_closed {
+            0
+        } else {
+            return FireResult::Blocked;
+        };
+        let line = self.lines_written;
+        for x in 0..width {
+            let h = if mode != 0 { ctx.pop(0) } else { 0 };
+            let v = if mode != 1 { ctx.pop(1) } else { 0 };
+            ctx.compute(5);
+            let strength = h.max(v);
+            let edge = if strength > self.threshold { 255 } else { 0 };
+            ctx.frame_write(self.frame, line * width + x, edge);
+        }
+        self.lines_written += 1;
+        FireResult::Fired
+    }
+}
+
+/// Adds one Canny edge-detection instance (seven tasks, eight FIFOs, one
+/// edge-map frame buffer) to `builder`, processing `image`.
+///
+/// # Errors
+///
+/// Returns an error if the image is narrower than three pixels or on
+/// allocation failure.
+pub fn build_canny(
+    builder: &mut NetworkBuilder,
+    space: &mut AddressSpace,
+    _sections: &SharedSections,
+    image: &SyntheticImage,
+    prefix: &str,
+    threshold: i32,
+) -> Result<CannyHandles, WorkloadError> {
+    if image.width() < 3 || image.height() < 7 {
+        return Err(WorkloadError::InvalidDimensions {
+            width: image.width(),
+            height: image.height(),
+            reason: "Canny pipeline needs at least a 3x7 picture",
+        });
+    }
+    let width = image.width();
+    let height = image.height();
+
+    // Frontend with the source picture in private data.
+    let fr_task = builder.next_task_id();
+    let fr_layout = TaskLayout::with_code_size(space, &format!("{prefix}.frontend"), fr_task, 3 * 1024)?;
+    let source_region = space.allocate_region(
+        format!("{prefix}.frontend.source"),
+        RegionKind::TaskData { task: fr_task },
+        (width * height) as u64,
+    )?;
+    let mut source = space.array_with_elem_size(source_region, 1)?;
+    for (i, &p) in image.pixels().iter().enumerate() {
+        source.poke(i, p);
+    }
+    let frontend = builder.add_process(
+        Box::new(FrCanny {
+            task: fr_task,
+            source,
+            width,
+            height,
+            next_line: 0,
+        }),
+        fr_layout,
+    );
+
+    let window_stage = |builder: &mut NetworkBuilder,
+                            space: &mut AddressSpace,
+                            kernel: WindowKernel,
+                            outputs: usize,
+                            code: u64|
+     -> Result<TaskId, WorkloadError> {
+        let task = builder.next_task_id();
+        let name = format!("{prefix}.{}", kernel.stage_name().to_lowercase());
+        let layout = TaskLayout::with_code_size(space, &name, task, code)?;
+        let history = space.allocate_region(
+            format!("{name}.history"),
+            RegionKind::TaskBss { task },
+            (3 * width) as u64 * 4,
+        )?;
+        Ok(builder.add_process(
+            Box::new(WindowStage {
+                task,
+                kernel,
+                width,
+                history: space.array(history)?,
+                lines_in: 0,
+                outputs,
+            }),
+            layout,
+        ))
+    };
+
+    let lowpass = window_stage(builder, space, WindowKernel::LowPass, 2, 5 * 1024)?;
+    let horiz_sobel = window_stage(builder, space, WindowKernel::SobelHoriz, 1, 4 * 1024)?;
+    let vert_sobel = window_stage(builder, space, WindowKernel::SobelVert, 1, 4 * 1024)?;
+    let vert_nms = window_stage(builder, space, WindowKernel::NmsVert, 1, 3 * 1024)?;
+
+    let hn_task = builder.next_task_id();
+    let hn_layout = TaskLayout::with_code_size(space, &format!("{prefix}.horiznms"), hn_task, 3 * 1024)?;
+    let hn_line = space.allocate_region(
+        format!("{prefix}.horiznms.line"),
+        RegionKind::TaskBss { task: hn_task },
+        width as u64 * 4,
+    )?;
+    let horiz_nms = builder.add_process(
+        Box::new(HorizNms {
+            task: hn_task,
+            width,
+            line: space.array(hn_line)?,
+        }),
+        hn_layout,
+    );
+
+    let mt_task = builder.next_task_id();
+    let mt_layout =
+        TaskLayout::with_code_size(space, &format!("{prefix}.maxthreshold"), mt_task, 2 * 1024)?;
+    let edge_frame = builder.add_frame(space, &format!("{prefix}.edges"), width * height, 1)?;
+    let max_threshold = builder.add_process(
+        Box::new(MaxThreshold {
+            width,
+            threshold,
+            frame: edge_frame,
+            lines_written: 0,
+            max_lines: height,
+        }),
+        mt_layout,
+    );
+
+    // FIFOs: every edge of the pipeline holds two image lines.
+    let cap = 2 * width;
+    let f_src = builder.add_fifo(space, &format!("{prefix}.src_to_lp"), cap)?;
+    let f_lp_h = builder.add_fifo(space, &format!("{prefix}.lp_to_hsobel"), cap)?;
+    let f_lp_v = builder.add_fifo(space, &format!("{prefix}.lp_to_vsobel"), cap)?;
+    let f_hs = builder.add_fifo(space, &format!("{prefix}.hsobel_to_hnms"), cap)?;
+    let f_vs = builder.add_fifo(space, &format!("{prefix}.vsobel_to_vnms"), cap)?;
+    let f_hn = builder.add_fifo(space, &format!("{prefix}.hnms_to_max"), cap)?;
+    let f_vn = builder.add_fifo(space, &format!("{prefix}.vnms_to_max"), cap)?;
+
+    builder.connect_output(frontend, 0, f_src)?;
+    builder.connect_input(lowpass, 0, f_src)?;
+    builder.connect_output(lowpass, 0, f_lp_h)?;
+    builder.connect_output(lowpass, 1, f_lp_v)?;
+    builder.connect_input(horiz_sobel, 0, f_lp_h)?;
+    builder.connect_input(vert_sobel, 0, f_lp_v)?;
+    builder.connect_output(horiz_sobel, 0, f_hs)?;
+    builder.connect_input(horiz_nms, 0, f_hs)?;
+    builder.connect_output(vert_sobel, 0, f_vs)?;
+    builder.connect_input(vert_nms, 0, f_vs)?;
+    builder.connect_output(horiz_nms, 0, f_hn)?;
+    builder.connect_output(vert_nms, 0, f_vn)?;
+    builder.connect_input(max_threshold, 0, f_hn)?;
+    builder.connect_input(max_threshold, 1, f_vn)?;
+
+    Ok(CannyHandles {
+        frontend,
+        lowpass,
+        horiz_sobel,
+        vert_sobel,
+        horiz_nms,
+        vert_nms,
+        max_threshold,
+        edge_frame,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compmem_kpn::Network;
+
+    fn run(width: usize, height: usize, seed: u64) -> (SyntheticImage, Network, CannyHandles) {
+        let mut space = AddressSpace::new();
+        let sections = SharedSections::allocate(&mut space, 4096, 2048, 1024, 1024).unwrap();
+        let image = SyntheticImage::generate(width, height, seed);
+        let mut builder = NetworkBuilder::new();
+        let handles =
+            build_canny(&mut builder, &mut space, &sections, &image, "canny", 60).unwrap();
+        let mut network = builder.build().unwrap();
+        let finished = network.run_functional(10_000_000).unwrap();
+        assert!(finished, "canny did not finish");
+        (image, network, handles)
+    }
+
+    #[test]
+    fn pipeline_finishes_and_produces_binary_edge_map() {
+        let (_, network, handles) = run(48, 40, 21);
+        let frame = network.frame(handles.edge_frame);
+        let values: Vec<i32> = frame.as_slice().to_vec();
+        assert!(values.iter().all(|&v| v == 0 || v == 255));
+        let edges = values.iter().filter(|&&v| v == 255).count();
+        assert!(edges > 0, "the synthetic image has rectangles, so edges exist");
+        assert!(
+            edges < values.len() / 2,
+            "most of the picture should not be an edge"
+        );
+    }
+
+    #[test]
+    fn kernels_behave_on_simple_windows() {
+        let flat = [[10; 3]; 3];
+        assert_eq!(WindowKernel::LowPass.apply(&flat), 10);
+        assert_eq!(WindowKernel::SobelHoriz.apply(&flat), 0);
+        assert_eq!(WindowKernel::SobelVert.apply(&flat), 0);
+        let step_h = [[0, 0, 100], [0, 0, 100], [0, 0, 100]];
+        assert!(WindowKernel::SobelHoriz.apply(&step_h) > 100);
+        assert_eq!(WindowKernel::SobelVert.apply(&step_h), 0);
+        let step_v = [[0, 0, 0], [0, 0, 0], [100, 100, 100]];
+        assert!(WindowKernel::SobelVert.apply(&step_v) > 100);
+        let peak = [[0, 5, 0], [0, 9, 0], [0, 3, 0]];
+        assert_eq!(WindowKernel::NmsVert.apply(&peak), 9);
+        let not_peak = [[0, 50, 0], [0, 9, 0], [0, 3, 0]];
+        assert_eq!(WindowKernel::NmsVert.apply(&not_peak), 0);
+    }
+
+    #[test]
+    fn firing_counts_follow_line_structure() {
+        let (_, network, handles) = run(32, 24, 4);
+        assert_eq!(network.firings(handles.frontend), 24);
+        assert_eq!(network.firings(handles.lowpass), 24);
+        // Low-pass emits 22 lines, Sobel stages consume them all.
+        assert_eq!(network.firings(handles.horiz_sobel), 22);
+        assert_eq!(network.firings(handles.vert_sobel), 22);
+        assert_eq!(network.firings(handles.horiz_nms), 20);
+        assert_eq!(network.firings(handles.vert_nms), 20);
+        // The threshold stage processes every line at least one path offers.
+        assert!(network.firings(handles.max_threshold) >= 18);
+    }
+
+    #[test]
+    fn tiny_image_is_rejected() {
+        let mut space = AddressSpace::new();
+        let sections = SharedSections::allocate(&mut space, 4096, 2048, 1024, 1024).unwrap();
+        let image = SyntheticImage::generate(2, 4, 1);
+        let mut builder = NetworkBuilder::new();
+        assert!(matches!(
+            build_canny(&mut builder, &mut space, &sections, &image, "c", 60),
+            Err(WorkloadError::InvalidDimensions { .. })
+        ));
+    }
+}

@@ -1,0 +1,222 @@
+//! 8x8 DCT/IDCT, quantisation and zig-zag helpers shared by the JPEG and
+//! MPEG-2 pipelines.
+//!
+//! The transforms are straightforward separable floating-point
+//! implementations rounded to integers; bit-exactness with any particular
+//! standard is not required — what matters for the memory-system study is
+//! that the decoders perform real per-block computation over real
+//! coefficient data so that their private working sets and instruction
+//! counts are representative.
+
+use std::f64::consts::PI;
+
+/// The default luminance quantisation table (the familiar Annex K table of
+/// the JPEG standard), stored in raster order.
+pub const DEFAULT_QUANT_TABLE: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Raster index of the `i`-th coefficient in zig-zag order.
+pub fn zigzag_order() -> [usize; 64] {
+    let mut order = [0usize; 64];
+    let mut idx = 0;
+    for s in 0..15 {
+        // Diagonals alternate direction: even diagonals run from the top
+        // row downwards, odd diagonals from the left column upwards.
+        let coords: Vec<(usize, usize)> = (0..=s)
+            .filter_map(|i| {
+                let (x, y) = (i, s - i);
+                (x < 8 && y < 8).then_some((x, y))
+            })
+            .collect();
+        let iter: Box<dyn Iterator<Item = &(usize, usize)>> = if s % 2 == 0 {
+            Box::new(coords.iter())
+        } else {
+            Box::new(coords.iter().rev())
+        };
+        for &(x, y) in iter {
+            order[idx] = y * 8 + x;
+            idx += 1;
+        }
+    }
+    order
+}
+
+/// Precomputed DCT basis: `basis[k][n] = c(k) * cos((2n+1) k pi / 16)`.
+fn basis_table() -> &'static [[f64; 8]; 8] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f64; 8]; 8]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [[0.0; 8]; 8];
+        for (k, row) in table.iter_mut().enumerate() {
+            let ck = if k == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
+            for (n, cell) in row.iter_mut().enumerate() {
+                *cell = ck * ((2 * n + 1) as f64 * k as f64 * PI / 16.0).cos();
+            }
+        }
+        table
+    })
+}
+
+/// Forward 8x8 DCT of level-shifted samples (raster order in, raster order
+/// out).
+pub fn forward_dct_8x8(samples: &[i32; 64]) -> [i32; 64] {
+    let basis = basis_table();
+    // Separable transform: rows, then columns.
+    let mut rows = [[0.0f64; 8]; 8];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0;
+            for x in 0..8 {
+                acc += f64::from(samples[y * 8 + x]) * basis[u][x];
+            }
+            rows[y][u] = acc;
+        }
+    }
+    let mut out = [0i32; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0;
+            for y in 0..8 {
+                acc += rows[y][u] * basis[v][y];
+            }
+            out[v * 8 + u] = acc.round() as i32;
+        }
+    }
+    out
+}
+
+/// Inverse 8x8 DCT (raster order in, raster order out).
+pub fn idct_8x8(coeffs: &[i32; 64]) -> [i32; 64] {
+    let basis = basis_table();
+    // Separable transform: columns, then rows.
+    let mut cols = [[0.0f64; 8]; 8];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0.0;
+            for v in 0..8 {
+                acc += f64::from(coeffs[v * 8 + u]) * basis[v][y];
+            }
+            cols[u][y] = acc;
+        }
+    }
+    let mut out = [0i32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0;
+            for u in 0..8 {
+                acc += cols[u][y] * basis[u][x];
+            }
+            out[y * 8 + x] = acc.round() as i32;
+        }
+    }
+    out
+}
+
+/// Quantises a coefficient block with the given table (element-wise rounded
+/// division).
+pub fn quantise(coeffs: &[i32; 64], table: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        let q = table[i].max(1);
+        let c = coeffs[i];
+        out[i] = if c >= 0 { (c + q / 2) / q } else { -((-c + q / 2) / q) };
+    }
+    out
+}
+
+/// De-quantises a coefficient block with the given table (element-wise
+/// multiplication).
+pub fn dequantise(quantised: &[i32; 64], table: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        out[i] = quantised[i] * table[i].max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation_starting_at_dc() {
+        let order = zigzag_order();
+        let mut seen = [false; 64];
+        for &i in &order {
+            assert!(!seen[i], "index {i} repeated");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 1, "second zig-zag entry is (1,0) in raster order");
+        assert_eq!(order[2], 8);
+        assert_eq!(order[63], 63);
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let samples = [100i32; 64];
+        let coeffs = forward_dct_8x8(&samples);
+        assert_eq!(coeffs[0], 800, "DC of a flat block is 8 * value");
+        assert!(coeffs[1..].iter().all(|&c| c.abs() <= 1));
+    }
+
+    #[test]
+    fn idct_inverts_dct_within_rounding() {
+        let mut samples = [0i32; 64];
+        for (i, s) in samples.iter_mut().enumerate() {
+            *s = ((i as i32 * 37) % 255) - 128;
+        }
+        let coeffs = forward_dct_8x8(&samples);
+        let back = idct_8x8(&coeffs);
+        for i in 0..64 {
+            assert!(
+                (back[i] - samples[i]).abs() <= 2,
+                "index {i}: {} vs {}",
+                back[i],
+                samples[i]
+            );
+        }
+    }
+
+    #[test]
+    fn quantise_dequantise_roundtrip_bounded_by_table() {
+        let mut coeffs = [0i32; 64];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (i as i32 - 32) * 13;
+        }
+        let q = quantise(&coeffs, &DEFAULT_QUANT_TABLE);
+        let dq = dequantise(&q, &DEFAULT_QUANT_TABLE);
+        for i in 0..64 {
+            assert!(
+                (dq[i] - coeffs[i]).abs() <= DEFAULT_QUANT_TABLE[i] / 2 + 1,
+                "index {i}: {} vs {} (q={})",
+                dq[i],
+                coeffs[i],
+                DEFAULT_QUANT_TABLE[i]
+            );
+        }
+    }
+
+    #[test]
+    fn quantisation_zeroes_small_high_frequencies() {
+        let mut coeffs = [0i32; 64];
+        coeffs[63] = 20; // below the quantisation step of 99
+        coeffs[0] = 400;
+        let q = quantise(&coeffs, &DEFAULT_QUANT_TABLE);
+        assert_eq!(q[63], 0);
+        assert_eq!(q[0], 25);
+    }
+}

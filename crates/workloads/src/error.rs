@@ -1,0 +1,90 @@
+//! Error type of the workloads crate.
+
+use std::error::Error;
+use std::fmt;
+
+use compmem_kpn::KpnError;
+use compmem_trace::TraceError;
+
+/// Errors produced while assembling or running a workload application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// Image dimensions were not usable (zero, or not multiples of the block
+    /// size where the pipeline requires it).
+    InvalidDimensions {
+        /// Width requested.
+        width: usize,
+        /// Height requested.
+        height: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// An underlying process-network error.
+    Kpn(KpnError),
+    /// An underlying address-space error.
+    Trace(TraceError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidDimensions {
+                width,
+                height,
+                reason,
+            } => write!(f, "invalid image dimensions {width}x{height}: {reason}"),
+            WorkloadError::Kpn(e) => write!(f, "process network error: {e}"),
+            WorkloadError::Trace(e) => write!(f, "address space error: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Kpn(e) => Some(e),
+            WorkloadError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KpnError> for WorkloadError {
+    fn from(value: KpnError) -> Self {
+        WorkloadError::Kpn(value)
+    }
+}
+
+impl From<TraceError> for WorkloadError {
+    fn from(value: TraceError) -> Self {
+        WorkloadError::Trace(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: WorkloadError = KpnError::ZeroCapacityFifo {
+            name: "f".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains('f'));
+        assert!(e.source().is_some());
+        let e = WorkloadError::InvalidDimensions {
+            width: 0,
+            height: 8,
+            reason: "width must be non-zero",
+        };
+        assert!(e.to_string().contains("0x8"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WorkloadError>();
+    }
+}

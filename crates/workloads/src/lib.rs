@@ -1,0 +1,52 @@
+//! Functional multimedia workloads for the `compmem` reproduction.
+//!
+//! The evaluation of *"Compositional memory systems for multimedia
+//! communicating tasks"* (Molnos et al., DATE 2005) uses two applications:
+//!
+//! 1. **Two JPEG decoders plus a Canny edge detector** (15 tasks), and
+//! 2. **An MPEG-2 video decoder** (13 tasks),
+//!
+//! both written as YAPI process networks running on a 4-processor CAKE tile.
+//! The original TriMedia binaries are not available, so this crate provides
+//! functional Rust implementations of the same task graphs — same task
+//! names, same pipeline structure, real per-block computation (DCT/IDCT,
+//! quantisation, convolution, non-maximum suppression, motion
+//! compensation) — operating on synthetic input streams. All state lives in
+//! instrumented memory (`compmem-trace`), so the address streams the caches
+//! observe have realistic working sets, strides and communication traffic.
+//!
+//! The top-level entry points are [`apps::jpeg_canny_app`] and
+//! [`apps::mpeg2_app`], which assemble the complete applications (tasks,
+//! FIFOs, frame buffers, shared static sections, run-time-system regions and
+//! the task-to-processor mapping) ready to run on the platform simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use compmem_workloads::apps::{jpeg_canny_app, JpegCannyParams};
+//!
+//! # fn main() -> Result<(), compmem_workloads::WorkloadError> {
+//! // A miniature instance for tests; the defaults reproduce the paper scale.
+//! let params = JpegCannyParams::tiny();
+//! let app = jpeg_canny_app(&params)?;
+//! assert_eq!(app.network.task_count(), 15);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod canny;
+mod dct;
+mod error;
+pub mod jpeg;
+pub mod mpeg2;
+mod pixels;
+mod sections;
+
+pub use dct::{forward_dct_8x8, idct_8x8, quantise, dequantise, zigzag_order, DEFAULT_QUANT_TABLE};
+pub use error::WorkloadError;
+pub use pixels::SyntheticImage;
+pub use sections::SharedSections;

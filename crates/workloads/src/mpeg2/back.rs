@@ -1,0 +1,238 @@
+//! The back half of the MPEG-2 decoder: reconstruction, macroblock
+//! write-back, picture storage and output.
+
+use compmem_kpn::{FireContext, FireResult, FrameId, Process};
+use compmem_trace::{ScalarArray, TaskId};
+
+use super::stream::MacroblockGrid;
+
+/// `add`: adds the IDCT residual to the motion-compensated prediction and
+/// clamps to the sample range.
+pub struct AddTask {
+    pub(super) task: TaskId,
+    pub(super) accum: ScalarArray,
+}
+
+impl Process for AddTask {
+    fn name(&self) -> &str {
+        "add"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 256 || ctx.available(1) < 256 {
+            if ctx.input_closed(0) && ctx.available(0) == 0 && ctx.available(1) == 0 {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 256 {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        for i in 0..256 {
+            let residual = ctx.pop(0);
+            let prediction = ctx.pop(1);
+            ctx.compute(3);
+            let sample = (residual + prediction).clamp(0, 255);
+            self.accum.write(ctx, task, i % self.accum.len(), sample);
+            ctx.push(0, sample);
+        }
+        FireResult::Fired
+    }
+}
+
+/// `writeMB`: writes the reconstructed macroblock into the current frame
+/// store and signals completion to `store`.
+pub struct WriteMb {
+    pub(super) grid: MacroblockGrid,
+    pub(super) decode_frames: [FrameId; 2],
+}
+
+impl Process for WriteMb {
+    fn name(&self) -> &str {
+        "writeMB"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 2 || ctx.available(1) < 256 {
+            if ctx.input_closed(0) && ctx.available(0) == 0 && ctx.available(1) == 0 {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 1 {
+            return FireResult::Blocked;
+        }
+        let current = ctx.pop(0);
+        let mb_index = ctx.pop(0);
+        let (mb_x, mb_y) = self.grid.mb_origin(mb_index as usize);
+        let frame = self.decode_frames[current as usize];
+        for b in 0..4 {
+            let (x0, y0) = self.grid.block_origin(mb_x, mb_y, b);
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let v = ctx.pop(1);
+                    ctx.compute(1);
+                    ctx.frame_write(frame, (y0 + dy) * self.grid.width + (x0 + dx), v);
+                }
+            }
+        }
+        ctx.push(0, mb_index);
+        FireResult::Fired
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StorePhase {
+    /// Collecting macroblock-done tokens of the current picture.
+    Collect,
+    /// Waiting for the memory manager's end-of-picture token.
+    AwaitPicture,
+    /// Copying the decoded picture to the display buffer, one line per
+    /// firing.
+    Copy { frame: i32, line: usize },
+    /// Copy finished; the output task has not been notified yet.
+    Notify,
+}
+
+/// `store`: once a picture is completely reconstructed, copies it from the
+/// decode frame store to the display frame store and notifies `output`.
+pub struct Store {
+    grid: MacroblockGrid,
+    decode_frames: [FrameId; 2],
+    display_frame: FrameId,
+    mbs_done: usize,
+    pictures_done: i32,
+    phase: StorePhase,
+}
+
+impl Store {
+    pub(super) fn new(
+        grid: MacroblockGrid,
+        decode_frames: [FrameId; 2],
+        display_frame: FrameId,
+    ) -> Self {
+        Store {
+            grid,
+            decode_frames,
+            display_frame,
+            mbs_done: 0,
+            pictures_done: 0,
+            phase: StorePhase::Collect,
+        }
+    }
+}
+
+impl Process for Store {
+    fn name(&self) -> &str {
+        "store"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        match self.phase {
+            StorePhase::Copy { frame, line } => {
+                let width = self.grid.width;
+                for x in 0..width {
+                    let v = ctx.frame_read(self.decode_frames[frame as usize], line * width + x);
+                    ctx.compute(1);
+                    ctx.frame_write(self.display_frame, line * width + x, v);
+                }
+                let next = line + 1;
+                self.phase = if next == self.grid.height {
+                    StorePhase::Notify
+                } else {
+                    StorePhase::Copy { frame, line: next }
+                };
+                FireResult::Fired
+            }
+            StorePhase::Notify => {
+                if ctx.space(0) < 1 {
+                    return FireResult::Blocked;
+                }
+                ctx.push(0, self.pictures_done);
+                self.pictures_done += 1;
+                self.phase = StorePhase::Collect;
+                FireResult::Fired
+            }
+            StorePhase::AwaitPicture => {
+                if ctx.available(1) < 1 {
+                    return FireResult::Blocked;
+                }
+                let frame = ctx.pop(1);
+                ctx.compute(2);
+                self.phase = StorePhase::Copy { frame, line: 0 };
+                FireResult::Fired
+            }
+            StorePhase::Collect => {
+                let available = ctx.available(0);
+                if available == 0 {
+                    if ctx.input_closed(0) && ctx.input_closed(1) && self.mbs_done == 0 {
+                        return FireResult::Finished;
+                    }
+                    return FireResult::Blocked;
+                }
+                let needed = self.grid.mbs_per_picture() - self.mbs_done;
+                let take = available.min(needed);
+                for _ in 0..take {
+                    let _ = ctx.pop(0);
+                    ctx.compute(1);
+                }
+                self.mbs_done += take;
+                if self.mbs_done == self.grid.mbs_per_picture() {
+                    self.mbs_done = 0;
+                    self.phase = StorePhase::AwaitPicture;
+                }
+                FireResult::Fired
+            }
+        }
+    }
+}
+
+/// `output`: consumes the display frame line by line (the video output /
+/// display refresh of the decoder case study) and keeps a running checksum
+/// in private data.
+pub struct Output {
+    pub(super) task: TaskId,
+    pub(super) grid: MacroblockGrid,
+    pub(super) display_frame: FrameId,
+    pub(super) checksum: ScalarArray,
+    pub(super) current_line: Option<usize>,
+    pub(super) frames_emitted: i32,
+}
+
+impl Process for Output {
+    fn name(&self) -> &str {
+        "output"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        let task = self.task;
+        if let Some(line) = self.current_line {
+            let width = self.grid.width;
+            let mut sum = self.checksum.read(ctx, task, 0);
+            for x in 0..width {
+                let v = ctx.frame_read(self.display_frame, line * width + x);
+                ctx.compute(2);
+                sum = (sum + v) & 0x7fff_ffff;
+            }
+            self.checksum.write(ctx, task, 0, sum);
+            let next = line + 1;
+            self.current_line = (next < self.grid.height).then_some(next);
+            if self.current_line.is_none() {
+                self.frames_emitted += 1;
+                self.checksum.write(ctx, task, 1, self.frames_emitted);
+            }
+            return FireResult::Fired;
+        }
+        if ctx.available(0) < 1 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        let _picture = ctx.pop(0);
+        ctx.compute(4);
+        self.current_line = Some(0);
+        FireResult::Fired
+    }
+}

@@ -1,0 +1,219 @@
+//! The front half of the MPEG-2 decoder: stream input, header parsing,
+//! variable-length decoding, inverse scan/quantisation and the IDCT.
+
+use compmem_kpn::{FireContext, FireResult, Process};
+use compmem_trace::{ScalarArray, TaskId};
+
+use crate::dct::idct_8x8;
+use crate::sections::{APP_DATA_QUANT_OFFSET, APP_DATA_ZIGZAG_OFFSET};
+
+use super::stream::RECORD_LEN;
+
+/// `input`: replays the coded stream, one macroblock record per firing.
+///
+/// Output port 0 carries the three header values to `hdr`; output port 1
+/// carries the 256 quantised coefficients to `vld`.
+pub struct Input {
+    pub(super) task: TaskId,
+    pub(super) stream: ScalarArray,
+    pub(super) next_record: usize,
+    pub(super) total_records: usize,
+}
+
+impl Process for Input {
+    fn name(&self) -> &str {
+        "input"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if self.next_record == self.total_records {
+            return FireResult::Finished;
+        }
+        if ctx.space(0) < 3 || ctx.space(1) < 256 {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        let base = self.next_record * RECORD_LEN;
+        for i in 0..3 {
+            let v = self.stream.read(ctx, task, base + i);
+            ctx.compute(1);
+            ctx.push(0, v);
+        }
+        for i in 0..256 {
+            let v = self.stream.read(ctx, task, base + 3 + i);
+            ctx.compute(1);
+            ctx.push(1, v);
+        }
+        self.next_record += 1;
+        FireResult::Fired
+    }
+}
+
+/// `hdr`: parses macroblock headers and fans the side information out to the
+/// motion-vector decoder (port 0) and the memory manager (port 1).
+pub struct Hdr {
+    pub(super) task: TaskId,
+    pub(super) state: ScalarArray,
+    pub(super) mb_counter: i32,
+    pub(super) mbs_per_picture: i32,
+}
+
+impl Process for Hdr {
+    fn name(&self) -> &str {
+        "hdr"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 3 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 3 || ctx.space(1) < 2 {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        let mb_type = ctx.pop(0);
+        let mv_x = ctx.pop(0);
+        let mv_y = ctx.pop(0);
+        // Picture/slice state bookkeeping in private data.
+        let pictures = self.state.read(ctx, task, 0);
+        self.state.write(ctx, task, 1, mb_type);
+        self.state.write(ctx, task, 2, self.mb_counter);
+        ctx.compute(8);
+        let mb_in_picture = self.mb_counter % self.mbs_per_picture;
+        if mb_in_picture == self.mbs_per_picture - 1 {
+            self.state.write(ctx, task, 0, pictures + 1);
+        }
+        ctx.push_all(0, &[mb_type, mv_x, mv_y]);
+        ctx.push_all(1, &[mb_in_picture, mb_type]);
+        self.mb_counter += 1;
+        FireResult::Fired
+    }
+}
+
+/// `vld`: variable-length decoding, modelled as a table-driven expansion of
+/// the coefficient stream through a private VLC table and block buffer.
+pub struct Vld {
+    pub(super) task: TaskId,
+    pub(super) vlc_table: ScalarArray,
+    pub(super) block: ScalarArray,
+}
+
+impl Process for Vld {
+    fn name(&self) -> &str {
+        "vld"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 256 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 256 {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        for i in 0..256 {
+            let v = ctx.pop(0);
+            let _code = self
+                .vlc_table
+                .read(ctx, task, (v.unsigned_abs() as usize) % self.vlc_table.len());
+            ctx.compute(4);
+            self.block.write(ctx, task, i, v);
+        }
+        for i in 0..256 {
+            let v = self.block.read(ctx, task, i);
+            ctx.push(0, v);
+        }
+        FireResult::Fired
+    }
+}
+
+/// `isiq`: inverse scan (de-zig-zag) and inverse quantisation using the
+/// shared tables in `app.data`.
+pub struct Isiq {
+    pub(super) task: TaskId,
+    pub(super) tables: ScalarArray,
+    pub(super) block: ScalarArray,
+}
+
+impl Process for Isiq {
+    fn name(&self) -> &str {
+        "isiq"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 256 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 256 {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        for b in 0..4 {
+            for i in 0..64 {
+                let v = ctx.pop(0);
+                let raster = self.tables.read(ctx, task, APP_DATA_ZIGZAG_OFFSET + i) as usize;
+                let quant = self.tables.read(ctx, task, APP_DATA_QUANT_OFFSET + raster);
+                ctx.compute(3);
+                self.block.write(ctx, task, b * 64 + raster % 64, v * quant);
+            }
+        }
+        for i in 0..256 {
+            let v = self.block.read(ctx, task, i);
+            ctx.push(0, v);
+        }
+        FireResult::Fired
+    }
+}
+
+/// `idct`: one inverse 8x8 DCT per firing over a private work buffer,
+/// producing residual samples (no level shift — the `add` task combines the
+/// residual with the prediction).
+pub struct IdctMb {
+    pub(super) task: TaskId,
+    pub(super) work: ScalarArray,
+}
+
+impl Process for IdctMb {
+    fn name(&self) -> &str {
+        "idct"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 64 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 64 {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        let mut coeffs = [0i32; 64];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = ctx.pop(0);
+            self.work.write(ctx, task, i, *c);
+        }
+        for i in 0..64 {
+            let v = self.work.read(ctx, task, i);
+            ctx.compute(8);
+            self.work.write(ctx, task, 64 + i, v);
+        }
+        let samples = idct_8x8(&coeffs);
+        for i in 0..64 {
+            let _ = self.work.read(ctx, task, 64 + i);
+            ctx.compute(8);
+            ctx.push(0, samples[i]);
+        }
+        FireResult::Fired
+    }
+}

@@ -1,0 +1,462 @@
+//! The MPEG-2 video decoder task graph (13 tasks), matching the task names
+//! of Table 2 of the paper: `input`, `vld`, `hdr`, `isiq`, `memMan`,
+//! `idct`, `add`, `decMV`, `predict`, `predictRD`, `writeMB`, `store` and
+//! `output`.
+//!
+//! The decoder is functional: a synthetic encoder ([`stream`]) produces a
+//! coded sequence (one intra picture followed by motion-compensated inter
+//! pictures); the thirteen tasks reconstruct the pictures through two decode
+//! frame stores and a display frame store, generating the communication and
+//! working-set traffic of the van der Wolf MPEG-2 case study the paper uses.
+//! Simplifications relative to a standards-compliant decoder (luma only,
+//! full-pel motion, one global motion vector) are documented in DESIGN.md;
+//! they do not change which memory-active entities exist nor the shape of
+//! their traffic.
+
+pub mod stream;
+
+mod back;
+mod front;
+mod motion;
+
+pub use back::{AddTask, Output, Store, WriteMb};
+pub use front::{Hdr, IdctMb, Input, Isiq, Vld};
+pub use motion::{DecMv, MemMan, Predict, PredictRd};
+pub use stream::{encode_stream, generate_source_frames, MacroblockGrid, MB_INTER, MB_INTRA, RECORD_LEN};
+
+use compmem_kpn::{FrameId, NetworkBuilder, TaskLayout};
+use compmem_trace::{AddressSpace, RegionKind, TaskId};
+
+use crate::error::WorkloadError;
+use crate::sections::SharedSections;
+
+/// Task ids, frame stores and geometry of one MPEG-2 decoder instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mpeg2Handles {
+    /// The `input` task.
+    pub input: TaskId,
+    /// The `vld` task.
+    pub vld: TaskId,
+    /// The `hdr` task.
+    pub hdr: TaskId,
+    /// The `isiq` task.
+    pub isiq: TaskId,
+    /// The `memMan` task.
+    pub mem_man: TaskId,
+    /// The `idct` task.
+    pub idct: TaskId,
+    /// The `add` task.
+    pub add: TaskId,
+    /// The `decMV` task.
+    pub dec_mv: TaskId,
+    /// The `predict` task.
+    pub predict: TaskId,
+    /// The `predictRD` task.
+    pub predict_rd: TaskId,
+    /// The `writeMB` task.
+    pub write_mb: TaskId,
+    /// The `store` task.
+    pub store: TaskId,
+    /// The `output` task.
+    pub output: TaskId,
+    /// The two decode (reconstruction/reference) frame stores.
+    pub decode_frames: [FrameId; 2],
+    /// The display frame store read by `output`.
+    pub display_frame: FrameId,
+    /// Macroblock grid of the decoded pictures.
+    pub grid: MacroblockGrid,
+    /// Number of coded pictures in the stream.
+    pub pictures: usize,
+}
+
+/// Adds a complete MPEG-2 decoder (13 tasks, 17 FIFOs, 3 frame stores) to
+/// `builder`, decoding `pictures` pictures of `width` x `height` pixels.
+///
+/// # Errors
+///
+/// Returns an error if the dimensions are not positive multiples of 16, if
+/// `pictures` is zero, or on allocation failure.
+pub fn build_mpeg2_decoder(
+    builder: &mut NetworkBuilder,
+    space: &mut AddressSpace,
+    sections: &SharedSections,
+    width: usize,
+    height: usize,
+    pictures: usize,
+    seed: u64,
+) -> Result<Mpeg2Handles, WorkloadError> {
+    if width == 0 || height == 0 || width % 16 != 0 || height % 16 != 0 {
+        return Err(WorkloadError::InvalidDimensions {
+            width,
+            height,
+            reason: "MPEG-2 pipeline requires positive multiples of 16",
+        });
+    }
+    if pictures == 0 {
+        return Err(WorkloadError::InvalidDimensions {
+            width,
+            height,
+            reason: "at least one picture is required",
+        });
+    }
+    let grid = MacroblockGrid::new(width, height);
+    let motion = (2, 1);
+    let source_frames = generate_source_frames(grid, pictures, seed, motion);
+    let coded = encode_stream(&source_frames, grid, motion);
+    let total_records = pictures * grid.mbs_per_picture();
+
+    // Frame stores (communication buffers in the paper's sense).
+    let decode0 = builder.add_frame(space, "mpeg2.decode0", grid.pixels_per_picture(), 1)?;
+    let decode1 = builder.add_frame(space, "mpeg2.decode1", grid.pixels_per_picture(), 1)?;
+    let display = builder.add_frame(space, "mpeg2.display", grid.pixels_per_picture(), 1)?;
+    let decode_frames = [decode0, decode1];
+
+    // Small helper to allocate a private bss array.
+    let bss = |space: &mut AddressSpace,
+                   name: String,
+                   task: TaskId,
+                   bytes: u64|
+     -> Result<compmem_trace::ScalarArray, WorkloadError> {
+        let region = space.allocate_region(name, RegionKind::TaskBss { task }, bytes)?;
+        Ok(space.array(region)?)
+    };
+
+    // input
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.input", t, 4 * 1024)?;
+    let stream_region = space.allocate_region(
+        "mpeg2.input.stream",
+        RegionKind::TaskData { task: t },
+        coded.len() as u64 * 2,
+    )?;
+    let mut stream_array = space.array_with_elem_size(stream_region, 2)?;
+    for (i, &v) in coded.iter().enumerate() {
+        stream_array.poke(i, v);
+    }
+    let input = builder.add_process(
+        Box::new(Input {
+            task: t,
+            stream: stream_array,
+            next_record: 0,
+            total_records,
+        }),
+        layout,
+    );
+
+    // vld
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.vld", t, 12 * 1024)?;
+    let vlc_region = space.allocate_region(
+        "mpeg2.vld.table",
+        RegionKind::TaskData { task: t },
+        256 * 4,
+    )?;
+    let mut vlc_table = space.array(vlc_region)?;
+    for i in 0..256 {
+        vlc_table.poke(i, (i as i32 * 7 + 3) & 0xff);
+    }
+    let vld = builder.add_process(
+        Box::new(Vld {
+            task: t,
+            vlc_table,
+            block: bss(space, "mpeg2.vld.block".to_string(), t, 256 * 4)?,
+        }),
+        layout,
+    );
+
+    // hdr
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.hdr", t, 6 * 1024)?;
+    let hdr = builder.add_process(
+        Box::new(Hdr {
+            task: t,
+            state: bss(space, "mpeg2.hdr.state".to_string(), t, 64)?,
+            mb_counter: 0,
+            mbs_per_picture: grid.mbs_per_picture() as i32,
+        }),
+        layout,
+    );
+
+    // isiq
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.isiq", t, 6 * 1024)?;
+    let isiq = builder.add_process(
+        Box::new(Isiq {
+            task: t,
+            tables: sections.app_data_tables(space)?,
+            block: bss(space, "mpeg2.isiq.block".to_string(), t, 256 * 4)?,
+        }),
+        layout,
+    );
+
+    // memMan
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.memman", t, 4 * 1024)?;
+    let mem_man = builder.add_process(
+        Box::new(MemMan {
+            task: t,
+            frame_table: bss(space, "mpeg2.memman.table".to_string(), t, 64)?,
+            mbs_per_picture: grid.mbs_per_picture() as i32,
+            current_frame: 0,
+        }),
+        layout,
+    );
+
+    // idct
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.idct", t, 8 * 1024)?;
+    let idct = builder.add_process(
+        Box::new(IdctMb {
+            task: t,
+            work: bss(space, "mpeg2.idct.work".to_string(), t, 128 * 4)?,
+        }),
+        layout,
+    );
+
+    // add
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.add", t, 3 * 1024)?;
+    let add = builder.add_process(
+        Box::new(AddTask {
+            task: t,
+            accum: bss(space, "mpeg2.add.accum".to_string(), t, 64 * 4)?,
+        }),
+        layout,
+    );
+
+    // decMV
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.decmv", t, 4 * 1024)?;
+    let dec_mv = builder.add_process(
+        Box::new(DecMv {
+            task: t,
+            mv_state: bss(space, "mpeg2.decmv.state".to_string(), t, 64)?,
+        }),
+        layout,
+    );
+
+    // predict
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.predict", t, 8 * 1024)?;
+    let predict = builder.add_process(
+        Box::new(Predict {
+            task: t,
+            work: bss(space, "mpeg2.predict.work".to_string(), t, 256 * 4)?,
+        }),
+        layout,
+    );
+
+    // predictRD
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.predictrd", t, 4 * 1024)?;
+    let predict_rd = builder.add_process(
+        Box::new(PredictRd {
+            grid,
+            decode_frames,
+        }),
+        layout,
+    );
+
+    // writeMB
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.writemb", t, 4 * 1024)?;
+    let write_mb = builder.add_process(
+        Box::new(WriteMb {
+            grid,
+            decode_frames,
+        }),
+        layout,
+    );
+
+    // store
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.store", t, 3 * 1024)?;
+    let store = builder.add_process(
+        Box::new(Store::new(grid, decode_frames, display)),
+        layout,
+    );
+
+    // output
+    let t = builder.next_task_id();
+    let layout = TaskLayout::with_code_size(space, "mpeg2.output", t, 3 * 1024)?;
+    let output = builder.add_process(
+        Box::new(Output {
+            task: t,
+            grid,
+            display_frame: display,
+            checksum: bss(space, "mpeg2.output.checksum".to_string(), t, 64)?,
+            current_line: None,
+            frames_emitted: 0,
+        }),
+        layout,
+    );
+
+    // FIFOs.
+    let f_in_hdr = builder.add_fifo(space, "mpeg2.in_to_hdr", 32)?;
+    let f_in_vld = builder.add_fifo(space, "mpeg2.in_to_vld", 512)?;
+    let f_hdr_decmv = builder.add_fifo(space, "mpeg2.hdr_to_decmv", 32)?;
+    let f_hdr_memman = builder.add_fifo(space, "mpeg2.hdr_to_memman", 32)?;
+    let f_vld_isiq = builder.add_fifo(space, "mpeg2.vld_to_isiq", 512)?;
+    let f_isiq_idct = builder.add_fifo(space, "mpeg2.isiq_to_idct", 512)?;
+    let f_idct_add = builder.add_fifo(space, "mpeg2.idct_to_add", 512)?;
+    let f_decmv_predict = builder.add_fifo(space, "mpeg2.decmv_to_predict", 32)?;
+    let f_decmv_predictrd = builder.add_fifo(space, "mpeg2.decmv_to_predictrd", 32)?;
+    let f_memman_predictrd = builder.add_fifo(space, "mpeg2.memman_to_predictrd", 32)?;
+    let f_memman_writemb = builder.add_fifo(space, "mpeg2.memman_to_writemb", 32)?;
+    let f_memman_store = builder.add_fifo(space, "mpeg2.memman_to_store", 8)?;
+    let f_predictrd_predict = builder.add_fifo(space, "mpeg2.predictrd_to_predict", 512)?;
+    let f_predict_add = builder.add_fifo(space, "mpeg2.predict_to_add", 512)?;
+    let f_add_writemb = builder.add_fifo(space, "mpeg2.add_to_writemb", 512)?;
+    let f_writemb_store = builder.add_fifo(space, "mpeg2.writemb_to_store", 64)?;
+    let f_store_output = builder.add_fifo(space, "mpeg2.store_to_output", 8)?;
+
+    builder.connect_output(input, 0, f_in_hdr)?;
+    builder.connect_output(input, 1, f_in_vld)?;
+    builder.connect_input(hdr, 0, f_in_hdr)?;
+    builder.connect_output(hdr, 0, f_hdr_decmv)?;
+    builder.connect_output(hdr, 1, f_hdr_memman)?;
+    builder.connect_input(vld, 0, f_in_vld)?;
+    builder.connect_output(vld, 0, f_vld_isiq)?;
+    builder.connect_input(isiq, 0, f_vld_isiq)?;
+    builder.connect_output(isiq, 0, f_isiq_idct)?;
+    builder.connect_input(idct, 0, f_isiq_idct)?;
+    builder.connect_output(idct, 0, f_idct_add)?;
+    builder.connect_input(dec_mv, 0, f_hdr_decmv)?;
+    builder.connect_output(dec_mv, 0, f_decmv_predict)?;
+    builder.connect_output(dec_mv, 1, f_decmv_predictrd)?;
+    builder.connect_input(mem_man, 0, f_hdr_memman)?;
+    builder.connect_output(mem_man, 0, f_memman_predictrd)?;
+    builder.connect_output(mem_man, 1, f_memman_writemb)?;
+    builder.connect_output(mem_man, 2, f_memman_store)?;
+    builder.connect_input(predict_rd, 0, f_decmv_predictrd)?;
+    builder.connect_input(predict_rd, 1, f_memman_predictrd)?;
+    builder.connect_output(predict_rd, 0, f_predictrd_predict)?;
+    builder.connect_input(predict, 0, f_decmv_predict)?;
+    builder.connect_input(predict, 1, f_predictrd_predict)?;
+    builder.connect_output(predict, 0, f_predict_add)?;
+    builder.connect_input(add, 0, f_idct_add)?;
+    builder.connect_input(add, 1, f_predict_add)?;
+    builder.connect_output(add, 0, f_add_writemb)?;
+    builder.connect_input(write_mb, 0, f_memman_writemb)?;
+    builder.connect_input(write_mb, 1, f_add_writemb)?;
+    builder.connect_output(write_mb, 0, f_writemb_store)?;
+    builder.connect_input(store, 0, f_writemb_store)?;
+    builder.connect_input(store, 1, f_memman_store)?;
+    builder.connect_output(store, 0, f_store_output)?;
+    builder.connect_input(output, 0, f_store_output)?;
+
+    Ok(Mpeg2Handles {
+        input,
+        vld,
+        hdr,
+        isiq,
+        mem_man,
+        idct,
+        add,
+        dec_mv,
+        predict,
+        predict_rd,
+        write_mb,
+        store,
+        output,
+        decode_frames,
+        display_frame: display,
+        grid,
+        pictures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compmem_kpn::Network;
+
+    fn decode(
+        width: usize,
+        height: usize,
+        pictures: usize,
+        seed: u64,
+    ) -> (Vec<Vec<i32>>, Network, Mpeg2Handles) {
+        let mut space = AddressSpace::new();
+        let sections = SharedSections::allocate(&mut space, 4096, 2048, 1024, 1024).unwrap();
+        let mut builder = NetworkBuilder::new();
+        let handles = build_mpeg2_decoder(
+            &mut builder,
+            &mut space,
+            &sections,
+            width,
+            height,
+            pictures,
+            seed,
+        )
+        .unwrap();
+        let grid = MacroblockGrid::new(width, height);
+        let source = generate_source_frames(grid, pictures, seed, (2, 1));
+        let mut network = builder.build().unwrap();
+        let finished = network.run_functional(100_000_000).unwrap();
+        assert!(finished, "mpeg2 decoder did not finish");
+        (source, network, handles)
+    }
+
+    #[test]
+    fn intra_picture_reconstructs_the_source() {
+        let (source, network, handles) = decode(32, 32, 1, 17);
+        // With a single picture the display buffer holds the intra picture.
+        let display = network.frame(handles.display_frame);
+        let mut total_err = 0i64;
+        for (i, &orig) in source[0].iter().enumerate() {
+            total_err += i64::from((display.peek(i) - orig).abs());
+        }
+        let mean = total_err as f64 / source[0].len() as f64;
+        assert!(mean < 12.0, "intra reconstruction error {mean} too large");
+    }
+
+    #[test]
+    fn inter_pictures_track_the_moving_source() {
+        let (source, network, handles) = decode(48, 32, 3, 5);
+        let display = network.frame(handles.display_frame);
+        let last = source.last().unwrap();
+        let mut total_err = 0i64;
+        for (i, &orig) in last.iter().enumerate() {
+            total_err += i64::from((display.peek(i) - orig).abs());
+        }
+        let mean = total_err as f64 / last.len() as f64;
+        assert!(
+            mean < 15.0,
+            "motion-compensated reconstruction error {mean} too large"
+        );
+    }
+
+    #[test]
+    fn firing_counts_match_macroblock_structure() {
+        let (_, network, handles) = decode(32, 32, 2, 3);
+        let grid = MacroblockGrid::new(32, 32);
+        let mbs = (grid.mbs_per_picture() * 2) as u64;
+        assert_eq!(network.firings(handles.input), mbs);
+        assert_eq!(network.firings(handles.vld), mbs);
+        assert_eq!(network.firings(handles.isiq), mbs);
+        assert_eq!(network.firings(handles.idct), mbs * 4);
+        assert_eq!(network.firings(handles.add), mbs);
+        assert_eq!(network.firings(handles.write_mb), mbs);
+        assert_eq!(network.firings(handles.dec_mv), mbs);
+        assert_eq!(network.firings(handles.predict_rd), mbs);
+        // store: collect firings + await + one copy firing per line + notify.
+        assert!(network.firings(handles.store) >= 2 * (32 + 2));
+        assert!(network.firings(handles.output) >= 2 * 32);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut space = AddressSpace::new();
+        let sections = SharedSections::allocate(&mut space, 4096, 2048, 1024, 1024).unwrap();
+        let mut builder = NetworkBuilder::new();
+        assert!(matches!(
+            build_mpeg2_decoder(&mut builder, &mut space, &sections, 40, 32, 1, 1),
+            Err(WorkloadError::InvalidDimensions { .. })
+        ));
+        assert!(matches!(
+            build_mpeg2_decoder(&mut builder, &mut space, &sections, 32, 32, 0, 1),
+            Err(WorkloadError::InvalidDimensions { .. })
+        ));
+    }
+}

@@ -1,0 +1,191 @@
+//! The motion-compensation half of the MPEG-2 decoder: motion-vector
+//! decoding, frame-buffer management, reference reads and prediction.
+
+use compmem_kpn::{FireContext, FireResult, FrameId, Process};
+use compmem_trace::{ScalarArray, TaskId};
+
+use super::stream::{MacroblockGrid, MB_INTRA};
+
+/// `decMV`: reconstructs motion vectors (differential decoding against the
+/// previous macroblock's vector kept in private state) and forwards them to
+/// the prediction tasks.
+pub struct DecMv {
+    pub(super) task: TaskId,
+    pub(super) mv_state: ScalarArray,
+}
+
+impl Process for DecMv {
+    fn name(&self) -> &str {
+        "decMV"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 3 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 3 || ctx.space(1) < 3 {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        let mb_type = ctx.pop(0);
+        let mv_x = ctx.pop(0);
+        let mv_y = ctx.pop(0);
+        let prev_x = self.mv_state.read(ctx, task, 0);
+        let prev_y = self.mv_state.read(ctx, task, 1);
+        ctx.compute(10);
+        // The synthetic stream carries absolute vectors; the differential
+        // bookkeeping still produces the private-state traffic of a real
+        // decoder.
+        let _ = (prev_x, prev_y);
+        self.mv_state.write(ctx, task, 0, mv_x);
+        self.mv_state.write(ctx, task, 1, mv_y);
+        ctx.push_all(0, &[mb_type, mv_x, mv_y]);
+        ctx.push_all(1, &[mb_type, mv_x, mv_y]);
+        FireResult::Fired
+    }
+}
+
+/// `memMan`: decides which physical frame store holds the current and the
+/// reference picture, and signals picture completion to `store`.
+pub struct MemMan {
+    pub(super) task: TaskId,
+    pub(super) frame_table: ScalarArray,
+    pub(super) mbs_per_picture: i32,
+    pub(super) current_frame: i32,
+}
+
+impl Process for MemMan {
+    fn name(&self) -> &str {
+        "memMan"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 2 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 2 || ctx.space(1) < 2 || ctx.space(2) < 1 {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        let mb_index = ctx.pop(0);
+        let mb_type = ctx.pop(0);
+        let cur = self.current_frame;
+        let reference = 1 - cur;
+        // Frame-state bookkeeping (allocation table of the memory manager).
+        let uses = self.frame_table.read(ctx, task, cur as usize);
+        self.frame_table.write(ctx, task, cur as usize, uses + 1);
+        self.frame_table.write(ctx, task, 4 + mb_type as usize, mb_index);
+        ctx.compute(8);
+        ctx.push_all(0, &[reference, mb_index]);
+        ctx.push_all(1, &[cur, mb_index]);
+        if mb_index == self.mbs_per_picture - 1 {
+            ctx.push(2, cur);
+            self.current_frame = reference;
+        }
+        FireResult::Fired
+    }
+}
+
+/// `predictRD`: reads the reference macroblock samples for the motion
+/// compensation from the reference frame store (the "prediction read"
+/// helper task of the paper's decoder).
+pub struct PredictRd {
+    pub(super) grid: MacroblockGrid,
+    pub(super) decode_frames: [FrameId; 2],
+}
+
+impl Process for PredictRd {
+    fn name(&self) -> &str {
+        "predictRD"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 3 || ctx.available(1) < 2 {
+            if ctx.input_closed(0) && ctx.available(0) == 0 {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 256 {
+            return FireResult::Blocked;
+        }
+        let mb_type = ctx.pop(0);
+        let mv_x = ctx.pop(0);
+        let mv_y = ctx.pop(0);
+        let reference = ctx.pop(1);
+        let mb_index = ctx.pop(1);
+        let (mb_x, mb_y) = self.grid.mb_origin(mb_index as usize);
+        if mb_type == MB_INTRA {
+            for _ in 0..256 {
+                ctx.compute(1);
+                ctx.push(0, 0);
+            }
+            return FireResult::Fired;
+        }
+        let frame = self.decode_frames[reference as usize];
+        let width = self.grid.width as i32;
+        let height = self.grid.height as i32;
+        for b in 0..4 {
+            let (x0, y0) = self.grid.block_origin(mb_x, mb_y, b);
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    // Same convention as the encoder: the predictor of (x, y)
+                    // is the reference sample at (x - mv_x, y - mv_y).
+                    let sx = ((x0 + dx) as i32 - mv_x).clamp(0, width - 1) as usize;
+                    let sy = ((y0 + dy) as i32 - mv_y).clamp(0, height - 1) as usize;
+                    let v = ctx.frame_read(frame, sy * self.grid.width + sx);
+                    ctx.compute(2);
+                    ctx.push(0, v);
+                }
+            }
+        }
+        FireResult::Fired
+    }
+}
+
+/// `predict`: forms the final prediction (rounding / interpolation pass over
+/// the reference samples delivered by `predictRD`).
+pub struct Predict {
+    pub(super) task: TaskId,
+    pub(super) work: ScalarArray,
+}
+
+impl Process for Predict {
+    fn name(&self) -> &str {
+        "predict"
+    }
+
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 3 || ctx.available(1) < 256 {
+            if ctx.input_closed(0) && ctx.available(0) == 0 && ctx.available(1) == 0 {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 256 {
+            return FireResult::Blocked;
+        }
+        let task = self.task;
+        let _mb_type = ctx.pop(0);
+        let mv_x = ctx.pop(0);
+        let mv_y = ctx.pop(0);
+        // Rounding control of the (here full-pel) interpolation.
+        let rounding = (mv_x & 1) + (mv_y & 1);
+        for i in 0..256 {
+            let v = ctx.pop(1);
+            ctx.compute(3);
+            self.work.write(ctx, task, i, v + rounding / 2);
+        }
+        for i in 0..256 {
+            let v = self.work.read(ctx, task, i);
+            ctx.push(0, v);
+        }
+        FireResult::Fired
+    }
+}

@@ -1,0 +1,246 @@
+//! Synthetic MPEG-2-like coded stream: source sequence generation and the
+//! encoder that produces the `input` task's coded buffer.
+
+use crate::dct::{forward_dct_8x8, quantise, zigzag_order, DEFAULT_QUANT_TABLE};
+use crate::pixels::SyntheticImage;
+
+/// Number of values per coded macroblock record:
+/// `[mb_type, mv_x, mv_y]` followed by four 8x8 blocks of quantised
+/// coefficients in zig-zag order.
+pub const RECORD_LEN: usize = 3 + 4 * 64;
+
+/// Macroblock type: intra coded (no prediction).
+pub const MB_INTRA: i32 = 0;
+/// Macroblock type: inter coded (motion-compensated from the previous
+/// picture).
+pub const MB_INTER: i32 = 1;
+
+/// Geometry of the macroblock grid of a picture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacroblockGrid {
+    /// Picture width in pixels (multiple of 16).
+    pub width: usize,
+    /// Picture height in pixels (multiple of 16).
+    pub height: usize,
+}
+
+impl MacroblockGrid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are not positive multiples of 16.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(
+            width > 0 && height > 0 && width % 16 == 0 && height % 16 == 0,
+            "picture dimensions must be positive multiples of 16"
+        );
+        MacroblockGrid { width, height }
+    }
+
+    /// Macroblock columns.
+    pub fn mb_cols(&self) -> usize {
+        self.width / 16
+    }
+
+    /// Macroblock rows.
+    pub fn mb_rows(&self) -> usize {
+        self.height / 16
+    }
+
+    /// Macroblocks per picture.
+    pub fn mbs_per_picture(&self) -> usize {
+        self.mb_cols() * self.mb_rows()
+    }
+
+    /// Pixels per picture.
+    pub fn pixels_per_picture(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Top-left pixel coordinates of macroblock `index` (raster order).
+    pub fn mb_origin(&self, index: usize) -> (usize, usize) {
+        let col = index % self.mb_cols();
+        let row = index / self.mb_cols();
+        (col * 16, row * 16)
+    }
+
+    /// Top-left pixel coordinates of 8x8 block `b` (0..4) of the macroblock
+    /// at `(mb_x, mb_y)`: blocks are ordered top-left, top-right,
+    /// bottom-left, bottom-right.
+    pub fn block_origin(&self, mb_x: usize, mb_y: usize, b: usize) -> (usize, usize) {
+        (mb_x + (b % 2) * 8, mb_y + (b / 2) * 8)
+    }
+}
+
+/// Generates `frames` source pictures: the first from the synthetic-image
+/// generator, each following one a clamped global shift of its predecessor
+/// (global panning motion), so that inter macroblocks with the global motion
+/// vector have near-zero residual.
+pub fn generate_source_frames(
+    grid: MacroblockGrid,
+    frames: usize,
+    seed: u64,
+    motion: (i32, i32),
+) -> Vec<Vec<i32>> {
+    let first = SyntheticImage::generate(grid.width, grid.height, seed);
+    let mut out: Vec<Vec<i32>> = vec![first.pixels().to_vec()];
+    for _ in 1..frames {
+        let prev = out.last().expect("at least one frame");
+        let mut next = vec![0i32; grid.pixels_per_picture()];
+        for y in 0..grid.height {
+            for x in 0..grid.width {
+                let sx = (x as i32 - motion.0).clamp(0, grid.width as i32 - 1) as usize;
+                let sy = (y as i32 - motion.1).clamp(0, grid.height as i32 - 1) as usize;
+                next[y * grid.width + x] = prev[sy * grid.width + sx];
+            }
+        }
+        out.push(next);
+    }
+    out
+}
+
+fn block_from(frame: &[i32], grid: MacroblockGrid, x0: usize, y0: usize) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for dy in 0..8 {
+        for dx in 0..8 {
+            out[dy * 8 + dx] = frame[(y0 + dy) * grid.width + (x0 + dx)];
+        }
+    }
+    out
+}
+
+/// Motion-compensated prediction. The convention used throughout the
+/// reproduction is that the motion vector points from the reference picture
+/// to the current one: the predictor for pixel `(x, y)` is the reference
+/// sample at `(x - mv_x, y - mv_y)`.
+fn predicted_block(
+    reference: &[i32],
+    grid: MacroblockGrid,
+    x0: usize,
+    y0: usize,
+    mv: (i32, i32),
+) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for dy in 0..8 {
+        for dx in 0..8 {
+            let sx = ((x0 + dx) as i32 - mv.0).clamp(0, grid.width as i32 - 1) as usize;
+            let sy = ((y0 + dy) as i32 - mv.1).clamp(0, grid.height as i32 - 1) as usize;
+            out[dy * 8 + dx] = reference[sy * grid.width + sx];
+        }
+    }
+    out
+}
+
+/// Encodes a sequence of source frames into the coded macroblock stream the
+/// `input` task replays.
+///
+/// The first picture is intra coded; every following picture is inter coded
+/// against its predecessor with the single global motion vector `motion`.
+pub fn encode_stream(
+    frames: &[Vec<i32>],
+    grid: MacroblockGrid,
+    motion: (i32, i32),
+) -> Vec<i32> {
+    let zigzag = zigzag_order();
+    let mut stream = Vec::with_capacity(frames.len() * grid.mbs_per_picture() * RECORD_LEN);
+    for (f, frame) in frames.iter().enumerate() {
+        let intra = f == 0;
+        for mb in 0..grid.mbs_per_picture() {
+            let (mb_x, mb_y) = grid.mb_origin(mb);
+            let (mb_type, mv) = if intra {
+                (MB_INTRA, (0, 0))
+            } else {
+                (MB_INTER, motion)
+            };
+            stream.push(mb_type);
+            stream.push(mv.0);
+            stream.push(mv.1);
+            for b in 0..4 {
+                let (x0, y0) = grid.block_origin(mb_x, mb_y, b);
+                let cur = block_from(frame, grid, x0, y0);
+                let residual = if intra {
+                    cur
+                } else {
+                    let pred = predicted_block(&frames[f - 1], grid, x0, y0, mv);
+                    let mut r = [0i32; 64];
+                    for i in 0..64 {
+                        r[i] = cur[i] - pred[i];
+                    }
+                    r
+                };
+                let coeffs = forward_dct_8x8(&residual);
+                let q = quantise(&coeffs, &DEFAULT_QUANT_TABLE);
+                for &pos in &zigzag {
+                    stream.push(q[pos]);
+                }
+            }
+        }
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_geometry() {
+        let g = MacroblockGrid::new(48, 32);
+        assert_eq!(g.mb_cols(), 3);
+        assert_eq!(g.mb_rows(), 2);
+        assert_eq!(g.mbs_per_picture(), 6);
+        assert_eq!(g.mb_origin(0), (0, 0));
+        assert_eq!(g.mb_origin(4), (16, 16));
+        assert_eq!(g.block_origin(16, 16, 0), (16, 16));
+        assert_eq!(g.block_origin(16, 16, 3), (24, 24));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 16")]
+    fn bad_grid_panics() {
+        let _ = MacroblockGrid::new(40, 32);
+    }
+
+    #[test]
+    fn source_frames_follow_global_motion() {
+        let g = MacroblockGrid::new(48, 32);
+        let frames = generate_source_frames(g, 3, 7, (2, 1));
+        assert_eq!(frames.len(), 3);
+        // Away from the borders, frame 1 is frame 0 shifted by the motion.
+        assert_eq!(frames[1][10 * 48 + 20], frames[0][9 * 48 + 18]);
+        assert_eq!(frames[2][20 * 48 + 30], frames[1][19 * 48 + 28]);
+    }
+
+    #[test]
+    fn stream_layout_and_types() {
+        let g = MacroblockGrid::new(32, 32);
+        let frames = generate_source_frames(g, 2, 3, (2, 1));
+        let stream = encode_stream(&frames, g, (2, 1));
+        assert_eq!(stream.len(), 2 * g.mbs_per_picture() * RECORD_LEN);
+        // First picture intra, second inter with the global motion vector.
+        assert_eq!(stream[0], MB_INTRA);
+        let second_pic = g.mbs_per_picture() * RECORD_LEN;
+        assert_eq!(stream[second_pic], MB_INTER);
+        assert_eq!(stream[second_pic + 1], 2);
+        assert_eq!(stream[second_pic + 2], 1);
+    }
+
+    #[test]
+    fn inter_residuals_are_mostly_zero_away_from_borders() {
+        let g = MacroblockGrid::new(64, 48);
+        let frames = generate_source_frames(g, 2, 9, (2, 1));
+        let stream = encode_stream(&frames, g, (2, 1));
+        // Count non-zero coefficients of the second picture's interior MBs.
+        let rec = RECORD_LEN;
+        let pic1 = g.mbs_per_picture() * rec;
+        // Macroblock (1,1) is interior for a 4x3 grid.
+        let mb_index = g.mb_cols() + 1;
+        let coeffs = &stream[pic1 + mb_index * rec + 3..pic1 + (mb_index + 1) * rec];
+        let nonzero = coeffs.iter().filter(|&&c| c != 0).count();
+        assert!(
+            nonzero <= 8,
+            "interior inter macroblock should have a near-empty residual, got {nonzero}"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic test images.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic synthetic grey-scale image used as workload input.
+///
+/// The image combines a smooth gradient, a few high-contrast rectangles and
+/// low-amplitude noise, which gives the decoders and the edge detector
+/// realistic mixtures of low- and high-frequency content: DCT blocks with
+/// varying numbers of significant coefficients, and edges at known
+/// locations for the Canny pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<i32>,
+}
+
+impl SyntheticImage {
+    /// Generates a `width` x `height` image from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn generate(width: usize, height: usize, seed: u64) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pixels = vec![0i32; width * height];
+        // Rectangles with strong contrast (edges for Canny, detail for DCT).
+        let rects: Vec<(usize, usize, usize, usize, i32)> = (0..4)
+            .map(|_| {
+                let x0 = rng.gen_range(0..width);
+                let y0 = rng.gen_range(0..height);
+                let w = rng.gen_range(width / 8..=width / 3);
+                let h = rng.gen_range(height / 8..=height / 3);
+                let level = rng.gen_range(0..=255);
+                (x0, y0, w, h, level)
+            })
+            .collect();
+        for y in 0..height {
+            for x in 0..width {
+                // Smooth diagonal gradient.
+                let mut v = ((x * 160) / width + (y * 96) / height) as i32;
+                for &(x0, y0, w, h, level) in &rects {
+                    if x >= x0 && x < (x0 + w).min(width) && y >= y0 && y < (y0 + h).min(height) {
+                        v = level;
+                    }
+                }
+                // Low-amplitude noise.
+                v += rng.gen_range(-4..=4);
+                pixels[y * width + x] = v.clamp(0, 255);
+            }
+        }
+        SyntheticImage {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn pixel(&self, x: usize, y: usize) -> i32 {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        self.pixels[y * self.width + x]
+    }
+
+    /// All pixels in raster order.
+    pub fn pixels(&self) -> &[i32] {
+        &self.pixels
+    }
+
+    /// Extracts the 8x8 block whose top-left corner is at
+    /// `(bx * 8, by * 8)`, replicating edge pixels if the image dimension is
+    /// not a multiple of eight.
+    pub fn block_8x8(&self, bx: usize, by: usize) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for dy in 0..8 {
+            for dx in 0..8 {
+                let x = (bx * 8 + dx).min(self.width - 1);
+                let y = (by * 8 + dy).min(self.height - 1);
+                out[dy * 8 + dx] = self.pixel(x, y);
+            }
+        }
+        out
+    }
+
+    /// Number of 8x8 blocks horizontally.
+    pub fn blocks_x(&self) -> usize {
+        self.width.div_ceil(8)
+    }
+
+    /// Number of 8x8 blocks vertically.
+    pub fn blocks_y(&self) -> usize {
+        self.height.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_in_range() {
+        let a = SyntheticImage::generate(64, 48, 7);
+        let b = SyntheticImage::generate(64, 48, 7);
+        assert_eq!(a, b);
+        assert!(a.pixels().iter().all(|&p| (0..=255).contains(&p)));
+        let c = SyntheticImage::generate(64, 48, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dimensions_and_blocks() {
+        let img = SyntheticImage::generate(100, 60, 1);
+        assert_eq!(img.width(), 100);
+        assert_eq!(img.height(), 60);
+        assert_eq!(img.blocks_x(), 13);
+        assert_eq!(img.blocks_y(), 8);
+        assert_eq!(img.pixels().len(), 6000);
+    }
+
+    #[test]
+    fn edge_blocks_replicate_border_pixels() {
+        let img = SyntheticImage::generate(20, 12, 3);
+        let block = img.block_8x8(2, 1);
+        // Columns beyond x = 19 replicate column 19; rows beyond y = 11
+        // replicate row 11.
+        assert_eq!(block[0 * 8 + 4], img.pixel(19, 8));
+        assert_eq!(block[7 * 8 + 7], img.pixel(19, 11));
+    }
+
+    #[test]
+    fn image_has_contrast() {
+        let img = SyntheticImage::generate(64, 64, 42);
+        let min = img.pixels().iter().min().unwrap();
+        let max = img.pixels().iter().max().unwrap();
+        assert!(max - min > 80, "synthetic image should have contrast");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = SyntheticImage::generate(0, 10, 1);
+    }
+}

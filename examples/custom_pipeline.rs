@@ -1,0 +1,198 @@
+//! Build a custom process network with the public API and run it on the
+//! multiprocessor with a shared and with a set-partitioned L2. The output
+//! shows both sides of the paper's trade-off: the filter's lookup table is
+//! isolated in its exclusive partition (its misses are identical in both
+//! runs and co-runner independent), while the streaming source — squeezed
+//! into a small partition — loses the capacity it enjoyed in the shared
+//! cache and misses more (the effect discussed in §5 of the paper).
+//!
+//! Run with `cargo run --release --example custom_pipeline`.
+
+use compmem_cache::{
+    CacheConfig, PartitionKey, PartitionMap, SetPartitionedCache, SharedCache,
+};
+use compmem_kpn::{FireContext, FireResult, NetworkBuilder, Process, TaskLayout};
+use compmem_platform::{PlatformConfig, System, TaskMapping};
+use compmem_trace::{AddressSpace, RegionKind, ScalarArray, TaskId};
+
+/// Produces a stream of samples from a private source buffer.
+struct Source {
+    task: TaskId,
+    data: ScalarArray,
+    cursor: usize,
+    remaining_passes: usize,
+}
+
+impl Process for Source {
+    fn name(&self) -> &str {
+        "source"
+    }
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if self.cursor == self.data.len() {
+            if self.remaining_passes == 0 {
+                return FireResult::Finished;
+            }
+            self.remaining_passes -= 1;
+            self.cursor = 0;
+        }
+        if ctx.space(0) < 16 {
+            return FireResult::Blocked;
+        }
+        for _ in 0..16 {
+            let v = self.data.read(ctx, self.task, self.cursor);
+            ctx.compute(2);
+            ctx.push(0, v);
+            self.cursor += 1;
+        }
+        FireResult::Fired
+    }
+}
+
+/// A table-driven filter with a large private lookup table (the task that
+/// needs cache).
+struct Filter {
+    task: TaskId,
+    table: ScalarArray,
+}
+
+impl Process for Filter {
+    fn name(&self) -> &str {
+        "filter"
+    }
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 16 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.space(0) < 16 {
+            return FireResult::Blocked;
+        }
+        for _ in 0..16 {
+            let v = ctx.pop(0);
+            let index = (v.unsigned_abs() as usize * 97) % self.table.len();
+            let coeff = self.table.read(ctx, self.task, index);
+            ctx.compute(6);
+            ctx.push(0, v.wrapping_mul(coeff) >> 4);
+        }
+        FireResult::Fired
+    }
+}
+
+/// Accumulates the filtered stream.
+struct Sink {
+    sum: i64,
+    received: usize,
+    expected: usize,
+}
+
+impl Process for Sink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if self.received == self.expected {
+            return FireResult::Finished;
+        }
+        if ctx.available(0) < 1 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        let v = ctx.pop(0);
+        ctx.compute(1);
+        self.sum += i64::from(v);
+        self.received += 1;
+        FireResult::Fired
+    }
+}
+
+fn build(space: &mut AddressSpace) -> Result<compmem_kpn::Network, Box<dyn std::error::Error>> {
+    let mut b = NetworkBuilder::new();
+    // The source sweeps its 64 KB buffer four times (16 K samples per pass),
+    // which in a shared cache repeatedly erodes the filter's lookup table.
+    let passes = 4;
+    let samples = passes * 16 * 1024;
+
+    let t0 = b.next_task_id();
+    let src_region = space.allocate_region("source.data", RegionKind::TaskData { task: t0 }, 64 * 1024)?;
+    let mut data = space.array(src_region)?;
+    for i in 0..data.len() {
+        data.poke(i, (i as i32 * 31) % 251);
+    }
+    let src = b.add_process(
+        Box::new(Source { task: t0, data, cursor: 0, remaining_passes: passes - 1 }),
+        TaskLayout::with_code_size(space, "source", t0, 2048)?,
+    );
+
+    let t1 = b.next_task_id();
+    let table_region =
+        space.allocate_region("filter.table", RegionKind::TaskData { task: t1 }, 32 * 1024)?;
+    let mut table = space.array(table_region)?;
+    for i in 0..table.len() {
+        table.poke(i, (i as i32 % 17) + 1);
+    }
+    let filter = b.add_process(
+        Box::new(Filter { task: t1, table }),
+        TaskLayout::with_code_size(space, "filter", t1, 4096)?,
+    );
+
+    let t2 = b.next_task_id();
+    let sink = b.add_process(
+        Box::new(Sink { sum: 0, received: 0, expected: samples }),
+        TaskLayout::with_code_size(space, "sink", t2, 1024)?,
+    );
+
+    let f0 = b.add_fifo(space, "src_to_filter", 64)?;
+    let f1 = b.add_fifo(space, "filter_to_sink", 64)?;
+    b.connect_output(src, 0, f0)?;
+    b.connect_input(filter, 0, f0)?;
+    b.connect_output(filter, 0, f1)?;
+    b.connect_input(sink, 0, f1)?;
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let l2 = CacheConfig::with_size_bytes(64 * 1024, 4)?;
+    let platform = PlatformConfig::default().processors(3);
+
+    // Shared cache: the streaming source erodes the filter's lookup table.
+    let mut space = AddressSpace::new();
+    let mut network = build(&mut space)?;
+    let mapping = TaskMapping::round_robin(&network.tasks(), 3);
+    let mut system = System::new(platform, SharedCache::new(l2), mapping.clone())?;
+    let shared = system.run(&mut network)?;
+
+    // Partitioned cache: the filter gets half the cache exclusively.
+    let mut space = AddressSpace::new();
+    let mut network = build(&mut space)?;
+    let mut map = PartitionMap::new(l2.geometry());
+    map.assign(PartitionKey::Task(TaskId::new(0)), 0, 32)?;
+    map.assign(PartitionKey::Task(TaskId::new(1)), 32, 128)?;
+    map.assign(PartitionKey::Task(TaskId::new(2)), 160, 32)?;
+    map.assign(PartitionKey::Buffer(compmem_trace::BufferId::new(0)), 192, 16)?;
+    map.assign(PartitionKey::Buffer(compmem_trace::BufferId::new(1)), 208, 16)?;
+    let cache = SetPartitionedCache::new(l2, space.table(), &map)?;
+    let mut system = System::new(platform, cache, mapping)?;
+    let partitioned = system.run(&mut network)?;
+    let filter_task = TaskId::new(1);
+
+    println!("custom three-stage pipeline, 64 KB L2");
+    println!("(filter misses are identical — its partition isolates it; the");
+    println!(" streaming source pays for its smaller exclusive capacity)");
+    println!(
+        "shared:      filter L2 misses = {:5}, total misses = {:5}, CPI = {:.2}",
+        shared.l2_misses_of_task(filter_task),
+        shared.l2.misses,
+        shared.average_cpi()
+    );
+    println!(
+        "partitioned: filter L2 misses = {:5}, total misses = {:5}, CPI = {:.2}",
+        partitioned.l2_misses_of_task(filter_task),
+        partitioned.l2.misses,
+        partitioned.average_cpi()
+    );
+    Ok(())
+}

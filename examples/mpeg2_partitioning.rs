@@ -1,0 +1,73 @@
+//! Compare the three L2 organisations of the study — conventional shared
+//! cache, the paper's set-partitioned cache and the column-caching
+//! (way-partitioned) baseline — on the MPEG-2 decoder.
+//!
+//! Run with `cargo run --release --example mpeg2_partitioning`.
+
+use compmem::experiment::{Experiment, ExperimentConfig};
+use compmem_cache::CacheConfig;
+use compmem_workloads::apps::{mpeg2_app, Mpeg2Params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig {
+        l2: CacheConfig::with_size_bytes(64 * 1024, 4)?,
+        sets_per_unit: 4,
+        ..ExperimentConfig::default()
+    };
+    let params = Mpeg2Params {
+        width: 64,
+        height: 48,
+        pictures: 2,
+        seed: 42,
+    };
+    let experiment = Experiment::new(config, move || {
+        mpeg2_app(&params).expect("parameters are valid")
+    });
+
+    // The paper's flow: shared baseline (which also profiles), optimiser,
+    // partitioned run.
+    let outcome = experiment.run_paper_flow()?;
+    // The column-caching ablation.
+    let way = experiment.run_way_partitioned()?;
+    // The larger shared cache the paper also reports for MPEG-2.
+    let large_shared = experiment.run_shared_with_l2(CacheConfig::with_size_bytes(128 * 1024, 4)?)?;
+
+    println!("MPEG-2 decoder, {} pictures of {}x{}", params.pictures, params.width, params.height);
+    println!(
+        "{:<34} {:>10} {:>12} {:>8}",
+        "organisation", "L2 misses", "miss rate", "CPI"
+    );
+    let row = |name: &str, misses: u64, rate: f64, cpi: f64| {
+        println!("{name:<34} {misses:>10} {:>11.2}% {cpi:>8.2}", 100.0 * rate);
+    };
+    row(
+        "shared 64 KB",
+        outcome.shared.report.l2.misses,
+        outcome.shared_miss_rate(),
+        outcome.shared_cpi(),
+    );
+    row(
+        "set-partitioned 64 KB (paper)",
+        outcome.partitioned.report.l2.misses,
+        outcome.partitioned_miss_rate(),
+        outcome.partitioned_cpi(),
+    );
+    row(
+        "way-partitioned 64 KB (related work)",
+        way.report.l2.misses,
+        way.report.l2_miss_rate(),
+        way.report.average_cpi(),
+    );
+    row(
+        "shared 128 KB",
+        large_shared.report.l2.misses,
+        large_shared.report.l2_miss_rate(),
+        large_shared.report.average_cpi(),
+    );
+    println!();
+    println!(
+        "compositionality error of the partitioned run: {:.2}%",
+        100.0 * outcome.compositionality.max_relative_difference()
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Quickstart: run the paper's full method on a miniature instance of the
+//! "two JPEG decoders + Canny" application and print the resulting tables.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use compmem::experiment::{Experiment, ExperimentConfig};
+use compmem::report;
+use compmem_cache::CacheConfig;
+use compmem_workloads::apps::{jpeg_canny_app, JpegCannyParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A miniature configuration so the example finishes in seconds: a 64 KB
+    // shared L2 divided into 1 KB allocation units, and small pictures.
+    let config = ExperimentConfig {
+        l2: CacheConfig::with_size_bytes(64 * 1024, 4)?,
+        sets_per_unit: 4,
+        ..ExperimentConfig::default()
+    };
+    let params = JpegCannyParams::tiny();
+    let experiment = Experiment::new(config, move || {
+        jpeg_canny_app(&params).expect("tiny parameters are valid")
+    });
+
+    let outcome = experiment.run_paper_flow()?;
+
+    println!("{}", report::format_allocation_table(&outcome));
+    println!("{}", report::format_figure2(&outcome));
+    println!("{}", report::format_figure3(&outcome));
+    println!("{}", report::format_headline(&outcome));
+    println!("{}", outcome.summary());
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate of the `compmem` reproduction suite.
+//!
+//! This crate only re-exports the workspace members so that the runnable
+//! examples in `examples/` and the cross-crate integration tests in `tests/`
+//! have a single dependency. The actual functionality lives in:
+//!
+//! * [`compmem`] — partition sizing, compositionality analysis, experiments,
+//! * [`compmem_cache`] — cache models (shared, set-partitioned, way-partitioned),
+//! * [`compmem_platform`] — the CAKE-like multiprocessor simulator,
+//! * [`compmem_kpn`] — the YAPI process-network runtime,
+//! * [`compmem_workloads`] — the JPEG / Canny / MPEG-2 task graphs,
+//! * [`compmem_trace`] — addresses, regions and access traces.
+
+#![forbid(unsafe_code)]
+
+pub use compmem;
+pub use compmem_cache;
+pub use compmem_kpn;
+pub use compmem_platform;
+pub use compmem_trace;
+pub use compmem_workloads;

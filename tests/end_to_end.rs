@@ -1,0 +1,107 @@
+//! Cross-crate integration tests: the full paper flow on miniature
+//! instances of both applications.
+
+use compmem::experiment::{Experiment, ExperimentConfig};
+use compmem::optimizer::OptimizerKind;
+use compmem::report;
+use compmem_cache::CacheConfig;
+use compmem_platform::PlatformConfig;
+use compmem_workloads::apps::{jpeg_canny_app, mpeg2_app, JpegCannyParams, Mpeg2Params};
+
+fn small_config() -> ExperimentConfig {
+    ExperimentConfig {
+        platform: PlatformConfig::default(),
+        l2: CacheConfig::with_size_bytes(64 * 1024, 4).expect("valid geometry"),
+        sets_per_unit: 4,
+        optimizer: OptimizerKind::ExactIlp,
+    }
+}
+
+#[test]
+fn jpeg_canny_flow_reduces_misses_and_is_compositional() {
+    let params = JpegCannyParams::tiny();
+    let experiment = Experiment::new(small_config(), move || {
+        jpeg_canny_app(&params).expect("valid parameters")
+    });
+    let outcome = experiment.run_paper_flow().expect("flow runs");
+
+    // The partitioned system must be compositional: per-entity misses match
+    // the stand-alone expectation within a few percent of the total.
+    assert!(
+        outcome.compositionality.max_relative_difference() < 0.05,
+        "compositionality error {:.3}",
+        outcome.compositionality.max_relative_difference()
+    );
+    // The optimiser never allocates more than the cache.
+    assert!(outcome.allocation.total_units <= 64);
+    // Every one of the 15 tasks appears in the allocation table.
+    let table = report::format_allocation_table(&outcome);
+    for name in [
+        "FrontEnd1", "IDCT1", "Raster1", "BackEnd1", "FrontEnd2", "IDCT2", "Raster2", "BackEnd2",
+        "Fr.canny", "LowPass", "HorizSobel", "VertSobel", "HorizNMS", "VertNMS", "MaxTreshold",
+        "appl data", "rt data",
+    ] {
+        assert!(table.contains(name), "missing `{name}` in:\n{table}");
+    }
+    // Both runs execute the same application, so the instruction counts of
+    // the two runs match (timing differs, functional work does not).
+    assert_eq!(
+        outcome.shared.report.total_instructions(),
+        outcome.partitioned.report.total_instructions()
+    );
+}
+
+#[test]
+fn mpeg2_flow_produces_all_figures() {
+    let params = Mpeg2Params::tiny();
+    let experiment = Experiment::new(small_config(), move || {
+        mpeg2_app(&params).expect("valid parameters")
+    });
+    let outcome = experiment.run_paper_flow().expect("flow runs");
+    assert!(outcome.compositionality.max_relative_difference() < 0.08);
+    assert_eq!(
+        outcome.figure2_rows().len(),
+        outcome.allocation.units.len(),
+        "figure 2 covers every entity"
+    );
+    assert!(!report::format_figure3(&outcome).is_empty());
+    assert!(!report::format_headline(&outcome).is_empty());
+    // The 13 task names of Table 2 are all present.
+    let table = report::format_allocation_table(&outcome);
+    for name in [
+        "input", "vld", "hdr", "isiq", "memMan", "idct", "add", "decMV", "predict", "predictRD",
+        "writeMB", "store", "output",
+    ] {
+        assert!(table.contains(name), "missing `{name}` in:\n{table}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let params = Mpeg2Params::tiny();
+    let experiment = Experiment::new(small_config(), move || {
+        mpeg2_app(&params).expect("valid parameters")
+    });
+    let (a, _) = experiment.run_shared_with_profiles().expect("first run");
+    let (b, _) = experiment.run_shared_with_profiles().expect("second run");
+    assert_eq!(a.report.l2.misses, b.report.l2.misses);
+    assert_eq!(a.report.total_instructions(), b.report.total_instructions());
+    assert_eq!(a.report.makespan_cycles, b.report.makespan_cycles);
+    assert_eq!(a.by_key, b.by_key);
+}
+
+#[test]
+fn larger_shared_cache_reduces_misses() {
+    // The paper's extra data point: MPEG-2 with a twice-as-large shared L2.
+    let params = Mpeg2Params::tiny();
+    let experiment = Experiment::new(small_config(), move || {
+        mpeg2_app(&params).expect("valid parameters")
+    });
+    let small = experiment
+        .run_shared_with_l2(CacheConfig::with_size_bytes(32 * 1024, 4).unwrap())
+        .expect("small shared run");
+    let large = experiment
+        .run_shared_with_l2(CacheConfig::with_size_bytes(128 * 1024, 4).unwrap())
+        .expect("large shared run");
+    assert!(large.report.l2.misses < small.report.l2.misses);
+}

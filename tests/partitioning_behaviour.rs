@@ -1,0 +1,235 @@
+//! Integration tests of the qualitative claims of the paper on controlled
+//! synthetic workloads (independent of the multimedia applications).
+
+use compmem_cache::{
+    CacheConfig, CacheOrganization, PartitionKey, PartitionMap, ReplacementPolicy,
+    SetAssocCache, SetPartitionedCache, SharedCache, WayAllocation, WayPartitionedCache,
+};
+use compmem_trace::gen::{interleave, looping, StreamParams};
+use compmem_trace::{Access, RegionKind, RegionTable, TaskId};
+
+/// Builds a region table with `n` tasks, each owning a `bytes`-sized data
+/// region, and returns per-task looping access streams over their region.
+fn looping_tasks(n: usize, bytes: u64, repeats: usize) -> (RegionTable, Vec<Vec<Access>>) {
+    let mut table = RegionTable::new();
+    let mut streams = Vec::new();
+    for i in 0..n {
+        let task = TaskId::new(i as u32);
+        let region = table
+            .insert(format!("t{i}.data"), RegionKind::TaskData { task }, bytes)
+            .unwrap();
+        let params = StreamParams::for_region(table.region(region), task);
+        streams.push(looping(params, bytes, 64, repeats));
+    }
+    (table, streams)
+}
+
+/// The central claim: with exclusive set partitions, co-scheduling does not
+/// change any task's miss count, while in a shared cache it does.
+#[test]
+fn co_scheduling_perturbs_shared_but_not_partitioned_caches() {
+    // Four tasks, each with a 32 KB working set; a 64 KB cache holds two of
+    // them but not four.
+    let (table, streams) = looping_tasks(4, 32 * 1024, 6);
+    let config = CacheConfig::with_size_bytes(64 * 1024, 4).unwrap();
+    let interleaved = interleave(streams.clone());
+
+    // Stand-alone misses per task (task alone in the machine).
+    let mut standalone = Vec::new();
+    for stream in &streams {
+        let mut cache = SharedCache::new(config);
+        for a in stream {
+            cache.access(a);
+        }
+        standalone.push(cache.stats().misses);
+    }
+
+    // Shared cache, co-scheduled: inter-task conflicts inflate misses.
+    let mut shared = SharedCache::new(config);
+    for a in &interleaved {
+        shared.access(a);
+    }
+    let shared_total: u64 = shared.stats().misses;
+    assert!(
+        shared_total > standalone.iter().sum::<u64>() * 2,
+        "co-scheduling should thrash the shared cache: {shared_total} vs {standalone:?}"
+    );
+
+    // Partitioned cache, co-scheduled: every task gets a quarter of the
+    // cache; its misses equal its stand-alone misses *with that partition*.
+    let sizes: Vec<(PartitionKey, u32)> = (0..4)
+        .map(|i| (PartitionKey::Task(TaskId::new(i)), 64))
+        .collect();
+    let map = PartitionMap::pack(config.geometry(), &sizes).unwrap();
+    let mut partitioned = SetPartitionedCache::new(config, &table, &map).unwrap();
+    for a in &interleaved {
+        partitioned.access(a);
+    }
+    for i in 0..4u32 {
+        let mut alone = SetPartitionedCache::new(config, &table, &map).unwrap();
+        for a in &streams[i as usize] {
+            alone.access(a);
+        }
+        assert_eq!(
+            partitioned
+                .stats_by_task()
+                .get(&TaskId::new(i))
+                .misses,
+            alone.stats_by_task().get(&TaskId::new(i)).misses,
+            "task {i} misses depend on co-runners under partitioning"
+        );
+    }
+}
+
+/// The granularity argument of §2: with more entities than ways, column
+/// caching must share ways and loses isolation, while set partitioning keeps
+/// every entity isolated.
+#[test]
+fn way_partitioning_granularity_is_limited_by_associativity() {
+    let (table, streams) = looping_tasks(8, 8 * 1024, 6);
+    let config = CacheConfig::with_size_bytes(64 * 1024, 4).unwrap();
+    let interleaved = interleave(streams.clone());
+    let keys: Vec<PartitionKey> = (0..8).map(|i| PartitionKey::Task(TaskId::new(i))).collect();
+
+    // Set partitioning: eight exclusive partitions of 8 KB each.
+    let sizes: Vec<(PartitionKey, u32)> = keys.iter().map(|&k| (k, 32)).collect();
+    let map = PartitionMap::pack(config.geometry(), &sizes).unwrap();
+    let mut set_part = SetPartitionedCache::new(config, &table, &map).unwrap();
+    for a in &interleaved {
+        set_part.access(a);
+    }
+
+    // Way partitioning: only four ways exist, so the eight tasks must share.
+    let alloc = WayAllocation::equal_split(config.geometry(), &keys);
+    let mut way_part = WayPartitionedCache::new(config, &table, &alloc).unwrap();
+    for a in &interleaved {
+        way_part.access(a);
+    }
+
+    assert!(
+        way_part.stats().misses > set_part.stats().misses,
+        "sharing ways must cost misses: way={} set={}",
+        way_part.stats().misses,
+        set_part.stats().misses
+    );
+    // Under set partitioning each 8 KB working set fits its 8 KB partition:
+    // only cold misses remain.
+    assert_eq!(set_part.stats().misses, set_part.stats().cold_misses);
+}
+
+/// The FIFO sizing rule of §4.1: a partition as large as the FIFO turns all
+/// steady-state FIFO accesses into hits (only cold misses remain), while a
+/// smaller partition does not guarantee that.
+#[test]
+fn fifo_sized_partition_leaves_only_cold_misses() {
+    use compmem_kpn::Fifo;
+    use compmem_trace::{AccessSink, TraceBuffer};
+
+    let mut table = RegionTable::new();
+    let capacity_tokens = 4096; // 16 KB FIFO
+    let region = table
+        .insert(
+            "fifo.big",
+            RegionKind::Fifo {
+                buffer: compmem_trace::BufferId::new(0),
+            },
+            capacity_tokens as u64 * 4,
+        )
+        .unwrap();
+    let base = table.region(region).base;
+    let mut fifo = Fifo::new("big", region, base, capacity_tokens);
+
+    // Producer and consumer chase each other around the circular buffer.
+    let mut trace = TraceBuffer::new();
+    let producer = TaskId::new(0);
+    let consumer = TaskId::new(1);
+    for round in 0..20_000 {
+        fifo.push(&mut trace, producer, round);
+        let _ = fifo.pop(&mut trace, consumer);
+    }
+
+    let config = CacheConfig::with_size_bytes(256 * 1024, 4).unwrap();
+    let fifo_bytes = capacity_tokens as u64 * 4;
+    let sets_needed = (fifo_bytes / (4 * 64)) as u32; // ways * line size
+    let run = |sets: u32| {
+        let map = PartitionMap::pack(
+            config.geometry(),
+            &[(PartitionKey::Buffer(compmem_trace::BufferId::new(0)), sets)],
+        )
+        .unwrap();
+        let mut cache = SetPartitionedCache::new(config, &table, &map).unwrap();
+        for a in trace.accesses() {
+            cache.access(a);
+        }
+        (cache.stats().misses, cache.stats().cold_misses)
+    };
+
+    let (misses_full, cold_full) = run(sets_needed);
+    assert_eq!(
+        misses_full, cold_full,
+        "a FIFO-sized partition must leave only cold misses"
+    );
+    let (misses_half, _) = run(sets_needed / 4);
+    assert!(
+        misses_half >= misses_full,
+        "an undersized FIFO partition cannot do better"
+    );
+
+    // Silence the unused-trait warning for AccessSink (used via TraceBuffer).
+    fn _assert_sink<S: AccessSink>(_: &S) {}
+    _assert_sink(&trace);
+}
+
+/// Replacement-policy sensitivity: the compositionality property does not
+/// depend on the policy — under exclusive partitions a task's misses are
+/// co-runner-independent for every policy.
+#[test]
+fn partition_isolation_holds_for_every_replacement_policy() {
+    let (table, streams) = looping_tasks(2, 16 * 1024, 4);
+    let interleaved = interleave(streams.clone());
+    for policy in ReplacementPolicy::ALL {
+        let config = CacheConfig::with_size_bytes(32 * 1024, 4)
+            .unwrap()
+            .policy(policy);
+        let sizes = vec![
+            (PartitionKey::Task(TaskId::new(0)), 64),
+            (PartitionKey::Task(TaskId::new(1)), 64),
+        ];
+        let map = PartitionMap::pack(config.geometry(), &sizes).unwrap();
+        let mut together = SetPartitionedCache::new(config, &table, &map).unwrap();
+        for a in &interleaved {
+            together.access(a);
+        }
+        let mut alone = SetPartitionedCache::new(config, &table, &map).unwrap();
+        for a in &streams[0] {
+            alone.access(a);
+        }
+        assert_eq!(
+            together.stats_by_task().get(&TaskId::new(0)).misses,
+            alone.stats_by_task().get(&TaskId::new(0)).misses,
+            "policy {policy}"
+        );
+    }
+}
+
+/// A plain set-associative cache obeys the inclusion-ish monotonicity the
+/// optimiser relies on: more sets never means more misses for the looping
+/// streams the workloads are made of.
+#[test]
+fn looping_streams_have_monotone_miss_profiles() {
+    let (_, streams) = looping_tasks(1, 64 * 1024, 5);
+    let stream = &streams[0];
+    let mut previous = u64::MAX;
+    for sets in [16u32, 32, 64, 128, 256, 512] {
+        let mut cache = SetAssocCache::new(CacheConfig::new(sets, 4).unwrap());
+        for a in stream {
+            cache.access(a);
+        }
+        assert!(
+            cache.stats().misses <= previous,
+            "misses increased from {previous} to {} at {sets} sets",
+            cache.stats().misses
+        );
+        previous = cache.stats().misses;
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests of the core invariants of the memory system.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use compmem::optimizer::{
+    solve_equal_split, solve_exact, solve_exhaustive, solve_greedy, AllocationEntity,
+    AllocationProblem,
+};
+use compmem::profile::{MissProfile, MissProfiles};
+use compmem_cache::{
+    CacheConfig, CacheGeometry, CacheOrganization, PartitionKey, PartitionMap,
+    SetPartitionedCache, SharedCache,
+};
+use compmem_trace::stats::ReuseDistanceHistogram;
+use compmem_trace::{Access, Addr, RegionKind, RegionTable, TaskId};
+
+/// Strategy: a short trace of line-aligned accesses of one task inside a
+/// bounded working set.
+fn trace_strategy(lines: u64, len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..lines, 1..len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single-set (fully associative) LRU cache must agree exactly with
+    /// the reuse-distance stack oracle, whatever the trace.
+    #[test]
+    fn lru_cache_matches_stack_distance_oracle(
+        lines in trace_strategy(48, 200),
+        ways in prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+    ) {
+        let accesses: Vec<Access> = lines
+            .iter()
+            .map(|&l| Access::load(Addr::new(l * 64), 4, TaskId::new(0), compmem_trace::RegionId::new(0)))
+            .collect();
+        let oracle = ReuseDistanceHistogram::from_accesses(&accesses);
+        let mut cache = compmem_cache::SetAssocCache::new(CacheConfig::new(1, ways).unwrap());
+        for a in &accesses {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.stats().misses, oracle.lru_misses(u64::from(ways)));
+    }
+
+    /// Compositionality invariant of the set-partitioned cache: a task's
+    /// miss count is completely independent of what any other task does.
+    #[test]
+    fn partitioned_cache_isolates_tasks(
+        task_a in trace_strategy(256, 300),
+        task_b in trace_strategy(256, 300),
+    ) {
+        let mut table = RegionTable::new();
+        let ra = table
+            .insert("a.data", RegionKind::TaskData { task: TaskId::new(0) }, 256 * 64)
+            .unwrap();
+        let rb = table
+            .insert("b.data", RegionKind::TaskData { task: TaskId::new(1) }, 256 * 64)
+            .unwrap();
+        let base_a = table.region(ra).base;
+        let base_b = table.region(rb).base;
+        let config = CacheConfig::new(64, 4).unwrap();
+        let map = PartitionMap::pack(
+            config.geometry(),
+            &[
+                (PartitionKey::Task(TaskId::new(0)), 16),
+                (PartitionKey::Task(TaskId::new(1)), 16),
+            ],
+        )
+        .unwrap();
+
+        let a_accesses: Vec<Access> = task_a
+            .iter()
+            .map(|&l| Access::load(base_a.offset(l * 64), 4, TaskId::new(0), ra))
+            .collect();
+        let b_accesses: Vec<Access> = task_b
+            .iter()
+            .map(|&l| Access::load(base_b.offset(l * 64), 4, TaskId::new(1), rb))
+            .collect();
+
+        // Run task A alone.
+        let mut alone = SetPartitionedCache::new(config, &table, &map).unwrap();
+        for a in &a_accesses {
+            alone.access(a);
+        }
+        let alone_misses = alone.stats_by_task().get(&TaskId::new(0)).misses;
+
+        // Run task A interleaved with arbitrary traffic from task B.
+        let mut together = SetPartitionedCache::new(config, &table, &map).unwrap();
+        let mut ai = a_accesses.iter();
+        let mut bi = b_accesses.iter();
+        loop {
+            let a = ai.next();
+            let b = bi.next();
+            if let Some(a) = a {
+                together.access(a);
+            }
+            if let Some(b) = b {
+                together.access(b);
+                together.access(b);
+            }
+            if a.is_none() && b.is_none() {
+                break;
+            }
+        }
+        let together_misses = together.stats_by_task().get(&TaskId::new(0)).misses;
+        prop_assert_eq!(alone_misses, together_misses);
+    }
+
+    /// In a conventional shared cache the same co-run may inflate a task's
+    /// misses, but it can never reduce them below the stand-alone count when
+    /// the tasks touch disjoint data.
+    #[test]
+    fn shared_cache_never_reduces_misses_of_disjoint_tasks(
+        task_a in trace_strategy(128, 200),
+        task_b in trace_strategy(128, 200),
+    ) {
+        let mut table = RegionTable::new();
+        let ra = table
+            .insert("a.data", RegionKind::TaskData { task: TaskId::new(0) }, 128 * 64)
+            .unwrap();
+        let rb = table
+            .insert("b.data", RegionKind::TaskData { task: TaskId::new(1) }, 128 * 64)
+            .unwrap();
+        let base_a = table.region(ra).base;
+        let base_b = table.region(rb).base;
+        let config = CacheConfig::new(32, 2).unwrap();
+
+        let a_accesses: Vec<Access> = task_a
+            .iter()
+            .map(|&l| Access::load(base_a.offset(l * 64), 4, TaskId::new(0), ra))
+            .collect();
+        let b_accesses: Vec<Access> = task_b
+            .iter()
+            .map(|&l| Access::load(base_b.offset(l * 64), 4, TaskId::new(1), rb))
+            .collect();
+
+        let mut alone = SharedCache::new(config);
+        for a in &a_accesses {
+            alone.access(a);
+        }
+        let alone_misses = alone.stats_by_task().get(&TaskId::new(0)).misses;
+
+        let mut together = SharedCache::new(config);
+        for (a, b) in a_accesses.iter().zip(b_accesses.iter().cycle()) {
+            together.access(b);
+            together.access(a);
+        }
+        let together_misses = together.stats_by_task().get(&TaskId::new(0)).misses;
+        prop_assert!(together_misses >= alone_misses);
+    }
+
+    /// Partition maps produced by `pack` keep every entity inside the cache
+    /// and index every line inside its own partition.
+    #[test]
+    fn packed_partitions_stay_in_range(
+        sizes in prop::collection::vec(prop::sample::select(vec![1u32, 2, 4, 8]), 1..12),
+        lines in prop::collection::vec(0u64..100_000, 1..50),
+    ) {
+        let geometry = CacheGeometry::new(128, 4).unwrap();
+        let total: u32 = sizes.iter().sum();
+        prop_assume!(total <= geometry.sets());
+        let entries: Vec<(PartitionKey, u32)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (PartitionKey::Task(TaskId::new(i as u32)), s))
+            .collect();
+        let map = PartitionMap::pack(geometry, &entries).unwrap();
+        for (key, partition) in map.iter() {
+            prop_assert!(partition.end_set() <= geometry.sets());
+            for &l in &lines {
+                let set = partition.index_of(compmem_trace::LineAddr::new(l));
+                prop_assert!(set >= partition.base_set && set < partition.end_set(),
+                    "key {key}: set {set} outside {partition}");
+            }
+        }
+    }
+
+    /// The exact solver is never worse than the heuristics and always agrees
+    /// with the exhaustive reference on small instances.
+    #[test]
+    fn exact_optimizer_dominates_heuristics(
+        misses in prop::collection::vec(prop::collection::vec(1u64..10_000, 4), 1..5),
+        capacity in 4u32..32,
+    ) {
+        let candidates = vec![1u32, 2, 4, 8];
+        let mut profiles = MissProfiles {
+            profiles: BTreeMap::new(),
+            lattice_units: candidates.clone(),
+        };
+        let mut entities = Vec::new();
+        for (i, task_misses) in misses.iter().enumerate() {
+            let key = PartitionKey::Task(TaskId::new(i as u32));
+            // Make the profile monotone non-increasing in the cache size.
+            let mut sorted = task_misses.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let profile = MissProfile {
+                accesses: sorted.iter().sum(),
+                misses_by_units: candidates.iter().copied().zip(sorted).collect(),
+            };
+            profiles.profiles.insert(key, profile);
+            entities.push(AllocationEntity { key, candidates: candidates.clone() });
+        }
+        let problem = AllocationProblem { entities, profiles, total_units: capacity };
+        prop_assume!(problem.entities.len() as u32 <= capacity);
+        let exact = solve_exact(&problem).unwrap();
+        let brute = solve_exhaustive(&problem).unwrap();
+        let greedy = solve_greedy(&problem).unwrap();
+        let equal = solve_equal_split(&problem).unwrap();
+        prop_assert_eq!(exact.predicted_misses, brute.predicted_misses);
+        prop_assert!(exact.predicted_misses <= greedy.predicted_misses);
+        prop_assert!(exact.predicted_misses <= equal.predicted_misses);
+        prop_assert!(exact.total_units <= capacity);
+        prop_assert!(greedy.total_units <= capacity);
+    }
+}
