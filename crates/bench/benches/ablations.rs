@@ -12,20 +12,20 @@ use compmem_workloads::apps::jpeg_canny_app;
 fn bench_ablations(c: &mut Criterion) {
     let scale = Scale::Small;
     let experiment = jpeg_canny_experiment(scale);
-    let (_, profiles) = experiment
-        .run_shared_with_profiles()
-        .expect("profiling run succeeds");
+    let (_, profiles) = experiment.run_profiled().expect("profiling run succeeds");
     let app = jpeg_canny_app(&scale.jpeg_canny_params()).expect("application builds");
     let problem = experiment.build_allocation_problem(&app, profiles);
 
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
 
-    // E6: the column-caching baseline run.
+    // E6: the column-caching baseline run (the spec is built once; the
+    // bench measures the run through the shared Box<dyn CacheModel> path).
+    let way_spec = experiment.way_partitioned_spec();
     group.bench_function("way_partitioned_run", |b| {
         b.iter(|| {
             let run = experiment
-                .run_way_partitioned()
+                .run(&way_spec)
                 .expect("way-partitioned run succeeds");
             black_box(run.report.l2.misses)
         })
@@ -39,7 +39,11 @@ fn bench_ablations(c: &mut Criterion) {
             let equal = solve(&problem, OptimizerKind::EqualSplit).expect("feasible");
             assert!(exact.predicted_misses <= greedy.predicted_misses);
             assert!(exact.predicted_misses <= equal.predicted_misses);
-            black_box((exact.predicted_misses, greedy.predicted_misses, equal.predicted_misses))
+            black_box((
+                exact.predicted_misses,
+                greedy.predicted_misses,
+                equal.predicted_misses,
+            ))
         })
     });
 
@@ -51,7 +55,8 @@ fn bench_ablations(c: &mut Criterion) {
             for entity in &problem.entities {
                 if let Some(profile) = problem.profiles.profile(entity.key) {
                     let pinned = *entity.candidates.first().unwrap_or(&1);
-                    total += profile.misses_at(1) - profile.misses_at(pinned).min(profile.misses_at(1));
+                    total +=
+                        profile.misses_at(1) - profile.misses_at(pinned).min(profile.misses_at(1));
                 }
             }
             black_box(total)

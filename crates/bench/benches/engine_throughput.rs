@@ -1,0 +1,211 @@
+//! Throughput of the discrete-event engine: simulated memory accesses per
+//! second through the unified `Box<dyn CacheModel>` timing path, plus the
+//! raw event-scheduler throughput of the KPN functional run.
+//!
+//! Each timed iteration simulates a fixed, known amount of work, so the
+//! reported ns/iteration converts directly into accesses/second:
+//!
+//! * `shared_l2_4cpu` / `set_partitioned_l2_4cpu`: 4 processors, one task
+//!   each, 100 bursts of 16 loads per task — 6 400 data accesses per
+//!   iteration through L1, bus, L2 and DRAM timing.
+//! * `functional_event_scheduler`: a 4-stage KPN pipeline pushing 2 000
+//!   tokens end to end under the min-heap scheduler (no caches), measuring
+//!   pure event-loop overhead.
+//!
+//! The committed `BENCH_engine.json` baseline is produced by running
+//! `CRITERION_OUTPUT_JSON=BENCH_engine.json cargo bench --bench
+//! engine_throughput`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use compmem_cache::{CacheConfig, OrganizationSpec, PartitionKey, PartitionMap};
+use compmem_kpn::{FireContext, FireResult, NetworkBuilder, Process, TaskLayout};
+use compmem_platform::{
+    Burst, BurstOutcome, Op, PlatformConfig, System, TaskMapping, WorkloadDriver,
+};
+use compmem_trace::{Access, AddressSpace, RegionKind, RegionTable, TaskId};
+
+const PROCESSORS: usize = 4;
+const BURSTS_PER_TASK: u32 = 100;
+const LOADS_PER_BURST: u32 = 16;
+
+/// One streaming task per processor, each looping loads over its own region.
+struct StreamingDriver {
+    table: RegionTable,
+    remaining: Vec<u32>,
+    cursor: Vec<u64>,
+}
+
+impl StreamingDriver {
+    fn new(table: RegionTable) -> Self {
+        StreamingDriver {
+            table,
+            remaining: vec![BURSTS_PER_TASK; PROCESSORS],
+            cursor: vec![0; PROCESSORS],
+        }
+    }
+}
+
+impl WorkloadDriver for StreamingDriver {
+    fn next_burst(&mut self, task: TaskId) -> BurstOutcome {
+        let t = task.index();
+        if self.remaining[t] == 0 {
+            return BurstOutcome::Finished;
+        }
+        self.remaining[t] -= 1;
+        let region = compmem_trace::RegionId::new(t as u32);
+        let base = self.table.region(region).base;
+        let mut ops = Vec::with_capacity(2 * LOADS_PER_BURST as usize);
+        for _ in 0..LOADS_PER_BURST {
+            let addr = base.offset((self.cursor[t] % 512) * 64);
+            self.cursor[t] += 1;
+            ops.push(Op::Compute(2));
+            ops.push(Op::Mem(Access::load(addr, 4, task, region)));
+        }
+        BurstOutcome::Ready(Burst::new(ops))
+    }
+}
+
+fn region_table() -> RegionTable {
+    let mut table = RegionTable::new();
+    for t in 0..PROCESSORS as u32 {
+        table
+            .insert(
+                format!("t{t}.data"),
+                RegionKind::TaskData {
+                    task: TaskId::new(t),
+                },
+                64 * 1024,
+            )
+            .unwrap();
+    }
+    table
+}
+
+fn run_once(spec: &OrganizationSpec, l2: CacheConfig, table: &RegionTable) -> u64 {
+    let platform = PlatformConfig::default().processors(PROCESSORS);
+    let tasks: Vec<TaskId> = (0..PROCESSORS as u32).map(TaskId::new).collect();
+    let mapping = TaskMapping::round_robin(&tasks, PROCESSORS);
+    let model = spec.build(l2, table).expect("spec builds");
+    let mut system = System::new(platform, model, mapping).expect("valid system");
+    let mut driver = StreamingDriver::new(table.clone());
+    let report = system.run(&mut driver).expect("run completes");
+    report.l2.accesses
+}
+
+/// A pipeline stage that forwards tokens with a small compute cost.
+struct Stage;
+
+impl Process for Stage {
+    fn name(&self) -> &str {
+        "stage"
+    }
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if ctx.available(0) < 1 {
+            if ctx.input_closed(0) {
+                return FireResult::Finished;
+            }
+            return FireResult::Blocked;
+        }
+        if ctx.output_count() > 0 && ctx.space(0) < 1 {
+            return FireResult::Blocked;
+        }
+        let v = ctx.pop(0);
+        ctx.compute(4);
+        if ctx.output_count() > 0 {
+            ctx.push(0, v + 1);
+        }
+        FireResult::Fired
+    }
+}
+
+/// A source pushing `count` tokens.
+struct Src {
+    next: i32,
+    count: i32,
+}
+
+impl Process for Src {
+    fn name(&self) -> &str {
+        "src"
+    }
+    fn fire(&mut self, ctx: &mut FireContext<'_>) -> FireResult {
+        if self.next == self.count {
+            return FireResult::Finished;
+        }
+        if ctx.space(0) < 1 {
+            return FireResult::Blocked;
+        }
+        ctx.compute(2);
+        ctx.push(0, self.next);
+        self.next += 1;
+        FireResult::Fired
+    }
+}
+
+fn functional_pipeline(tokens: i32) -> compmem_kpn::Network {
+    let mut space = AddressSpace::new();
+    let mut b = NetworkBuilder::new();
+    let t0 = b.next_task_id();
+    let src = b.add_process(
+        Box::new(Src {
+            next: 0,
+            count: tokens,
+        }),
+        TaskLayout::with_code_size(&mut space, "src", t0, 1024).unwrap(),
+    );
+    let mut prev_task = src;
+    for i in 0..3 {
+        let t = b.next_task_id();
+        let stage = b.add_process(
+            Box::new(Stage),
+            TaskLayout::with_code_size(&mut space, &format!("stage{i}"), t, 1024).unwrap(),
+        );
+        let f = b.add_fifo(&mut space, &format!("f{i}"), 8).unwrap();
+        b.connect_output(prev_task, 0, f).unwrap();
+        b.connect_input(stage, 0, f).unwrap();
+        prev_task = stage;
+    }
+    b.build().unwrap()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let table = region_table();
+    let l2 = CacheConfig::with_size_bytes(64 * 1024, 4).unwrap();
+    let map = PartitionMap::pack(
+        l2.geometry(),
+        &(0..PROCESSORS as u32)
+            .map(|t| (PartitionKey::Task(TaskId::new(t)), 64))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+
+    // Sanity: both organisations see the same number of L2 accesses.
+    let shared_accesses = run_once(&OrganizationSpec::Shared, l2, &table);
+    let part_accesses = run_once(&OrganizationSpec::SetPartitioned(map.clone()), l2, &table);
+    assert_eq!(shared_accesses, part_accesses);
+    assert!(shared_accesses > 0);
+
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(20);
+    group.bench_function("shared_l2_4cpu", |b| {
+        b.iter(|| black_box(run_once(&OrganizationSpec::Shared, l2, &table)))
+    });
+    let part_spec = OrganizationSpec::SetPartitioned(map);
+    group.bench_function("set_partitioned_l2_4cpu", |b| {
+        b.iter(|| black_box(run_once(&part_spec, l2, &table)))
+    });
+    group.bench_function("functional_event_scheduler", |b| {
+        b.iter(|| {
+            let mut network = functional_pipeline(2_000);
+            let finished = network.run_functional(u64::MAX).expect("no deadlock");
+            assert!(finished);
+            black_box(network.all_finished())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -14,17 +14,18 @@ fn bench_figure2(c: &mut Criterion) {
     group.sample_size(10);
 
     let experiment = jpeg_canny_experiment(scale);
-    let (_, profiles) = experiment
-        .run_shared_with_profiles()
-        .expect("profiling run succeeds");
+    let (_, profiles) = experiment.run_profiled().expect("profiling run succeeds");
     let app = compmem_workloads::apps::jpeg_canny_app(&scale.jpeg_canny_params()).expect("builds");
     let problem = experiment.build_allocation_problem(&app, profiles);
     let allocation = solve(&problem, OptimizerKind::ExactIlp).expect("feasible");
+    let partitioned_spec = experiment
+        .partitioned_spec(&allocation)
+        .expect("allocation fits the cache");
 
     group.bench_function("jpeg_canny_partitioned_run", |b| {
         b.iter(|| {
             let outcome = experiment
-                .run_partitioned(&allocation)
+                .run(&partitioned_spec)
                 .expect("partitioned run succeeds");
             black_box(outcome.report.l2.misses)
         })
@@ -33,9 +34,7 @@ fn bench_figure2(c: &mut Criterion) {
     let mpeg2 = mpeg2_experiment(scale);
     group.bench_function("mpeg2_shared_run", |b| {
         b.iter(|| {
-            let (outcome, _) = mpeg2
-                .run_shared_with_profiles()
-                .expect("shared run succeeds");
+            let (outcome, _) = mpeg2.run_profiled().expect("shared run succeeds");
             black_box(outcome.report.l2.misses)
         })
     });

@@ -17,10 +17,9 @@ fn bench_headline(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("mpeg2_large_shared_l2_run", |b| {
         let experiment = mpeg2_experiment(scale);
+        let spec = experiment.shared_spec_with_l2(scale.large_l2());
         b.iter(|| {
-            let run = experiment
-                .run_shared_with_l2(scale.large_l2())
-                .expect("large shared run succeeds");
+            let run = experiment.run(&spec).expect("large shared run succeeds");
             black_box((run.report.l2.misses, run.report.average_cpi()))
         })
     });

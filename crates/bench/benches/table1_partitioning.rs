@@ -14,9 +14,7 @@ fn bench_table1(c: &mut Criterion) {
     let experiment = jpeg_canny_experiment(scale);
     // Profiles are measured once; the bench measures the optimisation that
     // produces the table from them, which is the new step the paper adds.
-    let (_, profiles) = experiment
-        .run_shared_with_profiles()
-        .expect("profiling run succeeds");
+    let (_, profiles) = experiment.run_profiled().expect("profiling run succeeds");
     let app = jpeg_canny_app(&scale.jpeg_canny_params()).expect("application builds");
 
     let mut group = c.benchmark_group("table1_partitioning");
@@ -30,9 +28,7 @@ fn bench_table1(c: &mut Criterion) {
     });
     group.bench_function("full_profiling_run", |b| {
         b.iter(|| {
-            let (outcome, profiles) = experiment
-                .run_shared_with_profiles()
-                .expect("profiling run succeeds");
+            let (outcome, profiles) = experiment.run_profiled().expect("profiling run succeeds");
             black_box((outcome.report.l2.misses, profiles.keys().len()))
         })
     });

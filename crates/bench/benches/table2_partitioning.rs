@@ -11,9 +11,7 @@ use compmem_workloads::apps::mpeg2_app;
 fn bench_table2(c: &mut Criterion) {
     let scale = Scale::Small;
     let experiment = mpeg2_experiment(scale);
-    let (_, profiles) = experiment
-        .run_shared_with_profiles()
-        .expect("profiling run succeeds");
+    let (_, profiles) = experiment.run_profiled().expect("profiling run succeeds");
     let app = mpeg2_app(&scale.mpeg2_params()).expect("application builds");
 
     let mut group = c.benchmark_group("table2_partitioning");

@@ -15,7 +15,10 @@ use std::collections::BTreeSet;
 
 use compmem::experiment::PaperFlowOutcome;
 use compmem::report;
-use compmem_bench::{jpeg_canny_experiment, mpeg2_experiment, run_jpeg_canny_flow, run_mpeg2_flow, Scale};
+use compmem_bench::{
+    jpeg_canny_experiment, jpeg_canny_organization_sweep, mpeg2_experiment, run_jpeg_canny_flow,
+    run_mpeg2_flow, Scale,
+};
 use compmem_cache::PartitionKey;
 
 fn main() {
@@ -49,19 +52,28 @@ fn main() {
     let all = sections.contains("all");
     let wants = |name: &str| all || sections.contains(name);
 
-    let needs_app1 = wants("table1") || wants("figure2") || wants("figure3") || wants("headline")
-        || wants("ablation-ways") || wants("ablation-optimizer") || wants("ablation-fifo");
+    let needs_app1 = wants("table1")
+        || wants("figure2")
+        || wants("figure3")
+        || wants("headline")
+        || wants("ablation-ways")
+        || wants("ablation-optimizer")
+        || wants("ablation-fifo");
     let needs_app2 = wants("table2") || wants("figure2") || wants("figure3") || wants("headline");
 
-    eprintln!("running at {scale:?} scale; this performs full-system simulations and may take a while");
+    eprintln!(
+        "running at {scale:?} scale; this performs full-system simulations and may take a while"
+    );
 
     // The two applications are independent: run their flows in parallel.
-    let (app1, app2) = crossbeam::thread::scope(|scope| {
-        let h1 = scope.spawn(|_| needs_app1.then(|| run_jpeg_canny_flow(scale)));
-        let h2 = scope.spawn(|_| needs_app2.then(|| run_mpeg2_flow(scale)));
-        (h1.join().expect("app1 thread"), h2.join().expect("app2 thread"))
-    })
-    .expect("scoped threads");
+    let (app1, app2) = std::thread::scope(|scope| {
+        let h1 = scope.spawn(|| needs_app1.then(|| run_jpeg_canny_flow(scale)));
+        let h2 = scope.spawn(|| needs_app2.then(|| run_mpeg2_flow(scale)));
+        (
+            h1.join().expect("app1 thread"),
+            h2.join().expect("app2 thread"),
+        )
+    });
 
     let app1: Option<PaperFlowOutcome> = app1.map(|r| r.expect("application 1 flow"));
     let app2: Option<PaperFlowOutcome> = app2.map(|r| r.expect("application 2 flow"));
@@ -97,7 +109,7 @@ fn main() {
             // The paper's extra data point: MPEG-2 on a larger shared L2.
             let experiment = mpeg2_experiment(scale);
             let large = experiment
-                .run_shared_with_l2(scale.large_l2())
+                .run(&experiment.shared_spec_with_l2(scale.large_l2()))
                 .expect("large shared L2 run");
             println!(
                 "mpeg2 with larger shared L2: miss rate {:.2}% ({} misses), CPI {:.2}",
@@ -113,9 +125,9 @@ fn main() {
     }
     if wants("ablation-ways") {
         let outcome = app1.as_ref().expect("app1 computed");
-        let way = jpeg_canny_experiment(scale)
-            .run_way_partitioned()
-            .expect("way-partitioned run");
+        // The shared, way-partitioned and larger-shared runs are
+        // independent of the flow: run them concurrently.
+        let sweep = jpeg_canny_organization_sweep(scale).expect("organisation sweep");
         println!("== Ablation: set partitioning vs way partitioning (2 jpegs & canny) ==");
         println!(
             "{:<34} {:>12} {:>10}",
@@ -124,8 +136,8 @@ fn main() {
         println!(
             "{:<34} {:>12} {:>9.2}%",
             "shared",
-            outcome.shared.report.l2.misses,
-            100.0 * outcome.shared_miss_rate()
+            sweep.shared.report.l2.misses,
+            100.0 * sweep.shared.report.l2_miss_rate()
         );
         println!(
             "{:<34} {:>12} {:>9.2}%",
@@ -136,23 +148,30 @@ fn main() {
         println!(
             "{:<34} {:>12} {:>9.2}%",
             "way-partitioned (column caching)",
-            way.report.l2.misses,
-            100.0 * way.report.l2_miss_rate()
+            sweep.way_partitioned.report.l2.misses,
+            100.0 * sweep.way_partitioned.report.l2_miss_rate()
+        );
+        println!(
+            "{:<34} {:>12} {:>9.2}%",
+            "shared (larger L2)",
+            sweep.large_shared.report.l2.misses,
+            100.0 * sweep.large_shared.report.l2_miss_rate()
         );
         println!();
     }
     if wants("ablation-optimizer") {
         let outcome = app1.as_ref().expect("app1 computed");
         let experiment = jpeg_canny_experiment(scale);
-        let app = jpeg_canny_experiment(scale);
-        let _ = app;
         let reference = scale.jpeg_canny_params();
         let app = compmem_workloads::apps::jpeg_canny_app(&reference).expect("app builds");
         let allocations = experiment
             .compare_optimizers(&app, &outcome.profiles)
             .expect("optimizer comparison");
         println!("== Ablation: partition-sizing strategies (2 jpegs & canny) ==");
-        println!("{:<14} {:>16} {:>12}", "strategy", "predicted misses", "units used");
+        println!(
+            "{:<14} {:>16} {:>12}",
+            "strategy", "predicted misses", "units used"
+        );
         for allocation in allocations {
             println!(
                 "{:<14} {:>16} {:>12}",
@@ -170,10 +189,10 @@ fn main() {
             "{:<30} {:>10} {:>14} {:>14}",
             "fifo", "units", "misses @1 unit", "misses @alloc"
         );
-        for (key, &units) in outcome.allocation.iter() {
+        for (&key, &units) in outcome.allocation.iter() {
             if let PartitionKey::Buffer(_) = key {
-                if let Some(profile) = outcome.profiles.profile(*key) {
-                    let name = outcome.key_name(*key);
+                if let Some(profile) = outcome.profiles.profile(key) {
+                    let name = outcome.key_name(key);
                     if !name.starts_with("fifo") {
                         continue;
                     }

@@ -4,7 +4,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use compmem::experiment::{Experiment, ExperimentConfig, PaperFlowOutcome};
+use compmem::experiment::{Experiment, ExperimentConfig, PaperFlowOutcome, RunOutcome};
 use compmem::CoreError;
 use compmem_cache::CacheConfig;
 use compmem_workloads::apps::{
@@ -113,6 +113,39 @@ pub fn run_jpeg_canny_flow(scale: Scale) -> Result<PaperFlowOutcome, CoreError> 
 /// Propagates experiment errors.
 pub fn run_mpeg2_flow(scale: Scale) -> Result<PaperFlowOutcome, CoreError> {
     mpeg2_experiment(scale).run_paper_flow()
+}
+
+/// The three independent ablation runs of one application, executed in
+/// parallel worker threads through the shared `Box<dyn CacheModel>` path.
+#[derive(Debug, Clone)]
+pub struct OrganizationSweep {
+    /// Conventional shared cache at the scale's L2 size.
+    pub shared: RunOutcome,
+    /// Column-caching baseline (ways split evenly over all entities).
+    pub way_partitioned: RunOutcome,
+    /// Shared cache at the scale's larger comparison size.
+    pub large_shared: RunOutcome,
+}
+
+/// Runs the shared, way-partitioned and larger-shared runs of the
+/// "two JPEG decoders + Canny" application concurrently.
+///
+/// # Errors
+///
+/// Propagates the first error of any run.
+pub fn jpeg_canny_organization_sweep(scale: Scale) -> Result<OrganizationSweep, CoreError> {
+    let experiment = jpeg_canny_experiment(scale);
+    let specs = vec![
+        experiment.shared_spec(),
+        experiment.way_partitioned_spec(),
+        experiment.shared_spec_with_l2(scale.large_l2()),
+    ];
+    let mut results = experiment.run_all(&specs).into_iter();
+    Ok(OrganizationSweep {
+        shared: results.next().expect("three specs in")?,
+        way_partitioned: results.next().expect("three specs in")?,
+        large_shared: results.next().expect("three specs in")?,
+    })
 }
 
 #[cfg(test)]

@@ -97,7 +97,12 @@ impl SetAssocCache {
     /// # Panics
     ///
     /// Panics if `set_index` is out of range.
-    pub fn access_at(&mut self, set_index: u32, allowed_ways: u64, access: &Access) -> AccessOutcome {
+    pub fn access_at(
+        &mut self,
+        set_index: u32,
+        allowed_ways: u64,
+        access: &Access,
+    ) -> AccessOutcome {
         assert!(
             set_index < self.geometry.sets(),
             "set index {set_index} out of range ({} sets)",

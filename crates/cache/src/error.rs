@@ -54,7 +54,10 @@ impl fmt::Display for CacheError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CacheError::InvalidGeometry { parameter, value } => {
-                write!(f, "cache {parameter} of {value} is not a non-zero power of two")
+                write!(
+                    f,
+                    "cache {parameter} of {value} is not a non-zero power of two"
+                )
             }
             CacheError::PartitionOutOfRange {
                 base_set,
@@ -69,7 +72,11 @@ impl fmt::Display for CacheError {
                 write!(f, "partition size of {sets} sets is not a power of two")
             }
             CacheError::PartitionOverlap { base_set, sets } => {
-                write!(f, "partition [{base_set}, {}) overlaps an existing partition", base_set + sets)
+                write!(
+                    f,
+                    "partition [{base_set}, {}) overlaps an existing partition",
+                    base_set + sets
+                )
             }
             CacheError::InvalidWayMask { mask, ways } => {
                 write!(f, "way mask {mask:#b} is invalid for a {ways}-way cache")

@@ -59,7 +59,7 @@ impl CacheGeometry {
     /// zero or not a power of two.
     pub fn with_size(size_bytes: u64, ways: u32) -> Result<Self, CacheError> {
         let way_bytes = u64::from(ways) * LINE_SIZE_BYTES;
-        if way_bytes == 0 || size_bytes % way_bytes != 0 {
+        if way_bytes == 0 || !size_bytes.is_multiple_of(way_bytes) {
             return Err(CacheError::InvalidGeometry {
                 parameter: "size_bytes",
                 value: size_bytes,

@@ -8,6 +8,10 @@
 //! * [`SetAssocCache`] — a set-associative cache with selectable
 //!   [`ReplacementPolicy`] (LRU, tree-PLRU, FIFO, random), write-back /
 //!   write-allocate behaviour, and per-task / per-region miss accounting.
+//! * [`CacheModel`] — the **object-safe** trait unifying the four L2
+//!   organisations of the study; the multiprocessor platform holds a
+//!   `Box<dyn CacheModel>`, so organisations are interchangeable at run
+//!   time and one timing path serves every experiment.
 //! * [`SharedCache`] — the baseline organisation of the paper: all tasks
 //!   index the cache directly and evict each other freely.
 //! * [`SetPartitionedCache`] — the paper's proposal: an OS-loaded
@@ -18,18 +22,23 @@
 //!   work (Suh et al. / Stone et al.), which restricts each partition to a
 //!   subset of the ways of every set; its granularity is limited by the
 //!   associativity, which is the argument §2 of the paper makes against it.
-//! * [`CacheOrganization`] — the trait the multiprocessor platform uses so
-//!   the three organisations are interchangeable.
+//! * [`ProfilingCache`] — the shared baseline plus per-entity shadow caches
+//!   measuring the miss-vs-size curves ([`MissProfiles`]) that feed the
+//!   partition-sizing optimiser.
+//! * [`OrganizationSpec`] — a declarative, `Send + Sync` description of any
+//!   of the four organisations; [`OrganizationSpec::build`] produces the
+//!   `Box<dyn CacheModel>` a run executes against.
 //!
 //! # Example
 //!
 //! ```
-//! use compmem_cache::{CacheConfig, CacheOrganization, SharedCache};
-//! use compmem_trace::{Access, Addr, RegionId, TaskId};
+//! use compmem_cache::{CacheConfig, CacheModel, OrganizationSpec};
+//! use compmem_trace::{Access, Addr, RegionId, RegionTable, TaskId};
 //!
 //! # fn main() -> Result<(), compmem_cache::CacheError> {
 //! let config = CacheConfig::new(64, 4)?; // 64 sets, 4 ways, 64-byte lines
-//! let mut cache = SharedCache::new(config);
+//! let regions = RegionTable::new();
+//! let mut cache = OrganizationSpec::Shared.build(config, &regions)?;
 //! let a = Access::load(Addr::new(0x4000), 4, TaskId::new(0), RegionId::new(0));
 //! let first = cache.access(&a);
 //! let second = cache.access(&a);
@@ -46,10 +55,12 @@ mod cache;
 mod config;
 mod error;
 mod geometry;
-mod organization;
+mod model;
 mod partition;
+mod profile;
 mod replacement;
 mod set;
+mod spec;
 mod stats;
 mod way_partition;
 
@@ -57,8 +68,10 @@ pub use cache::{AccessOutcome, EvictedLine, SetAssocCache};
 pub use config::CacheConfig;
 pub use error::CacheError;
 pub use geometry::CacheGeometry;
-pub use organization::{CacheOrganization, SharedCache};
+pub use model::{CacheModel, CacheSnapshot, SharedCache};
 pub use partition::{Partition, PartitionKey, PartitionMap, SetPartitionedCache};
+pub use profile::{CacheSizeLattice, MissProfile, MissProfiles, ProfilingCache};
 pub use replacement::ReplacementPolicy;
+pub use spec::OrganizationSpec;
 pub use stats::{CacheStats, KeyStats, StatsByKey};
 pub use way_partition::{WayAllocation, WayPartitionedCache};

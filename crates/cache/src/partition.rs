@@ -9,6 +9,7 @@
 //! *inside* the key's partition. Tasks therefore can never evict each
 //! other's lines, which is exactly the compositionality mechanism of §3.
 
+use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -20,7 +21,7 @@ use crate::cache::{AccessOutcome, SetAssocCache};
 use crate::config::CacheConfig;
 use crate::error::CacheError;
 use crate::geometry::CacheGeometry;
-use crate::organization::CacheOrganization;
+use crate::model::CacheModel;
 use crate::stats::{CacheStats, KeyStats, StatsByKey};
 
 /// The entity a cache partition is allocated to.
@@ -307,7 +308,11 @@ impl SetPartitionedCache {
     }
 }
 
-impl CacheOrganization for SetPartitionedCache {
+impl CacheModel for SetPartitionedCache {
+    fn organization(&self) -> &'static str {
+        "set-partitioned"
+    }
+
     fn access(&mut self, access: &Access) -> AccessOutcome {
         let (partition, key) = self.region_partitions[access.region.index()];
         let set = partition.index_of(access.addr.line());
@@ -332,6 +337,10 @@ impl CacheOrganization for SetPartitionedCache {
         self.inner.stats_by_region()
     }
 
+    fn stats_by_partition(&self) -> Option<&StatsByKey<PartitionKey>> {
+        Some(&self.by_partition)
+    }
+
     fn flush(&mut self) -> u64 {
         self.inner.flush()
     }
@@ -339,6 +348,14 @@ impl CacheOrganization for SetPartitionedCache {
     fn reset_stats(&mut self) {
         self.inner.reset_stats();
         self.by_partition = StatsByKey::new();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
     }
 }
 
@@ -494,19 +511,22 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(map.partition_for(PartitionKey::AppData).unwrap().base_set, 0);
+        assert_eq!(
+            map.partition_for(PartitionKey::AppData).unwrap().base_set,
+            0
+        );
         assert_eq!(map.partition_for(PartitionKey::AppBss).unwrap().base_set, 4);
-        assert_eq!(map.partition_for(PartitionKey::RtData).unwrap().base_set, 12);
+        assert_eq!(
+            map.partition_for(PartitionKey::RtData).unwrap().base_set,
+            12
+        );
         assert_eq!(map.assigned_sets(), 28);
         assert_eq!(map.len(), 3);
     }
 
     #[test]
     fn display_formats() {
-        assert_eq!(
-            PartitionKey::Task(TaskId::new(2)).to_string(),
-            "task T2"
-        );
+        assert_eq!(PartitionKey::Task(TaskId::new(2)).to_string(), "task T2");
         assert_eq!(
             Partition {
                 base_set: 4,

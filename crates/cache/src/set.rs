@@ -130,8 +130,7 @@ impl CacheSet {
     }
 
     fn free_allowed_way(&self, allowed_ways: u64) -> Option<usize> {
-        (0..self.ways.len())
-            .find(|&w| allowed_ways & (1 << w) != 0 && self.ways[w].is_none())
+        (0..self.ways.len()).find(|&w| allowed_ways & (1 << w) != 0 && self.ways[w].is_none())
     }
 
     fn touch(&mut self, way: usize, policy: ReplacementPolicy) {
@@ -192,7 +191,7 @@ impl CacheSet {
                 // Accessed the left half: point the bit to the right half.
                 self.plru_bits |= 1 << node;
                 hi = mid;
-                node = node * 2;
+                node *= 2;
             } else {
                 self.plru_bits &= !(1 << node);
                 lo = mid;
@@ -215,7 +214,7 @@ impl CacheSet {
                 node = node * 2 + 1;
             } else {
                 hi = mid;
-                node = node * 2;
+                node *= 2;
             }
         }
         lo

@@ -8,6 +8,7 @@
 //! partition is a quarter of the cache. This module implements that scheme
 //! so the ablation experiment (E6 of DESIGN.md) can quantify the argument.
 
+use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -19,7 +20,7 @@ use crate::cache::{AccessOutcome, SetAssocCache};
 use crate::config::CacheConfig;
 use crate::error::CacheError;
 use crate::geometry::CacheGeometry;
-use crate::organization::CacheOrganization;
+use crate::model::CacheModel;
 use crate::partition::PartitionKey;
 use crate::stats::{CacheStats, StatsByKey};
 
@@ -62,7 +63,11 @@ impl WayAllocation {
     /// ways beyond the associativity.
     pub fn assign(&mut self, key: PartitionKey, mask: u64) -> Result<(), CacheError> {
         let ways = self.geometry.ways();
-        let valid = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+        let valid = if ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << ways) - 1
+        };
         if mask == 0 || mask & !valid != 0 {
             return Err(CacheError::InvalidWayMask { mask, ways });
         }
@@ -188,7 +193,11 @@ impl WayPartitionedCache {
     }
 }
 
-impl CacheOrganization for WayPartitionedCache {
+impl CacheModel for WayPartitionedCache {
+    fn organization(&self) -> &'static str {
+        "way-partitioned"
+    }
+
     fn access(&mut self, access: &Access) -> AccessOutcome {
         let (mask, key) = self.region_masks[access.region.index()];
         let set = self.inner.geometry().index_of(access.addr.line());
@@ -213,6 +222,10 @@ impl CacheOrganization for WayPartitionedCache {
         self.inner.stats_by_region()
     }
 
+    fn stats_by_partition(&self) -> Option<&StatsByKey<PartitionKey>> {
+        Some(&self.by_partition)
+    }
+
     fn flush(&mut self) -> u64 {
         self.inner.flush()
     }
@@ -220,6 +233,14 @@ impl CacheOrganization for WayPartitionedCache {
     fn reset_stats(&mut self) {
         self.inner.reset_stats();
         self.by_partition = StatsByKey::new();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
     }
 }
 

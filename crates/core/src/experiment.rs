@@ -1,28 +1,42 @@
 //! Experiment drivers that regenerate the paper's evaluation.
 //!
+//! # One driver, four organisations
+//!
+//! Every simulation run is described declaratively by a [`RunSpec`] — an L2
+//! configuration plus an [`OrganizationSpec`] naming one of the four L2
+//! organisations (shared, set-partitioned, way-partitioned, profiling).
+//! [`Experiment::run`] is the **single** execution path: it builds the
+//! application, turns the spec into a `Box<dyn CacheModel>`, and hands both
+//! to the platform's discrete-event engine. There are no per-organisation
+//! drivers any more; organisation-specific behaviour lives entirely behind
+//! the `CacheModel` trait.
+//!
+//! Because specs are plain data and the application factory is a pure
+//! function, independent runs are embarrassingly parallel:
+//! [`Experiment::run_all`] fans a batch of specs out across one thread per
+//! spec, and [`Experiment::compare_optimizers`] solves the three partition-
+//! sizing strategies concurrently.
+//!
 //! The central entry point is [`Experiment::run_paper_flow`], which performs
 //! the full method of the paper on one application:
 //!
 //! 1. run the application on the conventional **shared** L2 (this run also
 //!    measures the per-entity miss profiles through the
-//!    [`ProfilingCache`](crate::profile::ProfilingCache)),
+//!    [`ProfilingCache`](compmem_cache::ProfilingCache) organisation),
 //! 2. size the partitions by minimising the total predicted misses
 //!    (FIFOs pinned to their own size, everything else optimised),
 //! 3. run the application on the **set-partitioned** L2 with that
 //!    allocation,
 //! 4. compare expected and simulated per-entity misses (compositionality).
-//!
-//! Individual runs (shared with a different L2 size, way-partitioned
-//! column-caching baseline, alternative optimisers) are exposed for the
-//! ablation experiments of DESIGN.md.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
 use compmem_cache::{
-    CacheConfig, CacheOrganization, KeyStats, PartitionKey, PartitionMap, SetPartitionedCache,
-    WayAllocation, WayPartitionedCache,
+    CacheConfig, CacheModel, CacheSnapshot, KeyStats, OrganizationSpec, PartitionKey, PartitionMap,
+    ProfilingCache, WayAllocation,
 };
 use compmem_platform::{PlatformConfig, System, SystemReport};
 use compmem_trace::{RegionKind, RegionTable};
@@ -31,7 +45,7 @@ use compmem_workloads::apps::Application;
 use crate::compositionality::CompositionalityReport;
 use crate::error::CoreError;
 use crate::optimizer::{self, Allocation, AllocationEntity, AllocationProblem, OptimizerKind};
-use crate::profile::{CacheSizeLattice, MissProfiles, ProfilingCache};
+use crate::profile::{CacheSizeLattice, MissProfiles};
 
 /// Configuration shared by all experiment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,6 +71,24 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// A declarative description of one simulation run: which L2 configuration
+/// and which organisation. Specs are plain data (`Clone + Send + Sync`), so
+/// batches of them can be built up front and executed in parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// The L2 cache configuration of the run.
+    pub l2: CacheConfig,
+    /// The L2 organisation of the run.
+    pub organization: OrganizationSpec,
+}
+
+impl RunSpec {
+    /// Short name of the organisation this spec runs.
+    pub fn label(&self) -> &'static str {
+        self.organization.label()
+    }
+}
+
 /// The result of one simulation run with per-entity L2 statistics.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunOutcome {
@@ -64,6 +96,8 @@ pub struct RunOutcome {
     pub report: SystemReport,
     /// L2 accesses and misses per partition key (task, buffer, section).
     pub by_key: BTreeMap<PartitionKey, KeyStats>,
+    /// Uniform snapshot of the L2 organisation's counters after the run.
+    pub l2_snapshot: CacheSnapshot,
 }
 
 impl RunOutcome {
@@ -225,20 +259,42 @@ fn key_names(app: &Application) -> BTreeMap<PartitionKey, String> {
     names
 }
 
+/// Distinct partition keys of an application, in region order.
+fn partition_keys(app: &Application) -> Vec<PartitionKey> {
+    let mut keys: Vec<PartitionKey> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for region in app.space.table().iter() {
+        let key = PartitionKey::from_region_kind(region.kind);
+        if seen.insert(key) {
+            keys.push(key);
+        }
+    }
+    keys
+}
+
 /// An experiment bound to an application factory.
 ///
 /// The factory is invoked once per simulation run (the process network is
 /// consumed by execution); it must be deterministic so that all runs see the
-/// same address-space layout.
+/// same address-space layout. When the factory is additionally `Sync`,
+/// batches of runs execute in parallel worker threads.
 pub struct Experiment<F> {
     config: ExperimentConfig,
     factory: F,
+    /// Partition keys of the application, derived lazily from one factory
+    /// call and cached: spec construction must not pay a full application
+    /// build per call.
+    entity_keys: OnceLock<Vec<PartitionKey>>,
 }
 
 impl<F: Fn() -> Application> Experiment<F> {
     /// Creates an experiment.
     pub fn new(config: ExperimentConfig, factory: F) -> Self {
-        Experiment { config, factory }
+        Experiment {
+            config,
+            factory,
+            entity_keys: OnceLock::new(),
+        }
     }
 
     /// The configuration of the experiment.
@@ -254,43 +310,126 @@ impl<F: Fn() -> Application> Experiment<F> {
         CacheSizeLattice::new(self.config.l2.geometry(), self.config.sets_per_unit)
     }
 
-    fn run_app<L2: CacheOrganization>(
-        &self,
-        mut app: Application,
-        l2: L2,
-    ) -> Result<(RunOutcome, L2, Application), CoreError> {
+    // ----- spec constructors (pure data, no simulation) -----
+
+    /// Spec of the shared-cache baseline on the configured L2.
+    pub fn shared_spec(&self) -> RunSpec {
+        RunSpec {
+            l2: self.config.l2,
+            organization: OrganizationSpec::Shared,
+        }
+    }
+
+    /// Spec of a shared-cache run with an alternative L2 configuration
+    /// (e.g. the paper's 1 MB comparison point).
+    pub fn shared_spec_with_l2(&self, l2: CacheConfig) -> RunSpec {
+        RunSpec {
+            l2,
+            organization: OrganizationSpec::Shared,
+        }
+    }
+
+    /// Spec of the profiling run: the shared baseline plus shadow caches
+    /// measuring per-entity miss-vs-size profiles.
+    pub fn profiling_spec(&self) -> RunSpec {
+        RunSpec {
+            l2: self.config.l2,
+            organization: OrganizationSpec::Profiling(self.lattice()),
+        }
+    }
+
+    /// Spec of the set-partitioned run with the given allocation (packed
+    /// back to back from set 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CapacityExceeded`] if the allocation does not
+    /// fit, or a cache error if the packed map is invalid.
+    pub fn partitioned_spec(&self, allocation: &Allocation) -> Result<RunSpec, CoreError> {
+        let lattice = self.lattice();
+        if allocation.total_units > lattice.total_units {
+            return Err(CoreError::CapacityExceeded {
+                requested: allocation.total_units,
+                available: lattice.total_units,
+            });
+        }
+        let sizes: Vec<(PartitionKey, u32)> = allocation
+            .iter()
+            .map(|(k, &units)| (*k, lattice.sets_of(units)))
+            .collect();
+        let map = PartitionMap::pack(self.config.l2.geometry(), &sizes)?;
+        Ok(RunSpec {
+            l2: self.config.l2,
+            organization: OrganizationSpec::SetPartitioned(map),
+        })
+    }
+
+    /// Spec of the way-partitioned (column caching) baseline, splitting the
+    /// ways evenly over all entities of the application.
+    ///
+    /// The entity keys come from the application's region table, which is
+    /// derived once (the first caller pays one factory invocation) and
+    /// cached for the lifetime of the experiment.
+    pub fn way_partitioned_spec(&self) -> RunSpec {
+        let keys = self
+            .entity_keys
+            .get_or_init(|| partition_keys(&(self.factory)()));
+        let allocation = WayAllocation::equal_split(self.config.l2.geometry(), keys);
+        RunSpec {
+            l2: self.config.l2,
+            organization: OrganizationSpec::WayPartitioned(allocation),
+        }
+    }
+
+    // ----- the single execution path -----
+
+    /// Runs one spec and additionally returns the L2 model, so callers can
+    /// recover organisation-specific state (profiles) by downcasting.
+    fn run_model(&self, spec: &RunSpec) -> Result<(RunOutcome, Box<dyn CacheModel>), CoreError> {
+        let mut app = (self.factory)();
         let platform = self.platform_for(&app);
+        let l2 = spec.organization.build(spec.l2, app.space.table())?;
         let mut system = System::new(platform, l2, app.mapping.clone())?;
         let report = system.run(&mut app.network)?;
         let by_key = by_key_from_regions(app.space.table(), &report);
         let l2 = system.into_l2();
-        Ok((RunOutcome { report, by_key }, l2, app))
+        let l2_snapshot = l2.snapshot();
+        Ok((
+            RunOutcome {
+                report,
+                by_key,
+                l2_snapshot,
+            },
+            l2,
+        ))
+    }
+
+    /// Runs the application once as described by `spec`.
+    ///
+    /// This is the only simulation driver: every organisation — baseline,
+    /// partitioned, ablation or profiling — goes through this path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache, platform and workload errors.
+    pub fn run(&self, spec: &RunSpec) -> Result<RunOutcome, CoreError> {
+        self.run_model(spec).map(|(outcome, _)| outcome)
     }
 
     /// Runs the shared-cache baseline and measures the per-entity miss
-    /// profiles in the same run.
+    /// profiles in the same run (the profiling organisation's main cache
+    /// behaves exactly like the shared baseline).
     ///
     /// # Errors
     ///
     /// Propagates platform and workload errors.
-    pub fn run_shared_with_profiles(&self) -> Result<(RunOutcome, MissProfiles), CoreError> {
-        let app = (self.factory)();
-        let profiler = ProfilingCache::new(self.config.l2, app.space.table(), self.lattice());
-        let (outcome, profiler, _) = self.run_app(app, profiler)?;
+    pub fn run_profiled(&self) -> Result<(RunOutcome, MissProfiles), CoreError> {
+        let (outcome, l2) = self.run_model(&self.profiling_spec())?;
+        let profiler = l2
+            .into_any()
+            .downcast::<ProfilingCache>()
+            .expect("the profiling spec builds a ProfilingCache");
         Ok((outcome, profiler.into_profiles()))
-    }
-
-    /// Runs the shared-cache baseline with an alternative L2 configuration
-    /// (e.g. the paper's 1 MB comparison point).
-    ///
-    /// # Errors
-    ///
-    /// Propagates platform and workload errors.
-    pub fn run_shared_with_l2(&self, l2: CacheConfig) -> Result<RunOutcome, CoreError> {
-        let app = (self.factory)();
-        let cache = compmem_cache::SharedCache::new(l2);
-        let (outcome, _, _) = self.run_app(app, cache)?;
-        Ok(outcome)
     }
 
     /// Builds the allocation problem for the application: FIFOs are pinned
@@ -325,73 +464,6 @@ impl<F: Fn() -> Application> Experiment<F> {
         }
     }
 
-    /// Runs the application on the set-partitioned L2 with the given
-    /// allocation.
-    ///
-    /// # Errors
-    ///
-    /// Propagates cache, platform and workload errors (e.g. an allocation
-    /// that does not fit).
-    pub fn run_partitioned(&self, allocation: &Allocation) -> Result<RunOutcome, CoreError> {
-        let app = (self.factory)();
-        let lattice = self.lattice();
-        if allocation.total_units > lattice.total_units {
-            return Err(CoreError::CapacityExceeded {
-                requested: allocation.total_units,
-                available: lattice.total_units,
-            });
-        }
-        let sizes: Vec<(PartitionKey, u32)> = allocation
-            .iter()
-            .map(|(k, &units)| (*k, lattice.sets_of(units)))
-            .collect();
-        let map = PartitionMap::pack(self.config.l2.geometry(), &sizes)?;
-        let cache = SetPartitionedCache::new(self.config.l2, app.space.table(), &map)?;
-        let (outcome, _, _) = self.run_app(app, cache)?;
-        Ok(outcome)
-    }
-
-    /// Runs the application on the way-partitioned (column caching)
-    /// baseline, splitting the ways evenly over all entities.
-    ///
-    /// # Errors
-    ///
-    /// Propagates cache, platform and workload errors.
-    pub fn run_way_partitioned(&self) -> Result<RunOutcome, CoreError> {
-        let app = (self.factory)();
-        let mut keys: Vec<PartitionKey> = Vec::new();
-        let mut seen = std::collections::BTreeSet::new();
-        for region in app.space.table().iter() {
-            let key = PartitionKey::from_region_kind(region.kind);
-            if seen.insert(key) {
-                keys.push(key);
-            }
-        }
-        let allocation = WayAllocation::equal_split(self.config.l2.geometry(), &keys);
-        let cache = WayPartitionedCache::new(self.config.l2, app.space.table(), &allocation)?;
-        let (outcome, _, _) = self.run_app(app, cache)?;
-        Ok(outcome)
-    }
-
-    /// Compares the three partition-sizing strategies on already-measured
-    /// profiles (the optimiser ablation).
-    ///
-    /// # Errors
-    ///
-    /// Propagates optimiser errors.
-    pub fn compare_optimizers(
-        &self,
-        app: &Application,
-        profiles: &MissProfiles,
-    ) -> Result<Vec<Allocation>, CoreError> {
-        let problem = self.build_allocation_problem(app, profiles.clone());
-        Ok(vec![
-            optimizer::solve(&problem, OptimizerKind::ExactIlp)?,
-            optimizer::solve(&problem, OptimizerKind::Greedy)?,
-            optimizer::solve(&problem, OptimizerKind::EqualSplit)?,
-        ])
-    }
-
     /// Runs the complete method of the paper on the application.
     ///
     /// # Errors
@@ -402,15 +474,12 @@ impl<F: Fn() -> Application> Experiment<F> {
         let names = key_names(&reference_app);
         let app_name = reference_app.name.clone();
 
-        let (shared, profiles) = self.run_shared_with_profiles()?;
+        let (shared, profiles) = self.run_profiled()?;
         let problem = self.build_allocation_problem(&reference_app, profiles.clone());
         let allocation = optimizer::solve(&problem, self.config.optimizer)?;
-        let partitioned = self.run_partitioned(&allocation)?;
-        let compositionality = CompositionalityReport::compare(
-            &profiles,
-            &allocation,
-            &partitioned.misses_by_key(),
-        );
+        let partitioned = self.run(&self.partitioned_spec(&allocation)?)?;
+        let compositionality =
+            CompositionalityReport::compare(&profiles, &allocation, &partitioned.misses_by_key());
         Ok(PaperFlowOutcome {
             app_name,
             shared,
@@ -420,6 +489,61 @@ impl<F: Fn() -> Application> Experiment<F> {
             compositionality,
             key_names: names,
             sets_per_unit: self.config.sets_per_unit,
+        })
+    }
+}
+
+impl<F: Fn() -> Application + Sync> Experiment<F> {
+    /// Runs a batch of independent specs in parallel, one worker thread per
+    /// spec, and returns the outcomes in spec order.
+    ///
+    /// The runs share nothing — each thread builds its own application and
+    /// its own `Box<dyn CacheModel>` from the spec — which is exactly what
+    /// the trait-object refactor buys: no monomorphised type ties the runs
+    /// together, so a shared/partitioned pair or a whole ablation sweep
+    /// executes concurrently.
+    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Result<RunOutcome, CoreError>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| scope.spawn(move || self.run(spec)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("run worker thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Compares the three partition-sizing strategies on already-measured
+    /// profiles (the optimiser ablation), solving them in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimiser errors.
+    pub fn compare_optimizers(
+        &self,
+        app: &Application,
+        profiles: &MissProfiles,
+    ) -> Result<Vec<Allocation>, CoreError> {
+        let problem = self.build_allocation_problem(app, profiles.clone());
+        let kinds = [
+            OptimizerKind::ExactIlp,
+            OptimizerKind::Greedy,
+            OptimizerKind::EqualSplit,
+        ];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = kinds
+                .iter()
+                .map(|&kind| {
+                    let problem = &problem;
+                    scope.spawn(move || optimizer::solve(problem, kind))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("optimizer worker thread panicked"))
+                .collect()
         })
     }
 }
@@ -461,6 +585,13 @@ mod tests {
         assert!(!outcome.table_rows().is_empty());
         assert_eq!(outcome.figure2_rows().len(), outcome.allocation.units.len());
         assert!(!outcome.summary().is_empty());
+        // The runs expose which organisation they went through.
+        assert_eq!(outcome.shared.l2_snapshot.organization, "profiling");
+        assert_eq!(
+            outcome.partitioned.l2_snapshot.organization,
+            "set-partitioned"
+        );
+        assert!(!outcome.partitioned.l2_snapshot.by_partition.is_empty());
     }
 
     #[test]
@@ -480,20 +611,49 @@ mod tests {
     }
 
     #[test]
-    fn way_partitioned_and_larger_shared_runs_work() {
+    fn spec_batch_runs_all_organisations_in_parallel() {
         let params = JpegCannyParams::tiny();
         let experiment = Experiment::new(tiny_config(), move || {
             jpeg_canny_app(&params).expect("valid params")
         });
-        let way = experiment.run_way_partitioned().unwrap();
+        let specs = vec![
+            experiment.shared_spec(),
+            experiment.way_partitioned_spec(),
+            experiment.shared_spec_with_l2(CacheConfig::with_size_bytes(8 * 1024, 4).unwrap()),
+        ];
+        let results = experiment.run_all(&specs);
+        assert_eq!(results.len(), 3);
+        let shared = results[0].as_ref().unwrap();
+        let way = results[1].as_ref().unwrap();
+        let small = results[2].as_ref().unwrap();
         assert!(way.report.l2.accesses > 0);
-        let big = experiment
-            .run_shared_with_l2(CacheConfig::with_size_bytes(64 * 1024, 4).unwrap())
-            .unwrap();
-        let small = experiment
-            .run_shared_with_l2(CacheConfig::with_size_bytes(8 * 1024, 4).unwrap())
-            .unwrap();
-        assert!(big.report.l2.misses <= small.report.l2.misses);
+        assert_eq!(way.l2_snapshot.organization, "way-partitioned");
+        // A larger shared cache can only help.
+        assert!(shared.report.l2.misses <= small.report.l2.misses);
+        // All organisations execute the same functional work.
+        assert_eq!(
+            shared.report.total_instructions(),
+            way.report.total_instructions()
+        );
+    }
+
+    #[test]
+    fn parallel_runs_match_sequential_runs() {
+        let params = Mpeg2Params::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            mpeg2_app(&params).expect("valid params")
+        });
+        let specs = vec![experiment.shared_spec(), experiment.way_partitioned_spec()];
+        let parallel = experiment.run_all(&specs);
+        for (spec, outcome) in specs.iter().zip(&parallel) {
+            let sequential = experiment.run(spec).unwrap();
+            assert_eq!(
+                outcome.as_ref().unwrap(),
+                &sequential,
+                "parallel and sequential runs of `{}` diverged",
+                spec.label()
+            );
+        }
     }
 
     #[test]
@@ -502,7 +662,7 @@ mod tests {
         let experiment = Experiment::new(tiny_config(), move || {
             jpeg_canny_app(&params).expect("valid params")
         });
-        let (_, profiles) = experiment.run_shared_with_profiles().unwrap();
+        let (_, profiles) = experiment.run_profiled().unwrap();
         let app = jpeg_canny_app(&JpegCannyParams::tiny()).unwrap();
         let allocations = experiment.compare_optimizers(&app, &profiles).unwrap();
         assert_eq!(allocations.len(), 3);
@@ -510,5 +670,25 @@ mod tests {
         for other in &allocations[1..] {
             assert!(exact.predicted_misses <= other.predicted_misses);
         }
+    }
+
+    #[test]
+    fn oversized_allocation_is_rejected() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let mut units = BTreeMap::new();
+        units.insert(PartitionKey::AppData, 10_000);
+        let allocation = Allocation {
+            kind: OptimizerKind::EqualSplit,
+            units,
+            total_units: 10_000,
+            predicted_misses: 0,
+        };
+        assert!(matches!(
+            experiment.partitioned_spec(&allocation),
+            Err(CoreError::CapacityExceeded { .. })
+        ));
     }
 }

@@ -165,7 +165,9 @@ mod tests {
     fn processor_time_sums_tasks_and_switches() {
         let (m, mapping) = model();
         let p0 = m.processor_time(&mapping, 0);
-        assert!((p0 - (m.task_time(TaskId::new(0)) + m.task_time(TaskId::new(2)) + 200.0)).abs() < 1e-9);
+        assert!(
+            (p0 - (m.task_time(TaskId::new(0)) + m.task_time(TaskId::new(2)) + 200.0)).abs() < 1e-9
+        );
         let p1 = m.processor_time(&mapping, 1);
         assert!((p1 - m.task_time(TaskId::new(1))).abs() < 1e-9);
     }

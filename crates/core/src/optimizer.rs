@@ -106,10 +106,7 @@ fn finish(
     units: BTreeMap<PartitionKey, u32>,
 ) -> Allocation {
     let total_units = units.values().sum();
-    let predicted_misses = units
-        .iter()
-        .map(|(k, &u)| problem.misses_of(*k, u))
-        .sum();
+    let predicted_misses = units.iter().map(|(k, &u)| problem.misses_of(*k, u)).sum();
     Allocation {
         kind,
         units,
@@ -161,9 +158,7 @@ pub fn solve_exact(problem: &AllocationProblem) -> Result<Allocation, CoreError>
     // dp[i][c] = minimal misses for entities i.. using at most c units.
     let mut dp = vec![vec![INFEASIBLE; capacity + 1]; n + 1];
     let mut choice = vec![vec![0u32; capacity + 1]; n];
-    for c in 0..=capacity {
-        dp[n][c] = 0;
-    }
+    dp[n].fill(0);
     for i in (0..n).rev() {
         let entity = &problem.entities[i];
         for c in 0..=capacity {
@@ -356,8 +351,10 @@ mod tests {
             PartitionKey::Task(TaskId::new(1)),
             PartitionKey::Task(TaskId::new(2)),
         ];
-        let mut profiles = MissProfiles::default();
-        profiles.lattice_units = vec![1, 2, 4, 8];
+        let mut profiles = MissProfiles {
+            lattice_units: vec![1, 2, 4, 8],
+            ..Default::default()
+        };
         profiles
             .profiles
             .insert(keys[0], profile(&[(1, 1000), (2, 900), (4, 500), (8, 50)]));
@@ -435,10 +432,7 @@ mod tests {
     #[test]
     fn infeasible_problems_are_reported() {
         let p = problem(2);
-        assert!(matches!(
-            solve_exact(&p),
-            Err(CoreError::Infeasible { .. })
-        ));
+        assert!(matches!(solve_exact(&p), Err(CoreError::Infeasible { .. })));
         let mut empty = problem(8);
         empty.entities.clear();
         assert!(solve(&empty, OptimizerKind::Greedy).is_err());

@@ -11,7 +11,10 @@ pub fn format_allocation_table(outcome: &PaperFlowOutcome) -> String {
         "Allocated L2 sets for `{}` (1 unit = {} sets)\n",
         outcome.app_name, outcome.sets_per_unit
     ));
-    out.push_str(&format!("{:<28} {:>8} {:>10}\n", "entity", "units", "L2 sets"));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>10}\n",
+        "entity", "units", "L2 sets"
+    ));
     for (name, units, sets) in outcome.table_rows() {
         out.push_str(&format!("{name:<28} {units:>8} {sets:>10}\n"));
     }

@@ -59,16 +59,18 @@ impl<'a> FireContext<'a> {
     }
 
     fn input_fifo(&self, port: usize) -> &Fifo {
-        let id = self.inputs.get(port).unwrap_or_else(|| {
-            panic!("task {} has no input port {port}", self.task)
-        });
+        let id = self
+            .inputs
+            .get(port)
+            .unwrap_or_else(|| panic!("task {} has no input port {port}", self.task));
         &self.fifos[id.index()]
     }
 
     fn output_fifo(&self, port: usize) -> &Fifo {
-        let id = self.outputs.get(port).unwrap_or_else(|| {
-            panic!("task {} has no output port {port}", self.task)
-        });
+        let id = self
+            .outputs
+            .get(port)
+            .unwrap_or_else(|| panic!("task {} has no output port {port}", self.task));
         &self.fifos[id.index()]
     }
 
@@ -107,9 +109,11 @@ impl<'a> FireContext<'a> {
     /// Panics if the port does not exist or the FIFO is empty (the process
     /// must check [`available`](Self::available) first).
     pub fn pop(&mut self, port: usize) -> i32 {
-        let id = self.inputs.get(port).copied().unwrap_or_else(|| {
-            panic!("task {} has no input port {port}", self.task)
-        });
+        let id = self
+            .inputs
+            .get(port)
+            .copied()
+            .unwrap_or_else(|| panic!("task {} has no input port {port}", self.task));
         let task = self.task;
         // Split borrows: the FIFO is mutated, the ops vector records the copy.
         let (fifo, ops) = (&mut self.fifos[id.index()], &mut self.ops);
@@ -124,9 +128,11 @@ impl<'a> FireContext<'a> {
     /// Panics if the port does not exist or the FIFO is full (the process
     /// must check [`space`](Self::space) first).
     pub fn push(&mut self, port: usize, value: i32) {
-        let id = self.outputs.get(port).copied().unwrap_or_else(|| {
-            panic!("task {} has no output port {port}", self.task)
-        });
+        let id = self
+            .outputs
+            .get(port)
+            .copied()
+            .unwrap_or_else(|| panic!("task {} has no output port {port}", self.task));
         let task = self.task;
         let (fifo, ops) = (&mut self.fifos[id.index()], &mut self.ops);
         let mut sink = OpSink(ops);

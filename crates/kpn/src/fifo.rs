@@ -180,9 +180,10 @@ mod tests {
             let _ = f.pop(&mut sink, t);
         }
         let addrs: Vec<u64> = sink.iter().map(|a| a.addr.value()).collect();
-        assert_eq!(addrs, vec![
-            0x1000, 0x1000, 0x1004, 0x1004, 0x1000, 0x1000, 0x1004, 0x1004
-        ]);
+        assert_eq!(
+            addrs,
+            vec![0x1000, 0x1000, 0x1004, 0x1004, 0x1000, 0x1000, 0x1004, 0x1004]
+        );
         assert_eq!(sink.accesses()[0].kind, AccessKind::Store);
         assert_eq!(sink.accesses()[1].kind, AccessKind::Load);
         assert!(sink.iter().all(|a| a.region == RegionId::new(7)));

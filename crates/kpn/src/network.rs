@@ -1,8 +1,14 @@
 //! The process network: graph construction and execution.
+//!
+//! Execution is discrete-event (see [`Network::run_functional`]): every
+//! process is an actor whose firings are `(ready_cycle, task)` events in a
+//! min-heap, blocked processes park until a neighbouring firing frees FIFO
+//! space or produces tokens, and the whole network advances on one global
+//! virtual clock — the same engine shape the timed platform simulator uses.
 
 use std::fmt;
 
-use compmem_platform::{Burst, BurstOutcome, Op, WorkloadDriver};
+use compmem_platform::{Burst, BurstOutcome, EventQueue, Op, WorkloadDriver};
 use compmem_trace::{
     Access, AddressSpace, BufferId, RegionId, RegionKind, TaskId, LINE_SIZE_BYTES,
 };
@@ -117,7 +123,8 @@ impl NetworkBuilder {
     pub fn add_process(&mut self, process: Box<dyn Process>, layout: TaskLayout) -> TaskId {
         let task = self.next_task_id();
         assert_eq!(
-            layout.task, task,
+            layout.task,
+            task,
             "layout of `{}` was allocated for {} but the process receives {}",
             process.name(),
             layout.task,
@@ -162,7 +169,8 @@ impl NetworkBuilder {
         )?;
         let base = space.region(region).base;
         let id = ChannelId::new(self.fifos.len());
-        self.fifos.push(Fifo::new(name, region, base, capacity_tokens));
+        self.fifos
+            .push(Fifo::new(name, region, base, capacity_tokens));
         self.fifo_producer.push(None);
         self.fifo_consumer.push(None);
         Ok(id)
@@ -292,10 +300,22 @@ impl NetworkBuilder {
                 });
             }
         }
+        let endpoints = self
+            .fifo_producer
+            .iter()
+            .zip(&self.fifo_consumer)
+            .map(|(p, c)| {
+                (
+                    p.expect("validated above: producer connected"),
+                    c.expect("validated above: consumer connected"),
+                )
+            })
+            .collect();
         Ok(Network {
             processes: self.processes,
             fifos: self.fifos,
             frames: self.frames,
+            endpoints,
         })
     }
 }
@@ -311,6 +331,9 @@ pub struct Network {
     processes: Vec<ProcessEntry>,
     fifos: Vec<Fifo>,
     frames: Vec<FrameStore>,
+    /// `(producer, consumer)` of every FIFO, indexed like `fifos`; used by
+    /// the event scheduler to wake exactly the tasks a firing can unblock.
+    endpoints: Vec<(TaskId, TaskId)>,
 }
 
 impl Network {
@@ -448,8 +471,32 @@ impl Network {
         out
     }
 
-    /// Runs the network functionally (no timing, no caches) until every
+    /// Tasks whose blockage a firing (or retirement) of `task` may have
+    /// resolved: the producers of its input FIFOs (space was freed) and the
+    /// consumers of its output FIFOs (tokens arrived, or the channel
+    /// closed).
+    fn neighbours_of(&self, task: TaskId) -> Vec<TaskId> {
+        let entry = &self.processes[task.index()];
+        let mut out = Vec::with_capacity(entry.inputs.len() + entry.outputs.len());
+        for &input in &entry.inputs {
+            out.push(self.endpoints[input.index()].0);
+        }
+        for &output in &entry.outputs {
+            out.push(self.endpoints[output.index()].1);
+        }
+        out
+    }
+
+    /// Runs the network functionally (no caches, virtual time) until every
     /// process finishes or `max_firings` firings have been performed.
+    ///
+    /// This is a discrete-event schedule: each task is an event in a
+    /// min-heap keyed by its `ready_cycle`; firing a task advances its
+    /// ready time by the instruction cost of the firing, so the interleaving
+    /// follows one global virtual clock rather than round-robin polling.
+    /// A task that cannot fire *parks* (leaves the heap) and is re-inserted
+    /// only when a neighbouring firing frees FIFO space, produces tokens or
+    /// closes a channel — so the scheduler never busy-polls blocked tasks.
     ///
     /// Returns `Ok(true)` when every process finished, `Ok(false)` when the
     /// firing budget ran out while progress was still being made.
@@ -459,31 +506,66 @@ impl Network {
     /// Returns [`KpnError::FunctionalRunStalled`] if no process can fire but
     /// some have not finished (a real deadlock, e.g. undersized FIFOs).
     pub fn run_functional(&mut self, max_firings: u64) -> Result<bool, KpnError> {
-        let mut firings = 0u64;
-        loop {
-            if self.all_finished() {
-                return Ok(true);
+        let n = self.processes.len();
+        let mut events: EventQueue<TaskId> = EventQueue::new();
+        // `scheduled[i]` guards against duplicate heap entries per task.
+        let mut scheduled = vec![false; n];
+        let mut parked = vec![false; n];
+        for (i, entry) in self.processes.iter().enumerate() {
+            if !entry.finished {
+                events.push(0, TaskId::new(i as u32));
+                scheduled[i] = true;
             }
-            let mut progressed = false;
-            for i in 0..self.processes.len() {
-                let task = TaskId::new(i as u32);
-                loop {
-                    if firings >= max_firings {
-                        return Ok(false);
-                    }
-                    let (result, _) = self.fire_once(task);
-                    match result {
-                        FireResult::Fired => {
-                            progressed = true;
-                            firings += 1;
-                        }
-                        FireResult::Blocked | FireResult::Finished => break,
+        }
+
+        let mut firings = 0u64;
+        while let Some((now, task)) = events.pop() {
+            scheduled[task.index()] = false;
+            if self.processes[task.index()].finished {
+                continue;
+            }
+            if firings >= max_firings {
+                return Ok(false);
+            }
+            let (result, ops) = self.fire_once(task);
+            let wake = |net: &Network,
+                        events: &mut EventQueue<TaskId>,
+                        scheduled: &mut [bool],
+                        parked: &mut [bool]| {
+                for neighbour in net.neighbours_of(task) {
+                    let i = neighbour.index();
+                    if parked[i] && !scheduled[i] && !net.processes[i].finished {
+                        parked[i] = false;
+                        scheduled[i] = true;
+                        events.push(now, neighbour);
                     }
                 }
+            };
+            match result {
+                FireResult::Fired => {
+                    firings += 1;
+                    // The firing occupies the virtual processor for its
+                    // instruction count; re-fire no earlier than that.
+                    let cost: u64 = ops.iter().map(Op::instructions).sum::<u64>().max(1);
+                    events.push(now + cost, task);
+                    scheduled[task.index()] = true;
+                    wake(self, &mut events, &mut scheduled, &mut parked);
+                }
+                FireResult::Blocked => {
+                    parked[task.index()] = true;
+                }
+                FireResult::Finished => {
+                    // Closing output channels is an event consumers must see;
+                    // producers into this task may also need a final poll.
+                    wake(self, &mut events, &mut scheduled, &mut parked);
+                }
             }
-            if !progressed {
-                return Err(KpnError::FunctionalRunStalled { firings });
-            }
+        }
+
+        if self.all_finished() {
+            Ok(true)
+        } else {
+            Err(KpnError::FunctionalRunStalled { firings })
         }
     }
 }
@@ -639,7 +721,10 @@ mod tests {
         let BurstOutcome::Ready(burst) = outcome else {
             panic!("source should be able to fire");
         };
-        assert!(burst.memory_ops() >= 2, "one store plus at least one ifetch");
+        assert!(
+            burst.memory_ops() >= 2,
+            "one store plus at least one ifetch"
+        );
         assert!(burst
             .ops()
             .iter()
@@ -721,10 +806,7 @@ mod tests {
             Err(KpnError::UnknownProcess { .. })
         ));
         // Missing consumer -> dangling channel at build time.
-        assert!(matches!(
-            b.build(),
-            Err(KpnError::DanglingChannel { .. })
-        ));
+        assert!(matches!(b.build(), Err(KpnError::DanglingChannel { .. })));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use compmem_trace::{AddressSpace, Addr, RegionId, RegionKind, TaskId};
+use compmem_trace::{Addr, AddressSpace, RegionId, RegionKind, TaskId};
 
 use crate::context::FireContext;
 use crate::error::KpnError;
@@ -64,8 +64,11 @@ impl TaskLayout {
         task: TaskId,
         code_bytes: u64,
     ) -> Result<Self, KpnError> {
-        let code_region =
-            space.allocate_region(format!("{name}.code"), RegionKind::TaskCode { task }, code_bytes)?;
+        let code_region = space.allocate_region(
+            format!("{name}.code"),
+            RegionKind::TaskCode { task },
+            code_bytes,
+        )?;
         let code_base = space.region(code_region).base;
         Ok(TaskLayout {
             task,

@@ -204,8 +204,10 @@ mod tests {
     #[test]
     fn zero_processors_rejected() {
         assert!(PlatformConfig::default().processors(0).validate().is_err());
-        let mut c = PlatformConfig::default();
-        c.bus_bytes_per_cycle = 0;
+        let c = PlatformConfig {
+            bus_bytes_per_cycle: 0,
+            ..PlatformConfig::default()
+        };
         assert!(c.validate().is_err());
         assert!(PlatformConfig::default()
             .with_cycle_limit(0)

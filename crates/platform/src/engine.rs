@@ -1,0 +1,155 @@
+//! The discrete-event core shared by the platform and the KPN runtime.
+//!
+//! # The event-driven timing model
+//!
+//! Everything that happens in the simulated machine is an *event*: "this
+//! processor is ready to execute again at cycle `t`", "this task can fire
+//! again at cycle `t`". An [`EventQueue`] is a min-heap of
+//! `(ready_cycle, payload)` entries; the simulation repeatedly pops the
+//! earliest event, performs its work (advancing that actor's local clock),
+//! and pushes the follow-up event. Actors that cannot make progress are
+//! *parked* — they simply have no event in the queue — and are re-inserted
+//! when another actor's event unblocks them (a FIFO gains tokens or space,
+//! a burst completes, a task retires).
+//!
+//! The global clock is therefore implicit: it is the timestamp of the event
+//! currently being processed, and it only ever moves forward. Shared
+//! resources such as the memory bus serialise against this clock (see
+//! [`Bus::request`](crate::Bus::request)), which is how bus contention,
+//! FIFO stalls and per-processor firing are all driven off one timeline.
+//!
+//! Ties are broken by insertion order (FIFO), which keeps runs
+//! deterministic: two events at the same cycle are processed in the order
+//! they were scheduled.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry of the queue.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (and, on ties, first-scheduled) entry on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of `(ready_cycle, payload)` events.
+///
+/// ```
+/// use compmem_platform::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(30, "c");
+/// q.push(10, "a");
+/// q.push(10, "b");
+/// assert_eq!(q.pop(), Some((10, "a"))); // earliest first, FIFO on ties
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((30, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to become ready at cycle `at`.
+    pub fn push(&mut self, at: u64, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Ready cycle of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 'b');
+        q.push(1, 'a');
+        q.push(9, 'c');
+        assert_eq!(q.peek_time(), Some(1));
+        assert_eq!(q.pop(), Some((1, 'a')));
+        assert_eq!(q.pop(), Some((5, 'b')));
+        assert_eq!(q.pop(), Some((9, 'c')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..16 {
+            q.push(7, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..16).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_determinism() {
+        let mut q = EventQueue::new();
+        q.push(10, "x");
+        q.push(10, "y");
+        assert_eq!(q.pop(), Some((10, "x")));
+        q.push(10, "z");
+        assert_eq!(q.pop(), Some((10, "y")));
+        assert_eq!(q.pop(), Some((10, "z")));
+        assert_eq!(q.len(), 0);
+    }
+}

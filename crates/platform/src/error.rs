@@ -61,7 +61,11 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::EmptyMapping => write!(f, "task mapping contains no tasks"),
             PlatformError::Deadlock { blocked } => {
-                write!(f, "workload deadlocked with {} blocked tasks", blocked.len())
+                write!(
+                    f,
+                    "workload deadlocked with {} blocked tasks",
+                    blocked.len()
+                )
             }
             PlatformError::CycleLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the cycle limit of {limit}")

@@ -3,9 +3,20 @@
 //! This crate models the experimental platform of *"Compositional memory
 //! systems for multimedia communicating tasks"* (Molnos et al., DATE 2005):
 //! one tile of the CAKE architecture — a homogeneous set of processors with
-//! private L1 instruction and data caches, a shared unified L2 cache
-//! (conventional, set-partitioned or way-partitioned, see `compmem-cache`),
-//! a shared arbitrated memory bus and off-chip DRAM.
+//! private L1 instruction and data caches, a shared unified L2 cache held
+//! as a `Box<dyn CacheModel>` (conventional, set-partitioned,
+//! way-partitioned or profiling, see `compmem-cache`), a shared arbitrated
+//! memory bus and off-chip DRAM.
+//!
+//! Execution is **discrete-event**: an [`EventQueue`] (a min-heap of
+//! `(ready_cycle, processor)` entries) drives the run loop. The earliest
+//! -ready processor executes a chunk of its current burst against the
+//! single timing path (L1 → bus arbitration → L2 → DRAM) and is pushed
+//! back at its advanced local clock; processors whose tasks are all
+//! blocked park and are woken by burst-completion and task-retirement
+//! events. The same queue powers the functional scheduler of
+//! `compmem-kpn`, so per-processor task firing, FIFO stalls and bus
+//! contention are all ordered by one global clock.
 //!
 //! The simulator is *workload driven*: tasks are supplied by a
 //! [`WorkloadDriver`] that hands out [`Burst`]s of operations (compute
@@ -50,7 +61,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = PlatformConfig::default().processors(1);
-//! let l2 = SharedCache::new(CacheConfig::paper_l2());
+//! let l2 = Box::new(SharedCache::new(CacheConfig::paper_l2()));
 //! let mapping = TaskMapping::single_processor(&[TaskId::new(0)]);
 //! let mut system = System::new(config, l2, mapping)?;
 //! let report = system.run(&mut OneShot { fired: false })?;
@@ -64,6 +75,7 @@
 
 mod bus;
 mod config;
+mod engine;
 mod error;
 mod memory;
 mod metrics;
@@ -74,6 +86,7 @@ mod system;
 
 pub use bus::Bus;
 pub use config::{OsRegions, PlatformConfig};
+pub use engine::EventQueue;
 pub use error::PlatformError;
 pub use memory::{MemoryLevel, MemorySystem};
 pub use metrics::{ProcessorReport, SystemReport};

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use compmem_cache::{CacheOrganization, CacheStats, SetAssocCache};
+use compmem_cache::{CacheModel, CacheStats, SetAssocCache};
 use compmem_trace::{Access, LINE_SIZE_BYTES};
 
 use crate::bus::Bus;
@@ -24,13 +24,18 @@ pub enum MemoryLevel {
 /// The full memory hierarchy of one tile.
 ///
 /// Each processor has private L1 instruction and data caches; all
-/// processors share the L2 organisation `L2` (conventional, set-partitioned
-/// or way-partitioned) and the bus to it and to DRAM.
-#[derive(Debug, Clone)]
-pub struct MemorySystem<L2> {
+/// processors share one L2 organisation held as a `Box<dyn CacheModel>`
+/// (conventional, set-partitioned, way-partitioned or profiling — see
+/// `compmem-cache`) and the bus to it and to DRAM. Because the L2 is a
+/// trait object, the *same* timing path — L1 lookup, bus arbitration, L2
+/// lookup, DRAM — serves every organisation; swapping organisations never
+/// changes how stall cycles are computed, only how the L2 indexes and
+/// evicts.
+#[derive(Debug)]
+pub struct MemorySystem {
     l1i: Vec<SetAssocCache>,
     l1d: Vec<SetAssocCache>,
-    l2: L2,
+    l2: Box<dyn CacheModel>,
     bus: Bus,
     l2_hit_latency: u32,
     dram_latency: u32,
@@ -38,10 +43,10 @@ pub struct MemorySystem<L2> {
     dram_writebacks: u64,
 }
 
-impl<L2: CacheOrganization> MemorySystem<L2> {
+impl MemorySystem {
     /// Builds the hierarchy for `config.num_processors` processors around the
     /// given shared L2 organisation.
-    pub fn new(config: &PlatformConfig, l2: L2) -> Self {
+    pub fn new(config: &PlatformConfig, l2: Box<dyn CacheModel>) -> Self {
         let l1i = (0..config.num_processors)
             .map(|_| SetAssocCache::new(config.l1i))
             .collect();
@@ -62,6 +67,10 @@ impl<L2: CacheOrganization> MemorySystem<L2> {
 
     /// Performs one access from `processor` at time `now` and returns the
     /// stall cycles seen by the processor (zero on an L1 hit).
+    ///
+    /// This is the single timing path of the simulator: L1 lookup, shared
+    /// bus arbitration for the refill, L2 lookup through the
+    /// [`CacheModel`], and DRAM plus a second bus transfer on an L2 miss.
     pub fn access(&mut self, processor: usize, now: u64, access: &Access) -> u64 {
         let l1 = if access.kind.is_instruction() {
             &mut self.l1i[processor]
@@ -98,17 +107,18 @@ impl<L2: CacheOrganization> MemorySystem<L2> {
     }
 
     /// Shared L2 organisation.
-    pub fn l2(&self) -> &L2 {
-        &self.l2
+    pub fn l2(&self) -> &dyn CacheModel {
+        self.l2.as_ref()
     }
 
     /// Mutable access to the shared L2 organisation.
-    pub fn l2_mut(&mut self) -> &mut L2 {
-        &mut self.l2
+    pub fn l2_mut(&mut self) -> &mut dyn CacheModel {
+        self.l2.as_mut()
     }
 
-    /// Consumes the hierarchy and returns the shared L2 organisation.
-    pub fn into_l2(self) -> L2 {
+    /// Consumes the hierarchy and returns the shared L2 organisation (e.g.
+    /// to downcast a profiling cache and recover its miss profiles).
+    pub fn into_l2(self) -> Box<dyn CacheModel> {
         self.l2
     }
 
@@ -158,11 +168,14 @@ mod tests {
     use compmem_cache::{CacheConfig, SharedCache};
     use compmem_trace::{Addr, RegionId, TaskId};
 
-    fn tiny_system() -> MemorySystem<SharedCache> {
+    fn tiny_system() -> MemorySystem {
         let config = PlatformConfig::default()
             .processors(2)
             .l1(CacheConfig::new(4, 2).unwrap());
-        MemorySystem::new(&config, SharedCache::new(CacheConfig::new(64, 4).unwrap()))
+        MemorySystem::new(
+            &config,
+            Box::new(SharedCache::new(CacheConfig::new(64, 4).unwrap())),
+        )
     }
 
     fn load(addr: u64, task: u32) -> Access {
@@ -184,10 +197,10 @@ mod tests {
         let mut m = tiny_system();
         let a = load(0x2000, 0);
         let cold = m.access(0, 0, &a); // misses both levels -> DRAM
-        // Evict it from the tiny L1 of processor 0 by touching conflicting
-        // lines (same L1 set: L1 has 4 sets of 64 B => 256 B stride).
+                                       // Evict it from the tiny L1 of processor 0 by touching conflicting
+                                       // lines (same L1 set: L1 has 4 sets of 64 B => 256 B stride).
         for i in 1..=2 {
-            let _ = m.access(0, 10_000 * i, &load(0x2000 + i as u64 * 256, 0));
+            let _ = m.access(0, 10_000 * i, &load(0x2000 + i * 256, 0));
         }
         let warm = m.access(0, 100_000, &a); // misses L1, hits L2
         assert!(warm > 0);
@@ -240,7 +253,10 @@ mod tests {
         let config = PlatformConfig::default()
             .processors(1)
             .l1(CacheConfig::new(1, 1).unwrap());
-        let mut m = MemorySystem::new(&config, SharedCache::new(CacheConfig::new(1, 1).unwrap()));
+        let mut m = MemorySystem::new(
+            &config,
+            Box::new(SharedCache::new(CacheConfig::new(1, 1).unwrap())),
+        );
         let w = Access::store(Addr::new(0), 4, TaskId::new(0), RegionId::new(0));
         let _ = m.access(0, 0, &w);
         // Conflicting store evicts the dirty line from the one-line L2.
@@ -248,5 +264,38 @@ mod tests {
         let _ = m.access(0, 100, &w2);
         assert_eq!(m.dram_writebacks(), 1);
         assert_eq!(m.processors(), 1);
+    }
+
+    #[test]
+    fn organisations_swap_behind_the_same_hierarchy() {
+        use compmem_cache::{OrganizationSpec, PartitionKey, PartitionMap};
+        use compmem_trace::{RegionKind, RegionTable};
+        let mut table = RegionTable::new();
+        let region = table
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                64 * 1024,
+            )
+            .unwrap();
+        let l2 = CacheConfig::new(64, 4).unwrap();
+        let map =
+            PartitionMap::pack(l2.geometry(), &[(PartitionKey::Task(TaskId::new(0)), 16)]).unwrap();
+        let config = PlatformConfig::default()
+            .processors(1)
+            .l1(CacheConfig::new(4, 2).unwrap());
+        let base = table.region(region).base;
+        for spec in [
+            OrganizationSpec::Shared,
+            OrganizationSpec::SetPartitioned(map),
+        ] {
+            let mut m = MemorySystem::new(&config, spec.build(l2, &table).unwrap());
+            let a = Access::load(base, 4, TaskId::new(0), region);
+            assert!(m.access(0, 0, &a) > 0);
+            assert_eq!(m.l2().organization(), spec.label());
+            assert_eq!(m.l2().stats().accesses, 1);
+        }
     }
 }

@@ -1,12 +1,13 @@
 //! The simulation engine: processors, scheduler and memory hierarchy tied
-//! together.
+//! together by the discrete-event core.
 
 use std::collections::VecDeque;
 
-use compmem_cache::CacheOrganization;
+use compmem_cache::CacheModel;
 use compmem_trace::{Access, TaskId, LINE_SIZE_BYTES};
 
 use crate::config::PlatformConfig;
+use crate::engine::EventQueue;
 use crate::error::PlatformError;
 use crate::memory::MemorySystem;
 use crate::metrics::{ProcessorReport, SystemReport};
@@ -33,25 +34,46 @@ struct ProcState {
     current_task: Option<TaskId>,
     running: Option<Running>,
     quantum_left: u64,
-    /// If the processor found all its tasks blocked, the burst-event count
-    /// at which it parked; it is only re-polled after new events.
-    parked_at_event: Option<u64>,
+    /// `true` while the processor has no event scheduled because every one
+    /// of its unfinished tasks was blocked; cleared when another
+    /// processor's event wakes it.
+    parked: bool,
+    /// `true` from the moment the processor parks until it next obtains a
+    /// burst: only a processor that actually slept through other
+    /// processors' events fast-forwards (accounting idle cycles) to the
+    /// latest wake-up time when it resumes.
+    was_parked: bool,
+}
+
+/// What a dispatch attempt did, so the event loop knows how to reschedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DispatchOutcome {
+    /// The processor obtained a burst and should be rescheduled.
+    scheduled: bool,
+    /// At least one task retired, which is a wake-up event for parked
+    /// processors (a producer waiting for a final consumption attempt must
+    /// be re-polled).
+    retired_task: bool,
 }
 
 /// The multiprocessor system: configuration, memory hierarchy and task
 /// mapping.
 ///
-/// `System` is generic over the shared-L2 organisation so the same engine
-/// runs the paper's baseline (shared cache), its proposal (set-partitioned
-/// cache) and the column-caching ablation.
+/// The shared L2 is a `Box<dyn CacheModel>`, so one engine — one timing
+/// path, one event loop — runs the paper's baseline (shared cache), its
+/// proposal (set-partitioned cache), the column-caching ablation and the
+/// profiling organisation. Execution is discrete-event: a min-heap of
+/// `(ready_cycle, processor)` events (see [`EventQueue`]) drives per-
+/// processor task firing; processors whose tasks are all blocked park
+/// (leave the heap) and are woken by the events that can unblock them.
 #[derive(Debug)]
-pub struct System<L2> {
+pub struct System {
     config: PlatformConfig,
-    memory: MemorySystem<L2>,
+    memory: MemorySystem,
     mapping: TaskMapping,
 }
 
-impl<L2: CacheOrganization> System<L2> {
+impl System {
     /// Builds a system.
     ///
     /// # Errors
@@ -60,7 +82,7 @@ impl<L2: CacheOrganization> System<L2> {
     /// invalid.
     pub fn new(
         config: PlatformConfig,
-        l2: L2,
+        l2: Box<dyn CacheModel>,
         mapping: TaskMapping,
     ) -> Result<Self, PlatformError> {
         config.validate()?;
@@ -79,7 +101,7 @@ impl<L2: CacheOrganization> System<L2> {
     }
 
     /// The memory hierarchy (e.g. to inspect L2 statistics after a run).
-    pub fn memory(&self) -> &MemorySystem<L2> {
+    pub fn memory(&self) -> &MemorySystem {
         &self.memory
     }
 
@@ -90,12 +112,20 @@ impl<L2: CacheOrganization> System<L2> {
 
     /// Consumes the system and returns the shared L2 organisation (used to
     /// recover results accumulated inside the organisation itself, such as
-    /// the shadow-cache miss profiles of the profiling organisation).
-    pub fn into_l2(self) -> L2 {
+    /// the shadow-cache miss profiles of the profiling organisation, via
+    /// [`CacheModel::into_any`]).
+    pub fn into_l2(self) -> Box<dyn CacheModel> {
         self.memory.into_l2()
     }
 
     /// Runs the workload to completion and returns the report.
+    ///
+    /// The run is one discrete-event loop: the earliest-ready processor is
+    /// popped from the event heap, executes a chunk of its current burst
+    /// (or dispatches a new one), and is pushed back at its advanced local
+    /// clock. Burst completions and task retirements are the events that
+    /// wake parked processors, so producer/consumer stalls resolve in
+    /// global-clock order.
     ///
     /// # Errors
     ///
@@ -103,7 +133,10 @@ impl<L2: CacheOrganization> System<L2> {
     ///   make progress,
     /// * [`PlatformError::CycleLimitExceeded`] if a processor's local clock
     ///   exceeds the configured limit.
-    pub fn run<D: WorkloadDriver>(&mut self, driver: &mut D) -> Result<SystemReport, PlatformError> {
+    pub fn run<D: WorkloadDriver>(
+        &mut self,
+        driver: &mut D,
+    ) -> Result<SystemReport, PlatformError> {
         let mut procs: Vec<ProcState> = (0..self.config.num_processors)
             .map(|p| ProcState {
                 counters: ProcessorCounters::default(),
@@ -111,42 +144,38 @@ impl<L2: CacheOrganization> System<L2> {
                 current_task: None,
                 running: None,
                 quantum_left: self.config.quantum_instructions.unwrap_or(u64::MAX),
-                parked_at_event: None,
+                parked: false,
+                was_parked: false,
             })
             .collect();
 
-        let mut burst_events: u64 = 0;
+        let mut ready: EventQueue<usize> = EventQueue::new();
+        for (pi, p) in procs.iter().enumerate() {
+            if !p.queue.is_empty() {
+                ready.push(0, pi);
+            }
+        }
+        // Latest cycle at which a wake-up event happened; parked processors
+        // fast-forward (accounting idle cycles) to it when they resume.
         let mut last_event_time: u64 = 0;
 
-        loop {
-            if procs
-                .iter()
-                .all(|p| p.queue.is_empty() && p.running.is_none())
-            {
-                break;
+        while let Some((_, pi)) = ready.pop() {
+            if procs[pi].running.is_none() && procs[pi].queue.is_empty() {
+                continue; // processor finished all of its tasks
             }
 
-            let candidate = procs
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| {
-                    p.running.is_some()
-                        || (!p.queue.is_empty()
-                            && p.parked_at_event.is_none_or(|e| e < burst_events))
-                })
-                .min_by_key(|(_, p)| p.counters.time)
-                .map(|(i, _)| i);
-
-            let Some(pi) = candidate else {
-                let blocked: Vec<TaskId> = procs
-                    .iter()
-                    .flat_map(|p| p.queue.iter().copied())
-                    .collect();
-                return Err(PlatformError::Deadlock { blocked });
-            };
-
             if procs[pi].running.is_none() {
-                self.dispatch(pi, &mut procs, driver, &mut burst_events, last_event_time);
+                let outcome = self.dispatch(pi, &mut procs, driver, last_event_time);
+                if outcome.retired_task {
+                    last_event_time = last_event_time.max(procs[pi].counters.time);
+                    Self::wake_parked(&mut procs, &mut ready);
+                }
+                if outcome.scheduled {
+                    ready.push(procs[pi].counters.time, pi);
+                } else if !procs[pi].queue.is_empty() {
+                    procs[pi].parked = true;
+                    procs[pi].was_parked = true;
+                }
                 continue;
             }
 
@@ -157,24 +186,44 @@ impl<L2: CacheOrganization> System<L2> {
                 });
             }
             if finished_burst {
-                burst_events += 1;
                 last_event_time = last_event_time.max(procs[pi].counters.time);
+                Self::wake_parked(&mut procs, &mut ready);
             }
+            ready.push(procs[pi].counters.time, pi);
+        }
+
+        // The heap drained: every processor either finished or parked with
+        // all of its tasks blocked. Anything still queued is deadlocked.
+        let blocked: Vec<TaskId> = procs.iter().flat_map(|p| p.queue.iter().copied()).collect();
+        if !blocked.is_empty() {
+            return Err(PlatformError::Deadlock { blocked });
         }
 
         Ok(self.report(&procs))
     }
 
-    /// Tries to give processor `pi` a new burst; parks it if every one of its
-    /// unfinished tasks is blocked.
+    /// Re-inserts every parked processor into the event heap at its current
+    /// local clock (idle-time accounting happens when it next dispatches).
+    fn wake_parked(procs: &mut [ProcState], ready: &mut EventQueue<usize>) {
+        for (pi, p) in procs.iter_mut().enumerate() {
+            if p.parked {
+                p.parked = false;
+                ready.push(p.counters.time, pi);
+            }
+        }
+    }
+
+    /// Tries to give processor `pi` a new burst; reports whether it was
+    /// scheduled and whether any task retired while trying.
     fn dispatch<D: WorkloadDriver>(
         &mut self,
         pi: usize,
         procs: &mut [ProcState],
         driver: &mut D,
-        burst_events: &mut u64,
         last_event_time: u64,
-    ) {
+    ) -> DispatchOutcome {
+        let mut retired_task = false;
+
         // Quantum expiry: demote the current task to the back of the queue.
         if self.config.quantum_instructions.is_some() && procs[pi].quantum_left == 0 {
             if let Some(current) = procs[pi].current_task {
@@ -190,11 +239,17 @@ impl<L2: CacheOrganization> System<L2> {
             let task = *procs[pi].queue.front().expect("queue checked non-empty");
             match driver.next_burst(task) {
                 BurstOutcome::Ready(burst) => {
-                    let was_parked = procs[pi].parked_at_event.take().is_some();
-                    if was_parked && last_event_time > procs[pi].counters.time {
-                        let gap = last_event_time - procs[pi].counters.time;
-                        procs[pi].counters.idle_cycles += gap;
-                        procs[pi].counters.time = last_event_time;
+                    // Only a processor that actually parked and slept
+                    // through other processors' events was idle until the
+                    // latest of them; a processor that kept running must
+                    // not be dragged forward.
+                    if procs[pi].was_parked {
+                        procs[pi].was_parked = false;
+                        if last_event_time > procs[pi].counters.time {
+                            let gap = last_event_time - procs[pi].counters.time;
+                            procs[pi].counters.idle_cycles += gap;
+                            procs[pi].counters.time = last_event_time;
+                        }
                     }
                     if procs[pi].current_task != Some(task) {
                         self.perform_task_switch(pi, procs, task);
@@ -203,15 +258,21 @@ impl<L2: CacheOrganization> System<L2> {
                         ops: burst.into_ops(),
                         next: 0,
                     });
-                    return;
+                    return DispatchOutcome {
+                        scheduled: true,
+                        retired_task,
+                    };
                 }
                 BurstOutcome::Finished => {
                     procs[pi].queue.pop_front();
                     // Retiring a task is an event: a producer waiting for a
                     // final consumption attempt must be re-polled.
-                    *burst_events += 1;
+                    retired_task = true;
                     if procs[pi].queue.is_empty() {
-                        return;
+                        return DispatchOutcome {
+                            scheduled: false,
+                            retired_task,
+                        };
                     }
                 }
                 BurstOutcome::Blocked => {
@@ -219,8 +280,9 @@ impl<L2: CacheOrganization> System<L2> {
                 }
             }
         }
-        if !procs[pi].queue.is_empty() {
-            procs[pi].parked_at_event = Some(*burst_events);
+        DispatchOutcome {
+            scheduled: false,
+            retired_task,
         }
     }
 
@@ -239,8 +301,7 @@ impl<L2: CacheOrganization> System<L2> {
         p.counters.time += u64::from(self.config.task_switch_cycles);
         if let Some(os) = self.config.os_regions {
             for i in 0..os.lines_per_switch {
-                for (region, base) in [(os.rt_data, os.rt_data_base), (os.rt_bss, os.rt_bss_base)]
-                {
+                for (region, base) in [(os.rt_data, os.rt_data_base), (os.rt_bss, os.rt_bss_base)] {
                     let addr = base.offset(u64::from(i) * LINE_SIZE_BYTES);
                     let access = Access::load(addr, 4, os.os_task, region);
                     let stall = self.memory.access(pi, procs[pi].counters.time, &access);
@@ -302,10 +363,7 @@ impl<L2: CacheOrganization> System<L2> {
                 // Chunk budget exhausted; if the burst also happens to be
                 // done, report it now so waiters are unparked promptly.
                 let p = &mut procs[pi];
-                let done = p
-                    .running
-                    .as_ref()
-                    .is_some_and(|r| r.next >= r.ops.len());
+                let done = p.running.as_ref().is_some_and(|r| r.next >= r.ops.len());
                 if done {
                     p.running = None;
                 }
@@ -332,16 +390,8 @@ impl<L2: CacheOrganization> System<L2> {
         SystemReport {
             l1: self.memory.l1_aggregate_stats(),
             l2: *l2.stats(),
-            l2_by_task: l2
-                .stats_by_task()
-                .iter()
-                .map(|(k, v)| (*k, *v))
-                .collect(),
-            l2_by_region: l2
-                .stats_by_region()
-                .iter()
-                .map(|(k, v)| (*k, *v))
-                .collect(),
+            l2_by_task: l2.stats_by_task().iter().map(|(k, v)| (*k, *v)).collect(),
+            l2_by_region: l2.stats_by_region().iter().map(|(k, v)| (*k, *v)).collect(),
             dram_accesses: self.memory.dram_accesses(),
             dram_writebacks: self.memory.dram_writebacks(),
             bus_wait_cycles: self.memory.bus().total_wait_cycles(),
@@ -356,7 +406,7 @@ impl<L2: CacheOrganization> System<L2> {
 mod tests {
     use super::*;
     use crate::op::Burst;
-    use compmem_cache::{CacheConfig, SharedCache};
+    use compmem_cache::{CacheConfig, CacheModel, SharedCache};
     use compmem_trace::{Addr, RegionId};
 
     /// A driver where each task performs `bursts` bursts of `ops_per_burst`
@@ -424,12 +474,7 @@ mod tests {
                     self.produced += 1;
                     BurstOutcome::Ready(Burst::new(vec![
                         Op::Compute(5),
-                        Op::Mem(Access::store(
-                            Addr::new(0x9000),
-                            4,
-                            task,
-                            RegionId::new(9),
-                        )),
+                        Op::Mem(Access::store(Addr::new(0x9000), 4, task, RegionId::new(9))),
                     ]))
                 }
                 _ => {
@@ -450,8 +495,8 @@ mod tests {
         }
     }
 
-    fn shared_l2() -> SharedCache {
-        SharedCache::new(CacheConfig::new(256, 4).unwrap())
+    fn shared_l2() -> Box<dyn CacheModel> {
+        Box::new(SharedCache::new(CacheConfig::new(256, 4).unwrap()))
     }
 
     #[test]
@@ -489,8 +534,7 @@ mod tests {
     #[test]
     fn two_tasks_on_one_processor_incur_task_switches() {
         let config = PlatformConfig::default().processors(1).quantum(30);
-        let mapping =
-            TaskMapping::single_processor(&[TaskId::new(0), TaskId::new(1)]);
+        let mapping = TaskMapping::single_processor(&[TaskId::new(0), TaskId::new(1)]);
         let mut system = System::new(config, shared_l2(), mapping).unwrap();
         let mut driver = StridedDriver::new(2, 6, 10);
         let report = system.run(&mut driver).unwrap();
@@ -545,7 +589,10 @@ mod tests {
         let mut system = System::new(config, shared_l2(), mapping).unwrap();
         let mut driver = StridedDriver::new(1, 1000, 64);
         let err = system.run(&mut driver).unwrap_err();
-        assert!(matches!(err, PlatformError::CycleLimitExceeded { limit: 100 }));
+        assert!(matches!(
+            err,
+            PlatformError::CycleLimitExceeded { limit: 100 }
+        ));
     }
 
     #[test]
@@ -574,11 +621,77 @@ mod tests {
         let mut driver = StridedDriver::new(2, 10, 10);
         let report = system.run(&mut driver).unwrap();
         assert!(report.processors[0].task_switches > 0);
-        let os_accesses = report
-            .l2_by_task
-            .get(&os_task)
-            .map_or(0, |s| s.accesses);
-        assert!(os_accesses > 0, "OS traffic must reach the L2 at least once");
+        let os_accesses = report.l2_by_task.get(&os_task).map_or(0, |s| s.accesses);
+        assert!(
+            os_accesses > 0,
+            "OS traffic must reach the L2 at least once"
+        );
         assert!(report.l2_by_region.contains_key(&RegionId::new(50)));
+    }
+
+    #[test]
+    fn never_blocked_processors_accrue_no_idle_time() {
+        // Regression: the idle fast-forward must only apply to processors
+        // that actually parked. Proc 0 runs memory-heavy bursts (frequent
+        // burst-completion events); proc 1 runs pure-compute bursts and is
+        // never blocked — it must end with zero idle cycles, not be dragged
+        // to every event time of proc 0.
+        struct ComputeOnly {
+            remaining: u32,
+        }
+        impl WorkloadDriver for ComputeOnly {
+            fn next_burst(&mut self, task: TaskId) -> BurstOutcome {
+                match task.index() {
+                    0 => {
+                        if self.remaining == 0 {
+                            return BurstOutcome::Finished;
+                        }
+                        self.remaining -= 1;
+                        BurstOutcome::Ready(Burst::new(vec![
+                            Op::Mem(Access::load(
+                                Addr::new(0x10_0000 + u64::from(self.remaining) * 64),
+                                4,
+                                task,
+                                RegionId::new(0),
+                            )),
+                            Op::Compute(2),
+                        ]))
+                    }
+                    _ => {
+                        if self.remaining == 0 {
+                            return BurstOutcome::Finished;
+                        }
+                        BurstOutcome::Ready(Burst::new(vec![Op::Compute(7)]))
+                    }
+                }
+            }
+        }
+        let config = PlatformConfig::default().processors(2);
+        let mapping = TaskMapping::round_robin(&[TaskId::new(0), TaskId::new(1)], 2);
+        let mut system = System::new(config, shared_l2(), mapping).unwrap();
+        let report = system.run(&mut ComputeOnly { remaining: 500 }).unwrap();
+        assert_eq!(
+            report.processors[1].idle_cycles, 0,
+            "a never-blocked processor must not be charged idle time"
+        );
+        assert_eq!(
+            report.processors[1].cycles, report.processors[1].busy_cycles,
+            "pure compute: local clock equals busy cycles"
+        );
+    }
+
+    #[test]
+    fn event_loop_is_deterministic() {
+        let run = || {
+            let config = PlatformConfig::default().processors(3);
+            let tasks: Vec<TaskId> = (0..6).map(TaskId::new).collect();
+            let mapping = TaskMapping::round_robin(&tasks, 3);
+            let mut system = System::new(config, shared_l2(), mapping).unwrap();
+            let mut driver = StridedDriver::new(6, 5, 12);
+            system.run(&mut driver).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "two identical runs must produce identical reports");
     }
 }

@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of `criterion` the benches use.
+//!
+//! Provides `Criterion`, benchmark groups, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros with real wall-clock
+//! measurement (warm-up pass, then `sample_size` timed samples; the
+//! median, minimum and maximum per-iteration times are reported). Results
+//! are printed in a stable one-line format and, when the
+//! `CRITERION_OUTPUT_JSON` environment variable names a file, also written
+//! there as a JSON array — which is how the committed `BENCH_*.json`
+//! baselines are produced without the real criterion's dependency tree.
+
+use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Timed samples actually taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drives timed iterations inside `bench_function` closures.
+pub struct Bencher {
+    sample_size: usize,
+    recorded: Option<(u64, Vec<f64>)>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: aim for samples of at least ~5 ms so the
+        // clock resolution does not dominate, capped to keep cheap benches
+        // fast.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_nanos().max(1) as u64;
+        let iters_per_sample = (5_000_000 / once).clamp(1, 1_000_000);
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            samples_ns.push(total / iters_per_sample as f64);
+        }
+        self.recorded = Some((iters_per_sample, samples_ns));
+    }
+}
+
+fn record(id: String, sample_size: usize, bencher: Bencher) {
+    let Some((iters, mut samples)) = bencher.recorded else {
+        eprintln!("warning: bench `{id}` never called Bencher::iter");
+        return;
+    };
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let measurement = Measurement {
+        id: id.clone(),
+        samples: sample_size,
+        iters_per_sample: iters,
+        median_ns: median,
+        min_ns: *samples.first().unwrap(),
+        max_ns: *samples.last().unwrap(),
+    };
+    println!(
+        "{id:<60} time: [{:>12.1} ns {:>12.1} ns {:>12.1} ns]",
+        measurement.min_ns, measurement.median_ns, measurement.max_ns
+    );
+    RESULTS.lock().unwrap().push(measurement);
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            recorded: None,
+        };
+        f(&mut bencher);
+        record(format!("{}/{name}", self.name), self.sample_size, bencher);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: 20,
+            recorded: None,
+        };
+        f(&mut bencher);
+        record(name.to_string(), 20, bencher);
+        self
+    }
+}
+
+/// Writes collected measurements as JSON when `CRITERION_OUTPUT_JSON` names
+/// a destination file. Called by the `criterion_main!` expansion.
+pub fn flush_results() {
+    let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+             \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+            m.id,
+            m.samples,
+            m.iters_per_sample,
+            m.median_ns,
+            m.min_ns,
+            m.max_ns,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::flush_results();
+        }
+    };
+}

@@ -1,0 +1,8 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as markers; no
+//! code path serialises anything. This shim re-exports no-op derive macros
+//! so the annotations compile without network access. Swapping in the real
+//! `serde` later requires no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};

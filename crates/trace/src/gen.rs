@@ -143,7 +143,10 @@ pub fn instruction_stream(
     instructions: u64,
     instrs_per_line: u64,
 ) -> Vec<Access> {
-    assert!(instrs_per_line > 0, "instructions per line must be non-zero");
+    assert!(
+        instrs_per_line > 0,
+        "instructions per line must be non-zero"
+    );
     let lines = (code_bytes / crate::LINE_SIZE_BYTES).max(1);
     let fetches = instructions.div_ceil(instrs_per_line);
     (0..fetches)

@@ -466,8 +466,10 @@ mod tests {
     fn task_and_buffer_queries() {
         let mut t = RegionTable::new();
         let task = TaskId::new(0);
-        t.insert("t0.code", RegionKind::TaskCode { task }, 128).unwrap();
-        t.insert("t0.data", RegionKind::TaskData { task }, 128).unwrap();
+        t.insert("t0.code", RegionKind::TaskCode { task }, 128)
+            .unwrap();
+        t.insert("t0.data", RegionKind::TaskData { task }, 128)
+            .unwrap();
         t.insert(
             "f0",
             RegionKind::Fifo {

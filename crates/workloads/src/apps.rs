@@ -264,12 +264,7 @@ pub fn mpeg2_app(params: &Mpeg2Params) -> Result<Application, WorkloadError> {
         vec![handles.input, handles.vld, handles.hdr],
         vec![handles.isiq, handles.idct, handles.mem_man],
         vec![handles.dec_mv, handles.predict, handles.predict_rd],
-        vec![
-            handles.add,
-            handles.write_mb,
-            handles.store,
-            handles.output,
-        ],
+        vec![handles.add, handles.write_mb, handles.store, handles.output],
     ]);
 
     let os_regions = sections.os_regions(&space, OS_TASK, 8);
@@ -315,8 +310,19 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "input", "vld", "hdr", "isiq", "memMan", "idct", "add", "decMV", "predict",
-                "predictRD", "writeMB", "store", "output"
+                "input",
+                "vld",
+                "hdr",
+                "isiq",
+                "memMan",
+                "idct",
+                "add",
+                "decMV",
+                "predict",
+                "predictRD",
+                "writeMB",
+                "store",
+                "output"
             ]
         );
     }

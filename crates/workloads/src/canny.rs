@@ -313,7 +313,8 @@ pub fn build_canny(
 
     // Frontend with the source picture in private data.
     let fr_task = builder.next_task_id();
-    let fr_layout = TaskLayout::with_code_size(space, &format!("{prefix}.frontend"), fr_task, 3 * 1024)?;
+    let fr_layout =
+        TaskLayout::with_code_size(space, &format!("{prefix}.frontend"), fr_task, 3 * 1024)?;
     let source_region = space.allocate_region(
         format!("{prefix}.frontend.source"),
         RegionKind::TaskData { task: fr_task },
@@ -335,10 +336,10 @@ pub fn build_canny(
     );
 
     let window_stage = |builder: &mut NetworkBuilder,
-                            space: &mut AddressSpace,
-                            kernel: WindowKernel,
-                            outputs: usize,
-                            code: u64|
+                        space: &mut AddressSpace,
+                        kernel: WindowKernel,
+                        outputs: usize,
+                        code: u64|
      -> Result<TaskId, WorkloadError> {
         let task = builder.next_task_id();
         let name = format!("{prefix}.{}", kernel.stage_name().to_lowercase());
@@ -367,7 +368,8 @@ pub fn build_canny(
     let vert_nms = window_stage(builder, space, WindowKernel::NmsVert, 1, 3 * 1024)?;
 
     let hn_task = builder.next_task_id();
-    let hn_layout = TaskLayout::with_code_size(space, &format!("{prefix}.horiznms"), hn_task, 3 * 1024)?;
+    let hn_layout =
+        TaskLayout::with_code_size(space, &format!("{prefix}.horiznms"), hn_task, 3 * 1024)?;
     let hn_line = space.allocate_region(
         format!("{prefix}.horiznms.line"),
         RegionKind::TaskBss { task: hn_task },
@@ -459,7 +461,10 @@ mod tests {
         let values: Vec<i32> = frame.as_slice().to_vec();
         assert!(values.iter().all(|&v| v == 0 || v == 255));
         let edges = values.iter().filter(|&&v| v == 255).count();
-        assert!(edges > 0, "the synthetic image has rectangles, so edges exist");
+        assert!(
+            edges > 0,
+            "the synthetic image has rectangles, so edges exist"
+        );
         assert!(
             edges < values.len() / 2,
             "most of the picture should not be an edge"

@@ -131,7 +131,11 @@ pub fn quantise(coeffs: &[i32; 64], table: &[i32; 64]) -> [i32; 64] {
     for i in 0..64 {
         let q = table[i].max(1);
         let c = coeffs[i];
-        out[i] = if c >= 0 { (c + q / 2) / q } else { -((-c + q / 2) / q) };
+        out[i] = if c >= 0 {
+            (c + q / 2) / q
+        } else {
+            -((-c + q / 2) / q)
+        };
     }
     out
 }

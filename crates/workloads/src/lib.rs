@@ -46,7 +46,7 @@ pub mod mpeg2;
 mod pixels;
 mod sections;
 
-pub use dct::{forward_dct_8x8, idct_8x8, quantise, dequantise, zigzag_order, DEFAULT_QUANT_TABLE};
+pub use dct::{dequantise, forward_dct_8x8, idct_8x8, quantise, zigzag_order, DEFAULT_QUANT_TABLE};
 pub use error::WorkloadError;
 pub use pixels::SyntheticImage;
 pub use sections::SharedSections;

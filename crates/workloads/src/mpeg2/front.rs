@@ -119,9 +119,11 @@ impl Process for Vld {
         let task = self.task;
         for i in 0..256 {
             let v = ctx.pop(0);
-            let _code = self
-                .vlc_table
-                .read(ctx, task, (v.unsigned_abs() as usize) % self.vlc_table.len());
+            let _code = self.vlc_table.read(
+                ctx,
+                task,
+                (v.unsigned_abs() as usize) % self.vlc_table.len(),
+            );
             ctx.compute(4);
             self.block.write(ctx, task, i, v);
         }
@@ -209,10 +211,10 @@ impl Process for IdctMb {
             self.work.write(ctx, task, 64 + i, v);
         }
         let samples = idct_8x8(&coeffs);
-        for i in 0..64 {
+        for (i, &sample) in samples.iter().enumerate() {
             let _ = self.work.read(ctx, task, 64 + i);
             ctx.compute(8);
-            ctx.push(0, samples[i]);
+            ctx.push(0, sample);
         }
         FireResult::Fired
     }

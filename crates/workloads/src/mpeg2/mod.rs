@@ -22,7 +22,9 @@ mod motion;
 pub use back::{AddTask, Output, Store, WriteMb};
 pub use front::{Hdr, IdctMb, Input, Isiq, Vld};
 pub use motion::{DecMv, MemMan, Predict, PredictRd};
-pub use stream::{encode_stream, generate_source_frames, MacroblockGrid, MB_INTER, MB_INTRA, RECORD_LEN};
+pub use stream::{
+    encode_stream, generate_source_frames, MacroblockGrid, MB_INTER, MB_INTRA, RECORD_LEN,
+};
 
 use compmem_kpn::{FrameId, NetworkBuilder, TaskLayout};
 use compmem_trace::{AddressSpace, RegionKind, TaskId};
@@ -85,7 +87,7 @@ pub fn build_mpeg2_decoder(
     pictures: usize,
     seed: u64,
 ) -> Result<Mpeg2Handles, WorkloadError> {
-    if width == 0 || height == 0 || width % 16 != 0 || height % 16 != 0 {
+    if width == 0 || height == 0 || !width.is_multiple_of(16) || !height.is_multiple_of(16) {
         return Err(WorkloadError::InvalidDimensions {
             width,
             height,
@@ -113,9 +115,9 @@ pub fn build_mpeg2_decoder(
 
     // Small helper to allocate a private bss array.
     let bss = |space: &mut AddressSpace,
-                   name: String,
-                   task: TaskId,
-                   bytes: u64|
+               name: String,
+               task: TaskId,
+               bytes: u64|
      -> Result<compmem_trace::ScalarArray, WorkloadError> {
         let region = space.allocate_region(name, RegionKind::TaskBss { task }, bytes)?;
         Ok(space.array(region)?)
@@ -146,11 +148,8 @@ pub fn build_mpeg2_decoder(
     // vld
     let t = builder.next_task_id();
     let layout = TaskLayout::with_code_size(space, "mpeg2.vld", t, 12 * 1024)?;
-    let vlc_region = space.allocate_region(
-        "mpeg2.vld.table",
-        RegionKind::TaskData { task: t },
-        256 * 4,
-    )?;
+    let vlc_region =
+        space.allocate_region("mpeg2.vld.table", RegionKind::TaskData { task: t }, 256 * 4)?;
     let mut vlc_table = space.array(vlc_region)?;
     for i in 0..256 {
         vlc_table.poke(i, (i as i32 * 7 + 3) & 0xff);
@@ -271,10 +270,7 @@ pub fn build_mpeg2_decoder(
     // store
     let t = builder.next_task_id();
     let layout = TaskLayout::with_code_size(space, "mpeg2.store", t, 3 * 1024)?;
-    let store = builder.add_process(
-        Box::new(Store::new(grid, decode_frames, display)),
-        layout,
-    );
+    let store = builder.add_process(Box::new(Store::new(grid, decode_frames, display)), layout);
 
     // output
     let t = builder.next_task_id();

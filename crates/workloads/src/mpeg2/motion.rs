@@ -80,7 +80,8 @@ impl Process for MemMan {
         // Frame-state bookkeeping (allocation table of the memory manager).
         let uses = self.frame_table.read(ctx, task, cur as usize);
         self.frame_table.write(ctx, task, cur as usize, uses + 1);
-        self.frame_table.write(ctx, task, 4 + mb_type as usize, mb_index);
+        self.frame_table
+            .write(ctx, task, 4 + mb_type as usize, mb_index);
         ctx.compute(8);
         ctx.push_all(0, &[reference, mb_index]);
         ctx.push_all(1, &[cur, mb_index]);

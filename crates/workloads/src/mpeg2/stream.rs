@@ -32,7 +32,7 @@ impl MacroblockGrid {
     /// Panics if the dimensions are not positive multiples of 16.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(
-            width > 0 && height > 0 && width % 16 == 0 && height % 16 == 0,
+            width > 0 && height > 0 && width.is_multiple_of(16) && height.is_multiple_of(16),
             "picture dimensions must be positive multiples of 16"
         );
         MacroblockGrid { width, height }
@@ -137,11 +137,7 @@ fn predicted_block(
 ///
 /// The first picture is intra coded; every following picture is inter coded
 /// against its predecessor with the single global motion vector `motion`.
-pub fn encode_stream(
-    frames: &[Vec<i32>],
-    grid: MacroblockGrid,
-    motion: (i32, i32),
-) -> Vec<i32> {
+pub fn encode_stream(frames: &[Vec<i32>], grid: MacroblockGrid, motion: (i32, i32)) -> Vec<i32> {
     let zigzag = zigzag_order();
     let mut stream = Vec::with_capacity(frames.len() * grid.mbs_per_picture() * RECORD_LEN);
     for (f, frame) in frames.iter().enumerate() {

@@ -140,7 +140,7 @@ mod tests {
         let block = img.block_8x8(2, 1);
         // Columns beyond x = 19 replicate column 19; rows beyond y = 11
         // replicate row 11.
-        assert_eq!(block[0 * 8 + 4], img.pixel(19, 8));
+        assert_eq!(block[4], img.pixel(19, 8));
         assert_eq!(block[7 * 8 + 7], img.pixel(19, 11));
     }
 

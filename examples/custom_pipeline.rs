@@ -8,9 +8,7 @@
 //!
 //! Run with `cargo run --release --example custom_pipeline`.
 
-use compmem_cache::{
-    CacheConfig, PartitionKey, PartitionMap, SetPartitionedCache, SharedCache,
-};
+use compmem_cache::{CacheConfig, PartitionKey, PartitionMap, SetPartitionedCache, SharedCache};
 use compmem_kpn::{FireContext, FireResult, NetworkBuilder, Process, TaskLayout};
 use compmem_platform::{PlatformConfig, System, TaskMapping};
 use compmem_trace::{AddressSpace, RegionKind, ScalarArray, TaskId};
@@ -117,13 +115,19 @@ fn build(space: &mut AddressSpace) -> Result<compmem_kpn::Network, Box<dyn std::
     let samples = passes * 16 * 1024;
 
     let t0 = b.next_task_id();
-    let src_region = space.allocate_region("source.data", RegionKind::TaskData { task: t0 }, 64 * 1024)?;
+    let src_region =
+        space.allocate_region("source.data", RegionKind::TaskData { task: t0 }, 64 * 1024)?;
     let mut data = space.array(src_region)?;
     for i in 0..data.len() {
         data.poke(i, (i as i32 * 31) % 251);
     }
     let src = b.add_process(
-        Box::new(Source { task: t0, data, cursor: 0, remaining_passes: passes - 1 }),
+        Box::new(Source {
+            task: t0,
+            data,
+            cursor: 0,
+            remaining_passes: passes - 1,
+        }),
         TaskLayout::with_code_size(space, "source", t0, 2048)?,
     );
 
@@ -141,7 +145,11 @@ fn build(space: &mut AddressSpace) -> Result<compmem_kpn::Network, Box<dyn std::
 
     let t2 = b.next_task_id();
     let sink = b.add_process(
-        Box::new(Sink { sum: 0, received: 0, expected: samples }),
+        Box::new(Sink {
+            sum: 0,
+            received: 0,
+            expected: samples,
+        }),
         TaskLayout::with_code_size(space, "sink", t2, 1024)?,
     );
 
@@ -162,7 +170,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut space = AddressSpace::new();
     let mut network = build(&mut space)?;
     let mapping = TaskMapping::round_robin(&network.tasks(), 3);
-    let mut system = System::new(platform, SharedCache::new(l2), mapping.clone())?;
+    let mut system = System::new(platform, Box::new(SharedCache::new(l2)), mapping.clone())?;
     let shared = system.run(&mut network)?;
 
     // Partitioned cache: the filter gets half the cache exclusively.
@@ -172,10 +180,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     map.assign(PartitionKey::Task(TaskId::new(0)), 0, 32)?;
     map.assign(PartitionKey::Task(TaskId::new(1)), 32, 128)?;
     map.assign(PartitionKey::Task(TaskId::new(2)), 160, 32)?;
-    map.assign(PartitionKey::Buffer(compmem_trace::BufferId::new(0)), 192, 16)?;
-    map.assign(PartitionKey::Buffer(compmem_trace::BufferId::new(1)), 208, 16)?;
+    map.assign(
+        PartitionKey::Buffer(compmem_trace::BufferId::new(0)),
+        192,
+        16,
+    )?;
+    map.assign(
+        PartitionKey::Buffer(compmem_trace::BufferId::new(1)),
+        208,
+        16,
+    )?;
     let cache = SetPartitionedCache::new(l2, space.table(), &map)?;
-    let mut system = System::new(platform, cache, mapping)?;
+    let mut system = System::new(platform, Box::new(cache), mapping)?;
     let partitioned = system.run(&mut network)?;
     let filter_task = TaskId::new(1);
 

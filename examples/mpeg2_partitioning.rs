@@ -27,12 +27,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's flow: shared baseline (which also profiles), optimiser,
     // partitioned run.
     let outcome = experiment.run_paper_flow()?;
-    // The column-caching ablation.
-    let way = experiment.run_way_partitioned()?;
-    // The larger shared cache the paper also reports for MPEG-2.
-    let large_shared = experiment.run_shared_with_l2(CacheConfig::with_size_bytes(128 * 1024, 4)?)?;
+    // The two ablation runs are independent of each other and of the flow:
+    // describe them as specs and execute them in parallel threads.
+    let specs = vec![
+        // The column-caching ablation.
+        experiment.way_partitioned_spec(),
+        // The larger shared cache the paper also reports for MPEG-2.
+        experiment.shared_spec_with_l2(CacheConfig::with_size_bytes(128 * 1024, 4)?),
+    ];
+    let mut results = experiment.run_all(&specs).into_iter();
+    let way = results.next().expect("two specs")?;
+    let large_shared = results.next().expect("two specs")?;
 
-    println!("MPEG-2 decoder, {} pictures of {}x{}", params.pictures, params.width, params.height);
+    println!(
+        "MPEG-2 decoder, {} pictures of {}x{}",
+        params.pictures, params.width, params.height
+    );
     println!(
         "{:<34} {:>10} {:>12} {:>8}",
         "organisation", "L2 misses", "miss rate", "CPI"

@@ -2,14 +2,44 @@
 //!
 //! This crate only re-exports the workspace members so that the runnable
 //! examples in `examples/` and the cross-crate integration tests in `tests/`
-//! have a single dependency. The actual functionality lives in:
+//! have a single dependency.
 //!
-//! * [`compmem`] — partition sizing, compositionality analysis, experiments,
-//! * [`compmem_cache`] — cache models (shared, set-partitioned, way-partitioned),
-//! * [`compmem_platform`] — the CAKE-like multiprocessor simulator,
-//! * [`compmem_kpn`] — the YAPI process-network runtime,
-//! * [`compmem_workloads`] — the JPEG / Canny / MPEG-2 task graphs,
-//! * [`compmem_trace`] — addresses, regions and access traces.
+//! # Crate map
+//!
+//! The workspace is layered bottom-up; each crate depends only on the ones
+//! above it in this list:
+//!
+//! * [`compmem_trace`] — addresses, line/region arithmetic, the region
+//!   table, access records and synthetic stream generators. Pure data; no
+//!   simulation.
+//! * [`compmem_cache`] — the cache substrate. The four L2 organisations of
+//!   the study (shared, set-partitioned, way-partitioned, profiling) all
+//!   implement the **object-safe `CacheModel` trait**, and
+//!   `OrganizationSpec` builds any of them as a `Box<dyn CacheModel>` from
+//!   plain data. Per-key statistics and uniform `CacheSnapshot`s live here
+//!   too, as do the miss-vs-size profiles (`MissProfiles`) measured by the
+//!   profiling organisation.
+//! * [`compmem_platform`] — the CAKE-like multiprocessor simulator. A
+//!   discrete-event `EventQueue` (min-heap of `(ready_cycle, actor)`)
+//!   drives the run loop; processors execute workload bursts against one
+//!   timing path (private L1s → shared bus → `Box<dyn CacheModel>` L2 →
+//!   DRAM), park when their tasks block and are woken by burst-completion
+//!   and task-retirement events.
+//! * [`compmem_kpn`] — the YAPI-like Kahn-process-network runtime. Process
+//!   networks implement the platform's `WorkloadDriver`; the functional
+//!   scheduler (`Network::run_functional`) runs on the same event-queue
+//!   engine, waking exactly the neighbours a firing can unblock.
+//! * [`compmem_workloads`] — the multimedia task graphs of the paper's
+//!   evaluation (two JPEG decoders + Canny, and an MPEG-2 decoder) with
+//!   deterministic synthetic inputs.
+//! * [`compmem`] — partition sizing (exact/greedy/equal-split optimisers),
+//!   compositionality analysis, and the spec-driven experiment layer:
+//!   every run is a `RunSpec` executed by one driver, and batches of
+//!   independent runs fan out across threads (`Experiment::run_all`).
+//!
+//! The `compmem-bench` crate (not re-exported) holds the criterion benches,
+//! the recorded `BENCH_*.json` baselines and the `repro` binary that
+//! regenerates the paper's tables and figures.
 
 #![forbid(unsafe_code)]
 

@@ -37,9 +37,23 @@ fn jpeg_canny_flow_reduces_misses_and_is_compositional() {
     // Every one of the 15 tasks appears in the allocation table.
     let table = report::format_allocation_table(&outcome);
     for name in [
-        "FrontEnd1", "IDCT1", "Raster1", "BackEnd1", "FrontEnd2", "IDCT2", "Raster2", "BackEnd2",
-        "Fr.canny", "LowPass", "HorizSobel", "VertSobel", "HorizNMS", "VertNMS", "MaxTreshold",
-        "appl data", "rt data",
+        "FrontEnd1",
+        "IDCT1",
+        "Raster1",
+        "BackEnd1",
+        "FrontEnd2",
+        "IDCT2",
+        "Raster2",
+        "BackEnd2",
+        "Fr.canny",
+        "LowPass",
+        "HorizSobel",
+        "VertSobel",
+        "HorizNMS",
+        "VertNMS",
+        "MaxTreshold",
+        "appl data",
+        "rt data",
     ] {
         assert!(table.contains(name), "missing `{name}` in:\n{table}");
     }
@@ -69,8 +83,19 @@ fn mpeg2_flow_produces_all_figures() {
     // The 13 task names of Table 2 are all present.
     let table = report::format_allocation_table(&outcome);
     for name in [
-        "input", "vld", "hdr", "isiq", "memMan", "idct", "add", "decMV", "predict", "predictRD",
-        "writeMB", "store", "output",
+        "input",
+        "vld",
+        "hdr",
+        "isiq",
+        "memMan",
+        "idct",
+        "add",
+        "decMV",
+        "predict",
+        "predictRD",
+        "writeMB",
+        "store",
+        "output",
     ] {
         assert!(table.contains(name), "missing `{name}` in:\n{table}");
     }
@@ -82,8 +107,8 @@ fn runs_are_deterministic() {
     let experiment = Experiment::new(small_config(), move || {
         mpeg2_app(&params).expect("valid parameters")
     });
-    let (a, _) = experiment.run_shared_with_profiles().expect("first run");
-    let (b, _) = experiment.run_shared_with_profiles().expect("second run");
+    let (a, _) = experiment.run_profiled().expect("first run");
+    let (b, _) = experiment.run_profiled().expect("second run");
     assert_eq!(a.report.l2.misses, b.report.l2.misses);
     assert_eq!(a.report.total_instructions(), b.report.total_instructions());
     assert_eq!(a.report.makespan_cycles, b.report.makespan_cycles);
@@ -97,11 +122,19 @@ fn larger_shared_cache_reduces_misses() {
     let experiment = Experiment::new(small_config(), move || {
         mpeg2_app(&params).expect("valid parameters")
     });
-    let small = experiment
-        .run_shared_with_l2(CacheConfig::with_size_bytes(32 * 1024, 4).unwrap())
+    // The two shared runs are independent: execute them in parallel.
+    let specs = vec![
+        experiment.shared_spec_with_l2(CacheConfig::with_size_bytes(32 * 1024, 4).unwrap()),
+        experiment.shared_spec_with_l2(CacheConfig::with_size_bytes(128 * 1024, 4).unwrap()),
+    ];
+    let mut results = experiment.run_all(&specs).into_iter();
+    let small = results
+        .next()
+        .expect("two specs")
         .expect("small shared run");
-    let large = experiment
-        .run_shared_with_l2(CacheConfig::with_size_bytes(128 * 1024, 4).unwrap())
+    let large = results
+        .next()
+        .expect("two specs")
         .expect("large shared run");
     assert!(large.report.l2.misses < small.report.l2.misses);
 }

@@ -2,8 +2,8 @@
 //! synthetic workloads (independent of the multimedia applications).
 
 use compmem_cache::{
-    CacheConfig, CacheOrganization, PartitionKey, PartitionMap, ReplacementPolicy,
-    SetAssocCache, SetPartitionedCache, SharedCache, WayAllocation, WayPartitionedCache,
+    CacheConfig, CacheModel, PartitionKey, PartitionMap, ReplacementPolicy, SetAssocCache,
+    SetPartitionedCache, SharedCache, WayAllocation, WayPartitionedCache,
 };
 use compmem_trace::gen::{interleave, looping, StreamParams};
 use compmem_trace::{Access, RegionKind, RegionTable, TaskId};
@@ -71,10 +71,7 @@ fn co_scheduling_perturbs_shared_but_not_partitioned_caches() {
             alone.access(a);
         }
         assert_eq!(
-            partitioned
-                .stats_by_task()
-                .get(&TaskId::new(i))
-                .misses,
+            partitioned.stats_by_task().get(&TaskId::new(i)).misses,
             alone.stats_by_task().get(&TaskId::new(i)).misses,
             "task {i} misses depend on co-runners under partitioning"
         );

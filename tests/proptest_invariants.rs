@@ -10,8 +10,8 @@ use compmem::optimizer::{
 };
 use compmem::profile::{MissProfile, MissProfiles};
 use compmem_cache::{
-    CacheConfig, CacheGeometry, CacheOrganization, PartitionKey, PartitionMap,
-    SetPartitionedCache, SharedCache,
+    CacheConfig, CacheGeometry, CacheModel, PartitionKey, PartitionMap, SetPartitionedCache,
+    SharedCache,
 };
 use compmem_trace::stats::ReuseDistanceHistogram;
 use compmem_trace::{Access, Addr, RegionKind, RegionTable, TaskId};
