@@ -1,0 +1,318 @@
+//! The `compmem` command-line tool: record, replay and sweep traces.
+//!
+//! Usage:
+//!
+//! ```text
+//! compmem record --app jpeg_canny|mpeg2 [--scale paper|small|tiny]
+//!                [--org shared|way-partitioned|profiling] --out FILE
+//! compmem replay --trace FILE [--org ORG] [--l2-kb N] [--ways N]
+//!                [--policy lru|fifo|tree-plru|random]
+//! compmem sweep  --trace FILE [--l2-kb N[,N...]] [--ways N]
+//! compmem info   --trace FILE
+//! ```
+//!
+//! `record` executes an application live on the discrete-event simulator
+//! and streams every memory access into the binary trace IR (see
+//! `compmem_trace::codec`). `replay` re-issues a recorded trace through a
+//! freshly built hierarchy — under the organisation it was recorded with,
+//! the cache statistics are bit-identical to the live run. `sweep` replays
+//! one trace over the organisations (shared, set-partitioned equal-split,
+//! way-partitioned) at one or more L2 sizes, which is the record-once /
+//! sweep-many workflow the subsystem exists for.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use compmem::experiment::{run_replay, Experiment, RunOutcome, ScenarioSpec};
+use compmem::CoreError;
+use compmem_bench::{jpeg_canny_experiment, mpeg2_experiment, Scale};
+use compmem_cache::{
+    CacheConfig, OrganizationSpec, PartitionKey, PartitionMap, ReplacementPolicy, WayAllocation,
+};
+use compmem_platform::{PlatformConfig, PreparedTrace};
+use compmem_trace::{EncodedTrace, RegionTable};
+use compmem_workloads::apps::Application;
+
+fn usage() {
+    eprintln!(
+        "usage:\n  compmem record --app jpeg_canny|mpeg2 [--scale paper|small|tiny] \
+         [--org shared|way-partitioned|profiling] --out FILE\n  compmem replay --trace FILE \
+         [--org ORG] [--l2-kb N] [--ways N] [--policy lru|fifo|tree-plru|random]\n  \
+         compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N]\n  compmem info --trace FILE"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "record" => record(&args[1..]),
+        "replay" => replay(&args[1..]),
+        "sweep" => sweep(&args[1..]),
+        "info" => info(&args[1..]),
+        "--help" | "-h" | "help" => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: every option takes one value.
+fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{flag}`"));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        out.push((name.to_string(), value.clone()));
+    }
+    Ok(out)
+}
+
+fn get<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn record(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let app = get(&flags, "app").ok_or("record needs --app jpeg_canny|mpeg2")?;
+    let out = get(&flags, "out").ok_or("record needs --out FILE")?;
+    let scale = match get(&flags, "scale") {
+        None => Scale::Small,
+        Some(name) => Scale::parse(name).ok_or_else(|| format!("unknown scale `{name}`"))?,
+    };
+    let org = get(&flags, "org").unwrap_or("shared");
+
+    let (outcome, trace) = match app {
+        "jpeg_canny" => record_with(&jpeg_canny_experiment(scale), org)?,
+        "mpeg2" => record_with(&mpeg2_experiment(scale), org)?,
+        other => return Err(format!("unknown app `{other}` (use jpeg_canny or mpeg2)")),
+    };
+    trace.trace().write_to(out).map_err(|e| e.to_string())?;
+    let summary = trace.summary();
+    println!(
+        "recorded {app} ({org} L2): {} accesses in {} runs on {} processors",
+        summary.accesses, summary.runs, summary.processors
+    );
+    println!(
+        "  live run: {} cycles makespan, L2 miss rate {:.2}%",
+        outcome.report.makespan_cycles,
+        100.0 * outcome.report.l2_miss_rate()
+    );
+    println!(
+        "  wrote {out}: {} bytes ({:.2} bytes/access)",
+        summary.encoded_bytes,
+        summary.bytes_per_access()
+    );
+    Ok(())
+}
+
+fn record_with<F: Fn() -> Application>(
+    experiment: &Experiment<F>,
+    org: &str,
+) -> Result<(RunOutcome, Arc<PreparedTrace>), String> {
+    let spec = match org {
+        "shared" => experiment.shared_spec(),
+        "way-partitioned" => experiment.way_partitioned_spec(),
+        "profiling" => experiment.profiling_spec(),
+        other => {
+            return Err(format!(
+            "cannot record under organisation `{other}` (use shared, way-partitioned or profiling)"
+        ))
+        }
+    };
+    experiment.record_trace(&spec).map_err(|e| e.to_string())
+}
+
+fn load_trace(flags: &[(String, String)]) -> Result<Arc<PreparedTrace>, String> {
+    let path = get(flags, "trace").ok_or("missing --trace FILE")?;
+    EncodedTrace::read_from(path)
+        .map(|trace| Arc::new(PreparedTrace::from(trace)))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn l2_config(flags: &[(String, String)]) -> Result<CacheConfig, String> {
+    let kb: u64 = get(flags, "l2-kb")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| "--l2-kb needs a number".to_string())?;
+    let ways: u32 = get(flags, "ways")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--ways needs a number".to_string())?;
+    let mut config = CacheConfig::with_size_bytes(kb * 1024, ways).map_err(|e| e.to_string())?;
+    if let Some(name) = get(flags, "policy") {
+        let policy = ReplacementPolicy::ALL
+            .into_iter()
+            .find(|p| p.to_string() == name)
+            .ok_or_else(|| format!("unknown replacement policy `{name}`"))?;
+        config = config.policy(policy);
+    }
+    Ok(config)
+}
+
+fn organization(
+    name: &str,
+    l2: CacheConfig,
+    table: &RegionTable,
+) -> Result<OrganizationSpec, String> {
+    match name {
+        "shared" => Ok(OrganizationSpec::Shared),
+        "set-partitioned" => {
+            let keys = PartitionKey::distinct_keys(table);
+            PartitionMap::equal_split(l2.geometry(), &keys)
+                .map(OrganizationSpec::SetPartitioned)
+                .map_err(|e| e.to_string())
+        }
+        "way-partitioned" => Ok(OrganizationSpec::WayPartitioned(
+            WayAllocation::equal_split(l2.geometry(), &PartitionKey::distinct_keys(table)),
+        )),
+        "profiling" => Ok(OrganizationSpec::Profiling(
+            compmem_cache::CacheSizeLattice::new(l2.geometry(), 16),
+        )),
+        other => Err(format!("unknown organisation `{other}`")),
+    }
+}
+
+fn print_outcome_row(label: &str, outcome: &RunOutcome) {
+    let r = &outcome.report;
+    println!(
+        "{label:<24} {:>12} {:>12} {:>8.3}% {:>10} {:>14}",
+        r.l2.accesses,
+        r.l2.misses,
+        100.0 * r.l2_miss_rate(),
+        r.dram_accesses,
+        r.makespan_cycles
+    );
+}
+
+fn outcome_header() {
+    println!(
+        "{:<24} {:>12} {:>12} {:>9} {:>10} {:>14}",
+        "organisation", "l2 accesses", "l2 misses", "missrate", "dram", "makespan"
+    );
+}
+
+fn replay(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let trace = load_trace(&flags)?;
+    let l2 = l2_config(&flags)?;
+    let org_name = get(&flags, "org").unwrap_or("shared");
+    let org = organization(org_name, l2, trace.table())?;
+    let spec = ScenarioSpec::replay(l2, org, trace.clone());
+    let outcome = run_replay(&PlatformConfig::default(), &spec).map_err(|e| e.to_string())?;
+    println!(
+        "replayed {} accesses on {} processors under `{}`",
+        trace.accesses(),
+        trace.processors(),
+        org_name
+    );
+    outcome_header();
+    print_outcome_row(org_name, &outcome);
+    Ok(())
+}
+
+fn sweep(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let trace = load_trace(&flags)?;
+    let sizes: Vec<u64> = get(&flags, "l2-kb")
+        .unwrap_or("64")
+        .split(',')
+        .map(|s| s.parse().map_err(|_| format!("bad L2 size `{s}`")))
+        .collect::<Result<_, _>>()?;
+    let ways: u32 = get(&flags, "ways")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--ways needs a number".to_string())?;
+    let platform = PlatformConfig::default();
+
+    println!(
+        "sweeping {} organisations x {} L2 sizes over {} recorded accesses",
+        3,
+        sizes.len(),
+        trace.accesses()
+    );
+    for &kb in &sizes {
+        let l2 = CacheConfig::with_size_bytes(kb * 1024, ways).map_err(|e| e.to_string())?;
+        println!("\nL2 = {kb} KB, {ways}-way:");
+        outcome_header();
+        // The three organisations replay the identical traffic; failures
+        // (e.g. more entities than ways) are reported per row.
+        let specs: Vec<(String, Result<ScenarioSpec, String>)> =
+            ["shared", "set-partitioned", "way-partitioned"]
+                .into_iter()
+                .map(|name| {
+                    let spec = organization(name, l2, trace.table())
+                        .map(|org| ScenarioSpec::replay(l2, org, trace.clone()));
+                    (name.to_string(), spec)
+                })
+                .collect();
+        let outcomes: Vec<(String, Result<RunOutcome, String>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .into_iter()
+                .map(|(name, spec)| {
+                    let platform = &platform;
+                    scope.spawn(move || {
+                        let outcome = spec.and_then(|spec| {
+                            run_replay(platform, &spec).map_err(|e: CoreError| e.to_string())
+                        });
+                        (name, outcome)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        for (name, outcome) in &outcomes {
+            match outcome {
+                Ok(outcome) => print_outcome_row(name, outcome),
+                Err(e) => println!("{name:<24} (skipped: {e})"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let trace = load_trace(&flags)?;
+    let summary = trace.summary();
+    println!(
+        "{} accesses in {} runs on {} processors; {} bytes ({:.2} bytes/access)",
+        summary.accesses,
+        summary.runs,
+        summary.processors,
+        summary.encoded_bytes,
+        summary.bytes_per_access()
+    );
+    println!("{} regions:", trace.table().len());
+    for region in trace.table().iter() {
+        println!("  {region}");
+    }
+    Ok(())
+}

@@ -19,6 +19,9 @@ pub enum Scale {
     Paper,
     /// Reduced pictures on a 64 KB L2 (used by the Criterion benches and CI).
     Small,
+    /// Miniature pictures on a 32 KB L2 (used by smoke tests and the CI run
+    /// of the `compmem` record/replay CLI).
+    Tiny,
 }
 
 impl Scale {
@@ -27,6 +30,7 @@ impl Scale {
         match name {
             "paper" => Some(Scale::Paper),
             "small" => Some(Scale::Small),
+            "tiny" => Some(Scale::Tiny),
             _ => None,
         }
     }
@@ -38,6 +42,11 @@ impl Scale {
             Scale::Small => ExperimentConfig {
                 l2: CacheConfig::with_size_bytes(64 * 1024, 4).expect("valid geometry"),
                 sets_per_unit: 4,
+                ..ExperimentConfig::default()
+            },
+            Scale::Tiny => ExperimentConfig {
+                l2: CacheConfig::with_size_bytes(32 * 1024, 4).expect("valid geometry"),
+                sets_per_unit: 2,
                 ..ExperimentConfig::default()
             },
         }
@@ -55,6 +64,7 @@ impl Scale {
                 threshold: 60,
                 seed: 2005,
             },
+            Scale::Tiny => JpegCannyParams::tiny(),
         }
     }
 
@@ -68,6 +78,7 @@ impl Scale {
                 pictures: 2,
                 seed: 2005,
             },
+            Scale::Tiny => Mpeg2Params::tiny(),
         }
     }
 
@@ -77,6 +88,7 @@ impl Scale {
         match self {
             Scale::Paper => CacheConfig::paper_l2_1mb(),
             Scale::Small => CacheConfig::with_size_bytes(128 * 1024, 4).expect("valid geometry"),
+            Scale::Tiny => CacheConfig::with_size_bytes(64 * 1024, 4).expect("valid geometry"),
         }
     }
 }
@@ -156,9 +168,11 @@ mod tests {
     fn scales_parse_and_produce_configs() {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
         assert_eq!(Scale::parse("huge"), None);
         assert_eq!(Scale::Paper.config().sets_per_unit, 16);
         assert_eq!(Scale::Small.config().sets_per_unit, 4);
+        assert_eq!(Scale::Tiny.config().sets_per_unit, 2);
         assert!(Scale::Small.jpeg_canny_params().jpeg1.0 < JpegCannyParams::paper_scale().jpeg1.0);
         assert_eq!(Scale::Paper.large_l2().geometry().size_bytes(), 1024 * 1024);
     }

@@ -1,6 +1,7 @@
 //! The set-associative cache core shared by all organisations.
 
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +40,37 @@ impl AccessOutcome {
     }
 }
 
+/// Multiply-xorshift hasher for line addresses.
+///
+/// The cold-miss tracker tests membership on **every** access of every
+/// cache, so it cannot afford SipHash; line numbers hashed through one
+/// multiplication and a finalising shift distribute well enough for the
+/// table and cost a couple of cycles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LineAddrHasher(u64);
+
+impl Hasher for LineAddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut h = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+type LineSet = HashSet<LineAddr, BuildHasherDefault<LineAddrHasher>>;
+
 /// A set-associative, write-back, write-allocate cache with per-task and
 /// per-region miss attribution.
 ///
@@ -54,7 +86,7 @@ pub struct SetAssocCache {
     stats: CacheStats,
     by_task: StatsByKey<TaskId>,
     by_region: StatsByKey<RegionId>,
-    seen_lines: HashSet<LineAddr>,
+    seen_lines: LineSet,
 }
 
 impl SetAssocCache {
@@ -71,7 +103,7 @@ impl SetAssocCache {
             stats: CacheStats::new(),
             by_task: StatsByKey::new(),
             by_region: StatsByKey::new(),
-            seen_lines: HashSet::new(),
+            seen_lines: LineSet::default(),
         }
     }
 
@@ -110,7 +142,6 @@ impl SetAssocCache {
         );
         let line = access.addr.line();
         let tag = self.geometry.tag_of(line);
-        let cold = self.seen_lines.insert(line);
         let outcome = self.sets[set_index.index()].access(
             tag,
             access.kind.is_write(),
@@ -121,7 +152,10 @@ impl SetAssocCache {
             line: LineAddr::new(tag),
             dirty,
         });
-        let cold = !outcome.hit && cold;
+        // Cold tracking only needs the set membership test on a miss: a hit
+        // line is resident, so it was necessarily inserted when it was
+        // first filled.
+        let cold = !outcome.hit && self.seen_lines.insert(line);
         let writeback = evicted.is_some_and(|e| e.dirty);
         self.stats.record(access.kind, outcome.hit, cold, writeback);
         self.by_task.record(access.task, outcome.hit);

@@ -48,6 +48,8 @@ pub enum CacheError {
         /// Index of the region.
         region: usize,
     },
+    /// A partitioned organisation was requested over an empty key set.
+    NoPartitionKeys,
 }
 
 impl fmt::Display for CacheError {
@@ -83,6 +85,12 @@ impl fmt::Display for CacheError {
             }
             CacheError::UnassignedRegion { region } => {
                 write!(f, "region {region} has no cache partition assigned")
+            }
+            CacheError::NoPartitionKeys => {
+                write!(
+                    f,
+                    "a partitioned organisation needs at least one partition key"
+                )
             }
         }
     }

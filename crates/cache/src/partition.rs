@@ -60,6 +60,24 @@ impl PartitionKey {
             RegionKind::RtBss => PartitionKey::RtBss,
         }
     }
+
+    /// The distinct partition keys of a region table, in region order.
+    ///
+    /// This is the canonical entity list of an application (or of a
+    /// recorded trace, whose embedded table this is typically called on):
+    /// the experiment driver, the CLI sweeps and the equal-split
+    /// organisations all partition over exactly these keys.
+    pub fn distinct_keys(table: &RegionTable) -> Vec<PartitionKey> {
+        let mut keys = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for region in table.iter() {
+            let key = PartitionKey::from_region_kind(region.kind);
+            if seen.insert(key) {
+                keys.push(key);
+            }
+        }
+        keys
+    }
 }
 
 impl fmt::Display for PartitionKey {
@@ -197,6 +215,26 @@ impl PartitionMap {
             base += sets;
         }
         Ok(map)
+    }
+
+    /// Packs an equal split over `keys`: every key receives the largest
+    /// power-of-two set count that still lets all keys fit in the cache
+    /// (the set-indexed analogue of [`WayAllocation::equal_split`]).
+    ///
+    /// [`WayAllocation::equal_split`]: crate::WayAllocation::equal_split
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] if `keys` is empty (nothing to cover) or the
+    /// split is invalid for the geometry.
+    pub fn equal_split(geometry: CacheGeometry, keys: &[PartitionKey]) -> Result<Self, CacheError> {
+        if keys.is_empty() {
+            return Err(CacheError::NoPartitionKeys);
+        }
+        let per = (geometry.sets() / keys.len() as u32).max(1);
+        let per = 1 << (u32::BITS - 1 - per.leading_zeros()); // previous power of two
+        let sizes: Vec<(PartitionKey, u32)> = keys.iter().map(|&k| (k, per)).collect();
+        Self::pack(geometry, &sizes)
     }
 
     /// Returns the partition assigned to `key`, if any.

@@ -1,8 +1,6 @@
 //! Miss and hit accounting, overall and attributed per task / region /
 //! partition.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use compmem_trace::AccessKind;
@@ -130,15 +128,35 @@ impl KeyStats {
 }
 
 /// A map of per-key counters kept in deterministic (sorted) order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The map sits on the per-access hot path of every cache (task and region
+/// attribution), so it is a sorted vector with a last-hit memo rather than
+/// a tree: access streams are bursty — long runs share one task and one
+/// region — so the memo makes the common case a single comparison, and the
+/// handful of distinct keys keeps the insert path cheap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StatsByKey<K: Ord> {
-    map: BTreeMap<K, KeyStats>,
+    /// `(key, counters)` sorted by key.
+    entries: Vec<(K, KeyStats)>,
+    /// Index of the most recently recorded key.
+    last: usize,
 }
+
+/// Equality ignores the memo: two maps with the same counters are equal
+/// regardless of which key was recorded last.
+impl<K: Ord> PartialEq for StatsByKey<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl<K: Ord> Eq for StatsByKey<K> {}
 
 impl<K: Ord> Default for StatsByKey<K> {
     fn default() -> Self {
         StatsByKey {
-            map: BTreeMap::new(),
+            entries: Vec::new(),
+            last: 0,
         }
     }
 }
@@ -151,41 +169,61 @@ impl<K: Ord> StatsByKey<K> {
 
     /// Records one access outcome for `key`.
     pub fn record(&mut self, key: K, hit: bool) {
-        let entry = self.map.entry(key).or_default();
-        entry.accesses += 1;
+        if let Some((k, stats)) = self.entries.get_mut(self.last) {
+            if *k == key {
+                stats.accesses += 1;
+                if !hit {
+                    stats.misses += 1;
+                }
+                return;
+            }
+        }
+        let index = match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(index) => index,
+            Err(index) => {
+                self.entries.insert(index, (key, KeyStats::default()));
+                index
+            }
+        };
+        self.last = index;
+        let stats = &mut self.entries[index].1;
+        stats.accesses += 1;
         if !hit {
-            entry.misses += 1;
+            stats.misses += 1;
         }
     }
 
     /// Returns the counters for `key` (zeros if never seen).
     pub fn get(&self, key: &K) -> KeyStats {
-        self.map.get(key).copied().unwrap_or_default()
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .map(|index| self.entries[index].1)
+            .unwrap_or_default()
     }
 
     /// Iterates over `(key, counters)` in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &KeyStats)> {
-        self.map.iter()
+        self.entries.iter().map(|(k, s)| (k, s))
     }
 
     /// Number of distinct keys seen.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.entries.len()
     }
 
     /// Returns `true` if no key has been seen.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.entries.is_empty()
     }
 
     /// Sum of misses over all keys.
     pub fn total_misses(&self) -> u64 {
-        self.map.values().map(|s| s.misses).sum()
+        self.entries.iter().map(|(_, s)| s.misses).sum()
     }
 
     /// Sum of accesses over all keys.
     pub fn total_accesses(&self) -> u64 {
-        self.map.values().map(|s| s.accesses).sum()
+        self.entries.iter().map(|(_, s)| s.accesses).sum()
     }
 }
 

@@ -36,6 +36,12 @@ pub enum CoreError {
     Platform(PlatformError),
     /// An underlying workload error.
     Workload(WorkloadError),
+    /// A trace encode/decode error (the message of the underlying
+    /// [`CodecError`](compmem_trace::CodecError), which is not `Clone`).
+    Codec {
+        /// Rendered message of the codec error.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +61,7 @@ impl fmt::Display for CoreError {
             CoreError::Cache(e) => write!(f, "cache error: {e}"),
             CoreError::Platform(e) => write!(f, "platform error: {e}"),
             CoreError::Workload(e) => write!(f, "workload error: {e}"),
+            CoreError::Codec { message } => write!(f, "trace codec error: {message}"),
         }
     }
 }
@@ -85,6 +92,14 @@ impl From<PlatformError> for CoreError {
 impl From<WorkloadError> for CoreError {
     fn from(value: WorkloadError) -> Self {
         CoreError::Workload(value)
+    }
+}
+
+impl From<compmem_trace::CodecError> for CoreError {
+    fn from(value: compmem_trace::CodecError) -> Self {
+        CoreError::Codec {
+            message: value.to_string(),
+        }
     }
 }
 

@@ -1,28 +1,39 @@
 //! Experiment drivers that regenerate the paper's evaluation.
 //!
-//! # One driver, four organisations
+//! # One driver, four organisations, two traffic sources
 //!
-//! Every simulation run is described declaratively by a [`RunSpec`] — an L2
-//! configuration plus an [`OrganizationSpec`] naming one of the four L2
-//! organisations (shared, set-partitioned, way-partitioned, profiling).
-//! [`Experiment::run`] is the **single** execution path: it builds the
-//! application, turns the spec into a `Box<dyn CacheModel>`, and hands both
-//! to the platform's discrete-event engine. There are no per-organisation
-//! drivers any more; organisation-specific behaviour lives entirely behind
-//! the `CacheModel` trait.
+//! Every simulation run is described declaratively by a [`ScenarioSpec`] —
+//! an L2 configuration, an [`OrganizationSpec`] naming one of the four L2
+//! organisations (shared, set-partitioned, way-partitioned, profiling), and
+//! a [`TrafficSource`] naming where the memory traffic comes from:
 //!
-//! Because specs are plain data and the application factory is a pure
-//! function, independent runs are embarrassingly parallel:
-//! [`Experiment::run_all`] fans a batch of specs out across one thread per
-//! spec, and [`Experiment::compare_optimizers`] solves the three partition-
-//! sizing strategies concurrently.
+//! * [`TrafficSource::Live`] executes the application functionally through
+//!   the Kahn-process-network runtime, as the paper's experiments do;
+//! * [`TrafficSource::Replay`] re-issues a recorded
+//!   [`EncodedTrace`] through the same hierarchy, skipping workload
+//!   execution entirely — record once with
+//!   [`Experiment::record_trace`], then sweep any number of organisations
+//!   over the same traffic.
+//!
+//! [`Experiment::run`] is the **single** execution path: it turns the spec
+//! into a `Box<dyn CacheModel>` and hands it either to the live
+//! discrete-event engine or to the
+//! [`ReplaySystem`]. There are no
+//! per-organisation drivers; organisation-specific behaviour lives
+//! entirely behind the `CacheModel` trait.
+//!
+//! Because specs are plain data (traces are shared by `Arc`) and the
+//! application factory is a pure function, independent runs are
+//! embarrassingly parallel: [`Experiment::run_all`] fans a batch of specs
+//! out across one thread per spec, and [`Experiment::compare_optimizers`]
+//! solves the three partition-sizing strategies concurrently.
 //!
 //! The central entry point is [`Experiment::run_paper_flow`], which performs
 //! the full method of the paper on one application:
 //!
 //! 1. run the application on the conventional **shared** L2 (this run also
 //!    measures the per-entity miss profiles through the
-//!    [`ProfilingCache`](compmem_cache::ProfilingCache) organisation),
+//!    [`ProfilingCache`] organisation),
 //! 2. size the partitions by minimising the total predicted misses
 //!    (FIFOs pinned to their own size, everything else optimised),
 //! 3. run the application on the **set-partitioned** L2 with that
@@ -30,7 +41,7 @@
 //! 4. compare expected and simulated per-entity misses (compositionality).
 
 use std::collections::BTreeMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -38,8 +49,9 @@ use compmem_cache::{
     CacheConfig, CacheModel, CacheSnapshot, KeyStats, OrganizationSpec, PartitionKey, PartitionMap,
     ProfilingCache, WayAllocation,
 };
-use compmem_platform::{PlatformConfig, System, SystemReport};
-use compmem_trace::{RegionKind, RegionTable};
+use compmem_platform::{PlatformConfig, PreparedTrace, ReplaySystem, System, SystemReport};
+use compmem_trace::{EncodedTrace, RegionKind, RegionTable, TraceWriter};
+
 use compmem_workloads::apps::Application;
 
 use crate::compositionality::CompositionalityReport;
@@ -71,18 +83,83 @@ impl Default for ExperimentConfig {
     }
 }
 
-/// A declarative description of one simulation run: which L2 configuration
-/// and which organisation. Specs are plain data (`Clone + Send + Sync`), so
-/// batches of them can be built up front and executed in parallel.
+/// Where the memory traffic of a scenario comes from.
 #[derive(Debug, Clone, PartialEq)]
-pub struct RunSpec {
+pub enum TrafficSource {
+    /// Execute the application functionally (the experiment's factory).
+    Live,
+    /// Replay a recorded trace; the workload is not executed.
+    Replay(Arc<PreparedTrace>),
+}
+
+impl TrafficSource {
+    /// Short name of the traffic source (`"live"` or `"replay"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficSource::Live => "live",
+            TrafficSource::Replay(_) => "replay",
+        }
+    }
+
+    /// Returns `true` for replayed traffic.
+    pub fn is_replay(&self) -> bool {
+        matches!(self, TrafficSource::Replay(_))
+    }
+}
+
+/// A declarative description of one simulation run: which L2 configuration,
+/// which organisation, and which traffic source. Specs are plain data
+/// (`Clone + Send + Sync`; traces are shared by `Arc`), so batches of them
+/// can be built up front and executed in parallel — in particular, an
+/// organisation sweep over **one** recorded trace never re-executes the
+/// workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
     /// The L2 cache configuration of the run.
     pub l2: CacheConfig,
     /// The L2 organisation of the run.
     pub organization: OrganizationSpec,
+    /// Where the memory traffic comes from.
+    pub traffic: TrafficSource,
 }
 
-impl RunSpec {
+/// The pre-replay name of [`ScenarioSpec`], kept for continuity: a
+/// `RunSpec` is a scenario whose traffic source defaults to live
+/// execution.
+pub type RunSpec = ScenarioSpec;
+
+impl ScenarioSpec {
+    /// A live-execution scenario.
+    pub fn live(l2: CacheConfig, organization: OrganizationSpec) -> Self {
+        ScenarioSpec {
+            l2,
+            organization,
+            traffic: TrafficSource::Live,
+        }
+    }
+
+    /// A replay scenario over a recorded trace.
+    pub fn replay(
+        l2: CacheConfig,
+        organization: OrganizationSpec,
+        trace: Arc<PreparedTrace>,
+    ) -> Self {
+        ScenarioSpec {
+            l2,
+            organization,
+            traffic: TrafficSource::Replay(trace),
+        }
+    }
+
+    /// This scenario with its traffic switched to replaying `trace`.
+    #[must_use]
+    pub fn replaying(self, trace: Arc<PreparedTrace>) -> Self {
+        ScenarioSpec {
+            traffic: TrafficSource::Replay(trace),
+            ..self
+        }
+    }
+
     /// Short name of the organisation this spec runs.
     pub fn label(&self) -> &'static str {
         self.organization.label()
@@ -259,17 +336,50 @@ fn key_names(app: &Application) -> BTreeMap<PartitionKey, String> {
     names
 }
 
-/// Distinct partition keys of an application, in region order.
-fn partition_keys(app: &Application) -> Vec<PartitionKey> {
-    let mut keys: Vec<PartitionKey> = Vec::new();
-    let mut seen = std::collections::BTreeSet::new();
-    for region in app.space.table().iter() {
-        let key = PartitionKey::from_region_kind(region.kind);
-        if seen.insert(key) {
-            keys.push(key);
+/// Replays a recorded trace under one organisation and also returns the L2
+/// model.
+fn replay_model(
+    platform: &PlatformConfig,
+    l2_config: CacheConfig,
+    organization: &OrganizationSpec,
+    trace: &PreparedTrace,
+) -> Result<(RunOutcome, Box<dyn CacheModel>), CoreError> {
+    let l2 = organization.build(l2_config, trace.table())?;
+    let mut system = ReplaySystem::new(platform, l2, trace)?;
+    let report = system.run();
+    let by_key = by_key_from_regions(trace.table(), &report);
+    let l2 = system.into_l2();
+    let l2_snapshot = l2.snapshot();
+    Ok((
+        RunOutcome {
+            report,
+            by_key,
+            l2_snapshot,
+        },
+        l2,
+    ))
+}
+
+/// Runs a replay scenario without an [`Experiment`] (no application
+/// factory needed): the trace embedded in the spec is the whole workload.
+///
+/// This is what the `compmem replay` / `compmem sweep` CLI subcommands are
+/// built on.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when `spec` names live traffic, and
+/// propagates cache and platform errors otherwise.
+pub fn run_replay(platform: &PlatformConfig, spec: &ScenarioSpec) -> Result<RunOutcome, CoreError> {
+    match &spec.traffic {
+        TrafficSource::Live => Err(CoreError::Infeasible {
+            reason: "run_replay requires a replay scenario; live scenarios need an Experiment"
+                .to_string(),
+        }),
+        TrafficSource::Replay(trace) => {
+            replay_model(platform, spec.l2, &spec.organization, trace).map(|(outcome, _)| outcome)
         }
     }
-    keys
 }
 
 /// An experiment bound to an application factory.
@@ -313,29 +423,20 @@ impl<F: Fn() -> Application> Experiment<F> {
     // ----- spec constructors (pure data, no simulation) -----
 
     /// Spec of the shared-cache baseline on the configured L2.
-    pub fn shared_spec(&self) -> RunSpec {
-        RunSpec {
-            l2: self.config.l2,
-            organization: OrganizationSpec::Shared,
-        }
+    pub fn shared_spec(&self) -> ScenarioSpec {
+        ScenarioSpec::live(self.config.l2, OrganizationSpec::Shared)
     }
 
     /// Spec of a shared-cache run with an alternative L2 configuration
     /// (e.g. the paper's 1 MB comparison point).
-    pub fn shared_spec_with_l2(&self, l2: CacheConfig) -> RunSpec {
-        RunSpec {
-            l2,
-            organization: OrganizationSpec::Shared,
-        }
+    pub fn shared_spec_with_l2(&self, l2: CacheConfig) -> ScenarioSpec {
+        ScenarioSpec::live(l2, OrganizationSpec::Shared)
     }
 
     /// Spec of the profiling run: the shared baseline plus shadow caches
     /// measuring per-entity miss-vs-size profiles.
-    pub fn profiling_spec(&self) -> RunSpec {
-        RunSpec {
-            l2: self.config.l2,
-            organization: OrganizationSpec::Profiling(self.lattice()),
-        }
+    pub fn profiling_spec(&self) -> ScenarioSpec {
+        ScenarioSpec::live(self.config.l2, OrganizationSpec::Profiling(self.lattice()))
     }
 
     /// Spec of the set-partitioned run with the given allocation (packed
@@ -358,10 +459,10 @@ impl<F: Fn() -> Application> Experiment<F> {
             .map(|(k, &units)| (*k, lattice.sets_of(units)))
             .collect();
         let map = PartitionMap::pack(self.config.l2.geometry(), &sizes)?;
-        Ok(RunSpec {
-            l2: self.config.l2,
-            organization: OrganizationSpec::SetPartitioned(map),
-        })
+        Ok(ScenarioSpec::live(
+            self.config.l2,
+            OrganizationSpec::SetPartitioned(map),
+        ))
     }
 
     /// Spec of the way-partitioned (column caching) baseline, splitting the
@@ -370,50 +471,109 @@ impl<F: Fn() -> Application> Experiment<F> {
     /// The entity keys come from the application's region table, which is
     /// derived once (the first caller pays one factory invocation) and
     /// cached for the lifetime of the experiment.
-    pub fn way_partitioned_spec(&self) -> RunSpec {
+    pub fn way_partitioned_spec(&self) -> ScenarioSpec {
         let keys = self
             .entity_keys
-            .get_or_init(|| partition_keys(&(self.factory)()));
+            .get_or_init(|| PartitionKey::distinct_keys((self.factory)().space.table()));
         let allocation = WayAllocation::equal_split(self.config.l2.geometry(), keys);
-        RunSpec {
-            l2: self.config.l2,
-            organization: OrganizationSpec::WayPartitioned(allocation),
-        }
+        ScenarioSpec::live(self.config.l2, OrganizationSpec::WayPartitioned(allocation))
     }
 
     // ----- the single execution path -----
 
     /// Runs one spec and additionally returns the L2 model, so callers can
     /// recover organisation-specific state (profiles) by downcasting.
-    fn run_model(&self, spec: &RunSpec) -> Result<(RunOutcome, Box<dyn CacheModel>), CoreError> {
+    fn run_model(
+        &self,
+        spec: &ScenarioSpec,
+    ) -> Result<(RunOutcome, Box<dyn CacheModel>), CoreError> {
+        match &spec.traffic {
+            TrafficSource::Live => {
+                let mut app = (self.factory)();
+                let platform = self.platform_for(&app);
+                let l2 = spec.organization.build(spec.l2, app.space.table())?;
+                let mut system = System::new(platform, l2, app.mapping.clone())?;
+                let report = system.run(&mut app.network)?;
+                let by_key = by_key_from_regions(app.space.table(), &report);
+                let l2 = system.into_l2();
+                let l2_snapshot = l2.snapshot();
+                Ok((
+                    RunOutcome {
+                        report,
+                        by_key,
+                        l2_snapshot,
+                    },
+                    l2,
+                ))
+            }
+            TrafficSource::Replay(trace) => {
+                replay_model(&self.config.platform, spec.l2, &spec.organization, trace)
+            }
+        }
+    }
+
+    /// Runs the scenario once as described by `spec`.
+    ///
+    /// This is the only simulation driver: every organisation — baseline,
+    /// partitioned, ablation or profiling — and both traffic sources go
+    /// through this path. Replay scenarios never invoke the application
+    /// factory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache, platform and workload errors.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<RunOutcome, CoreError> {
+        self.run_model(spec).map(|(outcome, _)| outcome)
+    }
+
+    /// Runs `spec` live while recording every access entering the memory
+    /// hierarchy, and returns the run's outcome together with the encoded
+    /// trace.
+    ///
+    /// The trace embeds the application's region table, so it is a
+    /// self-contained scenario: replaying it (see
+    /// [`ScenarioSpec::replaying`]) against the same platform parameters
+    /// and organisation reproduces this run's [`CacheSnapshot`] exactly,
+    /// and sweeping other organisations over it skips workload execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] when `spec` names replay traffic
+    /// (recording requires live execution), and propagates cache,
+    /// platform, workload and trace-encoding errors otherwise.
+    pub fn record_trace(
+        &self,
+        spec: &ScenarioSpec,
+    ) -> Result<(RunOutcome, Arc<PreparedTrace>), CoreError> {
+        if spec.traffic.is_replay() {
+            return Err(CoreError::Infeasible {
+                reason: "record_trace requires a live scenario; replaying a trace while \
+                         recording it would not execute the workload"
+                    .to_string(),
+            });
+        }
         let mut app = (self.factory)();
         let platform = self.platform_for(&app);
         let l2 = spec.organization.build(spec.l2, app.space.table())?;
         let mut system = System::new(platform, l2, app.mapping.clone())?;
-        let report = system.run(&mut app.network)?;
+        let mut writer = TraceWriter::new(
+            Vec::new(),
+            app.space.table(),
+            platform.num_processors as u32,
+        )?;
+        let report = system.run_traced(&mut app.network, &mut writer)?;
+        let (bytes, _) = writer.finish()?;
+        let trace = PreparedTrace::from(EncodedTrace::from_bytes(bytes)?);
         let by_key = by_key_from_regions(app.space.table(), &report);
-        let l2 = system.into_l2();
-        let l2_snapshot = l2.snapshot();
+        let l2_snapshot = system.into_l2().snapshot();
         Ok((
             RunOutcome {
                 report,
                 by_key,
                 l2_snapshot,
             },
-            l2,
+            Arc::new(trace),
         ))
-    }
-
-    /// Runs the application once as described by `spec`.
-    ///
-    /// This is the only simulation driver: every organisation — baseline,
-    /// partitioned, ablation or profiling — goes through this path.
-    ///
-    /// # Errors
-    ///
-    /// Propagates cache, platform and workload errors.
-    pub fn run(&self, spec: &RunSpec) -> Result<RunOutcome, CoreError> {
-        self.run_model(spec).map(|(outcome, _)| outcome)
     }
 
     /// Runs the shared-cache baseline and measures the per-entity miss
@@ -497,12 +657,13 @@ impl<F: Fn() -> Application + Sync> Experiment<F> {
     /// Runs a batch of independent specs in parallel, one worker thread per
     /// spec, and returns the outcomes in spec order.
     ///
-    /// The runs share nothing — each thread builds its own application and
-    /// its own `Box<dyn CacheModel>` from the spec — which is exactly what
-    /// the trait-object refactor buys: no monomorphised type ties the runs
-    /// together, so a shared/partitioned pair or a whole ablation sweep
-    /// executes concurrently.
-    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Result<RunOutcome, CoreError>> {
+    /// The runs share nothing mutable — each thread builds its own
+    /// application (live specs) or reads the shared `Arc`'d trace (replay
+    /// specs) and its own `Box<dyn CacheModel>` — which is exactly what the
+    /// trait-object refactor buys: no monomorphised type ties the runs
+    /// together, so a shared/partitioned pair or a whole organisation sweep
+    /// over one recorded trace executes concurrently.
+    pub fn run_all(&self, specs: &[ScenarioSpec]) -> Vec<Result<RunOutcome, CoreError>> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = specs
                 .iter()
@@ -670,6 +831,86 @@ mod tests {
         for other in &allocations[1..] {
             assert!(exact.predicted_misses <= other.predicted_misses);
         }
+    }
+
+    #[test]
+    fn recorded_trace_replays_to_the_identical_snapshot() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let spec = experiment.shared_spec();
+        let (live, trace) = experiment.record_trace(&spec).unwrap();
+        assert!(trace.accesses() > 0);
+        assert!(!trace.table().is_empty(), "trace embeds the region table");
+
+        let replayed = experiment
+            .run(&spec.clone().replaying(trace.clone()))
+            .unwrap();
+        assert_eq!(live.l2_snapshot, replayed.l2_snapshot);
+        assert_eq!(live.by_key, replayed.by_key);
+        assert_eq!(live.report.l1, replayed.report.l1);
+        assert_eq!(live.report.dram_accesses, replayed.report.dram_accesses);
+
+        // The standalone runner (no factory) agrees too.
+        let standalone = run_replay(&experiment.config().platform, &spec.replaying(trace)).unwrap();
+        assert_eq!(standalone.l2_snapshot, replayed.l2_snapshot);
+    }
+
+    #[test]
+    fn replay_sweep_runs_organisations_in_parallel_over_one_trace() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let (_, trace) = experiment.record_trace(&experiment.shared_spec()).unwrap();
+        let specs = vec![
+            experiment.shared_spec().replaying(trace.clone()),
+            experiment.way_partitioned_spec().replaying(trace.clone()),
+            experiment
+                .shared_spec_with_l2(CacheConfig::with_size_bytes(8 * 1024, 4).unwrap())
+                .replaying(trace.clone()),
+        ];
+        assert!(specs.iter().all(|s| s.traffic.is_replay()));
+        let results = experiment.run_all(&specs);
+        let shared = results[0].as_ref().unwrap();
+        let way = results[1].as_ref().unwrap();
+        let small = results[2].as_ref().unwrap();
+        // All replays see exactly the recorded traffic.
+        assert_eq!(
+            shared.report.l1.accesses + way.report.l1.accesses,
+            2 * trace.accesses()
+        );
+        assert_eq!(way.l2_snapshot.organization, "way-partitioned");
+        // A larger cache can only help, replayed or live.
+        assert!(shared.report.l2.misses <= small.report.l2.misses);
+    }
+
+    #[test]
+    fn record_trace_rejects_replay_scenarios() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let (_, trace) = experiment.record_trace(&experiment.shared_spec()).unwrap();
+        let replay_spec = experiment.shared_spec().replaying(trace);
+        assert!(matches!(
+            experiment.record_trace(&replay_spec),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn run_replay_rejects_live_scenarios() {
+        let spec = ScenarioSpec::live(
+            CacheConfig::with_size_bytes(64 * 1024, 4).unwrap(),
+            OrganizationSpec::Shared,
+        );
+        assert!(matches!(
+            run_replay(&PlatformConfig::default(), &spec),
+            Err(CoreError::Infeasible { .. })
+        ));
+        assert_eq!(spec.traffic.label(), "live");
     }
 
     #[test]

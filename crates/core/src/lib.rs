@@ -20,13 +20,17 @@
 //!    stand-alone expectation ([`compositionality`]), which is the paper's
 //!    Figure 3 result (≤ 2 % deviation).
 //! 4. **Experiments** ([`experiment`]) — a single spec-driven driver:
-//!    every run is described by a [`experiment::RunSpec`] (L2 configuration
-//!    plus an `OrganizationSpec` naming one of the four L2 organisations)
-//!    and executed through one `Box<dyn CacheModel>` timing path; batches
-//!    of independent runs fan out across threads
-//!    ([`experiment::Experiment::run_all`]). The drivers regenerate every
-//!    table and figure of the paper's evaluation (Tables 1–2, Figures 2–3,
-//!    the headline miss-rate/CPI numbers) plus the ablations.
+//!    every run is described by a [`experiment::ScenarioSpec`] (L2
+//!    configuration, an `OrganizationSpec` naming one of the four L2
+//!    organisations, and a [`experiment::TrafficSource`] naming live
+//!    execution or replay of a recorded trace) and executed through one
+//!    `Box<dyn CacheModel>` timing path; batches of independent runs fan
+//!    out across threads ([`experiment::Experiment::run_all`]), and
+//!    [`experiment::Experiment::record_trace`] /
+//!    [`experiment::run_replay`] implement the record-once / sweep-many
+//!    workflow. The drivers regenerate every table and figure of the
+//!    paper's evaluation (Tables 1–2, Figures 2–3, the headline
+//!    miss-rate/CPI numbers) plus the ablations.
 //!
 //! # Quickstart
 //!

@@ -211,9 +211,19 @@ impl<'a> FireContext<'a> {
 
 /// Routes private-array accesses (recorded through the `AccessSink` impl of
 /// the context) into the firing's operation list.
+///
+/// This is the platform's live sink: batches reported through
+/// [`record_all`](AccessSink::record_all) (bulk array fills, block copies)
+/// become runs of consecutive memory operations in the burst, which the
+/// engine then issues through the hierarchy's batch entry point
+/// (`MemorySystem::access_burst`) — one virtual L2 dispatch per run.
 impl AccessSink for FireContext<'_> {
     fn record(&mut self, access: Access) {
         self.ops.push(Op::Mem(access));
+    }
+
+    fn record_all(&mut self, accesses: &[Access]) {
+        self.ops.extend(accesses.iter().map(|&a| Op::Mem(a)));
     }
 }
 
@@ -222,6 +232,10 @@ struct OpSink<'a>(&'a mut Vec<Op>);
 impl AccessSink for OpSink<'_> {
     fn record(&mut self, access: Access) {
         self.0.push(Op::Mem(access));
+    }
+
+    fn record_all(&mut self, accesses: &[Access]) {
+        self.0.extend(accesses.iter().map(|&a| Op::Mem(a)));
     }
 }
 

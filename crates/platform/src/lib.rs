@@ -81,6 +81,7 @@ mod memory;
 mod metrics;
 mod op;
 mod processor;
+pub mod replay;
 mod scheduler;
 mod system;
 
@@ -88,9 +89,13 @@ pub use bus::Bus;
 pub use config::{OsRegions, PlatformConfig};
 pub use engine::EventQueue;
 pub use error::PlatformError;
-pub use memory::{MemoryLevel, MemorySystem};
+pub use memory::{BurstStats, L1Refill, MemoryLevel, MemorySystem};
 pub use metrics::{ProcessorReport, SystemReport};
 pub use op::{Burst, BurstOutcome, Op, WorkloadDriver};
 pub use processor::ProcessorId;
+pub use replay::{
+    AccessTap, FilteredRun, FilteredTrace, NullTap, PreparedTrace, ReplayCounters, ReplayProcessor,
+    ReplaySystem,
+};
 pub use scheduler::TaskMapping;
 pub use system::System;

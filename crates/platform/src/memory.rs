@@ -21,6 +21,43 @@ pub enum MemoryLevel {
     Dram,
 }
 
+/// Timing summary of one burst of accesses through the hierarchy (see
+/// [`MemorySystem::access_burst`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstStats {
+    /// Cycles the issuing processor advanced over the whole burst: one
+    /// cycle per data access plus every stall cycle (instruction fetches
+    /// contribute stall cycles only, as in the live path).
+    pub elapsed: u64,
+    /// Total stall cycles of the burst.
+    pub stall_cycles: u64,
+    /// Data accesses (loads and stores) in the burst.
+    pub data_accesses: u64,
+    /// Instruction fetches in the burst.
+    pub instr_fetches: u64,
+}
+
+/// One L1 miss of a pre-filtered trace run: the access that must travel to
+/// the shared L2, its position inside the run, and whether refilling it
+/// evicted a dirty L1 victim.
+///
+/// Filtering a recorded run through the (organisation-invariant) private
+/// L1s once and replaying only these refills is what makes organisation
+/// sweeps fast: the L2, bus and DRAM see exactly the traffic — at exactly
+/// the issue times — they would see replaying the full run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L1Refill {
+    /// The access that missed in the L1.
+    pub access: Access,
+    /// Data accesses (loads and stores) preceding this one in its run:
+    /// each advances the issuing processor's clock by one cycle, so this
+    /// is the hit-path component of the refill's issue time.
+    pub data_accesses_before: u64,
+    /// Whether the L1 victim was dirty (its write-back consumes bus
+    /// bandwidth).
+    pub l1_victim_dirty: bool,
+}
+
 /// The full memory hierarchy of one tile.
 ///
 /// Each processor has private L1 instruction and data caches; all
@@ -31,6 +68,12 @@ pub enum MemoryLevel {
 /// lookup, DRAM — serves every organisation; swapping organisations never
 /// changes how stall cycles are computed, only how the L2 indexes and
 /// evicts.
+///
+/// Accesses enter either one at a time ([`access`](MemorySystem::access))
+/// or as whole runs ([`access_burst`](MemorySystem::access_burst)); the
+/// burst entry point produces identical cache state and timing while
+/// paying one virtual L2 dispatch per run, which is what makes trace
+/// replay fast.
 #[derive(Debug)]
 pub struct MemorySystem {
     l1i: Vec<SetAssocCache>,
@@ -41,6 +84,19 @@ pub struct MemorySystem {
     dram_latency: u32,
     dram_accesses: u64,
     dram_writebacks: u64,
+    /// Scratch buffers reused across bursts so the hot replay path does not
+    /// allocate per run.
+    burst_refills: Vec<BurstRefill>,
+    burst_batch: Vec<Access>,
+    burst_outcomes: Vec<compmem_cache::AccessOutcome>,
+}
+
+/// One L1 miss of a burst: which access refills and whether the L1 victim
+/// was dirty.
+#[derive(Debug, Clone, Copy)]
+struct BurstRefill {
+    index: usize,
+    l1_victim_dirty: bool,
 }
 
 impl MemorySystem {
@@ -62,6 +118,9 @@ impl MemorySystem {
             dram_latency: config.dram_latency,
             dram_accesses: 0,
             dram_writebacks: 0,
+            burst_refills: Vec::new(),
+            burst_batch: Vec::new(),
+            burst_outcomes: Vec::new(),
         }
     }
 
@@ -104,6 +163,150 @@ impl MemorySystem {
             let _ = self.bus.request(now + stall, LINE_SIZE_BYTES as u32);
         }
         stall
+    }
+
+    /// Performs a whole run of accesses from `processor`, the first issuing
+    /// at time `now`, and returns the burst's timing summary.
+    ///
+    /// This is the batch entry point of the single timing path: every
+    /// access still flows L1 → bus → L2 → DRAM with the issue time
+    /// advancing exactly as in per-access execution (one cycle per data
+    /// access plus its stall; stall only for instruction fetches), but the
+    /// L1 misses of the run reach the shared L2 through **one**
+    /// [`CacheModel::access_batch`] call, so replaying a decoded trace run
+    /// costs one virtual dispatch instead of one per access. Cache state,
+    /// statistics and stall cycles are bit-identical to issuing the same
+    /// accesses through [`access`](MemorySystem::access) one by one.
+    pub fn access_burst(&mut self, processor: usize, now: u64, accesses: &[Access]) -> BurstStats {
+        // Phase 1: private L1 lookups (always per access — each access's
+        // hit/miss depends on the previous ones), collecting the misses
+        // that must travel to the shared L2.
+        let mut refills = std::mem::take(&mut self.burst_refills);
+        let mut batch = std::mem::take(&mut self.burst_batch);
+        refills.clear();
+        batch.clear();
+        for (index, access) in accesses.iter().enumerate() {
+            let l1 = if access.kind.is_instruction() {
+                &mut self.l1i[processor]
+            } else {
+                &mut self.l1d[processor]
+            };
+            let outcome = l1.access(access);
+            if !outcome.hit {
+                refills.push(BurstRefill {
+                    index,
+                    l1_victim_dirty: outcome.evicted.is_some_and(|e| e.dirty),
+                });
+                batch.push(*access);
+            }
+        }
+
+        // Phase 2: one virtual dispatch hands the whole miss stream to the
+        // L2 organisation, in order.
+        let mut outcomes = std::mem::take(&mut self.burst_outcomes);
+        self.l2.access_batch(&batch, &mut outcomes);
+
+        // Phase 3: timing. The bus sees exactly the request sequence of the
+        // per-access path (refill, optional L1 write-back, optional DRAM
+        // fill, optional L2 write-back — per miss, in order), with the
+        // issue clock advancing across the run.
+        let mut stats = BurstStats::default();
+        let mut clock = now;
+        let mut refill_cursor = 0usize;
+        for (index, access) in accesses.iter().enumerate() {
+            let mut stall = 0u64;
+            if refills.get(refill_cursor).is_some_and(|r| r.index == index) {
+                let refill = refills[refill_cursor];
+                let l2_outcome = outcomes[refill_cursor];
+                refill_cursor += 1;
+                let (bus_wait, bus_duration) = self.bus.request(clock, LINE_SIZE_BYTES as u32);
+                if refill.l1_victim_dirty {
+                    let _ = self.bus.request(clock, LINE_SIZE_BYTES as u32);
+                }
+                stall = bus_wait + bus_duration + u64::from(self.l2_hit_latency);
+                if !l2_outcome.hit {
+                    self.dram_accesses += 1;
+                    stall += u64::from(self.dram_latency);
+                    let (dram_wait, dram_duration) =
+                        self.bus.request(clock + stall, LINE_SIZE_BYTES as u32);
+                    stall += dram_wait + dram_duration;
+                }
+                if l2_outcome.evicted.is_some_and(|e| e.dirty) {
+                    self.dram_writebacks += 1;
+                    let _ = self.bus.request(clock + stall, LINE_SIZE_BYTES as u32);
+                }
+            }
+            stats.stall_cycles += stall;
+            if access.kind.is_instruction() {
+                clock += stall;
+                stats.instr_fetches += 1;
+            } else {
+                clock += 1 + stall;
+                stats.data_accesses += 1;
+            }
+        }
+        stats.elapsed = clock - now;
+
+        self.burst_refills = refills;
+        self.burst_batch = batch;
+        self.burst_outcomes = outcomes;
+        stats
+    }
+
+    /// Issues the pre-filtered L2-bound refills of one run, whose first
+    /// access issued at `now` and which contained `data_accesses` loads and
+    /// stores and `instr_fetches` instruction fetches in total.
+    ///
+    /// This is [`access_burst`](MemorySystem::access_burst) with the L1
+    /// phase already performed (once, when the trace was filtered): the
+    /// bus request sequence, the L2 access stream and the returned timing
+    /// are bit-identical to replaying the full run — the private L1s of
+    /// this hierarchy are bypassed and left untouched.
+    pub fn refill_burst(
+        &mut self,
+        now: u64,
+        refills: &[L1Refill],
+        data_accesses: u64,
+        instr_fetches: u64,
+    ) -> BurstStats {
+        let mut batch = std::mem::take(&mut self.burst_batch);
+        batch.clear();
+        batch.extend(refills.iter().map(|r| r.access));
+        let mut outcomes = std::mem::take(&mut self.burst_outcomes);
+        self.l2.access_batch(&batch, &mut outcomes);
+
+        let mut stall_total = 0u64;
+        for (refill, l2_outcome) in refills.iter().zip(&outcomes) {
+            // Hits before this refill advance the clock one cycle per data
+            // access; earlier refills advance it by their stalls.
+            let clock = now + refill.data_accesses_before + stall_total;
+            let (bus_wait, bus_duration) = self.bus.request(clock, LINE_SIZE_BYTES as u32);
+            if refill.l1_victim_dirty {
+                let _ = self.bus.request(clock, LINE_SIZE_BYTES as u32);
+            }
+            let mut stall = bus_wait + bus_duration + u64::from(self.l2_hit_latency);
+            if !l2_outcome.hit {
+                self.dram_accesses += 1;
+                stall += u64::from(self.dram_latency);
+                let (dram_wait, dram_duration) =
+                    self.bus.request(clock + stall, LINE_SIZE_BYTES as u32);
+                stall += dram_wait + dram_duration;
+            }
+            if l2_outcome.evicted.is_some_and(|e| e.dirty) {
+                self.dram_writebacks += 1;
+                let _ = self.bus.request(clock + stall, LINE_SIZE_BYTES as u32);
+            }
+            stall_total += stall;
+        }
+
+        self.burst_batch = batch;
+        self.burst_outcomes = outcomes;
+        BurstStats {
+            elapsed: data_accesses + stall_total,
+            stall_cycles: stall_total,
+            data_accesses,
+            instr_fetches,
+        }
     }
 
     /// Shared L2 organisation.
@@ -264,6 +467,68 @@ mod tests {
         let _ = m.access(0, 100, &w2);
         assert_eq!(m.dram_writebacks(), 1);
         assert_eq!(m.processors(), 1);
+    }
+
+    #[test]
+    fn access_burst_matches_per_access_execution_exactly() {
+        // Same mixed stream (loads, stores, ifetches, conflict evictions)
+        // through both entry points: identical stall totals, cache state
+        // and bus traffic.
+        let stream: Vec<Access> = (0..200)
+            .map(|i| {
+                let addr = Addr::new(0x1000 + (i % 7) * 256 + (i % 3) * 64);
+                let task = TaskId::new((i % 2) as u32);
+                match i % 5 {
+                    0 => Access::store(addr, 4, task, RegionId::new(0)),
+                    1 | 2 => Access::load(addr, 4, task, RegionId::new(0)),
+                    _ => Access::ifetch(addr, 64, task, RegionId::new(1)),
+                }
+            })
+            .collect();
+
+        let mut one_by_one = tiny_system();
+        let mut now = 0u64;
+        let mut stall_total = 0u64;
+        for a in &stream {
+            let stall = one_by_one.access(0, now, a);
+            stall_total += stall;
+            now += if a.kind.is_instruction() {
+                stall
+            } else {
+                1 + stall
+            };
+        }
+
+        let mut burst = tiny_system();
+        // Split the stream into uneven runs to exercise the scratch reuse.
+        let mut clock = 0u64;
+        let mut burst_stalls = 0u64;
+        let mut cursor = 0usize;
+        for (i, run_len) in [17usize, 1, 64, 5, 113].iter().enumerate() {
+            let run = &stream[cursor..cursor + run_len];
+            cursor += run_len;
+            let stats = burst.access_burst(0, clock, run);
+            clock += stats.elapsed;
+            burst_stalls += stats.stall_cycles;
+            let _ = i;
+        }
+        assert_eq!(cursor, stream.len());
+
+        assert_eq!(clock, now, "clocks diverged");
+        assert_eq!(burst_stalls, stall_total, "stall totals diverged");
+        assert_eq!(one_by_one.l2().snapshot(), burst.l2().snapshot());
+        assert_eq!(one_by_one.l1d_stats(0), burst.l1d_stats(0));
+        assert_eq!(one_by_one.l1i_stats(0), burst.l1i_stats(0));
+        assert_eq!(one_by_one.dram_accesses(), burst.dram_accesses());
+        assert_eq!(one_by_one.dram_writebacks(), burst.dram_writebacks());
+        assert_eq!(
+            one_by_one.bus().total_wait_cycles(),
+            burst.bus().total_wait_cycles()
+        );
+        assert_eq!(
+            one_by_one.bus().bytes_transferred(),
+            burst.bus().bytes_transferred()
+        );
     }
 
     #[test]

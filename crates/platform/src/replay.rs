@@ -1,0 +1,652 @@
+//! Trace record/replay: tapping live runs and replaying encoded traces.
+//!
+//! Recording and replaying splits the simulator's two jobs — *executing the
+//! workload* and *timing the memory hierarchy* — so that organisation
+//! sweeps pay the workload cost once:
+//!
+//! * **Record**: [`System::run_traced`](crate::System::run_traced) drives a
+//!   live run while an [`AccessTap`] observes every access entering the
+//!   hierarchy, in issue order, with its processor and cycle. The tap for
+//!   the binary trace IR is [`TraceWriter`], so recording streams straight
+//!   to a file or an in-memory [`EncodedTrace`].
+//! * **Replay**: a [`ReplaySystem`] rebuilds the hierarchy (fresh L1s, bus,
+//!   any `Box<dyn CacheModel>` L2) and re-issues the decoded trace. Each
+//!   processor of the recorded run becomes a [`ReplayProcessor`] actor on
+//!   the discrete-event [`EventQueue`]: it consumes its runs of accesses in
+//!   recorded global order through
+//!   [`MemorySystem::access_burst`](crate::MemorySystem::access_burst), so
+//!   the whole hierarchy sees exactly the access sequence of the live run
+//!   — cache statistics and snapshots are **bit-identical** to the
+//!   recording run under the same organisation — while skipping workload
+//!   execution, burst dispatch and per-access virtual calls.
+//!
+//! Replay *cache state* is exact; replay *timing* is a reconstruction:
+//! every run starts at its recorded issue cycle and advances by one cycle
+//! per data access plus the stalls recomputed under the replayed
+//! organisation, so compute phases between runs are carried by the
+//! recorded cycles rather than re-simulated.
+//!
+//! # The L1 filter
+//!
+//! An L2-organisation sweep replays one trace many times, but the private
+//! L1 caches do not depend on the L2 organisation at all: the L2-bound
+//! refill stream — which access misses the L1, in what order, with which
+//! dirty victims — is a function of the trace and the L1 configuration
+//! alone. A [`PreparedTrace`] therefore filters the decoded runs through
+//! the L1s **once** per L1 configuration and caches the result; every
+//! [`ReplaySystem`] built from it replays only the refills (via
+//! [`MemorySystem::refill_burst`]), typically one to two orders of
+//! magnitude fewer accesses, with bus traffic, issue times and L2 state
+//! bit-identical to replaying the full run.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use compmem_cache::{CacheConfig, CacheModel, CacheStats, SetAssocCache};
+use compmem_trace::codec::{EncodedTrace, TraceSummary, TraceWriter};
+use compmem_trace::{Access, RegionTable};
+
+use crate::config::PlatformConfig;
+use crate::engine::EventQueue;
+use crate::error::PlatformError;
+use crate::memory::{L1Refill, MemorySystem};
+use crate::metrics::{ProcessorReport, SystemReport};
+
+/// Observer of every access entering the memory hierarchy of a live run.
+///
+/// Taps see accesses in issue order with their processor and issue cycle —
+/// exactly the information the trace IR records. The no-op [`NullTap`] is
+/// what plain [`System::run`](crate::System::run) uses; it monomorphises
+/// away entirely.
+pub trait AccessTap {
+    /// Observes one access issued by `processor` at `cycle`.
+    fn record_access(&mut self, processor: usize, cycle: u64, access: &Access);
+
+    /// Observes a run of accesses issued by `processor`, the first at
+    /// `cycle`. The default forwards access by access.
+    fn record_run(&mut self, processor: usize, cycle: u64, accesses: &[Access]) {
+        for access in accesses {
+            self.record_access(processor, cycle, access);
+        }
+    }
+}
+
+/// A tap that observes nothing (the plain, untraced run).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTap;
+
+impl AccessTap for NullTap {
+    #[inline]
+    fn record_access(&mut self, _processor: usize, _cycle: u64, _access: &Access) {}
+
+    #[inline]
+    fn record_run(&mut self, _processor: usize, _cycle: u64, _accesses: &[Access]) {}
+}
+
+/// Streaming a live run into the binary trace IR.
+impl<W: Write> AccessTap for TraceWriter<W> {
+    fn record_access(&mut self, processor: usize, cycle: u64, access: &Access) {
+        self.record(processor as u32, cycle, access);
+    }
+
+    fn record_run(&mut self, processor: usize, cycle: u64, accesses: &[Access]) {
+        self.record_all(processor as u32, cycle, accesses);
+    }
+}
+
+/// One recorded run filtered through the private L1s: only the L2-bound
+/// refills remain, plus the counts needed to reconstruct timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilteredRun {
+    /// Processor that issued the run.
+    pub processor: u32,
+    /// Cycle at which the first access of the run issued.
+    pub start_cycle: u64,
+    /// The L1 misses of the run, in issue order.
+    pub refills: Vec<L1Refill>,
+    /// Loads and stores in the full (unfiltered) run.
+    pub data_accesses: u64,
+    /// Instruction fetches in the full (unfiltered) run.
+    pub instr_fetches: u64,
+}
+
+/// A trace filtered through one L1 configuration: the refill runs and the
+/// L1 statistics the filter pass accumulated (which are exactly the L1
+/// statistics any replay of the trace would produce).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilteredTrace {
+    /// The filtered runs in global recorded order.
+    pub runs: Vec<FilteredRun>,
+    /// Aggregate statistics over all private L1 caches.
+    pub l1_aggregate: CacheStats,
+    /// Number of processors.
+    pub processors: usize,
+}
+
+/// The L1 configuration a filter pass was computed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FilterKey {
+    l1i: CacheConfig,
+    l1d: CacheConfig,
+}
+
+/// A recorded trace prepared for repeated replay.
+///
+/// Wraps the [`EncodedTrace`] together with a cache of L1-filtered run
+/// lists keyed by L1 configuration, so an organisation sweep pays the
+/// decode once (cached inside the trace) and the L1 simulation once per
+/// distinct L1 configuration — usually once.
+#[derive(Debug)]
+pub struct PreparedTrace {
+    trace: Arc<EncodedTrace>,
+    filtered: Mutex<Vec<(FilterKey, Arc<FilteredTrace>)>>,
+}
+
+/// Equality is over the underlying trace (the filter cache derives from
+/// it).
+impl PartialEq for PreparedTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.trace == other.trace
+    }
+}
+
+impl Eq for PreparedTrace {}
+
+impl From<EncodedTrace> for PreparedTrace {
+    fn from(value: EncodedTrace) -> Self {
+        PreparedTrace::new(Arc::new(value))
+    }
+}
+
+impl PreparedTrace {
+    /// Prepares a trace for replay.
+    pub fn new(trace: Arc<EncodedTrace>) -> Self {
+        PreparedTrace {
+            trace,
+            filtered: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The underlying encoded trace.
+    pub fn trace(&self) -> &EncodedTrace {
+        &self.trace
+    }
+
+    /// The region table embedded in the trace.
+    pub fn table(&self) -> &RegionTable {
+        self.trace.table()
+    }
+
+    /// Counters describing the trace.
+    pub fn summary(&self) -> TraceSummary {
+        self.trace.summary()
+    }
+
+    /// Total number of accesses in the trace.
+    pub fn accesses(&self) -> u64 {
+        self.trace.accesses()
+    }
+
+    /// Number of processors the trace was recorded on.
+    pub fn processors(&self) -> u32 {
+        self.trace.processors()
+    }
+
+    /// The trace filtered through the L1 configuration of `config`,
+    /// computed on first use and cached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::ProcessorOutOfRange`] if a trace run names
+    /// a processor outside the trace's declared processor count.
+    pub fn filtered_for(
+        &self,
+        config: &PlatformConfig,
+    ) -> Result<Arc<FilteredTrace>, PlatformError> {
+        let key = FilterKey {
+            l1i: config.l1i,
+            l1d: config.l1d,
+        };
+        let mut cache = self.filtered.lock().expect("filter cache poisoned");
+        if let Some((_, filtered)) = cache.iter().find(|(k, _)| *k == key) {
+            return Ok(filtered.clone());
+        }
+        let filtered = Arc::new(filter_trace(&self.trace, key)?);
+        cache.push((key, filtered.clone()));
+        Ok(filtered)
+    }
+}
+
+/// Runs the decoded trace through fresh private L1s, keeping only the
+/// refills.
+fn filter_trace(trace: &EncodedTrace, key: FilterKey) -> Result<FilteredTrace, PlatformError> {
+    let processors = (trace.processors() as usize).max(1);
+    let mut l1i: Vec<SetAssocCache> = (0..processors)
+        .map(|_| SetAssocCache::new(key.l1i))
+        .collect();
+    let mut l1d: Vec<SetAssocCache> = (0..processors)
+        .map(|_| SetAssocCache::new(key.l1d))
+        .collect();
+    let mut runs = Vec::with_capacity(trace.runs().len());
+    for run in trace.runs() {
+        let pi = run.processor as usize;
+        if pi >= processors {
+            return Err(PlatformError::ProcessorOutOfRange {
+                processor: pi,
+                processors,
+            });
+        }
+        let mut filtered = FilteredRun {
+            processor: run.processor,
+            start_cycle: run.start_cycle,
+            refills: Vec::new(),
+            data_accesses: 0,
+            instr_fetches: 0,
+        };
+        for access in &run.accesses {
+            let l1 = if access.kind.is_instruction() {
+                &mut l1i[pi]
+            } else {
+                &mut l1d[pi]
+            };
+            let outcome = l1.access(access);
+            if !outcome.hit {
+                filtered.refills.push(L1Refill {
+                    access: *access,
+                    data_accesses_before: filtered.data_accesses,
+                    l1_victim_dirty: outcome.evicted.is_some_and(|e| e.dirty),
+                });
+            }
+            if access.kind.is_instruction() {
+                filtered.instr_fetches += 1;
+            } else {
+                filtered.data_accesses += 1;
+            }
+        }
+        runs.push(filtered);
+    }
+    let mut l1_aggregate = CacheStats::new();
+    for cache in l1i.iter().chain(l1d.iter()) {
+        l1_aggregate.merge(cache.stats());
+    }
+    Ok(FilteredTrace {
+        runs,
+        l1_aggregate,
+        processors,
+    })
+}
+
+/// Summary of one replay processor's work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayCounters {
+    /// Runs replayed.
+    pub runs: u64,
+    /// Data accesses (loads and stores) replayed.
+    pub data_accesses: u64,
+    /// Instruction fetches replayed.
+    pub instr_fetches: u64,
+    /// Stall cycles recomputed under the replayed organisation.
+    pub stall_cycles: u64,
+    /// Local clock after the last run (recorded issue time plus replayed
+    /// stalls of that run).
+    pub clock: u64,
+}
+
+/// One recorded processor replayed as a discrete-event actor.
+///
+/// A replay processor holds the sub-sequence of trace runs its recorded
+/// processor issued, as *global sequence numbers* into the trace's decoded
+/// run list. The replay event loop keys processors by the sequence number
+/// of their next run, so popping the earliest event always yields the
+/// globally next run of the recording — the hierarchy sees the exact
+/// recorded interleaving.
+#[derive(Debug)]
+pub struct ReplayProcessor {
+    /// Global run indices in recorded order, front = next.
+    runs: VecDeque<u64>,
+    counters: ReplayCounters,
+}
+
+impl ReplayProcessor {
+    fn new() -> Self {
+        ReplayProcessor {
+            runs: VecDeque::new(),
+            counters: ReplayCounters::default(),
+        }
+    }
+
+    /// Sequence number of the next run to replay, if any work remains.
+    pub fn next_sequence(&self) -> Option<u64> {
+        self.runs.front().copied()
+    }
+
+    /// The counters accumulated so far.
+    pub fn counters(&self) -> ReplayCounters {
+        self.counters
+    }
+
+    /// Replays this processor's next run through the hierarchy; the actor
+    /// is then rescheduled at its next sequence number (or parks when its
+    /// share of the trace is exhausted).
+    fn replay_next(&mut self, memory: &mut MemorySystem, runs: &[FilteredRun]) {
+        let seq = self.runs.pop_front().expect("scheduled with a run pending");
+        let run = &runs[seq as usize];
+        let stats = memory.refill_burst(
+            run.start_cycle,
+            &run.refills,
+            run.data_accesses,
+            run.instr_fetches,
+        );
+        self.counters.runs += 1;
+        self.counters.data_accesses += stats.data_accesses;
+        self.counters.instr_fetches += stats.instr_fetches;
+        self.counters.stall_cycles += stats.stall_cycles;
+        self.counters.clock = run.start_cycle + stats.elapsed;
+    }
+}
+
+/// A multiprocessor system that replays a recorded trace instead of
+/// executing a workload.
+///
+/// The memory hierarchy below the L1s is the live one — the shared bus,
+/// any `Box<dyn CacheModel>` L2, DRAM — while the L1s are pre-applied by
+/// the [`PreparedTrace`]'s cached filter pass. Traffic comes from
+/// [`ReplayProcessor`] actors consuming the filtered runs on the
+/// [`EventQueue`].
+#[derive(Debug)]
+pub struct ReplaySystem {
+    memory: MemorySystem,
+    processors: Vec<ReplayProcessor>,
+    filtered: Arc<FilteredTrace>,
+}
+
+impl ReplaySystem {
+    /// Builds a replay system for `trace` over the given platform
+    /// parameters (L1 geometry, latencies, bus) and L2 organisation.
+    ///
+    /// The processor count comes from the trace itself, so a recorded
+    /// 4-processor run replays on 4 processors' worth of hierarchy
+    /// regardless of `config.num_processors`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::ProcessorOutOfRange`] if a trace run names
+    /// a processor outside the trace's declared processor count.
+    pub fn new(
+        config: &PlatformConfig,
+        l2: Box<dyn CacheModel>,
+        trace: &PreparedTrace,
+    ) -> Result<Self, PlatformError> {
+        let num_processors = (trace.processors() as usize).max(1);
+        let memory = MemorySystem::new(&config.processors(num_processors), l2);
+        let filtered = trace.filtered_for(config)?;
+        let mut processors: Vec<ReplayProcessor> = (0..num_processors)
+            .map(|_| ReplayProcessor::new())
+            .collect();
+        for (seq, run) in filtered.runs.iter().enumerate() {
+            processors[run.processor as usize]
+                .runs
+                .push_back(seq as u64);
+        }
+        Ok(ReplaySystem {
+            memory,
+            processors,
+            filtered,
+        })
+    }
+
+    /// The memory hierarchy (e.g. to inspect L2 statistics after a replay).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
+    }
+
+    /// The replay processors.
+    pub fn processors(&self) -> &[ReplayProcessor] {
+        &self.processors
+    }
+
+    /// Consumes the system and returns the L2 organisation (to recover
+    /// organisation-specific state, exactly as
+    /// [`System::into_l2`](crate::System::into_l2) does).
+    pub fn into_l2(self) -> Box<dyn CacheModel> {
+        self.memory.into_l2()
+    }
+
+    /// Replays the whole trace and returns the report.
+    ///
+    /// One discrete-event loop: each replay processor is an event keyed by
+    /// the global sequence number of its next run; popping the earliest
+    /// event replays the globally next recorded run through
+    /// [`MemorySystem::refill_burst`](crate::MemorySystem::refill_burst).
+    /// Because every processor's sequence numbers are increasing, the heap
+    /// minimum is always the next run of the recording — the replayed
+    /// access interleaving is exactly the recorded one.
+    pub fn run(&mut self) -> SystemReport {
+        let filtered = self.filtered.clone();
+        let mut events: EventQueue<usize> = EventQueue::new();
+        for (pi, p) in self.processors.iter().enumerate() {
+            if let Some(seq) = p.next_sequence() {
+                events.push(seq, pi);
+            }
+        }
+        while let Some((_, pi)) = events.pop() {
+            self.processors[pi].replay_next(&mut self.memory, &filtered.runs);
+            if let Some(seq) = self.processors[pi].next_sequence() {
+                events.push(seq, pi);
+            }
+        }
+        self.report()
+    }
+
+    fn report(&self) -> SystemReport {
+        let processors: Vec<ProcessorReport> = self
+            .processors
+            .iter()
+            .map(|p| {
+                let c = p.counters();
+                ProcessorReport {
+                    cycles: c.clock,
+                    // A data access is one architectural instruction, as in
+                    // live execution; compute phases are not replayed, so
+                    // busy cycles cover the replayed instructions only.
+                    busy_cycles: c.data_accesses,
+                    stall_cycles: c.stall_cycles,
+                    switch_cycles: 0,
+                    idle_cycles: 0,
+                    instructions: c.data_accesses,
+                    task_switches: 0,
+                }
+            })
+            .collect();
+        let makespan_cycles = processors.iter().map(|p| p.cycles).max().unwrap_or(0);
+        let l2 = self.memory.l2();
+        SystemReport {
+            // The L1s were applied by the filter pass; its statistics are
+            // exactly what replaying the full runs would accumulate.
+            l1: self.filtered.l1_aggregate,
+            l2: *l2.stats(),
+            l2_by_task: l2.stats_by_task().iter().map(|(k, v)| (*k, *v)).collect(),
+            l2_by_region: l2.stats_by_region().iter().map(|(k, v)| (*k, *v)).collect(),
+            dram_accesses: self.memory.dram_accesses(),
+            dram_writebacks: self.memory.dram_writebacks(),
+            bus_wait_cycles: self.memory.bus().total_wait_cycles(),
+            bus_bytes: self.memory.bus().bytes_transferred(),
+            makespan_cycles,
+            processors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Burst, BurstOutcome, Op, WorkloadDriver};
+    use crate::scheduler::TaskMapping;
+    use crate::system::System;
+    use compmem_cache::{CacheConfig, CacheModel, SharedCache};
+    use compmem_trace::{Addr, RegionId, RegionKind, RegionTable, TaskId};
+
+    fn shared_l2() -> Box<dyn CacheModel> {
+        Box::new(SharedCache::new(CacheConfig::new(64, 4).unwrap()))
+    }
+
+    /// A two-task driver with interleaving memory and compute work.
+    struct MixedDriver {
+        remaining: Vec<u32>,
+        cursor: Vec<u64>,
+    }
+
+    impl WorkloadDriver for MixedDriver {
+        fn next_burst(&mut self, task: TaskId) -> BurstOutcome {
+            let t = task.index();
+            if self.remaining[t] == 0 {
+                return BurstOutcome::Finished;
+            }
+            self.remaining[t] -= 1;
+            let base = 0x10_0000 * (t as u64 + 1);
+            let mut ops = Vec::new();
+            for i in 0..12 {
+                let addr = base + ((self.cursor[t] + i) % 96) * 64;
+                ops.push(Op::Compute(2 + (i % 3) as u32));
+                let access = if i % 4 == 0 {
+                    Access::store(Addr::new(addr), 4, task, RegionId::new(t as u32))
+                } else {
+                    Access::load(Addr::new(addr), 4, task, RegionId::new(t as u32))
+                };
+                ops.push(Op::Mem(access));
+            }
+            self.cursor[t] += 12;
+            BurstOutcome::Ready(Burst::new(ops))
+        }
+    }
+
+    fn region_table() -> RegionTable {
+        let mut table = RegionTable::new();
+        for t in 0..2u32 {
+            table
+                .insert(
+                    format!("t{t}.data"),
+                    RegionKind::TaskData {
+                        task: TaskId::new(t),
+                    },
+                    96 * 64,
+                )
+                .unwrap();
+        }
+        table
+    }
+
+    fn record_run() -> (SystemReport, EncodedTrace) {
+        let config = PlatformConfig::default().processors(2);
+        let mapping = TaskMapping::round_robin(&[TaskId::new(0), TaskId::new(1)], 2);
+        let mut system = System::new(config, shared_l2(), mapping).unwrap();
+        let mut driver = MixedDriver {
+            remaining: vec![30, 30],
+            cursor: vec![0, 0],
+        };
+        let mut writer = TraceWriter::new(Vec::new(), &region_table(), 2).unwrap();
+        let report = system.run_traced(&mut driver, &mut writer).unwrap();
+        let (bytes, summary) = writer.finish().unwrap();
+        assert!(summary.accesses > 0);
+        (report, EncodedTrace::from_bytes(bytes).unwrap())
+    }
+
+    #[test]
+    fn replay_reproduces_the_live_l2_snapshot_exactly() {
+        let (live_report, trace) = record_run();
+        let prepared = PreparedTrace::from(trace);
+        let config = PlatformConfig::default();
+        let mut replay = ReplaySystem::new(&config, shared_l2(), &prepared).unwrap();
+        let replay_report = replay.run();
+        // Cache-side state is bit-identical: L1 aggregate, L2 stats,
+        // per-task and per-region attribution, DRAM and bus traffic.
+        assert_eq!(live_report.l1, replay_report.l1);
+        assert_eq!(live_report.l2, replay_report.l2);
+        assert_eq!(live_report.l2_by_task, replay_report.l2_by_task);
+        assert_eq!(live_report.l2_by_region, replay_report.l2_by_region);
+        assert_eq!(live_report.dram_accesses, replay_report.dram_accesses);
+        assert_eq!(live_report.dram_writebacks, replay_report.dram_writebacks);
+        assert_eq!(live_report.bus_bytes, replay_report.bus_bytes);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let (_, trace) = record_run();
+        let prepared = PreparedTrace::from(trace);
+        let config = PlatformConfig::default();
+        let run = |l2: Box<dyn CacheModel>| {
+            let mut replay = ReplaySystem::new(&config, l2, &prepared).unwrap();
+            replay.run()
+        };
+        assert_eq!(run(shared_l2()), run(shared_l2()));
+    }
+
+    #[test]
+    fn replay_counts_every_recorded_access() {
+        let (_, trace) = record_run();
+        let prepared = PreparedTrace::from(trace);
+        let config = PlatformConfig::default();
+        let mut replay = ReplaySystem::new(&config, shared_l2(), &prepared).unwrap();
+        let report = replay.run();
+        let replayed: u64 = replay
+            .processors()
+            .iter()
+            .map(|p| p.counters().data_accesses + p.counters().instr_fetches)
+            .sum();
+        assert_eq!(replayed, prepared.accesses());
+        assert!(report.makespan_cycles > 0);
+        assert_eq!(report.processors.len(), 2);
+    }
+
+    #[test]
+    fn filter_pass_is_cached_per_l1_configuration() {
+        let (_, trace) = record_run();
+        let prepared = PreparedTrace::from(trace);
+        let config = PlatformConfig::default();
+        let a = prepared.filtered_for(&config).unwrap();
+        let b = prepared.filtered_for(&config).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same L1 config must reuse the filter");
+        let other = config.l1(CacheConfig::new(4, 2).unwrap());
+        let c = prepared.filtered_for(&other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "different L1 config refilters");
+        assert!(c.l1_aggregate.misses > a.l1_aggregate.misses);
+        // Refill totals never exceed the unfiltered access count.
+        let refills: usize = a.runs.iter().map(|r| r.refills.len()).sum();
+        assert!(refills > 0);
+        assert!((refills as u64) < prepared.accesses());
+    }
+
+    #[test]
+    fn untraced_and_null_tapped_runs_agree() {
+        let config = PlatformConfig::default().processors(2);
+        let mapping = TaskMapping::round_robin(&[TaskId::new(0), TaskId::new(1)], 2);
+        let run = |tapped: bool| {
+            let mut system = System::new(config, shared_l2(), mapping.clone()).unwrap();
+            let mut driver = MixedDriver {
+                remaining: vec![10, 10],
+                cursor: vec![0, 0],
+            };
+            if tapped {
+                system.run_traced(&mut driver, &mut NullTap).unwrap()
+            } else {
+                system.run(&mut driver).unwrap()
+            }
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn trace_with_out_of_range_processor_is_rejected() {
+        // Hand-craft a trace declaring 1 processor but recording on id 3.
+        let table = RegionTable::new();
+        let mut writer = TraceWriter::new(Vec::new(), &table, 1).unwrap();
+        let access = Access::load(Addr::new(0x40), 4, TaskId::new(0), RegionId::new(0));
+        writer.record(3, 0, &access);
+        let (bytes, _) = writer.finish().unwrap();
+        let prepared = PreparedTrace::from(EncodedTrace::from_bytes(bytes).unwrap());
+        let err =
+            ReplaySystem::new(&PlatformConfig::default(), shared_l2(), &prepared).unwrap_err();
+        assert!(matches!(err, PlatformError::ProcessorOutOfRange { .. }));
+    }
+}

@@ -13,6 +13,7 @@ use crate::memory::MemorySystem;
 use crate::metrics::{ProcessorReport, SystemReport};
 use crate::op::{BurstOutcome, Op, WorkloadDriver};
 use crate::processor::ProcessorCounters;
+use crate::replay::AccessTap;
 use crate::scheduler::TaskMapping;
 
 /// Number of operations executed per scheduling turn, so that the L2 access
@@ -71,6 +72,10 @@ pub struct System {
     config: PlatformConfig,
     memory: MemorySystem,
     mapping: TaskMapping,
+    /// Scratch buffer collecting runs of consecutive memory operations, so
+    /// each run traverses the hierarchy through one
+    /// [`MemorySystem::access_burst`] call.
+    burst_scratch: Vec<Access>,
 }
 
 impl System {
@@ -92,6 +97,7 @@ impl System {
             config,
             memory,
             mapping,
+            burst_scratch: Vec::new(),
         })
     }
 
@@ -137,6 +143,27 @@ impl System {
         &mut self,
         driver: &mut D,
     ) -> Result<SystemReport, PlatformError> {
+        self.run_traced(driver, &mut crate::replay::NullTap)
+    }
+
+    /// Runs the workload exactly like [`run`](System::run) while `tap`
+    /// observes every access entering the memory hierarchy (processor,
+    /// issue cycle, access — in issue order).
+    ///
+    /// This is the recording half of the trace record/replay pipeline:
+    /// passing a [`TraceWriter`](compmem_trace::TraceWriter) as the tap
+    /// streams the run into the binary trace IR. The tap does not perturb
+    /// the simulation — a run under [`NullTap`](crate::replay::NullTap) is
+    /// byte-identical to a plain [`run`](System::run).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](System::run).
+    pub fn run_traced<D: WorkloadDriver, T: AccessTap>(
+        &mut self,
+        driver: &mut D,
+        tap: &mut T,
+    ) -> Result<SystemReport, PlatformError> {
         let mut procs: Vec<ProcState> = (0..self.config.num_processors)
             .map(|p| ProcState {
                 counters: ProcessorCounters::default(),
@@ -165,7 +192,7 @@ impl System {
             }
 
             if procs[pi].running.is_none() {
-                let outcome = self.dispatch(pi, &mut procs, driver, last_event_time);
+                let outcome = self.dispatch(pi, &mut procs, driver, tap, last_event_time);
                 if outcome.retired_task {
                     last_event_time = last_event_time.max(procs[pi].counters.time);
                     Self::wake_parked(&mut procs, &mut ready);
@@ -179,7 +206,7 @@ impl System {
                 continue;
             }
 
-            let finished_burst = self.execute_chunk(pi, &mut procs);
+            let finished_burst = self.execute_chunk(pi, &mut procs, tap);
             if procs[pi].counters.time > self.config.cycle_limit {
                 return Err(PlatformError::CycleLimitExceeded {
                     limit: self.config.cycle_limit,
@@ -215,11 +242,12 @@ impl System {
 
     /// Tries to give processor `pi` a new burst; reports whether it was
     /// scheduled and whether any task retired while trying.
-    fn dispatch<D: WorkloadDriver>(
+    fn dispatch<D: WorkloadDriver, T: AccessTap>(
         &mut self,
         pi: usize,
         procs: &mut [ProcState],
         driver: &mut D,
+        tap: &mut T,
         last_event_time: u64,
     ) -> DispatchOutcome {
         let mut retired_task = false;
@@ -252,7 +280,7 @@ impl System {
                         }
                     }
                     if procs[pi].current_task != Some(task) {
-                        self.perform_task_switch(pi, procs, task);
+                        self.perform_task_switch(pi, procs, tap, task);
                     }
                     procs[pi].running = Some(Running {
                         ops: burst.into_ops(),
@@ -288,7 +316,13 @@ impl System {
 
     /// Accounts a task switch on processor `pi`, including the run-time
     /// system's memory traffic if configured.
-    fn perform_task_switch(&mut self, pi: usize, procs: &mut [ProcState], task: TaskId) {
+    fn perform_task_switch<T: AccessTap>(
+        &mut self,
+        pi: usize,
+        procs: &mut [ProcState],
+        tap: &mut T,
+        task: TaskId,
+    ) {
         let p = &mut procs[pi];
         let first_dispatch = p.current_task.is_none();
         p.current_task = Some(task);
@@ -304,7 +338,9 @@ impl System {
                 for (region, base) in [(os.rt_data, os.rt_data_base), (os.rt_bss, os.rt_bss_base)] {
                     let addr = base.offset(u64::from(i) * LINE_SIZE_BYTES);
                     let access = Access::load(addr, 4, os.os_task, region);
-                    let stall = self.memory.access(pi, procs[pi].counters.time, &access);
+                    let now = procs[pi].counters.time;
+                    tap.record_access(pi, now, &access);
+                    let stall = self.memory.access(pi, now, &access);
                     let p = &mut procs[pi];
                     p.counters.switch_cycles += 1 + stall;
                     p.counters.time += 1 + stall;
@@ -315,61 +351,69 @@ impl System {
 
     /// Executes up to [`CHUNK_OPS`] operations of the running burst of
     /// processor `pi`; returns `true` when the burst completed.
-    fn execute_chunk(&mut self, pi: usize, procs: &mut [ProcState]) -> bool {
+    ///
+    /// Runs of consecutive memory operations are gathered and issued
+    /// through [`MemorySystem::access_burst`] — one virtual L2 dispatch per
+    /// run — with timing identical to per-operation execution.
+    fn execute_chunk<T: AccessTap>(
+        &mut self,
+        pi: usize,
+        procs: &mut [ProcState],
+        tap: &mut T,
+    ) -> bool {
         let mut executed = 0;
-        loop {
-            let (op, task_done) = {
-                let p = &mut procs[pi];
-                let running = p.running.as_mut().expect("execute_chunk requires a burst");
-                if running.next >= running.ops.len() {
-                    (None, true)
-                } else {
-                    let op = running.ops[running.next];
-                    running.next += 1;
-                    (Some(op), false)
-                }
-            };
-            if task_done {
-                procs[pi].running = None;
+        while executed < CHUNK_OPS {
+            let p = &mut procs[pi];
+            let running = p.running.as_mut().expect("execute_chunk requires a burst");
+            if running.next >= running.ops.len() {
+                p.running = None;
                 return true;
             }
-            let op = op.expect("op present when burst not done");
-            match op {
+            match running.ops[running.next] {
                 Op::Compute(n) => {
-                    let p = &mut procs[pi];
+                    running.next += 1;
                     p.counters.time += u64::from(n);
                     p.counters.busy_cycles += u64::from(n);
                     p.counters.instructions += u64::from(n);
                     p.quantum_left = p.quantum_left.saturating_sub(u64::from(n));
+                    executed += 1;
                 }
-                Op::Mem(access) => {
-                    let now = procs[pi].counters.time;
-                    let stall = self.memory.access(pi, now, &access);
-                    let p = &mut procs[pi];
-                    if access.kind.is_instruction() {
-                        p.counters.time += stall;
-                        p.counters.stall_cycles += stall;
-                    } else {
-                        p.counters.time += 1 + stall;
-                        p.counters.busy_cycles += 1;
-                        p.counters.stall_cycles += stall;
-                        p.counters.instructions += 1;
-                        p.quantum_left = p.quantum_left.saturating_sub(1);
+                Op::Mem(_) => {
+                    // Gather the maximal run of consecutive memory
+                    // operations that fits the remaining chunk budget.
+                    let start = running.next;
+                    let limit = (start + (CHUNK_OPS - executed)).min(running.ops.len());
+                    let mut end = start;
+                    self.burst_scratch.clear();
+                    while end < limit {
+                        let Op::Mem(access) = running.ops[end] else {
+                            break;
+                        };
+                        self.burst_scratch.push(access);
+                        end += 1;
                     }
+                    running.next = end;
+                    let now = p.counters.time;
+                    tap.record_run(pi, now, &self.burst_scratch);
+                    let stats = self.memory.access_burst(pi, now, &self.burst_scratch);
+                    let p = &mut procs[pi];
+                    p.counters.time += stats.elapsed;
+                    p.counters.stall_cycles += stats.stall_cycles;
+                    p.counters.busy_cycles += stats.data_accesses;
+                    p.counters.instructions += stats.data_accesses;
+                    p.quantum_left = p.quantum_left.saturating_sub(stats.data_accesses);
+                    executed += end - start;
                 }
-            }
-            executed += 1;
-            if executed >= CHUNK_OPS {
-                // Chunk budget exhausted; if the burst also happens to be
-                // done, report it now so waiters are unparked promptly.
-                let p = &mut procs[pi];
-                let done = p.running.as_ref().is_some_and(|r| r.next >= r.ops.len());
-                if done {
-                    p.running = None;
-                }
-                return done;
             }
         }
+        // Chunk budget exhausted; if the burst also happens to be done,
+        // report it now so waiters are unparked promptly.
+        let p = &mut procs[pi];
+        let done = p.running.as_ref().is_some_and(|r| r.next >= r.ops.len());
+        if done {
+            p.running = None;
+        }
+        done
     }
 
     fn report(&self, procs: &[ProcState]) -> SystemReport {

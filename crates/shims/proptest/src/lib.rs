@@ -79,6 +79,49 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                // Widen through i128: a full-width range (e.g.
+                // `0u64..=u64::MAX`) has a span of 2^64, which would wrap
+                // to zero in u64 arithmetic.
+                let span = *self.end() as i128 - *self.start() as i128 + 1;
+                let offset = if span > u64::MAX as i128 {
+                    // Span covers the whole 64-bit space: draw uniformly.
+                    rng.below(u64::MAX) as i128
+                } else {
+                    rng.below(span as u64) as i128
+                };
+                (*self.start() as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
 /// Number-of-elements specification for collection strategies: either an
 /// exact `usize` or a `Range<usize>`.
 pub trait SizeRange {

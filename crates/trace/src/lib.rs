@@ -17,7 +17,15 @@
 //! * [`Access`] — one memory reference (instruction fetch, load or store)
 //!   attributed to a task and a region.
 //! * [`AccessSink`] / [`TraceBuffer`] — how instrumented workloads emit and
-//!   collect references.
+//!   collect references. Sinks accept whole batches through
+//!   [`AccessSink::record_all`], which the platform's burst path preserves
+//!   end-to-end.
+//! * [`codec`] — the binary trace IR for record/replay: delta-encoded
+//!   addresses, varint cycle gaps and per-task/region dictionaries behind
+//!   streaming [`TraceWriter`]/[`TraceReader`] codecs and the in-memory
+//!   [`EncodedTrace`]. A recorded trace embeds its region table, so it is a
+//!   self-contained scenario for organisation sweeps (see the `compmem`
+//!   CLI: `compmem record` / `compmem replay` / `compmem sweep`).
 //! * [`gen`] — synthetic access-stream generators used by unit tests,
 //!   property tests and micro-benchmarks.
 //! * [`stats`] — footprint and reuse-distance analysis of traces.
@@ -47,6 +55,7 @@
 
 mod access;
 mod addr;
+pub mod codec;
 mod error;
 pub mod gen;
 mod memspace;
@@ -56,6 +65,9 @@ pub mod stats;
 
 pub use access::{Access, AccessKind};
 pub use addr::{Addr, LineAddr, LINE_SIZE_BYTES};
+pub use codec::{
+    CodecError, EncodedTrace, TraceReader, TraceRecord, TraceRun, TraceSummary, TraceWriter,
+};
 pub use error::TraceError;
 pub use memspace::{AddressSpace, ScalarArray};
 pub use region::{BufferId, Region, RegionId, RegionKind, RegionTable, TaskId};

@@ -229,10 +229,17 @@ impl ScalarArray {
     }
 
     /// Fills the whole array with `value`, reporting one store per element.
+    ///
+    /// The stores are reported as **one batch** through
+    /// [`AccessSink::record_all`], so sinks that understand batches (the
+    /// platform's burst path, the trace writer) preserve the run instead of
+    /// paying per-access dispatch.
     pub fn fill<S: AccessSink>(&mut self, sink: &mut S, task: TaskId, value: i32) {
-        for i in 0..self.data.len() {
-            self.write(sink, task, i, value);
-        }
+        let stores: Vec<Access> = (0..self.data.len())
+            .map(|i| Access::store(self.addr_of(i), self.elem_size, task, self.region))
+            .collect();
+        sink.record_all(&stores);
+        self.data.fill(value);
     }
 
     /// Silently fills the whole array with `value` (initialisation data).

@@ -261,7 +261,7 @@ impl fmt::Display for Region {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RegionTable {
     regions: Vec<Region>,
     /// Interval index: base address -> region index, for binary search.

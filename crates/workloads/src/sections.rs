@@ -54,8 +54,8 @@ impl SharedSections {
 
     /// Returns a fresh handle onto `app.data`, pre-initialised with the
     /// shared constant tables (quantisation table at element
-    /// [`APP_DATA_QUANT_OFFSET`], zig-zag order at
-    /// [`APP_DATA_ZIGZAG_OFFSET`]).
+    /// `APP_DATA_QUANT_OFFSET`, zig-zag order at
+    /// `APP_DATA_ZIGZAG_OFFSET`).
     ///
     /// Each process takes its own handle; the tables are read-only so the
     /// duplicated functional storage is irrelevant — all handles emit

@@ -1,0 +1,80 @@
+//! Record once, replay many: the trace record/replay workflow.
+//!
+//! Records a small MPEG-2 decode into the binary trace IR, shows the
+//! encoded size, proves the replay is exact under the recorded
+//! organisation, and then sweeps three L2 organisations over the one
+//! recorded trace without re-executing the workload — the `compmem`
+//! CLI (`compmem record` / `replay` / `sweep`) wraps exactly this flow.
+//!
+//! Run with `cargo run --release --example trace_replay`.
+
+use compmem::experiment::{run_replay, Experiment, ExperimentConfig, ScenarioSpec};
+use compmem_cache::{CacheConfig, OrganizationSpec, PartitionKey, PartitionMap, WayAllocation};
+use compmem_workloads::apps::{mpeg2_app, Mpeg2Params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig {
+        l2: CacheConfig::with_size_bytes(64 * 1024, 4)?,
+        sets_per_unit: 4,
+        ..ExperimentConfig::default()
+    };
+    let params = Mpeg2Params::tiny();
+    let experiment = Experiment::new(config, move || {
+        mpeg2_app(&params).expect("valid parameters")
+    });
+
+    // 1. Record: one live run, every memory access streamed into the IR.
+    let shared = experiment.shared_spec();
+    let (live, trace) = experiment.record_trace(&shared)?;
+    let summary = trace.summary();
+    println!(
+        "recorded {} accesses in {} runs on {} processors ({} bytes, {:.2} B/access)",
+        summary.accesses,
+        summary.runs,
+        summary.processors,
+        summary.encoded_bytes,
+        summary.bytes_per_access()
+    );
+
+    // 2. Replay is exact: same organisation -> byte-identical snapshot.
+    let replayed = experiment.run(&shared.clone().replaying(trace.clone()))?;
+    assert_eq!(live.l2_snapshot, replayed.l2_snapshot);
+    println!(
+        "replay reproduces the live run exactly: {} L2 misses either way",
+        replayed.report.l2.misses
+    );
+
+    // 3. Sweep: one trace, many organisations, no workload re-execution.
+    // The trace embeds its region table, so partitioned organisations can
+    // be built without the application.
+    let l2 = experiment.config().l2;
+    let keys = PartitionKey::distinct_keys(trace.table());
+    let organisations = vec![
+        ("shared", OrganizationSpec::Shared),
+        (
+            "set-partitioned",
+            OrganizationSpec::SetPartitioned(PartitionMap::equal_split(l2.geometry(), &keys)?),
+        ),
+        (
+            "way-partitioned",
+            OrganizationSpec::WayPartitioned(WayAllocation::equal_split(l2.geometry(), &keys)),
+        ),
+    ];
+
+    println!("\nsweep over the recorded trace:");
+    println!(
+        "{:<18} {:>12} {:>12} {:>10}",
+        "organisation", "l2 accesses", "l2 misses", "missrate"
+    );
+    for (label, organization) in organisations {
+        let spec = ScenarioSpec::replay(l2, organization, trace.clone());
+        let outcome = run_replay(&experiment.config().platform, &spec)?;
+        println!(
+            "{label:<18} {:>12} {:>12} {:>9.2}%",
+            outcome.report.l2.accesses,
+            outcome.report.l2.misses,
+            100.0 * outcome.report.l2_miss_rate()
+        );
+    }
+    Ok(())
+}

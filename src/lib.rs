@@ -11,20 +11,31 @@
 //!
 //! * [`compmem_trace`] — addresses, line/region arithmetic, the region
 //!   table, access records and synthetic stream generators. Pure data; no
-//!   simulation.
+//!   simulation. Its `codec` module is the **binary trace IR** of the
+//!   record/replay pipeline: delta-encoded addresses, varint cycle gaps
+//!   and per-task/region dictionaries behind streaming
+//!   `TraceWriter`/`TraceReader` codecs and the validated in-memory
+//!   `EncodedTrace`; a trace embeds its region table, so it is a
+//!   self-contained scenario.
 //! * [`compmem_cache`] — the cache substrate. The four L2 organisations of
 //!   the study (shared, set-partitioned, way-partitioned, profiling) all
-//!   implement the **object-safe `CacheModel` trait**, and
-//!   `OrganizationSpec` builds any of them as a `Box<dyn CacheModel>` from
-//!   plain data. Per-key statistics and uniform `CacheSnapshot`s live here
-//!   too, as do the miss-vs-size profiles (`MissProfiles`) measured by the
-//!   profiling organisation.
+//!   implement the **object-safe `CacheModel` trait** — including a
+//!   default-implemented `access_batch`, so whole runs of accesses cost
+//!   one virtual dispatch — and `OrganizationSpec` builds any of them as a
+//!   `Box<dyn CacheModel>` from plain data. Per-key statistics and uniform
+//!   `CacheSnapshot`s live here too, as do the miss-vs-size profiles
+//!   (`MissProfiles`) measured by the profiling organisation.
 //! * [`compmem_platform`] — the CAKE-like multiprocessor simulator. A
 //!   discrete-event `EventQueue` (min-heap of `(ready_cycle, actor)`)
 //!   drives the run loop; processors execute workload bursts against one
 //!   timing path (private L1s → shared bus → `Box<dyn CacheModel>` L2 →
-//!   DRAM), park when their tasks block and are woken by burst-completion
-//!   and task-retirement events.
+//!   DRAM), with runs of consecutive memory operations batched through
+//!   `MemorySystem::access_burst`. The `replay` module closes the loop:
+//!   `System::run_traced` records every access through an `AccessTap`
+//!   (e.g. straight into the trace IR), and `ReplaySystem` re-issues a
+//!   recorded trace via `ReplayProcessor` actors on the same event queue —
+//!   bit-identical cache statistics, no workload execution, with the
+//!   organisation-invariant L1 filter cached per trace (`PreparedTrace`).
 //! * [`compmem_kpn`] — the YAPI-like Kahn-process-network runtime. Process
 //!   networks implement the platform's `WorkloadDriver`; the functional
 //!   scheduler (`Network::run_functional`) runs on the same event-queue
@@ -34,12 +45,19 @@
 //!   deterministic synthetic inputs.
 //! * [`compmem`] — partition sizing (exact/greedy/equal-split optimisers),
 //!   compositionality analysis, and the spec-driven experiment layer:
-//!   every run is a `RunSpec` executed by one driver, and batches of
-//!   independent runs fan out across threads (`Experiment::run_all`).
+//!   every run is a `ScenarioSpec` — L2 configuration, organisation and
+//!   **traffic source** (`Live` application execution vs `Replay` of a
+//!   recorded trace) — executed by one driver; batches of independent runs
+//!   fan out across threads (`Experiment::run_all`), so an organisation
+//!   sweep replays one recorded trace concurrently without re-executing
+//!   the workload (`Experiment::record_trace` / `run_replay`).
 //!
 //! The `compmem-bench` crate (not re-exported) holds the criterion benches,
-//! the recorded `BENCH_*.json` baselines and the `repro` binary that
-//! regenerates the paper's tables and figures.
+//! the recorded `BENCH_*.json` baselines, the `repro` binary that
+//! regenerates the paper's tables and figures, and the `compmem` CLI
+//! (`compmem record --app mpeg2 --out t.cmt`, `compmem replay --trace
+//! t.cmt --org set-partitioned`, `compmem sweep --trace t.cmt --l2-kb
+//! 32,64,128`) that drives the record/replay workflow from the shell.
 
 #![forbid(unsafe_code)]
 
