@@ -14,7 +14,7 @@ fn bench_ablations(c: &mut Criterion) {
     let experiment = jpeg_canny_experiment(scale);
     let (_, profiles) = experiment.run_profiled().expect("profiling run succeeds");
     let app = jpeg_canny_app(&scale.jpeg_canny_params()).expect("application builds");
-    let problem = experiment.build_allocation_problem(&app, profiles);
+    let problem = experiment.build_allocation_problem(app.space.table(), profiles);
 
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);

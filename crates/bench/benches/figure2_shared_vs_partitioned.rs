@@ -16,7 +16,7 @@ fn bench_figure2(c: &mut Criterion) {
     let experiment = jpeg_canny_experiment(scale);
     let (_, profiles) = experiment.run_profiled().expect("profiling run succeeds");
     let app = compmem_workloads::apps::jpeg_canny_app(&scale.jpeg_canny_params()).expect("builds");
-    let problem = experiment.build_allocation_problem(&app, profiles);
+    let problem = experiment.build_allocation_problem(app.space.table(), profiles);
     let allocation = solve(&problem, OptimizerKind::ExactIlp).expect("feasible");
     let partitioned_spec = experiment
         .partitioned_spec(&allocation)

@@ -1,0 +1,127 @@
+//! Single-pass stack-distance profiling versus shadow-cache
+//! re-simulation.
+//!
+//! The partition optimiser needs every entity's miss count at every
+//! lattice point. Three ways to get them from one recorded trace, timed
+//! on identical traffic (the small-scale MPEG-2 decode, L1 filter warmed
+//! once for all contestants):
+//!
+//! * `single_pass_curves` — the `StackDistanceProfiler` over the filtered
+//!   refill stream, converted to `MissProfiles` (the production path);
+//! * `shadow_bank_replay` — one replay of the `ProfilingCache`
+//!   organisation, whose shadow bank simulates all lattice points while
+//!   riding one pass over the trace (the pre-curve production path);
+//! * `per_size_replay` — one `ProfilingCache` replay per lattice point,
+//!   each with a single-candidate lattice (the naive "re-simulate per
+//!   size" baseline the ISSUE's motivation describes).
+//!
+//! All three produce identical profiles (asserted before timing). The
+//! committed `BENCH_profile.json` baseline records the single-pass versus
+//! re-simulation speed-up; regenerate it with
+//! `CRITERION_OUTPUT_JSON=BENCH_profile.json cargo bench --bench
+//! profile_curves`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use compmem::experiment::Experiment;
+use compmem::{CacheSizeLattice, MissProfiles, ProfilingCache};
+use compmem_bench::{mpeg2_experiment, Scale};
+use compmem_cache::{CurveResolution, OrganizationSpec};
+use compmem_platform::{profile_trace, PlatformConfig, PreparedTrace, ReplaySystem};
+use compmem_workloads::apps::Application;
+
+/// Replays the trace under a profiling organisation built on `lattice`
+/// and extracts the shadow-bank profiles.
+fn shadow_replay(
+    experiment: &Experiment<impl Fn() -> Application>,
+    platform: &PlatformConfig,
+    trace: &PreparedTrace,
+    lattice: &CacheSizeLattice,
+) -> MissProfiles {
+    let l2 = OrganizationSpec::Profiling(lattice.clone())
+        .build(experiment.config().l2, trace.table())
+        .expect("profiling organisation builds");
+    let mut system = ReplaySystem::new(platform, l2, trace).expect("replay system builds");
+    system.run();
+    system
+        .into_l2()
+        .into_any()
+        .downcast::<ProfilingCache>()
+        .expect("profiling organisation downcasts")
+        .into_profiles()
+}
+
+fn bench_profile_curves(c: &mut Criterion) {
+    let experiment = mpeg2_experiment(Scale::Small);
+    let (_, trace) = experiment
+        .record_trace(&experiment.shared_spec())
+        .expect("recording the small MPEG-2 run succeeds");
+    let platform = experiment.config().platform;
+    let geometry = experiment.config().l2.geometry();
+    let sets_per_unit = experiment.config().sets_per_unit;
+    let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
+    let resolution =
+        CurveResolution::for_geometry(geometry, sets_per_unit).expect("valid resolution");
+    let ways = geometry.ways();
+
+    // Warm the trace's cached L1 filter so every contestant measures its
+    // own work, not the shared decode/filter pass a sweep pays once.
+    let filtered = trace.filtered_for(&platform).expect("filter pass succeeds");
+    let refills: u64 = filtered.runs.iter().map(|r| r.refills.len() as u64).sum();
+    println!(
+        "trace: {} accesses, {} L2-bound refills, {} lattice points",
+        trace.accesses(),
+        refills,
+        lattice.candidate_units.len()
+    );
+
+    // All three sources must agree point for point before we time them.
+    let single = profile_trace(&platform, &trace, resolution)
+        .expect("profiling succeeds")
+        .to_profiles(&lattice, ways)
+        .expect("lattice within resolution");
+    let shadow = shadow_replay(&experiment, &platform, &trace, &lattice);
+    assert_eq!(single, shadow, "single-pass and shadow bank diverge");
+
+    let mut group = c.benchmark_group("profile_curves");
+    group.sample_size(10);
+    group.bench_function("single_pass_curves", |b| {
+        b.iter(|| {
+            let profiles = profile_trace(&platform, &trace, resolution)
+                .expect("profiling succeeds")
+                .to_profiles(&lattice, ways)
+                .expect("lattice within resolution");
+            black_box(profiles.profiles.len())
+        })
+    });
+    group.bench_function("shadow_bank_replay", |b| {
+        b.iter(|| {
+            let profiles = shadow_replay(&experiment, &platform, &trace, &lattice);
+            black_box(profiles.profiles.len())
+        })
+    });
+    group.bench_function("per_size_replay", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &units in &lattice.candidate_units {
+                let point = CacheSizeLattice {
+                    sets_per_unit: lattice.sets_per_unit,
+                    total_units: lattice.total_units,
+                    candidate_units: vec![units],
+                };
+                let profiles = shadow_replay(&experiment, &platform, &trace, &point);
+                total += profiles
+                    .profiles
+                    .values()
+                    .map(|p| p.misses_at(units))
+                    .sum::<u64>();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_curves);
+criterion_main!(benches);

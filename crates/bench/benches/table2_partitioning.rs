@@ -18,7 +18,7 @@ fn bench_table2(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("profile_and_size_partitions", |b| {
         b.iter(|| {
-            let problem = experiment.build_allocation_problem(&app, profiles.clone());
+            let problem = experiment.build_allocation_problem(app.space.table(), profiles.clone());
             let allocation = solve(&problem, OptimizerKind::ExactIlp).expect("feasible");
             black_box(allocation.total_units)
         })

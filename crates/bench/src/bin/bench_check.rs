@@ -1,0 +1,218 @@
+//! Compares a freshly measured `BENCH_*.json` against a committed
+//! baseline and fails on benchmark throughput regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_check --baseline BENCH_engine.json --fresh target/bench/BENCH_engine.json
+//!             [--baseline B2 --fresh F2 ...] [--max-regression 0.25]
+//! ```
+//!
+//! `--baseline`/`--fresh` flags pair up in order. For every benchmark id
+//! present in both files the throughput regression is
+//! `1 - baseline_median / fresh_median` (fresh slower than baseline);
+//! exceeding `--max-regression` (default 0.25, overridable with the
+//! `BENCH_CHECK_MAX_REGRESSION` environment variable) fails the check, as
+//! does a baseline id missing from the fresh results. Fresh ids without a
+//! baseline are reported but do not fail — commit an updated baseline to
+//! adopt them.
+//!
+//! The parser handles exactly the flat JSON array the criterion shim
+//! emits (`id` + `median_ns` per record), so the gate needs no JSON
+//! dependency. `scripts/bench_check` wraps the re-run + compare loop for
+//! CI.
+
+use std::process::ExitCode;
+
+/// One `{"id": ..., "median_ns": ...}` record of a shim-format file.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    id: String,
+    median_ns: f64,
+}
+
+/// Extracts the records of the criterion shim's JSON format.
+///
+/// Scans for `"id"` and `"median_ns"` fields object by object; the shim
+/// writes one object per line, but the parser only assumes every object
+/// carries both fields.
+fn parse_records(source: &str, path: &str) -> Result<Vec<Record>, String> {
+    let mut records = Vec::new();
+    for object in source.split('{').skip(1) {
+        let object = object.split('}').next().unwrap_or("");
+        let id = field_str(object, "id")
+            .ok_or_else(|| format!("{path}: benchmark record without an \"id\" field"))?;
+        let median = field_num(object, "median_ns")
+            .ok_or_else(|| format!("{path}: record `{id}` without a \"median_ns\" field"))?;
+        if median <= 0.0 {
+            return Err(format!("{path}: record `{id}` has non-positive median"));
+        }
+        records.push(Record {
+            id,
+            median_ns: median,
+        });
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no benchmark records found"));
+    }
+    Ok(records)
+}
+
+fn field_str(object: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":");
+    let rest = &object[object.find(&key)? + key.len()..];
+    let start = rest.find('"')? + 1;
+    let end = start + rest[start..].find('"')?;
+    Some(rest[start..end].to_string())
+}
+
+fn field_num(object: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let rest = object[object.find(&key)? + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn load(path: &str) -> Result<Vec<Record>, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_records(&source, path)
+}
+
+/// Compares one baseline/fresh pair; returns the number of failures.
+fn compare(baseline_path: &str, fresh_path: &str, max_regression: f64) -> Result<u32, String> {
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    let mut failures = 0;
+    println!("{baseline_path} vs {fresh_path}:");
+    println!(
+        "  {:<52} {:>12} {:>12} {:>9}  verdict",
+        "benchmark", "baseline ns", "fresh ns", "change"
+    );
+    for base in &baseline {
+        let Some(now) = fresh.iter().find(|r| r.id == base.id) else {
+            println!("  {:<52} missing from fresh results: FAIL", base.id);
+            failures += 1;
+            continue;
+        };
+        // Throughput regression: how much of the baseline's throughput
+        // (iterations per second) was lost.
+        let regression = 1.0 - base.median_ns / now.median_ns;
+        let ok = regression <= max_regression;
+        println!(
+            "  {:<52} {:>12.0} {:>12.0} {:>+8.1}%  {}",
+            base.id,
+            base.median_ns,
+            now.median_ns,
+            100.0 * regression,
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    for now in &fresh {
+        if !baseline.iter().any(|r| r.id == now.id) {
+            println!("  {:<52} new benchmark (no baseline committed yet)", now.id);
+        }
+    }
+    Ok(failures)
+}
+
+fn run(args: &[String]) -> Result<u32, String> {
+    let mut baselines = Vec::new();
+    let mut fresh = Vec::new();
+    let mut max_regression: f64 = std::env::var("BENCH_CHECK_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--baseline" => baselines.push(value.clone()),
+            "--fresh" => fresh.push(value.clone()),
+            "--max-regression" => {
+                max_regression = value
+                    .parse()
+                    .map_err(|_| "--max-regression needs a number".to_string())?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if baselines.is_empty() || baselines.len() != fresh.len() {
+        return Err("need matching --baseline/--fresh pairs".to_string());
+    }
+    println!(
+        "bench_check: failing on >{:.0}% throughput regression",
+        100.0 * max_regression
+    );
+    let mut failures = 0;
+    for (baseline, fresh) in baselines.iter().zip(&fresh) {
+        failures += compare(baseline, fresh, max_regression)?;
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(0) => {
+            println!("bench_check: all benchmarks within tolerance");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            eprintln!("bench_check: {failures} benchmark(s) regressed");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("bench_check: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"id": "g/a", "samples": 10, "iters_per_sample": 1, "median_ns": 1000.0, "min_ns": 900.0, "max_ns": 1100.0},
+  {"id": "g/b", "samples": 10, "iters_per_sample": 2, "median_ns": 500.0, "min_ns": 450.0, "max_ns": 600.0}
+]
+"#;
+
+    #[test]
+    fn parses_the_shim_format() {
+        let records = parse_records(SAMPLE, "sample").unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "g/a");
+        assert_eq!(records[0].median_ns, 1000.0);
+        assert_eq!(records[1].median_ns, 500.0);
+        assert!(parse_records("[]", "empty").is_err());
+        assert!(parse_records("[{\"median_ns\": 1.0}]", "no-id").is_err());
+        assert!(parse_records("[{\"id\": \"x\"}]", "no-median").is_err());
+    }
+
+    #[test]
+    fn regression_arithmetic() {
+        // Fresh 25% slower in time = 20% throughput regression: passes at
+        // the default tolerance; fresh 2x slower = 50% regression: fails.
+        let base = Record {
+            id: "x".into(),
+            median_ns: 1000.0,
+        };
+        for (fresh_ns, limit, ok) in [
+            (1250.0, 0.25, true),
+            (1333.0, 0.25, true),
+            (2000.0, 0.25, false),
+            (900.0, 0.25, true),
+        ] {
+            let regression = 1.0 - base.median_ns / fresh_ns;
+            assert_eq!(regression <= limit, ok, "fresh {fresh_ns}");
+        }
+    }
+}

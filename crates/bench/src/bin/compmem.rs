@@ -3,12 +3,14 @@
 //! Usage:
 //!
 //! ```text
-//! compmem record --app jpeg_canny|mpeg2 [--scale paper|small|tiny]
-//!                [--org shared|way-partitioned|profiling] --out FILE
-//! compmem replay --trace FILE [--org ORG] [--l2-kb N] [--ways N]
-//!                [--policy lru|fifo|tree-plru|random]
-//! compmem sweep  --trace FILE [--l2-kb N[,N...]] [--ways N]
-//! compmem info   --trace FILE
+//! compmem record  --app jpeg_canny|mpeg2 [--scale paper|small|tiny]
+//!                 [--org shared|way-partitioned|profiling] --out FILE
+//! compmem replay  --trace FILE [--org ORG] [--l2-kb N] [--ways N]
+//!                 [--policy lru|fifo|tree-plru|random]
+//! compmem sweep   --trace FILE [--l2-kb N[,N...]] [--ways N]
+//! compmem profile --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
+//!                 [--solve exact-ilp|greedy|equal-split]
+//! compmem info    --trace FILE
 //! ```
 //!
 //! `record` executes an application live on the discrete-event simulator
@@ -18,18 +20,25 @@
 //! the cache statistics are bit-identical to the live run. `sweep` replays
 //! one trace over the organisations (shared, set-partitioned equal-split,
 //! way-partitioned) at one or more L2 sizes, which is the record-once /
-//! sweep-many workflow the subsystem exists for.
+//! sweep-many workflow the subsystem exists for. `profile` runs the
+//! single-pass stack-distance profiler over a recorded trace: one pass
+//! yields every entity's exact miss count at every partition size of the
+//! lattice — the `m_i(S_k)` inputs of the paper's optimiser — and the
+//! partition sizing the chosen solver derives from them.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use compmem::experiment::{run_replay, Experiment, RunOutcome, ScenarioSpec};
-use compmem::CoreError;
+use compmem::experiment::{
+    allocation_problem_for_table, run_replay, Experiment, RunOutcome, ScenarioSpec,
+};
+use compmem::{CoreError, OptimizerKind};
 use compmem_bench::{jpeg_canny_experiment, mpeg2_experiment, Scale};
 use compmem_cache::{
-    CacheConfig, OrganizationSpec, PartitionKey, PartitionMap, ReplacementPolicy, WayAllocation,
+    CacheConfig, CacheSizeLattice, CurveResolution, OrganizationSpec, PartitionKey, PartitionMap,
+    ReplacementPolicy, WayAllocation,
 };
-use compmem_platform::{PlatformConfig, PreparedTrace};
+use compmem_platform::{profile_trace, PlatformConfig, PreparedTrace};
 use compmem_trace::{EncodedTrace, RegionTable};
 use compmem_workloads::apps::Application;
 
@@ -38,7 +47,9 @@ fn usage() {
         "usage:\n  compmem record --app jpeg_canny|mpeg2 [--scale paper|small|tiny] \
          [--org shared|way-partitioned|profiling] --out FILE\n  compmem replay --trace FILE \
          [--org ORG] [--l2-kb N] [--ways N] [--policy lru|fifo|tree-plru|random]\n  \
-         compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N]\n  compmem info --trace FILE"
+         compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N]\n  \
+         compmem profile --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
+         [--solve exact-ilp|greedy|equal-split]\n  compmem info --trace FILE"
     );
 }
 
@@ -52,6 +63,7 @@ fn main() -> ExitCode {
         "record" => record(&args[1..]),
         "replay" => replay(&args[1..]),
         "sweep" => sweep(&args[1..]),
+        "profile" => profile(&args[1..]),
         "info" => info(&args[1..]),
         "--help" | "-h" | "help" => {
             usage();
@@ -294,6 +306,72 @@ fn sweep(args: &[String]) -> Result<(), String> {
                 Err(e) => println!("{name:<24} (skipped: {e})"),
             }
         }
+    }
+    Ok(())
+}
+
+fn profile(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let trace = load_trace(&flags)?;
+    let l2 = l2_config(&flags)?;
+    let geometry = l2.geometry();
+    let sets_per_unit: u32 = get(&flags, "sets-per-unit")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
+    let resolution =
+        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
+    let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
+    let kind = match get(&flags, "solve").unwrap_or("exact-ilp") {
+        "exact-ilp" => OptimizerKind::ExactIlp,
+        "greedy" => OptimizerKind::Greedy,
+        "equal-split" => OptimizerKind::EqualSplit,
+        other => return Err(format!("unknown solver `{other}`")),
+    };
+
+    let platform = PlatformConfig::default();
+    let curves = profile_trace(&platform, &trace, resolution).map_err(|e| e.to_string())?;
+    let profiles = curves
+        .to_profiles(&lattice, geometry.ways())
+        .map_err(|e| e.to_string())?;
+
+    let l2_bound: u64 = curves.curves.values().map(|c| c.accesses).sum();
+    println!(
+        "profiled {} recorded accesses ({} L2-bound after the L1 filter) in one pass",
+        trace.accesses(),
+        l2_bound
+    );
+    println!(
+        "misses per entity by exclusive partition size ({} sets = {} B per unit):",
+        sets_per_unit,
+        lattice.unit_bytes(geometry)
+    );
+    print!("{:<16} {:>10}", "entity", "accesses");
+    for &units in &lattice.candidate_units {
+        print!(" {:>9}", format!("{units}u"));
+    }
+    println!();
+    for (key, profile) in &profiles.profiles {
+        print!("{:<16} {:>10}", key.to_string(), profile.accesses);
+        for &units in &lattice.candidate_units {
+            print!(" {:>9}", profile.misses_at(units));
+        }
+        println!();
+    }
+
+    let problem = allocation_problem_for_table(trace.table(), &lattice, geometry, profiles.clone());
+    let allocation = compmem::optimizer::solve(&problem, kind).map_err(|e| e.to_string())?;
+    println!(
+        "\n{kind} allocation over {} units ({} used, {} predicted misses):",
+        lattice.total_units, allocation.total_units, allocation.predicted_misses
+    );
+    for (key, &units) in allocation.iter() {
+        println!(
+            "  {:<16} {:>4} units = {:>5} sets",
+            key.to_string(),
+            units,
+            lattice.sets_of(units)
+        );
     }
     Ok(())
 }

@@ -165,7 +165,7 @@ fn main() {
         let reference = scale.jpeg_canny_params();
         let app = compmem_workloads::apps::jpeg_canny_app(&reference).expect("app builds");
         let allocations = experiment
-            .compare_optimizers(&app, &outcome.profiles)
+            .compare_optimizers(app.space.table(), &outcome.profiles)
             .expect("optimizer comparison");
         println!("== Ablation: partition-sizing strategies (2 jpegs & canny) ==");
         println!(

@@ -1,0 +1,724 @@
+//! Single-pass stack-distance profiling: the full miss-rate curve of every
+//! partition key from one pass over the access stream.
+//!
+//! # Why a stack-distance profiler
+//!
+//! The paper's optimiser needs, for every memory-active entity, the number
+//! of L2 misses at *every* candidate partition size (the `m_i(S_k)` inputs
+//! of the ILP). The [`ProfilingCache`](crate::ProfilingCache) measures
+//! those points by replaying each access into one shadow cache per lattice
+//! point — `K` full cache simulations riding along on the profiling run.
+//! The [`StackDistanceProfiler`] obtains the same numbers in **one** pass
+//! with no shadow cache bank: it exploits Mattson's inclusion property of
+//! LRU (an access that hits in a cache of size `S` hits in every larger
+//! size) to record a *distance histogram* from which the miss count at any
+//! size is a suffix sum. The resulting [`MissRateCurve`] converts into
+//! [`MissProfiles`] for **any** [`CacheSizeLattice`] after the fact — pay
+//! the pass once, sweep as many lattices as you like.
+//!
+//! # The algorithm
+//!
+//! The shadow caches being replaced are set-associative LRU caches with
+//! power-of-two set counts, modulo indexing and full-line tags. For such a
+//! cache with `S` sets and `W` ways, an access to line `l` misses exactly
+//! when fewer than one of the `W` most recently used *distinct* lines of
+//! `l`'s set is `l` itself — i.e. when the per-set LRU stack distance of
+//! `l` is `>= W` (or `l` was never referenced: a cold miss). The profiler
+//! therefore keeps, per partition key and per power-of-two set count
+//! ("level") between [`CurveResolution::min_sets`] and
+//! [`CurveResolution::max_sets`], a bank of per-set **bounded Mattson
+//! stacks**: the `ways_cap` most recently used distinct lines of every
+//! set, most recent first. One access then does, per level:
+//!
+//! 1. index the stack of set `line & (sets - 1)`;
+//! 2. scan its `<= ways_cap` entries for the line — the position *is* the
+//!    stack distance; record it in the level's distance histogram (the
+//!    bucket `ways_cap` means "distance >= ways_cap", see below);
+//! 3. rotate the line to the front (LRU update).
+//!
+//! Because the set counts are nested powers of two, every level sees the
+//! same access exactly once, so the whole pass is `O(levels * ways_cap)`
+//! per access — independent of the number of lattice points served later.
+//!
+//! Truncating each stack at `ways_cap` entries loses no information for
+//! the question being asked: a line pushed off the end has, by
+//! construction, `>= ways_cap` distinct more-recent lines in its set, so
+//! any later access to it has distance `>= ways_cap` and misses at every
+//! associativity up to `ways_cap` — exactly what the saturated histogram
+//! bucket records. Distances below the cap are exact, hence
+//! [`MissRateCurve::misses`] is **exact** (not an estimate) for every
+//! `ways <= ways_cap` and every power-of-two set count within the
+//! resolution, and agrees with the shadow-cache simulation bit for bit.
+//! (The shadow banks are always LRU — see
+//! [`ProfilingCache`](crate::ProfilingCache) — which is the policy the
+//! stack-distance identity holds for.)
+//!
+//! Cold misses are tracked once per key (first touch of a line misses at
+//! every size simultaneously), mirroring the per-shadow cold accounting.
+
+use std::collections::{BTreeMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+use serde::{Deserialize, Serialize};
+
+use compmem_trace::{Access, LineAddr, RegionTable};
+
+use crate::cache::LineAddrHasher;
+use crate::error::CacheError;
+use crate::geometry::CacheGeometry;
+use crate::partition::PartitionKey;
+use crate::profile::{CacheSizeLattice, MissProfile, MissProfiles};
+
+type LineSet = HashSet<LineAddr, BuildHasherDefault<LineAddrHasher>>;
+
+/// Sentinel for an empty stack slot (no real line address reaches it: line
+/// addresses are byte addresses shifted right by the line bits).
+const EMPTY: u64 = u64::MAX;
+
+/// The range of cache shapes a profiling pass resolves: every power-of-two
+/// set count between `min_sets` and `max_sets`, at every associativity up
+/// to `ways_cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CurveResolution {
+    /// Smallest set count resolved (a power of two).
+    pub min_sets: u32,
+    /// Largest set count resolved (a power of two, `>= min_sets`).
+    pub max_sets: u32,
+    /// Largest associativity resolved exactly; distances beyond it
+    /// saturate.
+    pub ways_cap: u32,
+}
+
+impl CurveResolution {
+    /// Creates a resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidGeometry`] if either set count is zero
+    /// or not a power of two, if `min_sets > max_sets`, or if `ways_cap`
+    /// is zero.
+    pub fn new(min_sets: u32, max_sets: u32, ways_cap: u32) -> Result<Self, CacheError> {
+        for (parameter, value) in [("min_sets", min_sets), ("max_sets", max_sets)] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(CacheError::InvalidGeometry {
+                    parameter,
+                    value: u64::from(value),
+                });
+            }
+        }
+        if min_sets > max_sets {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "min_sets",
+                value: u64::from(min_sets),
+            });
+        }
+        if ways_cap == 0 {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "ways_cap",
+                value: 0,
+            });
+        }
+        Ok(CurveResolution {
+            min_sets,
+            max_sets,
+            ways_cap,
+        })
+    }
+
+    /// The resolution covering every lattice of a cache geometry: set
+    /// counts from one allocation unit up to the full cache, at the
+    /// cache's associativity.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CurveResolution::new`] (e.g. `sets_per_unit` not a power
+    /// of two or larger than the cache).
+    pub fn for_geometry(geometry: CacheGeometry, sets_per_unit: u32) -> Result<Self, CacheError> {
+        if sets_per_unit > geometry.sets() {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "sets_per_unit",
+                value: u64::from(sets_per_unit),
+            });
+        }
+        Self::new(sets_per_unit, geometry.sets(), geometry.ways())
+    }
+
+    /// Number of set-count levels resolved.
+    pub fn levels(&self) -> usize {
+        (self.max_sets.ilog2() - self.min_sets.ilog2() + 1) as usize
+    }
+
+    /// The level index of a set count, if it is resolved.
+    pub fn level_of(&self, sets: u32) -> Option<usize> {
+        if sets < self.min_sets || sets > self.max_sets || !sets.is_power_of_two() {
+            return None;
+        }
+        Some((sets.ilog2() - self.min_sets.ilog2()) as usize)
+    }
+
+    /// Set count of a level index.
+    fn sets_of_level(&self, level: usize) -> u32 {
+        self.min_sets << level
+    }
+}
+
+/// The exact miss-vs-size/associativity surface of one partition key,
+/// extracted from a profiling pass.
+///
+/// `level_histograms[j][d]` counts the non-cold accesses whose per-set LRU
+/// stack distance at set count `min_sets << j` was exactly `d`
+/// (`d < ways_cap`) or at least `ways_cap` (the last bucket). The miss
+/// count of an `S`-set, `W`-way LRU cache over the profiled stream is the
+/// cold count plus the suffix sum from bucket `W` — see
+/// [`misses`](MissRateCurve::misses).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissRateCurve {
+    /// Accesses of the key during the pass.
+    pub accesses: u64,
+    /// First-touch (cold) accesses: misses at every size.
+    pub cold: u64,
+    /// Smallest resolved set count.
+    pub min_sets: u32,
+    /// Associativity cap of the pass.
+    pub ways_cap: u32,
+    /// Per-level distance histograms, `ways_cap + 1` buckets each.
+    pub level_histograms: Vec<Vec<u64>>,
+}
+
+impl MissRateCurve {
+    /// Returns `true` if the curve resolves an `sets`-set, `ways`-way
+    /// cache.
+    pub fn supports(&self, sets: u32, ways: u32) -> bool {
+        ways >= 1 && ways <= self.ways_cap && self.level_index(sets).is_some()
+    }
+
+    fn level_index(&self, sets: u32) -> Option<usize> {
+        if sets < self.min_sets || !sets.is_power_of_two() {
+            return None;
+        }
+        let level = (sets.ilog2() - self.min_sets.ilog2()) as usize;
+        (level < self.level_histograms.len()).then_some(level)
+    }
+
+    /// The exact number of misses an `sets`-set, `ways`-way LRU cache
+    /// incurs over the profiled access stream of this key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::CurveOutOfRange`] if the shape is outside the
+    /// profiled resolution.
+    pub fn misses(&self, sets: u32, ways: u32) -> Result<u64, CacheError> {
+        let out_of_range = || CacheError::CurveOutOfRange {
+            sets,
+            ways,
+            min_sets: self.min_sets,
+            max_sets: self.min_sets << (self.level_histograms.len().max(1) - 1),
+            ways_cap: self.ways_cap,
+        };
+        if ways == 0 || ways > self.ways_cap {
+            return Err(out_of_range());
+        }
+        let level = self.level_index(sets).ok_or_else(out_of_range)?;
+        let far: u64 = self.level_histograms[level][ways as usize..].iter().sum();
+        Ok(self.cold + far)
+    }
+
+    /// Miss rate at the given shape.
+    ///
+    /// # Errors
+    ///
+    /// As for [`misses`](MissRateCurve::misses).
+    pub fn miss_rate(&self, sets: u32, ways: u32) -> Result<f64, CacheError> {
+        let misses = self.misses(sets, ways)?;
+        if self.accesses == 0 {
+            return Ok(0.0);
+        }
+        Ok(misses as f64 / self.accesses as f64)
+    }
+}
+
+/// The miss-rate curves of every partition key observed during a pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissRateCurves {
+    /// Per-key curves.
+    pub curves: BTreeMap<PartitionKey, MissRateCurve>,
+    /// The resolution of the pass.
+    pub resolution: CurveResolution,
+}
+
+impl MissRateCurves {
+    /// Curve of one key, if it generated any traffic.
+    pub fn curve(&self, key: PartitionKey) -> Option<&MissRateCurve> {
+        self.curves.get(&key)
+    }
+
+    /// All keys with a curve, in deterministic order.
+    pub fn keys(&self) -> Vec<PartitionKey> {
+        self.curves.keys().copied().collect()
+    }
+
+    /// Converts the curves into the [`MissProfiles`] of a lattice: for
+    /// every key and every candidate unit count, the exact miss count of a
+    /// `ways`-way LRU cache of that many sets.
+    ///
+    /// This is the bridge to the partition-sizing optimiser — and because
+    /// the curves are lattice-independent, the same pass serves any number
+    /// of lattices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::CurveOutOfRange`] if a candidate size or the
+    /// associativity falls outside the profiled resolution.
+    pub fn to_profiles(
+        &self,
+        lattice: &CacheSizeLattice,
+        ways: u32,
+    ) -> Result<MissProfiles, CacheError> {
+        let mut profiles = BTreeMap::new();
+        for (&key, curve) in &self.curves {
+            let mut profile = MissProfile {
+                accesses: curve.accesses,
+                misses_by_units: BTreeMap::new(),
+            };
+            for &units in &lattice.candidate_units {
+                let misses = curve.misses(lattice.sets_of(units), ways)?;
+                profile.misses_by_units.insert(units, misses);
+            }
+            profiles.insert(key, profile);
+        }
+        Ok(MissProfiles {
+            profiles,
+            lattice_units: lattice.candidate_units.clone(),
+        })
+    }
+}
+
+/// One per-set stack bank at a fixed set count.
+#[derive(Debug, Clone)]
+struct LevelBank {
+    set_mask: u64,
+    /// `sets * ways_cap` slots, each set's stack contiguous, most recent
+    /// first, [`EMPTY`] beyond the occupancy.
+    stacks: Vec<u64>,
+    /// Distance histogram, `ways_cap + 1` buckets (last = saturated).
+    histogram: Vec<u64>,
+}
+
+impl LevelBank {
+    fn new(sets: u32, ways_cap: u32) -> Self {
+        LevelBank {
+            set_mask: u64::from(sets - 1),
+            stacks: vec![EMPTY; sets as usize * ways_cap as usize],
+            histogram: vec![0; ways_cap as usize + 1],
+        }
+    }
+
+    /// Records one (warm) access and performs the LRU update; `push` skips
+    /// the histogram for cold accesses, which are counted per key.
+    #[inline]
+    fn observe(&mut self, line: u64, ways_cap: usize, cold: bool) {
+        let set = (line & self.set_mask) as usize;
+        let stack = &mut self.stacks[set * ways_cap..(set + 1) * ways_cap];
+        // A cold line cannot be resident; skip the scan.
+        let position = if cold {
+            None
+        } else {
+            stack.iter().position(|&t| t == line)
+        };
+        match position {
+            Some(distance) => {
+                if !cold {
+                    self.histogram[distance] += 1;
+                }
+                stack.copy_within(..distance, 1);
+            }
+            None => {
+                if !cold {
+                    *self.histogram.last_mut().expect("ways_cap >= 1") += 1;
+                }
+                stack.copy_within(..ways_cap - 1, 1);
+            }
+        }
+        stack[0] = line;
+    }
+}
+
+/// Per-key profiling state.
+#[derive(Debug, Clone)]
+struct KeyState {
+    accesses: u64,
+    cold: u64,
+    seen: LineSet,
+    levels: Vec<LevelBank>,
+}
+
+impl KeyState {
+    fn new(resolution: &CurveResolution) -> Self {
+        let levels = (0..resolution.levels())
+            .map(|level| LevelBank::new(resolution.sets_of_level(level), resolution.ways_cap))
+            .collect();
+        KeyState {
+            accesses: 0,
+            cold: 0,
+            seen: LineSet::default(),
+            levels,
+        }
+    }
+}
+
+/// The single-pass profiler: feed it the L2-bound access stream once and
+/// extract the exact [`MissRateCurves`] of every partition key.
+///
+/// Accesses are attributed to partition keys through the region table,
+/// exactly as the [`ProfilingCache`](crate::ProfilingCache) attributes its
+/// shadow banks, so the two produce identical [`MissProfiles`] — asserted
+/// point for point by the cross-validation tests. State is allocated
+/// lazily per key on first contact.
+#[derive(Debug, Clone)]
+pub struct StackDistanceProfiler {
+    resolution: CurveResolution,
+    /// Partition key of every region (dense by region index).
+    region_keys: Vec<PartitionKey>,
+    /// State slot of every region ([`UNTOUCHED`] until first contact).
+    /// Regions sharing a partition key share a slot, and the per-access
+    /// lookup is one array index — no keyed map on the hot path.
+    region_slots: Vec<usize>,
+    states: Vec<(PartitionKey, KeyState)>,
+}
+
+/// Sentinel in [`StackDistanceProfiler::region_slots`] for a region whose
+/// key state has not been created yet.
+const UNTOUCHED: usize = usize::MAX;
+
+impl StackDistanceProfiler {
+    /// Creates a profiler for the given resolution and region table.
+    pub fn new(resolution: CurveResolution, regions: &RegionTable) -> Self {
+        let region_keys: Vec<PartitionKey> = regions
+            .iter()
+            .map(|r| PartitionKey::from_region_kind(r.kind))
+            .collect();
+        StackDistanceProfiler {
+            resolution,
+            region_slots: vec![UNTOUCHED; region_keys.len()],
+            region_keys,
+            states: Vec::new(),
+        }
+    }
+
+    /// The resolution of this profiler.
+    pub fn resolution(&self) -> CurveResolution {
+        self.resolution
+    }
+
+    /// Total accesses observed so far.
+    pub fn accesses(&self) -> u64 {
+        self.states.iter().map(|(_, s)| s.accesses).sum()
+    }
+
+    /// Observes one access of the L2-bound stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access names a region outside the profiler's region
+    /// table — a programming error, not an input condition: accesses
+    /// decoded from a trace are validated against its embedded table by
+    /// the codec, and live accesses come from the same table the profiler
+    /// was built over.
+    pub fn observe(&mut self, access: &Access) {
+        let region = access.region.index();
+        let slot = self
+            .region_slots
+            .get(region)
+            .copied()
+            .expect("access names a region outside the profiler's region table");
+        let state = if slot == UNTOUCHED {
+            // First contact with this region: find or create its key's
+            // state (rare; the key may be shared with other regions).
+            let key = self.region_keys[region];
+            let index = match self.states.iter().position(|(k, _)| *k == key) {
+                Some(index) => index,
+                None => {
+                    self.states.push((key, KeyState::new(&self.resolution)));
+                    self.states.len() - 1
+                }
+            };
+            self.region_slots[region] = index;
+            &mut self.states[index].1
+        } else {
+            &mut self.states[slot].1
+        };
+        state.accesses += 1;
+        let line_addr = access.addr.line();
+        let cold = state.seen.insert(line_addr);
+        if cold {
+            state.cold += 1;
+        }
+        let line = line_addr.value();
+        let ways_cap = self.resolution.ways_cap as usize;
+        for bank in &mut state.levels {
+            bank.observe(line, ways_cap, cold);
+        }
+    }
+
+    /// Observes a run of accesses in order.
+    pub fn observe_all(&mut self, accesses: &[Access]) {
+        for access in accesses {
+            self.observe(access);
+        }
+    }
+
+    /// Extracts the measured curves.
+    pub fn into_curves(self) -> MissRateCurves {
+        let resolution = self.resolution;
+        let curves = self
+            .states
+            .into_iter()
+            .map(|(key, state)| {
+                (
+                    key,
+                    MissRateCurve {
+                        accesses: state.accesses,
+                        cold: state.cold,
+                        min_sets: resolution.min_sets,
+                        ways_cap: resolution.ways_cap,
+                        level_histograms: state
+                            .levels
+                            .into_iter()
+                            .map(|bank| bank.histogram)
+                            .collect(),
+                    },
+                )
+            })
+            .collect();
+        MissRateCurves { curves, resolution }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::model::CacheModel;
+    use crate::profile::ProfilingCache;
+    use compmem_trace::{Access, RegionId, RegionKind, TaskId};
+
+    fn region_table() -> RegionTable {
+        let mut t = RegionTable::new();
+        t.insert(
+            "t0.data",
+            RegionKind::TaskData {
+                task: TaskId::new(0),
+            },
+            512 * 1024,
+        )
+        .unwrap();
+        t.insert(
+            "t1.data",
+            RegionKind::TaskData {
+                task: TaskId::new(1),
+            },
+            512 * 1024,
+        )
+        .unwrap();
+        t
+    }
+
+    /// Deterministic pseudo-random access mix over both regions.
+    fn scrambled_accesses(regions: &RegionTable, count: u64) -> Vec<Access> {
+        let mut accesses = Vec::new();
+        let mut state = 0x9e37_79b9u64;
+        for i in 0..count {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let region = (i % 3 == 0) as u32; // 2:1 mix of the two tasks
+            let base = regions.region(RegionId::new(region)).base;
+            // A mix of tight loops and scattered lines.
+            let line = if i % 5 < 3 { state % 96 } else { state % 4096 };
+            let a = if i % 7 == 0 {
+                Access::store(
+                    base.offset(line * 64),
+                    4,
+                    TaskId::new(region),
+                    RegionId::new(region),
+                )
+            } else {
+                Access::load(
+                    base.offset(line * 64),
+                    4,
+                    TaskId::new(region),
+                    RegionId::new(region),
+                )
+            };
+            accesses.push(a);
+        }
+        accesses
+    }
+
+    #[test]
+    fn resolution_validation() {
+        assert!(CurveResolution::new(16, 256, 4).is_ok());
+        assert!(CurveResolution::new(0, 256, 4).is_err());
+        assert!(CurveResolution::new(16, 24, 4).is_err());
+        assert!(CurveResolution::new(256, 16, 4).is_err());
+        assert!(CurveResolution::new(16, 256, 0).is_err());
+        let r = CurveResolution::new(16, 256, 4).unwrap();
+        assert_eq!(r.levels(), 5);
+        assert_eq!(r.level_of(16), Some(0));
+        assert_eq!(r.level_of(256), Some(4));
+        assert_eq!(r.level_of(8), None);
+        assert_eq!(r.level_of(48), None);
+        let g = CacheGeometry::new(256, 4).unwrap();
+        assert_eq!(
+            CurveResolution::for_geometry(g, 16).unwrap(),
+            CurveResolution::new(16, 256, 4).unwrap()
+        );
+        assert!(CurveResolution::for_geometry(g, 512).is_err());
+    }
+
+    #[test]
+    fn single_pass_matches_the_shadow_cache_bank_exactly() {
+        // The acceptance property in miniature: the profiler's misses at
+        // every lattice point equal the ProfilingCache's shadow-cache
+        // simulation, on a scrambled mixed-key stream.
+        let regions = region_table();
+        let config = CacheConfig::new(256, 4).unwrap();
+        let lattice = CacheSizeLattice::new(config.geometry(), 16);
+        let accesses = scrambled_accesses(&regions, 20_000);
+
+        let mut shadow = ProfilingCache::new(config, &regions, lattice.clone());
+        for a in &accesses {
+            shadow.access(a);
+        }
+        let expected = shadow.into_profiles();
+
+        let resolution = CurveResolution::for_geometry(config.geometry(), 16).unwrap();
+        let mut profiler = StackDistanceProfiler::new(resolution, &regions);
+        profiler.observe_all(&accesses);
+        assert_eq!(profiler.accesses(), accesses.len() as u64);
+        let curves = profiler.into_curves();
+        let profiles = curves.to_profiles(&lattice, 4).unwrap();
+        assert_eq!(profiles, expected);
+    }
+
+    #[test]
+    fn one_pass_serves_smaller_associativities_too() {
+        // The same pass answers for every ways <= ways_cap: check against
+        // direct shadow simulation at 1 and 2 ways.
+        let regions = region_table();
+        let geometry = CacheGeometry::new(256, 4).unwrap();
+        let accesses = scrambled_accesses(&regions, 8_000);
+        let resolution = CurveResolution::for_geometry(geometry, 16).unwrap();
+        let mut profiler = StackDistanceProfiler::new(resolution, &regions);
+        profiler.observe_all(&accesses);
+        let curves = profiler.into_curves();
+
+        for ways in [1u32, 2, 4] {
+            for sets in [16u32, 64, 256] {
+                let mut cache =
+                    crate::cache::SetAssocCache::new(CacheConfig::new(sets, ways).unwrap());
+                for a in accesses.iter().filter(|a| a.region == RegionId::new(0)) {
+                    let index = (a.addr.line().value() % u64::from(sets)) as u32;
+                    cache.access_at(index, u64::MAX, a);
+                }
+                let curve = curves.curve(PartitionKey::Task(TaskId::new(0))).unwrap();
+                assert_eq!(
+                    curve.misses(sets, ways).unwrap(),
+                    cache.stats().misses,
+                    "sets={sets} ways={ways}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_associative_level_matches_the_reuse_distance_oracle() {
+        use compmem_trace::gen::{looping, StreamParams};
+        use compmem_trace::stats::ReuseDistanceHistogram;
+        let mut regions = RegionTable::new();
+        regions
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                64 * 1024,
+            )
+            .unwrap();
+        let params = StreamParams {
+            task: TaskId::new(0),
+            region: RegionId::new(0),
+            base: regions.region(RegionId::new(0)).base,
+            access_size: 4,
+        };
+        let trace = looping(params, 24 * 64, 64, 5);
+        let oracle = ReuseDistanceHistogram::from_accesses(&trace);
+        // A 1-set level is fully associative up to the cap.
+        let resolution = CurveResolution::new(1, 4, 32).unwrap();
+        let mut profiler = StackDistanceProfiler::new(resolution, &regions);
+        profiler.observe_all(&trace);
+        let curves = profiler.into_curves();
+        let curve = curves.curve(PartitionKey::Task(TaskId::new(0))).unwrap();
+        for capacity in [8u32, 16, 24, 32] {
+            assert_eq!(
+                curve.misses(1, capacity).unwrap(),
+                oracle.lru_misses(u64::from(capacity)),
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_shapes_are_rejected() {
+        let regions = region_table();
+        let resolution = CurveResolution::new(16, 64, 4).unwrap();
+        let mut profiler = StackDistanceProfiler::new(resolution, &regions);
+        profiler.observe_all(&scrambled_accesses(&regions, 100));
+        let curves = profiler.into_curves();
+        let curve = curves.curve(PartitionKey::Task(TaskId::new(0))).unwrap();
+        assert!(curve.supports(16, 4));
+        assert!(curve.supports(64, 1));
+        assert!(!curve.supports(8, 4), "below min_sets");
+        assert!(!curve.supports(128, 4), "above max_sets");
+        assert!(!curve.supports(32, 5), "above ways_cap");
+        assert!(!curve.supports(48, 2), "not a power of two");
+        for (sets, ways) in [(8, 4), (128, 4), (32, 5), (32, 0), (48, 2)] {
+            assert!(matches!(
+                curve.misses(sets, ways),
+                Err(CacheError::CurveOutOfRange { .. })
+            ));
+        }
+        // The lattice conversion propagates the error.
+        let geometry = CacheGeometry::new(2048, 4).unwrap();
+        let wide = CacheSizeLattice::new(geometry, 16);
+        assert!(curves.to_profiles(&wide, 4).is_err());
+    }
+
+    #[test]
+    fn cold_and_access_counters_are_per_key() {
+        let regions = region_table();
+        let resolution = CurveResolution::new(16, 64, 4).unwrap();
+        let mut profiler = StackDistanceProfiler::new(resolution, &regions);
+        let base = regions.region(RegionId::new(1)).base;
+        for round in 0..3u64 {
+            for line in 0..10u64 {
+                profiler.observe(&Access::load(
+                    base.offset(line * 64),
+                    4,
+                    TaskId::new(1),
+                    RegionId::new(1),
+                ));
+            }
+            let _ = round;
+        }
+        let curves = profiler.into_curves();
+        assert!(curves.curve(PartitionKey::Task(TaskId::new(0))).is_none());
+        let curve = curves.curve(PartitionKey::Task(TaskId::new(1))).unwrap();
+        assert_eq!(curve.accesses, 30);
+        assert_eq!(curve.cold, 10, "each line cold exactly once");
+        // 10 lines fit in any resolved shape: only the cold misses remain.
+        assert_eq!(curve.misses(64, 4).unwrap(), 10);
+        assert_eq!(curve.miss_rate(64, 4).unwrap(), 10.0 / 30.0);
+        assert_eq!(curves.keys(), vec![PartitionKey::Task(TaskId::new(1))]);
+    }
+}

@@ -50,6 +50,20 @@ pub enum CacheError {
     },
     /// A partitioned organisation was requested over an empty key set.
     NoPartitionKeys,
+    /// A miss-rate curve was asked about a cache shape outside the
+    /// resolution it was profiled at.
+    CurveOutOfRange {
+        /// Set count asked about.
+        sets: u32,
+        /// Associativity asked about.
+        ways: u32,
+        /// Smallest resolved set count.
+        min_sets: u32,
+        /// Largest resolved set count.
+        max_sets: u32,
+        /// Largest resolved associativity.
+        ways_cap: u32,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -92,6 +106,17 @@ impl fmt::Display for CacheError {
                     "a partitioned organisation needs at least one partition key"
                 )
             }
+            CacheError::CurveOutOfRange {
+                sets,
+                ways,
+                min_sets,
+                max_sets,
+                ways_cap,
+            } => write!(
+                f,
+                "miss-rate curve does not resolve {sets} sets x {ways} ways \
+                 (profiled at {min_sets}..={max_sets} power-of-two sets, up to {ways_cap} ways)"
+            ),
         }
     }
 }

@@ -24,7 +24,14 @@
 //!   associativity, which is the argument §2 of the paper makes against it.
 //! * [`ProfilingCache`] — the shared baseline plus per-entity shadow caches
 //!   measuring the miss-vs-size curves ([`MissProfiles`]) that feed the
-//!   partition-sizing optimiser.
+//!   partition-sizing optimiser (kept as the cross-validation oracle of
+//!   the single-pass profiler below).
+//! * [`StackDistanceProfiler`] — the **single-pass** replacement for the
+//!   shadow-cache bank: per-key, per-set bounded Mattson reuse stacks at
+//!   every power-of-two set count produce a [`MissRateCurve`] per entity —
+//!   the exact miss count at *every* resolved cache shape from one pass —
+//!   and [`MissRateCurves::to_profiles`] converts them into the
+//!   [`MissProfiles`] of any [`CacheSizeLattice`].
 //! * [`OrganizationSpec`] — a declarative, `Send + Sync` description of any
 //!   of the four organisations; [`OrganizationSpec::build`] produces the
 //!   `Box<dyn CacheModel>` a run executes against.
@@ -53,6 +60,7 @@
 
 mod cache;
 mod config;
+mod distance;
 mod error;
 mod geometry;
 mod model;
@@ -66,6 +74,7 @@ mod way_partition;
 
 pub use cache::{AccessOutcome, EvictedLine, SetAssocCache};
 pub use config::CacheConfig;
+pub use distance::{CurveResolution, MissRateCurve, MissRateCurves, StackDistanceProfiler};
 pub use error::CacheError;
 pub use geometry::CacheGeometry;
 pub use model::{CacheModel, CacheSnapshot, SharedCache};

@@ -31,14 +31,21 @@
 //! The central entry point is [`Experiment::run_paper_flow`], which performs
 //! the full method of the paper on one application:
 //!
-//! 1. run the application on the conventional **shared** L2 (this run also
-//!    measures the per-entity miss profiles through the
-//!    [`ProfilingCache`] organisation),
+//! 1. run the application on the conventional **shared** L2 while a
+//!    [`TapProfiler`] measures the per-entity miss-rate curves in the same
+//!    pass (single-pass stack-distance profiling — see
+//!    [`StackDistanceProfiler`]),
 //! 2. size the partitions by minimising the total predicted misses
 //!    (FIFOs pinned to their own size, everything else optimised),
 //! 3. run the application on the **set-partitioned** L2 with that
 //!    allocation,
 //! 4. compare expected and simulated per-entity misses (compositionality).
+//!
+//! The pre-curve source of the profiles — the [`ProfilingCache`]'s
+//! shadow-cache bank — is kept behind
+//! [`Experiment::run_profiled_simulated`] as the cross-validation oracle:
+//! the parity tests assert both sources agree point for point at every
+//! lattice size.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
@@ -46,10 +53,13 @@ use std::sync::{Arc, OnceLock};
 use serde::{Deserialize, Serialize};
 
 use compmem_cache::{
-    CacheConfig, CacheModel, CacheSnapshot, KeyStats, OrganizationSpec, PartitionKey, PartitionMap,
-    ProfilingCache, WayAllocation,
+    CacheConfig, CacheModel, CacheSnapshot, CurveResolution, KeyStats, MissRateCurves,
+    OrganizationSpec, PartitionKey, PartitionMap, ProfilingCache, StackDistanceProfiler,
+    WayAllocation,
 };
-use compmem_platform::{PlatformConfig, PreparedTrace, ReplaySystem, System, SystemReport};
+use compmem_platform::{
+    PlatformConfig, PreparedTrace, ReplaySystem, System, SystemReport, TapProfiler,
+};
 use compmem_trace::{EncodedTrace, RegionKind, RegionTable, TraceWriter};
 
 use compmem_workloads::apps::Application;
@@ -382,6 +392,42 @@ pub fn run_replay(platform: &PlatformConfig, spec: &ScenarioSpec) -> Result<RunO
     }
 }
 
+/// Builds the allocation problem for the entities of a region table on a
+/// given lattice: FIFOs are pinned to the smallest candidate covering
+/// their byte size (the paper's predictability rule), every other entity
+/// may take any candidate size.
+///
+/// This is the factory-free core of
+/// [`Experiment::build_allocation_problem`], usable with the embedded
+/// table of a recorded trace.
+pub fn allocation_problem_for_table(
+    table: &RegionTable,
+    lattice: &CacheSizeLattice,
+    geometry: compmem_cache::CacheGeometry,
+    profiles: MissProfiles,
+) -> AllocationProblem {
+    let mut entities: Vec<AllocationEntity> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for region in table.iter() {
+        let key = PartitionKey::from_region_kind(region.kind);
+        if !seen.insert(key) {
+            continue;
+        }
+        let candidates = match region.kind {
+            RegionKind::Fifo { .. } => {
+                vec![lattice.units_for_bytes(geometry, region.size)]
+            }
+            _ => lattice.candidate_units.clone(),
+        };
+        entities.push(AllocationEntity { key, candidates });
+    }
+    AllocationProblem {
+        entities,
+        profiles,
+        total_units: lattice.total_units,
+    }
+}
+
 /// An experiment bound to an application factory.
 ///
 /// The factory is invoked once per simulation run (the process network is
@@ -418,6 +464,15 @@ impl<F: Fn() -> Application> Experiment<F> {
 
     fn lattice(&self) -> CacheSizeLattice {
         CacheSizeLattice::new(self.config.l2.geometry(), self.config.sets_per_unit)
+    }
+
+    /// The resolution the single-pass profiler runs at: every power-of-two
+    /// set count from one allocation unit up to the full L2, at the L2's
+    /// associativity — a superset of every lattice this experiment can
+    /// ask about.
+    pub fn curve_resolution(&self) -> CurveResolution {
+        CurveResolution::for_geometry(self.config.l2.geometry(), self.config.sets_per_unit)
+            .expect("sets per unit must be a power of two no larger than the cache")
     }
 
     // ----- spec constructors (pure data, no simulation) -----
@@ -576,14 +631,69 @@ impl<F: Fn() -> Application> Experiment<F> {
         ))
     }
 
+    /// Runs the shared-cache baseline live while a [`TapProfiler`]
+    /// measures the per-entity miss-rate curves in the same pass, and
+    /// returns both.
+    ///
+    /// This is the single-pass replacement for the shadow-cache profiling
+    /// run: one live execution yields the shared baseline *and* the exact
+    /// miss count of every entity at every resolved cache shape (see
+    /// [`Experiment::curve_resolution`]), without materialising a trace.
+    /// The curves convert into the [`MissProfiles`] of any lattice via
+    /// [`MissRateCurves::to_profiles`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and workload errors.
+    pub fn profile_curves(&self) -> Result<(RunOutcome, MissRateCurves), CoreError> {
+        let mut app = (self.factory)();
+        let platform = self.platform_for(&app);
+        let l2 = OrganizationSpec::Shared.build(self.config.l2, app.space.table())?;
+        let mut system = System::new(platform, l2, app.mapping.clone())?;
+        let mut tap = TapProfiler::new(
+            &platform,
+            StackDistanceProfiler::new(self.curve_resolution(), app.space.table()),
+        );
+        let report = system.run_traced(&mut app.network, &mut tap)?;
+        let by_key = by_key_from_regions(app.space.table(), &report);
+        let l2_snapshot = system.into_l2().snapshot();
+        Ok((
+            RunOutcome {
+                report,
+                by_key,
+                l2_snapshot,
+            },
+            tap.into_curves(),
+        ))
+    }
+
     /// Runs the shared-cache baseline and measures the per-entity miss
-    /// profiles in the same run (the profiling organisation's main cache
-    /// behaves exactly like the shared baseline).
+    /// profiles in the same run, via the single-pass stack-distance
+    /// profiler ([`Experiment::profile_curves`] evaluated on this
+    /// experiment's lattice).
     ///
     /// # Errors
     ///
     /// Propagates platform and workload errors.
     pub fn run_profiled(&self) -> Result<(RunOutcome, MissProfiles), CoreError> {
+        let (outcome, curves) = self.profile_curves()?;
+        let profiles = curves.to_profiles(&self.lattice(), self.config.l2.geometry().ways())?;
+        Ok((outcome, profiles))
+    }
+
+    /// The pre-curve source of the miss profiles: a run of the
+    /// [`ProfilingCache`] organisation, whose per-entity shadow-cache bank
+    /// simulates every lattice point explicitly (its main cache behaves
+    /// exactly like the shared baseline).
+    ///
+    /// Kept as the cross-validation oracle of [`Experiment::run_profiled`]
+    /// — the parity tests assert both produce identical profiles at every
+    /// lattice point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and workload errors.
+    pub fn run_profiled_simulated(&self) -> Result<(RunOutcome, MissProfiles), CoreError> {
         let (outcome, l2) = self.run_model(&self.profiling_spec())?;
         let profiler = l2
             .into_any()
@@ -592,36 +702,20 @@ impl<F: Fn() -> Application> Experiment<F> {
         Ok((outcome, profiler.into_profiles()))
     }
 
-    /// Builds the allocation problem for the application: FIFOs are pinned
-    /// to their own size (the paper's predictability rule), every other
-    /// entity may take any candidate size.
+    /// Builds the allocation problem for the entities of a region table:
+    /// FIFOs are pinned to their own size (the paper's predictability
+    /// rule), every other entity may take any candidate size.
+    ///
+    /// Taking the table rather than the application means the problem can
+    /// be built for a recorded trace (whose embedded table names the same
+    /// entities) just as well as for a live application — the `compmem
+    /// profile` CLI does exactly that.
     pub fn build_allocation_problem(
         &self,
-        app: &Application,
+        table: &RegionTable,
         profiles: MissProfiles,
     ) -> AllocationProblem {
-        let lattice = self.lattice();
-        let geometry = self.config.l2.geometry();
-        let mut entities: Vec<AllocationEntity> = Vec::new();
-        let mut seen = std::collections::BTreeSet::new();
-        for region in app.space.table().iter() {
-            let key = PartitionKey::from_region_kind(region.kind);
-            if !seen.insert(key) {
-                continue;
-            }
-            let candidates = match region.kind {
-                RegionKind::Fifo { .. } => {
-                    vec![lattice.units_for_bytes(geometry, region.size)]
-                }
-                _ => lattice.candidate_units.clone(),
-            };
-            entities.push(AllocationEntity { key, candidates });
-        }
-        AllocationProblem {
-            entities,
-            profiles,
-            total_units: lattice.total_units,
-        }
+        allocation_problem_for_table(table, &self.lattice(), self.config.l2.geometry(), profiles)
     }
 
     /// Runs the complete method of the paper on the application.
@@ -635,7 +729,7 @@ impl<F: Fn() -> Application> Experiment<F> {
         let app_name = reference_app.name.clone();
 
         let (shared, profiles) = self.run_profiled()?;
-        let problem = self.build_allocation_problem(&reference_app, profiles.clone());
+        let problem = self.build_allocation_problem(reference_app.space.table(), profiles.clone());
         let allocation = optimizer::solve(&problem, self.config.optimizer)?;
         let partitioned = self.run(&self.partitioned_spec(&allocation)?)?;
         let compositionality =
@@ -679,15 +773,20 @@ impl<F: Fn() -> Application + Sync> Experiment<F> {
     /// Compares the three partition-sizing strategies on already-measured
     /// profiles (the optimiser ablation), solving them in parallel.
     ///
+    /// The profiles are typically curve-derived
+    /// ([`Experiment::run_profiled`]); the table names the entities and
+    /// pins the FIFOs, and may come from an application
+    /// (`app.space.table()`) or from a recorded trace.
+    ///
     /// # Errors
     ///
     /// Propagates optimiser errors.
     pub fn compare_optimizers(
         &self,
-        app: &Application,
+        table: &RegionTable,
         profiles: &MissProfiles,
     ) -> Result<Vec<Allocation>, CoreError> {
-        let problem = self.build_allocation_problem(app, profiles.clone());
+        let problem = self.build_allocation_problem(table, profiles.clone());
         let kinds = [
             OptimizerKind::ExactIlp,
             OptimizerKind::Greedy,
@@ -746,8 +845,9 @@ mod tests {
         assert!(!outcome.table_rows().is_empty());
         assert_eq!(outcome.figure2_rows().len(), outcome.allocation.units.len());
         assert!(!outcome.summary().is_empty());
-        // The runs expose which organisation they went through.
-        assert_eq!(outcome.shared.l2_snapshot.organization, "profiling");
+        // The runs expose which organisation they went through: profiling
+        // is now a tap on the shared baseline, not an L2 organisation.
+        assert_eq!(outcome.shared.l2_snapshot.organization, "shared");
         assert_eq!(
             outcome.partitioned.l2_snapshot.organization,
             "set-partitioned"
@@ -825,7 +925,9 @@ mod tests {
         });
         let (_, profiles) = experiment.run_profiled().unwrap();
         let app = jpeg_canny_app(&JpegCannyParams::tiny()).unwrap();
-        let allocations = experiment.compare_optimizers(&app, &profiles).unwrap();
+        let allocations = experiment
+            .compare_optimizers(app.space.table(), &profiles)
+            .unwrap();
         assert_eq!(allocations.len(), 3);
         let exact = &allocations[0];
         for other in &allocations[1..] {

@@ -10,7 +10,12 @@
 //!    entity (task, communication buffer, shared static section), the number
 //!    of L2 misses as a function of the exclusively allocated cache size
 //!    (power-of-two allocation units), exactly the `m_i(S_k)` inputs of the
-//!    paper's ILP.
+//!    paper's ILP. The profiles come from a **single-pass stack-distance
+//!    profiler** (`StackDistanceProfiler` riding the shared baseline run
+//!    as an access tap, or fed from a recorded trace) whose
+//!    `MissRateCurves` resolve every power-of-two cache shape at once;
+//!    the shadow-cache `ProfilingCache` organisation is retained as the
+//!    cross-validation oracle.
 //! 2. **Partition sizing** ([`optimizer`]) — minimise the total number of
 //!    misses subject to the cache capacity, with an exact
 //!    dynamic-programming solver equivalent to the paper's (M)ILP, a greedy
@@ -62,4 +67,7 @@ pub mod report;
 
 pub use error::CoreError;
 pub use optimizer::{Allocation, AllocationProblem, OptimizerKind};
-pub use profile::{CacheSizeLattice, MissProfile, MissProfiles, ProfilingCache};
+pub use profile::{
+    CacheSizeLattice, CurveResolution, MissProfile, MissProfiles, MissRateCurve, MissRateCurves,
+    ProfilingCache, StackDistanceProfiler,
+};

@@ -5,7 +5,14 @@
 //! [`CacheModel`](compmem_cache::CacheModel) trait: the
 //! [`ProfilingCache`] is one of those organisations, so it lives next to
 //! the others and runs through the same `Box<dyn CacheModel>` timing path.
-//! This module re-exports the types under their historical `compmem`
-//! paths.
+//! Its shadow-cache bank has since been superseded as the *source* of the
+//! profiles by the single-pass [`StackDistanceProfiler`] (per-set bounded
+//! Mattson stacks producing a [`MissRateCurve`] per entity, convertible to
+//! the profiles of any lattice); the shadow bank remains the
+//! cross-validation oracle. This module re-exports the types under their
+//! historical `compmem` paths.
 
-pub use compmem_cache::{CacheSizeLattice, MissProfile, MissProfiles, ProfilingCache};
+pub use compmem_cache::{
+    CacheSizeLattice, CurveResolution, MissProfile, MissProfiles, MissRateCurve, MissRateCurves,
+    ProfilingCache, StackDistanceProfiler,
+};

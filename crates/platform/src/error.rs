@@ -41,6 +41,13 @@ pub enum PlatformError {
         /// The configured limit.
         limit: u64,
     },
+    /// A streaming trace could not be decoded (the message of the
+    /// underlying [`CodecError`](compmem_trace::CodecError), which is not
+    /// `Clone`).
+    TraceDecode {
+        /// Rendered message of the codec error.
+        message: String,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -69,6 +76,9 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::CycleLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+            PlatformError::TraceDecode { message } => {
+                write!(f, "trace decode error: {message}")
             }
         }
     }

@@ -81,6 +81,7 @@ mod memory;
 mod metrics;
 mod op;
 mod processor;
+pub mod profile;
 pub mod replay;
 mod scheduler;
 mod system;
@@ -93,6 +94,7 @@ pub use memory::{BurstStats, L1Refill, MemoryLevel, MemorySystem};
 pub use metrics::{ProcessorReport, SystemReport};
 pub use op::{Burst, BurstOutcome, Op, WorkloadDriver};
 pub use processor::ProcessorId;
+pub use profile::{profile_reader, profile_trace, TapProfiler};
 pub use replay::{
     AccessTap, FilteredRun, FilteredTrace, NullTap, PreparedTrace, ReplayCounters, ReplayProcessor,
     ReplaySystem,

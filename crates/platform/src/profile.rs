@@ -1,0 +1,369 @@
+//! Streaming feeds for the single-pass stack-distance profiler.
+//!
+//! The [`StackDistanceProfiler`] consumes the **L2-bound** access stream —
+//! the L1 misses, in global issue order — which is exactly the stream the
+//! [`ProfilingCache`](compmem_cache::ProfilingCache) sees when it is
+//! mounted as the live L2. This module provides the three ways to produce
+//! that stream without mounting anything in the hierarchy:
+//!
+//! * [`profile_trace`] profiles a recorded [`PreparedTrace`] through the
+//!   trace's cached L1 filter (the same
+//!   [`filtered_for`](PreparedTrace::filtered_for) pass replays use), so
+//!   profiling a trace that has already been replayed — or replaying a
+//!   trace that has been profiled — pays the L1 simulation only once;
+//! * [`profile_reader`] profiles straight from a streaming
+//!   [`TraceReader`], decoding record by record and never materialising
+//!   the trace in memory;
+//! * [`TapProfiler`] profiles a **live** run: it is an [`AccessTap`] for
+//!   [`System::run_traced`](crate::System::run_traced) that carries its
+//!   own bank of private L1s (mirror images of the system's, fed in the
+//!   same order, hence bit-identical) and forwards only the refills to the
+//!   profiler — one live run yields the shared-cache baseline *and* the
+//!   full miss-rate curves, with no trace on disk or in memory.
+
+use std::io::Read;
+
+use compmem_cache::{CurveResolution, MissRateCurves, StackDistanceProfiler};
+use compmem_trace::codec::{TraceReader, TraceRecord};
+use compmem_trace::Access;
+
+use crate::config::PlatformConfig;
+use crate::error::PlatformError;
+use crate::replay::{AccessTap, L1Filter, PreparedTrace};
+
+/// An [`AccessTap`] that measures miss-rate curves during a live run.
+///
+/// The tap owns a mirror of the private L1s — the same `L1Filter` the
+/// trace filter pass uses, configured identically to the system's.
+/// [`System::run_traced`](crate::System::run_traced) hands every access to
+/// the tap in the same order it enters the hierarchy, so the filter's
+/// caches evolve bit-identically to the system's and the profiler sees
+/// exactly the access stream the shared L2 serves. The tap never perturbs
+/// the simulation.
+#[derive(Debug)]
+pub struct TapProfiler {
+    filter: L1Filter,
+    profiler: StackDistanceProfiler,
+}
+
+impl TapProfiler {
+    /// Creates a tap for a live run under `config` feeding `profiler`.
+    pub fn new(config: &PlatformConfig, profiler: StackDistanceProfiler) -> Self {
+        TapProfiler {
+            filter: L1Filter::for_config(config, config.num_processors),
+            profiler,
+        }
+    }
+
+    /// The profiler accumulated so far.
+    pub fn profiler(&self) -> &StackDistanceProfiler {
+        &self.profiler
+    }
+
+    /// Consumes the tap and extracts the measured curves.
+    pub fn into_curves(self) -> MissRateCurves {
+        self.profiler.into_curves()
+    }
+}
+
+impl AccessTap for TapProfiler {
+    fn record_access(&mut self, processor: usize, _cycle: u64, access: &Access) {
+        // The live system validated the processor index before issuing;
+        // the expect documents the invariant rather than handling input.
+        let refills = self
+            .filter
+            .refills(processor, access)
+            .expect("live runs only issue from configured processors");
+        if refills {
+            self.profiler.observe(access);
+        }
+    }
+}
+
+/// Profiles a recorded trace in one pass and returns the miss-rate curves
+/// of every partition key, using the trace's cached per-L1-configuration
+/// filter (shared with replays of the same trace).
+///
+/// # Errors
+///
+/// Returns [`PlatformError::ProcessorOutOfRange`] if a trace run names a
+/// processor outside the trace's declared processor count.
+pub fn profile_trace(
+    config: &PlatformConfig,
+    trace: &PreparedTrace,
+    resolution: CurveResolution,
+) -> Result<MissRateCurves, PlatformError> {
+    let filtered = trace.filtered_for(config)?;
+    let mut profiler = StackDistanceProfiler::new(resolution, trace.table());
+    for run in &filtered.runs {
+        for refill in &run.refills {
+            profiler.observe(&refill.access);
+        }
+    }
+    Ok(profiler.into_curves())
+}
+
+/// Profiles a trace straight from a streaming [`TraceReader`] — record by
+/// record, without materialising the decoded trace — and returns the
+/// miss-rate curves of every partition key.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::ProcessorOutOfRange`] if a record names a
+/// processor outside the trace's declared processor count, and
+/// [`PlatformError::TraceDecode`] if the stream is corrupt.
+pub fn profile_reader<R: Read>(
+    config: &PlatformConfig,
+    reader: &mut TraceReader<R>,
+    resolution: CurveResolution,
+) -> Result<MissRateCurves, PlatformError> {
+    let processors = (reader.processors() as usize).max(1);
+    let mut filter = L1Filter::for_config(config, processors);
+    let mut profiler = StackDistanceProfiler::new(resolution, reader.table());
+    while let Some(TraceRecord {
+        processor, access, ..
+    }) = reader
+        .next_record()
+        .map_err(|e| PlatformError::TraceDecode {
+            message: e.to_string(),
+        })?
+    {
+        if filter.refills(processor as usize, &access)? {
+            profiler.observe(&access);
+        }
+    }
+    Ok(profiler.into_curves())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Burst, BurstOutcome, Op, WorkloadDriver};
+    use crate::replay::ReplaySystem;
+    use crate::scheduler::TaskMapping;
+    use crate::system::System;
+    use compmem_cache::{
+        CacheConfig, CacheModel, CacheSizeLattice, OrganizationSpec, PartitionKey, ProfilingCache,
+    };
+    use compmem_trace::codec::{EncodedTrace, TraceWriter};
+    use compmem_trace::{Addr, RegionId, RegionKind, RegionTable, TaskId};
+
+    /// Two tasks with interleaving loads, stores and compute over distinct
+    /// regions (the same shape as the replay tests).
+    struct MixedDriver {
+        remaining: Vec<u32>,
+        cursor: Vec<u64>,
+    }
+
+    impl WorkloadDriver for MixedDriver {
+        fn next_burst(&mut self, task: TaskId) -> BurstOutcome {
+            let t = task.index();
+            if self.remaining[t] == 0 {
+                return BurstOutcome::Finished;
+            }
+            self.remaining[t] -= 1;
+            let base = 0x10_0000 * (t as u64 + 1);
+            let mut ops = Vec::new();
+            for i in 0..12 {
+                let addr = base + ((self.cursor[t] + i * 3) % 160) * 64;
+                ops.push(Op::Compute(1 + (i % 2) as u32));
+                let access = if i % 4 == 0 {
+                    Access::store(Addr::new(addr), 4, task, RegionId::new(t as u32))
+                } else {
+                    Access::load(Addr::new(addr), 4, task, RegionId::new(t as u32))
+                };
+                ops.push(Op::Mem(access));
+            }
+            self.cursor[t] += 12;
+            BurstOutcome::Ready(Burst::new(ops))
+        }
+    }
+
+    fn driver() -> MixedDriver {
+        MixedDriver {
+            remaining: vec![40, 40],
+            cursor: vec![0, 0],
+        }
+    }
+
+    fn region_table() -> RegionTable {
+        let mut table = RegionTable::new();
+        for t in 0..2u32 {
+            table
+                .insert(
+                    format!("t{t}.data"),
+                    RegionKind::TaskData {
+                        task: TaskId::new(t),
+                    },
+                    160 * 64,
+                )
+                .unwrap();
+        }
+        table
+    }
+
+    fn l2_config() -> CacheConfig {
+        CacheConfig::new(64, 4).unwrap()
+    }
+
+    fn resolution() -> CurveResolution {
+        CurveResolution::for_geometry(l2_config().geometry(), 4).unwrap()
+    }
+
+    fn platform() -> PlatformConfig {
+        PlatformConfig::default().processors(2)
+    }
+
+    fn mapping() -> TaskMapping {
+        TaskMapping::round_robin(&[TaskId::new(0), TaskId::new(1)], 2)
+    }
+
+    /// Runs the workload live with a `TraceWriter` tap and returns the
+    /// encoded trace.
+    fn record() -> EncodedTrace {
+        let mut system = System::new(
+            platform(),
+            Box::new(compmem_cache::SharedCache::new(l2_config())),
+            mapping(),
+        )
+        .unwrap();
+        let mut writer = TraceWriter::new(Vec::new(), &region_table(), 2).unwrap();
+        system.run_traced(&mut driver(), &mut writer).unwrap();
+        let (bytes, _) = writer.finish().unwrap();
+        EncodedTrace::from_bytes(bytes).unwrap()
+    }
+
+    /// Reference profiles: the live run with the ProfilingCache as L2.
+    fn shadow_profiles(lattice: &CacheSizeLattice) -> compmem_cache::MissProfiles {
+        let l2: Box<dyn CacheModel> = OrganizationSpec::Profiling(lattice.clone())
+            .build(l2_config(), &region_table())
+            .unwrap();
+        let mut system = System::new(platform(), l2, mapping()).unwrap();
+        system.run(&mut driver()).unwrap();
+        system
+            .into_l2()
+            .into_any()
+            .downcast::<ProfilingCache>()
+            .unwrap()
+            .into_profiles()
+    }
+
+    #[test]
+    fn live_tap_matches_the_shadow_cache_profiling_run() {
+        let lattice = CacheSizeLattice::new(l2_config().geometry(), 4);
+        let expected = shadow_profiles(&lattice);
+
+        // The profiling run again, but with the shared baseline as L2 and
+        // the tap measuring the curves on the side.
+        let mut system = System::new(
+            platform(),
+            Box::new(compmem_cache::SharedCache::new(l2_config())),
+            mapping(),
+        )
+        .unwrap();
+        let mut tap = TapProfiler::new(
+            &platform(),
+            StackDistanceProfiler::new(resolution(), &region_table()),
+        );
+        system.run_traced(&mut driver(), &mut tap).unwrap();
+        let profiles = tap.into_curves().to_profiles(&lattice, 4).unwrap();
+        assert_eq!(profiles, expected);
+    }
+
+    #[test]
+    fn trace_and_reader_profiles_match_the_live_tap() {
+        let trace = record();
+        let prepared = PreparedTrace::from(trace.clone());
+        let from_trace = profile_trace(&platform(), &prepared, resolution()).unwrap();
+
+        let mut reader = TraceReader::new(trace.bytes()).unwrap();
+        let from_reader = profile_reader(&platform(), &mut reader, resolution()).unwrap();
+        assert_eq!(from_trace, from_reader);
+
+        let mut system = System::new(
+            platform(),
+            Box::new(compmem_cache::SharedCache::new(l2_config())),
+            mapping(),
+        )
+        .unwrap();
+        let mut tap = TapProfiler::new(
+            &platform(),
+            StackDistanceProfiler::new(resolution(), &region_table()),
+        );
+        system.run_traced(&mut driver(), &mut tap).unwrap();
+        assert!(tap.profiler().accesses() > 0);
+        assert_eq!(tap.into_curves(), from_trace);
+    }
+
+    #[test]
+    fn profiling_shares_the_replay_l1_filter() {
+        let prepared = PreparedTrace::from(record());
+        let config = platform();
+        // Replay first: the filter pass is computed and cached...
+        let mut replay = ReplaySystem::new(
+            &config,
+            Box::new(compmem_cache::SharedCache::new(l2_config())),
+            &prepared,
+        )
+        .unwrap();
+        let report = replay.run();
+        // ...then profiling reuses it (same Arc), and its per-key access
+        // totals are exactly the L2 accesses of the replay.
+        let before = prepared.filtered_for(&config).unwrap();
+        let curves = profile_trace(&config, &prepared, resolution()).unwrap();
+        let after = prepared.filtered_for(&config).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&before, &after));
+        let profiled: u64 = curves.curves.values().map(|c| c.accesses).sum();
+        assert_eq!(profiled, report.l2.accesses);
+    }
+
+    #[test]
+    fn out_of_range_processor_is_reported() {
+        let mut table = RegionTable::new();
+        table
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                4096,
+            )
+            .unwrap();
+        let mut writer = TraceWriter::new(Vec::new(), &table, 1).unwrap();
+        let access = Access::load(Addr::new(0x40), 4, TaskId::new(0), RegionId::new(0));
+        writer.record(5, 0, &access);
+        let (bytes, _) = writer.finish().unwrap();
+        let trace = EncodedTrace::from_bytes(bytes).unwrap();
+
+        // A trace naming a region outside its embedded table is rejected
+        // at decode time — no profiler or replay consumer can be handed a
+        // bogus region index.
+        let empty = RegionTable::new();
+        let mut corrupt_writer = TraceWriter::new(Vec::new(), &empty, 1).unwrap();
+        corrupt_writer.record(0, 0, &access);
+        let (corrupt_bytes, _) = corrupt_writer.finish().unwrap();
+        assert!(EncodedTrace::from_bytes(corrupt_bytes).is_err());
+        let prepared = PreparedTrace::from(trace.clone());
+        assert!(matches!(
+            profile_trace(&PlatformConfig::default(), &prepared, resolution()),
+            Err(PlatformError::ProcessorOutOfRange { .. })
+        ));
+        let mut reader = TraceReader::new(trace.bytes()).unwrap();
+        assert!(matches!(
+            profile_reader(&PlatformConfig::default(), &mut reader, resolution()),
+            Err(PlatformError::ProcessorOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn curves_name_every_active_key() {
+        let prepared = PreparedTrace::from(record());
+        let curves = profile_trace(&platform(), &prepared, resolution()).unwrap();
+        for t in 0..2 {
+            assert!(
+                curves.curve(PartitionKey::Task(TaskId::new(t))).is_some(),
+                "task {t} reached the L2"
+            );
+        }
+    }
+}

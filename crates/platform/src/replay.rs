@@ -131,6 +131,83 @@ struct FilterKey {
     l1d: CacheConfig,
 }
 
+/// A mirror of the platform's private L1s that turns a full access stream
+/// into its L2-bound refill stream.
+///
+/// This is the **single** definition of "L2-bound" in the crate: the
+/// trace filter pass ([`PreparedTrace::filtered_for`]) and the
+/// stack-distance profiler feeds ([`profile_trace`](crate::profile_trace),
+/// [`profile_reader`](crate::profile_reader),
+/// [`TapProfiler`](crate::TapProfiler)) all route accesses through it, so
+/// the streams they see cannot drift apart.
+#[derive(Debug)]
+pub(crate) struct L1Filter {
+    l1i: Vec<SetAssocCache>,
+    l1d: Vec<SetAssocCache>,
+}
+
+impl L1Filter {
+    /// Creates per-processor instruction and data L1s from their
+    /// configurations.
+    pub(crate) fn new(l1i: CacheConfig, l1d: CacheConfig, processors: usize) -> Self {
+        L1Filter {
+            l1i: (0..processors).map(|_| SetAssocCache::new(l1i)).collect(),
+            l1d: (0..processors).map(|_| SetAssocCache::new(l1d)).collect(),
+        }
+    }
+
+    /// Builds the filter for a platform's L1 configurations.
+    pub(crate) fn for_config(config: &PlatformConfig, processors: usize) -> Self {
+        Self::new(config.l1i, config.l1d, processors)
+    }
+
+    /// Runs one access through the owning processor's L1 and returns its
+    /// outcome (a miss means the access travels to the L2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::ProcessorOutOfRange`] if `processor` is
+    /// outside the filter's bank.
+    pub(crate) fn access(
+        &mut self,
+        processor: usize,
+        access: &Access,
+    ) -> Result<compmem_cache::AccessOutcome, PlatformError> {
+        let bank = if access.kind.is_instruction() {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
+        let processors = bank.len();
+        let l1 = bank
+            .get_mut(processor)
+            .ok_or(PlatformError::ProcessorOutOfRange {
+                processor,
+                processors,
+            })?;
+        Ok(l1.access(access))
+    }
+
+    /// Runs one access through the filter; returns `true` if it misses
+    /// (and therefore travels to the L2).
+    pub(crate) fn refills(
+        &mut self,
+        processor: usize,
+        access: &Access,
+    ) -> Result<bool, PlatformError> {
+        Ok(!self.access(processor, access)?.hit)
+    }
+
+    /// Aggregate statistics over all private L1 caches.
+    pub(crate) fn aggregate_stats(&self) -> CacheStats {
+        let mut aggregate = CacheStats::new();
+        for cache in self.l1i.iter().chain(self.l1d.iter()) {
+            aggregate.merge(cache.stats());
+        }
+        aggregate
+    }
+}
+
 /// A recorded trace prepared for repeated replay.
 ///
 /// Wraps the [`EncodedTrace`] together with a cache of L1-filtered run
@@ -222,21 +299,10 @@ impl PreparedTrace {
 /// refills.
 fn filter_trace(trace: &EncodedTrace, key: FilterKey) -> Result<FilteredTrace, PlatformError> {
     let processors = (trace.processors() as usize).max(1);
-    let mut l1i: Vec<SetAssocCache> = (0..processors)
-        .map(|_| SetAssocCache::new(key.l1i))
-        .collect();
-    let mut l1d: Vec<SetAssocCache> = (0..processors)
-        .map(|_| SetAssocCache::new(key.l1d))
-        .collect();
+    let mut filter = L1Filter::new(key.l1i, key.l1d, processors);
     let mut runs = Vec::with_capacity(trace.runs().len());
     for run in trace.runs() {
         let pi = run.processor as usize;
-        if pi >= processors {
-            return Err(PlatformError::ProcessorOutOfRange {
-                processor: pi,
-                processors,
-            });
-        }
         let mut filtered = FilteredRun {
             processor: run.processor,
             start_cycle: run.start_cycle,
@@ -245,12 +311,7 @@ fn filter_trace(trace: &EncodedTrace, key: FilterKey) -> Result<FilteredTrace, P
             instr_fetches: 0,
         };
         for access in &run.accesses {
-            let l1 = if access.kind.is_instruction() {
-                &mut l1i[pi]
-            } else {
-                &mut l1d[pi]
-            };
-            let outcome = l1.access(access);
+            let outcome = filter.access(pi, access)?;
             if !outcome.hit {
                 filtered.refills.push(L1Refill {
                     access: *access,
@@ -266,13 +327,9 @@ fn filter_trace(trace: &EncodedTrace, key: FilterKey) -> Result<FilteredTrace, P
         }
         runs.push(filtered);
     }
-    let mut l1_aggregate = CacheStats::new();
-    for cache in l1i.iter().chain(l1d.iter()) {
-        l1_aggregate.merge(cache.stats());
-    }
     Ok(FilteredTrace {
         runs,
-        l1_aggregate,
+        l1_aggregate: filter.aggregate_stats(),
         processors,
     })
 }
@@ -639,7 +696,16 @@ mod tests {
     #[test]
     fn trace_with_out_of_range_processor_is_rejected() {
         // Hand-craft a trace declaring 1 processor but recording on id 3.
-        let table = RegionTable::new();
+        let mut table = RegionTable::new();
+        table
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                4096,
+            )
+            .unwrap();
         let mut writer = TraceWriter::new(Vec::new(), &table, 1).unwrap();
         let access = Access::load(Addr::new(0x40), 4, TaskId::new(0), RegionId::new(0));
         writer.record(3, 0, &access);

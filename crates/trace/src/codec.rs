@@ -718,6 +718,17 @@ impl<R: Read> TraceReader<R> {
                             reason: "region id exceeds 32 bits",
                         }
                     })?;
+                    // A trace is a self-contained scenario: every region an
+                    // access names must exist in the embedded table, or
+                    // consumers indexing per-region state (the profiler,
+                    // the profiling organisation) would be handed a bogus
+                    // index.
+                    if raw as usize >= self.table.len() {
+                        self.done = true;
+                        return Err(CodecError::Corrupt {
+                            reason: "region id outside the embedded region table",
+                        });
+                    }
                     self.region_dict.push(RegionId::new(raw));
                 }
                 TAG_RUN => {

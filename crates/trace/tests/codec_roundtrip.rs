@@ -29,6 +29,25 @@ fn access_strategy() -> impl Strategy<Value = Vec<RawAccess>> {
     )
 }
 
+/// A region table covering the generator's region-id pool (0..9): the
+/// codec validates that every region an access names exists in the
+/// embedded table, so the arbitrary streams must draw from real regions.
+fn region_table() -> compmem_trace::RegionTable {
+    let mut table = compmem_trace::RegionTable::new();
+    for r in 0..9u32 {
+        table
+            .insert(
+                format!("r{r}"),
+                compmem_trace::RegionKind::TaskData {
+                    task: TaskId::new(r),
+                },
+                1 << 20,
+            )
+            .unwrap();
+    }
+    table
+}
+
 fn materialise(raw: &[RawAccess], processors: u32) -> Vec<(u32, u64, Access)> {
     let mut cycle = 0u64;
     raw.iter()
@@ -66,7 +85,7 @@ proptest! {
         processors in 1u32..5,
     ) {
         let records = materialise(&raw, processors);
-        let table = compmem_trace::RegionTable::new();
+        let table = region_table();
         let mut writer = TraceWriter::new(Vec::new(), &table, processors).unwrap();
         for (processor, cycle, access) in &records {
             writer.record(*processor, *cycle, access);
@@ -109,7 +128,7 @@ proptest! {
         flip_bits in 1u8..=255,
     ) {
         let records = materialise(&raw, 2);
-        let table = compmem_trace::RegionTable::new();
+        let table = region_table();
         let mut writer = TraceWriter::new(Vec::new(), &table, 2).unwrap();
         for (processor, cycle, access) in &records {
             writer.record(*processor, *cycle, access);

@@ -23,8 +23,16 @@
 //!   default-implemented `access_batch`, so whole runs of accesses cost
 //!   one virtual dispatch — and `OrganizationSpec` builds any of them as a
 //!   `Box<dyn CacheModel>` from plain data. Per-key statistics and uniform
-//!   `CacheSnapshot`s live here too, as do the miss-vs-size profiles
-//!   (`MissProfiles`) measured by the profiling organisation.
+//!   `CacheSnapshot`s live here too. The miss-vs-size profiles
+//!   (`MissProfiles`) that feed the optimiser are produced by the
+//!   **single-pass `StackDistanceProfiler`**: per-key, per-set bounded
+//!   Mattson reuse stacks at every power-of-two set count yield a
+//!   `MissRateCurve` per entity — the exact miss count at every resolved
+//!   cache shape from one pass over the L2-bound stream — and
+//!   `MissRateCurves::to_profiles` converts them to any `CacheSizeLattice`.
+//!   The shadow-cache `ProfilingCache` organisation remains as the
+//!   cross-validation oracle (`tests/profiler_parity.rs` asserts both
+//!   sources agree point for point).
 //! * [`compmem_platform`] — the CAKE-like multiprocessor simulator. A
 //!   discrete-event `EventQueue` (min-heap of `(ready_cycle, actor)`)
 //!   drives the run loop; processors execute workload bursts against one
@@ -36,6 +44,12 @@
 //!   recorded trace via `ReplayProcessor` actors on the same event queue —
 //!   bit-identical cache statistics, no workload execution, with the
 //!   organisation-invariant L1 filter cached per trace (`PreparedTrace`).
+//!   The `profile` module feeds the stack-distance profiler from all
+//!   three traffic sources: `profile_trace` (a prepared trace, through
+//!   the same cached L1 filter replays use), `profile_reader` (streaming
+//!   decode, nothing materialised) and `TapProfiler` (an `AccessTap`
+//!   carrying its own mirror L1 bank, so one live run yields the shared
+//!   baseline *and* the full miss-rate curves).
 //! * [`compmem_kpn`] — the YAPI-like Kahn-process-network runtime. Process
 //!   networks implement the platform's `WorkloadDriver`; the functional
 //!   scheduler (`Network::run_functional`) runs on the same event-queue
@@ -50,14 +64,23 @@
 //!   recorded trace) — executed by one driver; batches of independent runs
 //!   fan out across threads (`Experiment::run_all`), so an organisation
 //!   sweep replays one recorded trace concurrently without re-executing
-//!   the workload (`Experiment::record_trace` / `run_replay`).
+//!   the workload (`Experiment::record_trace` / `run_replay`). The paper
+//!   flow's profiles are curve-derived (`Experiment::profile_curves` /
+//!   `run_profiled`), with the shadow-bank path kept as
+//!   `run_profiled_simulated` for cross-validation, and
+//!   `allocation_problem_for_table` builds the optimiser's problem from
+//!   any region table — an application's or a recorded trace's.
 //!
 //! The `compmem-bench` crate (not re-exported) holds the criterion benches,
-//! the recorded `BENCH_*.json` baselines, the `repro` binary that
-//! regenerates the paper's tables and figures, and the `compmem` CLI
-//! (`compmem record --app mpeg2 --out t.cmt`, `compmem replay --trace
-//! t.cmt --org set-partitioned`, `compmem sweep --trace t.cmt --l2-kb
-//! 32,64,128`) that drives the record/replay workflow from the shell.
+//! the recorded `BENCH_*.json` baselines (guarded in CI by
+//! `scripts/bench_check`, which re-runs the benches and fails on >25%
+//! throughput regressions), the `repro` binary that regenerates the
+//! paper's tables and figures, and the `compmem` CLI (`compmem record
+//! --app mpeg2 --out t.cmt`, `compmem replay --trace t.cmt --org
+//! set-partitioned`, `compmem sweep --trace t.cmt --l2-kb 32,64,128`,
+//! `compmem profile --trace t.cmt` for the single-pass curves and the
+//! allocation they imply) that drives the record/replay/profile workflow
+//! from the shell.
 
 #![forbid(unsafe_code)]
 

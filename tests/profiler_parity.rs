@@ -1,0 +1,262 @@
+//! Cross-validation of the single-pass stack-distance profiler against
+//! the shadow-cache simulation it replaced.
+//!
+//! Three properties pin the new profile source down:
+//!
+//! * **Point-for-point parity**: curve-derived `MissProfiles` equal the
+//!   `ProfilingCache`'s per-size shadow simulation at every lattice point,
+//!   on tiny MPEG-2 and tiny JPEG+Canny (the acceptance criterion of the
+//!   profiler issue).
+//! * **All four organisations**: parity is not a property of shared-cache
+//!   traffic — a trace recorded under *any* of the four organisations
+//!   (whose timing shifts the recorded interleaving) profiles to the same
+//!   numbers whether the single-pass profiler or the shadow bank consumes
+//!   it; and per-key access/cold totals are organisation-invariant.
+//! * **Optimizer agreement**: `solve_exact`, `solve_greedy` and the
+//!   brute-force `solve_exhaustive` produce identical allocations whether
+//!   the problem is built from curve-derived or simulated profiles.
+
+use compmem::experiment::{Experiment, ExperimentConfig, ScenarioSpec};
+use compmem::optimizer::{solve_exact, solve_exhaustive, solve_greedy};
+use compmem_cache::{CacheConfig, CacheSizeLattice, OrganizationSpec, PartitionKey, PartitionMap};
+use compmem_platform::{profile_trace, ReplaySystem};
+use compmem_workloads::apps::{
+    jpeg_canny_app, mpeg2_app, Application, JpegCannyParams, Mpeg2Params,
+};
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        l2: CacheConfig::with_size_bytes(64 * 1024, 4).unwrap(),
+        sets_per_unit: 4,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn mpeg2_experiment() -> Experiment<impl Fn() -> Application> {
+    let params = Mpeg2Params::tiny();
+    Experiment::new(tiny_config(), move || {
+        mpeg2_app(&params).expect("valid parameters")
+    })
+}
+
+fn jpeg_experiment() -> Experiment<impl Fn() -> Application> {
+    let params = JpegCannyParams::tiny();
+    Experiment::new(tiny_config(), move || {
+        jpeg_canny_app(&params).expect("valid parameters")
+    })
+}
+
+fn assert_parity(experiment: &Experiment<impl Fn() -> Application>, app_name: &str) {
+    let (curve_outcome, curve_profiles) = experiment.run_profiled().expect("curve run succeeds");
+    let (shadow_outcome, shadow_profiles) = experiment
+        .run_profiled_simulated()
+        .expect("shadow run succeeds");
+    // The acceptance criterion: identical misses at every lattice point,
+    // for every entity.
+    assert_eq!(
+        curve_profiles, shadow_profiles,
+        "{app_name}: single-pass and per-size simulation diverged"
+    );
+    assert!(
+        !curve_profiles.profiles.is_empty(),
+        "{app_name}: no entities profiled"
+    );
+    // The profiling main cache *is* the shared baseline, so both runs see
+    // identical traffic and L2 behaviour; only the organisation label
+    // differs.
+    assert_eq!(curve_outcome.report, shadow_outcome.report);
+    assert_eq!(curve_outcome.by_key, shadow_outcome.by_key);
+    assert_eq!(curve_outcome.l2_snapshot.organization, "shared");
+    assert_eq!(shadow_outcome.l2_snapshot.organization, "profiling");
+}
+
+#[test]
+fn curve_profiles_match_shadow_simulation_on_tiny_mpeg2() {
+    assert_parity(&mpeg2_experiment(), "mpeg2");
+}
+
+#[test]
+fn curve_profiles_match_shadow_simulation_on_tiny_jpeg_canny() {
+    assert_parity(&jpeg_experiment(), "jpeg_canny");
+}
+
+#[test]
+fn traces_from_all_four_organisations_profile_identically() {
+    let experiment = mpeg2_experiment();
+    let config = tiny_config();
+    let geometry = config.l2.geometry();
+    let app = mpeg2_app(&Mpeg2Params::tiny()).unwrap();
+    let keys = PartitionKey::distinct_keys(app.space.table());
+
+    let specs: Vec<(&str, ScenarioSpec)> = vec![
+        ("shared", experiment.shared_spec()),
+        (
+            "set-partitioned",
+            ScenarioSpec::live(
+                config.l2,
+                OrganizationSpec::SetPartitioned(
+                    PartitionMap::equal_split(geometry, &keys).unwrap(),
+                ),
+            ),
+        ),
+        ("way-partitioned", experiment.way_partitioned_spec()),
+        ("profiling", experiment.profiling_spec()),
+    ];
+
+    let lattice = CacheSizeLattice::new(geometry, config.sets_per_unit);
+    let mut totals = None;
+    for (label, spec) in specs {
+        let (_, trace) = experiment.record_trace(&spec).expect("recording succeeds");
+        let curves = profile_trace(
+            &experiment.config().platform,
+            &trace,
+            experiment.curve_resolution(),
+        )
+        .expect("profiling succeeds");
+
+        // Single-pass vs per-size shadow simulation of the *same* trace:
+        // identical at every lattice point, whichever organisation's
+        // timing shaped the recording.
+        let single_pass = curves
+            .to_profiles(&lattice, geometry.ways())
+            .expect("lattice within resolution");
+        let l2 = OrganizationSpec::Profiling(lattice.clone())
+            .build(config.l2, trace.table())
+            .expect("profiling organisation builds");
+        let mut replay = ReplaySystem::new(&experiment.config().platform, l2, &trace)
+            .expect("replay system builds");
+        replay.run();
+        let shadow = replay
+            .into_l2()
+            .into_any()
+            .downcast::<compmem::ProfilingCache>()
+            .expect("profiling organisation downcasts")
+            .into_profiles();
+        assert_eq!(
+            single_pass, shadow,
+            "`{label}` recording: single-pass and shadow bank diverged"
+        );
+
+        // Per-key access and cold-miss totals do not depend on the
+        // recorded organisation (the L2-bound access multiset is fixed by
+        // the workload and the L1s; only its interleaving shifts).
+        let observed: Vec<(PartitionKey, u64, u64)> = curves
+            .curves
+            .iter()
+            .map(|(k, c)| (*k, c.accesses, c.cold))
+            .collect();
+        match &totals {
+            None => totals = Some(observed),
+            Some(expected) => assert_eq!(
+                &observed, expected,
+                "`{label}` recording changed per-key access/cold totals"
+            ),
+        }
+    }
+}
+
+type Solver = fn(&compmem::AllocationProblem) -> Result<compmem::Allocation, compmem::CoreError>;
+
+fn assert_optimizer_agreement(experiment: &Experiment<impl Fn() -> Application>, app_name: &str) {
+    let table_app = match app_name {
+        "mpeg2" => mpeg2_app(&Mpeg2Params::tiny()).unwrap(),
+        _ => jpeg_canny_app(&JpegCannyParams::tiny()).unwrap(),
+    };
+    let (_, curve_profiles) = experiment.run_profiled().expect("curve run succeeds");
+    let (_, shadow_profiles) = experiment
+        .run_profiled_simulated()
+        .expect("shadow run succeeds");
+    let curve_problem =
+        experiment.build_allocation_problem(table_app.space.table(), curve_profiles);
+    let shadow_problem =
+        experiment.build_allocation_problem(table_app.space.table(), shadow_profiles);
+
+    // The polynomial solvers run on the full problem; the brute-force
+    // reference is exponential in the entity count, so it gets a trimmed
+    // problem (the busiest entities, proportionally fewer units) — built
+    // from both profile sources identically.
+    let solvers: [(&str, Solver, bool); 3] = [
+        ("exact", solve_exact, false),
+        ("greedy", solve_greedy, false),
+        ("exhaustive", solve_exhaustive, true),
+    ];
+    for (name, solver, trim) in solvers {
+        let (curves, shadow) = if trim {
+            (trimmed(&curve_problem, 6), trimmed(&shadow_problem, 6))
+        } else {
+            (curve_problem.clone(), shadow_problem.clone())
+        };
+        let from_curves = solver(&curves).expect("feasible");
+        let from_shadow = solver(&shadow).expect("feasible");
+        assert_eq!(
+            from_curves.units, from_shadow.units,
+            "{app_name}/{name}: allocations diverged between profile sources"
+        );
+        assert_eq!(
+            from_curves.predicted_misses, from_shadow.predicted_misses,
+            "{app_name}/{name}: predictions diverged between profile sources"
+        );
+    }
+    // And the exact DP still matches the brute-force optimum on the
+    // curve-derived trimmed problem.
+    let small = trimmed(&curve_problem, 6);
+    assert_eq!(
+        solve_exact(&small).unwrap().predicted_misses,
+        solve_exhaustive(&small).unwrap().predicted_misses
+    );
+}
+
+/// Restricts a problem to its `keep` busiest entities (by profiled
+/// accesses), shrinking the capacity proportionally so the choice stays
+/// non-trivial.
+fn trimmed(problem: &compmem::AllocationProblem, keep: usize) -> compmem::AllocationProblem {
+    let mut entities = problem.entities.clone();
+    entities.sort_by_key(|e| {
+        std::cmp::Reverse(problem.profiles.profile(e.key).map_or(0, |p| p.accesses))
+    });
+    entities.truncate(keep);
+    entities.sort_by_key(|e| e.key);
+    // Keep the trimmed problem feasible whatever sizes the kept FIFOs are
+    // pinned to.
+    let minimum: u32 = entities
+        .iter()
+        .map(|e| e.candidates.iter().copied().min().unwrap_or(1))
+        .sum();
+    let scaled = problem.total_units * keep as u32 / problem.entities.len().max(1) as u32;
+    compmem::AllocationProblem {
+        entities,
+        profiles: problem.profiles.clone(),
+        total_units: scaled.max(minimum + 2),
+    }
+}
+
+#[test]
+fn optimizers_agree_across_profile_sources_on_tiny_mpeg2() {
+    assert_optimizer_agreement(&mpeg2_experiment(), "mpeg2");
+}
+
+#[test]
+fn optimizers_agree_across_profile_sources_on_tiny_jpeg_canny() {
+    assert_optimizer_agreement(&jpeg_experiment(), "jpeg_canny");
+}
+
+#[test]
+fn curves_convert_to_any_lattice_within_resolution() {
+    // Pay the pass once, sweep many lattices: converting the same curves
+    // on a coarser lattice equals re-simulating the shadow bank on it.
+    let experiment = mpeg2_experiment();
+    let config = tiny_config();
+    let (_, curves) = experiment.profile_curves().expect("curve run succeeds");
+    for sets_per_unit in [4u32, 8, 16] {
+        let lattice = CacheSizeLattice::new(config.l2.geometry(), sets_per_unit);
+        let profiles = curves
+            .to_profiles(&lattice, config.l2.geometry().ways())
+            .expect("lattice within resolution");
+        assert_eq!(profiles.lattice_units, lattice.candidate_units);
+        for profile in profiles.profiles.values() {
+            // Miss counts are monotonically non-increasing in size.
+            let misses: Vec<u64> = profile.misses_by_units.values().copied().collect();
+            assert!(misses.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+}
