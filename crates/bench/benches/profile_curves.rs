@@ -19,7 +19,11 @@
 //! committed `BENCH_profile.json` baseline records the single-pass versus
 //! re-simulation speed-up; regenerate it with
 //! `CRITERION_OUTPUT_JSON=BENCH_profile.json cargo bench --bench
-//! profile_curves`.
+//! profile_curves`. (Since the windowed-profiling PR the single-pass
+//! path also maintains the aggregate whole-L2 curve — the analytic
+//! size×associativity sweep — which costs it roughly a level-bank scan
+//! per access; the baseline and the `shadow/single-pass` ratio gate in
+//! `scripts/bench_check` reflect that.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -6,6 +6,7 @@
 //! ```text
 //! bench_check --baseline BENCH_engine.json --fresh target/bench/BENCH_engine.json
 //!             [--baseline B2 --fresh F2 ...] [--max-regression 0.25]
+//!             [--ratio NUM_ID,DEN_ID ...] [--max-ratio-regression 0.25]
 //! ```
 //!
 //! `--baseline`/`--fresh` flags pair up in order. For every benchmark id
@@ -17,10 +18,26 @@
 //! baseline are reported but do not fail — commit an updated baseline to
 //! adopt them.
 //!
+//! # Machine-independent ratio gates
+//!
+//! The absolute gate compares medians measured on *different machines*
+//! (the committed baseline's vs the CI runner's), so a slow shared runner
+//! can fail it spuriously. `--ratio NUM_ID,DEN_ID` adds a gate on the
+//! **ratio** `median(NUM) / median(DEN)` of two benchmarks *recorded in
+//! the same run*: machine speed cancels out of the quotient, so the gate
+//! only fires when the relationship between the two paths changes — e.g.
+//! replay getting slower *relative to* live execution, or the single-pass
+//! profiler losing ground against the shadow-bank replay it replaced. The
+//! fresh ratio may shrink below the baseline ratio by at most
+//! `--max-ratio-regression` (default 0.25, env
+//! `BENCH_CHECK_MAX_RATIO_REGRESSION`); ids are looked up across all
+//! loaded files. Growing ratios (the fast path got even faster) never
+//! fail.
+//!
 //! The parser handles exactly the flat JSON array the criterion shim
 //! emits (`id` + `median_ns` per record), so the gate needs no JSON
 //! dependency. `scripts/bench_check` wraps the re-run + compare loop for
-//! CI.
+//! CI and passes the standing ratio gates.
 
 use std::process::ExitCode;
 
@@ -80,17 +97,22 @@ fn load(path: &str) -> Result<Vec<Record>, String> {
     parse_records(&source, path)
 }
 
-/// Compares one baseline/fresh pair; returns the number of failures.
-fn compare(baseline_path: &str, fresh_path: &str, max_regression: f64) -> Result<u32, String> {
-    let baseline = load(baseline_path)?;
-    let fresh = load(fresh_path)?;
+/// Compares one baseline/fresh pair of already-parsed record sets;
+/// returns the number of failures.
+fn compare(
+    baseline_path: &str,
+    baseline: &[Record],
+    fresh_path: &str,
+    fresh: &[Record],
+    max_regression: f64,
+) -> u32 {
     let mut failures = 0;
     println!("{baseline_path} vs {fresh_path}:");
     println!(
         "  {:<52} {:>12} {:>12} {:>9}  verdict",
         "benchmark", "baseline ns", "fresh ns", "change"
     );
-    for base in &baseline {
+    for base in baseline {
         let Some(now) = fresh.iter().find(|r| r.id == base.id) else {
             println!("  {:<52} missing from fresh results: FAIL", base.id);
             failures += 1;
@@ -112,9 +134,83 @@ fn compare(baseline_path: &str, fresh_path: &str, max_regression: f64) -> Result
             failures += 1;
         }
     }
-    for now in &fresh {
+    for now in fresh {
         if !baseline.iter().any(|r| r.id == now.id) {
             println!("  {:<52} new benchmark (no baseline committed yet)", now.id);
+        }
+    }
+    failures
+}
+
+/// A `--ratio NUM_ID,DEN_ID` gate.
+#[derive(Debug, Clone, PartialEq)]
+struct RatioSpec {
+    numerator: String,
+    denominator: String,
+}
+
+impl RatioSpec {
+    fn parse(value: &str) -> Result<Self, String> {
+        match value.split_once(',') {
+            Some((numerator, denominator)) if !numerator.is_empty() && !denominator.is_empty() => {
+                Ok(RatioSpec {
+                    numerator: numerator.to_string(),
+                    denominator: denominator.to_string(),
+                })
+            }
+            _ => Err(format!("--ratio needs NUM_ID,DEN_ID, not `{value}`")),
+        }
+    }
+}
+
+fn median_of(records: &[Record], id: &str, side: &str) -> Result<f64, String> {
+    records
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.median_ns)
+        .ok_or_else(|| format!("ratio gate: id `{id}` missing from {side} results"))
+}
+
+/// Compares the machine-independent ratio gates; returns the number of
+/// failures.
+fn compare_ratios(
+    baseline: &[Record],
+    fresh: &[Record],
+    ratios: &[RatioSpec],
+    max_ratio_regression: f64,
+) -> Result<u32, String> {
+    if ratios.is_empty() {
+        return Ok(0);
+    }
+    let mut failures = 0;
+    println!(
+        "ratio gates (same-run quotients; machine speed cancels, \
+         >{:.0}% loss fails):",
+        100.0 * max_ratio_regression
+    );
+    println!(
+        "  {:<72} {:>9} {:>9} {:>9}  verdict",
+        "numerator / denominator", "baseline", "fresh", "change"
+    );
+    for spec in ratios {
+        let base_ratio = median_of(baseline, &spec.numerator, "baseline")?
+            / median_of(baseline, &spec.denominator, "baseline")?;
+        let fresh_ratio = median_of(fresh, &spec.numerator, "fresh")?
+            / median_of(fresh, &spec.denominator, "fresh")?;
+        // How much of the baseline advantage was lost (a shrinking ratio
+        // means the denominator's relative edge degraded).
+        let regression = 1.0 - fresh_ratio / base_ratio;
+        let ok = regression <= max_ratio_regression;
+        println!(
+            "  {:<72} {:>8.2}x {:>8.2}x {:>+8.1}%  {}",
+            format!("{} / {}", spec.numerator, spec.denominator),
+            base_ratio,
+            fresh_ratio,
+            -100.0 * regression,
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
         }
     }
     Ok(failures)
@@ -123,7 +219,12 @@ fn compare(baseline_path: &str, fresh_path: &str, max_regression: f64) -> Result
 fn run(args: &[String]) -> Result<u32, String> {
     let mut baselines = Vec::new();
     let mut fresh = Vec::new();
+    let mut ratios = Vec::new();
     let mut max_regression: f64 = std::env::var("BENCH_CHECK_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let mut max_ratio_regression: f64 = std::env::var("BENCH_CHECK_MAX_RATIO_REGRESSION")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.25);
@@ -135,10 +236,16 @@ fn run(args: &[String]) -> Result<u32, String> {
         match flag.as_str() {
             "--baseline" => baselines.push(value.clone()),
             "--fresh" => fresh.push(value.clone()),
+            "--ratio" => ratios.push(RatioSpec::parse(value)?),
             "--max-regression" => {
                 max_regression = value
                     .parse()
                     .map_err(|_| "--max-regression needs a number".to_string())?;
+            }
+            "--max-ratio-regression" => {
+                max_ratio_regression = value
+                    .parse()
+                    .map_err(|_| "--max-ratio-regression needs a number".to_string())?;
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -151,9 +258,16 @@ fn run(args: &[String]) -> Result<u32, String> {
         100.0 * max_regression
     );
     let mut failures = 0;
-    for (baseline, fresh) in baselines.iter().zip(&fresh) {
-        failures += compare(baseline, fresh, max_regression)?;
+    let mut all_baseline = Vec::new();
+    let mut all_fresh = Vec::new();
+    for (baseline_path, fresh_path) in baselines.iter().zip(&fresh) {
+        let baseline = load(baseline_path)?;
+        let fresh = load(fresh_path)?;
+        failures += compare(baseline_path, &baseline, fresh_path, &fresh, max_regression);
+        all_baseline.extend(baseline);
+        all_fresh.extend(fresh);
     }
+    failures += compare_ratios(&all_baseline, &all_fresh, &ratios, max_ratio_regression)?;
     Ok(failures)
 }
 
@@ -195,6 +309,50 @@ mod tests {
         assert!(parse_records("[]", "empty").is_err());
         assert!(parse_records("[{\"median_ns\": 1.0}]", "no-id").is_err());
         assert!(parse_records("[{\"id\": \"x\"}]", "no-median").is_err());
+    }
+
+    fn record(id: &str, median_ns: f64) -> Record {
+        Record {
+            id: id.into(),
+            median_ns,
+        }
+    }
+
+    #[test]
+    fn ratio_specs_parse() {
+        let spec = RatioSpec::parse("g/slow,g/fast").unwrap();
+        assert_eq!(spec.numerator, "g/slow");
+        assert_eq!(spec.denominator, "g/fast");
+        assert!(RatioSpec::parse("no-comma").is_err());
+        assert!(RatioSpec::parse(",half").is_err());
+        assert!(RatioSpec::parse("half,").is_err());
+    }
+
+    #[test]
+    fn ratio_gate_is_machine_independent() {
+        let spec = RatioSpec::parse("g/slow,g/fast").unwrap();
+        // Baseline: slow path is 8x the fast path.
+        let baseline = vec![record("g/slow", 8000.0), record("g/fast", 1000.0)];
+        // A machine 3x slower overall keeps the ratio: passes.
+        let scaled = vec![record("g/slow", 24000.0), record("g/fast", 3000.0)];
+        assert_eq!(
+            compare_ratios(&baseline, &scaled, std::slice::from_ref(&spec), 0.25).unwrap(),
+            0
+        );
+        // The fast path losing its edge (8x -> 4x = 50% ratio loss): fails.
+        let degraded = vec![record("g/slow", 8000.0), record("g/fast", 2000.0)];
+        assert_eq!(
+            compare_ratios(&baseline, &degraded, std::slice::from_ref(&spec), 0.25).unwrap(),
+            1
+        );
+        // The fast path getting faster (8x -> 16x) never fails.
+        let improved = vec![record("g/slow", 8000.0), record("g/fast", 500.0)];
+        assert_eq!(
+            compare_ratios(&baseline, &improved, std::slice::from_ref(&spec), 0.25).unwrap(),
+            0
+        );
+        // Missing ids are configuration errors, not passes.
+        assert!(compare_ratios(&baseline, &[record("g/slow", 1.0)], &[spec], 0.25).is_err());
     }
 
     #[test]

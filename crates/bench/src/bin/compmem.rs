@@ -1,16 +1,21 @@
-//! The `compmem` command-line tool: record, replay and sweep traces.
+//! The `compmem` command-line tool: record, replay, profile and sweep
+//! traces. The worked end-to-end session lives in `docs/CLI.md`.
 //!
 //! Usage:
 //!
 //! ```text
-//! compmem record  --app jpeg_canny|mpeg2 [--scale paper|small|tiny]
-//!                 [--org shared|way-partitioned|profiling] --out FILE
-//! compmem replay  --trace FILE [--org ORG] [--l2-kb N] [--ways N]
-//!                 [--policy lru|fifo|tree-plru|random]
-//! compmem sweep   --trace FILE [--l2-kb N[,N...]] [--ways N]
-//! compmem profile --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
-//!                 [--solve exact-ilp|greedy|equal-split]
-//! compmem info    --trace FILE
+//! compmem record       --app jpeg_canny|mpeg2 [--scale paper|small|tiny]
+//!                      [--org shared|way-partitioned|profiling] --out FILE
+//! compmem replay       --trace FILE [--org ORG] [--l2-kb N] [--ways N]
+//!                      [--policy lru|fifo|tree-plru|random]
+//! compmem sweep        --trace FILE [--l2-kb N[,N...]] [--ways N]
+//! compmem profile      --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
+//!                      [--solve exact-ilp|greedy|equal-split]
+//!                      [--windows N | --window-cycles N] [--phases DELTA]
+//!                      [--save-curves auto|off|PATH]
+//! compmem sweep-shapes --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
+//!                      [--check-replay on|off] [--save-curves auto|off|PATH]
+//! compmem info         --trace FILE
 //! ```
 //!
 //! `record` executes an application live on the discrete-event simulator
@@ -20,26 +25,46 @@
 //! the cache statistics are bit-identical to the live run. `sweep` replays
 //! one trace over the organisations (shared, set-partitioned equal-split,
 //! way-partitioned) at one or more L2 sizes, which is the record-once /
-//! sweep-many workflow the subsystem exists for. `profile` runs the
-//! single-pass stack-distance profiler over a recorded trace: one pass
-//! yields every entity's exact miss count at every partition size of the
-//! lattice — the `m_i(S_k)` inputs of the paper's optimiser — and the
-//! partition sizing the chosen solver derives from them.
+//! sweep-many workflow the subsystem exists for.
+//!
+//! `profile` runs the single-pass stack-distance profiler over a recorded
+//! trace: one pass yields every entity's exact miss count at every
+//! partition size of the lattice — the `m_i(S_k)` inputs of the paper's
+//! optimiser — and the partition sizing the chosen solver derives from
+//! them. With `--windows` (L2-bound accesses per window) or
+//! `--window-cycles` the pass is phase-aware: `--phases DELTA` segments
+//! the windows at curve-delta boundaries and re-runs the solver per
+//! phase. Measured curves are persisted in a `.curves` sidecar next to
+//! the trace (`--save-curves`, default `auto`); a later invocation with
+//! the same configuration loads the sidecar and skips the L1 filter pass
+//! entirely.
+//!
+//! `sweep-shapes` evaluates the analytic L2 size × associativity sweep
+//! from one set of curves — the exact shared-cache miss count at every
+//! power-of-two shape within the resolution, with **no replay per
+//! shape**; `--check-replay on` replays every shape anyway and verifies
+//! the analytic numbers point for point. `info` prints a trace's version,
+//! summary counters, embedded region table and sidecar status.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use compmem::experiment::{
-    allocation_problem_for_table, run_replay, Experiment, RunOutcome, ScenarioSpec,
+    allocation_problem_for_table, phase_allocations_for_table, run_replay,
+    sweep_shapes_from_curves, Experiment, RunOutcome, ScenarioSpec,
 };
 use compmem::{CoreError, OptimizerKind};
 use compmem_bench::{jpeg_canny_experiment, mpeg2_experiment, Scale};
 use compmem_cache::{
     CacheConfig, CacheSizeLattice, CurveResolution, OrganizationSpec, PartitionKey, PartitionMap,
-    ReplacementPolicy, WayAllocation,
+    ReplacementPolicy, WayAllocation, WindowConfig, WindowedCurves,
 };
-use compmem_platform::{profile_trace, PlatformConfig, PreparedTrace};
-use compmem_trace::{EncodedTrace, RegionTable};
+use compmem_platform::{
+    profile_trace_windowed, profile_trace_with_sidecar, PlatformConfig, PreparedTrace,
+    SidecarOutcome,
+};
+use compmem_trace::{curves::sidecar_path, EncodedCurves, EncodedTrace, RegionTable};
 use compmem_workloads::apps::Application;
 
 fn usage() {
@@ -49,7 +74,11 @@ fn usage() {
          [--org ORG] [--l2-kb N] [--ways N] [--policy lru|fifo|tree-plru|random]\n  \
          compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N]\n  \
          compmem profile --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
-         [--solve exact-ilp|greedy|equal-split]\n  compmem info --trace FILE"
+         [--solve exact-ilp|greedy|equal-split] [--windows N | --window-cycles N] \
+         [--phases DELTA] [--save-curves auto|off|PATH]\n  \
+         compmem sweep-shapes --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
+         [--check-replay on|off] [--save-curves auto|off|PATH]\n  \
+         compmem info --trace FILE"
     );
 }
 
@@ -64,6 +93,7 @@ fn main() -> ExitCode {
         "replay" => replay(&args[1..]),
         "sweep" => sweep(&args[1..]),
         "profile" => profile(&args[1..]),
+        "sweep-shapes" => sweep_shapes(&args[1..]),
         "info" => info(&args[1..]),
         "--help" | "-h" | "help" => {
             usage();
@@ -160,10 +190,99 @@ fn record_with<F: Fn() -> Application>(
 }
 
 fn load_trace(flags: &[(String, String)]) -> Result<Arc<PreparedTrace>, String> {
+    load_trace_with_path(flags).map(|(trace, _)| trace)
+}
+
+fn load_trace_with_path(
+    flags: &[(String, String)],
+) -> Result<(Arc<PreparedTrace>, PathBuf), String> {
     let path = get(flags, "trace").ok_or("missing --trace FILE")?;
     EncodedTrace::read_from(path)
-        .map(|trace| Arc::new(PreparedTrace::from(trace)))
+        .map(|trace| (Arc::new(PreparedTrace::from(trace)), PathBuf::from(path)))
         .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Resolves the `--save-curves` policy: `None` disables persistence,
+/// otherwise the sidecar path to use. The `auto` default keys the path
+/// on the window configuration (`TRACE.curves` for whole-run,
+/// `TRACE.wN.curves` / `TRACE.cyN.curves` for windowed passes), so a
+/// windowed profile and a whole-run `sweep-shapes` each keep their own
+/// persisted curves instead of rewriting a shared file back and forth.
+fn save_curves_path(
+    flags: &[(String, String)],
+    trace_path: &Path,
+    window: WindowConfig,
+) -> Result<Option<PathBuf>, String> {
+    match get(flags, "save-curves").unwrap_or("auto") {
+        "off" => Ok(None),
+        "auto" => Ok(Some(match window.kind {
+            compmem_cache::WindowKind::WholeRun => sidecar_path(trace_path),
+            compmem_cache::WindowKind::Accesses => {
+                trace_path.with_extension(format!("w{}.curves", window.length))
+            }
+            compmem_cache::WindowKind::Cycles => {
+                trace_path.with_extension(format!("cy{}.curves", window.length))
+            }
+        })),
+        custom if !custom.is_empty() => Ok(Some(PathBuf::from(custom))),
+        _ => Err("--save-curves needs auto, off or a file path".to_string()),
+    }
+}
+
+/// The window configuration of a profiling invocation (`--windows` /
+/// `--window-cycles`; default: one whole-run window).
+fn window_config(flags: &[(String, String)]) -> Result<WindowConfig, String> {
+    match (get(flags, "windows"), get(flags, "window-cycles")) {
+        (Some(_), Some(_)) => Err("--windows and --window-cycles are exclusive".to_string()),
+        (Some(n), None) => {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| "--windows needs a number".to_string())?;
+            WindowConfig::accesses(n).map_err(|e| e.to_string())
+        }
+        (None, Some(n)) => {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| "--window-cycles needs a number".to_string())?;
+            WindowConfig::cycles(n).map_err(|e| e.to_string())
+        }
+        (None, None) => Ok(WindowConfig::whole_run()),
+    }
+}
+
+/// Profiles a trace, reusing or writing the sidecar as configured, and
+/// narrates what happened with the persistence layer.
+fn profile_with_policy(
+    platform: &PlatformConfig,
+    trace: &PreparedTrace,
+    resolution: CurveResolution,
+    window: WindowConfig,
+    sidecar: Option<&Path>,
+) -> Result<WindowedCurves, String> {
+    match sidecar {
+        None => {
+            profile_trace_windowed(platform, trace, resolution, window).map_err(|e| e.to_string())
+        }
+        Some(path) => {
+            let (windowed, outcome) =
+                profile_trace_with_sidecar(platform, trace, resolution, window, path)
+                    .map_err(|e| e.to_string())?;
+            match outcome {
+                SidecarOutcome::Reused => println!(
+                    "reusing persisted curves from {} (L1 filter pass skipped)",
+                    path.display()
+                ),
+                SidecarOutcome::Written => {
+                    println!("wrote curve sidecar {}", path.display());
+                }
+                SidecarOutcome::Rewritten { reason } => println!(
+                    "sidecar {} was unusable ({reason}); re-profiled and rewrote it",
+                    path.display()
+                ),
+            }
+            Ok(windowed)
+        }
+    }
 }
 
 fn l2_config(flags: &[(String, String)]) -> Result<CacheConfig, String> {
@@ -312,7 +431,7 @@ fn sweep(args: &[String]) -> Result<(), String> {
 
 fn profile(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let trace = load_trace(&flags)?;
+    let (trace, trace_path) = load_trace_with_path(&flags)?;
     let l2 = l2_config(&flags)?;
     let geometry = l2.geometry();
     let sets_per_unit: u32 = get(&flags, "sets-per-unit")
@@ -328,24 +447,76 @@ fn profile(args: &[String]) -> Result<(), String> {
         "equal-split" => OptimizerKind::EqualSplit,
         other => return Err(format!("unknown solver `{other}`")),
     };
+    let window = window_config(&flags)?;
+    let sidecar = save_curves_path(&flags, &trace_path, window)?;
+    // Validate before the (potentially expensive) profiling pass.
+    let phase_threshold: Option<f64> = get(&flags, "phases")
+        .map(|t| {
+            t.parse()
+                .map_err(|_| "--phases needs a curve-delta threshold".to_string())
+        })
+        .transpose()?;
 
     let platform = PlatformConfig::default();
-    let curves = profile_trace(&platform, &trace, resolution).map_err(|e| e.to_string())?;
+    let windowed = profile_with_policy(&platform, &trace, resolution, window, sidecar.as_deref())?;
+    let curves = &windowed.total;
     let profiles = curves
         .to_profiles(&lattice, geometry.ways())
         .map_err(|e| e.to_string())?;
 
-    let l2_bound: u64 = curves.curves.values().map(|c| c.accesses).sum();
     println!(
         "profiled {} recorded accesses ({} L2-bound after the L1 filter) in one pass",
         trace.accesses(),
-        l2_bound
+        curves.accesses()
     );
     println!(
         "misses per entity by exclusive partition size ({} sets = {} B per unit):",
         sets_per_unit,
         lattice.unit_bytes(geometry)
     );
+    print_profile_table(&lattice, &profiles);
+
+    let allocation = solve_allocation(trace.table(), &lattice, geometry, profiles, kind)?;
+    println!(
+        "\n{kind} allocation over {} units ({} used, {} predicted misses):",
+        lattice.total_units, allocation.total_units, allocation.predicted_misses
+    );
+    print_allocation_rows(&lattice, &allocation);
+
+    if windowed.windows.len() > 1 {
+        println!(
+            "\n{} windows of {} {}:",
+            windowed.windows.len(),
+            windowed.config.length,
+            match windowed.config.kind {
+                compmem_cache::WindowKind::Accesses => "L2-bound accesses",
+                compmem_cache::WindowKind::Cycles => "cycles",
+                compmem_cache::WindowKind::WholeRun => "whole-run",
+            }
+        );
+        for w in &windowed.windows {
+            println!(
+                "  window {:>3}  cycles {:>10}..{:<10}  {:>8} accesses  missrate {:>6.2}%",
+                w.index,
+                w.start_cycle,
+                w.end_cycle,
+                w.curves.accesses(),
+                100.0
+                    * w.curves
+                        .aggregate
+                        .miss_rate(geometry.sets(), geometry.ways())
+                        .unwrap_or(0.0),
+            );
+        }
+    }
+
+    if let Some(threshold) = phase_threshold {
+        phase_report(&windowed, threshold, &trace, &lattice, geometry, kind)?;
+    }
+    Ok(())
+}
+
+fn print_profile_table(lattice: &CacheSizeLattice, profiles: &compmem::MissProfiles) {
     print!("{:<16} {:>10}", "entity", "accesses");
     for &units in &lattice.candidate_units {
         print!(" {:>9}", format!("{units}u"));
@@ -358,13 +529,20 @@ fn profile(args: &[String]) -> Result<(), String> {
         }
         println!();
     }
+}
 
-    let problem = allocation_problem_for_table(trace.table(), &lattice, geometry, profiles.clone());
-    let allocation = compmem::optimizer::solve(&problem, kind).map_err(|e| e.to_string())?;
-    println!(
-        "\n{kind} allocation over {} units ({} used, {} predicted misses):",
-        lattice.total_units, allocation.total_units, allocation.predicted_misses
-    );
+fn solve_allocation(
+    table: &RegionTable,
+    lattice: &CacheSizeLattice,
+    geometry: compmem_cache::CacheGeometry,
+    profiles: compmem::MissProfiles,
+    kind: OptimizerKind,
+) -> Result<compmem::Allocation, String> {
+    let problem = allocation_problem_for_table(table, lattice, geometry, profiles);
+    compmem::optimizer::solve(&problem, kind).map_err(|e| e.to_string())
+}
+
+fn print_allocation_rows(lattice: &CacheSizeLattice, allocation: &compmem::Allocation) {
     for (key, &units) in allocation.iter() {
         println!(
             "  {:<16} {:>4} units = {:>5} sets",
@@ -373,24 +551,180 @@ fn profile(args: &[String]) -> Result<(), String> {
             lattice.sets_of(units)
         );
     }
+}
+
+/// Detects phases in a windowed profile and re-runs the solver per phase
+/// (through the same [`phase_allocations_for_table`] flow the library's
+/// `Experiment::phase_allocations` uses).
+fn phase_report(
+    windowed: &WindowedCurves,
+    threshold: f64,
+    trace: &PreparedTrace,
+    lattice: &CacheSizeLattice,
+    geometry: compmem_cache::CacheGeometry,
+    kind: OptimizerKind,
+) -> Result<(), String> {
+    let plan =
+        phase_allocations_for_table(windowed, threshold, trace.table(), lattice, geometry, kind)
+            .map_err(|e| e.to_string())?;
+    println!(
+        "\n{} phase(s) at curve-delta threshold {threshold} \
+         (allocations re-solved per phase):",
+        plan.phases.len()
+    );
+    for (i, phase) in plan.phases.iter().enumerate() {
+        println!(
+            "phase {i}: windows {}..={} (cycles {}..{}), {} accesses, \
+             {} predicted misses:",
+            phase.first_window,
+            phase.last_window,
+            phase.start_cycle,
+            phase.end_cycle,
+            phase.accesses,
+            phase.allocation.predicted_misses
+        );
+        print_allocation_rows(lattice, &phase.allocation);
+    }
+    Ok(())
+}
+
+fn sweep_shapes(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (trace, trace_path) = load_trace_with_path(&flags)?;
+    let l2 = l2_config(&flags)?;
+    let geometry = l2.geometry();
+    let sets_per_unit: u32 = get(&flags, "sets-per-unit")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
+    let resolution =
+        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
+    let check_replay = match get(&flags, "check-replay").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--check-replay needs on or off, not `{other}`")),
+    };
+    let sidecar = save_curves_path(&flags, &trace_path, WindowConfig::whole_run())?;
+
+    let platform = PlatformConfig::default();
+    let windowed = profile_with_policy(
+        &platform,
+        &trace,
+        resolution,
+        WindowConfig::whole_run(),
+        sidecar.as_deref(),
+    )?;
+    let sweep = sweep_shapes_from_curves(&windowed.total);
+
+    println!(
+        "analytic shape sweep from one pass over {} L2-bound accesses \
+         ({} shapes, no replay per shape):",
+        sweep.accesses,
+        sweep.points.len()
+    );
+    // Each row is a set count; total capacity at a cell is
+    // sets x ways x 64 B, i.e. the row's per-way size times the column's
+    // way count.
+    let ways = sweep.way_counts();
+    print!("{:<10} {:>10}", "L2 sets", "way size");
+    for w in &ways {
+        print!(" {:>12}", format!("{w}-way misses"));
+    }
+    println!();
+    for sets in sweep.set_counts() {
+        let way_bytes = u64::from(sets) * 64;
+        let way_size = if way_bytes >= 1024 {
+            format!("{} KB", way_bytes / 1024)
+        } else {
+            format!("{way_bytes} B")
+        };
+        print!("{sets:<10} {way_size:>10}");
+        for &w in &ways {
+            let point = sweep.point(sets, w).expect("sweep covers the grid");
+            print!(" {:>12}", point.misses);
+        }
+        println!();
+    }
+
+    if check_replay {
+        verify_sweep_against_replay(&platform, &trace, &sweep)?;
+        println!(
+            "replay cross-check: all {} shapes match the analytic sweep exactly",
+            sweep.points.len()
+        );
+    }
+    Ok(())
+}
+
+/// Replays the trace at every shape of the sweep and verifies the
+/// analytic miss counts point for point.
+fn verify_sweep_against_replay(
+    platform: &PlatformConfig,
+    trace: &Arc<PreparedTrace>,
+    sweep: &compmem::experiment::ShapeSweep,
+) -> Result<(), String> {
+    for point in &sweep.points {
+        let l2 = CacheConfig::new(point.sets, point.ways).map_err(|e| e.to_string())?;
+        let spec = ScenarioSpec::replay(l2, OrganizationSpec::Shared, Arc::clone(trace));
+        let outcome = run_replay(platform, &spec).map_err(|e| e.to_string())?;
+        if outcome.report.l2.misses != point.misses {
+            return Err(format!(
+                "analytic sweep diverged from replay at {} sets x {} ways: \
+                 analytic {} misses, replay {}",
+                point.sets, point.ways, point.misses, outcome.report.l2.misses
+            ));
+        }
+    }
     Ok(())
 }
 
 fn info(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let trace = load_trace(&flags)?;
+    let (trace, trace_path) = load_trace_with_path(&flags)?;
     let summary = trace.summary();
     println!(
-        "{} accesses in {} runs on {} processors; {} bytes ({:.2} bytes/access)",
+        "trace IR version {} ({} processors), content hash {:016x}",
+        trace.trace().version(),
+        summary.processors,
+        trace.trace().content_hash()
+    );
+    println!(
+        "{} accesses in {} runs; {} bytes ({:.2} bytes/access)",
         summary.accesses,
         summary.runs,
-        summary.processors,
         summary.encoded_bytes,
         summary.bytes_per_access()
     );
-    println!("{} regions:", trace.table().len());
+    // The embedded region table is the identity the codec validates every
+    // DEF_REGION record against — print it in full (index, name, kind,
+    // address range, size) so corrupt-trace errors can be acted on.
+    println!("embedded region table ({} regions):", trace.table().len());
     for region in trace.table().iter() {
-        println!("  {region}");
+        println!("  [{}] {region}", region.id.index());
+    }
+    let sidecar = sidecar_path(&trace_path);
+    match EncodedCurves::read_from(&sidecar) {
+        Ok(curves) => {
+            let header = curves.header();
+            let matches = curves.validate_for_trace(trace.trace().bytes()).is_ok();
+            println!(
+                "curve sidecar {}: {} window(s), sets {}..={}, up to {} ways — {}",
+                sidecar.display(),
+                curves.windows().len(),
+                header.min_sets,
+                header.max_sets,
+                header.ways_cap,
+                if matches {
+                    "matches this trace"
+                } else {
+                    "STALE (recorded over different trace bytes)"
+                }
+            );
+        }
+        Err(compmem_trace::CodecError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("curve sidecar {}: not present", sidecar.display());
+        }
+        Err(e) => println!("curve sidecar {}: unusable ({e})", sidecar.display()),
     }
     Ok(())
 }

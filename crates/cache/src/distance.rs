@@ -55,13 +55,47 @@
 //!
 //! Cold misses are tracked once per key (first touch of a line misses at
 //! every size simultaneously), mirroring the per-shadow cold accounting.
+//!
+//! # The aggregate curve
+//!
+//! Besides the per-key curves the profiler maintains one **aggregate**
+//! curve over the whole L2-bound stream, with every key folded into one
+//! set of stacks. Its [`MissRateCurve::misses`] at shape `(S, W)` is the
+//! exact miss count a *shared* `S`-set, `W`-way LRU L2 incurs over the
+//! same stream — so one pass also answers the "what if the whole L2 were
+//! shape X" question analytically, for every resolved shape at once.
+//! That is what `Experiment::sweep_shapes` evaluates (and what the parity
+//! test cross-checks against a replay per shape). Because every line
+//! belongs to exactly one region (regions are line-aligned) and every
+//! region to exactly one key, the aggregate's cold count is the per-key
+//! cold count of the access's key — the aggregate rides the same
+//! first-touch test.
+//!
+//! # Windowed profiling
+//!
+//! Multimedia workloads are phasic: a whole-run curve averages away phase
+//! shifts the partition optimizer could exploit. A [`WindowedProfiler`]
+//! wraps the profiler and emits a [`MissRateCurves`] snapshot per
+//! fixed-size window ([`WindowConfig`]: a number of L2-bound accesses or
+//! a number of cycles). Windows are *differences of cumulative
+//! snapshots*, so stacks are **not** reset at boundaries — a window's
+//! curve counts the misses its accesses contribute given everything
+//! already resident — and summing all windows reconstructs the whole-run
+//! curve exactly (a property test asserts this). The
+//! [`WindowedCurves::phases`] detector then merges consecutive windows
+//! whose curve delta (see [`curve_delta`]) stays under a threshold, so
+//! `Experiment` can re-run the optimizer per phase.
 
 use std::collections::{BTreeMap, HashSet};
 use std::hash::BuildHasherDefault;
 
 use serde::{Deserialize, Serialize};
 
-use compmem_trace::{Access, LineAddr, RegionTable};
+use compmem_trace::curves::{
+    CurveEntry, CurveHeader, EncodedCurves, SidecarKey, SidecarWindow, SidecarWindowKind,
+    WindowRecord,
+};
+use compmem_trace::{Access, CodecError, LineAddr, RegionTable};
 
 use crate::cache::LineAddrHasher;
 use crate::error::CacheError;
@@ -235,18 +269,95 @@ impl MissRateCurve {
         }
         Ok(misses as f64 / self.accesses as f64)
     }
+
+    /// An all-zero curve of the given resolution (the identity of
+    /// [`absorb`](MissRateCurve::absorb)).
+    pub fn zero(resolution: &CurveResolution) -> Self {
+        MissRateCurve {
+            accesses: 0,
+            cold: 0,
+            min_sets: resolution.min_sets,
+            ways_cap: resolution.ways_cap,
+            level_histograms: vec![vec![0; resolution.ways_cap as usize + 1]; resolution.levels()],
+        }
+    }
+
+    /// The counter-wise difference `self - earlier` of two *cumulative*
+    /// snapshots of the same profiling pass (the per-window curve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curves have different shapes or `earlier` is not a
+    /// prefix of `self` — cumulative counters never decrease, so that is
+    /// a programming error, not an input condition.
+    fn minus(&self, earlier: &MissRateCurve) -> MissRateCurve {
+        assert_eq!(self.min_sets, earlier.min_sets);
+        assert_eq!(self.ways_cap, earlier.ways_cap);
+        assert_eq!(self.level_histograms.len(), earlier.level_histograms.len());
+        MissRateCurve {
+            accesses: self.accesses - earlier.accesses,
+            cold: self.cold - earlier.cold,
+            min_sets: self.min_sets,
+            ways_cap: self.ways_cap,
+            level_histograms: self
+                .level_histograms
+                .iter()
+                .zip(&earlier.level_histograms)
+                .map(|(now, then)| now.iter().zip(then).map(|(n, t)| n - t).collect())
+                .collect(),
+        }
+    }
+
+    /// Adds another curve's counters into this one (merging windows into
+    /// phases, or reconstructing the whole run from its windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curves have different shapes (a programming error:
+    /// all curves of one pass share the pass's resolution).
+    pub fn absorb(&mut self, other: &MissRateCurve) {
+        assert_eq!(self.min_sets, other.min_sets);
+        assert_eq!(self.ways_cap, other.ways_cap);
+        assert_eq!(self.level_histograms.len(), other.level_histograms.len());
+        self.accesses += other.accesses;
+        self.cold += other.cold;
+        for (mine, theirs) in self
+            .level_histograms
+            .iter_mut()
+            .zip(&other.level_histograms)
+        {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+    }
 }
 
-/// The miss-rate curves of every partition key observed during a pass.
+/// The miss-rate curves of every partition key observed during a pass,
+/// plus the aggregate curve of the whole stream.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MissRateCurves {
     /// Per-key curves.
     pub curves: BTreeMap<PartitionKey, MissRateCurve>,
+    /// The curve of the whole L2-bound stream with every key folded into
+    /// one set of stacks: its [`misses`](MissRateCurve::misses) at
+    /// `(sets, ways)` is the exact miss count of a **shared** LRU L2 of
+    /// that shape over the profiled stream (the analytic shape sweep).
+    pub aggregate: MissRateCurve,
     /// The resolution of the pass.
     pub resolution: CurveResolution,
 }
 
 impl MissRateCurves {
+    /// An empty curve set at the given resolution.
+    pub fn empty(resolution: CurveResolution) -> Self {
+        MissRateCurves {
+            curves: BTreeMap::new(),
+            aggregate: MissRateCurve::zero(&resolution),
+            resolution,
+        }
+    }
+
     /// Curve of one key, if it generated any traffic.
     pub fn curve(&self, key: PartitionKey) -> Option<&MissRateCurve> {
         self.curves.get(&key)
@@ -255,6 +366,72 @@ impl MissRateCurves {
     /// All keys with a curve, in deterministic order.
     pub fn keys(&self) -> Vec<PartitionKey> {
         self.curves.keys().copied().collect()
+    }
+
+    /// Total accesses of the profiled stream.
+    pub fn accesses(&self) -> u64 {
+        self.aggregate.accesses
+    }
+
+    /// The exact number of misses a **shared** `sets`-set, `ways`-way LRU
+    /// L2 incurs over the profiled stream (the analytic shape sweep; see
+    /// [`MissRateCurves::aggregate`]).
+    ///
+    /// ```
+    /// use compmem_cache::{CurveResolution, StackDistanceProfiler};
+    /// use compmem_trace::{Access, RegionId, RegionKind, RegionTable, TaskId};
+    ///
+    /// # fn main() -> Result<(), compmem_cache::CacheError> {
+    /// let mut regions = RegionTable::new();
+    /// let task = TaskId::new(0);
+    /// regions.insert("t0.data", RegionKind::TaskData { task }, 32 * 64).unwrap();
+    /// let base = regions.regions()[0].base;
+    /// let mut profiler =
+    ///     StackDistanceProfiler::new(CurveResolution::new(1, 8, 4)?, &regions);
+    /// // Sweep 24 lines twice: the second round only hits where the
+    /// // shape is big enough to hold the working set.
+    /// for round in 0..2u64 {
+    ///     for line in 0..24u64 {
+    ///         profiler.observe(&Access::load(
+    ///             base.offset(line * 64), 4, task, RegionId::new(0)));
+    ///     }
+    ///     let _ = round;
+    /// }
+    /// let curves = profiler.into_curves();
+    /// // One pass answers every resolved shape of a *shared* L2. A
+    /// // 8-set, 4-way cache holds all 24 lines: only the cold misses.
+    /// assert_eq!(curves.shared_misses(8, 4)?, 24);
+    /// assert_eq!(curves.shared_misses(8, 4)?, curves.aggregate.misses(8, 4)?);
+    /// // A 1-set, 1-way cache thrashes: every access misses.
+    /// assert_eq!(curves.shared_misses(1, 1)?, 48);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::CurveOutOfRange`] if the shape is outside
+    /// the profiled resolution.
+    pub fn shared_misses(&self, sets: u32, ways: u32) -> Result<u64, CacheError> {
+        self.aggregate.misses(sets, ways)
+    }
+
+    /// Adds another curve set's counters into this one (merging windows
+    /// into phases). Keys absent on either side are treated as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolutions differ (a programming error: all curves
+    /// of one pass share the pass's resolution).
+    pub fn absorb(&mut self, other: &MissRateCurves) {
+        assert_eq!(self.resolution, other.resolution);
+        for (key, curve) in &other.curves {
+            self.curves
+                .entry(*key)
+                .or_insert_with(|| MissRateCurve::zero(&self.resolution))
+                .absorb(curve);
+        }
+        self.aggregate.absorb(&other.aggregate);
     }
 
     /// Converts the curves into the [`MissProfiles`] of a lattice: for
@@ -384,6 +561,11 @@ pub struct StackDistanceProfiler {
     /// lookup is one array index — no keyed map on the hot path.
     region_slots: Vec<usize>,
     states: Vec<(PartitionKey, KeyState)>,
+    /// The aggregate stacks with every key folded together (see the
+    /// module docs): the shared-L2 shape sweep. Its `seen` set stays
+    /// empty — cold misses ride the per-key first-touch test, because a
+    /// line belongs to exactly one region and hence exactly one key.
+    aggregate: KeyState,
 }
 
 /// Sentinel in [`StackDistanceProfiler::region_slots`] for a region whose
@@ -402,6 +584,7 @@ impl StackDistanceProfiler {
             region_slots: vec![UNTOUCHED; region_keys.len()],
             region_keys,
             states: Vec::new(),
+            aggregate: KeyState::new(&resolution),
         }
     }
 
@@ -412,7 +595,8 @@ impl StackDistanceProfiler {
 
     /// Total accesses observed so far.
     pub fn accesses(&self) -> u64 {
-        self.states.iter().map(|(_, s)| s.accesses).sum()
+        // The aggregate sees every access of every key.
+        self.aggregate.accesses
     }
 
     /// Observes one access of the L2-bound stream.
@@ -458,6 +642,15 @@ impl StackDistanceProfiler {
         for bank in &mut state.levels {
             bank.observe(line, ways_cap, cold);
         }
+        // The aggregate stacks see every access of every key; a line's
+        // first touch under its key is also its first touch overall.
+        self.aggregate.accesses += 1;
+        if cold {
+            self.aggregate.cold += 1;
+        }
+        for bank in &mut self.aggregate.levels {
+            bank.observe(line, ways_cap, cold);
+        }
     }
 
     /// Observes a run of accesses in order.
@@ -470,28 +663,681 @@ impl StackDistanceProfiler {
     /// Extracts the measured curves.
     pub fn into_curves(self) -> MissRateCurves {
         let resolution = self.resolution;
+        let curve_of = |state: KeyState| MissRateCurve {
+            accesses: state.accesses,
+            cold: state.cold,
+            min_sets: resolution.min_sets,
+            ways_cap: resolution.ways_cap,
+            level_histograms: state
+                .levels
+                .into_iter()
+                .map(|bank| bank.histogram)
+                .collect(),
+        };
         let curves = self
             .states
             .into_iter()
-            .map(|(key, state)| {
-                (
-                    key,
-                    MissRateCurve {
-                        accesses: state.accesses,
-                        cold: state.cold,
-                        min_sets: resolution.min_sets,
-                        ways_cap: resolution.ways_cap,
-                        level_histograms: state
-                            .levels
-                            .into_iter()
-                            .map(|bank| bank.histogram)
-                            .collect(),
-                    },
-                )
+            .map(|(key, state)| (key, curve_of(state)))
+            .collect();
+        MissRateCurves {
+            curves,
+            aggregate: curve_of(self.aggregate),
+            resolution,
+        }
+    }
+
+    /// Clones the curves accumulated so far without consuming the
+    /// profiler — the cumulative snapshot the windowed profiler
+    /// differences at every window boundary.
+    pub fn snapshot_curves(&self) -> MissRateCurves {
+        let resolution = self.resolution;
+        let curve_of = |state: &KeyState| MissRateCurve {
+            accesses: state.accesses,
+            cold: state.cold,
+            min_sets: resolution.min_sets,
+            ways_cap: resolution.ways_cap,
+            level_histograms: state
+                .levels
+                .iter()
+                .map(|bank| bank.histogram.clone())
+                .collect(),
+        };
+        MissRateCurves {
+            curves: self
+                .states
+                .iter()
+                .map(|(key, state)| (*key, curve_of(state)))
+                .collect(),
+            aggregate: curve_of(&self.aggregate),
+            resolution,
+        }
+    }
+}
+
+// ----- windowed profiling -----
+
+/// How a profiling pass slices the access stream into windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// One window covering the whole run (no slicing).
+    WholeRun,
+    /// A fixed number of L2-bound accesses per window.
+    Accesses,
+    /// A fixed number of cycles per window. Boundaries lie on a fixed
+    /// grid anchored at the first observed cycle and advance
+    /// monotonically with the *observed* cycle sequence; empty grid
+    /// cells are skipped. Multiprocessor streams are only approximately
+    /// chronological (a processor's chunk can run ahead of a peer's
+    /// clock), so an access observed after the grid advanced joins the
+    /// current window even if its cycle is slightly earlier — window
+    /// cycle ranges report the min/max cycle actually observed and may
+    /// overlap across windows by up to that interleaving skew.
+    Cycles,
+}
+
+/// The window configuration of a profiling pass.
+///
+/// ```
+/// use compmem_cache::{WindowConfig, WindowKind};
+/// let w = WindowConfig::accesses(4096)?;
+/// assert_eq!((w.kind, w.length), (WindowKind::Accesses, 4096));
+/// assert!(WindowConfig::cycles(0).is_err());
+/// assert_eq!(WindowConfig::whole_run().kind, WindowKind::WholeRun);
+/// # Ok::<(), compmem_cache::CacheError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// How windows are delimited.
+    pub kind: WindowKind,
+    /// Window length in the kind's unit (0 for [`WindowKind::WholeRun`]).
+    pub length: u64,
+}
+
+impl WindowConfig {
+    /// The whole-run (single window) configuration.
+    pub fn whole_run() -> Self {
+        WindowConfig {
+            kind: WindowKind::WholeRun,
+            length: 0,
+        }
+    }
+
+    /// A window of `length` L2-bound accesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidWindow`] if `length` is zero.
+    pub fn accesses(length: u64) -> Result<Self, CacheError> {
+        if length == 0 {
+            return Err(CacheError::InvalidWindow { length });
+        }
+        Ok(WindowConfig {
+            kind: WindowKind::Accesses,
+            length,
+        })
+    }
+
+    /// A window of `length` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidWindow`] if `length` is zero.
+    pub fn cycles(length: u64) -> Result<Self, CacheError> {
+        if length == 0 {
+            return Err(CacheError::InvalidWindow { length });
+        }
+        Ok(WindowConfig {
+            kind: WindowKind::Cycles,
+            length,
+        })
+    }
+
+    /// The sidecar encoding of this configuration.
+    pub fn to_sidecar(self) -> SidecarWindow {
+        SidecarWindow {
+            kind: match self.kind {
+                WindowKind::WholeRun => SidecarWindowKind::WholeRun,
+                WindowKind::Accesses => SidecarWindowKind::Accesses,
+                WindowKind::Cycles => SidecarWindowKind::Cycles,
+            },
+            length: self.length,
+        }
+    }
+
+    /// Decodes a sidecar window configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidWindow`] for a zero-length windowed
+    /// configuration (the sidecar codec rejects those too).
+    pub fn from_sidecar(window: SidecarWindow) -> Result<Self, CacheError> {
+        match window.kind {
+            SidecarWindowKind::WholeRun => Ok(Self::whole_run()),
+            SidecarWindowKind::Accesses => Self::accesses(window.length),
+            SidecarWindowKind::Cycles => Self::cycles(window.length),
+        }
+    }
+}
+
+/// One profiling window: the curves its accesses contributed.
+///
+/// Windows are differences of cumulative profiler snapshots (stacks are
+/// not reset at boundaries), so `curves` counts the misses of the
+/// window's accesses *given everything already resident* — and summing
+/// all windows of a pass reconstructs the whole-run curves exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveWindow {
+    /// Zero-based window index.
+    pub index: usize,
+    /// Cycle (or access ordinal, for feeds without a clock) of the first
+    /// access in the window.
+    pub start_cycle: u64,
+    /// Cycle (or access ordinal) of the last access in the window.
+    pub end_cycle: u64,
+    /// The curves of every key active in the window (zero-traffic keys
+    /// are dropped), plus the window's aggregate.
+    pub curves: MissRateCurves,
+}
+
+/// A maximal run of consecutive windows whose curves stay within the
+/// phase threshold of each other.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// First member window (index into [`WindowedCurves::windows`]).
+    pub first_window: usize,
+    /// Last member window (inclusive).
+    pub last_window: usize,
+    /// Start cycle of the first member window.
+    pub start_cycle: u64,
+    /// End cycle of the last member window.
+    pub end_cycle: u64,
+    /// The merged curves of the member windows.
+    pub curves: MissRateCurves,
+}
+
+impl Phase {
+    /// Number of member windows.
+    pub fn window_count(&self) -> usize {
+        self.last_window - self.first_window + 1
+    }
+}
+
+/// Normalised distance between two windows' curves, in `[0, 2]`.
+///
+/// The distance is the sum of two `[0, 1]` terms:
+///
+/// * **mix** — the total-variation distance between the windows' per-key
+///   access shares (which keys are generating traffic, and how much);
+/// * **behaviour** — the access-share-weighted mean absolute difference
+///   of per-key miss rates over every resolved shape (how each key's
+///   curve moved).
+///
+/// A key absent from a window contributes zero share and zero miss rate
+/// there, so keys appearing or disappearing register in both terms.
+/// Windows with no traffic at all are at distance 0 from each other.
+///
+/// # Panics
+///
+/// Panics if the curve sets were profiled at different resolutions — a
+/// programming error, as with [`MissRateCurves::absorb`]: all windows of
+/// one pass share the pass's resolution, and comparing curves across
+/// resolutions has no well-defined shape grid.
+pub fn curve_delta(a: &MissRateCurves, b: &MissRateCurves) -> f64 {
+    assert_eq!(
+        a.resolution, b.resolution,
+        "curve_delta compares curves of one profiling resolution"
+    );
+    let total_a = a.aggregate.accesses as f64;
+    let total_b = b.aggregate.accesses as f64;
+    if total_a == 0.0 && total_b == 0.0 {
+        return 0.0;
+    }
+    let resolution = a.resolution;
+    let shapes: Vec<(u32, u32)> = (0..resolution.levels())
+        .flat_map(|level| {
+            let sets = resolution.min_sets << level;
+            (1..=resolution.ways_cap).map(move |ways| (sets, ways))
+        })
+        .collect();
+    let share = |curve: Option<&MissRateCurve>, total: f64| {
+        curve.map_or(0.0, |c| {
+            if total == 0.0 {
+                0.0
+            } else {
+                c.accesses as f64 / total
+            }
+        })
+    };
+    let rate = |curve: Option<&MissRateCurve>, sets: u32, ways: u32| {
+        curve.map_or(0.0, |c| c.miss_rate(sets, ways).unwrap_or(0.0))
+    };
+    let mut mix = 0.0;
+    let mut behaviour = 0.0;
+    let combined = total_a + total_b;
+    let keys: std::collections::BTreeSet<PartitionKey> =
+        a.curves.keys().chain(b.curves.keys()).copied().collect();
+    for key in keys {
+        let ca = a.curves.get(&key);
+        let cb = b.curves.get(&key);
+        let sa = share(ca, total_a);
+        let sb = share(cb, total_b);
+        mix += (sa - sb).abs() / 2.0;
+        let weight =
+            (ca.map_or(0, |c| c.accesses) + cb.map_or(0, |c| c.accesses)) as f64 / combined;
+        let mut diff = 0.0;
+        for &(sets, ways) in &shapes {
+            diff += (rate(ca, sets, ways) - rate(cb, sets, ways)).abs();
+        }
+        behaviour += weight * diff / shapes.len() as f64;
+    }
+    mix + behaviour
+}
+
+/// A [`StackDistanceProfiler`] that additionally snapshots a
+/// [`MissRateCurves`] per fixed-size window.
+///
+/// Feed it with [`observe_at`](WindowedProfiler::observe_at) when the
+/// stream carries cycles (trace records, live taps) or plain
+/// [`observe`](WindowedProfiler::observe) otherwise (the access ordinal
+/// then stands in for the clock), and extract the result with
+/// [`finish`](WindowedProfiler::finish).
+///
+/// ```
+/// use compmem_cache::{CurveResolution, WindowConfig, WindowedProfiler};
+/// use compmem_trace::{Access, Addr, RegionId, RegionKind, RegionTable, TaskId};
+///
+/// # fn main() -> Result<(), compmem_cache::CacheError> {
+/// let mut regions = RegionTable::new();
+/// let task = TaskId::new(0);
+/// regions.insert("t0.data", RegionKind::TaskData { task }, 64 * 64).unwrap();
+/// let resolution = CurveResolution::new(4, 16, 2)?;
+/// let mut profiler = WindowedProfiler::new(
+///     WindowConfig::accesses(50)?, resolution, &regions);
+/// let base = regions.regions()[0].base;
+/// for i in 0..120u64 {
+///     profiler.observe(&Access::load(base.offset(i % 64 * 64), 4, task, RegionId::new(0)));
+/// }
+/// let windowed = profiler.finish();
+/// // 120 accesses in 50-access windows: 50 + 50 + a 20-access tail.
+/// assert_eq!(windowed.windows.len(), 3);
+/// assert_eq!(windowed.total.accesses(), 120);
+/// // Summing the windows reconstructs the whole-run curves exactly.
+/// assert_eq!(windowed.reconstruct_total(), windowed.total);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct WindowedProfiler {
+    profiler: StackDistanceProfiler,
+    config: WindowConfig,
+    windows: Vec<CurveWindow>,
+    /// Cumulative snapshot at the last window boundary.
+    previous: MissRateCurves,
+    /// Accesses observed in the current window.
+    window_accesses: u64,
+    /// Cycle grid anchor of the current window ([`WindowKind::Cycles`]).
+    grid_start: u64,
+    /// First and last cycle observed in the current window.
+    first_cycle: u64,
+    last_cycle: u64,
+    /// Total accesses observed (the pseudo-clock of plain `observe`).
+    observed: u64,
+}
+
+impl WindowedProfiler {
+    /// Creates a windowed profiler.
+    pub fn new(config: WindowConfig, resolution: CurveResolution, regions: &RegionTable) -> Self {
+        WindowedProfiler {
+            profiler: StackDistanceProfiler::new(resolution, regions),
+            previous: MissRateCurves::empty(resolution),
+            config,
+            windows: Vec::new(),
+            window_accesses: 0,
+            grid_start: 0,
+            first_cycle: 0,
+            last_cycle: 0,
+            observed: 0,
+        }
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// The resolution of the pass.
+    pub fn resolution(&self) -> CurveResolution {
+        self.profiler.resolution()
+    }
+
+    /// Total accesses observed so far.
+    pub fn accesses(&self) -> u64 {
+        self.observed
+    }
+
+    /// Observes one access of the L2-bound stream, issued at `cycle`.
+    ///
+    /// A cycle-windowed pass closes the current window before observing
+    /// an access that lies past the window's grid boundary. Cycles are
+    /// expected to be (approximately) non-decreasing; an access whose
+    /// cycle regresses — multiprocessor interleavings produce bounded
+    /// regressions — simply joins the current window and widens its
+    /// reported cycle range (see [`WindowKind::Cycles`]).
+    ///
+    /// # Panics
+    ///
+    /// As for [`StackDistanceProfiler::observe`] (a region outside the
+    /// profiler's table is a programming error).
+    pub fn observe_at(&mut self, cycle: u64, access: &Access) {
+        if self.config.kind == WindowKind::Cycles {
+            if self.window_accesses == 0 {
+                // First access of a window anchors (or re-anchors) the
+                // grid cell it falls into.
+                if self.windows.is_empty() && self.observed == 0 {
+                    self.grid_start = cycle;
+                } else if cycle >= self.grid_start + self.config.length {
+                    let cells = (cycle - self.grid_start) / self.config.length;
+                    self.grid_start += cells * self.config.length;
+                }
+            } else if cycle >= self.grid_start + self.config.length {
+                self.close_window();
+                let cells = (cycle - self.grid_start) / self.config.length;
+                self.grid_start += cells * self.config.length;
+            }
+        }
+        if self.window_accesses == 0 {
+            self.first_cycle = cycle;
+            self.last_cycle = cycle;
+        } else {
+            // Multiprocessor feeds may observe slightly out-of-order
+            // cycles; report the true min/max of the window.
+            self.first_cycle = self.first_cycle.min(cycle);
+            self.last_cycle = self.last_cycle.max(cycle);
+        }
+        self.profiler.observe(access);
+        self.observed += 1;
+        self.window_accesses += 1;
+        if self.config.kind == WindowKind::Accesses && self.window_accesses == self.config.length {
+            self.close_window();
+        }
+    }
+
+    /// Observes one access, using the running access ordinal as the
+    /// clock (exact for access-count windows; for cycle windows this
+    /// degrades to counting accesses).
+    pub fn observe(&mut self, access: &Access) {
+        self.observe_at(self.observed, access);
+    }
+
+    fn close_window(&mut self) {
+        if self.window_accesses == 0 {
+            return;
+        }
+        let cumulative = self.profiler.snapshot_curves();
+        let resolution = self.previous.resolution;
+        let mut curves: BTreeMap<PartitionKey, MissRateCurve> = BTreeMap::new();
+        for (key, curve) in &cumulative.curves {
+            let delta = match self.previous.curves.get(key) {
+                Some(earlier) => curve.minus(earlier),
+                None => curve.clone(),
+            };
+            if delta.accesses > 0 {
+                curves.insert(*key, delta);
+            }
+        }
+        let aggregate = cumulative.aggregate.minus(&self.previous.aggregate);
+        self.windows.push(CurveWindow {
+            index: self.windows.len(),
+            start_cycle: self.first_cycle,
+            end_cycle: self.last_cycle,
+            curves: MissRateCurves {
+                curves,
+                aggregate,
+                resolution,
+            },
+        });
+        self.previous = cumulative;
+        self.window_accesses = 0;
+    }
+
+    /// Closes the trailing window and extracts the windowed curves.
+    pub fn finish(mut self) -> WindowedCurves {
+        self.close_window();
+        let config = self.config;
+        let windows = std::mem::take(&mut self.windows);
+        let total = self.profiler.into_curves();
+        WindowedCurves {
+            config,
+            resolution: total.resolution,
+            windows,
+            total,
+        }
+    }
+}
+
+/// The result of a windowed profiling pass: per-window curves plus the
+/// exact whole-run curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedCurves {
+    /// The window configuration of the pass.
+    pub config: WindowConfig,
+    /// The resolution of the pass.
+    pub resolution: CurveResolution,
+    /// The emitted windows, in stream order.
+    pub windows: Vec<CurveWindow>,
+    /// The whole-run curves (identical to what an unwindowed pass over
+    /// the same stream measures).
+    pub total: MissRateCurves,
+}
+
+impl WindowedCurves {
+    /// Sums the windows back into whole-run curves — by construction
+    /// equal to [`total`](WindowedCurves::total); exposed so tests (and a
+    /// property test) can assert the windowed/whole-run consistency
+    /// invariant.
+    pub fn reconstruct_total(&self) -> MissRateCurves {
+        let mut sum = MissRateCurves::empty(self.resolution);
+        for window in &self.windows {
+            sum.absorb(&window.curves);
+        }
+        sum
+    }
+
+    /// Merges an inclusive window range into one curve set (the curves
+    /// of a phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn merged(&self, first: usize, last: usize) -> MissRateCurves {
+        assert!(first <= last && last < self.windows.len());
+        let mut sum = MissRateCurves::empty(self.resolution);
+        for window in &self.windows[first..=last] {
+            sum.absorb(&window.curves);
+        }
+        sum
+    }
+
+    /// Segments the windows into phases: consecutive windows whose
+    /// [`curve_delta`] stays `<= threshold` merge into one phase; a
+    /// window farther than that from its predecessor opens a new phase.
+    ///
+    /// A threshold of `0.10` separates clearly distinct phases while
+    /// tolerating sampling noise; the whole-run pass (one window) always
+    /// yields exactly one phase.
+    pub fn phases(&self, threshold: f64) -> Vec<Phase> {
+        let mut phases: Vec<Phase> = Vec::new();
+        let mut boundaries: Vec<usize> = vec![0];
+        for (i, pair) in self.windows.windows(2).enumerate() {
+            if curve_delta(&pair[0].curves, &pair[1].curves) > threshold {
+                boundaries.push(i + 1);
+            }
+        }
+        if self.windows.is_empty() {
+            return phases;
+        }
+        boundaries.push(self.windows.len());
+        for pair in boundaries.windows(2) {
+            let (first, last) = (pair[0], pair[1] - 1);
+            phases.push(Phase {
+                first_window: first,
+                last_window: last,
+                start_cycle: self.windows[first].start_cycle,
+                end_cycle: self.windows[last].end_cycle,
+                curves: self.merged(first, last),
+            });
+        }
+        phases
+    }
+
+    // ----- sidecar bridge -----
+
+    /// Encodes the windowed curves as a sidecar for the trace whose
+    /// encoded bytes hash to `trace_hash` (see
+    /// [`compmem_trace::curves::trace_content_hash`]).
+    ///
+    /// `l1_signature` identifies the L1 filter configuration the curves
+    /// were measured behind (the L2-bound stream depends on it; pass 0
+    /// for streams fed to the profiler directly). The profiling layer
+    /// computes it — see `compmem-platform`'s `l1_filter_signature`.
+    ///
+    /// The encoding is lossless and deterministic:
+    /// [`from_sidecar`](WindowedCurves::from_sidecar) restores an equal
+    /// value, and equal values produce identical bytes.
+    pub fn to_sidecar(&self, trace_hash: u64, l1_signature: u64) -> EncodedCurves {
+        let header = CurveHeader {
+            trace_hash,
+            l1_signature,
+            min_sets: self.resolution.min_sets,
+            max_sets: self.resolution.max_sets,
+            ways_cap: self.resolution.ways_cap,
+            window: self.config.to_sidecar(),
+        };
+        let windows = self
+            .windows
+            .iter()
+            .map(|window| WindowRecord {
+                index: window.index as u64,
+                start_cycle: window.start_cycle,
+                end_cycle: window.end_cycle,
+                entries: entries_of(&window.curves),
             })
             .collect();
-        MissRateCurves { curves, resolution }
+        EncodedCurves::from_parts(header, windows, entries_of(&self.total))
     }
+
+    /// Decodes a sidecar back into windowed curves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] if the sidecar's resolution or
+    /// curve shapes are semantically invalid (the byte-level checks
+    /// already ran when `encoded` was parsed).
+    pub fn from_sidecar(encoded: &EncodedCurves) -> Result<Self, CodecError> {
+        let header = encoded.header();
+        let resolution = CurveResolution::new(header.min_sets, header.max_sets, header.ways_cap)
+            .map_err(|_| CodecError::Corrupt {
+                reason: "sidecar resolution is not a valid curve resolution",
+            })?;
+        let config =
+            WindowConfig::from_sidecar(header.window).map_err(|_| CodecError::Corrupt {
+                reason: "sidecar window configuration is invalid",
+            })?;
+        let windows = encoded
+            .windows()
+            .iter()
+            .map(|record| {
+                Ok(CurveWindow {
+                    index: record.index as usize,
+                    start_cycle: record.start_cycle,
+                    end_cycle: record.end_cycle,
+                    curves: curves_of(&record.entries, resolution)?,
+                })
+            })
+            .collect::<Result<Vec<_>, CodecError>>()?;
+        Ok(WindowedCurves {
+            config,
+            resolution,
+            windows,
+            total: curves_of(encoded.total(), resolution)?,
+        })
+    }
+}
+
+fn sidecar_key(key: PartitionKey) -> SidecarKey {
+    match key {
+        PartitionKey::Task(task) => SidecarKey::Task(task),
+        PartitionKey::Buffer(buffer) => SidecarKey::Buffer(buffer),
+        PartitionKey::AppData => SidecarKey::AppData,
+        PartitionKey::AppBss => SidecarKey::AppBss,
+        PartitionKey::RtData => SidecarKey::RtData,
+        PartitionKey::RtBss => SidecarKey::RtBss,
+    }
+}
+
+fn entry_of(key: SidecarKey, curve: &MissRateCurve) -> CurveEntry {
+    CurveEntry {
+        key,
+        accesses: curve.accesses,
+        cold: curve.cold,
+        level_histograms: curve.level_histograms.clone(),
+    }
+}
+
+/// Flattens a curve set into sorted sidecar entries ([`SidecarKey`]
+/// orders the aggregate first, then keys in [`PartitionKey`] order).
+fn entries_of(curves: &MissRateCurves) -> Vec<CurveEntry> {
+    let mut entries = Vec::with_capacity(curves.curves.len() + 1);
+    entries.push(entry_of(SidecarKey::Aggregate, &curves.aggregate));
+    for (key, curve) in &curves.curves {
+        entries.push(entry_of(sidecar_key(*key), curve));
+    }
+    entries
+}
+
+/// Rebuilds a curve set from sidecar entries.
+fn curves_of(
+    entries: &[CurveEntry],
+    resolution: CurveResolution,
+) -> Result<MissRateCurves, CodecError> {
+    let mut curves = BTreeMap::new();
+    let mut aggregate = None;
+    for entry in entries {
+        let curve = MissRateCurve {
+            accesses: entry.accesses,
+            cold: entry.cold,
+            min_sets: resolution.min_sets,
+            ways_cap: resolution.ways_cap,
+            level_histograms: entry.level_histograms.clone(),
+        };
+        let key = match entry.key {
+            SidecarKey::Aggregate => {
+                aggregate = Some(curve);
+                continue;
+            }
+            SidecarKey::Task(task) => PartitionKey::Task(task),
+            SidecarKey::Buffer(buffer) => PartitionKey::Buffer(buffer),
+            SidecarKey::AppData => PartitionKey::AppData,
+            SidecarKey::AppBss => PartitionKey::AppBss,
+            SidecarKey::RtData => PartitionKey::RtData,
+            SidecarKey::RtBss => PartitionKey::RtBss,
+        };
+        curves.insert(key, curve);
+    }
+    let aggregate = match aggregate {
+        Some(aggregate) => aggregate,
+        None if entries.is_empty() => MissRateCurve::zero(&resolution),
+        None => {
+            return Err(CodecError::Corrupt {
+                reason: "sidecar curve set lacks the aggregate curve",
+            })
+        }
+    };
+    Ok(MissRateCurves {
+        curves,
+        aggregate,
+        resolution,
+    })
 }
 
 #[cfg(test)]
@@ -692,6 +1538,179 @@ mod tests {
         let geometry = CacheGeometry::new(2048, 4).unwrap();
         let wide = CacheSizeLattice::new(geometry, 16);
         assert!(curves.to_profiles(&wide, 4).is_err());
+    }
+
+    #[test]
+    fn aggregate_curve_predicts_the_shared_cache_at_every_shape() {
+        // The aggregate curve's misses at (S, W) must equal a shared
+        // S-set, W-way LRU cache run over the same mixed-key stream —
+        // the exactness claim behind the analytic shape sweep.
+        let regions = region_table();
+        let accesses = scrambled_accesses(&regions, 12_000);
+        let resolution = CurveResolution::new(16, 256, 4).unwrap();
+        let mut profiler = StackDistanceProfiler::new(resolution, &regions);
+        profiler.observe_all(&accesses);
+        let curves = profiler.into_curves();
+        assert_eq!(curves.accesses(), accesses.len() as u64);
+
+        for sets in [16u32, 32, 64, 128, 256] {
+            for ways in [1u32, 2, 4] {
+                let mut cache =
+                    crate::cache::SetAssocCache::new(CacheConfig::new(sets, ways).unwrap());
+                for a in &accesses {
+                    let index = (a.addr.line().value() % u64::from(sets)) as u32;
+                    cache.access_at(index, u64::MAX, a);
+                }
+                assert_eq!(
+                    curves.shared_misses(sets, ways).unwrap(),
+                    cache.stats().misses,
+                    "sets={sets} ways={ways}"
+                );
+            }
+        }
+        // Per-key curves do NOT sum to the aggregate in general: the
+        // aggregate carries the inter-key interference a shared cache
+        // sees and an exclusive partition does not.
+        let summed: u64 = curves
+            .curves
+            .values()
+            .map(|c| c.misses(64, 4).unwrap())
+            .sum();
+        assert!(summed <= curves.shared_misses(64, 4).unwrap());
+    }
+
+    #[test]
+    fn windows_partition_the_run_and_sum_back_to_it() {
+        let regions = region_table();
+        let accesses = scrambled_accesses(&regions, 5_000);
+        let resolution = CurveResolution::new(16, 64, 4).unwrap();
+
+        let mut whole = StackDistanceProfiler::new(resolution, &regions);
+        whole.observe_all(&accesses);
+        let whole = whole.into_curves();
+
+        let mut windowed =
+            WindowedProfiler::new(WindowConfig::accesses(700).unwrap(), resolution, &regions);
+        for a in &accesses {
+            windowed.observe(a);
+        }
+        let windowed = windowed.finish();
+
+        // 5000 accesses in 700-access windows: 7 full + a 100-access tail.
+        assert_eq!(windowed.windows.len(), 8);
+        let per_window: Vec<u64> = windowed
+            .windows
+            .iter()
+            .map(|w| w.curves.accesses())
+            .collect();
+        assert_eq!(per_window[..7], [700; 7]);
+        assert_eq!(per_window[7], 100);
+        // Consistency invariant: per-window counts sum to the whole run,
+        // and the whole-run curves are unchanged by windowing.
+        assert_eq!(per_window.iter().sum::<u64>(), accesses.len() as u64);
+        assert_eq!(windowed.total, whole);
+        assert_eq!(windowed.reconstruct_total(), whole);
+        // Window cycle ranges tile the access ordinals.
+        assert_eq!(windowed.windows[0].start_cycle, 0);
+        assert_eq!(windowed.windows[0].end_cycle, 699);
+        assert_eq!(windowed.windows[7].start_cycle, 4900);
+    }
+
+    #[test]
+    fn cycle_windows_follow_the_grid_and_skip_empty_cells() {
+        let regions = region_table();
+        let base = regions.region(RegionId::new(0)).base;
+        let resolution = CurveResolution::new(16, 64, 4).unwrap();
+        let mut profiler =
+            WindowedProfiler::new(WindowConfig::cycles(100).unwrap(), resolution, &regions);
+        let access =
+            |line: u64| Access::load(base.offset(line * 64), 4, TaskId::new(0), RegionId::new(0));
+        // Two accesses in cell [1000, 1100), a long idle gap, one in
+        // [1750, 1850) — the empty cells in between produce no windows.
+        profiler.observe_at(1000, &access(0));
+        profiler.observe_at(1099, &access(1));
+        profiler.observe_at(1750, &access(2));
+        let windowed = profiler.finish();
+        assert_eq!(windowed.windows.len(), 2);
+        assert_eq!(windowed.windows[0].start_cycle, 1000);
+        assert_eq!(windowed.windows[0].end_cycle, 1099);
+        assert_eq!(windowed.windows[0].curves.accesses(), 2);
+        assert_eq!(windowed.windows[1].start_cycle, 1750);
+        assert_eq!(windowed.windows[1].curves.accesses(), 1);
+        assert_eq!(windowed.total.accesses(), 3);
+    }
+
+    #[test]
+    fn phase_detector_splits_a_two_phase_stream() {
+        // Phase A: task 0 loops over a tiny working set (hits in any
+        // shape). Phase B: task 1 strides over a huge set (misses in
+        // every shape). The curve delta at the A→B boundary is large.
+        let regions = region_table();
+        let resolution = CurveResolution::new(16, 64, 4).unwrap();
+        let mut profiler =
+            WindowedProfiler::new(WindowConfig::accesses(500).unwrap(), resolution, &regions);
+        let base0 = regions.region(RegionId::new(0)).base;
+        let base1 = regions.region(RegionId::new(1)).base;
+        for i in 0..2000u64 {
+            profiler.observe(&Access::load(
+                base0.offset(i % 8 * 64),
+                4,
+                TaskId::new(0),
+                RegionId::new(0),
+            ));
+        }
+        for i in 0..2000u64 {
+            profiler.observe(&Access::load(
+                base1.offset(i * 64 % (512 * 1024)),
+                4,
+                TaskId::new(1),
+                RegionId::new(1),
+            ));
+        }
+        let windowed = profiler.finish();
+        assert_eq!(windowed.windows.len(), 8);
+        let phases = windowed.phases(0.1);
+        assert_eq!(phases.len(), 2, "one boundary at the workload switch");
+        assert_eq!(phases[0].first_window, 0);
+        assert_eq!(phases[0].last_window, 3);
+        assert_eq!(phases[1].first_window, 4);
+        assert_eq!(phases[1].last_window, 7);
+        assert_eq!(phases[0].window_count(), 4);
+        // Phase curves merge their member windows.
+        assert_eq!(phases[0].curves.accesses(), 2000);
+        assert_eq!(phases[1].curves.accesses(), 2000);
+        assert!(phases[0]
+            .curves
+            .curve(PartitionKey::Task(TaskId::new(1)))
+            .is_none());
+        // A sky-high threshold keeps everything in one phase.
+        assert_eq!(windowed.phases(10.0).len(), 1);
+        // The delta between the two phases' curves is itself large.
+        assert!(curve_delta(&phases[0].curves, &phases[1].curves) > 0.5);
+    }
+
+    #[test]
+    fn sidecar_roundtrip_is_lossless_and_deterministic() {
+        let regions = region_table();
+        let accesses = scrambled_accesses(&regions, 3_000);
+        let resolution = CurveResolution::new(16, 64, 4).unwrap();
+        let mut profiler =
+            WindowedProfiler::new(WindowConfig::accesses(800).unwrap(), resolution, &regions);
+        for a in &accesses {
+            profiler.observe(a);
+        }
+        let windowed = profiler.finish();
+
+        let encoded = windowed.to_sidecar(0x1234, 0x5678);
+        let bytes = encoded.to_bytes().unwrap();
+        let back = WindowedCurves::from_sidecar(
+            &compmem_trace::EncodedCurves::from_bytes(&bytes).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, windowed);
+        // Re-encoding the decoded value reproduces the bytes exactly —
+        // the "byte-identical curves on reuse" guarantee.
+        assert_eq!(back.to_sidecar(0x1234, 0x5678).to_bytes().unwrap(), bytes);
     }
 
     #[test]

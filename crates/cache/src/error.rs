@@ -50,6 +50,11 @@ pub enum CacheError {
     },
     /// A partitioned organisation was requested over an empty key set.
     NoPartitionKeys,
+    /// A profiling window configuration was invalid (zero length).
+    InvalidWindow {
+        /// The offending window length.
+        length: u64,
+    },
     /// A miss-rate curve was asked about a cache shape outside the
     /// resolution it was profiled at.
     CurveOutOfRange {
@@ -104,6 +109,12 @@ impl fmt::Display for CacheError {
                 write!(
                     f,
                     "a partitioned organisation needs at least one partition key"
+                )
+            }
+            CacheError::InvalidWindow { length } => {
+                write!(
+                    f,
+                    "profiling window length of {length} is invalid (must be > 0)"
                 )
             }
             CacheError::CurveOutOfRange {

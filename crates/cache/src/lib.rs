@@ -36,6 +36,10 @@
 //!   of the four organisations; [`OrganizationSpec::build`] produces the
 //!   `Box<dyn CacheModel>` a run executes against.
 //!
+//! (The workspace-level architecture guide — layers, dataflow, the
+//! one-pass profiling invariant — lives in `docs/ARCHITECTURE.md`; the
+//! CLI walkthrough in `docs/CLI.md`.)
+//!
 //! # Example
 //!
 //! ```
@@ -74,7 +78,10 @@ mod way_partition;
 
 pub use cache::{AccessOutcome, EvictedLine, SetAssocCache};
 pub use config::CacheConfig;
-pub use distance::{CurveResolution, MissRateCurve, MissRateCurves, StackDistanceProfiler};
+pub use distance::{
+    curve_delta, CurveResolution, CurveWindow, MissRateCurve, MissRateCurves, Phase,
+    StackDistanceProfiler, WindowConfig, WindowKind, WindowedCurves, WindowedProfiler,
+};
 pub use error::CacheError;
 pub use geometry::CacheGeometry;
 pub use model::{CacheModel, CacheSnapshot, SharedCache};

@@ -55,10 +55,11 @@ use serde::{Deserialize, Serialize};
 use compmem_cache::{
     CacheConfig, CacheModel, CacheSnapshot, CurveResolution, KeyStats, MissRateCurves,
     OrganizationSpec, PartitionKey, PartitionMap, ProfilingCache, StackDistanceProfiler,
-    WayAllocation,
+    WayAllocation, WindowConfig, WindowedCurves, WindowedProfiler,
 };
 use compmem_platform::{
     PlatformConfig, PreparedTrace, ReplaySystem, System, SystemReport, TapProfiler,
+    WindowedTapProfiler,
 };
 use compmem_trace::{EncodedTrace, RegionKind, RegionTable, TraceWriter};
 
@@ -428,6 +429,195 @@ pub fn allocation_problem_for_table(
     }
 }
 
+/// One point of the analytic L2 shape sweep: a candidate `(sets, ways)`
+/// shape and the exact shared-cache misses the profiled stream would
+/// incur on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapePoint {
+    /// Number of sets of the candidate L2.
+    pub sets: u32,
+    /// Associativity of the candidate L2.
+    pub ways: u32,
+    /// Capacity of the candidate L2 in bytes.
+    pub size_bytes: u64,
+    /// Exact misses of a shared LRU L2 of this shape over the profiled
+    /// stream.
+    pub misses: u64,
+    /// Miss rate over the profiled (L2-bound) accesses.
+    pub miss_rate: f64,
+}
+
+/// The analytic L2 size × associativity sweep evaluated from one
+/// [`MissRateCurves`] — no replay per shape.
+///
+/// Every power-of-two set count within the curves' resolution is crossed
+/// with every power-of-two associativity up to the resolution's cap; the
+/// miss count at each point comes from the aggregate curve's Mattson
+/// suffix sums ([`MissRateCurves::shared_misses`]) and is **exact**, not
+/// a model: the parity test replays the trace at every shape and asserts
+/// equality point for point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeSweep {
+    /// L2-bound accesses of the profiled stream (constant across shapes).
+    pub accesses: u64,
+    /// One point per resolved shape, sets-major, ascending.
+    pub points: Vec<ShapePoint>,
+}
+
+impl ShapeSweep {
+    /// The point at one shape, if resolved.
+    pub fn point(&self, sets: u32, ways: u32) -> Option<&ShapePoint> {
+        self.points
+            .iter()
+            .find(|p| p.sets == sets && p.ways == ways)
+    }
+
+    /// The distinct set counts of the sweep, ascending.
+    pub fn set_counts(&self) -> Vec<u32> {
+        let mut sets: Vec<u32> = self.points.iter().map(|p| p.sets).collect();
+        sets.dedup();
+        sets
+    }
+
+    /// The distinct associativities of the sweep, ascending.
+    pub fn way_counts(&self) -> Vec<u32> {
+        let mut ways: Vec<u32> = self.points.iter().map(|p| p.ways).collect();
+        ways.sort_unstable();
+        ways.dedup();
+        ways
+    }
+}
+
+/// Evaluates the analytic shape sweep from one set of curves (the
+/// factory-free core of [`Experiment::sweep_shapes`], usable with curves
+/// profiled from a recorded trace — the `compmem sweep-shapes` CLI does
+/// exactly that).
+pub fn sweep_shapes_from_curves(curves: &MissRateCurves) -> ShapeSweep {
+    let resolution = curves.resolution;
+    let accesses = curves.accesses();
+    let mut points = Vec::new();
+    let mut sets = resolution.min_sets;
+    while sets <= resolution.max_sets {
+        let mut ways = 1u32;
+        while ways <= resolution.ways_cap {
+            let misses = curves
+                .shared_misses(sets, ways)
+                .expect("shape drawn from the curves' own resolution");
+            points.push(ShapePoint {
+                sets,
+                ways,
+                size_bytes: u64::from(sets) * u64::from(ways) * compmem_trace::LINE_SIZE_BYTES,
+                misses,
+                miss_rate: if accesses == 0 {
+                    0.0
+                } else {
+                    misses as f64 / accesses as f64
+                },
+            });
+            ways *= 2;
+        }
+        sets = sets.saturating_mul(2);
+        if sets == 0 {
+            break;
+        }
+    }
+    ShapeSweep { accesses, points }
+}
+
+/// Segments a windowed profiling pass into phases and sizes the
+/// partitions once per phase plus once for the whole run — the
+/// factory-free core of [`Experiment::phase_allocations`], usable with
+/// curves profiled from a recorded trace (the `compmem profile
+/// --phases` CLI does exactly that).
+///
+/// # Errors
+///
+/// Propagates optimizer and curve-conversion errors.
+pub fn phase_allocations_for_table(
+    windowed: &WindowedCurves,
+    threshold: f64,
+    table: &RegionTable,
+    lattice: &CacheSizeLattice,
+    geometry: compmem_cache::CacheGeometry,
+    kind: OptimizerKind,
+) -> Result<PhasePlan, CoreError> {
+    let solve_for = |curves: &MissRateCurves| -> Result<Allocation, CoreError> {
+        let profiles = curves.to_profiles(lattice, geometry.ways())?;
+        let problem = allocation_problem_for_table(table, lattice, geometry, profiles);
+        optimizer::solve(&problem, kind)
+    };
+    let whole_run = solve_for(&windowed.total)?;
+    let mut phases = Vec::new();
+    for phase in windowed.phases(threshold) {
+        phases.push(PhaseAllocation {
+            first_window: phase.first_window,
+            last_window: phase.last_window,
+            start_cycle: phase.start_cycle,
+            end_cycle: phase.end_cycle,
+            accesses: phase.curves.accesses(),
+            allocation: solve_for(&phase.curves)?,
+        });
+    }
+    Ok(PhasePlan {
+        threshold,
+        phases,
+        whole_run,
+    })
+}
+
+/// The partition allocation of one detected phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseAllocation {
+    /// First member window of the phase.
+    pub first_window: usize,
+    /// Last member window (inclusive).
+    pub last_window: usize,
+    /// Start cycle of the phase.
+    pub start_cycle: u64,
+    /// End cycle of the phase.
+    pub end_cycle: u64,
+    /// L2-bound accesses of the phase.
+    pub accesses: u64,
+    /// The optimizer's allocation for the phase's curves.
+    pub allocation: Allocation,
+}
+
+/// Per-phase partition allocations plus the whole-run baseline.
+///
+/// Produced by [`Experiment::phase_allocations`]: the phase-change
+/// detector segments the profiling windows, the optimizer runs once per
+/// phase on that phase's curves, and once on the whole-run curves — the
+/// paper's repartition-per-phase extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePlan {
+    /// The curve-delta threshold the phases were detected with.
+    pub threshold: f64,
+    /// One allocation per phase, in stream order.
+    pub phases: Vec<PhaseAllocation>,
+    /// The allocation the whole-run curves produce (the non-phase-aware
+    /// baseline).
+    pub whole_run: Allocation,
+}
+
+impl PhasePlan {
+    /// Total predicted misses if each phase runs under its own
+    /// allocation.
+    pub fn predicted_misses_per_phase(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.allocation.predicted_misses)
+            .sum()
+    }
+
+    /// Returns `true` if any two phases chose different allocations (the
+    /// signal that repartitioning between phases can pay off).
+    pub fn has_distinct_allocations(&self) -> bool {
+        self.phases
+            .windows(2)
+            .any(|pair| pair[0].allocation.units != pair[1].allocation.units)
+    }
+}
+
 /// An experiment bound to an application factory.
 ///
 /// The factory is invoked once per simulation run (the process network is
@@ -665,6 +855,81 @@ impl<F: Fn() -> Application> Experiment<F> {
             },
             tap.into_curves(),
         ))
+    }
+
+    /// Runs the shared-cache baseline live while a windowed profiler tap
+    /// measures the per-entity miss-rate curves **per window** — the
+    /// phase-aware variant of [`Experiment::profile_curves`].
+    ///
+    /// The returned [`WindowedCurves`] carries one [`MissRateCurves`]
+    /// snapshot per window plus the exact whole-run curves (`total`,
+    /// identical to what `profile_curves` measures); feed it to
+    /// [`Experiment::phase_allocations`] to re-run the optimizer per
+    /// detected phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and workload errors.
+    pub fn profile_curves_windowed(
+        &self,
+        window: WindowConfig,
+    ) -> Result<(RunOutcome, WindowedCurves), CoreError> {
+        let mut app = (self.factory)();
+        let platform = self.platform_for(&app);
+        let l2 = OrganizationSpec::Shared.build(self.config.l2, app.space.table())?;
+        let mut system = System::new(platform, l2, app.mapping.clone())?;
+        let mut tap = WindowedTapProfiler::new(
+            &platform,
+            WindowedProfiler::new(window, self.curve_resolution(), app.space.table()),
+        );
+        let report = system.run_traced(&mut app.network, &mut tap)?;
+        let by_key = by_key_from_regions(app.space.table(), &report);
+        let l2_snapshot = system.into_l2().snapshot();
+        Ok((
+            RunOutcome {
+                report,
+                by_key,
+                l2_snapshot,
+            },
+            tap.into_windows(),
+        ))
+    }
+
+    /// Evaluates the analytic L2 size × associativity sweep from one set
+    /// of measured curves: the exact shared-cache miss count at **every**
+    /// resolved shape, without a replay per shape (see
+    /// [`sweep_shapes_from_curves`]).
+    pub fn sweep_shapes(&self, curves: &MissRateCurves) -> ShapeSweep {
+        sweep_shapes_from_curves(curves)
+    }
+
+    /// Segments a windowed profiling pass into phases and sizes the
+    /// partitions once per phase plus once for the whole run.
+    ///
+    /// `threshold` is the [`curve_delta`](compmem_cache::curve_delta)
+    /// above which consecutive windows belong to different phases (0.10
+    /// is a reasonable default); `table` names the entities and pins the
+    /// FIFOs, exactly as in [`Experiment::build_allocation_problem`].
+    /// Entities generating no traffic during a phase receive the
+    /// optimizer's minimum allocation for that phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer and curve-conversion errors.
+    pub fn phase_allocations(
+        &self,
+        windowed: &WindowedCurves,
+        threshold: f64,
+        table: &RegionTable,
+    ) -> Result<PhasePlan, CoreError> {
+        phase_allocations_for_table(
+            windowed,
+            threshold,
+            table,
+            &self.lattice(),
+            self.config.l2.geometry(),
+            self.config.optimizer,
+        )
     }
 
     /// Runs the shared-cache baseline and measures the per-entity miss
@@ -932,6 +1197,126 @@ mod tests {
         let exact = &allocations[0];
         for other in &allocations[1..] {
             assert!(exact.predicted_misses <= other.predicted_misses);
+        }
+    }
+
+    #[test]
+    fn windowed_profiling_leaves_the_whole_run_curves_unchanged() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let (plain_outcome, plain) = experiment.profile_curves().unwrap();
+        let window = WindowConfig::accesses(2_000).unwrap();
+        let (outcome, windowed) = experiment.profile_curves_windowed(window).unwrap();
+        // Same baseline run, same whole-run curves; windows tile the run.
+        assert_eq!(outcome.report, plain_outcome.report);
+        assert_eq!(windowed.total, plain);
+        assert_eq!(windowed.reconstruct_total(), plain);
+        assert!(windowed.windows.len() > 1, "enough traffic for 2+ windows");
+        let per_window: u64 = windowed.windows.iter().map(|w| w.curves.accesses()).sum();
+        assert_eq!(per_window, plain.accesses());
+    }
+
+    #[test]
+    fn phase_allocations_cover_the_run_and_baseline_matches_run_profiled() {
+        let params = Mpeg2Params::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            mpeg2_app(&params).expect("valid params")
+        });
+        let app = mpeg2_app(&Mpeg2Params::tiny()).unwrap();
+        let window = WindowConfig::accesses(1_500).unwrap();
+        let (_, windowed) = experiment.profile_curves_windowed(window).unwrap();
+        let plan = experiment
+            .phase_allocations(&windowed, 0.1, app.space.table())
+            .unwrap();
+        assert!(!plan.phases.is_empty());
+        // Phases tile the windows without gaps or overlaps.
+        assert_eq!(plan.phases[0].first_window, 0);
+        for pair in plan.phases.windows(2) {
+            assert_eq!(pair[0].last_window + 1, pair[1].first_window);
+        }
+        assert_eq!(
+            plan.phases.last().unwrap().last_window,
+            windowed.windows.len() - 1
+        );
+        let phase_accesses: u64 = plan.phases.iter().map(|p| p.accesses).sum();
+        assert_eq!(phase_accesses, windowed.total.accesses());
+        // Every phase allocation fits the cache.
+        let lattice_units = CacheSizeLattice::new(
+            experiment.config().l2.geometry(),
+            experiment.config().sets_per_unit,
+        )
+        .total_units;
+        for phase in &plan.phases {
+            assert!(phase.allocation.total_units <= lattice_units);
+        }
+        // The whole-run baseline equals the non-windowed paper flow's
+        // allocation.
+        let (_, profiles) = experiment.run_profiled().unwrap();
+        let problem = experiment.build_allocation_problem(app.space.table(), profiles);
+        let reference = optimizer::solve(&problem, experiment.config().optimizer).unwrap();
+        assert_eq!(plan.whole_run.units, reference.units);
+        // Specialising per phase can never predict more misses than the
+        // whole-run allocation applied to every phase.
+        let whole_on_phases: u64 = plan
+            .phases
+            .iter()
+            .map(|p| {
+                let profiles = windowed
+                    .merged(p.first_window, p.last_window)
+                    .to_profiles(
+                        &experiment.lattice(),
+                        experiment.config().l2.geometry().ways(),
+                    )
+                    .unwrap();
+                profiles.total_misses(&plan.whole_run.units)
+            })
+            .sum();
+        assert!(plan.predicted_misses_per_phase() <= whole_on_phases);
+        let _ = plan.has_distinct_allocations();
+    }
+
+    #[test]
+    fn shape_sweep_is_monotone_and_matches_the_curves() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let (_, curves) = experiment.profile_curves().unwrap();
+        let sweep = experiment.sweep_shapes(&curves);
+        let resolution = experiment.curve_resolution();
+        let expected_points = resolution.levels() * (resolution.ways_cap.ilog2() as usize + 1);
+        assert_eq!(sweep.points.len(), expected_points);
+        assert_eq!(sweep.accesses, curves.accesses());
+        for point in &sweep.points {
+            assert_eq!(
+                point.misses,
+                curves.shared_misses(point.sets, point.ways).unwrap()
+            );
+            assert_eq!(
+                point.size_bytes,
+                u64::from(point.sets) * u64::from(point.ways) * 64
+            );
+        }
+        // LRU inclusion: growing either dimension never adds misses.
+        for ways in sweep.way_counts() {
+            let by_sets: Vec<u64> = sweep
+                .points
+                .iter()
+                .filter(|p| p.ways == ways)
+                .map(|p| p.misses)
+                .collect();
+            assert!(by_sets.windows(2).all(|w| w[0] >= w[1]), "ways={ways}");
+        }
+        for sets in sweep.set_counts() {
+            let by_ways: Vec<u64> = sweep
+                .points
+                .iter()
+                .filter(|p| p.sets == sets)
+                .map(|p| p.misses)
+                .collect();
+            assert!(by_ways.windows(2).all(|w| w[0] >= w[1]), "sets={sets}");
         }
     }
 

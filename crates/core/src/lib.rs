@@ -37,6 +37,10 @@
 //!    paper's evaluation (Tables 1–2, Figures 2–3, the headline
 //!    miss-rate/CPI numbers) plus the ablations.
 //!
+//! (The workspace-level architecture guide — layers, dataflow, the
+//! one-pass profiling invariant — lives in `docs/ARCHITECTURE.md`; the
+//! CLI walkthrough in `docs/CLI.md`.)
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -69,5 +73,5 @@ pub use error::CoreError;
 pub use optimizer::{Allocation, AllocationProblem, OptimizerKind};
 pub use profile::{
     CacheSizeLattice, CurveResolution, MissProfile, MissProfiles, MissRateCurve, MissRateCurves,
-    ProfilingCache, StackDistanceProfiler,
+    ProfilingCache, StackDistanceProfiler, WindowConfig, WindowedCurves,
 };

@@ -13,6 +13,7 @@
 //! historical `compmem` paths.
 
 pub use compmem_cache::{
-    CacheSizeLattice, CurveResolution, MissProfile, MissProfiles, MissRateCurve, MissRateCurves,
-    ProfilingCache, StackDistanceProfiler,
+    curve_delta, CacheSizeLattice, CurveResolution, CurveWindow, MissProfile, MissProfiles,
+    MissRateCurve, MissRateCurves, Phase, ProfilingCache, StackDistanceProfiler, WindowConfig,
+    WindowKind, WindowedCurves, WindowedProfiler,
 };

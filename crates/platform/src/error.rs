@@ -48,6 +48,14 @@ pub enum PlatformError {
         /// Rendered message of the codec error.
         message: String,
     },
+    /// A curve sidecar could not be written (the message of the
+    /// underlying [`CodecError`](compmem_trace::CodecError), which is not
+    /// `Clone`). Unreadable or mismatched sidecars are *not* errors — the
+    /// profiling feeds fall back to measuring and rewriting them.
+    SidecarWrite {
+        /// Rendered message of the codec error.
+        message: String,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -79,6 +87,9 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::TraceDecode { message } => {
                 write!(f, "trace decode error: {message}")
+            }
+            PlatformError::SidecarWrite { message } => {
+                write!(f, "curve sidecar write error: {message}")
             }
         }
     }

@@ -38,6 +38,10 @@
 //!   touches the run-time-system data/bss regions, as in the paper's
 //!   experimental set-up where the RT system has its own cache partition.
 //!
+//! (The workspace-level architecture guide — layers, dataflow, the
+//! one-pass profiling invariant — lives in `docs/ARCHITECTURE.md`; the
+//! CLI walkthrough in `docs/CLI.md`.)
+//!
 //! # Example
 //!
 //! ```
@@ -94,7 +98,11 @@ pub use memory::{BurstStats, L1Refill, MemoryLevel, MemorySystem};
 pub use metrics::{ProcessorReport, SystemReport};
 pub use op::{Burst, BurstOutcome, Op, WorkloadDriver};
 pub use processor::ProcessorId;
-pub use profile::{profile_reader, profile_trace, TapProfiler};
+pub use profile::{
+    l1_filter_signature, profile_reader, profile_reader_windowed, profile_trace,
+    profile_trace_windowed, profile_trace_with_sidecar, SidecarOutcome, TapProfiler,
+    WindowedTapProfiler,
+};
 pub use replay::{
     AccessTap, FilteredRun, FilteredTrace, NullTap, PreparedTrace, ReplayCounters, ReplayProcessor,
     ReplaySystem,

@@ -20,12 +20,51 @@
 //!   same order, hence bit-identical) and forwards only the refills to the
 //!   profiler — one live run yields the shared-cache baseline *and* the
 //!   full miss-rate curves, with no trace on disk or in memory.
+//!
+//! # Windowed profiling
+//!
+//! Each feed has a **windowed** sibling producing a
+//! [`WindowedCurves`] — a [`MissRateCurves`] snapshot per fixed-size
+//! window plus the exact whole-run curves — for phase-aware partitioning:
+//! [`profile_trace_windowed`], [`profile_reader_windowed`] and
+//! [`WindowedTapProfiler`]. Access-count windows are exact everywhere.
+//! Cycle-based windows use the real issue cycles for the reader and tap
+//! feeds, but multiprocessor streams are observed in *issue order*, which
+//! is only approximately chronological (a processor's chunk runs ahead of
+//! a peer's clock), so a window can absorb slightly earlier-cycled
+//! accesses from another processor — see
+//! [`WindowKind::Cycles`](compmem_cache::WindowKind) for the boundary
+//! semantics. The prepared-trace feed additionally attributes every
+//! refill of a run to the run's start cycle (runs are short, so that
+//! coarsening is one run long at worst).
+//!
+//! # Persisted curve sidecars
+//!
+//! Profiling a trace pays the L1 filter simulation before the profiler
+//! sees an access, but the curves are a pure function of the trace
+//! bytes, the **L1 filter configuration** (which L2-bound stream the
+//! trace reduces to) and the profiling resolution/window configuration.
+//! [`profile_trace_with_sidecar`] therefore persists them in a `.curves`
+//! file next to the trace (the binary sidecar IR of
+//! `compmem_trace::curves`, keyed by a content hash of the trace bytes
+//! plus [`l1_filter_signature`]): when a matching sidecar exists the
+//! curves are loaded back and the **L1 filter pass is skipped
+//! entirely**; corrupt, foreign or configuration-mismatched sidecars are
+//! silently re-measured and rewritten (their parse failure is a
+//! [`CodecError`] [`SidecarOutcome::Rewritten`] records, never a panic).
+//!
+//! [`CodecError`]: compmem_trace::CodecError
 
 use std::io::Read;
+use std::path::Path;
 
-use compmem_cache::{CurveResolution, MissRateCurves, StackDistanceProfiler};
+use compmem_cache::{
+    CurveResolution, MissRateCurves, StackDistanceProfiler, WindowConfig, WindowedCurves,
+    WindowedProfiler,
+};
 use compmem_trace::codec::{TraceReader, TraceRecord};
-use compmem_trace::Access;
+use compmem_trace::curves::{trace_content_hash, EncodedCurves};
+use compmem_trace::{Access, CodecError};
 
 use crate::config::PlatformConfig;
 use crate::error::PlatformError;
@@ -80,6 +119,49 @@ impl AccessTap for TapProfiler {
     }
 }
 
+/// An [`AccessTap`] that measures **windowed** miss-rate curves during a
+/// live run (the phase-aware sibling of [`TapProfiler`]).
+///
+/// Accesses carry their real issue cycle; access-count windows are
+/// exact, cycle windows follow issue order (see the module docs).
+#[derive(Debug)]
+pub struct WindowedTapProfiler {
+    filter: L1Filter,
+    profiler: WindowedProfiler,
+}
+
+impl WindowedTapProfiler {
+    /// Creates a tap for a live run under `config` feeding `profiler`.
+    pub fn new(config: &PlatformConfig, profiler: WindowedProfiler) -> Self {
+        WindowedTapProfiler {
+            filter: L1Filter::for_config(config, config.num_processors),
+            profiler,
+        }
+    }
+
+    /// The windowed profiler accumulated so far.
+    pub fn profiler(&self) -> &WindowedProfiler {
+        &self.profiler
+    }
+
+    /// Consumes the tap and extracts the windowed curves.
+    pub fn into_windows(self) -> WindowedCurves {
+        self.profiler.finish()
+    }
+}
+
+impl AccessTap for WindowedTapProfiler {
+    fn record_access(&mut self, processor: usize, cycle: u64, access: &Access) {
+        let refills = self
+            .filter
+            .refills(processor, access)
+            .expect("live runs only issue from configured processors");
+        if refills {
+            self.profiler.observe_at(cycle, access);
+        }
+    }
+}
+
 /// Profiles a recorded trace in one pass and returns the miss-rate curves
 /// of every partition key, using the trace's cached per-L1-configuration
 /// filter (shared with replays of the same trace).
@@ -93,19 +175,69 @@ pub fn profile_trace(
     trace: &PreparedTrace,
     resolution: CurveResolution,
 ) -> Result<MissRateCurves, PlatformError> {
+    profile_trace_windowed(config, trace, resolution, WindowConfig::whole_run())
+        .map(|windowed| windowed.total)
+}
+
+/// Profiles a recorded trace in windows (see the module docs): the
+/// whole-run pass of [`profile_trace`] plus one [`MissRateCurves`]
+/// snapshot per window.
+///
+/// Refills are clocked at their run's start cycle (the prepared trace's
+/// filter pass does not retain per-access cycles), so cycle windows are
+/// run-granular here; access-count windows are exact.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::ProcessorOutOfRange`] if a trace run names a
+/// processor outside the trace's declared processor count.
+pub fn profile_trace_windowed(
+    config: &PlatformConfig,
+    trace: &PreparedTrace,
+    resolution: CurveResolution,
+    window: WindowConfig,
+) -> Result<WindowedCurves, PlatformError> {
     let filtered = trace.filtered_for(config)?;
-    let mut profiler = StackDistanceProfiler::new(resolution, trace.table());
+    let mut profiler = WindowedProfiler::new(window, resolution, trace.table());
     for run in &filtered.runs {
         for refill in &run.refills {
-            profiler.observe(&refill.access);
+            profiler.observe_at(run.start_cycle, &refill.access);
         }
     }
-    Ok(profiler.into_curves())
+    Ok(profiler.finish())
 }
 
 /// Profiles a trace straight from a streaming [`TraceReader`] — record by
 /// record, without materialising the decoded trace — and returns the
 /// miss-rate curves of every partition key.
+///
+/// ```
+/// use compmem_cache::CurveResolution;
+/// use compmem_platform::{profile_reader, PlatformConfig};
+/// use compmem_trace::{Access, Addr, RegionId, RegionKind, RegionTable, TaskId};
+/// use compmem_trace::codec::{TraceReader, TraceWriter};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut table = RegionTable::new();
+/// let task = TaskId::new(0);
+/// table.insert("t0.data", RegionKind::TaskData { task }, 4096)?;
+/// let mut writer = TraceWriter::new(Vec::new(), &table, 1)?;
+/// for i in 0..64u64 {
+///     let access = Access::load(Addr::new(i % 32 * 64), 4, task, RegionId::new(0));
+///     writer.record(0, i, &access);
+/// }
+/// let (bytes, _) = writer.finish()?;
+///
+/// let resolution = CurveResolution::new(4, 16, 2)?;
+/// let mut reader = TraceReader::new(bytes.as_slice())?;
+/// let curves = profile_reader(&PlatformConfig::default(), &mut reader, resolution)?;
+/// // Every record missed the (initially cold) L1 or hit it; the curves
+/// // see exactly the misses, and resolve every shape in the resolution.
+/// assert!(curves.accesses() > 0);
+/// assert!(curves.shared_misses(16, 2)? <= curves.accesses());
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// # Errors
 ///
@@ -117,11 +249,30 @@ pub fn profile_reader<R: Read>(
     reader: &mut TraceReader<R>,
     resolution: CurveResolution,
 ) -> Result<MissRateCurves, PlatformError> {
+    profile_reader_windowed(config, reader, resolution, WindowConfig::whole_run())
+        .map(|windowed| windowed.total)
+}
+
+/// Profiles a streaming [`TraceReader`] in windows. Records carry their
+/// issue cycle; access-count windows are exact, cycle windows follow the
+/// recorded issue order (see the module docs).
+///
+/// # Errors
+///
+/// As for [`profile_reader`].
+pub fn profile_reader_windowed<R: Read>(
+    config: &PlatformConfig,
+    reader: &mut TraceReader<R>,
+    resolution: CurveResolution,
+    window: WindowConfig,
+) -> Result<WindowedCurves, PlatformError> {
     let processors = (reader.processors() as usize).max(1);
     let mut filter = L1Filter::for_config(config, processors);
-    let mut profiler = StackDistanceProfiler::new(resolution, reader.table());
+    let mut profiler = WindowedProfiler::new(window, resolution, reader.table());
     while let Some(TraceRecord {
-        processor, access, ..
+        processor,
+        cycle,
+        access,
     }) = reader
         .next_record()
         .map_err(|e| PlatformError::TraceDecode {
@@ -129,10 +280,163 @@ pub fn profile_reader<R: Read>(
         })?
     {
         if filter.refills(processor as usize, &access)? {
-            profiler.observe(&access);
+            profiler.observe_at(cycle, &access);
         }
     }
-    Ok(profiler.into_curves())
+    Ok(profiler.finish())
+}
+
+/// What [`profile_trace_with_sidecar`] did to satisfy the request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SidecarOutcome {
+    /// A matching sidecar existed: its curves were loaded and the L1
+    /// filter pass was skipped.
+    Reused,
+    /// No sidecar existed: the trace was profiled and the sidecar
+    /// written.
+    Written,
+    /// A sidecar existed but could not be used; the trace was re-profiled
+    /// and the sidecar replaced.
+    Rewritten {
+        /// Why the existing sidecar was rejected (the rendered
+        /// [`CodecError`] — e.g. corrupt
+        /// bytes, a foreign trace hash, or a different profiling
+        /// configuration).
+        reason: String,
+    },
+}
+
+/// Profiles a prepared trace with a persisted curve sidecar: loads the
+/// curves from `sidecar` when it matches the trace and the requested
+/// configuration — **skipping the L1 filter pass entirely** — and
+/// otherwise profiles the trace and (re)writes the sidecar.
+///
+/// A sidecar matches when its embedded content hash equals the trace's
+/// ([`EncodedTrace::content_hash`](compmem_trace::EncodedTrace::content_hash)),
+/// its L1 signature equals [`l1_filter_signature`] of `config` (the
+/// L2-bound stream — and hence every curve — depends on the private L1
+/// geometry the filter mirrors), and its resolution and window
+/// configuration equal the requested ones. The sidecar encoding is
+/// deterministic, so reusing and rewriting are byte-for-byte idempotent.
+///
+/// ```
+/// use compmem_cache::{CurveResolution, WindowConfig};
+/// use compmem_platform::{profile_trace_with_sidecar, PlatformConfig, PreparedTrace,
+///     SidecarOutcome};
+/// use compmem_trace::codec::{EncodedTrace, TraceWriter};
+/// use compmem_trace::{Access, Addr, RegionId, RegionKind, RegionTable, TaskId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut table = RegionTable::new();
+/// let task = TaskId::new(0);
+/// table.insert("t0.data", RegionKind::TaskData { task }, 4096)?;
+/// let mut writer = TraceWriter::new(Vec::new(), &table, 1)?;
+/// for i in 0..64u64 {
+///     writer.record(0, i, &Access::load(Addr::new(i % 48 * 64), 4, task, RegionId::new(0)));
+/// }
+/// let (bytes, _) = writer.finish()?;
+/// let trace = PreparedTrace::from(EncodedTrace::from_bytes(bytes)?);
+///
+/// let dir = std::env::temp_dir().join("compmem-sidecar-doctest");
+/// std::fs::create_dir_all(&dir)?;
+/// let sidecar = dir.join("doctest.curves");
+/// let _ = std::fs::remove_file(&sidecar);
+///
+/// let config = PlatformConfig::default();
+/// let resolution = CurveResolution::new(4, 16, 2)?;
+/// let window = WindowConfig::whole_run();
+/// // First call measures and persists...
+/// let (first, outcome) =
+///     profile_trace_with_sidecar(&config, &trace, resolution, window, &sidecar)?;
+/// assert_eq!(outcome, SidecarOutcome::Written);
+/// // ...the second loads the sidecar back, skipping the L1 filter.
+/// let (second, outcome) =
+///     profile_trace_with_sidecar(&config, &trace, resolution, window, &sidecar)?;
+/// assert_eq!(outcome, SidecarOutcome::Reused);
+/// assert_eq!(second, first);
+/// # let _ = std::fs::remove_file(&sidecar);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`PlatformError::ProcessorOutOfRange`] for an unprofilable
+/// trace and [`PlatformError::SidecarWrite`] if the freshly measured
+/// sidecar cannot be written. A corrupt or mismatched *existing* sidecar
+/// is never an error — it is re-measured and reported through
+/// [`SidecarOutcome::Rewritten`].
+pub fn profile_trace_with_sidecar(
+    config: &PlatformConfig,
+    trace: &PreparedTrace,
+    resolution: CurveResolution,
+    window: WindowConfig,
+    sidecar: &Path,
+) -> Result<(WindowedCurves, SidecarOutcome), PlatformError> {
+    let rejection = match try_load_sidecar(config, trace, resolution, window, sidecar) {
+        Ok(Some(windowed)) => return Ok((windowed, SidecarOutcome::Reused)),
+        Ok(None) => None,
+        Err(reason) => Some(reason),
+    };
+    let windowed = profile_trace_windowed(config, trace, resolution, window)?;
+    windowed
+        .to_sidecar(trace.trace().content_hash(), l1_filter_signature(config))
+        .write_to(sidecar)
+        .map_err(|e| PlatformError::SidecarWrite {
+            message: e.to_string(),
+        })?;
+    let outcome = match rejection {
+        None => SidecarOutcome::Written,
+        Some(reason) => SidecarOutcome::Rewritten { reason },
+    };
+    Ok((windowed, outcome))
+}
+
+/// Stable signature of the L1 filter configuration a profiling pass runs
+/// behind: the instruction and data L1 geometries, replacement policies
+/// and seeds, hashed in a fixed field order. Embedded in every curve
+/// sidecar so curves measured behind one L1 configuration are never
+/// reused for another (a different L1 produces a different L2-bound
+/// stream from the same trace).
+pub fn l1_filter_signature(config: &PlatformConfig) -> u64 {
+    let mut fields = Vec::with_capacity(2 * 4 * 8);
+    for l1 in [config.l1i, config.l1d] {
+        fields.extend_from_slice(&u64::from(l1.geometry().sets()).to_le_bytes());
+        fields.extend_from_slice(&u64::from(l1.geometry().ways()).to_le_bytes());
+        fields.extend_from_slice(&(l1.replacement_policy() as u64).to_le_bytes());
+        fields.extend_from_slice(&l1.random_seed().to_le_bytes());
+    }
+    trace_content_hash(&fields)
+}
+
+/// Attempts to load a matching sidecar: `Ok(None)` when the file does not
+/// exist, `Err(reason)` when it exists but is corrupt or mismatched.
+fn try_load_sidecar(
+    config: &PlatformConfig,
+    trace: &PreparedTrace,
+    resolution: CurveResolution,
+    window: WindowConfig,
+    sidecar: &Path,
+) -> Result<Option<WindowedCurves>, String> {
+    if !sidecar.exists() {
+        return Ok(None);
+    }
+    let mismatch = |field: &'static str| CodecError::SidecarMismatch { field }.to_string();
+    let encoded = EncodedCurves::read_from(sidecar).map_err(|e| e.to_string())?;
+    encoded
+        .validate_for_trace(trace.trace().bytes())
+        .map_err(|e| e.to_string())?;
+    if encoded.header().l1_signature != l1_filter_signature(config) {
+        return Err(mismatch("l1 configuration"));
+    }
+    let windowed = WindowedCurves::from_sidecar(&encoded).map_err(|e| e.to_string())?;
+    if windowed.resolution != resolution {
+        return Err(mismatch("resolution"));
+    }
+    if windowed.config != window {
+        return Err(mismatch("window config"));
+    }
+    Ok(Some(windowed))
 }
 
 #[cfg(test)]
@@ -353,6 +657,169 @@ mod tests {
             profile_reader(&PlatformConfig::default(), &mut reader, resolution()),
             Err(PlatformError::ProcessorOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn windowed_totals_match_the_plain_pass_across_all_feeds() {
+        let trace = record();
+        let prepared = PreparedTrace::from(trace.clone());
+        let window = compmem_cache::WindowConfig::accesses(40).unwrap();
+
+        let plain = profile_trace(&platform(), &prepared, resolution()).unwrap();
+        let windowed =
+            profile_trace_windowed(&platform(), &prepared, resolution(), window).unwrap();
+        assert!(windowed.windows.len() > 1, "enough traffic for 2+ windows");
+        assert_eq!(windowed.total, plain);
+        assert_eq!(windowed.reconstruct_total(), plain);
+
+        let mut reader = TraceReader::new(trace.bytes()).unwrap();
+        let from_reader =
+            profile_reader_windowed(&platform(), &mut reader, resolution(), window).unwrap();
+        assert_eq!(from_reader.total, plain);
+        assert_eq!(
+            from_reader
+                .windows
+                .iter()
+                .map(|w| w.curves.accesses())
+                .collect::<Vec<_>>(),
+            windowed
+                .windows
+                .iter()
+                .map(|w| w.curves.accesses())
+                .collect::<Vec<_>>(),
+            "access-count windows slice both feeds identically"
+        );
+
+        // The live windowed tap agrees on the whole-run curves too.
+        let mut system = System::new(
+            platform(),
+            Box::new(compmem_cache::SharedCache::new(l2_config())),
+            mapping(),
+        )
+        .unwrap();
+        let mut tap = WindowedTapProfiler::new(
+            &platform(),
+            compmem_cache::WindowedProfiler::new(window, resolution(), &region_table()),
+        );
+        system.run_traced(&mut driver(), &mut tap).unwrap();
+        assert!(tap.profiler().accesses() > 0);
+        assert_eq!(tap.into_windows().total, plain);
+    }
+
+    #[test]
+    fn sidecar_is_written_then_reused_byte_identically() {
+        let dir = std::env::temp_dir().join("compmem-sidecar-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.curves");
+        let _ = std::fs::remove_file(&path);
+
+        let prepared = PreparedTrace::from(record());
+        let window = compmem_cache::WindowConfig::accesses(64).unwrap();
+        let (first, outcome) =
+            profile_trace_with_sidecar(&platform(), &prepared, resolution(), window, &path)
+                .unwrap();
+        assert_eq!(outcome, SidecarOutcome::Written);
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Second invocation: loaded back, file untouched, curves equal.
+        let (second, outcome) =
+            profile_trace_with_sidecar(&platform(), &prepared, resolution(), window, &path)
+                .unwrap();
+        assert_eq!(outcome, SidecarOutcome::Reused);
+        assert_eq!(second, first);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+
+        // A different profiling configuration rejects the sidecar and
+        // rewrites it.
+        let other = compmem_cache::WindowConfig::accesses(32).unwrap();
+        let (_, outcome) =
+            profile_trace_with_sidecar(&platform(), &prepared, resolution(), other, &path).unwrap();
+        assert!(matches!(outcome, SidecarOutcome::Rewritten { ref reason }
+            if reason.contains("window config")));
+
+        // A different *L1 configuration* rejects it too: the L2-bound
+        // stream (and hence every curve) depends on the private L1s, so
+        // curves measured behind one L1 must never answer for another.
+        std::fs::write(&path, &bytes).unwrap();
+        let small_l1 = platform().l1(CacheConfig::new(4, 2).unwrap());
+        assert_ne!(
+            l1_filter_signature(&small_l1),
+            l1_filter_signature(&platform())
+        );
+        let (refiltered, outcome) =
+            profile_trace_with_sidecar(&small_l1, &prepared, resolution(), window, &path).unwrap();
+        assert!(matches!(outcome, SidecarOutcome::Rewritten { ref reason }
+            if reason.contains("l1 configuration")));
+        assert_ne!(
+            refiltered.total, first.total,
+            "a smaller L1 passes more refills through to the profiler"
+        );
+
+        // Restore, then corrupt the file: silently re-measured, never a
+        // panic.
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, outcome) =
+            profile_trace_with_sidecar(&platform(), &prepared, resolution(), window, &path)
+                .unwrap();
+        assert_eq!(outcome, SidecarOutcome::Reused);
+        std::fs::write(&path, b"garbage").unwrap();
+        let (_, outcome) =
+            profile_trace_with_sidecar(&platform(), &prepared, resolution(), window, &path)
+                .unwrap();
+        assert!(matches!(outcome, SidecarOutcome::Rewritten { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sidecar_reuse_skips_the_l1_filter_entirely() {
+        // A trace whose run names processor 5 on a 1-processor recording
+        // cannot pass the L1 filter (ProcessorOutOfRange) — but a valid
+        // sidecar for its bytes loads fine, proving the reuse path never
+        // touches the filter.
+        let mut table = RegionTable::new();
+        table
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                4096,
+            )
+            .unwrap();
+        let mut writer = TraceWriter::new(Vec::new(), &table, 1).unwrap();
+        let access = Access::load(Addr::new(0x40), 4, TaskId::new(0), RegionId::new(0));
+        writer.record(5, 0, &access);
+        let (bytes, _) = writer.finish().unwrap();
+        let prepared = PreparedTrace::from(EncodedTrace::from_bytes(bytes).unwrap());
+
+        let window = compmem_cache::WindowConfig::whole_run();
+        let dir = std::env::temp_dir().join("compmem-sidecar-skip-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.curves");
+
+        // Without a sidecar, profiling must fail in the filter.
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            profile_trace_with_sidecar(&platform(), &prepared, resolution(), window, &path),
+            Err(PlatformError::ProcessorOutOfRange { .. })
+        ));
+
+        // Plant a (trivial) sidecar bound to the trace's content hash
+        // and the platform's L1 configuration.
+        let empty = compmem_cache::WindowedProfiler::new(window, resolution(), &table).finish();
+        empty
+            .to_sidecar(
+                prepared.trace().content_hash(),
+                l1_filter_signature(&platform()),
+            )
+            .write_to(&path)
+            .unwrap();
+        let (loaded, outcome) =
+            profile_trace_with_sidecar(&platform(), &prepared, resolution(), window, &path)
+                .unwrap();
+        assert_eq!(outcome, SidecarOutcome::Reused);
+        assert_eq!(loaded, empty);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -104,6 +104,19 @@ pub enum CodecError {
     },
     /// The embedded region table could not be rebuilt.
     Region(crate::error::TraceError),
+    /// The stream does not start with the curve-sidecar magic (it is not a
+    /// `.curves` file).
+    BadSidecarMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// A curve sidecar is well-formed but does not belong to the trace (or
+    /// the profiling configuration) it was loaded for.
+    SidecarMismatch {
+        /// Which header field differed (`"trace hash"`,
+        /// `"l1 configuration"`, `"resolution"`, `"window config"`).
+        field: &'static str,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -127,6 +140,12 @@ impl std::fmt::Display for CodecError {
                 )
             }
             CodecError::Region(e) => write!(f, "corrupt trace: invalid region table: {e}"),
+            CodecError::BadSidecarMagic { found } => {
+                write!(f, "not a compmem curve sidecar (magic {found:02x?})")
+            }
+            CodecError::SidecarMismatch { field } => {
+                write!(f, "curve sidecar does not match the trace: {field} differs")
+            }
         }
     }
 }
@@ -153,9 +172,9 @@ impl From<crate::error::TraceError> for CodecError {
     }
 }
 
-// ----- varint / zigzag primitives -----
+// ----- varint / zigzag primitives (shared with the curve sidecar codec) -----
 
-fn write_varint<W: Write>(w: &mut W, mut value: u64) -> std::io::Result<()> {
+pub(crate) fn write_varint<W: Write>(w: &mut W, mut value: u64) -> std::io::Result<()> {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -174,9 +193,10 @@ fn write_zigzag<W: Write>(w: &mut W, value: i64) -> std::io::Result<()> {
 ///
 /// The decoder consumes the stream byte by byte (varints, tags); going
 /// through `Read::read` per byte costs more than the whole simulation, so
-/// every read is served from a block buffer instead.
+/// every read is served from a block buffer instead. Shared with the curve
+/// sidecar codec (`crate::curves`), which has the same decoding needs.
 #[derive(Debug)]
-struct ByteSource<R: Read> {
+pub(crate) struct ByteSource<R: Read> {
     inner: R,
     buf: Vec<u8>,
     pos: usize,
@@ -184,7 +204,7 @@ struct ByteSource<R: Read> {
 }
 
 impl<R: Read> ByteSource<R> {
-    fn new(inner: R) -> Self {
+    pub(crate) fn new(inner: R) -> Self {
         ByteSource {
             inner,
             buf: vec![0u8; 64 * 1024],
@@ -208,7 +228,7 @@ impl<R: Read> ByteSource<R> {
     }
 
     #[inline]
-    fn next_byte(&mut self) -> Result<Option<u8>, CodecError> {
+    pub(crate) fn next_byte(&mut self) -> Result<Option<u8>, CodecError> {
         if self.pos < self.len {
             let byte = self.buf[self.pos];
             self.pos += 1;
@@ -223,13 +243,13 @@ impl<R: Read> ByteSource<R> {
     }
 
     #[inline]
-    fn require_byte(&mut self) -> Result<u8, CodecError> {
+    pub(crate) fn require_byte(&mut self) -> Result<u8, CodecError> {
         self.next_byte()?.ok_or(CodecError::Corrupt {
             reason: "unexpected end of stream",
         })
     }
 
-    fn read_exact(&mut self, out: &mut [u8]) -> Result<(), CodecError> {
+    pub(crate) fn read_exact(&mut self, out: &mut [u8]) -> Result<(), CodecError> {
         let mut written = 0;
         while written < out.len() {
             if self.pos == self.len {
@@ -250,7 +270,7 @@ impl<R: Read> ByteSource<R> {
 
     /// Returns `true` if any byte remains (used to reject trailing
     /// garbage).
-    fn has_more(&mut self) -> Result<bool, CodecError> {
+    pub(crate) fn has_more(&mut self) -> Result<bool, CodecError> {
         if self.pos < self.len {
             return Ok(true);
         }
@@ -258,7 +278,7 @@ impl<R: Read> ByteSource<R> {
         Ok(self.len > 0)
     }
 
-    fn read_varint(&mut self) -> Result<u64, CodecError> {
+    pub(crate) fn read_varint(&mut self) -> Result<u64, CodecError> {
         let mut value: u64 = 0;
         let mut shift = 0u32;
         loop {
@@ -679,6 +699,12 @@ impl<R: Read> TraceReader<R> {
         self.processors
     }
 
+    /// Version of the trace IR this stream was encoded with.
+    pub fn version(&self) -> u8 {
+        // `new` rejects every version but the current one.
+        TRACE_VERSION
+    }
+
     /// Decodes the next access record, or `None` at the end of the trace.
     ///
     /// # Errors
@@ -945,6 +971,19 @@ impl EncodedTrace {
     /// The raw encoded bytes.
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
+    }
+
+    /// Version of the trace IR this trace was encoded with.
+    pub fn version(&self) -> u8 {
+        // Validated at construction; byte 4 follows the 4-byte magic.
+        self.bytes[4]
+    }
+
+    /// Content hash of the encoded bytes — the identity a curve sidecar
+    /// (see [`crate::curves`]) embeds to prove it was measured over this
+    /// trace.
+    pub fn content_hash(&self) -> u64 {
+        crate::curves::trace_content_hash(&self.bytes)
     }
 
     /// The region table embedded in the trace.

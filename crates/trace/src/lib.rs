@@ -26,9 +26,18 @@
 //!   [`EncodedTrace`]. A recorded trace embeds its region table, so it is a
 //!   self-contained scenario for organisation sweeps (see the `compmem`
 //!   CLI: `compmem record` / `compmem replay` / `compmem sweep`).
+//! * [`curves`] — the binary **curve sidecar** IR: miss-rate curves
+//!   persisted in a `.curves` file next to the trace they were measured
+//!   over, keyed by a content hash of the trace bytes so stale or foreign
+//!   sidecars are rejected ([`CodecError`], never a panic). `compmem
+//!   profile` uses it to skip the L1 filter pass on re-invocation.
 //! * [`gen`] — synthetic access-stream generators used by unit tests,
 //!   property tests and micro-benchmarks.
 //! * [`stats`] — footprint and reuse-distance analysis of traces.
+//!
+//! (The workspace-level architecture guide — layers, dataflow, the
+//! one-pass profiling invariant — lives in `docs/ARCHITECTURE.md`; the
+//! CLI walkthrough in `docs/CLI.md`.)
 //!
 //! # Example
 //!
@@ -56,6 +65,7 @@
 mod access;
 mod addr;
 pub mod codec;
+pub mod curves;
 mod error;
 pub mod gen;
 mod memspace;
@@ -67,6 +77,10 @@ pub use access::{Access, AccessKind};
 pub use addr::{Addr, LineAddr, LINE_SIZE_BYTES};
 pub use codec::{
     CodecError, EncodedTrace, TraceReader, TraceRecord, TraceRun, TraceSummary, TraceWriter,
+};
+pub use curves::{
+    trace_content_hash, CurveEntry, CurveHeader, CurveReader, CurveWriter, EncodedCurves,
+    SidecarKey, SidecarWindow, SidecarWindowKind, WindowRecord,
 };
 pub use error::TraceError;
 pub use memspace::{AddressSpace, ScalarArray};

@@ -1,0 +1,118 @@
+//! Phase-aware profiling: windows, phase detection and per-phase
+//! partition sizing from one live run.
+//!
+//! Multimedia workloads are phasic — a whole-run miss-rate curve averages
+//! away shifts the partition optimizer could exploit. This example runs
+//! the tiny MPEG-2 decode once on the shared baseline while a windowed
+//! profiler tap measures a `MissRateCurves` snapshot per window, then:
+//!
+//! 1. checks the windowed/whole-run consistency invariant (summing the
+//!    windows reconstructs the whole-run curves exactly);
+//! 2. segments the windows into phases with the curve-delta detector and
+//!    sizes the partitions once per phase plus once for the whole run;
+//! 3. evaluates the analytic L2 size × associativity sweep from the same
+//!    pass — the exact shared-cache miss count at every resolved shape,
+//!    with no replay per shape.
+//!
+//! Run with `cargo run --release --example phase_profile`.
+
+use compmem::experiment::{Experiment, ExperimentConfig};
+use compmem::WindowConfig;
+use compmem_cache::CacheConfig;
+use compmem_workloads::apps::{mpeg2_app, Mpeg2Params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig {
+        l2: CacheConfig::with_size_bytes(32 * 1024, 4)?,
+        sets_per_unit: 2,
+        ..ExperimentConfig::default()
+    };
+    let experiment = Experiment::new(config, move || {
+        mpeg2_app(&Mpeg2Params::tiny()).expect("valid parameters")
+    });
+
+    // 1. One live run, windowed: a curve snapshot every 400 L2-bound
+    // accesses, measured by the tap riding the shared baseline.
+    let window = WindowConfig::accesses(400)?;
+    let (outcome, windowed) = experiment.profile_curves_windowed(window)?;
+    println!(
+        "profiled {} L2 accesses in {} windows of {} accesses each",
+        outcome.report.l2.accesses,
+        windowed.windows.len(),
+        window.length,
+    );
+    assert_eq!(
+        windowed.reconstruct_total(),
+        windowed.total,
+        "summing the windows must reconstruct the whole-run curves"
+    );
+    let geometry = config.l2.geometry();
+    for w in &windowed.windows {
+        println!(
+            "  window {:>2}: cycles {:>7}..{:<7} {:>5} accesses, full-L2 miss rate {:>6.2}%",
+            w.index,
+            w.start_cycle,
+            w.end_cycle,
+            w.curves.accesses(),
+            100.0
+                * w.curves
+                    .aggregate
+                    .miss_rate(geometry.sets(), geometry.ways())?,
+        );
+    }
+
+    // 2. Phase detection + per-phase partition sizing (the optimizer
+    // re-runs on each phase's merged curves; FIFOs stay pinned).
+    let app = mpeg2_app(&Mpeg2Params::tiny())?;
+    let plan = experiment.phase_allocations(&windowed, 0.1, app.space.table())?;
+    println!(
+        "\n{} phase(s) at curve-delta threshold {}; whole-run baseline predicts {} misses",
+        plan.phases.len(),
+        plan.threshold,
+        plan.whole_run.predicted_misses,
+    );
+    for (i, phase) in plan.phases.iter().enumerate() {
+        println!(
+            "  phase {i}: windows {:>2}..={:<2} {:>6} accesses -> {:>5} predicted misses",
+            phase.first_window,
+            phase.last_window,
+            phase.accesses,
+            phase.allocation.predicted_misses,
+        );
+    }
+    println!(
+        "  per-phase repartitioning predicts {} misses ({})",
+        plan.predicted_misses_per_phase(),
+        if plan.has_distinct_allocations() {
+            "phases chose different allocations"
+        } else {
+            "all phases agree with the whole-run split"
+        },
+    );
+
+    // 3. The analytic shape sweep from the same pass: every power-of-two
+    // L2 shape, no replay per shape. (The parity test replays every one
+    // of these points and asserts exact equality.)
+    let sweep = experiment.sweep_shapes(&windowed.total);
+    println!(
+        "\nanalytic shape sweep over {} L2-bound accesses ({} shapes from one pass):",
+        sweep.accesses,
+        sweep.points.len(),
+    );
+    print!("{:>14}", "sets \\ ways");
+    for ways in sweep.way_counts() {
+        print!(" {:>9}", format!("{ways}-way"));
+    }
+    println!();
+    for sets in sweep.set_counts() {
+        print!("{:>14}", format!("{sets} sets"));
+        for ways in sweep.way_counts() {
+            print!(
+                " {:>9}",
+                sweep.point(sets, ways).expect("grid point").misses
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -4,6 +4,16 @@
 //! examples in `examples/` and the cross-crate integration tests in `tests/`
 //! have a single dependency.
 //!
+//! Two documents complement this crate map:
+//!
+//! * [`docs/ARCHITECTURE.md`](../docs/ARCHITECTURE.md) — the layer-by-layer
+//!   guide: the dataflow diagram, the "one pass, every shape"
+//!   stack-distance invariant, and the table mapping the paper's figures
+//!   and tables to the benches and tests that reproduce them.
+//! * [`docs/CLI.md`](../docs/CLI.md) — a worked `compmem` session
+//!   (record → profile → sweep-shapes → replay on tiny MPEG-2) whose
+//!   command lines CI executes verbatim.
+//!
 //! # Crate map
 //!
 //! The workspace is layered bottom-up; each crate depends only on the ones
@@ -16,7 +26,10 @@
 //!   and per-task/region dictionaries behind streaming
 //!   `TraceWriter`/`TraceReader` codecs and the validated in-memory
 //!   `EncodedTrace`; a trace embeds its region table, so it is a
-//!   self-contained scenario.
+//!   self-contained scenario. Its `curves` module is the **curve sidecar
+//!   IR**: miss-rate curves persisted in a `.curves` file next to the
+//!   trace, bound to the exact trace bytes by content hash, so stale or
+//!   foreign sidecars are rejected (`CodecError`, never a panic).
 //! * [`compmem_cache`] — the cache substrate. The four L2 organisations of
 //!   the study (shared, set-partitioned, way-partitioned, profiling) all
 //!   implement the **object-safe `CacheModel` trait** — including a
@@ -32,7 +45,13 @@
 //!   `MissRateCurves::to_profiles` converts them to any `CacheSizeLattice`.
 //!   The shadow-cache `ProfilingCache` organisation remains as the
 //!   cross-validation oracle (`tests/profiler_parity.rs` asserts both
-//!   sources agree point for point).
+//!   sources agree point for point). The same pass now also feeds an
+//!   **aggregate** curve (every key folded into one stack bank) whose
+//!   value at `(sets, ways)` is the exact shared-L2 miss count at that
+//!   shape, and a `WindowedProfiler` emits a `MissRateCurves` snapshot
+//!   per fixed-size window (differences of cumulative snapshots — summing
+//!   windows reconstructs the whole run exactly) with a curve-delta
+//!   phase detector (`WindowedCurves::phases`).
 //! * [`compmem_platform`] — the CAKE-like multiprocessor simulator. A
 //!   discrete-event `EventQueue` (min-heap of `(ready_cycle, actor)`)
 //!   drives the run loop; processors execute workload bursts against one
@@ -49,7 +68,11 @@
 //!   the same cached L1 filter replays use), `profile_reader` (streaming
 //!   decode, nothing materialised) and `TapProfiler` (an `AccessTap`
 //!   carrying its own mirror L1 bank, so one live run yields the shared
-//!   baseline *and* the full miss-rate curves).
+//!   baseline *and* the full miss-rate curves) — each with a windowed
+//!   sibling (`profile_trace_windowed`, `profile_reader_windowed`,
+//!   `WindowedTapProfiler`), and `profile_trace_with_sidecar` persists
+//!   curves in the `.curves` sidecar and skips the L1 filter entirely
+//!   when a matching sidecar exists.
 //! * [`compmem_kpn`] — the YAPI-like Kahn-process-network runtime. Process
 //!   networks implement the platform's `WorkloadDriver`; the functional
 //!   scheduler (`Network::run_functional`) runs on the same event-queue
@@ -69,7 +92,15 @@
 //!   `run_profiled`), with the shadow-bank path kept as
 //!   `run_profiled_simulated` for cross-validation, and
 //!   `allocation_problem_for_table` builds the optimiser's problem from
-//!   any region table — an application's or a recorded trace's.
+//!   any region table — an application's or a recorded trace's. Phase
+//!   aware profiling rides the same flow: `Experiment::
+//!   profile_curves_windowed` measures per-window curves live,
+//!   `Experiment::phase_allocations` re-runs the optimizer per detected
+//!   phase (plus the whole-run baseline), and `Experiment::sweep_shapes`
+//!   / `sweep_shapes_from_curves` evaluate the **analytic L2
+//!   size × associativity sweep** from one pass — cross-checked
+//!   point-for-point against the replay sweep in
+//!   `tests/shape_sweep_parity.rs`.
 //!
 //! The `compmem-bench` crate (not re-exported) holds the criterion benches,
 //! the recorded `BENCH_*.json` baselines (guarded in CI by
@@ -79,8 +110,14 @@
 //! --app mpeg2 --out t.cmt`, `compmem replay --trace t.cmt --org
 //! set-partitioned`, `compmem sweep --trace t.cmt --l2-kb 32,64,128`,
 //! `compmem profile --trace t.cmt` for the single-pass curves and the
-//! allocation they imply) that drives the record/replay/profile workflow
-//! from the shell.
+//! allocation they imply — windowed with `--windows`/`--phases`, with
+//! curves persisted to a `.curves` sidecar and auto-reused, and `compmem
+//! sweep-shapes --trace t.cmt --check-replay on` for the analytic shape
+//! sweep) that drives the record/replay/profile workflow from the shell;
+//! `docs/CLI.md` walks a full session and CI executes its command lines
+//! verbatim. `bench_check` additionally gates CI on machine-independent
+//! same-run ratios (replay-vs-live, shadow-vs-single-pass) alongside the
+//! absolute >25% throughput gate.
 
 #![forbid(unsafe_code)]
 

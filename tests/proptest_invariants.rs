@@ -177,6 +177,66 @@ proptest! {
         }
     }
 
+    /// Windowed profiling is a pure refinement of the whole-run pass: for
+    /// any access stream and any window length, summing the per-window
+    /// curves (access counts, cold misses and full histograms, per key
+    /// and in aggregate) reconstructs the whole-run curves exactly, and
+    /// the windowed pass leaves the totals untouched.
+    #[test]
+    fn windowed_curves_sum_to_the_whole_run(
+        task_a in trace_strategy(192, 300),
+        task_b in trace_strategy(192, 300),
+        window_len in 1u64..120,
+    ) {
+        use compmem_cache::{CurveResolution, StackDistanceProfiler, WindowConfig,
+            WindowedProfiler};
+
+        let mut table = RegionTable::new();
+        let ra = table
+            .insert("a.data", RegionKind::TaskData { task: TaskId::new(0) }, 192 * 64)
+            .unwrap();
+        let rb = table
+            .insert("b.data", RegionKind::TaskData { task: TaskId::new(1) }, 192 * 64)
+            .unwrap();
+        let base_a = table.region(ra).base;
+        let base_b = table.region(rb).base;
+        let accesses: Vec<Access> = task_a
+            .iter()
+            .map(|&l| Access::load(base_a.offset(l * 64), 4, TaskId::new(0), ra))
+            .chain(task_b.iter().map(|&l| {
+                Access::load(base_b.offset(l * 64), 4, TaskId::new(1), rb)
+            }))
+            .collect();
+
+        let resolution = CurveResolution::new(4, 32, 4).unwrap();
+        let mut whole = StackDistanceProfiler::new(resolution, &table);
+        whole.observe_all(&accesses);
+        let whole = whole.into_curves();
+
+        let config = WindowConfig::accesses(window_len).unwrap();
+        let mut windowed = WindowedProfiler::new(config, resolution, &table);
+        for a in &accesses {
+            windowed.observe(a);
+        }
+        let windowed = windowed.finish();
+
+        prop_assert_eq!(&windowed.total, &whole);
+        prop_assert_eq!(&windowed.reconstruct_total(), &whole);
+        let expected_windows = (accesses.len() as u64).div_ceil(window_len) as usize;
+        prop_assert_eq!(windowed.windows.len(), expected_windows);
+        let summed: u64 = windowed.windows.iter().map(|w| w.curves.accesses()).sum();
+        prop_assert_eq!(summed, accesses.len() as u64);
+        // Phases always tile the windows, whatever the threshold.
+        for threshold in [0.0, 0.05, 0.5] {
+            let phases = windowed.phases(threshold);
+            let covered: usize = phases.iter().map(|p| p.window_count()).sum();
+            prop_assert_eq!(covered, windowed.windows.len());
+            let merged_accesses: u64 =
+                phases.iter().map(|p| p.curves.accesses()).sum();
+            prop_assert_eq!(merged_accesses, accesses.len() as u64);
+        }
+    }
+
     /// The exact solver is never worse than the heuristics and always agrees
     /// with the exhaustive reference on small instances.
     #[test]

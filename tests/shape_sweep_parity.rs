@@ -1,0 +1,160 @@
+//! Parity of the analytic L2 shape sweep against the replay sweep.
+//!
+//! The aggregate stack-distance curve claims the *exact* miss count of a
+//! shared LRU L2 at every resolved `(sets, ways)` shape, from one pass
+//! over one recording. This test pins that claim down on tiny MPEG-2:
+//! every point of [`sweep_shapes_from_curves`] is cross-checked against a
+//! full replay of the trace through a freshly built shared L2 of that
+//! exact shape — the analytic sweep and the replay sweep must agree
+//! **point for point**, and the windowed profile must leave the
+//! whole-run curves (and hence the sweep) unchanged.
+
+use std::sync::Arc;
+
+use compmem::experiment::{
+    run_replay, sweep_shapes_from_curves, Experiment, ExperimentConfig, ScenarioSpec,
+};
+use compmem::{CurveResolution, WindowConfig};
+use compmem_cache::{CacheConfig, OrganizationSpec};
+use compmem_platform::{profile_trace, profile_trace_windowed, PreparedTrace};
+use compmem_workloads::apps::{mpeg2_app, Application, Mpeg2Params};
+
+fn tiny_experiment() -> Experiment<impl Fn() -> Application> {
+    let params = Mpeg2Params::tiny();
+    let config = ExperimentConfig {
+        l2: CacheConfig::with_size_bytes(32 * 1024, 4).unwrap(),
+        sets_per_unit: 2,
+        ..ExperimentConfig::default()
+    };
+    Experiment::new(config, move || mpeg2_app(&params).expect("valid params"))
+}
+
+#[test]
+fn analytic_shape_sweep_matches_the_replay_sweep_point_for_point() {
+    let experiment = tiny_experiment();
+    let (_, trace) = experiment
+        .record_trace(&experiment.shared_spec())
+        .expect("recording tiny MPEG-2 succeeds");
+    let platform = experiment.config().platform;
+    let resolution = experiment.curve_resolution();
+
+    // One profiling pass -> every shape analytically.
+    let curves = profile_trace(&platform, &trace, resolution).expect("profiling succeeds");
+    let sweep = sweep_shapes_from_curves(&curves);
+    assert_eq!(
+        sweep.points.len(),
+        resolution.levels() * 3,
+        "tiny L2 is 4-way: 1/2/4-way columns at every resolved set count"
+    );
+
+    // The replay sweep: one full replay per shape, shared organisation.
+    for point in &sweep.points {
+        let l2 = CacheConfig::new(point.sets, point.ways).expect("resolved shapes are valid");
+        let spec = ScenarioSpec::replay(l2, OrganizationSpec::Shared, Arc::clone(&trace));
+        let outcome = run_replay(&platform, &spec).expect("replay succeeds");
+        assert_eq!(
+            outcome.report.l2.accesses, sweep.accesses,
+            "every replay sees the identical L2-bound stream"
+        );
+        assert_eq!(
+            outcome.report.l2.misses, point.misses,
+            "analytic vs replay diverged at {} sets x {} ways",
+            point.sets, point.ways
+        );
+    }
+}
+
+#[test]
+fn windowed_profiling_preserves_the_sweep_and_sums_to_the_whole_run() {
+    let experiment = tiny_experiment();
+    let (_, trace) = experiment
+        .record_trace(&experiment.shared_spec())
+        .expect("recording tiny MPEG-2 succeeds");
+    let platform = experiment.config().platform;
+    let resolution = experiment.curve_resolution();
+
+    let plain = profile_trace(&platform, &trace, resolution).expect("profiling succeeds");
+    let windowed = profile_trace_windowed(
+        &platform,
+        &trace,
+        resolution,
+        WindowConfig::accesses(1_000).unwrap(),
+    )
+    .expect("windowed profiling succeeds");
+
+    assert!(windowed.windows.len() > 1);
+    assert_eq!(windowed.total, plain, "windowing must not disturb totals");
+    assert_eq!(windowed.reconstruct_total(), plain);
+    assert_eq!(
+        sweep_shapes_from_curves(&windowed.total),
+        sweep_shapes_from_curves(&plain)
+    );
+
+    // Sum of per-window access counts equals the whole-run counts, per
+    // key and in aggregate.
+    let total_by_windows: u64 = windowed.windows.iter().map(|w| w.curves.accesses()).sum();
+    assert_eq!(total_by_windows, plain.accesses());
+    for (key, curve) in &plain.curves {
+        let per_window: u64 = windowed
+            .windows
+            .iter()
+            .filter_map(|w| w.curves.curve(*key))
+            .map(|c| c.accesses)
+            .sum();
+        assert_eq!(per_window, curve.accesses, "key {key}");
+    }
+}
+
+#[test]
+fn sweep_resolution_can_exceed_the_experiment_lattice() {
+    // The curves resolve any power-of-two resolution requested at
+    // profiling time — here finer (1-set minimum) than the experiment's
+    // own lattice — and the sweep covers all of it.
+    let experiment = tiny_experiment();
+    let (_, trace) = experiment
+        .record_trace(&experiment.shared_spec())
+        .expect("recording tiny MPEG-2 succeeds");
+    let geometry = experiment.config().l2.geometry();
+    let resolution = CurveResolution::new(1, geometry.sets(), geometry.ways()).unwrap();
+    let curves = profile_trace(&experiment.config().platform, &trace, resolution)
+        .expect("profiling succeeds");
+    let sweep = sweep_shapes_from_curves(&curves);
+    assert_eq!(sweep.set_counts().len(), resolution.levels());
+    assert_eq!(sweep.set_counts()[0], 1);
+    // The fully-associative direct comparison: a 1-set, 4-way shared L2.
+    let spec = ScenarioSpec::replay(
+        CacheConfig::new(1, 4).unwrap(),
+        OrganizationSpec::Shared,
+        Arc::clone(&trace),
+    );
+    let outcome = run_replay(&experiment.config().platform, &spec).expect("replay succeeds");
+    assert_eq!(outcome.report.l2.misses, sweep.point(1, 4).unwrap().misses);
+}
+
+#[test]
+fn prepared_trace_from_file_roundtrip_profiles_identically() {
+    // The CLI path: write the trace to disk, read it back, profile — the
+    // persisted bytes are the identity the sidecar hash protects.
+    let experiment = tiny_experiment();
+    let (_, trace) = experiment
+        .record_trace(&experiment.shared_spec())
+        .expect("recording tiny MPEG-2 succeeds");
+    let dir = std::env::temp_dir().join("compmem-shape-sweep-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mpeg2-tiny.cmt");
+    trace.trace().write_to(&path).unwrap();
+    let reloaded = PreparedTrace::from(
+        compmem_trace::EncodedTrace::read_from(&path).expect("trace file parses"),
+    );
+    assert_eq!(
+        reloaded.trace().content_hash(),
+        trace.trace().content_hash()
+    );
+    let platform = experiment.config().platform;
+    let resolution = experiment.curve_resolution();
+    assert_eq!(
+        profile_trace(&platform, &reloaded, resolution).unwrap(),
+        profile_trace(&platform, &trace, resolution).unwrap()
+    );
+    let _ = std::fs::remove_file(&path);
+}
