@@ -8,6 +8,8 @@
 //!                      [--org shared|way-partitioned|profiling] --out FILE
 //! compmem replay       --trace FILE [--org ORG] [--l2-kb N] [--ways N]
 //!                      [--policy lru|fifo|tree-plru|random]
+//!                      [--schedule phases|PATH [--sets-per-unit N] [--windows N]
+//!                       [--phases DELTA] [--solve KIND] [--save-schedule PATH]]
 //! compmem sweep        --trace FILE [--l2-kb N[,N...]] [--ways N]
 //! compmem profile      --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
 //!                      [--solve exact-ilp|greedy|equal-split]
@@ -15,7 +17,7 @@
 //!                      [--save-curves auto|off|PATH]
 //! compmem sweep-shapes --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
 //!                      [--check-replay on|off] [--save-curves auto|off|PATH]
-//! compmem info         --trace FILE
+//! compmem info         --trace FILE [--schedule PATH] [--l2-kb N] [--ways N]
 //! ```
 //!
 //! `record` executes an application live on the discrete-event simulator
@@ -44,7 +46,18 @@
 //! power-of-two shape within the resolution, with **no replay per
 //! shape**; `--check-replay on` replays every shape anyway and verifies
 //! the analytic numbers point for point. `info` prints a trace's version,
-//! summary counters, embedded region table and sidecar status.
+//! summary counters, embedded region table and sidecar status (and, with
+//! `--schedule PATH`, a schedule file's steps validated against the
+//! trace).
+//!
+//! `replay --schedule` executes partitioning as a **time-varying
+//! policy**: `phases` derives a per-phase `PartitionSchedule` from a
+//! windowed profile of the trace (the validation driver — it replays
+//! static-best and phase-scheduled on the same trace and reports
+//! predicted vs measured per-phase misses, repartition flush costs
+//! included), while a `PATH` names a schedule file (text format: one
+//! `AT_CYCLE key=sets ...` or `AT_CYCLE shared` step per line;
+//! `--save-schedule` writes a derived schedule in that format).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -52,33 +65,37 @@ use std::sync::Arc;
 
 use compmem::experiment::{
     allocation_problem_for_table, phase_allocations_for_table, run_replay,
-    sweep_shapes_from_curves, Experiment, RunOutcome, ScenarioSpec,
+    sweep_shapes_from_curves, validate_phase_plan, Experiment, RunOutcome, ScenarioSpec,
 };
 use compmem::{CoreError, OptimizerKind};
 use compmem_bench::{jpeg_canny_experiment, mpeg2_experiment, Scale};
 use compmem_cache::{
     CacheConfig, CacheSizeLattice, CurveResolution, OrganizationSpec, PartitionKey, PartitionMap,
-    ReplacementPolicy, WayAllocation, WindowConfig, WindowedCurves,
+    PartitionSchedule, ReplacementPolicy, WayAllocation, WindowConfig, WindowedCurves,
 };
 use compmem_platform::{
     profile_trace_windowed, profile_trace_with_sidecar, PlatformConfig, PreparedTrace,
     SidecarOutcome,
 };
-use compmem_trace::{curves::sidecar_path, EncodedCurves, EncodedTrace, RegionTable};
+use compmem_trace::{
+    curves::sidecar_path, BufferId, EncodedCurves, EncodedTrace, RegionTable, TaskId,
+};
 use compmem_workloads::apps::Application;
 
 fn usage() {
     eprintln!(
         "usage:\n  compmem record --app jpeg_canny|mpeg2 [--scale paper|small|tiny] \
          [--org shared|way-partitioned|profiling] --out FILE\n  compmem replay --trace FILE \
-         [--org ORG] [--l2-kb N] [--ways N] [--policy lru|fifo|tree-plru|random]\n  \
+         [--org ORG] [--l2-kb N] [--ways N] [--policy lru|fifo|tree-plru|random] \
+         [--schedule phases|PATH [--sets-per-unit N] [--windows N] [--phases DELTA] \
+         [--solve KIND] [--save-schedule PATH]]\n  \
          compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N]\n  \
          compmem profile --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
          [--solve exact-ilp|greedy|equal-split] [--windows N | --window-cycles N] \
          [--phases DELTA] [--save-curves auto|off|PATH]\n  \
          compmem sweep-shapes --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
          [--check-replay on|off] [--save-curves auto|off|PATH]\n  \
-         compmem info --trace FILE"
+         compmem info --trace FILE [--schedule PATH] [--l2-kb N] [--ways N]"
     );
 }
 
@@ -305,6 +322,21 @@ fn l2_config(flags: &[(String, String)]) -> Result<CacheConfig, String> {
     Ok(config)
 }
 
+/// Rejects profiling-backed invocations over a non-LRU L2: the
+/// stack-distance curves are exact for LRU only, so a FIFO/PLRU/random
+/// `--policy` would silently produce predictions the replayed cache
+/// does not follow (the CLI-side twin of `CoreError::NonLruProfiling`).
+fn require_lru_for_profiling(l2: CacheConfig) -> Result<(), String> {
+    let policy = l2.replacement_policy();
+    if policy != ReplacementPolicy::Lru {
+        return Err(format!(
+            "stack-distance profiling is exact for LRU only; the scenario's L2 uses \
+             `{policy}` (drop --policy {policy} or use LRU)"
+        ));
+    }
+    Ok(())
+}
+
 fn organization(
     name: &str,
     l2: CacheConfig,
@@ -347,11 +379,217 @@ fn outcome_header() {
     );
 }
 
+/// The partition-sizing solver of a profiling/scheduling invocation.
+fn solver_kind(flags: &[(String, String)]) -> Result<OptimizerKind, String> {
+    match get(flags, "solve").unwrap_or("exact-ilp") {
+        "exact-ilp" => Ok(OptimizerKind::ExactIlp),
+        "greedy" => Ok(OptimizerKind::Greedy),
+        "equal-split" => Ok(OptimizerKind::EqualSplit),
+        other => Err(format!("unknown solver `{other}`")),
+    }
+}
+
+/// The schedule-file token of a partition key (`task0`, `buffer3`,
+/// `app.data`, ...) — the inverse of [`parse_partition_key`].
+fn key_token(key: PartitionKey) -> String {
+    match key {
+        PartitionKey::Task(t) => format!("task{}", t.index()),
+        PartitionKey::Buffer(b) => format!("buffer{}", b.index()),
+        PartitionKey::AppData => "app.data".to_string(),
+        PartitionKey::AppBss => "app.bss".to_string(),
+        PartitionKey::RtData => "rt.data".to_string(),
+        PartitionKey::RtBss => "rt.bss".to_string(),
+    }
+}
+
+fn parse_partition_key(token: &str) -> Result<PartitionKey, String> {
+    if let Some(n) = token.strip_prefix("task") {
+        if let Ok(i) = n.parse::<u32>() {
+            return Ok(PartitionKey::Task(TaskId::new(i)));
+        }
+    }
+    if let Some(n) = token.strip_prefix("buffer") {
+        if let Ok(i) = n.parse::<u32>() {
+            return Ok(PartitionKey::Buffer(BufferId::new(i)));
+        }
+    }
+    match token {
+        "app.data" => Ok(PartitionKey::AppData),
+        "app.bss" => Ok(PartitionKey::AppBss),
+        "rt.data" => Ok(PartitionKey::RtData),
+        "rt.bss" => Ok(PartitionKey::RtBss),
+        other => Err(format!(
+            "unknown partition key `{other}` (use taskN, bufferN, app.data, app.bss, \
+             rt.data or rt.bss)"
+        )),
+    }
+}
+
+/// Parses the text schedule format: one step per line, `AT_CYCLE
+/// key=sets ...` (packed back to back in listed order) or `AT_CYCLE
+/// shared`; `#` starts a comment.
+fn parse_schedule_file(path: &str, l2: CacheConfig) -> Result<PartitionSchedule, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut steps = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| format!("{path}:{}: {what}", lineno + 1);
+        let mut parts = line.split_whitespace();
+        let at_cycle: u64 = parts
+            .next()
+            .expect("non-empty line has a first token")
+            .parse()
+            .map_err(|_| bad("step must start with its AT_CYCLE"))?;
+        let rest: Vec<&str> = parts.collect();
+        let organization = if rest == ["shared"] {
+            OrganizationSpec::Shared
+        } else if rest.is_empty() {
+            return Err(bad("step needs `shared` or key=sets assignments"));
+        } else {
+            // `key=sets` entries are packed back to back in listed order;
+            // `key=sets@base` pins the exact placement (what
+            // --save-schedule emits, so stable layouts round-trip). The
+            // two forms cannot mix within one step.
+            let mut sizes = Vec::with_capacity(rest.len());
+            let mut placed = PartitionMap::new(l2.geometry());
+            let mut explicit = 0usize;
+            for assignment in rest {
+                let (key, value) = assignment
+                    .split_once('=')
+                    .ok_or_else(|| bad("assignments are key=sets or key=sets@base"))?;
+                let key = parse_partition_key(key).map_err(|e| bad(&e))?;
+                let (sets, base) = match value.split_once('@') {
+                    None => (value, None),
+                    Some((sets, base)) => (
+                        sets,
+                        Some(
+                            base.parse::<u32>()
+                                .map_err(|_| bad("placement base must be a number"))?,
+                        ),
+                    ),
+                };
+                let sets: u32 = sets
+                    .parse()
+                    .map_err(|_| bad("assignment set count must be a number"))?;
+                match base {
+                    Some(base) => {
+                        explicit += 1;
+                        placed
+                            .assign(key, base, sets)
+                            .map_err(|e| bad(&e.to_string()))?;
+                    }
+                    None => sizes.push((key, sets)),
+                }
+            }
+            let map = match (explicit, sizes.is_empty()) {
+                (0, _) => {
+                    PartitionMap::pack(l2.geometry(), &sizes).map_err(|e| bad(&e.to_string()))?
+                }
+                (_, true) => placed,
+                _ => return Err(bad("cannot mix key=sets and key=sets@base in one step")),
+            };
+            OrganizationSpec::SetPartitioned(map)
+        };
+        steps.push((at_cycle, organization));
+    }
+    PartitionSchedule::new(steps).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Writes a schedule in the text format [`parse_schedule_file`] reads
+/// (set-partitioned maps are emitted in key order, which is also their
+/// packed layout order, so the file round-trips exactly).
+fn write_schedule_file(path: &str, schedule: &PartitionSchedule) -> Result<(), String> {
+    let mut out = String::from(
+        "# compmem partition schedule: AT_CYCLE key=sets@base ... | AT_CYCLE shared\n",
+    );
+    for step in schedule.steps() {
+        match &step.organization {
+            OrganizationSpec::Shared => {
+                out.push_str(&format!("{} shared\n", step.at_cycle));
+            }
+            OrganizationSpec::SetPartitioned(map) => {
+                out.push_str(&format!("{}", step.at_cycle));
+                for (key, partition) in map.iter() {
+                    out.push_str(&format!(
+                        " {}={}@{}",
+                        key_token(*key),
+                        partition.sets,
+                        partition.base_set
+                    ));
+                }
+                out.push('\n');
+            }
+            other => {
+                return Err(format!(
+                    "schedule files cannot express `{}` steps",
+                    other.label()
+                ))
+            }
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Prints one line per step: step 0 as a summary, every switch as the
+/// diff against its predecessor (only re-sized/moved partitions).
+fn print_schedule_steps(schedule: &PartitionSchedule) {
+    let mut previous: Option<&PartitionMap> = None;
+    for (i, step) in schedule.steps().iter().enumerate() {
+        print!(
+            "  step {i} @ cycle {:>10}: {}",
+            step.at_cycle,
+            step.organization.label()
+        );
+        if let OrganizationSpec::SetPartitioned(map) = &step.organization {
+            match previous {
+                None => print!(
+                    " — {} partitions over {} sets",
+                    map.len(),
+                    map.assigned_sets()
+                ),
+                Some(prev) => {
+                    let changed: Vec<String> = map
+                        .iter()
+                        .filter_map(|(key, p)| {
+                            let old = prev.partition_for(*key);
+                            (old != Some(*p)).then(|| match old {
+                                Some(o) if o.sets != p.sets => {
+                                    format!("{key} {}->{} sets", o.sets, p.sets)
+                                }
+                                Some(_) => format!("{key} moved"),
+                                None => format!("{key} +{} sets", p.sets),
+                            })
+                        })
+                        .collect();
+                    if changed.is_empty() {
+                        print!(" — unchanged");
+                    } else {
+                        print!(" — {}", changed.join(", "));
+                    }
+                }
+            }
+            previous = Some(map);
+        }
+        println!();
+    }
+}
+
 fn replay(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let trace = load_trace(&flags)?;
-    let l2 = l2_config(&flags)?;
-    let org_name = get(&flags, "org").unwrap_or("shared");
+    match get(&flags, "schedule") {
+        None => replay_static(&flags),
+        Some("phases") => replay_phase_schedule(&flags),
+        Some(path) => replay_schedule_file(&flags, path),
+    }
+}
+
+fn replay_static(flags: &[(String, String)]) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    let l2 = l2_config(flags)?;
+    let org_name = get(flags, "org").unwrap_or("shared");
     let org = organization(org_name, l2, trace.table())?;
     let spec = ScenarioSpec::replay(l2, org, trace.clone());
     let outcome = run_replay(&PlatformConfig::default(), &spec).map_err(|e| e.to_string())?;
@@ -363,6 +601,128 @@ fn replay(args: &[String]) -> Result<(), String> {
     );
     outcome_header();
     print_outcome_row(org_name, &outcome);
+    Ok(())
+}
+
+/// The validation driver behind `replay --schedule phases`: derive a
+/// per-phase schedule from a windowed profile of the trace, then replay
+/// static-best and phase-scheduled on the same traffic.
+fn replay_phase_schedule(flags: &[(String, String)]) -> Result<(), String> {
+    let (trace, trace_path) = load_trace_with_path(flags)?;
+    let l2 = l2_config(flags)?;
+    require_lru_for_profiling(l2)?;
+    let geometry = l2.geometry();
+    let sets_per_unit: u32 = get(flags, "sets-per-unit")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
+    let resolution =
+        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
+    let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
+    let kind = solver_kind(flags)?;
+    let windows: u64 = get(flags, "windows")
+        .unwrap_or("400")
+        .parse()
+        .map_err(|_| "--windows needs a number".to_string())?;
+    let window = WindowConfig::accesses(windows).map_err(|e| e.to_string())?;
+    let threshold: f64 = get(flags, "phases")
+        .unwrap_or("0.1")
+        .parse()
+        .map_err(|_| "--phases needs a curve-delta threshold".to_string())?;
+    let sidecar = save_curves_path(flags, &trace_path, window)?;
+
+    let platform = PlatformConfig::default();
+    let windowed = profile_with_policy(&platform, &trace, resolution, window, sidecar.as_deref())?;
+    let plan = phase_allocations_for_table(
+        &windowed,
+        threshold,
+        trace.table(),
+        &lattice,
+        geometry,
+        kind,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "derived {} phase(s) from {} windows of {} L2-bound accesses (curve-delta {threshold})",
+        plan.phases.len(),
+        windowed.windows.len(),
+        windows
+    );
+    let validation =
+        validate_phase_plan(&platform, l2, &lattice, &plan, &trace).map_err(|e| e.to_string())?;
+
+    if let Some(path) = get(flags, "save-schedule") {
+        write_schedule_file(path, &validation.schedule)?;
+        println!("wrote schedule file {path}");
+    }
+
+    let spec = ScenarioSpec::scheduled_replay(l2, validation.schedule.clone(), trace.clone());
+    println!("scenario: {spec}");
+    outcome_header();
+    print_outcome_row("static whole-run", &validation.static_outcome);
+    print_outcome_row("phase-scheduled", &validation.scheduled_outcome);
+    print_repartition_report(&validation);
+    Ok(())
+}
+
+fn print_repartition_report(validation: &compmem::experiment::ScheduleValidation) {
+    let records = &validation.scheduled_outcome.report.repartitions;
+    println!("repartition events ({} fired):", records.len());
+    for record in records {
+        println!(
+            "  step {} @ cycle {:>10}: {}",
+            record.step, record.at_cycle, record.flush
+        );
+    }
+    println!(
+        "{:<10} {:>22} {:>10} {:>10} {:>7}",
+        "phase", "cycles", "predicted", "measured", "delta"
+    );
+    for comparison in &validation.phases {
+        println!(
+            "{:<10} {:>22} {:>10} {:>10} {:>+7}",
+            format!("phase {}", comparison.phase),
+            format!("{}..{}", comparison.start_cycle, comparison.end_cycle),
+            comparison.predicted_misses,
+            comparison.measured_misses,
+            comparison.delta()
+        );
+    }
+    println!(
+        "scheduled vs static: {:+} L2 misses ({} across all switches)",
+        -validation.measured_improvement(),
+        validation.total_flush()
+    );
+}
+
+/// Replays the trace under a schedule file (`replay --schedule PATH`).
+fn replay_schedule_file(flags: &[(String, String)], path: &str) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    let l2 = l2_config(flags)?;
+    let schedule = parse_schedule_file(path, l2)?;
+    schedule
+        .validate_for(l2.geometry(), trace.table())
+        .map_err(|e| format!("{path}: {e}"))?;
+    let spec = ScenarioSpec::scheduled_replay(l2, schedule, trace.clone());
+    println!("scenario: {spec}");
+    let outcome = run_replay(&PlatformConfig::default(), &spec).map_err(|e| e.to_string())?;
+    println!(
+        "replayed {} accesses on {} processors under the schedule",
+        trace.accesses(),
+        trace.processors(),
+    );
+    outcome_header();
+    print_outcome_row("scheduled", &outcome);
+    println!(
+        "repartition events ({} fired):",
+        outcome.report.repartitions.len()
+    );
+    for record in &outcome.report.repartitions {
+        println!(
+            "  step {} @ cycle {:>10}: {}",
+            record.step, record.at_cycle, record.flush
+        );
+    }
     Ok(())
 }
 
@@ -433,6 +793,7 @@ fn profile(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let (trace, trace_path) = load_trace_with_path(&flags)?;
     let l2 = l2_config(&flags)?;
+    require_lru_for_profiling(l2)?;
     let geometry = l2.geometry();
     let sets_per_unit: u32 = get(&flags, "sets-per-unit")
         .unwrap_or("16")
@@ -441,12 +802,7 @@ fn profile(args: &[String]) -> Result<(), String> {
     let resolution =
         CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
     let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
-    let kind = match get(&flags, "solve").unwrap_or("exact-ilp") {
-        "exact-ilp" => OptimizerKind::ExactIlp,
-        "greedy" => OptimizerKind::Greedy,
-        "equal-split" => OptimizerKind::EqualSplit,
-        other => return Err(format!("unknown solver `{other}`")),
-    };
+    let kind = solver_kind(&flags)?;
     let window = window_config(&flags)?;
     let sidecar = save_curves_path(&flags, &trace_path, window)?;
     // Validate before the (potentially expensive) profiling pass.
@@ -592,6 +948,7 @@ fn sweep_shapes(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let (trace, trace_path) = load_trace_with_path(&flags)?;
     let l2 = l2_config(&flags)?;
+    require_lru_for_profiling(l2)?;
     let geometry = l2.geometry();
     let sets_per_unit: u32 = get(&flags, "sets-per-unit")
         .unwrap_or("16")
@@ -701,6 +1058,16 @@ fn info(args: &[String]) -> Result<(), String> {
     println!("embedded region table ({} regions):", trace.table().len());
     for region in trace.table().iter() {
         println!("  [{}] {region}", region.id.index());
+    }
+    if let Some(path) = get(&flags, "schedule") {
+        let l2 = l2_config(&flags)?;
+        let schedule = parse_schedule_file(path, l2)?;
+        println!("schedule {path}: {schedule}");
+        print_schedule_steps(&schedule);
+        match schedule.validate_for(l2.geometry(), trace.table()) {
+            Ok(()) => println!("  validates against this trace's region table: ok"),
+            Err(e) => println!("  DOES NOT validate against this trace: {e}"),
+        }
     }
     let sidecar = sidecar_path(&trace_path);
     match EncodedCurves::read_from(&sidecar) {

@@ -195,6 +195,38 @@ impl SetAssocCache {
         dirty
     }
 
+    /// Invalidates one set, returning `(invalidated, dirty)` line counts.
+    ///
+    /// Unlike [`flush`](Self::flush) the cold-miss tracker is untouched:
+    /// a repartition-invalidated line was referenced before, so its
+    /// re-fetch is a (repartition-induced) conflict miss, not a cold one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_index` is out of range.
+    pub fn flush_set(&mut self, set_index: u32) -> (u64, u64) {
+        assert!(
+            set_index < self.geometry.sets(),
+            "set index {set_index} out of range ({} sets)",
+            self.geometry.sets()
+        );
+        self.sets[set_index.index()].invalidate_ways(u64::MAX)
+    }
+
+    /// Invalidates the ways selected by `mask` in **every** set, returning
+    /// `(invalidated, dirty)` line counts; the cold-miss tracker is
+    /// untouched, as in [`flush_set`](Self::flush_set).
+    pub fn flush_ways(&mut self, mask: u64) -> (u64, u64) {
+        let mut invalidated = 0;
+        let mut dirty = 0;
+        for set in &mut self.sets {
+            let (i, d) = set.invalidate_ways(mask);
+            invalidated += i;
+            dirty += d;
+        }
+        (invalidated, dirty)
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> &CacheStats {
         &self.stats

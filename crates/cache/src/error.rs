@@ -55,6 +55,25 @@ pub enum CacheError {
         /// The offending window length.
         length: u64,
     },
+    /// A live reconfiguration was requested between organisations that
+    /// cannot morph into one another (only like-for-like repartitioning
+    /// is supported: a new `PartitionMap` on a set-partitioned cache, a
+    /// new `WayAllocation` on a way-partitioned cache, or the trivial
+    /// shared-to-shared no-op).
+    ReconfigureUnsupported {
+        /// Organisation of the live cache.
+        from: &'static str,
+        /// Organisation the reconfiguration asked for.
+        to: &'static str,
+    },
+    /// A partition schedule contained no steps.
+    EmptySchedule,
+    /// A partition schedule's step cycles were not strictly increasing
+    /// from an implicit first step at cycle 0.
+    ScheduleOutOfOrder {
+        /// The offending step cycle.
+        at_cycle: u64,
+    },
     /// A miss-rate curve was asked about a cache shape outside the
     /// resolution it was profiled at.
     CurveOutOfRange {
@@ -117,6 +136,19 @@ impl fmt::Display for CacheError {
                     "profiling window length of {length} is invalid (must be > 0)"
                 )
             }
+            CacheError::ReconfigureUnsupported { from, to } => write!(
+                f,
+                "a live `{from}` cache cannot be reconfigured into `{to}` \
+                 (only like-for-like repartitioning is supported)"
+            ),
+            CacheError::EmptySchedule => {
+                write!(f, "a partition schedule needs at least one step")
+            }
+            CacheError::ScheduleOutOfOrder { at_cycle } => write!(
+                f,
+                "partition schedule step at cycle {at_cycle} is out of order \
+                 (steps must start at cycle 0 and strictly increase)"
+            ),
             CacheError::CurveOutOfRange {
                 sets,
                 ways,

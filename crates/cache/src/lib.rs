@@ -35,6 +35,13 @@
 //! * [`OrganizationSpec`] — a declarative, `Send + Sync` description of any
 //!   of the four organisations; [`OrganizationSpec::build`] produces the
 //!   `Box<dyn CacheModel>` a run executes against.
+//! * [`PartitionSchedule`] — partitioning as a **time-varying policy**:
+//!   validated, ordered `(at_cycle, OrganizationSpec)` steps. The platform
+//!   applies each later step to the live cache through
+//!   [`CacheModel::reconfigure`] (a new [`PartitionMap`] /
+//!   [`WayAllocation`] loaded in place), invalidating the lines whose
+//!   set/way ownership changed and reporting them as [`FlushStats`] so the
+//!   flush traffic can be charged on the bus/DRAM timing path.
 //!
 //! (The workspace-level architecture guide — layers, dataflow, the
 //! one-pass profiling invariant — lives in `docs/ARCHITECTURE.md`; the
@@ -71,6 +78,7 @@ mod model;
 mod partition;
 mod profile;
 mod replacement;
+mod schedule;
 mod set;
 mod spec;
 mod stats;
@@ -79,8 +87,8 @@ mod way_partition;
 pub use cache::{AccessOutcome, EvictedLine, SetAssocCache};
 pub use config::CacheConfig;
 pub use distance::{
-    curve_delta, CurveResolution, CurveWindow, MissRateCurve, MissRateCurves, Phase,
-    StackDistanceProfiler, WindowConfig, WindowKind, WindowedCurves, WindowedProfiler,
+    curve_delta, CurveResolution, CurveWindow, MissRateCurve, MissRateCurves, OnlinePhaseDetector,
+    Phase, StackDistanceProfiler, WindowConfig, WindowKind, WindowedCurves, WindowedProfiler,
 };
 pub use error::CacheError;
 pub use geometry::CacheGeometry;
@@ -88,6 +96,7 @@ pub use model::{CacheModel, CacheSnapshot, SharedCache};
 pub use partition::{Partition, PartitionKey, PartitionMap, SetPartitionedCache};
 pub use profile::{CacheSizeLattice, MissProfile, MissProfiles, ProfilingCache};
 pub use replacement::ReplacementPolicy;
+pub use schedule::{FlushStats, PartitionSchedule, ScheduleStep};
 pub use spec::OrganizationSpec;
 pub use stats::{CacheStats, KeyStats, StatsByKey};
 pub use way_partition::{WayAllocation, WayPartitionedCache};

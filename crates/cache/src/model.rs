@@ -27,12 +27,15 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use compmem_trace::{Access, RegionId, TaskId};
+use compmem_trace::{Access, RegionId, RegionTable, TaskId};
 
 use crate::cache::{AccessOutcome, SetAssocCache};
 use crate::config::CacheConfig;
+use crate::error::CacheError;
 use crate::geometry::CacheGeometry;
 use crate::partition::PartitionKey;
+use crate::schedule::FlushStats;
+use crate::spec::OrganizationSpec;
 use crate::stats::{CacheStats, KeyStats, StatsByKey};
 
 /// A uniform, organisation-independent view of a cache's counters.
@@ -116,6 +119,34 @@ pub trait CacheModel: Send + Any + std::fmt::Debug {
     /// Invalidates the cache contents, returning the number of dirty lines.
     fn flush(&mut self) -> u64;
 
+    /// Applies a new organisation to the **live** cache — the repartition
+    /// event of a [`PartitionSchedule`](crate::PartitionSchedule).
+    ///
+    /// Reconfiguration is like-for-like: a set-partitioned cache takes a
+    /// new `PartitionMap`, a way-partitioned cache a new `WayAllocation`,
+    /// and the shared baseline only its own (no-op) spec. Lines whose
+    /// set/way ownership changes are invalidated; the returned
+    /// [`FlushStats`] counts them (and the dirty ones among them, which
+    /// the platform charges as bus/DRAM write-back traffic). Statistics
+    /// are never reset — the run's counters keep accumulating across the
+    /// switch.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`CacheError::ReconfigureUnsupported`]:
+    /// organisations opt in by overriding.
+    fn reconfigure(
+        &mut self,
+        spec: &OrganizationSpec,
+        regions: &RegionTable,
+    ) -> Result<FlushStats, CacheError> {
+        let _ = regions;
+        Err(CacheError::ReconfigureUnsupported {
+            from: self.organization(),
+            to: spec.label(),
+        })
+    }
+
     /// Clears statistics without touching contents.
     fn reset_stats(&mut self);
 
@@ -194,6 +225,22 @@ impl CacheModel for SharedCache {
 
     fn flush(&mut self) -> u64 {
         self.inner.flush()
+    }
+
+    fn reconfigure(
+        &mut self,
+        spec: &OrganizationSpec,
+        _regions: &RegionTable,
+    ) -> Result<FlushStats, CacheError> {
+        // A shared cache has no partition state: the only organisation it
+        // can "switch" to is itself, and doing so touches nothing.
+        match spec {
+            OrganizationSpec::Shared => Ok(FlushStats::default()),
+            other => Err(CacheError::ReconfigureUnsupported {
+                from: self.organization(),
+                to: other.label(),
+            }),
+        }
     }
 
     fn reset_stats(&mut self) {

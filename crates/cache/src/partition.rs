@@ -22,6 +22,8 @@ use crate::config::CacheConfig;
 use crate::error::CacheError;
 use crate::geometry::CacheGeometry;
 use crate::model::CacheModel;
+use crate::schedule::FlushStats;
+use crate::spec::OrganizationSpec;
 use crate::stats::{CacheStats, KeyStats, StatsByKey};
 
 /// The entity a cache partition is allocated to.
@@ -217,6 +219,64 @@ impl PartitionMap {
         Ok(map)
     }
 
+    /// Packs the given `(key, sets)` requests while disturbing `previous`
+    /// as little as possible: every key whose requested size equals its
+    /// partition in `previous` **keeps that exact partition** (so a later
+    /// repartition will not flush it), and only re-sized or new keys are
+    /// placed into the remaining gaps (largest first). When the gaps
+    /// fragment too much to fit every pending key, the whole request
+    /// falls back to a plain [`pack`](Self::pack) — correct, just
+    /// flush-heavier.
+    ///
+    /// This is the layout policy of
+    /// [`PhasePlan::to_schedule`](../compmem/experiment/struct.PhasePlan.html#method.to_schedule):
+    /// without it, resizing one partition shifts the base of every
+    /// partition packed after it and a switch flushes nearly the whole
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`pack`](Self::pack).
+    pub fn pack_stable(
+        geometry: CacheGeometry,
+        sizes: &[(PartitionKey, u32)],
+        previous: &PartitionMap,
+    ) -> Result<Self, CacheError> {
+        let mut map = PartitionMap::new(geometry);
+        let mut pending: Vec<(PartitionKey, u32)> = Vec::new();
+        for &(key, sets) in sizes {
+            match previous.partition_for(key) {
+                Some(p) if p.sets == sets => map.assign(key, p.base_set, sets)?,
+                _ => pending.push((key, sets)),
+            }
+        }
+        // Largest first limits fragmentation; the sort is stable, so
+        // equal sizes keep the caller's (deterministic) order.
+        pending.sort_by_key(|&(_, sets)| std::cmp::Reverse(sets));
+        for &(key, sets) in &pending {
+            match map.find_gap(sets) {
+                Some(base) => map.assign(key, base, sets)?,
+                None => return Self::pack(geometry, sizes),
+            }
+        }
+        Ok(map)
+    }
+
+    /// First free range of at least `sets` consecutive sets, scanning
+    /// from set 0.
+    fn find_gap(&self, sets: u32) -> Option<u32> {
+        let mut occupied: Vec<Partition> = self.assignments.values().copied().collect();
+        occupied.sort_by_key(|p| p.base_set);
+        let mut cursor = 0u32;
+        for p in occupied {
+            if p.base_set >= cursor && p.base_set - cursor >= sets {
+                return Some(cursor);
+            }
+            cursor = cursor.max(p.end_set());
+        }
+        (self.geometry.sets() >= cursor && self.geometry.sets() - cursor >= sets).then_some(cursor)
+    }
+
     /// Packs an equal split over `keys`: every key receives the largest
     /// power-of-two set count that still lets all keys fit in the cache
     /// (the set-indexed analogue of [`WayAllocation::equal_split`]).
@@ -290,6 +350,8 @@ impl PartitionMap {
 #[derive(Debug, Clone)]
 pub struct SetPartitionedCache {
     inner: SetAssocCache,
+    /// The OS map currently loaded into the controller.
+    map: PartitionMap,
     /// Dense map: region index -> (partition, key).
     region_partitions: Vec<(Partition, PartitionKey)>,
     by_partition: StatsByKey<PartitionKey>,
@@ -308,21 +370,78 @@ impl SetPartitionedCache {
         map: &PartitionMap,
     ) -> Result<Self, CacheError> {
         map.validate_covers(regions)?;
-        let region_partitions = regions
+        Ok(SetPartitionedCache {
+            inner: SetAssocCache::new(config),
+            region_partitions: Self::region_partitions(regions, map),
+            map: map.clone(),
+            by_partition: StatsByKey::new(),
+        })
+    }
+
+    /// The dense region-index -> (partition, key) table of a validated map.
+    fn region_partitions(
+        regions: &RegionTable,
+        map: &PartitionMap,
+    ) -> Vec<(Partition, PartitionKey)> {
+        regions
             .iter()
             .map(|r| {
                 let key = PartitionKey::from_region_kind(r.kind);
                 let partition = map
                     .partition_for(key)
-                    .expect("validated above: every region key has a partition");
+                    .expect("validated: every region key has a partition");
                 (partition, key)
             })
-            .collect();
-        Ok(SetPartitionedCache {
-            inner: SetAssocCache::new(config),
-            region_partitions,
-            by_partition: StatsByKey::new(),
-        })
+            .collect()
+    }
+
+    /// The OS map currently loaded into the controller.
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// Loads a new OS map into the live cache — the repartition event of
+    /// a schedule.
+    ///
+    /// A key keeps its contents only if its partition is *identical*
+    /// (same base set, same size) under both maps: moving or resizing a
+    /// partition changes the in-partition index mapping, so its sets are
+    /// invalidated wholesale, as are the sets of keys that disappeared.
+    /// Dirty invalidated lines are counted as write-backs in the returned
+    /// [`FlushStats`]. Invalidated lines do **not** become cold again —
+    /// their re-fetches are repartition-induced conflict misses.
+    /// Statistics are preserved across the switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new map's geometry differs from the
+    /// cache's or it does not cover every region of `regions`.
+    pub fn repartition(
+        &mut self,
+        regions: &RegionTable,
+        map: &PartitionMap,
+    ) -> Result<FlushStats, CacheError> {
+        if map.geometry() != self.inner.geometry() {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "partition-map sets",
+                value: u64::from(map.geometry().sets()),
+            });
+        }
+        map.validate_covers(regions)?;
+        let mut stats = FlushStats::default();
+        for (key, old) in self.map.iter() {
+            if map.partition_for(*key) == Some(*old) {
+                continue; // unchanged partition: contents stay valid
+            }
+            for set in old.base_set..old.end_set() {
+                let (invalidated, dirty) = self.inner.flush_set(set);
+                stats.invalidated += invalidated;
+                stats.written_back += dirty;
+            }
+        }
+        self.region_partitions = Self::region_partitions(regions, map);
+        self.map = map.clone();
+        Ok(stats)
     }
 
     /// Per-partition-key statistics (tasks, buffers, shared sections).
@@ -381,6 +500,20 @@ impl CacheModel for SetPartitionedCache {
 
     fn flush(&mut self) -> u64 {
         self.inner.flush()
+    }
+
+    fn reconfigure(
+        &mut self,
+        spec: &OrganizationSpec,
+        regions: &RegionTable,
+    ) -> Result<FlushStats, CacheError> {
+        match spec {
+            OrganizationSpec::SetPartitioned(map) => self.repartition(regions, map),
+            other => Err(CacheError::ReconfigureUnsupported {
+                from: self.organization(),
+                to: other.label(),
+            }),
+        }
     }
 
     fn reset_stats(&mut self) {
@@ -560,6 +693,197 @@ mod tests {
         );
         assert_eq!(map.assigned_sets(), 28);
         assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn pack_stable_keeps_unchanged_partitions_in_place() {
+        let g = CacheGeometry::new(64, 4).unwrap();
+        let t = |i| PartitionKey::Task(TaskId::new(i));
+        let old = PartitionMap::pack(g, &[(t(0), 8), (t(1), 16), (t(2), 4), (t(3), 8)]).unwrap();
+        // Resize only t1 (16 -> 8): everyone else keeps their exact
+        // partition, and t1 lands in a free gap.
+        let new = PartitionMap::pack_stable(g, &[(t(0), 8), (t(1), 8), (t(2), 4), (t(3), 8)], &old)
+            .unwrap();
+        for key in [t(0), t(2), t(3)] {
+            assert_eq!(new.partition_for(key), old.partition_for(key), "{key}");
+        }
+        let p1 = new.partition_for(t(1)).unwrap();
+        assert_eq!(p1.sets, 8);
+        // No overlap with the kept partitions.
+        for key in [t(0), t(2), t(3)] {
+            assert!(!p1.overlaps(&new.partition_for(key).unwrap()));
+        }
+        // A dropped key frees its range; a new key can take a gap.
+        let with_new =
+            PartitionMap::pack_stable(g, &[(t(0), 8), (t(4), 16), (t(3), 8)], &new).unwrap();
+        assert_eq!(with_new.partition_for(t(0)), old.partition_for(t(0)));
+        assert_eq!(with_new.partition_for(t(3)), old.partition_for(t(3)));
+        assert!(with_new.partition_for(t(1)).is_none());
+        assert_eq!(with_new.partition_for(t(4)).unwrap().sets, 16);
+        // Fragmented gaps that cannot hold a pending request fall back to
+        // a full repack rather than failing: kept partitions at [0, 8)
+        // and [32, 40) leave two 24-set gaps, neither of which holds the
+        // resized 32-set request even though 48 sets are free in total.
+        let mut fragmented = PartitionMap::new(g);
+        fragmented.assign(t(0), 0, 8).unwrap();
+        fragmented.assign(t(1), 32, 8).unwrap();
+        fragmented.assign(t(2), 8, 16).unwrap();
+        let repacked =
+            PartitionMap::pack_stable(g, &[(t(0), 8), (t(1), 8), (t(2), 32)], &fragmented).unwrap();
+        assert_eq!(
+            repacked,
+            PartitionMap::pack(g, &[(t(0), 8), (t(1), 8), (t(2), 32)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn repartition_keeps_unchanged_partitions_and_flushes_moved_ones() {
+        let (table, r0, r1) = two_task_table();
+        let config = CacheConfig::new(16, 2).unwrap();
+        let map = PartitionMap::pack(
+            config.geometry(),
+            &[
+                (PartitionKey::Task(TaskId::new(0)), 2),
+                (PartitionKey::Task(TaskId::new(1)), 4),
+            ],
+        )
+        .unwrap();
+        let mut cache = SetPartitionedCache::new(config, &table, &map).unwrap();
+        let base0 = table.region(r0).base;
+        let base1 = table.region(r1).base;
+        // Task 0 fills its 2x2 partition (one line dirty); task 1 touches
+        // two lines of its own.
+        let t0_lines: Vec<Access> = (0..4)
+            .map(|i| Access::load(base0.offset(i * 64), 4, TaskId::new(0), r0))
+            .collect();
+        for a in &t0_lines {
+            cache.access(a);
+        }
+        cache.access(&Access::store(base0, 4, TaskId::new(0), r0));
+        let t1_lines: Vec<Access> = (0..2)
+            .map(|i| Access::load(base1.offset(i * 64), 4, TaskId::new(1), r1))
+            .collect();
+        for a in &t1_lines {
+            cache.access(a);
+        }
+
+        // Task 0 keeps its partition; task 1's is resized: only task 1's
+        // lines are invalidated (none dirty).
+        let resized = PartitionMap::pack(
+            config.geometry(),
+            &[
+                (PartitionKey::Task(TaskId::new(0)), 2),
+                (PartitionKey::Task(TaskId::new(1)), 8),
+            ],
+        )
+        .unwrap();
+        let stats = cache.repartition(&table, &resized).unwrap();
+        assert_eq!(stats.invalidated, 2);
+        assert_eq!(stats.written_back, 0);
+        for a in &t0_lines {
+            assert!(cache.access(a).hit, "task 0's partition was untouched");
+        }
+        for a in &t1_lines {
+            let out = cache.access(a);
+            assert!(out.is_miss(), "task 1's lines were invalidated");
+            assert!(!out.cold, "repartition misses are not cold misses");
+        }
+        assert_eq!(
+            cache
+                .map()
+                .partition_for(PartitionKey::Task(TaskId::new(1)))
+                .unwrap()
+                .sets,
+            8
+        );
+
+        // Moving task 0's (dirty) partition counts the write-back.
+        let moved = PartitionMap::pack(
+            config.geometry(),
+            &[
+                (PartitionKey::Task(TaskId::new(1)), 8),
+                (PartitionKey::Task(TaskId::new(0)), 4),
+            ],
+        )
+        .unwrap();
+        let stats = cache.repartition(&table, &moved).unwrap();
+        // Both partitions moved: task 0's four lines plus the two task-1
+        // lines refilled after the first switch.
+        assert_eq!(stats.invalidated, 6);
+        assert_eq!(stats.written_back, 1, "only task 0's stored line was dirty");
+        // Statistics survived both switches.
+        assert!(cache.stats().accesses > 0);
+        assert!(
+            cache
+                .partition_stats(PartitionKey::Task(TaskId::new(0)))
+                .accesses
+                > 0
+        );
+    }
+
+    #[test]
+    fn identical_repartition_flushes_nothing() {
+        let (table, r0, _) = two_task_table();
+        let config = CacheConfig::new(16, 2).unwrap();
+        let map = map_for(config.geometry());
+        let mut cache = SetPartitionedCache::new(config, &table, &map).unwrap();
+        let base0 = table.region(r0).base;
+        let a = Access::load(base0, 4, TaskId::new(0), r0);
+        cache.access(&a);
+        let stats = cache.repartition(&table, &map).unwrap();
+        assert_eq!(stats, FlushStats::default());
+        assert!(cache.access(&a).hit);
+    }
+
+    #[test]
+    fn repartition_validates_geometry_and_coverage() {
+        let (table, _, _) = two_task_table();
+        let config = CacheConfig::new(16, 2).unwrap();
+        let map = map_for(config.geometry());
+        let mut cache = SetPartitionedCache::new(config, &table, &map).unwrap();
+        let wrong_geometry = PartitionMap::pack(
+            CacheGeometry::new(32, 2).unwrap(),
+            &[
+                (PartitionKey::Task(TaskId::new(0)), 2),
+                (PartitionKey::Task(TaskId::new(1)), 2),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            cache.repartition(&table, &wrong_geometry),
+            Err(CacheError::InvalidGeometry { .. })
+        ));
+        let uncovered = PartitionMap::pack(
+            config.geometry(),
+            &[(PartitionKey::Task(TaskId::new(0)), 2)],
+        )
+        .unwrap();
+        assert!(matches!(
+            cache.repartition(&table, &uncovered),
+            Err(CacheError::UnassignedRegion { .. })
+        ));
+        // Failed repartitions leave the loaded map untouched.
+        assert_eq!(cache.map(), &map);
+    }
+
+    #[test]
+    fn reconfigure_goes_through_the_trait_object() {
+        let (table, _, _) = two_task_table();
+        let config = CacheConfig::new(16, 2).unwrap();
+        let map = map_for(config.geometry());
+        let mut cache: Box<dyn CacheModel> =
+            Box::new(SetPartitionedCache::new(config, &table, &map).unwrap());
+        let stats = cache
+            .reconfigure(&OrganizationSpec::SetPartitioned(map), &table)
+            .unwrap();
+        assert_eq!(stats, FlushStats::default());
+        assert!(matches!(
+            cache.reconfigure(&OrganizationSpec::Shared, &table),
+            Err(CacheError::ReconfigureUnsupported {
+                from: "set-partitioned",
+                to: "shared"
+            })
+        ));
     }
 
     #[test]

@@ -78,6 +78,27 @@ impl CacheSet {
         dirty
     }
 
+    /// Invalidates the lines resident in the ways selected by `mask`,
+    /// returning `(invalidated, dirty)` line counts (dirty lines would be
+    /// written back). Replacement metadata of the flushed ways is left as
+    /// is — the stamps only matter relative to occupied ways.
+    pub fn invalidate_ways(&mut self, mask: u64) -> (u64, u64) {
+        let mut invalidated = 0;
+        let mut dirty = 0;
+        for (way, slot) in self.ways.iter_mut().enumerate() {
+            if mask & (1 << way) == 0 {
+                continue;
+            }
+            if let Some(line) = slot.take() {
+                invalidated += 1;
+                if line.dirty {
+                    dirty += 1;
+                }
+            }
+        }
+        (invalidated, dirty)
+    }
+
     /// Accesses `tag` in this set.
     ///
     /// On a miss the line is filled into an allowed way, evicting a victim if

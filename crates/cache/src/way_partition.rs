@@ -22,6 +22,8 @@ use crate::error::CacheError;
 use crate::geometry::CacheGeometry;
 use crate::model::CacheModel;
 use crate::partition::PartitionKey;
+use crate::schedule::FlushStats;
+use crate::spec::OrganizationSpec;
 use crate::stats::{CacheStats, StatsByKey};
 
 /// Assignment of way masks to partition keys.
@@ -50,6 +52,16 @@ impl WayAllocation {
             geometry,
             masks: BTreeMap::new(),
         }
+    }
+
+    /// Geometry the allocation was built for.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Iterates over `(key, mask)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PartitionKey, &u64)> {
+        self.masks.iter()
     }
 
     /// Assigns the ways selected by `mask` to `key`.
@@ -153,6 +165,8 @@ impl fmt::Display for WayAllocation {
 #[derive(Debug, Clone)]
 pub struct WayPartitionedCache {
     inner: SetAssocCache,
+    /// The allocation currently loaded into the controller.
+    allocation: WayAllocation,
     region_masks: Vec<(u64, PartitionKey)>,
     by_partition: StatsByKey<PartitionKey>,
 }
@@ -170,26 +184,92 @@ impl WayPartitionedCache {
         allocation: &WayAllocation,
     ) -> Result<Self, CacheError> {
         allocation.validate_covers(regions)?;
-        let region_masks = regions
+        Ok(WayPartitionedCache {
+            inner: SetAssocCache::new(config),
+            region_masks: Self::region_masks(regions, allocation),
+            allocation: allocation.clone(),
+            by_partition: StatsByKey::new(),
+        })
+    }
+
+    /// The dense region-index -> (mask, key) table of a validated
+    /// allocation.
+    fn region_masks(regions: &RegionTable, allocation: &WayAllocation) -> Vec<(u64, PartitionKey)> {
+        regions
             .iter()
             .map(|r| {
                 let key = PartitionKey::from_region_kind(r.kind);
                 let mask = allocation
                     .mask_for(key)
-                    .expect("validated above: every region key has a mask");
+                    .expect("validated: every region key has a mask");
                 (mask, key)
             })
-            .collect();
-        Ok(WayPartitionedCache {
-            inner: SetAssocCache::new(config),
-            region_masks,
-            by_partition: StatsByKey::new(),
-        })
+            .collect()
+    }
+
+    /// The allocation currently loaded into the controller.
+    pub fn allocation(&self) -> &WayAllocation {
+        &self.allocation
     }
 
     /// Per-partition-key statistics.
     pub fn stats_by_partition(&self) -> &StatsByKey<PartitionKey> {
         &self.by_partition
+    }
+
+    /// Loads a new way allocation into the live cache — the column-caching
+    /// analogue of
+    /// [`SetPartitionedCache::repartition`](crate::SetPartitionedCache::repartition).
+    ///
+    /// A way's *owner set* is the set of keys whose mask selects it. Every
+    /// way whose owner set changes is invalidated across all sets (its
+    /// resident lines belong to the old owners); ways owned by exactly
+    /// the same keys keep their contents. Dirty invalidated lines are
+    /// counted as write-backs. Invalidated lines do not become cold
+    /// again, and statistics are preserved across the switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new allocation's geometry differs from the
+    /// cache's or it does not cover every region of `regions`.
+    pub fn reallocate(
+        &mut self,
+        regions: &RegionTable,
+        allocation: &WayAllocation,
+    ) -> Result<FlushStats, CacheError> {
+        if allocation.geometry() != self.inner.geometry() {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "way-allocation sets",
+                value: u64::from(allocation.geometry().sets()),
+            });
+        }
+        allocation.validate_covers(regions)?;
+        // Owner sets per way, old and new, as sorted key lists.
+        let ways = self.inner.geometry().ways();
+        let owners = |alloc: &WayAllocation, way: u32| -> Vec<PartitionKey> {
+            alloc
+                .iter()
+                .filter(|(_, mask)| *mask & (1 << way) != 0)
+                .map(|(key, _)| *key)
+                .collect()
+        };
+        let mut changed = 0u64;
+        for way in 0..ways {
+            if owners(&self.allocation, way) != owners(allocation, way) {
+                changed |= 1 << way;
+            }
+        }
+        let (invalidated, written_back) = if changed == 0 {
+            (0, 0)
+        } else {
+            self.inner.flush_ways(changed)
+        };
+        self.region_masks = Self::region_masks(regions, allocation);
+        self.allocation = allocation.clone();
+        Ok(FlushStats {
+            invalidated,
+            written_back,
+        })
     }
 }
 
@@ -228,6 +308,20 @@ impl CacheModel for WayPartitionedCache {
 
     fn flush(&mut self) -> u64 {
         self.inner.flush()
+    }
+
+    fn reconfigure(
+        &mut self,
+        spec: &OrganizationSpec,
+        regions: &RegionTable,
+    ) -> Result<FlushStats, CacheError> {
+        match spec {
+            OrganizationSpec::WayPartitioned(allocation) => self.reallocate(regions, allocation),
+            other => Err(CacheError::ReconfigureUnsupported {
+                from: self.organization(),
+                to: other.label(),
+            }),
+        }
     }
 
     fn reset_stats(&mut self) {
@@ -362,6 +456,65 @@ mod tests {
             WayPartitionedCache::new(config, &table, &alloc),
             Err(CacheError::UnassignedRegion { .. })
         ));
+    }
+
+    #[test]
+    fn reallocate_flushes_only_ways_that_change_owners() {
+        let (table, r0, r1) = two_task_table();
+        let config = CacheConfig::new(16, 4).unwrap();
+        let keys = [
+            PartitionKey::Task(TaskId::new(0)),
+            PartitionKey::Task(TaskId::new(1)),
+        ];
+        let mut old = WayAllocation::new(config.geometry());
+        old.assign(keys[0], 0b0011).unwrap();
+        old.assign(keys[1], 0b1100).unwrap();
+        let mut cache = WayPartitionedCache::new(config, &table, &old).unwrap();
+        let base0 = table.region(r0).base;
+        let base1 = table.region(r1).base;
+        // Task 0 fills its two ways of set 0 (one dirty); task 1 fills its
+        // two ways of set 0.
+        cache.access(&Access::store(base0, 4, TaskId::new(0), r0));
+        cache.access(&Access::load(base0.offset(16 * 64), 4, TaskId::new(0), r0));
+        let t1 = [
+            Access::load(base1, 4, TaskId::new(1), r1),
+            Access::load(base1.offset(16 * 64), 4, TaskId::new(1), r1),
+        ];
+        for a in &t1 {
+            cache.access(a);
+        }
+
+        // Task 0 gives way 1 to task 1: ways 1 and 2..3 change owners
+        // (way 0 stays task 0's alone). Wait — way 1 moves from {t0} to
+        // {t1}, ways 2-3 stay {t1}: flushed ways are exactly way 1.
+        let mut new = WayAllocation::new(config.geometry());
+        new.assign(keys[0], 0b0001).unwrap();
+        new.assign(keys[1], 0b1110).unwrap();
+        let stats = cache.reallocate(&table, &new).unwrap();
+        // Only way 1's resident lines were invalidated (at most one per
+        // set was filled here).
+        assert!(stats.invalidated >= 1);
+        assert!(stats.invalidated <= 2);
+        for a in &t1 {
+            assert!(cache.access(a).hit, "task 1's ways 2-3 were untouched");
+        }
+        assert_eq!(cache.allocation().mask_for(keys[0]), Some(0b0001));
+
+        // An identical reallocation flushes nothing.
+        let stats = cache.reallocate(&table, &new).unwrap();
+        assert_eq!(stats, FlushStats::default());
+
+        // Validation failures leave the allocation untouched.
+        let uncovered = {
+            let mut a = WayAllocation::new(config.geometry());
+            a.assign(keys[0], 0b0001).unwrap();
+            a
+        };
+        assert!(matches!(
+            cache.reallocate(&table, &uncovered),
+            Err(CacheError::UnassignedRegion { .. })
+        ));
+        assert_eq!(cache.allocation(), &new);
     }
 
     #[test]

@@ -30,6 +30,16 @@ pub enum CoreError {
         /// Explanation of the infeasibility.
         reason: String,
     },
+    /// Stack-distance profiling was requested for a scenario whose L2
+    /// replacement policy is not LRU. The profiler's curves are exact
+    /// for LRU only (the Mattson stack-inclusion identity the single
+    /// pass relies on — and what the shadow bank models); profiling a
+    /// FIFO/PLRU/random L2 would silently produce curves the real cache
+    /// does not follow, so it is a typed error instead.
+    NonLruProfiling {
+        /// Display name of the offending replacement policy.
+        policy: String,
+    },
     /// An underlying cache-model error.
     Cache(CacheError),
     /// An underlying platform error.
@@ -58,6 +68,11 @@ impl fmt::Display for CoreError {
                 write!(f, "no miss profile for partition key `{key}`")
             }
             CoreError::Infeasible { reason } => write!(f, "allocation infeasible: {reason}"),
+            CoreError::NonLruProfiling { policy } => write!(
+                f,
+                "stack-distance profiling is exact for LRU only; the scenario's L2 uses \
+                 `{policy}` (run the shadow-bank profiler or switch the L2 to LRU)"
+            ),
             CoreError::Cache(e) => write!(f, "cache error: {e}"),
             CoreError::Platform(e) => write!(f, "platform error: {e}"),
             CoreError::Workload(e) => write!(f, "workload error: {e}"),

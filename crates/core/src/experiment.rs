@@ -48,14 +48,16 @@
 //! lattice size.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
 use compmem_cache::{
-    CacheConfig, CacheModel, CacheSnapshot, CurveResolution, KeyStats, MissRateCurves,
-    OrganizationSpec, PartitionKey, PartitionMap, ProfilingCache, StackDistanceProfiler,
-    WayAllocation, WindowConfig, WindowedCurves, WindowedProfiler,
+    CacheConfig, CacheModel, CacheSnapshot, CurveResolution, FlushStats, KeyStats, MissRateCurves,
+    OrganizationSpec, PartitionKey, PartitionMap, PartitionSchedule, ProfilingCache,
+    ReplacementPolicy, StackDistanceProfiler, WayAllocation, WindowConfig, WindowedCurves,
+    WindowedProfiler,
 };
 use compmem_platform::{
     PlatformConfig, PreparedTrace, ReplaySystem, System, SystemReport, TapProfiler,
@@ -119,17 +121,20 @@ impl TrafficSource {
 }
 
 /// A declarative description of one simulation run: which L2 configuration,
-/// which organisation, and which traffic source. Specs are plain data
-/// (`Clone + Send + Sync`; traces are shared by `Arc`), so batches of them
-/// can be built up front and executed in parallel — in particular, an
-/// organisation sweep over **one** recorded trace never re-executes the
-/// workload.
+/// which partitioning **policy over time** (a [`PartitionSchedule`]; a
+/// plain organisation is the single-step schedule), and which traffic
+/// source. Specs are plain data (`Clone + Send + Sync`; traces are shared
+/// by `Arc`), so batches of them can be built up front and executed in
+/// parallel — in particular, an organisation sweep over **one** recorded
+/// trace never re-executes the workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// The L2 cache configuration of the run.
     pub l2: CacheConfig,
-    /// The L2 organisation of the run.
-    pub organization: OrganizationSpec,
+    /// The partitioning policy of the run: the organisation the run
+    /// starts under (step 0) plus any repartition events applied to the
+    /// live cache at their cycle boundaries.
+    pub schedule: PartitionSchedule,
     /// Where the memory traffic comes from.
     pub traffic: TrafficSource,
 }
@@ -140,24 +145,41 @@ pub struct ScenarioSpec {
 pub type RunSpec = ScenarioSpec;
 
 impl ScenarioSpec {
-    /// A live-execution scenario.
+    /// A live-execution scenario under one static organisation.
     pub fn live(l2: CacheConfig, organization: OrganizationSpec) -> Self {
-        ScenarioSpec {
-            l2,
-            organization,
-            traffic: TrafficSource::Live,
-        }
+        Self::scheduled_live(l2, PartitionSchedule::single(organization))
     }
 
-    /// A replay scenario over a recorded trace.
+    /// A replay scenario over a recorded trace under one static
+    /// organisation.
     pub fn replay(
         l2: CacheConfig,
         organization: OrganizationSpec,
         trace: Arc<PreparedTrace>,
     ) -> Self {
+        Self::scheduled_replay(l2, PartitionSchedule::single(organization), trace)
+    }
+
+    /// A live-execution scenario under a time-varying partitioning
+    /// policy.
+    pub fn scheduled_live(l2: CacheConfig, schedule: PartitionSchedule) -> Self {
         ScenarioSpec {
             l2,
-            organization,
+            schedule,
+            traffic: TrafficSource::Live,
+        }
+    }
+
+    /// A replay scenario under a time-varying partitioning policy: the
+    /// switches apply at their boundaries on the replayed time axis.
+    pub fn scheduled_replay(
+        l2: CacheConfig,
+        schedule: PartitionSchedule,
+        trace: Arc<PreparedTrace>,
+    ) -> Self {
+        ScenarioSpec {
+            l2,
+            schedule,
             traffic: TrafficSource::Replay(trace),
         }
     }
@@ -171,9 +193,31 @@ impl ScenarioSpec {
         }
     }
 
-    /// Short name of the organisation this spec runs.
+    /// The organisation the run starts under (the schedule's step 0).
+    pub fn organization(&self) -> &OrganizationSpec {
+        self.schedule.initial()
+    }
+
+    /// Short name of the organisation this spec starts under.
     pub fn label(&self) -> &'static str {
-        self.organization.label()
+        self.schedule.label()
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    /// Renders the run's L2 shape, traffic source and full schedule (step
+    /// count, switch cycles, per-step organisation labels) — the
+    /// inspectable summary the CLI prints for scheduled runs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let geometry = self.l2.geometry();
+        write!(
+            f,
+            "{} KB {}-way L2, {} traffic, schedule {}",
+            geometry.size_bytes() / 1024,
+            geometry.ways(),
+            self.traffic.label(),
+            self.schedule
+        )
     }
 }
 
@@ -347,16 +391,19 @@ fn key_names(app: &Application) -> BTreeMap<PartitionKey, String> {
     names
 }
 
-/// Replays a recorded trace under one organisation and also returns the L2
-/// model.
+/// Replays a recorded trace under one partitioning schedule and also
+/// returns the L2 model.
 fn replay_model(
     platform: &PlatformConfig,
     l2_config: CacheConfig,
-    organization: &OrganizationSpec,
+    schedule: &PartitionSchedule,
     trace: &PreparedTrace,
 ) -> Result<(RunOutcome, Box<dyn CacheModel>), CoreError> {
-    let l2 = organization.build(l2_config, trace.table())?;
+    let l2 = schedule.initial().build(l2_config, trace.table())?;
     let mut system = ReplaySystem::new(platform, l2, trace)?;
+    if !schedule.is_static() {
+        system.install_schedule(schedule, trace.table())?;
+    }
     let report = system.run();
     let by_key = by_key_from_regions(trace.table(), &report);
     let l2 = system.into_l2();
@@ -388,7 +435,7 @@ pub fn run_replay(platform: &PlatformConfig, spec: &ScenarioSpec) -> Result<RunO
                 .to_string(),
         }),
         TrafficSource::Replay(trace) => {
-            replay_model(platform, spec.l2, &spec.organization, trace).map(|(outcome, _)| outcome)
+            replay_model(platform, spec.l2, &spec.schedule, trace).map(|(outcome, _)| outcome)
         }
     }
 }
@@ -616,6 +663,216 @@ impl PhasePlan {
             .windows(2)
             .any(|pair| pair[0].allocation.units != pair[1].allocation.units)
     }
+
+    /// Converts the plan into an executable [`PartitionSchedule`]: one
+    /// set-partitioned step per phase (each phase's allocation packed
+    /// into a [`PartitionMap`] on `lattice`/`geometry`), switching at
+    /// each phase's start cycle. This is what turns PR 4's analysis-only
+    /// per-phase sizings into something the engine can run.
+    ///
+    /// Each step after the first is laid out with
+    /// [`PartitionMap::pack_stable`] against its predecessor, so a key
+    /// whose allocation did not change between phases keeps its exact
+    /// sets and the switch flushes only the partitions that actually
+    /// re-sized or moved.
+    ///
+    /// Steps are kept even when consecutive phases chose the same
+    /// allocation — re-applying an identical map flushes nothing, and
+    /// the fired boundary records give the validation driver its
+    /// per-phase measurement points. A phase whose start cycle does not
+    /// advance past the previous step's (degenerate windows) is folded
+    /// into it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CapacityExceeded`] if a phase's allocation
+    /// does not fit the lattice, and propagates map-packing and schedule
+    /// validation errors (an empty plan has no schedule).
+    pub fn to_schedule(
+        &self,
+        lattice: &CacheSizeLattice,
+        geometry: compmem_cache::CacheGeometry,
+    ) -> Result<PartitionSchedule, CoreError> {
+        let mut steps: Vec<(u64, OrganizationSpec)> = Vec::new();
+        let mut previous: Option<PartitionMap> = None;
+        for (at_cycle, range) in self.step_groups() {
+            let phase = &self.phases[*range.start()];
+            if phase.allocation.total_units > lattice.total_units {
+                return Err(CoreError::CapacityExceeded {
+                    requested: phase.allocation.total_units,
+                    available: lattice.total_units,
+                });
+            }
+            let sizes: Vec<(PartitionKey, u32)> = phase
+                .allocation
+                .iter()
+                .map(|(key, &units)| (*key, lattice.sets_of(units)))
+                .collect();
+            let map = match &previous {
+                None => PartitionMap::pack(geometry, &sizes)?,
+                Some(previous) => PartitionMap::pack_stable(geometry, &sizes, previous)?,
+            };
+            previous = Some(map.clone());
+            steps.push((at_cycle, OrganizationSpec::SetPartitioned(map)));
+        }
+        PartitionSchedule::new(steps).map_err(CoreError::from)
+    }
+
+    /// Groups phases into schedule steps: each entry is the step's
+    /// boundary cycle plus the inclusive range of phase indices it
+    /// covers. A phase whose start cycle does not advance past the
+    /// previous step's boundary (degenerate windows) folds into that
+    /// step. This is the **single** definition of the phase → step
+    /// mapping, shared by [`to_schedule`](Self::to_schedule) and
+    /// [`validate_phase_plan`] so the two can never drift apart.
+    fn step_groups(&self) -> Vec<(u64, std::ops::RangeInclusive<usize>)> {
+        let mut groups: Vec<(u64, std::ops::RangeInclusive<usize>)> = Vec::new();
+        for (i, phase) in self.phases.iter().enumerate() {
+            let at_cycle = if i == 0 { 0 } else { phase.start_cycle };
+            match groups.last_mut() {
+                Some((last, range)) if at_cycle <= *last => *range = *range.start()..=i,
+                _ => groups.push((at_cycle, i..=i)),
+            }
+        }
+        groups
+    }
+}
+
+/// Predicted versus measured misses of one phase of a scheduled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseComparison {
+    /// Phase index (stream order).
+    pub phase: usize,
+    /// Start cycle of the phase.
+    pub start_cycle: u64,
+    /// End cycle of the phase.
+    pub end_cycle: u64,
+    /// Misses the optimizer predicted for the phase under its own
+    /// allocation.
+    pub predicted_misses: u64,
+    /// Misses the scheduled run actually accumulated between this
+    /// phase's repartition boundaries.
+    pub measured_misses: u64,
+}
+
+impl PhaseComparison {
+    /// Measured minus predicted misses (positive: the phase missed more
+    /// than predicted).
+    pub fn delta(&self) -> i64 {
+        self.measured_misses as i64 - self.predicted_misses as i64
+    }
+}
+
+/// Outcome of the static-best versus phase-scheduled validation driver
+/// ([`validate_phase_plan`]): both runs replay the **same** recorded
+/// trace, so the miss deltas are attributable to the partitioning policy
+/// alone.
+#[derive(Debug, Clone)]
+pub struct ScheduleValidation {
+    /// The executable schedule derived from the plan.
+    pub schedule: PartitionSchedule,
+    /// The whole-run allocation applied statically (the non-phase-aware
+    /// best).
+    pub static_outcome: RunOutcome,
+    /// The per-phase schedule executed on the same trace.
+    pub scheduled_outcome: RunOutcome,
+    /// Per-phase predicted vs measured misses, segmented at the fired
+    /// repartition boundaries. Comparison `i` covers the schedule's
+    /// `i`-th step; phases whose step was folded into its predecessor
+    /// (degenerate windows sharing a start cycle — see
+    /// [`PhasePlan::to_schedule`]) merge their predictions into that
+    /// predecessor's comparison, so predicted and measured always
+    /// describe the same cycle range.
+    pub phases: Vec<PhaseComparison>,
+}
+
+impl ScheduleValidation {
+    /// Static-run misses minus scheduled-run misses (positive: the
+    /// schedule saved misses net of its repartition flushes).
+    pub fn measured_improvement(&self) -> i64 {
+        self.static_outcome.report.l2.misses as i64 - self.scheduled_outcome.report.l2.misses as i64
+    }
+
+    /// Total flush cost of every fired repartition.
+    pub fn total_flush(&self) -> FlushStats {
+        let mut total = FlushStats::default();
+        for record in &self.scheduled_outcome.report.repartitions {
+            total.absorb(record.flush);
+        }
+        total
+    }
+}
+
+/// Runs the validation driver of the phase-aware execution path: replays
+/// `trace` once under the plan's **whole-run** allocation (static best)
+/// and once under the plan's [`PartitionSchedule`], then reports
+/// per-phase predicted vs measured miss counts (segmented at the fired
+/// repartition boundaries) alongside both outcomes.
+///
+/// This is the factory-free core of
+/// [`Experiment::validate_phase_plan`]; the `compmem replay --schedule
+/// phases` CLI is built on it.
+///
+/// # Errors
+///
+/// Propagates schedule construction, cache and platform errors.
+pub fn validate_phase_plan(
+    platform: &PlatformConfig,
+    l2: CacheConfig,
+    lattice: &CacheSizeLattice,
+    plan: &PhasePlan,
+    trace: &PreparedTrace,
+) -> Result<ScheduleValidation, CoreError> {
+    let geometry = l2.geometry();
+    let schedule = plan.to_schedule(lattice, geometry)?;
+    let static_sizes: Vec<(PartitionKey, u32)> = plan
+        .whole_run
+        .iter()
+        .map(|(key, &units)| (*key, lattice.sets_of(units)))
+        .collect();
+    let static_map = PartitionMap::pack(geometry, &static_sizes)?;
+    let (static_outcome, _) = replay_model(
+        platform,
+        l2,
+        &PartitionSchedule::single(OrganizationSpec::SetPartitioned(static_map)),
+        trace,
+    )?;
+    let (scheduled_outcome, _) = replay_model(platform, l2, &schedule, trace)?;
+
+    // Measured misses per boundary segment: differences of the L2 miss
+    // counter snapshotted at each fired switch, plus the tail.
+    let log = &scheduled_outcome.report.repartitions;
+    let mut measured = Vec::with_capacity(log.len() + 1);
+    let mut previous = 0u64;
+    for record in log {
+        measured.push(record.l2_misses_before - previous);
+        previous = record.l2_misses_before;
+    }
+    measured.push(scheduled_outcome.report.l2.misses - previous);
+    // One comparison per schedule step (`PhasePlan::step_groups` is the
+    // single owner of the phase → step fold rule): folded phases merge
+    // their predictions into the step they share.
+    let phases = plan
+        .step_groups()
+        .into_iter()
+        .enumerate()
+        .map(|(segment, (_, range))| {
+            let members = &plan.phases[range];
+            PhaseComparison {
+                phase: segment,
+                start_cycle: members[0].start_cycle,
+                end_cycle: members.iter().map(|p| p.end_cycle).max().unwrap_or(0),
+                predicted_misses: members.iter().map(|p| p.allocation.predicted_misses).sum(),
+                measured_misses: measured.get(segment).copied().unwrap_or(0),
+            }
+        })
+        .collect();
+    Ok(ScheduleValidation {
+        schedule,
+        static_outcome,
+        scheduled_outcome,
+        phases,
+    })
 }
 
 /// An experiment bound to an application factory.
@@ -736,8 +993,11 @@ impl<F: Fn() -> Application> Experiment<F> {
             TrafficSource::Live => {
                 let mut app = (self.factory)();
                 let platform = self.platform_for(&app);
-                let l2 = spec.organization.build(spec.l2, app.space.table())?;
+                let l2 = spec.organization().build(spec.l2, app.space.table())?;
                 let mut system = System::new(platform, l2, app.mapping.clone())?;
+                if !spec.schedule.is_static() {
+                    system.install_schedule(&spec.schedule, app.space.table())?;
+                }
                 let report = system.run(&mut app.network)?;
                 let by_key = by_key_from_regions(app.space.table(), &report);
                 let l2 = system.into_l2();
@@ -752,7 +1012,7 @@ impl<F: Fn() -> Application> Experiment<F> {
                 ))
             }
             TrafficSource::Replay(trace) => {
-                replay_model(&self.config.platform, spec.l2, &spec.organization, trace)
+                replay_model(&self.config.platform, spec.l2, &spec.schedule, trace)
             }
         }
     }
@@ -799,8 +1059,11 @@ impl<F: Fn() -> Application> Experiment<F> {
         }
         let mut app = (self.factory)();
         let platform = self.platform_for(&app);
-        let l2 = spec.organization.build(spec.l2, app.space.table())?;
+        let l2 = spec.organization().build(spec.l2, app.space.table())?;
         let mut system = System::new(platform, l2, app.mapping.clone())?;
+        if !spec.schedule.is_static() {
+            system.install_schedule(&spec.schedule, app.space.table())?;
+        }
         let mut writer = TraceWriter::new(
             Vec::new(),
             app.space.table(),
@@ -821,6 +1084,24 @@ impl<F: Fn() -> Application> Experiment<F> {
         ))
     }
 
+    /// Checks that the configured L2 replacement policy is LRU, which is
+    /// the only policy the stack-distance identity (and the shadow bank
+    /// it mirrors) is exact for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NonLruProfiling`] naming the offending
+    /// policy.
+    fn require_lru_for_profiling(&self) -> Result<(), CoreError> {
+        let policy = self.config.l2.replacement_policy();
+        if policy != ReplacementPolicy::Lru {
+            return Err(CoreError::NonLruProfiling {
+                policy: policy.to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// Runs the shared-cache baseline live while a [`TapProfiler`]
     /// measures the per-entity miss-rate curves in the same pass, and
     /// returns both.
@@ -834,8 +1115,11 @@ impl<F: Fn() -> Application> Experiment<F> {
     ///
     /// # Errors
     ///
-    /// Propagates platform and workload errors.
+    /// Propagates platform and workload errors, and returns
+    /// [`CoreError::NonLruProfiling`] when the configured L2 policy is
+    /// not LRU (the curves would not describe the real cache).
     pub fn profile_curves(&self) -> Result<(RunOutcome, MissRateCurves), CoreError> {
+        self.require_lru_for_profiling()?;
         let mut app = (self.factory)();
         let platform = self.platform_for(&app);
         let l2 = OrganizationSpec::Shared.build(self.config.l2, app.space.table())?;
@@ -869,11 +1153,14 @@ impl<F: Fn() -> Application> Experiment<F> {
     ///
     /// # Errors
     ///
-    /// Propagates platform and workload errors.
+    /// Propagates platform and workload errors, and returns
+    /// [`CoreError::NonLruProfiling`] when the configured L2 policy is
+    /// not LRU, as for [`Experiment::profile_curves`].
     pub fn profile_curves_windowed(
         &self,
         window: WindowConfig,
     ) -> Result<(RunOutcome, WindowedCurves), CoreError> {
+        self.require_lru_for_profiling()?;
         let mut app = (self.factory)();
         let platform = self.platform_for(&app);
         let l2 = OrganizationSpec::Shared.build(self.config.l2, app.space.table())?;
@@ -929,6 +1216,61 @@ impl<F: Fn() -> Application> Experiment<F> {
             &self.lattice(),
             self.config.l2.geometry(),
             self.config.optimizer,
+        )
+    }
+
+    /// Spec of the **live** scheduled run executing a phase plan: the
+    /// plan's schedule ([`PhasePlan::to_schedule`]) on this experiment's
+    /// L2 and lattice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule construction errors.
+    pub fn scheduled_spec(&self, plan: &PhasePlan) -> Result<ScenarioSpec, CoreError> {
+        let schedule = plan.to_schedule(&self.lattice(), self.config.l2.geometry())?;
+        Ok(ScenarioSpec::scheduled_live(self.config.l2, schedule))
+    }
+
+    /// Replays a recorded trace under a time-varying partitioning policy
+    /// on this experiment's L2 — the execution half of the phase-aware
+    /// flow: derive a [`PhasePlan`], convert it with
+    /// [`PhasePlan::to_schedule`], and run it here (or go through
+    /// [`Experiment::validate_phase_plan`] to also get the static-best
+    /// comparison).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache and platform errors.
+    pub fn run_scheduled(
+        &self,
+        trace: &Arc<PreparedTrace>,
+        schedule: PartitionSchedule,
+    ) -> Result<RunOutcome, CoreError> {
+        self.run(&ScenarioSpec::scheduled_replay(
+            self.config.l2,
+            schedule,
+            Arc::clone(trace),
+        ))
+    }
+
+    /// Runs the validation driver on a phase plan: static-best versus
+    /// phase-scheduled on the same recorded trace, with per-phase
+    /// predicted vs measured miss deltas (see [`validate_phase_plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule construction, cache and platform errors.
+    pub fn validate_phase_plan(
+        &self,
+        trace: &PreparedTrace,
+        plan: &PhasePlan,
+    ) -> Result<ScheduleValidation, CoreError> {
+        validate_phase_plan(
+            &self.config.platform,
+            self.config.l2,
+            &self.lattice(),
+            plan,
+            trace,
         )
     }
 
@@ -1318,6 +1660,124 @@ mod tests {
                 .collect();
             assert!(by_ways.windows(2).all(|w| w[0] >= w[1]), "sets={sets}");
         }
+    }
+
+    #[test]
+    fn non_lru_profiling_is_a_typed_error() {
+        let params = JpegCannyParams::tiny();
+        let mut config = tiny_config();
+        config.l2 = config.l2.policy(compmem_cache::ReplacementPolicy::Fifo);
+        let experiment = Experiment::new(config, move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        for result in [
+            experiment.profile_curves().map(|_| ()),
+            experiment
+                .profile_curves_windowed(WindowConfig::accesses(500).unwrap())
+                .map(|_| ()),
+            experiment.run_profiled().map(|_| ()),
+        ] {
+            assert!(
+                matches!(result, Err(CoreError::NonLruProfiling { ref policy }) if policy == "fifo"),
+                "profiling a FIFO L2 must fail with the typed error, got {result:?}"
+            );
+        }
+        // The shadow-bank oracle takes the same guard implicitly: its
+        // shadow caches are LRU regardless of the main cache's policy, so
+        // keeping it runnable under FIFO would be the silent mismatch the
+        // guard exists to prevent. The scenario still *runs* (only
+        // profiling is gated).
+        assert!(experiment.run(&experiment.shared_spec()).is_ok());
+    }
+
+    #[test]
+    fn phase_plan_executes_as_a_schedule_with_measured_per_phase_misses() {
+        let params = Mpeg2Params::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            mpeg2_app(&params).expect("valid params")
+        });
+        let app = mpeg2_app(&Mpeg2Params::tiny()).unwrap();
+        let (_, trace) = experiment.record_trace(&experiment.shared_spec()).unwrap();
+        let window = WindowConfig::accesses(1_500).unwrap();
+        let (_, windowed) = experiment.profile_curves_windowed(window).unwrap();
+        let plan = experiment
+            .phase_allocations(&windowed, 0.1, app.space.table())
+            .unwrap();
+
+        let schedule = plan
+            .to_schedule(&experiment.lattice(), experiment.config().l2.geometry())
+            .unwrap();
+        assert_eq!(schedule.len(), plan.phases.len());
+        assert_eq!(schedule.label(), "set-partitioned");
+
+        // The scheduled replay completes end-to-end and is deterministic.
+        let once = experiment.run_scheduled(&trace, schedule.clone()).unwrap();
+        let twice = experiment.run_scheduled(&trace, schedule.clone()).unwrap();
+        assert_eq!(once, twice, "scheduled replays must be deterministic");
+        assert_eq!(
+            once.report.repartitions.len(),
+            schedule.switches().len(),
+            "every switch boundary lies inside the recorded run"
+        );
+
+        // The validation driver reports per-phase predicted vs measured
+        // misses; the measured segments tile the scheduled run exactly.
+        let validation = experiment.validate_phase_plan(&trace, &plan).unwrap();
+        assert_eq!(validation.phases.len(), plan.phases.len());
+        let measured_total: u64 = validation.phases.iter().map(|p| p.measured_misses).sum();
+        assert_eq!(
+            measured_total,
+            validation.scheduled_outcome.report.l2.misses
+        );
+        for (comparison, phase) in validation.phases.iter().zip(&plan.phases) {
+            assert_eq!(
+                comparison.predicted_misses,
+                phase.allocation.predicted_misses
+            );
+            let _ = comparison.delta();
+        }
+        // Flush traffic of every fired switch is visible in the timing
+        // path: the scheduled run wrote back at least as much as the
+        // static one.
+        let flush = validation.total_flush();
+        assert!(
+            validation.scheduled_outcome.report.dram_writebacks
+                >= validation
+                    .static_outcome
+                    .report
+                    .dram_writebacks
+                    .saturating_sub(flush.written_back)
+        );
+        assert_eq!(
+            validation.static_outcome.l2_snapshot.organization,
+            "set-partitioned"
+        );
+    }
+
+    #[test]
+    fn scenario_spec_display_prints_the_schedule() {
+        let l2 = CacheConfig::with_size_bytes(64 * 1024, 4).unwrap();
+        let static_spec = ScenarioSpec::live(l2, OrganizationSpec::Shared);
+        assert_eq!(
+            static_spec.to_string(),
+            "64 KB 4-way L2, live traffic, schedule shared (static)"
+        );
+        let key = PartitionKey::AppData;
+        let map = |sets: u32| PartitionMap::pack(l2.geometry(), &[(key, sets)]).unwrap();
+        let schedule = PartitionSchedule::new(vec![
+            (0, OrganizationSpec::SetPartitioned(map(64))),
+            (5_000, OrganizationSpec::SetPartitioned(map(128))),
+            (9_000, OrganizationSpec::SetPartitioned(map(32))),
+        ])
+        .unwrap();
+        let spec = ScenarioSpec::scheduled_live(l2, schedule);
+        assert_eq!(
+            spec.to_string(),
+            "64 KB 4-way L2, live traffic, schedule set-partitioned x 3 steps \
+             (switch at 5000, 9000)"
+        );
+        assert_eq!(spec.label(), "set-partitioned");
+        assert_eq!(spec.organization().label(), "set-partitioned");
     }
 
     #[test]

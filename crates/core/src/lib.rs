@@ -26,14 +26,21 @@
 //!    Figure 3 result (≤ 2 % deviation).
 //! 4. **Experiments** ([`experiment`]) — a single spec-driven driver:
 //!    every run is described by a [`experiment::ScenarioSpec`] (L2
-//!    configuration, an `OrganizationSpec` naming one of the four L2
-//!    organisations, and a [`experiment::TrafficSource`] naming live
-//!    execution or replay of a recorded trace) and executed through one
-//!    `Box<dyn CacheModel>` timing path; batches of independent runs fan
-//!    out across threads ([`experiment::Experiment::run_all`]), and
+//!    configuration, a `PartitionSchedule` — partitioning as a
+//!    **time-varying policy**, where a plain `OrganizationSpec` is the
+//!    single-step schedule — and a [`experiment::TrafficSource`] naming
+//!    live execution or replay of a recorded trace) and executed through
+//!    one `Box<dyn CacheModel>` timing path; batches of independent runs
+//!    fan out across threads ([`experiment::Experiment::run_all`]), and
 //!    [`experiment::Experiment::record_trace`] /
 //!    [`experiment::run_replay`] implement the record-once / sweep-many
-//!    workflow. The drivers regenerate every table and figure of the
+//!    workflow. Phase-aware execution rides the same driver:
+//!    [`experiment::PhasePlan::to_schedule`] converts per-phase sizings
+//!    into repartition events,
+//!    [`experiment::Experiment::run_scheduled`] executes them, and
+//!    [`experiment::validate_phase_plan`] replays static-best vs
+//!    phase-scheduled on one trace with per-phase predicted vs measured
+//!    miss deltas. The drivers regenerate every table and figure of the
 //!    paper's evaluation (Tables 1–2, Figures 2–3, the headline
 //!    miss-rate/CPI numbers) plus the ablations.
 //!

@@ -95,7 +95,7 @@ pub use config::{OsRegions, PlatformConfig};
 pub use engine::EventQueue;
 pub use error::PlatformError;
 pub use memory::{BurstStats, L1Refill, MemoryLevel, MemorySystem};
-pub use metrics::{ProcessorReport, SystemReport};
+pub use metrics::{ProcessorReport, RepartitionRecord, SystemReport};
 pub use op::{Burst, BurstOutcome, Op, WorkloadDriver};
 pub use processor::ProcessorId;
 pub use profile::{

@@ -2,11 +2,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use compmem_cache::{CacheModel, CacheStats, SetAssocCache};
-use compmem_trace::{Access, LINE_SIZE_BYTES};
+use compmem_cache::{
+    CacheError, CacheModel, CacheStats, PartitionSchedule, ScheduleStep, SetAssocCache,
+};
+use compmem_trace::{Access, RegionTable, LINE_SIZE_BYTES};
 
 use crate::bus::Bus;
 use crate::config::PlatformConfig;
+use crate::metrics::RepartitionRecord;
 
 /// One level of the hierarchy, used to label aggregated statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -89,6 +92,16 @@ pub struct MemorySystem {
     burst_refills: Vec<BurstRefill>,
     burst_batch: Vec<Access>,
     burst_outcomes: Vec<compmem_cache::AccessOutcome>,
+    /// Pending repartition events (the switches of an installed
+    /// [`PartitionSchedule`]), plus the region table they reconfigure
+    /// over and the log of fired events.
+    switches: Vec<ScheduleStep>,
+    switch_regions: Option<RegionTable>,
+    next_switch: usize,
+    /// Boundary cycle of the next pending switch, cached so the hot paths
+    /// pay a single `u64` comparison per access (`u64::MAX` when none).
+    next_switch_at: u64,
+    repartition_log: Vec<RepartitionRecord>,
 }
 
 /// One L1 miss of a burst: which access refills and whether the L1 victim
@@ -121,7 +134,91 @@ impl MemorySystem {
             burst_refills: Vec::new(),
             burst_batch: Vec::new(),
             burst_outcomes: Vec::new(),
+            switches: Vec::new(),
+            switch_regions: None,
+            next_switch: 0,
+            next_switch_at: u64::MAX,
+            repartition_log: Vec::new(),
         }
+    }
+
+    /// Installs the repartition events of `schedule` (every step after
+    /// the implicit step 0, whose organisation the L2 was built with).
+    /// From then on the hierarchy applies each switch to the live L2 at
+    /// its exact cycle boundary — the first access (or burst refill)
+    /// whose issue clock reaches the boundary sees the new organisation —
+    /// and charges the flush write-backs through the bus/DRAM path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule validation errors
+    /// ([`PartitionSchedule::validate_for`] against the L2's geometry and
+    /// `regions`), so a switch can never fail mid-run.
+    pub fn install_schedule(
+        &mut self,
+        schedule: &PartitionSchedule,
+        regions: &RegionTable,
+    ) -> Result<(), CacheError> {
+        schedule.validate_for(self.l2.geometry(), regions)?;
+        // The initial organisation must be reconfigurable into step 1:
+        // validated here by label, as in `PartitionSchedule::new`.
+        if let Some(first) = schedule.switches().first() {
+            let (from, to) = (self.l2.organization(), first.organization.label());
+            if from != to {
+                return Err(CacheError::ReconfigureUnsupported { from, to });
+            }
+        }
+        self.switches = schedule.switches().to_vec();
+        self.switch_regions = Some(regions.clone());
+        self.next_switch = 0;
+        self.next_switch_at = self.switches.first().map_or(u64::MAX, |step| step.at_cycle);
+        self.repartition_log.clear();
+        Ok(())
+    }
+
+    /// Applies every pending switch whose boundary is `<= now` to the
+    /// live L2, charging each switch's dirty write-backs as bus/DRAM
+    /// traffic at its boundary cycle.
+    pub fn apply_due_repartitions(&mut self, now: u64) {
+        // The explicit bound matters at `now == u64::MAX` (the replay
+        // loop's "fire everything remaining"): the exhausted sentinel
+        // `next_switch_at == u64::MAX` must not index past the switches.
+        while self.next_switch < self.switches.len() && self.next_switch_at <= now {
+            let step = &self.switches[self.next_switch];
+            let regions = self
+                .switch_regions
+                .as_ref()
+                .expect("switches are only installed together with their region table");
+            let l2_stats = *self.l2.stats();
+            let flush = self
+                .l2
+                .reconfigure(&step.organization, regions)
+                .expect("schedule steps were validated at install time");
+            // Flush traffic takes the same path an L2 eviction's
+            // write-back does: one bus transfer and one DRAM write-back
+            // per dirty line, issued at the boundary cycle.
+            for _ in 0..flush.written_back {
+                self.dram_writebacks += 1;
+                let _ = self.bus.request(step.at_cycle, LINE_SIZE_BYTES as u32);
+            }
+            self.repartition_log.push(RepartitionRecord {
+                step: self.next_switch + 1,
+                at_cycle: step.at_cycle,
+                flush,
+                l2_accesses_before: l2_stats.accesses,
+                l2_misses_before: l2_stats.misses,
+            });
+            self.next_switch += 1;
+            self.next_switch_at = self
+                .switches
+                .get(self.next_switch)
+                .map_or(u64::MAX, |step| step.at_cycle);
+        }
+    }
+
+    /// The repartition events fired so far, in schedule order.
+    pub fn repartition_log(&self) -> &[RepartitionRecord] {
+        &self.repartition_log
     }
 
     /// Performs one access from `processor` at time `now` and returns the
@@ -131,6 +228,9 @@ impl MemorySystem {
     /// bus arbitration for the refill, L2 lookup through the
     /// [`CacheModel`], and DRAM plus a second bus transfer on an L2 miss.
     pub fn access(&mut self, processor: usize, now: u64, access: &Access) -> u64 {
+        if now >= self.next_switch_at {
+            self.apply_due_repartitions(now);
+        }
         let l1 = if access.kind.is_instruction() {
             &mut self.l1i[processor]
         } else {
@@ -202,9 +302,17 @@ impl MemorySystem {
         }
 
         // Phase 2: one virtual dispatch hands the whole miss stream to the
-        // L2 organisation, in order.
+        // L2 organisation, in order. With repartition events pending the
+        // batch cannot be dispatched up front — a boundary may fall
+        // mid-burst — so the L2 is accessed refill by refill in phase 3
+        // instead, at the exact issue clock.
+        let batched = self.next_switch_at == u64::MAX;
         let mut outcomes = std::mem::take(&mut self.burst_outcomes);
-        self.l2.access_batch(&batch, &mut outcomes);
+        if batched {
+            self.l2.access_batch(&batch, &mut outcomes);
+        } else {
+            outcomes.clear();
+        }
 
         // Phase 3: timing. The bus sees exactly the request sequence of the
         // per-access path (refill, optional L1 write-back, optional DRAM
@@ -217,7 +325,14 @@ impl MemorySystem {
             let mut stall = 0u64;
             if refills.get(refill_cursor).is_some_and(|r| r.index == index) {
                 let refill = refills[refill_cursor];
-                let l2_outcome = outcomes[refill_cursor];
+                let l2_outcome = if batched {
+                    outcomes[refill_cursor]
+                } else {
+                    if clock >= self.next_switch_at {
+                        self.apply_due_repartitions(clock);
+                    }
+                    self.l2.access(access)
+                };
                 refill_cursor += 1;
                 let (bus_wait, bus_duration) = self.bus.request(clock, LINE_SIZE_BYTES as u32);
                 if refill.l1_victim_dirty {
@@ -269,17 +384,33 @@ impl MemorySystem {
         data_accesses: u64,
         instr_fetches: u64,
     ) -> BurstStats {
+        // As in `access_burst`: pending repartition events force the L2
+        // accesses to happen refill by refill at their exact issue
+        // clocks, so a boundary falling inside the run splits it.
+        let batched = self.next_switch_at == u64::MAX;
         let mut batch = std::mem::take(&mut self.burst_batch);
         batch.clear();
-        batch.extend(refills.iter().map(|r| r.access));
         let mut outcomes = std::mem::take(&mut self.burst_outcomes);
-        self.l2.access_batch(&batch, &mut outcomes);
+        if batched {
+            batch.extend(refills.iter().map(|r| r.access));
+            self.l2.access_batch(&batch, &mut outcomes);
+        } else {
+            outcomes.clear();
+        }
 
         let mut stall_total = 0u64;
-        for (refill, l2_outcome) in refills.iter().zip(&outcomes) {
+        for (i, refill) in refills.iter().enumerate() {
             // Hits before this refill advance the clock one cycle per data
             // access; earlier refills advance it by their stalls.
             let clock = now + refill.data_accesses_before + stall_total;
+            let l2_outcome = if batched {
+                outcomes[i]
+            } else {
+                if clock >= self.next_switch_at {
+                    self.apply_due_repartitions(clock);
+                }
+                self.l2.access(&refill.access)
+            };
             let (bus_wait, bus_duration) = self.bus.request(clock, LINE_SIZE_BYTES as u32);
             if refill.l1_victim_dirty {
                 let _ = self.bus.request(clock, LINE_SIZE_BYTES as u32);
@@ -525,6 +656,161 @@ mod tests {
             one_by_one.bus().total_wait_cycles(),
             burst.bus().total_wait_cycles()
         );
+        assert_eq!(
+            one_by_one.bus().bytes_transferred(),
+            burst.bus().bytes_transferred()
+        );
+    }
+
+    #[test]
+    fn scheduled_repartition_applies_at_the_boundary_and_charges_writebacks() {
+        use compmem_cache::{OrganizationSpec, PartitionKey, PartitionMap, PartitionSchedule};
+        use compmem_trace::{RegionKind, RegionTable};
+        let mut table = RegionTable::new();
+        let region = table
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                64 * 1024,
+            )
+            .unwrap();
+        let l2 = CacheConfig::new(64, 4).unwrap();
+        let key = PartitionKey::Task(TaskId::new(0));
+        let map_a = PartitionMap::pack(l2.geometry(), &[(key, 16)]).unwrap();
+        let map_b = {
+            let mut m = PartitionMap::new(l2.geometry());
+            m.assign(key, 32, 16).unwrap();
+            m
+        };
+        let schedule = PartitionSchedule::new(vec![
+            (0, OrganizationSpec::SetPartitioned(map_a.clone())),
+            (10_000, OrganizationSpec::SetPartitioned(map_b)),
+        ])
+        .unwrap();
+        let config = PlatformConfig::default()
+            .processors(1)
+            .l1(CacheConfig::new(1, 1).unwrap());
+        let mut m = MemorySystem::new(
+            &config,
+            OrganizationSpec::SetPartitioned(map_a)
+                .build(l2, &table)
+                .unwrap(),
+        );
+        m.install_schedule(&schedule, &table).unwrap();
+
+        let base = table.region(region).base;
+        // Dirty a line before the boundary, then alternate two conflicting
+        // L1 lines so every access reaches the L2.
+        let store = Access::store(base, 4, TaskId::new(0), region);
+        let _ = m.access(0, 0, &store);
+        let load = Access::load(base.offset(64), 4, TaskId::new(0), region);
+        let _ = m.access(0, 100, &load);
+        assert!(m.repartition_log().is_empty(), "boundary not reached yet");
+        let writebacks_before = m.dram_writebacks();
+
+        // The first access at/after the boundary applies the switch: the
+        // moved partition is flushed, the dirty line written back, and
+        // the re-fetch of the stored line misses (but is not cold).
+        let _ = m.access(0, 10_000, &load);
+        let log = m.repartition_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].step, 1);
+        assert_eq!(log[0].at_cycle, 10_000);
+        assert_eq!(log[0].flush.invalidated, 2);
+        assert_eq!(log[0].flush.written_back, 1);
+        assert_eq!(log[0].l2_accesses_before, 2);
+        assert_eq!(m.dram_writebacks(), writebacks_before + 1);
+        let misses_before = m.l2().stats().misses;
+        let _ = m.access(0, 10_100, &store);
+        assert_eq!(
+            m.l2().stats().misses,
+            misses_before + 1,
+            "the flushed dirty line must be re-fetched"
+        );
+    }
+
+    #[test]
+    fn scheduled_access_burst_matches_per_access_execution_exactly() {
+        use compmem_cache::{OrganizationSpec, PartitionKey, PartitionMap, PartitionSchedule};
+        use compmem_trace::{RegionKind, RegionTable};
+        let mut table = RegionTable::new();
+        let region = table
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                512 * 1024,
+            )
+            .unwrap();
+        let l2 = CacheConfig::new(64, 4).unwrap();
+        let key = PartitionKey::Task(TaskId::new(0));
+        let map = |base_set| {
+            let mut m = PartitionMap::new(l2.geometry());
+            m.assign(key, base_set, 16).unwrap();
+            m
+        };
+        let schedule = PartitionSchedule::new(vec![
+            (0, OrganizationSpec::SetPartitioned(map(0))),
+            (150, OrganizationSpec::SetPartitioned(map(16))),
+            (900, OrganizationSpec::SetPartitioned(map(32))),
+        ])
+        .unwrap();
+        let base = table.region(region).base;
+        let stream: Vec<Access> = (0..160)
+            .map(|i| {
+                let addr = base.offset((i % 9) * 256 + (i % 5) * 64);
+                if i % 4 == 0 {
+                    Access::store(addr, 4, TaskId::new(0), region)
+                } else {
+                    Access::load(addr, 4, TaskId::new(0), region)
+                }
+            })
+            .collect();
+        let config = PlatformConfig::default()
+            .processors(1)
+            .l1(CacheConfig::new(4, 2).unwrap());
+        let fresh = || {
+            let mut m = MemorySystem::new(
+                &config,
+                OrganizationSpec::SetPartitioned(map(0))
+                    .build(l2, &table)
+                    .unwrap(),
+            );
+            m.install_schedule(&schedule, &table).unwrap();
+            m
+        };
+
+        // Per-access execution (boundaries applied at each access clock)...
+        let mut one_by_one = fresh();
+        let mut now = 0u64;
+        for a in &stream {
+            let stall = one_by_one.access(0, now, a);
+            now += if a.kind.is_instruction() {
+                stall
+            } else {
+                1 + stall
+            };
+        }
+        // ...must match burst execution, which detects the pending
+        // schedule and issues L2 accesses refill by refill.
+        let mut burst = fresh();
+        let mut clock = 0u64;
+        let mut cursor = 0usize;
+        for run_len in [13usize, 1, 70, 76] {
+            let run = &stream[cursor..cursor + run_len];
+            cursor += run_len;
+            let stats = burst.access_burst(0, clock, run);
+            clock += stats.elapsed;
+        }
+        assert_eq!(cursor, stream.len());
+        assert_eq!(clock, now, "clocks diverged");
+        assert_eq!(one_by_one.l2().snapshot(), burst.l2().snapshot());
+        assert_eq!(one_by_one.repartition_log(), burst.repartition_log());
+        assert_eq!(burst.repartition_log().len(), 2, "both switches fired");
+        assert_eq!(one_by_one.dram_writebacks(), burst.dram_writebacks());
         assert_eq!(
             one_by_one.bus().bytes_transferred(),
             burst.bus().bytes_transferred()

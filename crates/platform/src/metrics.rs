@@ -5,8 +5,27 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use compmem_cache::{CacheStats, KeyStats};
+use compmem_cache::{CacheStats, FlushStats, KeyStats};
 use compmem_trace::{RegionId, TaskId};
+
+/// One fired repartition event of a
+/// [`PartitionSchedule`](compmem_cache::PartitionSchedule) run: when it
+/// applied, what it flushed, and the L2 counters at the boundary (so
+/// per-segment miss counts fall out as differences).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepartitionRecord {
+    /// The schedule step that fired (1-based: step 0 is the organisation
+    /// the run started under).
+    pub step: usize,
+    /// The scheduled boundary cycle the step applied at.
+    pub at_cycle: u64,
+    /// Lines invalidated / written back by the switch.
+    pub flush: FlushStats,
+    /// L2 accesses accumulated before the switch.
+    pub l2_accesses_before: u64,
+    /// L2 misses accumulated before the switch.
+    pub l2_misses_before: u64,
+}
 
 /// Execution summary of one processor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -73,6 +92,9 @@ pub struct SystemReport {
     pub bus_bytes: u64,
     /// Wall-clock of the run: the largest processor local clock.
     pub makespan_cycles: u64,
+    /// The repartition events that fired during the run, in schedule
+    /// order (empty for static runs).
+    pub repartitions: Vec<RepartitionRecord>,
 }
 
 impl SystemReport {

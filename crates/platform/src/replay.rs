@@ -43,7 +43,9 @@ use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-use compmem_cache::{CacheConfig, CacheModel, CacheStats, SetAssocCache};
+use compmem_cache::{
+    CacheConfig, CacheError, CacheModel, CacheStats, PartitionSchedule, SetAssocCache,
+};
 use compmem_trace::codec::{EncodedTrace, TraceSummary, TraceWriter};
 use compmem_trace::{Access, RegionTable};
 
@@ -458,6 +460,25 @@ impl ReplaySystem {
         &self.memory
     }
 
+    /// Installs a [`PartitionSchedule`] on the replay: every switch
+    /// applies to the live L2 at its boundary on the replayed time axis —
+    /// the first refill whose reconstructed issue clock reaches the
+    /// boundary already runs under the new organisation, splitting its
+    /// run if necessary (see
+    /// [`MemorySystem::install_schedule`](crate::MemorySystem::install_schedule)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule validation errors, so a switch can never fail
+    /// mid-replay.
+    pub fn install_schedule(
+        &mut self,
+        schedule: &PartitionSchedule,
+        regions: &RegionTable,
+    ) -> Result<(), CacheError> {
+        self.memory.install_schedule(schedule, regions)
+    }
+
     /// The replay processors.
     pub fn processors(&self) -> &[ReplayProcessor] {
         &self.processors
@@ -493,6 +514,11 @@ impl ReplaySystem {
                 events.push(seq, pi);
             }
         }
+        // Switches whose boundary lies beyond the last L2-bound refill
+        // still fire (flush, write-backs, log record), exactly as the
+        // live loop's explicit repartition events do — the same schedule
+        // must fire the same switches live and replayed.
+        self.memory.apply_due_repartitions(u64::MAX);
         self.report()
     }
 
@@ -531,6 +557,7 @@ impl ReplaySystem {
             bus_bytes: self.memory.bus().bytes_transferred(),
             makespan_cycles,
             processors,
+            repartitions: self.memory.repartition_log().to_vec(),
         }
     }
 }

@@ -51,7 +51,15 @@
 //!   shape, and a `WindowedProfiler` emits a `MissRateCurves` snapshot
 //!   per fixed-size window (differences of cumulative snapshots — summing
 //!   windows reconstructs the whole run exactly) with a curve-delta
-//!   phase detector (`WindowedCurves::phases`).
+//!   phase detector (`WindowedCurves::phases`) and a streaming EWMA
+//!   variant (`OnlinePhaseDetector` / `WindowedCurves::phases_online`).
+//!   Partitioning is additionally a **time-varying policy**: a
+//!   `PartitionSchedule` orders `(at_cycle, OrganizationSpec)` steps, and
+//!   `CacheModel::reconfigure` applies a new `PartitionMap` /
+//!   `WayAllocation` to the live cache — invalidating exactly the lines
+//!   whose set/way ownership changed and returning `FlushStats` —
+//!   with `PartitionMap::pack_stable` laying consecutive steps out so
+//!   unchanged partitions keep their sets.
 //! * [`compmem_platform`] — the CAKE-like multiprocessor simulator. A
 //!   discrete-event `EventQueue` (min-heap of `(ready_cycle, actor)`)
 //!   drives the run loop; processors execute workload bursts against one
@@ -63,6 +71,11 @@
 //!   recorded trace via `ReplayProcessor` actors on the same event queue —
 //!   bit-identical cache statistics, no workload execution, with the
 //!   organisation-invariant L1 filter cached per trace (`PreparedTrace`).
+//!   Both run loops honour an installed `PartitionSchedule`: repartition
+//!   events apply at their exact cycle boundaries (mid-burst boundaries
+//!   split the L2 batch), flush write-backs are charged through the
+//!   bus/DRAM timing path, and every fired switch is logged as a
+//!   `RepartitionRecord` in the `SystemReport`.
 //!   The `profile` module feeds the stack-distance profiler from all
 //!   three traffic sources: `profile_trace` (a prepared trace, through
 //!   the same cached L1 filter replays use), `profile_reader` (streaming
@@ -100,7 +113,16 @@
 //!   / `sweep_shapes_from_curves` evaluate the **analytic L2
 //!   size × associativity sweep** from one pass — cross-checked
 //!   point-for-point against the replay sweep in
-//!   `tests/shape_sweep_parity.rs`.
+//!   `tests/shape_sweep_parity.rs`. Phase-aware *execution* closes the
+//!   loop: a `ScenarioSpec` carries a `PartitionSchedule` (single-step
+//!   constructors unchanged), `PhasePlan::to_schedule` turns per-phase
+//!   sizings into repartition events, `Experiment::run_scheduled`
+//!   executes them, and `validate_phase_plan` replays static-best vs
+//!   phase-scheduled on the same trace with per-phase predicted vs
+//!   measured miss deltas (`tests/schedule_parity.rs` pins the one-step
+//!   parity and mid-run determinism). Profiling requires an LRU L2
+//!   (`CoreError::NonLruProfiling` otherwise — the stack-distance
+//!   identity holds for LRU only).
 //!
 //! The `compmem-bench` crate (not re-exported) holds the criterion benches,
 //! the recorded `BENCH_*.json` baselines (guarded in CI by
@@ -113,11 +135,15 @@
 //! allocation they imply — windowed with `--windows`/`--phases`, with
 //! curves persisted to a `.curves` sidecar and auto-reused, and `compmem
 //! sweep-shapes --trace t.cmt --check-replay on` for the analytic shape
-//! sweep) that drives the record/replay/profile workflow from the shell;
-//! `docs/CLI.md` walks a full session and CI executes its command lines
-//! verbatim. `bench_check` additionally gates CI on machine-independent
-//! same-run ratios (replay-vs-live, shadow-vs-single-pass) alongside the
-//! absolute >25% throughput gate.
+//! sweep, and `compmem replay --trace t.cmt --schedule phases|FILE` to
+//! execute partitioning as a time-varying policy — static-best vs
+//! phase-scheduled on the same trace, with repartition flush accounting
+//! and a savable/inspectable schedule file format) that drives the
+//! record/replay/profile workflow from the shell; `docs/CLI.md` walks a
+//! full session and CI executes its command lines verbatim.
+//! `bench_check` additionally gates CI on machine-independent same-run
+//! ratios (replay-vs-live, shadow-vs-single-pass, static-vs-scheduled
+//! replay) alongside the absolute >25% throughput gate.
 
 #![forbid(unsafe_code)]
 
