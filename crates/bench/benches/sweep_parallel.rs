@@ -1,0 +1,113 @@
+//! Scaling of the parallel sweep executor and the per-key replay lanes.
+//!
+//! Two parallel paths ride on the recorded small-scale MPEG-2 trace. The
+//! *sweep* pair times the same three-organisation replay batch on the
+//! work-stealing pool with one worker (`serial_sweep`) and four workers
+//! (`jobs4_sweep`); their ratio is the wall-clock speed-up `compmem sweep
+//! --jobs 4` enjoys on the measuring machine. The *lane* trio times the
+//! set-partitioned replay split into independent per-partition-key lanes
+//! merged back into one report (`lanes1`/`lanes2`/`lanes4` worker
+//! threads); intra-scenario scaling that a batch of whole scenarios
+//! cannot expose. Byte-identical parity of every parallel path against
+//! its serial reference is asserted before any timing. The committed
+//! `BENCH_sweep.json` baseline is produced with
+//! `CRITERION_OUTPUT_JSON=BENCH_sweep.json cargo bench --bench
+//! sweep_parallel` (the committed numbers come from a single-CPU
+//! container, so its serial/parallel ratios sit near 1; the
+//! `scripts/bench_check` ratio gate only fires if parallelism *loses*
+//! ground against the same-run serial reference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use compmem::executor::run_batch;
+use compmem::experiment::{run_replay, ScenarioSpec};
+use compmem_bench::{mpeg2_experiment, Scale};
+use compmem_cache::{
+    OrganizationSpec, PartitionKey, PartitionMap, PartitionSchedule, WayAllocation,
+};
+use compmem_platform::replay_lanes;
+
+fn bench_sweep_parallel(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let experiment = mpeg2_experiment(scale);
+    let live_spec = experiment.shared_spec();
+    let (_live, trace) = experiment
+        .record_trace(&live_spec)
+        .expect("recording the small MPEG-2 run succeeds");
+    let platform = experiment.config().platform;
+    let l2 = experiment.config().l2;
+    let keys = PartitionKey::distinct_keys(trace.table());
+    let set_map = PartitionMap::equal_split(l2.geometry(), &keys)
+        .expect("the small L2 splits over the trace's partition keys");
+    let specs = vec![
+        ScenarioSpec::replay(l2, OrganizationSpec::Shared, trace.clone()),
+        ScenarioSpec::replay(
+            l2,
+            OrganizationSpec::SetPartitioned(set_map.clone()),
+            trace.clone(),
+        ),
+        ScenarioSpec::replay(
+            l2,
+            OrganizationSpec::WayPartitioned(WayAllocation::equal_split(l2.geometry(), &keys)),
+            trace.clone(),
+        ),
+    ];
+
+    // The batch must be byte-identical whatever the worker count before we
+    // time anything.
+    let serial = run_batch(&specs, 1, |_, spec| run_replay(&platform, spec));
+    let parallel = run_batch(&specs, 4, |_, spec| run_replay(&platform, spec));
+    for (a, b) in serial.iter().zip(&parallel) {
+        let a = a.as_ref().expect("replay succeeds");
+        let b = b.as_ref().expect("replay succeeds");
+        assert_eq!(a.report.l1, b.report.l1);
+        assert_eq!(a.report.l2, b.report.l2);
+        assert_eq!(a.l2_snapshot, b.l2_snapshot);
+    }
+
+    // The merged lane totals must match the one-cache serial replay of the
+    // same set-partitioned organisation.
+    let schedule = PartitionSchedule::single(OrganizationSpec::SetPartitioned(set_map));
+    let reference = &serial[1].as_ref().expect("replay succeeds").report;
+    let lanes = replay_lanes(&platform, l2, &schedule, &trace, 4).expect("lane replay succeeds");
+    assert!(lanes.lanes > 1, "the trace must split into several lanes");
+    assert_eq!(lanes.l1, reference.l1);
+    assert_eq!(lanes.l2, reference.l2);
+    assert_eq!(lanes.dram_accesses, reference.dram_accesses);
+    assert_eq!(lanes.dram_writebacks, reference.dram_writebacks);
+    println!(
+        "trace: {} accesses, {} partition lanes over {} keys",
+        trace.accesses(),
+        lanes.lanes,
+        keys.len()
+    );
+
+    let mut group = c.benchmark_group("sweep_parallel");
+    group.sample_size(10);
+    group.bench_function("serial_sweep", |b| {
+        b.iter(|| {
+            let outcomes = run_batch(&specs, 1, |_, spec| run_replay(&platform, spec));
+            black_box(outcomes.len())
+        })
+    });
+    group.bench_function("jobs4_sweep", |b| {
+        b.iter(|| {
+            let outcomes = run_batch(&specs, 4, |_, spec| run_replay(&platform, spec));
+            black_box(outcomes.len())
+        })
+    });
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(format!("lanes{jobs}").as_str(), |b| {
+            b.iter(|| {
+                let report = replay_lanes(&platform, l2, &schedule, &trace, jobs)
+                    .expect("lane replay succeeds");
+                black_box(report.l2.misses)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_parallel);
+criterion_main!(benches);

@@ -89,13 +89,15 @@ fn usage() {
          [--org ORG] [--l2-kb N] [--ways N] [--policy lru|fifo|tree-plru|random] \
          [--schedule phases|PATH [--sets-per-unit N] [--windows N] [--phases DELTA] \
          [--solve KIND] [--save-schedule PATH]]\n  \
-         compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N]\n  \
+         compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N] [--jobs N]\n  \
          compmem profile --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
          [--solve exact-ilp|greedy|equal-split] [--windows N | --window-cycles N] \
          [--phases DELTA] [--save-curves auto|off|PATH]\n  \
          compmem sweep-shapes --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
-         [--check-replay on|off] [--save-curves auto|off|PATH]\n  \
-         compmem info --trace FILE [--schedule PATH] [--l2-kb N] [--ways N]"
+         [--check-replay on|off] [--jobs N] [--save-curves auto|off|PATH]\n  \
+         compmem info --trace FILE [--schedule PATH] [--l2-kb N] [--ways N]\n\
+         (--jobs N bounds the worker pool of a sweep; default: the host's \
+         available parallelism)"
     );
 }
 
@@ -153,6 +155,18 @@ fn get<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .rev()
         .find(|(n, _)| n == name)
         .map(|(_, v)| v.as_str())
+}
+
+/// Worker-pool size of a sweep: `--jobs N`, defaulting to the host's
+/// available parallelism.
+fn jobs_flag(flags: &[(String, String)]) -> Result<usize, String> {
+    match get(flags, "jobs") {
+        None => Ok(compmem::executor::default_jobs()),
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err("--jobs needs a number of at least 1".to_string()),
+        },
+    }
 }
 
 fn record(args: &[String]) -> Result<(), String> {
@@ -738,52 +752,45 @@ fn sweep(args: &[String]) -> Result<(), String> {
         .unwrap_or("4")
         .parse()
         .map_err(|_| "--ways needs a number".to_string())?;
+    let jobs = jobs_flag(&flags)?;
     let platform = PlatformConfig::default();
 
     println!(
-        "sweeping {} organisations x {} L2 sizes over {} recorded accesses",
+        "sweeping {} organisations x {} L2 sizes over {} recorded accesses ({jobs} jobs)",
         3,
         sizes.len(),
         trace.accesses()
     );
+    // The whole (size x organisation) grid is one batch on the bounded
+    // work-stealing pool: at most `jobs` worker threads regardless of how
+    // many sizes are swept, with slow rows (big partitioned replays)
+    // stolen by idle workers. Rows whose spec cannot be built (e.g. more
+    // entities than ways) are reported in place, and a panicking row
+    // surfaces as its own error instead of aborting the sweep.
+    let mut grid: Vec<(u64, &str, Result<ScenarioSpec, String>)> = Vec::new();
     for &kb in &sizes {
         let l2 = CacheConfig::with_size_bytes(kb * 1024, ways).map_err(|e| e.to_string())?;
-        println!("\nL2 = {kb} KB, {ways}-way:");
-        outcome_header();
-        // The three organisations replay the identical traffic; failures
-        // (e.g. more entities than ways) are reported per row.
-        let specs: Vec<(String, Result<ScenarioSpec, String>)> =
-            ["shared", "set-partitioned", "way-partitioned"]
-                .into_iter()
-                .map(|name| {
-                    let spec = organization(name, l2, trace.table())
-                        .map(|org| ScenarioSpec::replay(l2, org, trace.clone()));
-                    (name.to_string(), spec)
-                })
-                .collect();
-        let outcomes: Vec<(String, Result<RunOutcome, String>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = specs
-                .into_iter()
-                .map(|(name, spec)| {
-                    let platform = &platform;
-                    scope.spawn(move || {
-                        let outcome = spec.and_then(|spec| {
-                            run_replay(platform, &spec).map_err(|e: CoreError| e.to_string())
-                        });
-                        (name, outcome)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
-        });
-        for (name, outcome) in &outcomes {
-            match outcome {
-                Ok(outcome) => print_outcome_row(name, outcome),
-                Err(e) => println!("{name:<24} (skipped: {e})"),
-            }
+        for name in ["shared", "set-partitioned", "way-partitioned"] {
+            let spec = organization(name, l2, trace.table())
+                .map(|org| ScenarioSpec::replay(l2, org, trace.clone()));
+            grid.push((kb, name, spec));
+        }
+    }
+    let outcomes = compmem::executor::run_batch(&grid, jobs, |_, (_, _, spec)| match spec {
+        Ok(spec) => run_replay(&platform, spec),
+        Err(message) => Err(CoreError::Infeasible {
+            reason: message.clone(),
+        }),
+    });
+    for ((kb, name, spec), outcome) in grid.iter().zip(&outcomes) {
+        if *name == "shared" {
+            println!("\nL2 = {kb} KB, {ways}-way:");
+            outcome_header();
+        }
+        match (spec, outcome) {
+            (Err(e), _) => println!("{name:<24} (skipped: {e})"),
+            (Ok(_), Ok(outcome)) => print_outcome_row(name, outcome),
+            (Ok(_), Err(e)) => println!("{name:<24} (failed: {e})"),
         }
     }
     Ok(())
@@ -962,6 +969,7 @@ fn sweep_shapes(args: &[String]) -> Result<(), String> {
         other => return Err(format!("--check-replay needs on or off, not `{other}`")),
     };
     let sidecar = save_curves_path(&flags, &trace_path, WindowConfig::whole_run())?;
+    let jobs = jobs_flag(&flags)?;
 
     let platform = PlatformConfig::default();
     let windowed = profile_with_policy(
@@ -1004,7 +1012,7 @@ fn sweep_shapes(args: &[String]) -> Result<(), String> {
     }
 
     if check_replay {
-        verify_sweep_against_replay(&platform, &trace, &sweep)?;
+        verify_sweep_against_replay(&platform, &trace, &sweep, jobs)?;
         println!(
             "replay cross-check: all {} shapes match the analytic sweep exactly",
             sweep.points.len()
@@ -1019,11 +1027,17 @@ fn verify_sweep_against_replay(
     platform: &PlatformConfig,
     trace: &Arc<PreparedTrace>,
     sweep: &compmem::experiment::ShapeSweep,
+    jobs: usize,
 ) -> Result<(), String> {
-    for point in &sweep.points {
-        let l2 = CacheConfig::new(point.sets, point.ways).map_err(|e| e.to_string())?;
+    // Every shape replays the same immutable trace, so the cross-check
+    // fans out on the work-stealing pool like the main sweep does.
+    let outcomes = compmem::executor::run_batch(&sweep.points, jobs, |_, point| {
+        let l2 = CacheConfig::new(point.sets, point.ways).map_err(CoreError::from)?;
         let spec = ScenarioSpec::replay(l2, OrganizationSpec::Shared, Arc::clone(trace));
-        let outcome = run_replay(platform, &spec).map_err(|e| e.to_string())?;
+        run_replay(platform, &spec)
+    });
+    for (point, outcome) in sweep.points.iter().zip(outcomes) {
+        let outcome = outcome.map_err(|e| e.to_string())?;
         if outcome.report.l2.misses != point.misses {
             return Err(format!(
                 "analytic sweep diverged from replay at {} sets x {} ways: \
@@ -1052,6 +1066,22 @@ fn info(args: &[String]) -> Result<(), String> {
         summary.encoded_bytes,
         summary.bytes_per_access()
     );
+    // The segment directory is what lets replay tools slice the stream
+    // without a full decode; v1 streams have none and replay as one unit.
+    let segments = trace.trace().segment_directory();
+    if segments.is_empty() {
+        println!(
+            "segment directory: none (v{} stream replays as a single unit)",
+            trace.trace().version()
+        );
+    } else {
+        println!(
+            "segment directory: {} segments, ~{} accesses/segment, {} region snapshots",
+            segments.len(),
+            summary.accesses / segments.len() as u64,
+            segments.iter().map(|s| s.regions.len()).sum::<usize>()
+        );
+    }
     // The embedded region table is the identity the codec validates every
     // DEF_REGION record against — print it in full (index, name, kind,
     // address range, size) so corrupt-trace errors can be acted on.

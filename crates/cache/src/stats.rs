@@ -227,6 +227,27 @@ impl<K: Ord> StatsByKey<K> {
     }
 }
 
+impl<K: Ord + Clone> StatsByKey<K> {
+    /// Merges another map into this one, adding counters key-wise (keys
+    /// present in only one map keep their counts). Used to combine the
+    /// per-key attributions of independently replayed partition lanes.
+    pub fn merge(&mut self, other: &StatsByKey<K>) {
+        for (key, stats) in other.iter() {
+            let index = match self.entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(index) => index,
+                Err(index) => {
+                    self.entries
+                        .insert(index, (key.clone(), KeyStats::default()));
+                    index
+                }
+            };
+            let entry = &mut self.entries[index].1;
+            entry.accesses += stats.accesses;
+            entry.misses += stats.misses;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +291,25 @@ mod tests {
         assert_eq!(a.accesses, 2);
         assert_eq!(a.hits, 1);
         assert_eq!(a.misses, 1);
+    }
+
+    #[test]
+    fn stats_by_key_merges_key_wise() {
+        let mut a: StatsByKey<TaskId> = StatsByKey::new();
+        a.record(TaskId::new(0), false);
+        a.record(TaskId::new(2), true);
+        let mut b: StatsByKey<TaskId> = StatsByKey::new();
+        b.record(TaskId::new(0), true);
+        b.record(TaskId::new(1), false);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(&TaskId::new(0)).accesses, 2);
+        assert_eq!(a.get(&TaskId::new(0)).misses, 1);
+        assert_eq!(a.get(&TaskId::new(1)).misses, 1);
+        assert_eq!(a.get(&TaskId::new(2)).accesses, 1);
+        // Key order stays sorted after merging unseen keys.
+        let keys: Vec<_> = a.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![TaskId::new(0), TaskId::new(1), TaskId::new(2)]);
     }
 
     #[test]

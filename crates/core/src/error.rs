@@ -52,6 +52,14 @@ pub enum CoreError {
         /// Rendered message of the codec error.
         message: String,
     },
+    /// A worker thread of the batch executor panicked while evaluating one
+    /// work item. The panic is caught per item, so a poisoned spec reports
+    /// this error in its own result slot instead of aborting the whole
+    /// batch (see [`executor`](crate::executor)).
+    WorkerPanicked {
+        /// Rendered panic payload of the worker.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -77,6 +85,9 @@ impl fmt::Display for CoreError {
             CoreError::Platform(e) => write!(f, "platform error: {e}"),
             CoreError::Workload(e) => write!(f, "workload error: {e}"),
             CoreError::Codec { message } => write!(f, "trace codec error: {message}"),
+            CoreError::WorkerPanicked { message } => {
+                write!(f, "batch worker panicked: {message}")
+            }
         }
     }
 }

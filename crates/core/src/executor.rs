@@ -1,0 +1,260 @@
+//! Bounded work-stealing executor for batches of independent work items.
+//!
+//! [`Experiment::run_all`](crate::experiment::Experiment::run_all), the
+//! optimiser ablation and the `compmem sweep` CLI all evaluate a *fleet*
+//! of independent (shape × policy × schedule) work items over one shared
+//! input. The naive shape — one OS thread per item — oversubscribes the
+//! machine as soon as the fleet outgrows the core count and turns a
+//! single panicking item into an abort of the whole batch. This module
+//! replaces it with a fixed-size pool:
+//!
+//! * **Bounded**: at most `jobs` worker threads (default
+//!   [`default_jobs`], the host's available parallelism), never more
+//!   than there are items.
+//! * **Work-stealing**: items are seeded round-robin across per-worker
+//!   deques; a worker drains its own queue from the front and, when
+//!   empty, steals from the *back* of a sibling's queue. Items have
+//!   wildly different costs (a 4 MiB way-partitioned replay vs a 32 KiB
+//!   shared one), so static striping alone would leave workers idle
+//!   while one queue still holds the expensive tail.
+//! * **Panic-isolating**: each item runs under
+//!   [`catch_unwind`]; a panicking item yields
+//!   [`CoreError::WorkerPanicked`] in *its* result slot while the rest of
+//!   the batch completes normally.
+//!
+//! Results come back in input order regardless of which worker ran what,
+//! so callers observe the exact same `Vec` a serial loop would produce —
+//! the determinism tests in `experiment` assert byte-identical
+//! [`CacheSnapshot`](compmem_cache::CacheSnapshot)s for 1 vs N jobs.
+//!
+//! The pool is deliberately `std`-only (scoped threads + mutex-guarded
+//! deques, no channels): batches are coarse-grained — each item is a full
+//! cache simulation, milliseconds at minimum — so queue-operation
+//! latency is irrelevant and the simple locked deque is indistinguishable
+//! from a lock-free one here.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use crate::error::CoreError;
+
+/// Default worker count: the host's available parallelism, or 1 when the
+/// platform cannot report it.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Renders a caught panic payload into a human-readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Evaluates `work` over every item of `items` on a bounded work-stealing
+/// pool of at most `jobs` threads and returns the results **in input
+/// order**.
+///
+/// `jobs` is clamped to `1..=items.len()`; `jobs <= 1` (or a single
+/// item) degenerates to an inline serial loop on the calling thread, so
+/// `run_batch(items, 1, f)` is *exactly* `items.map(f)` — no threads are
+/// spawned at all. A panic inside `work` is caught per item and surfaces
+/// as [`CoreError::WorkerPanicked`] in that item's slot.
+///
+/// The closure receives the item's input index alongside the item so
+/// callers can label diagnostics without searching for the item.
+pub fn run_batch<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<Result<R, CoreError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, CoreError> + Sync,
+{
+    let run_one = |index: usize, item: &T| -> Result<R, CoreError> {
+        catch_unwind(AssertUnwindSafe(|| work(index, item))).unwrap_or_else(|payload| {
+            Err(CoreError::WorkerPanicked {
+                message: panic_message(payload),
+            })
+        })
+    };
+
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item))
+            .collect();
+    }
+
+    // Seed the per-worker deques round-robin. No work is ever *added*
+    // after this point, so a worker that finds every queue empty can
+    // terminate — there is nothing left to wait for, and no parking or
+    // wake-up machinery is needed.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                (0..items.len())
+                    .filter(|i| i % workers == w)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+
+    let mut slots: Vec<Option<Result<R, CoreError>>> = (0..items.len()).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let queues = &queues;
+        let run_one = &run_one;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, Result<R, CoreError>)> = Vec::new();
+                    loop {
+                        // Own queue first (front — preserves the seeded
+                        // order), then steal from siblings (back — takes
+                        // the work farthest from the owner's cursor).
+                        let mut next = queues[w]
+                            .lock()
+                            .expect("executor queue poisoned")
+                            .pop_front();
+                        if next.is_none() {
+                            for offset in 1..workers {
+                                let victim = (w + offset) % workers;
+                                next = queues[victim]
+                                    .lock()
+                                    .expect("executor queue poisoned")
+                                    .pop_back();
+                                if next.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        match next {
+                            Some(i) => done.push((i, run_one(i, &items[i]))),
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            // The per-item `catch_unwind` means the worker body itself
+            // cannot panic; a join error would indicate a bug in the
+            // executor, and the affected slots degrade to
+            // `WorkerPanicked` below instead of aborting the batch.
+            if let Ok(done) = handle.join() {
+                for (i, result) in done {
+                    slots[i] = Some(result);
+                }
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(CoreError::WorkerPanicked {
+                    message: "worker thread died before reporting its results".to_string(),
+                })
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let results = run_batch(&items, jobs, |i, &x| {
+                assert_eq!(i as u64, x);
+                Ok(x * x)
+            });
+            let squares: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+            let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(squares, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let items: Vec<usize> = (0..64).collect();
+        let counter = AtomicUsize::new(0);
+        let results = run_batch(&items, 4, |_, _| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), items.len());
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn a_panicking_item_fails_alone() {
+        let items: Vec<u32> = (0..10).collect();
+        for jobs in [1, 4] {
+            let results = run_batch(&items, jobs, |_, &x| {
+                if x == 3 {
+                    panic!("item {x} is poisoned");
+                }
+                Ok(x)
+            });
+            for (i, result) in results.iter().enumerate() {
+                if i == 3 {
+                    match result {
+                        Err(CoreError::WorkerPanicked { message }) => {
+                            assert!(message.contains("poisoned"), "message: {message}");
+                        }
+                        other => panic!("expected WorkerPanicked, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*result.as_ref().unwrap(), i as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors_pass_through_untouched() {
+        let items = [1u32, 2, 3];
+        let results = run_batch(&items, 2, |_, &x| {
+            if x == 2 {
+                Err(CoreError::Infeasible {
+                    reason: "two".to_string(),
+                })
+            } else {
+                Ok(x)
+            }
+        });
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CoreError::Infeasible { .. })));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn empty_batches_and_zero_jobs_are_fine() {
+        let empty: [u32; 0] = [];
+        assert!(run_batch(&empty, 4, |_, &x| Ok(x)).is_empty());
+        let one = [7u32];
+        let results = run_batch(&one, 0, |_, &x| Ok(x));
+        assert_eq!(*results[0].as_ref().unwrap(), 7);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

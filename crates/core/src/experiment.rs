@@ -25,8 +25,10 @@
 //! Because specs are plain data (traces are shared by `Arc`) and the
 //! application factory is a pure function, independent runs are
 //! embarrassingly parallel: [`Experiment::run_all`] fans a batch of specs
-//! out across one thread per spec, and [`Experiment::compare_optimizers`]
-//! solves the three partition-sizing strategies concurrently.
+//! out across the bounded work-stealing pool of
+//! [`executor`] ([`Experiment::run_all_jobs`] picks the
+//! worker count), and [`Experiment::compare_optimizers`] solves the three
+//! partition-sizing strategies concurrently on the same pool.
 //!
 //! The central entry point is [`Experiment::run_paper_flow`], which performs
 //! the full method of the paper on one application:
@@ -69,6 +71,7 @@ use compmem_workloads::apps::Application;
 
 use crate::compositionality::CompositionalityReport;
 use crate::error::CoreError;
+use crate::executor;
 use crate::optimizer::{self, Allocation, AllocationEntity, AllocationProblem, OptimizerKind};
 use crate::profile::{CacheSizeLattice, MissProfiles};
 
@@ -1355,30 +1358,39 @@ impl<F: Fn() -> Application> Experiment<F> {
 }
 
 impl<F: Fn() -> Application + Sync> Experiment<F> {
-    /// Runs a batch of independent specs in parallel, one worker thread per
-    /// spec, and returns the outcomes in spec order.
+    /// Runs a batch of independent specs on the bounded work-stealing
+    /// executor with [`executor::default_jobs`] workers and returns the
+    /// outcomes in spec order.
     ///
-    /// The runs share nothing mutable — each thread builds its own
+    /// The runs share nothing mutable — each worker builds its own
     /// application (live specs) or reads the shared `Arc`'d trace (replay
     /// specs) and its own `Box<dyn CacheModel>` — which is exactly what the
     /// trait-object refactor buys: no monomorphised type ties the runs
     /// together, so a shared/partitioned pair or a whole organisation sweep
-    /// over one recorded trace executes concurrently.
+    /// over one recorded trace executes concurrently. A spec that panics
+    /// reports [`CoreError::WorkerPanicked`] in its own slot; the rest of
+    /// the batch completes.
     pub fn run_all(&self, specs: &[ScenarioSpec]) -> Vec<Result<RunOutcome, CoreError>> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = specs
-                .iter()
-                .map(|spec| scope.spawn(move || self.run(spec)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("run worker thread panicked"))
-                .collect()
-        })
+        self.run_all_jobs(specs, executor::default_jobs())
+    }
+
+    /// [`Experiment::run_all`] with an explicit worker count.
+    ///
+    /// `jobs` bounds the pool (clamped to `1..=specs.len()`); `jobs == 1`
+    /// runs the batch serially on the calling thread. The outcome vector is
+    /// identical for every `jobs` value — the determinism suite asserts
+    /// byte-identical [`CacheSnapshot`]s for 1 vs N workers.
+    pub fn run_all_jobs(
+        &self,
+        specs: &[ScenarioSpec],
+        jobs: usize,
+    ) -> Vec<Result<RunOutcome, CoreError>> {
+        executor::run_batch(specs, jobs, |_, spec| self.run(spec))
     }
 
     /// Compares the three partition-sizing strategies on already-measured
-    /// profiles (the optimiser ablation), solving them in parallel.
+    /// profiles (the optimiser ablation), solving them in parallel on the
+    /// work-stealing executor.
     ///
     /// The profiles are typically curve-derived
     /// ([`Experiment::run_profiled`]); the table names the entities and
@@ -1387,7 +1399,8 @@ impl<F: Fn() -> Application + Sync> Experiment<F> {
     ///
     /// # Errors
     ///
-    /// Propagates optimiser errors.
+    /// Propagates optimiser errors; a panicking solver surfaces as
+    /// [`CoreError::WorkerPanicked`] instead of aborting the batch.
     pub fn compare_optimizers(
         &self,
         table: &RegionTable,
@@ -1399,19 +1412,11 @@ impl<F: Fn() -> Application + Sync> Experiment<F> {
             OptimizerKind::Greedy,
             OptimizerKind::EqualSplit,
         ];
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = kinds
-                .iter()
-                .map(|&kind| {
-                    let problem = &problem;
-                    scope.spawn(move || optimizer::solve(problem, kind))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("optimizer worker thread panicked"))
-                .collect()
+        executor::run_batch(&kinds, executor::default_jobs(), |_, &kind| {
+            optimizer::solve(&problem, kind)
         })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -1521,6 +1526,38 @@ mod tests {
                 "parallel and sequential runs of `{}` diverged",
                 spec.label()
             );
+        }
+    }
+
+    #[test]
+    fn run_all_is_deterministic_across_worker_counts() {
+        let params = Mpeg2Params::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            mpeg2_app(&params).expect("valid params")
+        });
+        // Replay traffic so every jobs count sees the identical access
+        // stream; a fleet larger than any worker count exercises stealing.
+        let (_, trace) = experiment.record_trace(&experiment.shared_spec()).unwrap();
+        let mut specs = Vec::new();
+        for kb in [16u64, 32, 64] {
+            let l2 = CacheConfig::with_size_bytes(kb * 1024, 4).unwrap();
+            let mut spec = experiment.shared_spec_with_l2(l2);
+            spec.traffic = TrafficSource::Replay(Arc::clone(&trace));
+            specs.push(spec);
+        }
+        let serial = experiment.run_all_jobs(&specs, 1);
+        for jobs in [2, 4, specs.len() + 5] {
+            let parallel = experiment.run_all_jobs(&specs, jobs);
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                let s = s.as_ref().unwrap();
+                let p = p.as_ref().unwrap();
+                // Byte-identical snapshots: same counters, same per-key
+                // stats, same organisation — the executor only reorders
+                // *which thread* runs a spec, never what the spec computes.
+                assert_eq!(s.l2_snapshot, p.l2_snapshot, "jobs={jobs}");
+                assert_eq!(s, p, "jobs={jobs}");
+            }
         }
     }
 

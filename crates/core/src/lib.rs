@@ -70,6 +70,7 @@
 
 pub mod compositionality;
 mod error;
+pub mod executor;
 pub mod experiment;
 pub mod model;
 pub mod optimizer;

@@ -56,6 +56,14 @@ pub enum PlatformError {
         /// Rendered message of the codec error.
         message: String,
     },
+    /// A replay lane could not build or reconfigure its L2 organisation
+    /// (the message of the underlying
+    /// [`CacheError`](compmem_cache::CacheError): an invalid schedule, a
+    /// partition map over the wrong geometry, an uncovered region).
+    LaneCache {
+        /// Rendered message of the cache error.
+        message: String,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -90,6 +98,9 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::SidecarWrite { message } => {
                 write!(f, "curve sidecar write error: {message}")
+            }
+            PlatformError::LaneCache { message } => {
+                write!(f, "lane replay cache error: {message}")
             }
         }
     }

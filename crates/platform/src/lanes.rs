@@ -1,0 +1,686 @@
+//! Per-key parallel replay lanes: splitting one trace replay across
+//! threads along partition boundaries.
+//!
+//! A partitioned L2 is *compositional*: accesses of one partition key
+//! cannot change another key's cache state (that is the paper's point).
+//! The replay of a recorded trace under a partitioned organisation
+//! therefore factors into independent **lanes** — one per
+//! [`PartitionKey`] — each replaying only the refills of its key against
+//! its own copy of the L2 organisation, on its own thread. Merging the
+//! lanes' statistics reproduces the serial replay's cache-side numbers
+//! *exactly*, because the serial cache never lets the keys interact:
+//!
+//! * **Set-partitioned** (any replacement policy): partitions are
+//!   exclusive set ranges, and every piece of per-set replacement state
+//!   (LRU/FIFO stamps, PLRU bits, the per-set random state seeded from
+//!   `seed ^ set_index`) is touched only by accesses that index into the
+//!   set — i.e. only by the owning key.
+//! * **Way-partitioned** with pairwise-disjoint way masks (in *every*
+//!   schedule step) under LRU, FIFO or tree-PLRU: tags are full line
+//!   addresses (a key can only hit its own lines), victims are chosen
+//!   among the accessing key's ways by relative stamp order, and a
+//!   disjoint mask is never the full mask, so tree-PLRU takes its
+//!   documented stamp fallback. **Random** replacement is excluded: its
+//!   per-set generator is shared by every key that touches the set, so
+//!   the interleaving matters.
+//! * **Shared** and **profiling** organisations (and overlapping way
+//!   masks) are not compositional at all; [`replay_lanes`] transparently
+//!   falls back to a single lane.
+//!
+//! What merges exactly: the L2 aggregate [`CacheStats`], the per-task /
+//! per-region / per-partition attributions, DRAM accesses and
+//! write-backs, and bus *bytes* (every bus transfer of the serial timing
+//! path is a per-refill or per-flush constant). What does not: timing —
+//! bus wait cycles, stall cycles and the makespan depend on the global
+//! interleaving of transfers and are reported by the serial
+//! [`ReplaySystem`](crate::ReplaySystem) only.
+//!
+//! Repartition events of a [`PartitionSchedule`] are applied on the
+//! **recorded issue axis** (`run.start_cycle + data_accesses_before`),
+//! which every lane can compute locally. The serial replay applies them
+//! on the stall-inflated reconstructed clock, so a boundary that falls
+//! *inside* a run's stall window may split that run's refills differently;
+//! boundaries placed in the gaps between runs — where phase schedules put
+//! them — agree exactly, and switches past the last refill still fire, as
+//! in the serial loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use compmem_cache::{
+    CacheConfig, CacheError, CacheModel, CacheStats, FlushStats, OrganizationSpec, PartitionKey,
+    PartitionSchedule, ReplacementPolicy, StatsByKey,
+};
+use compmem_trace::{RegionId, RegionTable, TaskId, LINE_SIZE_BYTES};
+
+use crate::config::PlatformConfig;
+use crate::error::PlatformError;
+use crate::replay::{FilteredTrace, PreparedTrace};
+
+/// Cache-side result of a lane replay, merged over all lanes.
+///
+/// Field for field this matches the corresponding members of
+/// [`SystemReport`](crate::SystemReport) (timing fields excluded, see the
+/// module docs); the parity tests assert byte-for-byte equality against a
+/// serial [`ReplaySystem`](crate::ReplaySystem) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneReport {
+    /// Aggregate statistics over all private L1 caches (from the shared
+    /// filter pass; identical for every lane count).
+    pub l1: CacheStats,
+    /// Aggregate L2 statistics, merged over the lanes.
+    pub l2: CacheStats,
+    /// Per-task L2 statistics (a task may appear in several lanes, e.g.
+    /// through communication buffers).
+    pub l2_by_task: StatsByKey<TaskId>,
+    /// Per-region L2 statistics (each region lives in exactly one lane).
+    pub l2_by_region: StatsByKey<RegionId>,
+    /// Per-partition-key L2 statistics, for organisations that attribute
+    /// accesses to partitions.
+    pub l2_by_partition: Option<StatsByKey<PartitionKey>>,
+    /// Accesses served by DRAM (L2 misses).
+    pub dram_accesses: u64,
+    /// Dirty L2 lines written back to DRAM (evictions plus repartition
+    /// flushes).
+    pub dram_writebacks: u64,
+    /// Bytes transferred over the shared bus.
+    pub bus_bytes: u64,
+    /// Lines flushed by the schedule's repartition events, summed over
+    /// the lanes.
+    pub flushes: FlushStats,
+    /// Number of lanes the replay actually used (1 when the organisation
+    /// is not compositional).
+    pub lanes: usize,
+}
+
+/// The partition keys along which a replay of `schedule` over `regions`
+/// splits into exact per-key lanes, or `None` when it must stay serial.
+///
+/// Per-key lanes are exact when every step of the schedule is
+/// compositional for the cache's replacement policy: set-partitioned
+/// steps always are; way-partitioned steps require pairwise-disjoint way
+/// masks and a non-[`Random`](ReplacementPolicy::Random) policy; shared
+/// and profiling organisations never are (see the module docs for the
+/// reasoning). A single distinct key yields `None` — one lane *is* the
+/// serial replay.
+pub fn lane_keys(
+    l2: CacheConfig,
+    schedule: &PartitionSchedule,
+    regions: &RegionTable,
+) -> Option<Vec<PartitionKey>> {
+    let keys = PartitionKey::distinct_keys(regions);
+    if keys.len() <= 1 {
+        return None;
+    }
+    for step in schedule.steps() {
+        match &step.organization {
+            OrganizationSpec::Shared | OrganizationSpec::Profiling(_) => return None,
+            OrganizationSpec::SetPartitioned(_) => {}
+            OrganizationSpec::WayPartitioned(allocation) => {
+                if l2.replacement_policy() == ReplacementPolicy::Random {
+                    return None;
+                }
+                let mut claimed = 0u64;
+                for (_, mask) in allocation.iter() {
+                    if claimed & mask != 0 {
+                        return None;
+                    }
+                    claimed |= mask;
+                }
+            }
+        }
+    }
+    Some(keys)
+}
+
+/// Per-lane accumulation: the lane's own L2 plus the additive bus/DRAM
+/// counters of the serial timing path.
+struct LaneTotals {
+    l2: CacheStats,
+    by_task: StatsByKey<TaskId>,
+    by_region: StatsByKey<RegionId>,
+    by_partition: Option<StatsByKey<PartitionKey>>,
+    dram_accesses: u64,
+    dram_writebacks: u64,
+    bus_bytes: u64,
+    flushes: FlushStats,
+}
+
+fn lane_cache_error(error: CacheError) -> PlatformError {
+    PlatformError::LaneCache {
+        message: error.to_string(),
+    }
+}
+
+/// Replays the refills of one lane (`key = None` replays everything)
+/// against a fresh copy of the scheduled L2 organisation.
+fn replay_one_lane(
+    l2: CacheConfig,
+    schedule: &PartitionSchedule,
+    regions: &RegionTable,
+    filtered: &FilteredTrace,
+    region_keys: &[PartitionKey],
+    key: Option<PartitionKey>,
+) -> Result<LaneTotals, PlatformError> {
+    let mut cache = schedule
+        .initial()
+        .build(l2, regions)
+        .map_err(lane_cache_error)?;
+    let mut switches = schedule.switches().iter();
+    let mut next_switch = switches.next();
+    let mut dram_accesses = 0u64;
+    let mut dram_writebacks = 0u64;
+    let mut bus_bytes = 0u64;
+    let mut flushes = FlushStats::default();
+
+    let apply_switch = |cache: &mut Box<dyn CacheModel>,
+                        organization: &OrganizationSpec,
+                        dram_writebacks: &mut u64,
+                        bus_bytes: &mut u64,
+                        flushes: &mut FlushStats|
+     -> Result<(), PlatformError> {
+        let flush = cache
+            .reconfigure(organization, regions)
+            .map_err(lane_cache_error)?;
+        // Flush traffic takes the same path as in the serial replay: one
+        // bus transfer and one DRAM write-back per dirty line.
+        *dram_writebacks += flush.written_back;
+        *bus_bytes += flush.written_back * LINE_SIZE_BYTES;
+        flushes.absorb(flush);
+        Ok(())
+    };
+
+    for run in &filtered.runs {
+        for refill in &run.refills {
+            if let Some(key) = key {
+                if region_keys[refill.access.region.index()] != key {
+                    continue;
+                }
+            }
+            // The recorded issue axis: hits before this refill advance
+            // the clock one cycle per data access (see the module docs
+            // for how this relates to the serial, stall-inflated clock).
+            let clock = run.start_cycle + refill.data_accesses_before;
+            while let Some(step) = next_switch {
+                if clock < step.at_cycle {
+                    break;
+                }
+                apply_switch(
+                    &mut cache,
+                    &step.organization,
+                    &mut dram_writebacks,
+                    &mut bus_bytes,
+                    &mut flushes,
+                )?;
+                next_switch = switches.next();
+            }
+            // The bus request sequence of the serial path, as bytes:
+            // refill transfer, optional L1 write-back, optional DRAM
+            // fill, optional L2 write-back.
+            bus_bytes += LINE_SIZE_BYTES;
+            if refill.l1_victim_dirty {
+                bus_bytes += LINE_SIZE_BYTES;
+            }
+            let outcome = cache.access(&refill.access);
+            if !outcome.hit {
+                dram_accesses += 1;
+                bus_bytes += LINE_SIZE_BYTES;
+            }
+            if outcome.evicted.is_some_and(|e| e.dirty) {
+                dram_writebacks += 1;
+                bus_bytes += LINE_SIZE_BYTES;
+            }
+        }
+    }
+    // Switches whose boundary lies beyond the lane's last refill still
+    // fire, exactly as the serial replay loop fires them at the end.
+    while let Some(step) = next_switch {
+        apply_switch(
+            &mut cache,
+            &step.organization,
+            &mut dram_writebacks,
+            &mut bus_bytes,
+            &mut flushes,
+        )?;
+        next_switch = switches.next();
+    }
+
+    Ok(LaneTotals {
+        l2: *cache.stats(),
+        by_task: cache.stats_by_task().clone(),
+        by_region: cache.stats_by_region().clone(),
+        by_partition: cache.stats_by_partition().cloned(),
+        dram_accesses,
+        dram_writebacks,
+        bus_bytes,
+        flushes,
+    })
+}
+
+/// Replays `trace` under the scheduled L2 organisation on up to `jobs`
+/// parallel per-key lanes and returns the merged cache-side report.
+///
+/// When the organisation is compositional (see [`lane_keys`]) each
+/// [`PartitionKey`] replays on its own lane; otherwise everything replays
+/// on one lane, so the result is *always* exact — the lane count is a
+/// performance detail, never a semantics switch, and `jobs = 1` produces
+/// byte-identical results to any other lane count.
+///
+/// # Errors
+///
+/// * [`PlatformError::LaneCache`] if the schedule does not fit the cache
+///   geometry or does not cover every region of the trace,
+/// * [`PlatformError::ProcessorOutOfRange`] if a trace run names a
+///   processor outside the trace's declared processor count.
+pub fn replay_lanes(
+    config: &PlatformConfig,
+    l2: CacheConfig,
+    schedule: &PartitionSchedule,
+    trace: &PreparedTrace,
+    jobs: usize,
+) -> Result<LaneReport, PlatformError> {
+    let regions = trace.table();
+    schedule
+        .validate_for(l2.geometry(), regions)
+        .map_err(lane_cache_error)?;
+    let filtered = trace.filtered_for(config)?;
+    let region_keys: Vec<PartitionKey> = regions
+        .iter()
+        .map(|region| PartitionKey::from_region_kind(region.kind))
+        .collect();
+    let lanes: Vec<Option<PartitionKey>> = match lane_keys(l2, schedule, regions) {
+        Some(keys) => keys.into_iter().map(Some).collect(),
+        None => vec![None],
+    };
+
+    let run_lane = |key: Option<PartitionKey>| {
+        replay_one_lane(l2, schedule, regions, &filtered, &region_keys, key)
+    };
+    let workers = jobs.max(1).min(lanes.len());
+    let results: Vec<Result<LaneTotals, PlatformError>> = if workers <= 1 {
+        lanes.iter().map(|key| run_lane(*key)).collect()
+    } else {
+        // Lanes are few (one per partition key), so a shared cursor over
+        // the lane list is all the scheduling needed.
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<LaneTotals, PlatformError>>>> =
+            lanes.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(key) = lanes.get(index) else { break };
+                    let result = run_lane(*key);
+                    *slots[index].lock().expect("lane slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("lane slot poisoned")
+                    .expect("every lane index was claimed by a worker")
+            })
+            .collect()
+    };
+
+    // Merge in lane (key) order, so the merged report is deterministic
+    // and independent of which thread ran which lane.
+    let mut report = LaneReport {
+        l1: filtered.l1_aggregate,
+        l2: CacheStats::new(),
+        l2_by_task: StatsByKey::new(),
+        l2_by_region: StatsByKey::new(),
+        l2_by_partition: None,
+        dram_accesses: 0,
+        dram_writebacks: 0,
+        bus_bytes: 0,
+        flushes: FlushStats::default(),
+        lanes: lanes.len(),
+    };
+    for result in results {
+        let totals = result?;
+        report.l2.merge(&totals.l2);
+        report.l2_by_task.merge(&totals.by_task);
+        report.l2_by_region.merge(&totals.by_region);
+        if let Some(by_partition) = &totals.by_partition {
+            report
+                .l2_by_partition
+                .get_or_insert_with(StatsByKey::new)
+                .merge(by_partition);
+        }
+        report.dram_accesses += totals.dram_accesses;
+        report.dram_writebacks += totals.dram_writebacks;
+        report.bus_bytes += totals.bus_bytes;
+        report.flushes.absorb(totals.flushes);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SystemReport;
+    use crate::op::{Burst, BurstOutcome, Op, WorkloadDriver};
+    use crate::replay::ReplaySystem;
+    use crate::scheduler::TaskMapping;
+    use crate::system::System;
+    use compmem_cache::{CacheSizeLattice, KeyStats, PartitionMap, SharedCache, WayAllocation};
+    use compmem_trace::codec::{EncodedTrace, TraceWriter};
+    use compmem_trace::{Access, Addr, BufferId, RegionKind, TaskId};
+
+    /// Two tasks on two processors, each touching its own data region and
+    /// a shared FIFO region (three partition keys), with an optional long
+    /// compute-only phase in the middle whose recorded-cycle gap hosts
+    /// schedule boundaries.
+    struct PhasedDriver {
+        remaining: Vec<u32>,
+        total: u32,
+        cursor: Vec<u64>,
+        own: Vec<(Addr, compmem_trace::RegionId)>,
+        buffer: (Addr, compmem_trace::RegionId),
+        gap_cycles: u32,
+    }
+
+    impl WorkloadDriver for PhasedDriver {
+        fn next_burst(&mut self, task: TaskId) -> BurstOutcome {
+            let t = task.index();
+            if self.remaining[t] == 0 {
+                return BurstOutcome::Finished;
+            }
+            self.remaining[t] -= 1;
+            if self.gap_cycles > 0 && self.remaining[t] == self.total / 2 {
+                return BurstOutcome::Ready(Burst::new(vec![Op::Compute(self.gap_cycles)]));
+            }
+            let mut ops = Vec::new();
+            for i in 0..12u64 {
+                ops.push(Op::Compute(1 + (i % 3) as u32));
+                let (base, region, lines) = if i % 5 == 4 {
+                    (self.buffer.0, self.buffer.1, 64)
+                } else {
+                    (self.own[t].0, self.own[t].1, 96)
+                };
+                let addr = base.offset(((self.cursor[t] + i) % lines) * 64);
+                let access = if i % 4 == 0 {
+                    Access::store(addr, 4, task, region)
+                } else {
+                    Access::load(addr, 4, task, region)
+                };
+                ops.push(Op::Mem(access));
+            }
+            self.cursor[t] += 7;
+            BurstOutcome::Ready(Burst::new(ops))
+        }
+    }
+
+    fn platform() -> PlatformConfig {
+        PlatformConfig::default()
+            .processors(2)
+            .l1(CacheConfig::new(4, 2).unwrap())
+    }
+
+    fn record(gap_cycles: u32) -> PreparedTrace {
+        let mut table = RegionTable::new();
+        let r0 = table
+            .insert(
+                "t0.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(0),
+                },
+                96 * 64,
+            )
+            .unwrap();
+        let r1 = table
+            .insert(
+                "t1.data",
+                RegionKind::TaskData {
+                    task: TaskId::new(1),
+                },
+                96 * 64,
+            )
+            .unwrap();
+        let rb = table
+            .insert(
+                "fifo",
+                RegionKind::Fifo {
+                    buffer: BufferId::new(0),
+                },
+                64 * 64,
+            )
+            .unwrap();
+        let mapping = TaskMapping::round_robin(&[TaskId::new(0), TaskId::new(1)], 2);
+        let mut system = System::new(
+            platform(),
+            Box::new(SharedCache::new(CacheConfig::new(64, 4).unwrap())),
+            mapping,
+        )
+        .unwrap();
+        let mut driver = PhasedDriver {
+            remaining: vec![40, 40],
+            total: 40,
+            cursor: vec![0, 0],
+            own: vec![(table.region(r0).base, r0), (table.region(r1).base, r1)],
+            buffer: (table.region(rb).base, rb),
+            gap_cycles,
+        };
+        let mut writer = TraceWriter::new(Vec::new(), &table, 2).unwrap();
+        system.run_traced(&mut driver, &mut writer).unwrap();
+        let (bytes, summary) = writer.finish().unwrap();
+        assert!(summary.accesses > 0);
+        PreparedTrace::from(EncodedTrace::from_bytes(bytes).unwrap())
+    }
+
+    fn task(i: u32) -> PartitionKey {
+        PartitionKey::Task(TaskId::new(i))
+    }
+
+    fn buffer() -> PartitionKey {
+        PartitionKey::Buffer(BufferId::new(0))
+    }
+
+    /// Serial reference: a [`ReplaySystem`] over the same platform, L2 and
+    /// schedule.
+    fn serial(
+        l2: CacheConfig,
+        schedule: &PartitionSchedule,
+        trace: &PreparedTrace,
+    ) -> (SystemReport, Option<StatsByKey<PartitionKey>>) {
+        let model = schedule.initial().build(l2, trace.table()).unwrap();
+        let mut replay = ReplaySystem::new(&platform(), model, trace).unwrap();
+        replay.install_schedule(schedule, trace.table()).unwrap();
+        let report = replay.run();
+        let by_partition = replay.memory().l2().stats_by_partition().cloned();
+        (report, by_partition)
+    }
+
+    fn assert_parity(
+        serial: &SystemReport,
+        serial_by_partition: &Option<StatsByKey<PartitionKey>>,
+        lanes: &LaneReport,
+    ) {
+        assert_eq!(serial.l1, lanes.l1);
+        assert_eq!(serial.l2, lanes.l2);
+        let by_task: std::collections::BTreeMap<TaskId, KeyStats> =
+            lanes.l2_by_task.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(serial.l2_by_task, by_task);
+        let by_region: std::collections::BTreeMap<compmem_trace::RegionId, KeyStats> =
+            lanes.l2_by_region.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(serial.l2_by_region, by_region);
+        assert_eq!(*serial_by_partition, lanes.l2_by_partition);
+        assert_eq!(serial.dram_accesses, lanes.dram_accesses);
+        assert_eq!(serial.dram_writebacks, lanes.dram_writebacks);
+        assert_eq!(serial.bus_bytes, lanes.bus_bytes);
+    }
+
+    #[test]
+    fn set_partitioned_lanes_match_serial_for_every_policy() {
+        let trace = record(0);
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Random,
+        ] {
+            let l2 = CacheConfig::new(64, 4).unwrap().policy(policy);
+            let map = PartitionMap::pack(
+                l2.geometry(),
+                &[(task(0), 16), (task(1), 16), (buffer(), 16)],
+            )
+            .unwrap();
+            let schedule = PartitionSchedule::single(OrganizationSpec::SetPartitioned(map));
+            let (serial_report, serial_bp) = serial(l2, &schedule, &trace);
+            let lanes = replay_lanes(&platform(), l2, &schedule, &trace, 4).unwrap();
+            assert_eq!(lanes.lanes, 3, "policy {policy:?} should lane per key");
+            assert_parity(&serial_report, &serial_bp, &lanes);
+            assert!(lanes.l2.misses > 0, "the workload must exercise the L2");
+        }
+    }
+
+    #[test]
+    fn way_partitioned_lanes_match_serial_with_disjoint_masks() {
+        let trace = record(0);
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::TreePlru,
+        ] {
+            let l2 = CacheConfig::new(64, 4).unwrap().policy(policy);
+            let alloc = WayAllocation::equal_split(l2.geometry(), &[task(0), task(1), buffer()]);
+            let schedule = PartitionSchedule::single(OrganizationSpec::WayPartitioned(alloc));
+            let (serial_report, serial_bp) = serial(l2, &schedule, &trace);
+            let lanes = replay_lanes(&platform(), l2, &schedule, &trace, 4).unwrap();
+            assert_eq!(lanes.lanes, 3, "policy {policy:?} should lane per key");
+            assert_parity(&serial_report, &serial_bp, &lanes);
+        }
+    }
+
+    #[test]
+    fn shared_and_profiling_replay_on_one_lane() {
+        let trace = record(0);
+        let l2 = CacheConfig::new(64, 4).unwrap();
+        let lattice = CacheSizeLattice::new(l2.geometry(), 4);
+        for spec in [
+            OrganizationSpec::Shared,
+            OrganizationSpec::Profiling(lattice),
+        ] {
+            let schedule = PartitionSchedule::single(spec);
+            assert_eq!(lane_keys(l2, &schedule, trace.table()), None);
+            let (serial_report, serial_bp) = serial(l2, &schedule, &trace);
+            let lanes = replay_lanes(&platform(), l2, &schedule, &trace, 4).unwrap();
+            assert_eq!(lanes.lanes, 1);
+            assert_parity(&serial_report, &serial_bp, &lanes);
+        }
+    }
+
+    #[test]
+    fn non_compositional_way_allocations_stay_serial() {
+        let trace = record(0);
+        let table = trace.table();
+        // Random replacement shares per-set generator state across keys.
+        let random_l2 = CacheConfig::new(64, 4)
+            .unwrap()
+            .policy(ReplacementPolicy::Random);
+        let disjoint =
+            WayAllocation::equal_split(random_l2.geometry(), &[task(0), task(1), buffer()]);
+        let schedule = PartitionSchedule::single(OrganizationSpec::WayPartitioned(disjoint));
+        assert_eq!(lane_keys(random_l2, &schedule, table), None);
+        let (serial_report, serial_bp) = serial(random_l2, &schedule, &trace);
+        let lanes = replay_lanes(&platform(), random_l2, &schedule, &trace, 4).unwrap();
+        assert_eq!(lanes.lanes, 1);
+        assert_parity(&serial_report, &serial_bp, &lanes);
+
+        // Overlapping masks let keys evict each other's lines.
+        let l2 = CacheConfig::new(64, 4).unwrap();
+        let mut overlapping = WayAllocation::new(l2.geometry());
+        overlapping.assign(task(0), 0b0011).unwrap();
+        overlapping.assign(task(1), 0b0110).unwrap();
+        overlapping.assign(buffer(), 0b1000).unwrap();
+        let schedule = PartitionSchedule::single(OrganizationSpec::WayPartitioned(overlapping));
+        assert_eq!(lane_keys(l2, &schedule, table), None);
+        let (serial_report, serial_bp) = serial(l2, &schedule, &trace);
+        let lanes = replay_lanes(&platform(), l2, &schedule, &trace, 4).unwrap();
+        assert_eq!(lanes.lanes, 1);
+        assert_parity(&serial_report, &serial_bp, &lanes);
+    }
+
+    #[test]
+    fn scheduled_lanes_match_serial_across_repartitions() {
+        // Record with a long compute-only phase; its recorded-cycle gap is
+        // orders of magnitude wider than any intra-run stall shift, so the
+        // serial (stall-inflated) and lane (recorded-axis) clocks cross the
+        // boundary at the same refill.
+        let trace = record(400_000);
+        let runs = trace.trace().runs();
+        let mut widest = (0u64, 0u64);
+        for pair in runs.windows(2) {
+            let gap = pair[1].start_cycle.saturating_sub(pair[0].start_cycle);
+            if gap > widest.0 {
+                widest = (gap, pair[0].start_cycle + gap / 2);
+            }
+        }
+        assert!(widest.0 > 100_000, "the compute phase must leave a gap");
+        let mid_boundary = widest.1;
+        let end_boundary = runs.last().unwrap().start_cycle + 10_000_000;
+
+        let l2 = CacheConfig::new(64, 4).unwrap();
+        let map = |sizes: &[(PartitionKey, u32)]| {
+            OrganizationSpec::SetPartitioned(PartitionMap::pack(l2.geometry(), sizes).unwrap())
+        };
+        let schedule = PartitionSchedule::new(vec![
+            (0, map(&[(task(0), 16), (task(1), 16), (buffer(), 16)])),
+            (
+                mid_boundary,
+                map(&[(task(0), 8), (task(1), 32), (buffer(), 8)]),
+            ),
+            (
+                end_boundary,
+                map(&[(task(0), 32), (task(1), 8), (buffer(), 16)]),
+            ),
+        ])
+        .unwrap();
+
+        let (serial_report, serial_bp) = serial(l2, &schedule, &trace);
+        assert_eq!(
+            serial_report.repartitions.len(),
+            2,
+            "both switches must fire (the second past the last refill)"
+        );
+        let lanes = replay_lanes(&platform(), l2, &schedule, &trace, 4).unwrap();
+        assert_eq!(lanes.lanes, 3);
+        assert_parity(&serial_report, &serial_bp, &lanes);
+        let mut serial_flushes = FlushStats::default();
+        for record in &serial_report.repartitions {
+            serial_flushes.absorb(record.flush);
+        }
+        assert_eq!(serial_flushes, lanes.flushes);
+    }
+
+    #[test]
+    fn lane_count_does_not_change_results() {
+        let trace = record(0);
+        let l2 = CacheConfig::new(64, 4).unwrap();
+        let map = PartitionMap::pack(
+            l2.geometry(),
+            &[(task(0), 16), (task(1), 16), (buffer(), 16)],
+        )
+        .unwrap();
+        let schedule = PartitionSchedule::single(OrganizationSpec::SetPartitioned(map));
+        let one = replay_lanes(&platform(), l2, &schedule, &trace, 1).unwrap();
+        let eight = replay_lanes(&platform(), l2, &schedule, &trace, 8).unwrap();
+        assert_eq!(one, eight);
+        assert_eq!(one.lanes, 3);
+    }
+
+    #[test]
+    fn invalid_schedules_surface_as_lane_cache_errors() {
+        let trace = record(0);
+        let l2 = CacheConfig::new(64, 4).unwrap();
+        // A map that covers only one of the three keys.
+        let map = PartitionMap::pack(l2.geometry(), &[(task(0), 16)]).unwrap();
+        let schedule = PartitionSchedule::single(OrganizationSpec::SetPartitioned(map));
+        let err = replay_lanes(&platform(), l2, &schedule, &trace, 4).unwrap_err();
+        assert!(matches!(err, PlatformError::LaneCache { .. }));
+        assert!(err.to_string().contains("lane replay cache error"));
+    }
+}

@@ -81,6 +81,7 @@ mod bus;
 mod config;
 mod engine;
 mod error;
+pub mod lanes;
 mod memory;
 mod metrics;
 mod op;
@@ -94,6 +95,7 @@ pub use bus::Bus;
 pub use config::{OsRegions, PlatformConfig};
 pub use engine::EventQueue;
 pub use error::PlatformError;
+pub use lanes::{lane_keys, replay_lanes, LaneReport};
 pub use memory::{BurstStats, L1Refill, MemoryLevel, MemorySystem};
 pub use metrics::{ProcessorReport, RepartitionRecord, SystemReport};
 pub use op::{Burst, BurstOutcome, Op, WorkloadDriver};

@@ -11,17 +11,41 @@
 //! A trace is one byte stream:
 //!
 //! ```text
-//! header  := magic "CMTR" | version u8 (=1) | region table | varint processors
+//! header  := magic "CMTR" | version u8 (=2) | region table | varint processors
 //! regions := varint count | { varint name_len | name bytes
 //!                            | kind tag u8 | [varint task-or-buffer id]
 //!                            | varint size }*
-//! body    := { record }* | END
+//! body    := { segment }* | END | directory
+//! segment := SEGMENT (0x04) { record }*
 //! record  := DEF_TASK   (0x01) varint raw_task_id
 //!          | DEF_REGION (0x02) varint raw_region_id
 //!          | RUN        (0x03) varint processor | zigzag cycle_delta
 //!          | ACCESS     (0x80|flags) …
 //! END     := 0x00
+//! directory := varint segment_count
+//!            | { varint byte_offset | varint first_cycle | varint accesses
+//!              | varint region_count | { varint raw_region_id }* }*
 //! ```
+//!
+//! # Segments (version 2)
+//!
+//! A `SEGMENT` record **fully resets** the codec context: both
+//! dictionaries, the previous address/cycle/task/region/size and the
+//! current processor. Every segment therefore decodes independently from
+//! its byte offset with fresh state — the property the **segment
+//! directory** trailer exploits. The directory (written after `END`)
+//! lists, per segment, its absolute byte offset, the cycle of its first
+//! access, its access count and a snapshot of the region ids it
+//! references, so a consumer can slice the encoded bytes and decode one
+//! segment — or many concurrently — without a full-file pass
+//! ([`EncodedTrace::segment_runs`]). Full-stream validation
+//! ([`EncodedTrace::from_bytes`]) re-derives every directory entry from
+//! the records it walks and rejects a trailer that disagrees, so a
+//! corrupt directory is an error, never a mis-slice.
+//!
+//! Version 1 streams (no `SEGMENT` records, no trailer) remain readable;
+//! [`TraceWriter::v1_compat`] still produces them for interoperability
+//! testing.
 //!
 //! An `ACCESS` tag byte has bit 7 set; bits 0–1 carry the
 //! [`AccessKind`] (0 = ifetch, 1 = load, 2 = store) and bit 2 is the
@@ -61,13 +85,22 @@ use crate::region::{BufferId, RegionId, RegionKind, RegionTable, TaskId};
 
 /// Magic bytes opening every encoded trace.
 pub const TRACE_MAGIC: [u8; 4] = *b"CMTR";
-/// Current version of the trace IR.
-pub const TRACE_VERSION: u8 = 1;
+/// Current version of the trace IR (segmented, with a directory trailer).
+pub const TRACE_VERSION: u8 = 2;
+/// The legacy unsegmented version, still readable (and producible via
+/// [`TraceWriter::v1_compat`] for compatibility testing).
+pub const TRACE_VERSION_V1: u8 = 1;
+/// Default accesses per segment for v2 writers — small enough that a
+/// multi-second recording yields many independently decodable slices,
+/// large enough that the per-segment context reset (re-emitted
+/// dictionaries, full-width first deltas) stays amortised.
+pub const DEFAULT_SEGMENT_ACCESSES: u64 = 8192;
 
 const TAG_END: u8 = 0x00;
 const TAG_DEF_TASK: u8 = 0x01;
 const TAG_DEF_REGION: u8 = 0x02;
 const TAG_RUN: u8 = 0x03;
+const TAG_SEGMENT: u8 = 0x04;
 const TAG_ACCESS: u8 = 0x80;
 const FLAG_REPEAT: u8 = 0x04;
 
@@ -129,7 +162,8 @@ impl std::fmt::Display for CodecError {
             CodecError::UnsupportedVersion { found } => {
                 write!(
                     f,
-                    "unsupported trace version {found} (expected {TRACE_VERSION})"
+                    "unsupported trace version {found} \
+                     (expected {TRACE_VERSION_V1} or {TRACE_VERSION})"
                 )
             }
             CodecError::Corrupt { reason } => write!(f, "corrupt trace: {reason}"),
@@ -201,6 +235,9 @@ pub(crate) struct ByteSource<R: Read> {
     buf: Vec<u8>,
     pos: usize,
     len: usize,
+    /// Bytes consumed by completed buffer blocks (the stream offset of
+    /// `buf[0]`); the absolute offset of the next byte is `base + pos`.
+    base: u64,
 }
 
 impl<R: Read> ByteSource<R> {
@@ -210,10 +247,22 @@ impl<R: Read> ByteSource<R> {
             buf: vec![0u8; 64 * 1024],
             pos: 0,
             len: 0,
+            base: 0,
         }
     }
 
+    /// Absolute stream offset of the next unread byte. Drives the segment
+    /// directory: the writer records where each SEGMENT tag landed, the
+    /// validator re-derives the same offsets while decoding.
+    #[inline]
+    pub(crate) fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
     fn refill(&mut self) -> Result<(), CodecError> {
+        // `refill` is only called with the buffer fully consumed
+        // (`pos == len`), so the block it replaces advances `base` whole.
+        self.base += self.len as u64;
         loop {
             match self.inner.read(&mut self.buf) {
                 Ok(n) => {
@@ -448,6 +497,25 @@ pub struct TraceSummary {
     pub processors: u32,
     /// Encoded size in bytes (body and header).
     pub encoded_bytes: u64,
+    /// Number of independently decodable segments (0 for v1 streams and
+    /// empty traces).
+    pub segments: u64,
+}
+
+/// One entry of the v2 segment directory: everything needed to slice and
+/// decode one segment without touching the rest of the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Absolute byte offset of the segment's SEGMENT tag.
+    pub byte_offset: u64,
+    /// Cycle of the segment's first access.
+    pub first_cycle: u64,
+    /// Accesses encoded in the segment.
+    pub accesses: u64,
+    /// The regions the segment references (its region-dictionary
+    /// snapshot, sorted by raw id) — lets per-key consumers skip segments
+    /// that cannot contain their regions.
+    pub regions: Vec<RegionId>,
 }
 
 impl TraceSummary {
@@ -485,6 +553,40 @@ impl EncodeContext {
             current_processor: None,
         }
     }
+
+    /// The segment-boundary reset: every field back to its stream-start
+    /// state, so the following records decode with no history.
+    fn reset(&mut self) {
+        self.task_dict.clear();
+        self.region_dict.clear();
+        self.prev_addr = 0;
+        self.prev_cycle = 0;
+        self.prev_task = None;
+        self.prev_region = None;
+        self.prev_size = 0;
+        self.current_processor = None;
+    }
+}
+
+/// A writer wrapper counting bytes as they pass — the segment directory
+/// records absolute byte offsets, so the encoder must know where every
+/// SEGMENT tag lands even behind an opaque sink.
+#[derive(Debug)]
+struct CountingWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// Streaming encoder of the trace IR.
@@ -494,10 +596,15 @@ impl EncodeContext {
 /// by [`finish`](TraceWriter::finish).
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
-    inner: W,
+    inner: CountingWriter<W>,
     ctx: EncodeContext,
     summary: TraceSummary,
     error: Option<CodecError>,
+    version: u8,
+    /// Accesses per segment before the writer opens a new one (v2 only).
+    segment_accesses: u64,
+    segments: Vec<SegmentEntry>,
+    current_segment: Option<SegmentEntry>,
 }
 
 impl std::fmt::Debug for EncodeContext {
@@ -511,14 +618,66 @@ impl std::fmt::Debug for EncodeContext {
 
 impl<W: Write> TraceWriter<W> {
     /// Starts a trace: writes the header (magic, version, the embedded
-    /// region table and the processor count) to `inner`.
+    /// region table and the processor count) to `inner`. Segments roll
+    /// over every [`DEFAULT_SEGMENT_ACCESSES`] accesses; use
+    /// [`with_segment_accesses`](TraceWriter::with_segment_accesses) to
+    /// tune that.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the header cannot be written.
-    pub fn new(mut inner: W, table: &RegionTable, processors: u32) -> Result<Self, CodecError> {
+    pub fn new(inner: W, table: &RegionTable, processors: u32) -> Result<Self, CodecError> {
+        Self::with_version(
+            inner,
+            table,
+            processors,
+            TRACE_VERSION,
+            DEFAULT_SEGMENT_ACCESSES,
+        )
+    }
+
+    /// Starts a v2 trace whose segments roll over every
+    /// `segment_accesses` accesses (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the header cannot be written.
+    pub fn with_segment_accesses(
+        inner: W,
+        table: &RegionTable,
+        processors: u32,
+        segment_accesses: u64,
+    ) -> Result<Self, CodecError> {
+        Self::with_version(
+            inner,
+            table,
+            processors,
+            TRACE_VERSION,
+            segment_accesses.max(1),
+        )
+    }
+
+    /// Starts a **legacy v1** trace: no SEGMENT records, no directory
+    /// trailer. Kept so v1 readability stays a tested property rather
+    /// than dead code, and so old tooling can be interoperated with.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the header cannot be written.
+    pub fn v1_compat(inner: W, table: &RegionTable, processors: u32) -> Result<Self, CodecError> {
+        Self::with_version(inner, table, processors, TRACE_VERSION_V1, u64::MAX)
+    }
+
+    fn with_version(
+        inner: W,
+        table: &RegionTable,
+        processors: u32,
+        version: u8,
+        segment_accesses: u64,
+    ) -> Result<Self, CodecError> {
+        let mut inner = CountingWriter { inner, written: 0 };
         inner.write_all(&TRACE_MAGIC)?;
-        inner.write_all(&[TRACE_VERSION])?;
+        inner.write_all(&[version])?;
         write_region_table(&mut inner, table)?;
         write_varint(&mut inner, u64::from(processors))?;
         Ok(TraceWriter {
@@ -529,6 +688,10 @@ impl<W: Write> TraceWriter<W> {
                 ..TraceSummary::default()
             },
             error: None,
+            version,
+            segment_accesses,
+            segments: Vec::new(),
+            current_segment: None,
         })
     }
 
@@ -550,7 +713,42 @@ impl<W: Write> TraceWriter<W> {
         }
     }
 
+    /// Closes the open segment (snapshotting its region dictionary into
+    /// the directory entry) and opens a new one at the current byte
+    /// offset, resetting the whole encode context.
+    fn begin_segment(&mut self, cycle: u64) -> Result<(), CodecError> {
+        self.close_segment();
+        let byte_offset = self.inner.written;
+        self.inner.write_all(&[TAG_SEGMENT])?;
+        self.ctx.reset();
+        self.current_segment = Some(SegmentEntry {
+            byte_offset,
+            first_cycle: cycle,
+            accesses: 0,
+            regions: Vec::new(),
+        });
+        Ok(())
+    }
+
+    fn close_segment(&mut self) {
+        if let Some(mut segment) = self.current_segment.take() {
+            let mut ids: Vec<u32> = self.ctx.region_dict.keys().copied().collect();
+            ids.sort_unstable();
+            segment.regions = ids.into_iter().map(RegionId::new).collect();
+            self.segments.push(segment);
+        }
+    }
+
     fn encode(&mut self, processor: u32, cycle: u64, access: &Access) -> Result<(), CodecError> {
+        if self.version >= TRACE_VERSION {
+            let roll_over = match &self.current_segment {
+                None => true,
+                Some(segment) => segment.accesses >= self.segment_accesses,
+            };
+            if roll_over {
+                self.begin_segment(cycle)?;
+            }
+        }
         // A processor change — or a clock that moved backwards, which plain
         // varint gaps cannot express — opens a new run.
         if self.ctx.current_processor != Some(processor) || cycle < self.ctx.prev_cycle {
@@ -610,11 +808,15 @@ impl<W: Write> TraceWriter<W> {
         self.ctx.prev_region = Some(access.region);
         self.ctx.prev_size = access.size;
         self.summary.accesses += 1;
+        if let Some(segment) = &mut self.current_segment {
+            segment.accesses += 1;
+        }
         Ok(())
     }
 
-    /// Terminates the stream and returns the writer together with the
-    /// summary counters.
+    /// Terminates the stream — for v2, appending the segment directory
+    /// trailer — and returns the writer together with the summary
+    /// counters.
     ///
     /// # Errors
     ///
@@ -624,9 +826,23 @@ impl<W: Write> TraceWriter<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
+        self.close_segment();
         self.inner.write_all(&[TAG_END])?;
+        if self.version >= TRACE_VERSION {
+            write_varint(&mut self.inner, self.segments.len() as u64)?;
+            for segment in &self.segments {
+                write_varint(&mut self.inner, segment.byte_offset)?;
+                write_varint(&mut self.inner, segment.first_cycle)?;
+                write_varint(&mut self.inner, segment.accesses)?;
+                write_varint(&mut self.inner, segment.regions.len() as u64)?;
+                for region in &segment.regions {
+                    write_varint(&mut self.inner, region.index() as u64)?;
+                }
+            }
+        }
+        self.summary.segments = self.segments.len() as u64;
         self.inner.flush()?;
-        Ok((self.inner, self.summary))
+        Ok((self.inner.inner, self.summary))
     }
 }
 
@@ -635,7 +851,12 @@ impl<W: Write> TraceWriter<W> {
 pub struct TraceReader<R: Read> {
     inner: ByteSource<R>,
     table: RegionTable,
+    /// Bound for DEF_REGION validation; equals `table.len()` for
+    /// whole-stream readers, and is injected for table-less segment-slice
+    /// readers.
+    table_len: usize,
     processors: u32,
+    version: u8,
     task_dict: Vec<TaskId>,
     region_dict: Vec<RegionId>,
     prev_addr: u64,
@@ -645,10 +866,25 @@ pub struct TraceReader<R: Read> {
     prev_size: u16,
     current_processor: Option<u32>,
     done: bool,
+    /// Decoding one sliced segment: the stream has no header, END record
+    /// or trailer, and simply ends at the slice boundary.
+    segment_mode: bool,
+    /// Whether records are currently legal (v2 requires them inside a
+    /// SEGMENT; v1 has no segments, so the whole body counts as open).
+    segment_open: bool,
+    /// Directory entries re-derived from the records actually walked;
+    /// compared against the trailer at END.
+    observed_segments: Vec<SegmentEntry>,
+    pending_first_cycle: bool,
+    directory: Option<Vec<SegmentEntry>>,
+    /// Absolute offset of the END tag, once seen (the exclusive byte
+    /// bound of the last segment).
+    end_offset: u64,
 }
 
 impl<R: Read> TraceReader<R> {
-    /// Opens a trace: parses and validates the header.
+    /// Opens a trace: parses and validates the header. Both the current
+    /// (v2, segmented) and the legacy v1 stream format are accepted.
     ///
     /// # Errors
     ///
@@ -666,17 +902,20 @@ impl<R: Read> TraceReader<R> {
             return Err(CodecError::BadMagic { found: magic });
         }
         let version = inner.require_byte()?;
-        if version != TRACE_VERSION {
+        if version != TRACE_VERSION && version != TRACE_VERSION_V1 {
             return Err(CodecError::UnsupportedVersion { found: version });
         }
         let table = read_region_table(&mut inner)?;
         let processors = u32::try_from(inner.read_varint()?).map_err(|_| CodecError::Corrupt {
             reason: "processor count exceeds 32 bits",
         })?;
+        let table_len = table.len();
         Ok(TraceReader {
             inner,
             table,
+            table_len,
             processors,
+            version,
             task_dict: Vec::new(),
             region_dict: Vec::new(),
             prev_addr: 0,
@@ -686,6 +925,12 @@ impl<R: Read> TraceReader<R> {
             prev_size: 0,
             current_processor: None,
             done: false,
+            segment_mode: false,
+            segment_open: version == TRACE_VERSION_V1,
+            observed_segments: Vec::new(),
+            pending_first_cycle: false,
+            directory: None,
+            end_offset: 0,
         })
     }
 
@@ -701,8 +946,13 @@ impl<R: Read> TraceReader<R> {
 
     /// Version of the trace IR this stream was encoded with.
     pub fn version(&self) -> u8 {
-        // `new` rejects every version but the current one.
-        TRACE_VERSION
+        self.version
+    }
+
+    /// The segment directory parsed from the trailer — available after
+    /// the whole stream has been decoded, `None` for v1 streams.
+    pub fn directory(&self) -> Option<&[SegmentEntry]> {
+        self.directory.as_deref()
     }
 
     /// Decodes the next access record, or `None` at the end of the trace.
@@ -720,6 +970,10 @@ impl<R: Read> TraceReader<R> {
                 Some(t) => t,
                 None => {
                     self.done = true;
+                    if self.segment_mode {
+                        // A sliced segment simply ends at its byte bound.
+                        return Ok(None);
+                    }
                     return Err(CodecError::Corrupt {
                         reason: "stream ends without an END record",
                     });
@@ -728,9 +982,48 @@ impl<R: Read> TraceReader<R> {
             match tag {
                 TAG_END => {
                     self.done = true;
+                    if self.segment_mode {
+                        return Err(CodecError::Corrupt {
+                            reason: "segment slice contains an END record",
+                        });
+                    }
+                    self.end_offset = self.inner.offset() - 1;
+                    if self.version >= TRACE_VERSION {
+                        self.finalize_observed_segment();
+                        let directory = self.read_directory()?;
+                        if directory != self.observed_segments {
+                            return Err(CodecError::Corrupt {
+                                reason: "segment directory does not match the stream",
+                            });
+                        }
+                        self.directory = Some(directory);
+                    }
                     return Ok(None);
                 }
-                TAG_DEF_TASK => {
+                TAG_SEGMENT if self.version >= TRACE_VERSION => {
+                    // Segment boundary: snapshot the finished segment,
+                    // then reset every piece of decode state — the next
+                    // records depend on nothing before this tag.
+                    let byte_offset = self.inner.offset() - 1;
+                    self.finalize_observed_segment();
+                    self.task_dict.clear();
+                    self.region_dict.clear();
+                    self.prev_addr = 0;
+                    self.prev_cycle = 0;
+                    self.prev_task = None;
+                    self.prev_region = None;
+                    self.prev_size = 0;
+                    self.current_processor = None;
+                    self.segment_open = true;
+                    self.pending_first_cycle = true;
+                    self.observed_segments.push(SegmentEntry {
+                        byte_offset,
+                        first_cycle: 0,
+                        accesses: 0,
+                        regions: Vec::new(),
+                    });
+                }
+                TAG_DEF_TASK if self.segment_open => {
                     let raw = u32::try_from(self.inner.read_varint()?).map_err(|_| {
                         CodecError::Corrupt {
                             reason: "task id exceeds 32 bits",
@@ -738,7 +1031,7 @@ impl<R: Read> TraceReader<R> {
                     })?;
                     self.task_dict.push(TaskId::new(raw));
                 }
-                TAG_DEF_REGION => {
+                TAG_DEF_REGION if self.segment_open => {
                     let raw = u32::try_from(self.inner.read_varint()?).map_err(|_| {
                         CodecError::Corrupt {
                             reason: "region id exceeds 32 bits",
@@ -749,7 +1042,7 @@ impl<R: Read> TraceReader<R> {
                     // consumers indexing per-region state (the profiler,
                     // the profiling organisation) would be handed a bogus
                     // index.
-                    if raw as usize >= self.table.len() {
+                    if raw as usize >= self.table_len {
                         self.done = true;
                         return Err(CodecError::Corrupt {
                             reason: "region id outside the embedded region table",
@@ -757,7 +1050,7 @@ impl<R: Read> TraceReader<R> {
                     }
                     self.region_dict.push(RegionId::new(raw));
                 }
-                TAG_RUN => {
+                TAG_RUN if self.segment_open => {
                     let processor = u32::try_from(self.inner.read_varint()?).map_err(|_| {
                         CodecError::Corrupt {
                             reason: "processor id exceeds 32 bits",
@@ -767,7 +1060,22 @@ impl<R: Read> TraceReader<R> {
                     self.current_processor = Some(processor);
                     self.prev_cycle = self.prev_cycle.wrapping_add(delta as u64);
                 }
-                t if t & TAG_ACCESS != 0 => return self.decode_access(t).map(Some),
+                t if t & TAG_ACCESS != 0 && self.segment_open => {
+                    return self.decode_access(t).map(Some)
+                }
+                TAG_DEF_TASK | TAG_DEF_REGION | TAG_RUN => {
+                    debug_assert!(!self.segment_open);
+                    self.done = true;
+                    return Err(CodecError::Corrupt {
+                        reason: "record outside a segment",
+                    });
+                }
+                t if t & TAG_ACCESS != 0 => {
+                    self.done = true;
+                    return Err(CodecError::Corrupt {
+                        reason: "record outside a segment",
+                    });
+                }
                 _ => {
                     self.done = true;
                     return Err(CodecError::Corrupt {
@@ -776,6 +1084,56 @@ impl<R: Read> TraceReader<R> {
                 }
             }
         }
+    }
+
+    /// Completes the directory entry of the segment just walked: its
+    /// region snapshot is exactly the DEF_REGION records seen since the
+    /// SEGMENT tag (the dictionary resets there).
+    fn finalize_observed_segment(&mut self) {
+        if let Some(segment) = self.observed_segments.last_mut() {
+            if segment.regions.is_empty() {
+                let mut ids: Vec<u32> = self.region_dict.iter().map(|r| r.index() as u32).collect();
+                ids.sort_unstable();
+                segment.regions = ids.into_iter().map(RegionId::new).collect();
+            }
+        }
+    }
+
+    /// Parses the directory trailer following the END record.
+    fn read_directory(&mut self) -> Result<Vec<SegmentEntry>, CodecError> {
+        let count = self.inner.read_varint()?;
+        if count > 1_000_000 {
+            return Err(CodecError::Corrupt {
+                reason: "implausible segment count",
+            });
+        }
+        let mut entries = Vec::with_capacity(count.min(4096) as usize);
+        for _ in 0..count {
+            let byte_offset = self.inner.read_varint()?;
+            let first_cycle = self.inner.read_varint()?;
+            let accesses = self.inner.read_varint()?;
+            let region_count = self.inner.read_varint()?;
+            if region_count > 1_000_000 {
+                return Err(CodecError::Corrupt {
+                    reason: "implausible segment region count",
+                });
+            }
+            let mut regions = Vec::with_capacity(region_count.min(4096) as usize);
+            for _ in 0..region_count {
+                let raw =
+                    u32::try_from(self.inner.read_varint()?).map_err(|_| CodecError::Corrupt {
+                        reason: "region id exceeds 32 bits",
+                    })?;
+                regions.push(RegionId::new(raw));
+            }
+            entries.push(SegmentEntry {
+                byte_offset,
+                first_cycle,
+                accesses,
+                regions,
+            });
+        }
+        Ok(entries)
     }
 
     fn decode_access(&mut self, tag: u8) -> Result<TraceRecord, CodecError> {
@@ -840,6 +1198,16 @@ impl<R: Read> TraceReader<R> {
         self.prev_region = Some(region);
         self.prev_size = size;
 
+        if self.version >= TRACE_VERSION {
+            if let Some(segment) = self.observed_segments.last_mut() {
+                segment.accesses += 1;
+                if self.pending_first_cycle {
+                    segment.first_cycle = cycle;
+                    self.pending_first_cycle = false;
+                }
+            }
+        }
+
         let access = Access {
             addr: Addr::new(addr),
             kind,
@@ -878,6 +1246,36 @@ impl<R: Read> TraceReader<R> {
     }
 }
 
+impl<'a> TraceReader<&'a [u8]> {
+    /// A reader over one sliced segment: no header, no END record — the
+    /// slice begins with the SEGMENT tag (whose context reset makes the
+    /// decode self-contained) and ends at the next segment's byte offset.
+    fn for_segment(slice: &'a [u8], table_len: usize, processors: u32) -> Self {
+        TraceReader {
+            inner: ByteSource::new(slice),
+            table: RegionTable::new(),
+            table_len,
+            processors,
+            version: TRACE_VERSION,
+            task_dict: Vec::new(),
+            region_dict: Vec::new(),
+            prev_addr: 0,
+            prev_cycle: 0,
+            prev_task: None,
+            prev_region: None,
+            prev_size: 0,
+            current_processor: None,
+            done: false,
+            segment_mode: true,
+            segment_open: false,
+            observed_segments: Vec::new(),
+            pending_first_cycle: false,
+            directory: None,
+            end_offset: 0,
+        }
+    }
+}
+
 impl<R: Read> Iterator for TraceReader<R> {
     type Item = Result<TraceRecord, CodecError>;
 
@@ -900,6 +1298,11 @@ pub struct EncodedTrace {
     bytes: Vec<u8>,
     table: RegionTable,
     summary: TraceSummary,
+    /// The v2 segment directory (empty for v1 streams and empty traces).
+    directory: Vec<SegmentEntry>,
+    /// Absolute offset of the END tag — the exclusive byte bound of the
+    /// last segment.
+    body_end: u64,
     decoded_runs: OnceLock<Vec<TraceRun>>,
 }
 
@@ -933,6 +1336,9 @@ impl EncodedTrace {
                 reason: "trailing bytes after END record",
             });
         }
+        let directory = reader.directory.take().unwrap_or_default();
+        let body_end = reader.end_offset;
+        let segments = directory.len() as u64;
         let table = reader.table;
         let encoded_bytes = bytes.len() as u64;
         let decoded_runs = OnceLock::new();
@@ -947,7 +1353,10 @@ impl EncodedTrace {
                 runs,
                 processors,
                 encoded_bytes,
+                segments,
             },
+            directory,
+            body_end,
             decoded_runs,
         })
     }
@@ -1009,6 +1418,45 @@ impl EncodedTrace {
     /// Returns `true` if the trace contains no accesses.
     pub fn is_empty(&self) -> bool {
         self.summary.accesses == 0
+    }
+
+    /// The v2 segment directory: one entry per independently decodable
+    /// segment. Empty for v1 streams and empty traces.
+    pub fn segment_directory(&self) -> &[SegmentEntry] {
+        &self.directory
+    }
+
+    /// Number of independently decodable segments.
+    pub fn segment_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Decodes one segment from its byte slice — no full-file pass, no
+    /// state from any other segment (the SEGMENT tag opening the slice
+    /// resets the whole codec context). Runs that span a segment
+    /// boundary in [`runs`](EncodedTrace::runs) appear split here;
+    /// re-merging adjacent same-processor runs at the seams reconstructs
+    /// the full-stream decomposition exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= segment_count()` (the directory is the bound).
+    pub fn segment_runs(&self, index: usize) -> Vec<TraceRun> {
+        let entry = &self.directory[index];
+        let start = entry.byte_offset as usize;
+        let end = self
+            .directory
+            .get(index + 1)
+            .map(|next| next.byte_offset as usize)
+            .unwrap_or(self.body_end as usize);
+        let mut reader = TraceReader::for_segment(
+            &self.bytes[start..end],
+            self.table.len(),
+            self.summary.processors,
+        );
+        // The same bytes passed full-stream validation and segment state
+        // is self-contained, so a slice decode cannot fail.
+        reader.collect_runs().expect("validated at construction")
     }
 
     /// Opens a streaming reader over the encoded bytes.
@@ -1243,6 +1691,149 @@ mod tests {
             TraceWriter::new(FailingWriter, &RegionTable::new(), 1),
             Err(CodecError::Io(_))
         ));
+    }
+
+    /// Re-merges adjacent same-processor runs — what the full-stream
+    /// `collect_runs` does across a segment seam.
+    fn merge_runs(segments: Vec<Vec<TraceRun>>) -> Vec<TraceRun> {
+        let mut out: Vec<TraceRun> = Vec::new();
+        for run in segments.into_iter().flatten() {
+            match out.last_mut() {
+                Some(prev) if prev.processor == run.processor => {
+                    prev.accesses.extend(run.accesses);
+                }
+                _ => out.push(run),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn segment_directory_roundtrips_and_slices_decode_independently() {
+        let t = table();
+        let accesses = sample_accesses(&t);
+        // A tiny segment target forces many segments over the sample.
+        let mut writer = TraceWriter::with_segment_accesses(Vec::new(), &t, 2, 16).unwrap();
+        for (i, a) in accesses.iter().enumerate() {
+            writer.record((i % 2) as u32, (i * 3) as u64, a);
+        }
+        let (bytes, summary) = writer.finish().unwrap();
+        assert!(summary.segments > 3, "got {} segments", summary.segments);
+
+        let trace = EncodedTrace::from_bytes(bytes).unwrap();
+        assert_eq!(trace.version(), TRACE_VERSION);
+        assert_eq!(trace.segment_count() as u64, summary.segments);
+        let directory = trace.segment_directory();
+        // Offsets are strictly increasing and the access counts cover the
+        // stream exactly.
+        for pair in directory.windows(2) {
+            assert!(pair[0].byte_offset < pair[1].byte_offset);
+        }
+        let total: u64 = directory.iter().map(|s| s.accesses).sum();
+        assert_eq!(total, accesses.len() as u64);
+        // Every segment's first cycle matches its first decoded access,
+        // and its region snapshot covers the regions the slice names.
+        let mut all_runs = Vec::new();
+        for (i, entry) in directory.iter().enumerate() {
+            let runs = trace.segment_runs(i);
+            let first = &runs[0];
+            assert_eq!(first.start_cycle, entry.first_cycle, "segment {i}");
+            let decoded: u64 = runs.iter().map(|r| r.accesses.len() as u64).sum();
+            assert_eq!(decoded, entry.accesses, "segment {i}");
+            for run in &runs {
+                for access in &run.accesses {
+                    assert!(
+                        entry.regions.contains(&access.region),
+                        "segment {i} snapshot misses {:?}",
+                        access.region
+                    );
+                }
+            }
+            all_runs.push(runs);
+        }
+        // Concatenating the slice decodes (merging at the seams)
+        // reconstructs the full-stream run decomposition bit for bit.
+        assert_eq!(merge_runs(all_runs), trace.runs());
+    }
+
+    #[test]
+    fn v1_streams_stay_readable() {
+        let t = table();
+        let accesses = sample_accesses(&t);
+        let mut v1 = TraceWriter::v1_compat(Vec::new(), &t, 2).unwrap();
+        let mut v2 = TraceWriter::with_segment_accesses(Vec::new(), &t, 2, 16).unwrap();
+        for (i, a) in accesses.iter().enumerate() {
+            v1.record((i % 2) as u32, (i * 3) as u64, a);
+            v2.record((i % 2) as u32, (i * 3) as u64, a);
+        }
+        let (v1_bytes, v1_summary) = v1.finish().unwrap();
+        let (v2_bytes, _) = v2.finish().unwrap();
+        assert_eq!(v1_summary.segments, 0);
+        assert_eq!(v1_bytes[4], TRACE_VERSION_V1);
+
+        let old = EncodedTrace::from_bytes(v1_bytes).unwrap();
+        assert_eq!(old.version(), TRACE_VERSION_V1);
+        assert_eq!(old.segment_count(), 0);
+        assert!(old.segment_directory().is_empty());
+        // Same accesses, same run decomposition — segmentation is purely
+        // an encoding concern.
+        let new = EncodedTrace::from_bytes(v2_bytes).unwrap();
+        assert_eq!(old.runs(), new.runs());
+    }
+
+    #[test]
+    fn v1_streams_reject_segment_records() {
+        let t = table();
+        let accesses = sample_accesses(&t);
+        let mut writer = TraceWriter::v1_compat(Vec::new(), &t, 1).unwrap();
+        writer.record(0, 0, &accesses[0]);
+        let (mut bytes, _) = writer.finish().unwrap();
+        // Splice a SEGMENT tag before the END record of the v1 stream.
+        let end = bytes.len() - 1;
+        bytes.insert(end, TAG_SEGMENT);
+        assert!(matches!(
+            EncodedTrace::from_bytes(bytes),
+            Err(CodecError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_directory_is_rejected() {
+        let t = table();
+        let accesses = sample_accesses(&t);
+        let mut writer = TraceWriter::with_segment_accesses(Vec::new(), &t, 2, 16).unwrap();
+        for (i, a) in accesses.iter().enumerate() {
+            writer.record((i % 2) as u32, (i * 3) as u64, a);
+        }
+        let (good, _) = writer.finish().unwrap();
+        let trace = EncodedTrace::from_bytes(good.clone()).unwrap();
+        let trailer_start = {
+            // END tag position: last byte of the last segment's slice.
+            let last = trace.segment_directory().last().unwrap();
+            assert!(last.byte_offset < good.len() as u64);
+            // Find END by decoding: body_end is not public, so locate the
+            // trailer as everything after the last segment's bytes.
+            let mut reader = TraceReader::new(good.as_slice()).unwrap();
+            while reader.next_record().unwrap().is_some() {}
+            reader.end_offset as usize
+        };
+        // Flipping any byte of the trailer (after END) must be caught by
+        // the observed-vs-directory comparison or the trailer parser.
+        for pos in trailer_start + 1..good.len() {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                EncodedTrace::from_bytes(bad).is_err(),
+                "trailer corruption at byte {pos} was accepted"
+            );
+        }
+        // Truncating the trailer anywhere must fail too.
+        for cut in trailer_start..good.len() {
+            assert!(
+                EncodedTrace::from_bytes(good[..cut].to_vec()).is_err(),
+                "trailer truncation at {cut} was accepted"
+            );
+        }
     }
 
     #[test]
