@@ -8,8 +8,12 @@
 //! set-partitioned replay split into independent per-partition-key lanes
 //! merged back into one report (`lanes1`/`lanes2`/`lanes4` worker
 //! threads); intra-scenario scaling that a batch of whole scenarios
-//! cannot expose. Byte-identical parity of every parallel path against
-//! its serial reference is asserted before any timing. The committed
+//! cannot expose. `composed_sweep` stacks the two layers (four batch
+//! workers, each eligible row on up to two lanes) and the
+//! `profile_serial`/`profile_lanes4` pair times the lane-parallel
+//! stack-distance pass against the serial profiler. Byte-identical
+//! parity of every parallel path against its serial reference is
+//! asserted before any timing. The committed
 //! `BENCH_sweep.json` baseline is produced with
 //! `CRITERION_OUTPUT_JSON=BENCH_sweep.json cargo bench --bench
 //! sweep_parallel` (the committed numbers come from a single-CPU
@@ -21,12 +25,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use compmem::executor::run_batch;
-use compmem::experiment::{run_replay, ScenarioSpec};
+use compmem::experiment::{run_replay, ReplayParallelism, ScenarioSpec};
 use compmem_bench::{mpeg2_experiment, Scale};
 use compmem_cache::{
-    OrganizationSpec, PartitionKey, PartitionMap, PartitionSchedule, WayAllocation,
+    CurveResolution, OrganizationSpec, PartitionKey, PartitionMap, PartitionSchedule, WayAllocation,
 };
-use compmem_platform::replay_lanes;
+use compmem_platform::{profile_trace, profile_trace_lanes, replay_lanes};
 
 fn bench_sweep_parallel(c: &mut Criterion) {
     let scale = Scale::Small;
@@ -83,6 +87,36 @@ fn bench_sweep_parallel(c: &mut Criterion) {
         keys.len()
     );
 
+    // The lane-parallel profiling pass must reproduce the serial curves
+    // point for point before its timing means anything.
+    let resolution = CurveResolution::for_geometry(l2.geometry(), 16)
+        .expect("the small L2 supports the paper's 16-set resolution");
+    let curves_serial =
+        profile_trace(&platform, &trace, resolution).expect("serial profiling succeeds");
+    let curves_lanes =
+        profile_trace_lanes(&platform, &trace, resolution, 4).expect("lane profiling succeeds");
+    assert_eq!(
+        curves_serial, curves_lanes,
+        "lane-parallel profiling must be point-for-point identical to the serial pass"
+    );
+
+    // Composed batch x lane sweep: four batch workers, each eligible row
+    // split over up to two lanes. Cache-side counters must match the
+    // serial batch exactly (timing is not reconstructed by lanes).
+    let composed_specs: Vec<ScenarioSpec> = specs
+        .iter()
+        .map(|spec| spec.clone().with_parallelism(ReplayParallelism::lanes(2)))
+        .collect();
+    let composed = run_batch(&composed_specs, 4, |_, spec| run_replay(&platform, spec));
+    for (a, b) in serial.iter().zip(&composed) {
+        let a = a.as_ref().expect("replay succeeds");
+        let b = b.as_ref().expect("replay succeeds");
+        assert_eq!(a.report.l1, b.report.l1);
+        assert_eq!(a.report.l2, b.report.l2);
+        assert_eq!(a.report.dram_accesses, b.report.dram_accesses);
+        assert_eq!(a.by_key, b.by_key);
+    }
+
     let mut group = c.benchmark_group("sweep_parallel");
     group.sample_size(10);
     group.bench_function("serial_sweep", |b| {
@@ -106,6 +140,25 @@ fn bench_sweep_parallel(c: &mut Criterion) {
             })
         });
     }
+    group.bench_function("composed_sweep", |b| {
+        b.iter(|| {
+            let outcomes = run_batch(&composed_specs, 4, |_, spec| run_replay(&platform, spec));
+            black_box(outcomes.len())
+        })
+    });
+    group.bench_function("profile_serial", |b| {
+        b.iter(|| {
+            let curves = profile_trace(&platform, &trace, resolution).expect("profiling succeeds");
+            black_box(curves.accesses())
+        })
+    });
+    group.bench_function("profile_lanes4", |b| {
+        b.iter(|| {
+            let curves = profile_trace_lanes(&platform, &trace, resolution, 4)
+                .expect("lane profiling succeeds");
+            black_box(curves.accesses())
+        })
+    });
     group.finish();
 }
 

@@ -7,14 +7,14 @@
 //! compmem record       --app jpeg_canny|mpeg2 [--scale paper|small|tiny]
 //!                      [--org shared|way-partitioned|profiling] --out FILE
 //! compmem replay       --trace FILE [--org ORG] [--l2-kb N] [--ways N]
-//!                      [--policy lru|fifo|tree-plru|random]
+//!                      [--policy lru|fifo|tree-plru|random] [--lanes N] [--jobs N]
 //!                      [--schedule phases|PATH [--sets-per-unit N] [--windows N]
 //!                       [--phases DELTA] [--solve KIND] [--save-schedule PATH]]
-//! compmem sweep        --trace FILE [--l2-kb N[,N...]] [--ways N]
+//! compmem sweep        --trace FILE [--l2-kb N[,N...]] [--ways N] [--jobs N] [--lanes N]
 //! compmem profile      --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
 //!                      [--solve exact-ilp|greedy|equal-split]
 //!                      [--windows N | --window-cycles N] [--phases DELTA]
-//!                      [--save-curves auto|off|PATH]
+//!                      [--save-curves auto|off|PATH] [--lanes N] [--jobs N]
 //! compmem sweep-shapes --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
 //!                      [--check-replay on|off] [--save-curves auto|off|PATH]
 //! compmem info         --trace FILE [--schedule PATH] [--l2-kb N] [--ways N]
@@ -50,6 +50,19 @@
 //! `--schedule PATH`, a schedule file's steps validated against the
 //! trace).
 //!
+//! The parallelism layers compose per invocation (see the "Parallel
+//! execution" section of `docs/ARCHITECTURE.md`): `--jobs N` bounds a
+//! sweep's batch worker pool and, on `replay`/`profile`, runs the L1
+//! filter pass segment-parallel (one worker per processor stream);
+//! `--lanes N` splits a replay or profiling pass into per-partition-key
+//! lanes. Lanes are **required** on `replay` (an ineligible scenario is
+//! a hard error naming the reason) and **opportunistic** on `sweep`
+//! (ineligible rows fall back to one serial lane). All parallel paths
+//! produce cache-side counters identical to the serial run; lane-parallel
+//! replays do not reconstruct the global timing interleaving, so their
+//! makespan column prints `-`. `compmem info` prints each organisation's
+//! lane-eligibility verdict for the trace.
+//!
 //! `replay --schedule` executes partitioning as a **time-varying
 //! policy**: `phases` derives a per-phase `PartitionSchedule` from a
 //! windowed profile of the trace (the validation driver — it replays
@@ -65,7 +78,8 @@ use std::sync::Arc;
 
 use compmem::experiment::{
     allocation_problem_for_table, phase_allocations_for_table, run_replay,
-    sweep_shapes_from_curves, validate_phase_plan, Experiment, RunOutcome, ScenarioSpec,
+    sweep_shapes_from_curves, validate_phase_plan, Experiment, ReplayParallelism, RunOutcome,
+    ScenarioSpec,
 };
 use compmem::{CoreError, OptimizerKind};
 use compmem_bench::{jpeg_canny_experiment, mpeg2_experiment, Scale};
@@ -74,8 +88,8 @@ use compmem_cache::{
     PartitionSchedule, ReplacementPolicy, WayAllocation, WindowConfig, WindowedCurves,
 };
 use compmem_platform::{
-    profile_trace_windowed, profile_trace_with_sidecar, PlatformConfig, PreparedTrace,
-    SidecarOutcome,
+    lane_eligibility, profile_trace_windowed_lanes, profile_trace_with_sidecar_lanes,
+    PlatformConfig, PreparedTrace, SidecarOutcome,
 };
 use compmem_trace::{
     curves::sidecar_path, BufferId, EncodedCurves, EncodedTrace, RegionTable, TaskId,
@@ -87,17 +101,20 @@ fn usage() {
         "usage:\n  compmem record --app jpeg_canny|mpeg2 [--scale paper|small|tiny] \
          [--org shared|way-partitioned|profiling] --out FILE\n  compmem replay --trace FILE \
          [--org ORG] [--l2-kb N] [--ways N] [--policy lru|fifo|tree-plru|random] \
+         [--lanes N] [--jobs N] \
          [--schedule phases|PATH [--sets-per-unit N] [--windows N] [--phases DELTA] \
          [--solve KIND] [--save-schedule PATH]]\n  \
-         compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N] [--jobs N]\n  \
+         compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N] [--jobs N] [--lanes N]\n  \
          compmem profile --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
          [--solve exact-ilp|greedy|equal-split] [--windows N | --window-cycles N] \
-         [--phases DELTA] [--save-curves auto|off|PATH]\n  \
+         [--phases DELTA] [--save-curves auto|off|PATH] [--lanes N] [--jobs N]\n  \
          compmem sweep-shapes --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
-         [--check-replay on|off] [--jobs N] [--save-curves auto|off|PATH]\n  \
+         [--check-replay on|off] [--jobs N] [--lanes N] [--save-curves auto|off|PATH]\n  \
          compmem info --trace FILE [--schedule PATH] [--l2-kb N] [--ways N]\n\
-         (--jobs N bounds the worker pool of a sweep; default: the host's \
-         available parallelism)"
+         (--jobs N bounds the worker pool of a sweep — default: the host's available \
+         parallelism — and runs the L1 filter pass of a replay/profile \
+         segment-parallel; --lanes N splits a replay or profiling pass into \
+         per-partition-key lanes, required on replay and opportunistic on sweep)"
     );
 }
 
@@ -165,6 +182,31 @@ fn jobs_flag(flags: &[(String, String)]) -> Result<usize, String> {
         Some(value) => match value.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
             _ => Err("--jobs needs a number of at least 1".to_string()),
+        },
+    }
+}
+
+/// Segment-parallel L1-filter workers of a single replay/profile
+/// invocation: `--jobs N`, defaulting to 1 (serial). Unlike a sweep's
+/// batch pool there is only one replay to run, so parallelism is opt-in.
+fn segment_jobs_flag(flags: &[(String, String)]) -> Result<usize, String> {
+    match get(flags, "jobs") {
+        None => Ok(1),
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err("--jobs needs a number of at least 1".to_string()),
+        },
+    }
+}
+
+/// Lane count of a replay/profiling invocation: `--lanes N`, defaulting
+/// to 1 (serial).
+fn lanes_flag(flags: &[(String, String)]) -> Result<usize, String> {
+    match get(flags, "lanes") {
+        None => Ok(1),
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err("--lanes needs a number of at least 1".to_string()),
         },
     }
 }
@@ -283,20 +325,28 @@ fn window_config(flags: &[(String, String)]) -> Result<WindowConfig, String> {
 
 /// Profiles a trace, reusing or writing the sidecar as configured, and
 /// narrates what happened with the persistence layer.
+///
+/// `lanes > 1` runs the pass lane-parallel (one worker per partition-key
+/// shard, merged exactly); the notice goes to stderr because stdout —
+/// tables, sidecar narration, and the sidecar bytes themselves — is
+/// identical to a serial run, and CI diffs it to prove that.
 fn profile_with_policy(
     platform: &PlatformConfig,
     trace: &PreparedTrace,
     resolution: CurveResolution,
     window: WindowConfig,
     sidecar: Option<&Path>,
+    lanes: usize,
 ) -> Result<WindowedCurves, String> {
+    if lanes > 1 {
+        eprintln!("note: profiling on up to {lanes} lane workers (results match a serial pass)");
+    }
     match sidecar {
-        None => {
-            profile_trace_windowed(platform, trace, resolution, window).map_err(|e| e.to_string())
-        }
+        None => profile_trace_windowed_lanes(platform, trace, resolution, window, lanes)
+            .map_err(|e| e.to_string()),
         Some(path) => {
             let (windowed, outcome) =
-                profile_trace_with_sidecar(platform, trace, resolution, window, path)
+                profile_trace_with_sidecar_lanes(platform, trace, resolution, window, path, lanes)
                     .map_err(|e| e.to_string())?;
             match outcome {
                 SidecarOutcome::Reused => println!(
@@ -376,13 +426,20 @@ fn organization(
 
 fn print_outcome_row(label: &str, outcome: &RunOutcome) {
     let r = &outcome.report;
+    // Lane-parallel replays reproduce every cache-side counter exactly
+    // but do not reconstruct the global timing interleaving, so there is
+    // no makespan to report.
+    let makespan = match outcome.lane_decision {
+        Some(_) => "-".to_string(),
+        None => r.makespan_cycles.to_string(),
+    };
     println!(
         "{label:<24} {:>12} {:>12} {:>8.3}% {:>10} {:>14}",
         r.l2.accesses,
         r.l2.misses,
         100.0 * r.l2_miss_rate(),
         r.dram_accesses,
-        r.makespan_cycles
+        makespan
     );
 }
 
@@ -600,12 +657,41 @@ fn replay(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// The [`ReplayParallelism`] of a single replay invocation. `--lanes`
+/// on `replay` is **required**: asking for lanes on a scenario that
+/// cannot split exactly is a hard error naming the reason, never a
+/// silent serial run.
+fn replay_parallelism(flags: &[(String, String)]) -> Result<ReplayParallelism, String> {
+    let lanes = lanes_flag(flags)?;
+    let request = if lanes > 1 {
+        ReplayParallelism::required_lanes(lanes)
+    } else {
+        ReplayParallelism::default()
+    };
+    Ok(request.with_segment_jobs(segment_jobs_flag(flags)?))
+}
+
+/// Narrates how a laned replay split (printed after the outcome row).
+fn print_lane_decision(outcome: &RunOutcome) {
+    if let Some(decision) = outcome.lane_decision {
+        match decision.fallback {
+            None => println!(
+                "lane split: {} per-key lanes on up to {} workers (cache-side counters \
+                 lane-exact; no makespan)",
+                decision.lanes, decision.requested
+            ),
+            Some(reason) => println!("lane split: fell back to one serial lane — {reason}",),
+        }
+    }
+}
+
 fn replay_static(flags: &[(String, String)]) -> Result<(), String> {
     let trace = load_trace(flags)?;
     let l2 = l2_config(flags)?;
     let org_name = get(flags, "org").unwrap_or("shared");
     let org = organization(org_name, l2, trace.table())?;
-    let spec = ScenarioSpec::replay(l2, org, trace.clone());
+    let parallelism = replay_parallelism(flags)?;
+    let spec = ScenarioSpec::replay(l2, org, trace.clone()).with_parallelism(parallelism);
     let outcome = run_replay(&PlatformConfig::default(), &spec).map_err(|e| e.to_string())?;
     println!(
         "replayed {} accesses on {} processors under `{}`",
@@ -615,6 +701,7 @@ fn replay_static(flags: &[(String, String)]) -> Result<(), String> {
     );
     outcome_header();
     print_outcome_row(org_name, &outcome);
+    print_lane_decision(&outcome);
     Ok(())
 }
 
@@ -622,6 +709,13 @@ fn replay_static(flags: &[(String, String)]) -> Result<(), String> {
 /// per-phase schedule from a windowed profile of the trace, then replay
 /// static-best and phase-scheduled on the same traffic.
 fn replay_phase_schedule(flags: &[(String, String)]) -> Result<(), String> {
+    if get(flags, "lanes").is_some() {
+        return Err(
+            "replay --schedule phases validates a timing-derived schedule end to end; \
+             --lanes is not supported here (use a static or schedule-file replay)"
+                .to_string(),
+        );
+    }
     let (trace, trace_path) = load_trace_with_path(flags)?;
     let l2 = l2_config(flags)?;
     require_lru_for_profiling(l2)?;
@@ -646,7 +740,8 @@ fn replay_phase_schedule(flags: &[(String, String)]) -> Result<(), String> {
     let sidecar = save_curves_path(flags, &trace_path, window)?;
 
     let platform = PlatformConfig::default();
-    let windowed = profile_with_policy(&platform, &trace, resolution, window, sidecar.as_deref())?;
+    let windowed =
+        profile_with_policy(&platform, &trace, resolution, window, sidecar.as_deref(), 1)?;
     let plan = phase_allocations_for_table(
         &windowed,
         threshold,
@@ -717,7 +812,9 @@ fn replay_schedule_file(flags: &[(String, String)], path: &str) -> Result<(), St
     schedule
         .validate_for(l2.geometry(), trace.table())
         .map_err(|e| format!("{path}: {e}"))?;
-    let spec = ScenarioSpec::scheduled_replay(l2, schedule, trace.clone());
+    let parallelism = replay_parallelism(flags)?;
+    let spec =
+        ScenarioSpec::scheduled_replay(l2, schedule, trace.clone()).with_parallelism(parallelism);
     println!("scenario: {spec}");
     let outcome = run_replay(&PlatformConfig::default(), &spec).map_err(|e| e.to_string())?;
     println!(
@@ -727,6 +824,7 @@ fn replay_schedule_file(flags: &[(String, String)], path: &str) -> Result<(), St
     );
     outcome_header();
     print_outcome_row("scheduled", &outcome);
+    print_lane_decision(&outcome);
     println!(
         "repartition events ({} fired):",
         outcome.report.repartitions.len()
@@ -753,10 +851,25 @@ fn sweep(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "--ways needs a number".to_string())?;
     let jobs = jobs_flag(&flags)?;
+    let lanes = lanes_flag(&flags)?;
+    // Lanes on a sweep are opportunistic: rows whose organisation cannot
+    // split exactly (shared, overlapping way masks) fall back to one
+    // serial lane instead of failing, so the grid always fills. The
+    // cache-side counters are identical either way.
+    let parallelism = if lanes > 1 {
+        ReplayParallelism::lanes(lanes)
+    } else {
+        ReplayParallelism::default()
+    };
     let platform = PlatformConfig::default();
 
+    let lane_note = if lanes > 1 {
+        format!(", up to {lanes} lanes/row")
+    } else {
+        String::new()
+    };
     println!(
-        "sweeping {} organisations x {} L2 sizes over {} recorded accesses ({jobs} jobs)",
+        "sweeping {} organisations x {} L2 sizes over {} recorded accesses ({jobs} jobs{lane_note})",
         3,
         sizes.len(),
         trace.accesses()
@@ -771,8 +884,9 @@ fn sweep(args: &[String]) -> Result<(), String> {
     for &kb in &sizes {
         let l2 = CacheConfig::with_size_bytes(kb * 1024, ways).map_err(|e| e.to_string())?;
         for name in ["shared", "set-partitioned", "way-partitioned"] {
-            let spec = organization(name, l2, trace.table())
-                .map(|org| ScenarioSpec::replay(l2, org, trace.clone()));
+            let spec = organization(name, l2, trace.table()).map(|org| {
+                ScenarioSpec::replay(l2, org, trace.clone()).with_parallelism(parallelism)
+            });
             grid.push((kb, name, spec));
         }
     }
@@ -820,8 +934,24 @@ fn profile(args: &[String]) -> Result<(), String> {
         })
         .transpose()?;
 
+    let lanes = lanes_flag(&flags)?;
+    let seg_jobs = segment_jobs_flag(&flags)?;
     let platform = PlatformConfig::default();
-    let windowed = profile_with_policy(&platform, &trace, resolution, window, sidecar.as_deref())?;
+    if seg_jobs > 1 {
+        // Pre-warm the filtered-trace cache segment-parallel: the lane
+        // workers then share the one filtered stream.
+        trace
+            .filtered_for_jobs(&platform, seg_jobs)
+            .map_err(|e| e.to_string())?;
+    }
+    let windowed = profile_with_policy(
+        &platform,
+        &trace,
+        resolution,
+        window,
+        sidecar.as_deref(),
+        lanes,
+    )?;
     let curves = &windowed.total;
     let profiles = curves
         .to_profiles(&lattice, geometry.ways())
@@ -970,6 +1100,7 @@ fn sweep_shapes(args: &[String]) -> Result<(), String> {
     };
     let sidecar = save_curves_path(&flags, &trace_path, WindowConfig::whole_run())?;
     let jobs = jobs_flag(&flags)?;
+    let lanes = lanes_flag(&flags)?;
 
     let platform = PlatformConfig::default();
     let windowed = profile_with_policy(
@@ -978,6 +1109,7 @@ fn sweep_shapes(args: &[String]) -> Result<(), String> {
         resolution,
         WindowConfig::whole_run(),
         sidecar.as_deref(),
+        lanes,
     )?;
     let sweep = sweep_shapes_from_curves(&windowed.total);
 
@@ -1089,8 +1221,31 @@ fn info(args: &[String]) -> Result<(), String> {
     for region in trace.table().iter() {
         println!("  [{}] {region}", region.id.index());
     }
+    // The lane-eligibility verdict per organisation: which scenarios a
+    // `replay --lanes N` / `sweep --lanes N` over this trace can split
+    // into per-partition-key lanes, and — when they cannot — why. Sized
+    // by --l2-kb/--ways (default 64 KB, 4-way) because way-partitioned
+    // eligibility depends on whether the allocation's masks overlap.
+    let l2 = l2_config(&flags)?;
+    let geometry = l2.geometry();
+    println!(
+        "lane eligibility at a {} KB {}-way L2:",
+        geometry.size_bytes() / 1024,
+        geometry.ways()
+    );
+    for name in ["shared", "set-partitioned", "way-partitioned", "profiling"] {
+        match organization(name, l2, trace.table()) {
+            Err(e) => println!("  {name:<16} unavailable ({e})"),
+            Ok(org) => match lane_eligibility(l2, &PartitionSchedule::single(org), trace.table()) {
+                Ok(keys) => println!(
+                    "  {name:<16} eligible — {} lanes (one per partition key)",
+                    keys.len()
+                ),
+                Err(reason) => println!("  {name:<16} ineligible — {reason}"),
+            },
+        }
+    }
     if let Some(path) = get(&flags, "schedule") {
-        let l2 = l2_config(&flags)?;
         let schedule = parse_schedule_file(path, l2)?;
         println!("schedule {path}: {schedule}");
         print_schedule_steps(&schedule);

@@ -88,7 +88,8 @@ pub use cache::{AccessOutcome, EvictedLine, SetAssocCache};
 pub use config::CacheConfig;
 pub use distance::{
     curve_delta, CurveResolution, CurveWindow, MissRateCurve, MissRateCurves, OnlinePhaseDetector,
-    Phase, StackDistanceProfiler, WindowConfig, WindowKind, WindowedCurves, WindowedProfiler,
+    Phase, PlannedWindow, PlannedWindowedProfiler, StackDistanceProfiler, WindowConfig, WindowKind,
+    WindowPlan, WindowedCurves, WindowedProfiler,
 };
 pub use error::CacheError;
 pub use geometry::CacheGeometry;

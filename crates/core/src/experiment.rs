@@ -62,8 +62,8 @@ use compmem_cache::{
     WindowedProfiler,
 };
 use compmem_platform::{
-    PlatformConfig, PreparedTrace, ReplaySystem, System, SystemReport, TapProfiler,
-    WindowedTapProfiler,
+    replay_lanes, replay_lanes_required, LaneDecision, LaneReport, PlatformConfig, PreparedTrace,
+    ReplaySystem, System, SystemReport, TapProfiler, WindowedTapProfiler,
 };
 use compmem_trace::{EncodedTrace, RegionKind, RegionTable, TraceWriter};
 
@@ -123,6 +123,102 @@ impl TrafficSource {
     }
 }
 
+/// How many parallel replay lanes a scenario asks for, and whether the
+/// request is a hard requirement.
+///
+/// Lane-parallel replay splits one trace replay across threads along
+/// partition-key boundaries and is **exact** whenever the scenario is
+/// lane-eligible (see [`compmem_platform::lane_eligibility`]); timing
+/// fields (stalls, makespan) are not reconstructed by lanes, only the
+/// cache-side numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneRequest {
+    /// Replay serially through the [`ReplaySystem`] (full timing
+    /// reconstruction). The default.
+    #[default]
+    Serial,
+    /// Split into up to this many parallel lanes when the scenario is
+    /// lane-eligible; fall back to one lane (with the reason recorded in
+    /// [`RunOutcome::lane_decision`]) when it is not.
+    Auto(usize),
+    /// Split into up to this many parallel lanes, and fail with
+    /// [`CoreError::Platform`] carrying
+    /// [`LanesIneligible`](compmem_platform::PlatformError::LanesIneligible)
+    /// when the scenario cannot split exactly.
+    Require(usize),
+}
+
+/// The parallelism a replay scenario runs with: lane splitting across
+/// partition keys, and worker threads for the per-processor L1 filter
+/// pass. The default is fully serial, so existing specs behave exactly as
+/// before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayParallelism {
+    /// Lane-parallel replay request.
+    pub lanes: LaneRequest,
+    /// Worker threads for the L1 filter pass (the per-processor split of
+    /// [`PreparedTrace::filtered_for_jobs`]); `1` filters serially. The
+    /// filtered trace is byte-identical for every job count.
+    pub segment_jobs: usize,
+}
+
+impl Default for ReplayParallelism {
+    fn default() -> Self {
+        ReplayParallelism {
+            lanes: LaneRequest::Serial,
+            segment_jobs: 1,
+        }
+    }
+}
+
+impl ReplayParallelism {
+    /// Opportunistic lane-parallel replay on up to `n` lanes (serial
+    /// fallback with a recorded reason when ineligible).
+    pub fn lanes(n: usize) -> Self {
+        ReplayParallelism {
+            lanes: LaneRequest::Auto(n),
+            ..Self::default()
+        }
+    }
+
+    /// Lane-parallel replay on up to `n` lanes, failing when the scenario
+    /// cannot split exactly.
+    pub fn required_lanes(n: usize) -> Self {
+        ReplayParallelism {
+            lanes: LaneRequest::Require(n),
+            ..Self::default()
+        }
+    }
+
+    /// This request with `jobs` worker threads for the L1 filter pass.
+    #[must_use]
+    pub fn with_segment_jobs(self, jobs: usize) -> Self {
+        ReplayParallelism {
+            segment_jobs: jobs.max(1),
+            ..self
+        }
+    }
+
+    /// Returns `true` when this is the fully serial default.
+    pub fn is_serial(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl fmt::Display for ReplayParallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lanes {
+            LaneRequest::Serial => write!(f, "serial lanes")?,
+            LaneRequest::Auto(n) => write!(f, "lanes auto({n})")?,
+            LaneRequest::Require(n) => write!(f, "lanes required({n})")?,
+        }
+        if self.segment_jobs > 1 {
+            write!(f, ", filter jobs {}", self.segment_jobs)?;
+        }
+        Ok(())
+    }
+}
+
 /// A declarative description of one simulation run: which L2 configuration,
 /// which partitioning **policy over time** (a [`PartitionSchedule`]; a
 /// plain organisation is the single-step schedule), and which traffic
@@ -140,6 +236,9 @@ pub struct ScenarioSpec {
     pub schedule: PartitionSchedule,
     /// Where the memory traffic comes from.
     pub traffic: TrafficSource,
+    /// How a replay of this spec parallelises (lanes and filter jobs);
+    /// ignored for live traffic. Defaults to fully serial.
+    pub parallelism: ReplayParallelism,
 }
 
 /// The pre-replay name of [`ScenarioSpec`], kept for continuity: a
@@ -170,6 +269,7 @@ impl ScenarioSpec {
             l2,
             schedule,
             traffic: TrafficSource::Live,
+            parallelism: ReplayParallelism::default(),
         }
     }
 
@@ -184,6 +284,7 @@ impl ScenarioSpec {
             l2,
             schedule,
             traffic: TrafficSource::Replay(trace),
+            parallelism: ReplayParallelism::default(),
         }
     }
 
@@ -192,6 +293,15 @@ impl ScenarioSpec {
     pub fn replaying(self, trace: Arc<PreparedTrace>) -> Self {
         ScenarioSpec {
             traffic: TrafficSource::Replay(trace),
+            ..self
+        }
+    }
+
+    /// This scenario with the given replay parallelism.
+    #[must_use]
+    pub fn with_parallelism(self, parallelism: ReplayParallelism) -> Self {
+        ScenarioSpec {
+            parallelism,
             ..self
         }
     }
@@ -220,7 +330,11 @@ impl fmt::Display for ScenarioSpec {
             geometry.ways(),
             self.traffic.label(),
             self.schedule
-        )
+        )?;
+        if !self.parallelism.is_serial() {
+            write!(f, ", {}", self.parallelism)?;
+        }
+        Ok(())
     }
 }
 
@@ -233,6 +347,11 @@ pub struct RunOutcome {
     pub by_key: BTreeMap<PartitionKey, KeyStats>,
     /// Uniform snapshot of the L2 organisation's counters after the run.
     pub l2_snapshot: CacheSnapshot,
+    /// How a lane-parallel replay resolved its lane split (requested
+    /// lanes, lanes used, fallback reason). `None` for live runs and
+    /// serial replays.
+    #[serde(default)]
+    pub lane_decision: Option<LaneDecision>,
 }
 
 impl RunOutcome {
@@ -416,21 +535,87 @@ fn replay_model(
             report,
             by_key,
             l2_snapshot,
+            lane_decision: None,
         },
         l2,
     ))
+}
+
+/// Converts a merged lane report into a [`RunOutcome`].
+///
+/// The cache-side fields (L1/L2 statistics, per-entity attribution, DRAM
+/// and bus-byte traffic) are exactly the serial replay's; timing fields
+/// (stalls, bus waits, makespan, per-processor reports) are zero because
+/// lanes do not reconstruct the global transfer interleaving, and the L2
+/// snapshot stays empty because each lane owns only its slice of the
+/// organisation. [`RunOutcome::lane_decision`] records how the split was
+/// resolved.
+fn outcome_from_lanes(lanes: LaneReport, table: &RegionTable) -> RunOutcome {
+    let report = SystemReport {
+        l1: lanes.l1,
+        l2: lanes.l2,
+        l2_by_task: lanes.l2_by_task.iter().map(|(k, v)| (*k, *v)).collect(),
+        l2_by_region: lanes.l2_by_region.iter().map(|(k, v)| (*k, *v)).collect(),
+        dram_accesses: lanes.dram_accesses,
+        dram_writebacks: lanes.dram_writebacks,
+        bus_bytes: lanes.bus_bytes,
+        ..SystemReport::default()
+    };
+    let by_key = by_key_from_regions(table, &report);
+    RunOutcome {
+        report,
+        by_key,
+        l2_snapshot: CacheSnapshot::default(),
+        lane_decision: Some(lanes.decision),
+    }
+}
+
+/// Replays a recorded trace under one schedule with the requested
+/// parallelism: the L1 filter pass runs on `parallelism.segment_jobs`
+/// workers, and the replay itself either goes through the serial
+/// [`ReplaySystem`] (full timing reconstruction) or splits into per-key
+/// lanes ([`LaneRequest::Auto`] / [`LaneRequest::Require`]).
+fn replay_outcome(
+    platform: &PlatformConfig,
+    l2: CacheConfig,
+    schedule: &PartitionSchedule,
+    trace: &PreparedTrace,
+    parallelism: ReplayParallelism,
+) -> Result<RunOutcome, CoreError> {
+    // Warm the filter cache with the parallel pass; its result is
+    // byte-identical to the serial pass, so every later consumer —
+    // serial replay or lanes — reuses it transparently.
+    if parallelism.segment_jobs > 1 {
+        trace.filtered_for_jobs(platform, parallelism.segment_jobs)?;
+    }
+    match parallelism.lanes {
+        LaneRequest::Serial => {
+            replay_model(platform, l2, schedule, trace).map(|(outcome, _)| outcome)
+        }
+        LaneRequest::Auto(jobs) => {
+            let report = replay_lanes(platform, l2, schedule, trace, jobs)?;
+            Ok(outcome_from_lanes(report, trace.table()))
+        }
+        LaneRequest::Require(jobs) => {
+            let report = replay_lanes_required(platform, l2, schedule, trace, jobs)?;
+            Ok(outcome_from_lanes(report, trace.table()))
+        }
+    }
 }
 
 /// Runs a replay scenario without an [`Experiment`] (no application
 /// factory needed): the trace embedded in the spec is the whole workload.
 ///
 /// This is what the `compmem replay` / `compmem sweep` CLI subcommands are
-/// built on.
+/// built on. The spec's [`ReplayParallelism`] is honoured: lane requests
+/// replay per partition key, filter jobs split the L1 pass per processor.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Infeasible`] when `spec` names live traffic, and
-/// propagates cache and platform errors otherwise.
+/// propagates cache and platform errors otherwise — including
+/// [`LanesIneligible`](compmem_platform::PlatformError::LanesIneligible)
+/// when the spec *requires* lanes on an ineligible scenario.
 pub fn run_replay(platform: &PlatformConfig, spec: &ScenarioSpec) -> Result<RunOutcome, CoreError> {
     match &spec.traffic {
         TrafficSource::Live => Err(CoreError::Infeasible {
@@ -438,7 +623,7 @@ pub fn run_replay(platform: &PlatformConfig, spec: &ScenarioSpec) -> Result<RunO
                 .to_string(),
         }),
         TrafficSource::Replay(trace) => {
-            replay_model(platform, spec.l2, &spec.schedule, trace).map(|(outcome, _)| outcome)
+            replay_outcome(platform, spec.l2, &spec.schedule, trace, spec.parallelism)
         }
     }
 }
@@ -1010,6 +1195,7 @@ impl<F: Fn() -> Application> Experiment<F> {
                         report,
                         by_key,
                         l2_snapshot,
+                        lane_decision: None,
                     },
                     l2,
                 ))
@@ -1025,12 +1211,27 @@ impl<F: Fn() -> Application> Experiment<F> {
     /// This is the only simulation driver: every organisation — baseline,
     /// partitioned, ablation or profiling — and both traffic sources go
     /// through this path. Replay scenarios never invoke the application
-    /// factory.
+    /// factory, and honour the spec's [`ReplayParallelism`]: lane
+    /// requests replay per partition key (cache-side numbers exact,
+    /// timing not reconstructed), filter jobs split the L1 pass per
+    /// processor (byte-identical for every job count).
     ///
     /// # Errors
     ///
-    /// Propagates cache, platform and workload errors.
+    /// Propagates cache, platform and workload errors — including
+    /// [`LanesIneligible`](compmem_platform::PlatformError::LanesIneligible)
+    /// when the spec *requires* lanes on an ineligible scenario.
     pub fn run(&self, spec: &ScenarioSpec) -> Result<RunOutcome, CoreError> {
+        if let (TrafficSource::Replay(trace), false) = (&spec.traffic, spec.parallelism.is_serial())
+        {
+            return replay_outcome(
+                &self.config.platform,
+                spec.l2,
+                &spec.schedule,
+                trace,
+                spec.parallelism,
+            );
+        }
         self.run_model(spec).map(|(outcome, _)| outcome)
     }
 
@@ -1082,6 +1283,7 @@ impl<F: Fn() -> Application> Experiment<F> {
                 report,
                 by_key,
                 l2_snapshot,
+                lane_decision: None,
             },
             Arc::new(trace),
         ))
@@ -1139,6 +1341,7 @@ impl<F: Fn() -> Application> Experiment<F> {
                 report,
                 by_key,
                 l2_snapshot,
+                lane_decision: None,
             },
             tap.into_curves(),
         ))
@@ -1180,6 +1383,7 @@ impl<F: Fn() -> Application> Experiment<F> {
                 report,
                 by_key,
                 l2_snapshot,
+                lane_decision: None,
             },
             tap.into_windows(),
         ))
@@ -1815,6 +2019,22 @@ mod tests {
         );
         assert_eq!(spec.label(), "set-partitioned");
         assert_eq!(spec.organization().label(), "set-partitioned");
+
+        // Non-default parallelism is part of the printed summary; the
+        // serial default leaves the strings above untouched.
+        let parallel = static_spec
+            .clone()
+            .with_parallelism(ReplayParallelism::lanes(4).with_segment_jobs(2));
+        assert_eq!(
+            parallel.to_string(),
+            "64 KB 4-way L2, live traffic, schedule shared (static), \
+             lanes auto(4), filter jobs 2"
+        );
+        let required = static_spec.with_parallelism(ReplayParallelism::required_lanes(3));
+        assert_eq!(
+            required.to_string(),
+            "64 KB 4-way L2, live traffic, schedule shared (static), lanes required(3)"
+        );
     }
 
     #[test]
@@ -1868,6 +2088,104 @@ mod tests {
         assert_eq!(way.l2_snapshot.organization, "way-partitioned");
         // A larger cache can only help, replayed or live.
         assert!(shared.report.l2.misses <= small.report.l2.misses);
+    }
+
+    #[test]
+    fn lane_parallel_replay_matches_serial_cache_side() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let (_, trace) = experiment.record_trace(&experiment.shared_spec()).unwrap();
+        // Set-partitioned organisations are always lane-eligible: give
+        // every entity of the trace an equal power-of-two set share.
+        let geometry = experiment.config().l2.geometry();
+        let keys = PartitionKey::distinct_keys(trace.table());
+        let share = (geometry.sets() / keys.len().next_power_of_two() as u32).max(1);
+        let sizes: Vec<(PartitionKey, u32)> = keys.iter().map(|k| (*k, share)).collect();
+        let map = PartitionMap::pack(geometry, &sizes).unwrap();
+        let spec = ScenarioSpec::replay(
+            experiment.config().l2,
+            OrganizationSpec::SetPartitioned(map),
+            trace.clone(),
+        );
+        let serial = experiment.run(&spec).unwrap();
+        assert_eq!(serial.lane_decision, None);
+        let laned = experiment
+            .run(
+                &spec
+                    .clone()
+                    .with_parallelism(ReplayParallelism::lanes(4).with_segment_jobs(2)),
+            )
+            .unwrap();
+        let decision = laned.lane_decision.expect("lane runs report a decision");
+        assert_eq!(decision.requested, 4);
+        assert_eq!(decision.fallback, None);
+        assert!(decision.lanes > 1, "the tiny app has several keys");
+        // Cache-side numbers are byte-identical to the serial replay.
+        assert_eq!(serial.report.l1, laned.report.l1);
+        assert_eq!(serial.report.l2, laned.report.l2);
+        assert_eq!(serial.report.l2_by_task, laned.report.l2_by_task);
+        assert_eq!(serial.report.l2_by_region, laned.report.l2_by_region);
+        assert_eq!(serial.report.dram_accesses, laned.report.dram_accesses);
+        assert_eq!(serial.report.dram_writebacks, laned.report.dram_writebacks);
+        assert_eq!(serial.report.bus_bytes, laned.report.bus_bytes);
+        assert_eq!(serial.by_key, laned.by_key);
+        // The standalone runner honours the same spec.
+        let standalone = run_replay(
+            &experiment.config().platform,
+            &spec.with_parallelism(ReplayParallelism::lanes(4)),
+        )
+        .unwrap();
+        assert_eq!(standalone.report.l2, serial.report.l2);
+    }
+
+    #[test]
+    fn required_lanes_on_an_ineligible_scenario_is_a_typed_error() {
+        let params = JpegCannyParams::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            jpeg_canny_app(&params).expect("valid params")
+        });
+        let (_, trace) = experiment.record_trace(&experiment.shared_spec()).unwrap();
+        // A shared L2 cannot split into lanes.
+        let shared = experiment.shared_spec().replaying(trace.clone());
+        let required = shared
+            .clone()
+            .with_parallelism(ReplayParallelism::required_lanes(4));
+        match experiment.run(&required) {
+            Err(CoreError::Platform(compmem_platform::PlatformError::LanesIneligible {
+                requested,
+                reason,
+            })) => {
+                assert_eq!(requested, 4);
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected LanesIneligible, got {other:?}"),
+        }
+        // The opportunistic request records the fallback instead.
+        let auto = experiment
+            .run(&shared.with_parallelism(ReplayParallelism::lanes(4)))
+            .unwrap();
+        let decision = auto.lane_decision.unwrap();
+        assert_eq!(decision.lanes, 1);
+        assert!(decision.fallback.is_some(), "fallback must not be silent");
+    }
+
+    #[test]
+    fn segment_jobs_leave_the_serial_outcome_unchanged() {
+        let params = Mpeg2Params::tiny();
+        let experiment = Experiment::new(tiny_config(), move || {
+            mpeg2_app(&params).expect("valid params")
+        });
+        let (_, trace) = experiment.record_trace(&experiment.shared_spec()).unwrap();
+        let spec = experiment.shared_spec().replaying(trace);
+        let serial = experiment.run(&spec).unwrap();
+        let jobs = experiment
+            .run(&spec.with_parallelism(ReplayParallelism::default().with_segment_jobs(4)))
+            .unwrap();
+        // The whole outcome — timing included — is identical: the filter
+        // pass is the only thing that parallelised.
+        assert_eq!(serial, jobs);
     }
 
     #[test]

@@ -64,6 +64,26 @@ pub enum PlatformError {
         /// Rendered message of the cache error.
         message: String,
     },
+    /// The caller explicitly required a multi-lane run but the scenario
+    /// cannot split into exact per-key lanes (see
+    /// [`LaneIneligibility`](crate::lanes::LaneIneligibility) for the
+    /// possible reasons). The opportunistic entry points fall back to one
+    /// lane and report the fallback instead of raising this.
+    LanesIneligible {
+        /// Lane count the caller required.
+        requested: usize,
+        /// Rendered ineligibility reason.
+        reason: String,
+    },
+    /// Parallel profiling shards failed to merge back into one exact
+    /// profile (the rendered
+    /// [`CacheError::ShardMerge`](compmem_cache::CacheError) reason). This
+    /// is an internal invariant violation, not a user error: the lane
+    /// split guarantees disjoint per-key streams.
+    ProfileMerge {
+        /// Rendered message of the shard-merge error.
+        message: String,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -101,6 +121,14 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::LaneCache { message } => {
                 write!(f, "lane replay cache error: {message}")
+            }
+            PlatformError::LanesIneligible { requested, reason } => write!(
+                f,
+                "{requested} lanes were required but the scenario cannot \
+                 split into per-key lanes: {reason}"
+            ),
+            PlatformError::ProfileMerge { message } => {
+                write!(f, "parallel profiling shards failed to merge: {message}")
             }
         }
     }

@@ -44,6 +44,7 @@
 //! them — agree exactly, and switches past the last refill still fire, as
 //! in the serial loop.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -52,10 +53,76 @@ use compmem_cache::{
     PartitionSchedule, ReplacementPolicy, StatsByKey,
 };
 use compmem_trace::{RegionId, RegionTable, TaskId, LINE_SIZE_BYTES};
+use serde::{Deserialize, Serialize};
 
 use crate::config::PlatformConfig;
 use crate::error::PlatformError;
 use crate::replay::{FilteredTrace, PreparedTrace};
+
+/// Why a replay or profile cannot split into exact per-key lanes.
+///
+/// Rendered by [`lane_eligibility`]; `compmem info` prints it so users can
+/// predict whether `--lanes` will engage, and [`LaneDecision`] carries it
+/// whenever a run fell back to one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaneIneligibility {
+    /// Fewer than two distinct partition keys — one lane *is* the serial
+    /// run, so there is nothing to split.
+    SingleKey,
+    /// A schedule step uses the shared organisation, where every key can
+    /// evict every other key's lines.
+    SharedOrganization,
+    /// A schedule step uses the profiling organisation, whose shadow banks
+    /// observe the global interleaving.
+    ProfilingOrganization,
+    /// A way-partitioned step under Random replacement: the per-set
+    /// generator state is shared by every key that touches the set.
+    RandomPolicy,
+    /// A way-partitioned step with overlapping way masks, which let keys
+    /// evict each other's lines.
+    OverlappingWayMasks,
+}
+
+impl fmt::Display for LaneIneligibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaneIneligibility::SingleKey => {
+                write!(f, "fewer than two distinct partition keys")
+            }
+            LaneIneligibility::SharedOrganization => {
+                write!(f, "shared organisation (keys evict each other freely)")
+            }
+            LaneIneligibility::ProfilingOrganization => {
+                write!(
+                    f,
+                    "profiling organisation (observes the global interleaving)"
+                )
+            }
+            LaneIneligibility::RandomPolicy => write!(
+                f,
+                "random replacement (per-set generator state is shared across keys)"
+            ),
+            LaneIneligibility::OverlappingWayMasks => {
+                write!(f, "overlapping way masks (keys evict each other's lines)")
+            }
+        }
+    }
+}
+
+/// How a lane-capable run resolved its lane split: what was asked for,
+/// what actually ran, and — when it fell back to one serial lane — why.
+///
+/// Reported on every [`LaneReport`] so an ineligible scenario never
+/// degrades to a silent serial run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneDecision {
+    /// Upper bound on parallel lanes the caller asked for.
+    pub requested: usize,
+    /// Lanes the run actually split into (1 on fallback).
+    pub lanes: usize,
+    /// Why the run fell back to a single serial lane, when it did.
+    pub fallback: Option<LaneIneligibility>,
+}
 
 /// Cache-side result of a lane replay, merged over all lanes.
 ///
@@ -91,6 +158,9 @@ pub struct LaneReport {
     /// Number of lanes the replay actually used (1 when the organisation
     /// is not compositional).
     pub lanes: usize,
+    /// How the lane split was decided, including the fallback reason when
+    /// the organisation forced a single serial lane.
+    pub decision: LaneDecision,
 }
 
 /// The partition keys along which a replay of `schedule` over `regions`
@@ -108,29 +178,44 @@ pub fn lane_keys(
     schedule: &PartitionSchedule,
     regions: &RegionTable,
 ) -> Option<Vec<PartitionKey>> {
+    lane_eligibility(l2, schedule, regions).ok()
+}
+
+/// The lane-eligibility *verdict* behind [`lane_keys`]: the per-key lanes
+/// when the scenario splits exactly, or the specific
+/// [`LaneIneligibility`] reason when it must stay serial.
+///
+/// The first ineligible condition encountered wins: the key count is
+/// checked before the schedule, and schedule steps are scanned in order.
+pub fn lane_eligibility(
+    l2: CacheConfig,
+    schedule: &PartitionSchedule,
+    regions: &RegionTable,
+) -> Result<Vec<PartitionKey>, LaneIneligibility> {
     let keys = PartitionKey::distinct_keys(regions);
     if keys.len() <= 1 {
-        return None;
+        return Err(LaneIneligibility::SingleKey);
     }
     for step in schedule.steps() {
         match &step.organization {
-            OrganizationSpec::Shared | OrganizationSpec::Profiling(_) => return None,
+            OrganizationSpec::Shared => return Err(LaneIneligibility::SharedOrganization),
+            OrganizationSpec::Profiling(_) => return Err(LaneIneligibility::ProfilingOrganization),
             OrganizationSpec::SetPartitioned(_) => {}
             OrganizationSpec::WayPartitioned(allocation) => {
                 if l2.replacement_policy() == ReplacementPolicy::Random {
-                    return None;
+                    return Err(LaneIneligibility::RandomPolicy);
                 }
                 let mut claimed = 0u64;
                 for (_, mask) in allocation.iter() {
                     if claimed & mask != 0 {
-                        return None;
+                        return Err(LaneIneligibility::OverlappingWayMasks);
                     }
                     claimed |= mask;
                 }
             }
         }
     }
-    Some(keys)
+    Ok(keys)
 }
 
 /// Per-lane accumulation: the lane's own L2 plus the additive bus/DRAM
@@ -288,10 +373,11 @@ pub fn replay_lanes(
         .iter()
         .map(|region| PartitionKey::from_region_kind(region.kind))
         .collect();
-    let lanes: Vec<Option<PartitionKey>> = match lane_keys(l2, schedule, regions) {
-        Some(keys) => keys.into_iter().map(Some).collect(),
-        None => vec![None],
-    };
+    let (lanes, fallback): (Vec<Option<PartitionKey>>, Option<LaneIneligibility>) =
+        match lane_eligibility(l2, schedule, regions) {
+            Ok(keys) => (keys.into_iter().map(Some).collect(), None),
+            Err(reason) => (vec![None], Some(reason)),
+        };
 
     let run_lane = |key: Option<PartitionKey>| {
         replay_one_lane(l2, schedule, regions, &filtered, &region_keys, key)
@@ -338,6 +424,11 @@ pub fn replay_lanes(
         bus_bytes: 0,
         flushes: FlushStats::default(),
         lanes: lanes.len(),
+        decision: LaneDecision {
+            requested: jobs,
+            lanes: lanes.len(),
+            fallback,
+        },
     };
     for result in results {
         let totals = result?;
@@ -356,6 +447,34 @@ pub fn replay_lanes(
         report.flushes.absorb(totals.flushes);
     }
     Ok(report)
+}
+
+/// Like [`replay_lanes`], but the lane split is a *requirement*: when the
+/// caller asked for more than one lane and the scenario is ineligible,
+/// the silent single-lane fallback becomes a typed
+/// [`PlatformError::LanesIneligible`] naming the reason. `jobs <= 1`
+/// never errors — one lane is exactly what was asked for.
+///
+/// # Errors
+///
+/// [`PlatformError::LanesIneligible`] as above, plus everything
+/// [`replay_lanes`] can return.
+pub fn replay_lanes_required(
+    config: &PlatformConfig,
+    l2: CacheConfig,
+    schedule: &PartitionSchedule,
+    trace: &PreparedTrace,
+    jobs: usize,
+) -> Result<LaneReport, PlatformError> {
+    if jobs > 1 {
+        if let Err(reason) = lane_eligibility(l2, schedule, trace.table()) {
+            return Err(PlatformError::LanesIneligible {
+                requested: jobs,
+                reason: reason.to_string(),
+            });
+        }
+    }
+    replay_lanes(config, l2, schedule, trace, jobs)
 }
 
 #[cfg(test)]
@@ -532,6 +651,14 @@ mod tests {
             let (serial_report, serial_bp) = serial(l2, &schedule, &trace);
             let lanes = replay_lanes(&platform(), l2, &schedule, &trace, 4).unwrap();
             assert_eq!(lanes.lanes, 3, "policy {policy:?} should lane per key");
+            assert_eq!(
+                lanes.decision,
+                LaneDecision {
+                    requested: 4,
+                    lanes: 3,
+                    fallback: None
+                }
+            );
             assert_parity(&serial_report, &serial_bp, &lanes);
             assert!(lanes.l2.misses > 0, "the workload must exercise the L2");
         }
@@ -560,16 +687,46 @@ mod tests {
         let trace = record(0);
         let l2 = CacheConfig::new(64, 4).unwrap();
         let lattice = CacheSizeLattice::new(l2.geometry(), 4);
-        for spec in [
-            OrganizationSpec::Shared,
-            OrganizationSpec::Profiling(lattice),
+        for (spec, reason) in [
+            (
+                OrganizationSpec::Shared,
+                LaneIneligibility::SharedOrganization,
+            ),
+            (
+                OrganizationSpec::Profiling(lattice),
+                LaneIneligibility::ProfilingOrganization,
+            ),
         ] {
             let schedule = PartitionSchedule::single(spec);
             assert_eq!(lane_keys(l2, &schedule, trace.table()), None);
+            assert_eq!(lane_eligibility(l2, &schedule, trace.table()), Err(reason));
             let (serial_report, serial_bp) = serial(l2, &schedule, &trace);
             let lanes = replay_lanes(&platform(), l2, &schedule, &trace, 4).unwrap();
             assert_eq!(lanes.lanes, 1);
+            assert_eq!(
+                lanes.decision,
+                LaneDecision {
+                    requested: 4,
+                    lanes: 1,
+                    fallback: Some(reason)
+                },
+                "the single-lane fallback must be reported, not silent"
+            );
             assert_parity(&serial_report, &serial_bp, &lanes);
+
+            // Explicitly *requiring* lanes on the same scenario is a typed
+            // error naming the reason...
+            let err = replay_lanes_required(&platform(), l2, &schedule, &trace, 4).unwrap_err();
+            match &err {
+                PlatformError::LanesIneligible { requested, reason } => {
+                    assert_eq!(*requested, 4);
+                    assert!(!reason.is_empty());
+                }
+                other => panic!("expected LanesIneligible, got {other:?}"),
+            }
+            // ...while requiring a single lane is satisfiable as-is.
+            let one = replay_lanes_required(&platform(), l2, &schedule, &trace, 1).unwrap();
+            assert_parity(&serial_report, &serial_bp, &one);
         }
     }
 
@@ -585,9 +742,17 @@ mod tests {
             WayAllocation::equal_split(random_l2.geometry(), &[task(0), task(1), buffer()]);
         let schedule = PartitionSchedule::single(OrganizationSpec::WayPartitioned(disjoint));
         assert_eq!(lane_keys(random_l2, &schedule, table), None);
+        assert_eq!(
+            lane_eligibility(random_l2, &schedule, table),
+            Err(LaneIneligibility::RandomPolicy)
+        );
         let (serial_report, serial_bp) = serial(random_l2, &schedule, &trace);
         let lanes = replay_lanes(&platform(), random_l2, &schedule, &trace, 4).unwrap();
         assert_eq!(lanes.lanes, 1);
+        assert_eq!(
+            lanes.decision.fallback,
+            Some(LaneIneligibility::RandomPolicy)
+        );
         assert_parity(&serial_report, &serial_bp, &lanes);
 
         // Overlapping masks let keys evict each other's lines.
@@ -598,9 +763,17 @@ mod tests {
         overlapping.assign(buffer(), 0b1000).unwrap();
         let schedule = PartitionSchedule::single(OrganizationSpec::WayPartitioned(overlapping));
         assert_eq!(lane_keys(l2, &schedule, table), None);
+        assert_eq!(
+            lane_eligibility(l2, &schedule, table),
+            Err(LaneIneligibility::OverlappingWayMasks)
+        );
         let (serial_report, serial_bp) = serial(l2, &schedule, &trace);
         let lanes = replay_lanes(&platform(), l2, &schedule, &trace, 4).unwrap();
         assert_eq!(lanes.lanes, 1);
+        assert_eq!(
+            lanes.decision.fallback,
+            Some(LaneIneligibility::OverlappingWayMasks)
+        );
         assert_parity(&serial_report, &serial_bp, &lanes);
     }
 
@@ -667,7 +840,18 @@ mod tests {
         .unwrap();
         let schedule = PartitionSchedule::single(OrganizationSpec::SetPartitioned(map));
         let one = replay_lanes(&platform(), l2, &schedule, &trace, 1).unwrap();
-        let eight = replay_lanes(&platform(), l2, &schedule, &trace, 8).unwrap();
+        let mut eight = replay_lanes(&platform(), l2, &schedule, &trace, 8).unwrap();
+        // Only the recorded request differs — every measured number is
+        // byte-identical across worker counts.
+        assert_eq!(
+            eight.decision,
+            LaneDecision {
+                requested: 8,
+                lanes: 3,
+                fallback: None
+            }
+        );
+        eight.decision = one.decision;
         assert_eq!(one, eight);
         assert_eq!(one.lanes, 3);
     }

@@ -95,14 +95,18 @@ pub use bus::Bus;
 pub use config::{OsRegions, PlatformConfig};
 pub use engine::EventQueue;
 pub use error::PlatformError;
-pub use lanes::{lane_keys, replay_lanes, LaneReport};
+pub use lanes::{
+    lane_eligibility, lane_keys, replay_lanes, replay_lanes_required, LaneDecision,
+    LaneIneligibility, LaneReport,
+};
 pub use memory::{BurstStats, L1Refill, MemoryLevel, MemorySystem};
 pub use metrics::{ProcessorReport, RepartitionRecord, SystemReport};
 pub use op::{Burst, BurstOutcome, Op, WorkloadDriver};
 pub use processor::ProcessorId;
 pub use profile::{
     l1_filter_signature, profile_reader, profile_reader_windowed, profile_trace,
-    profile_trace_windowed, profile_trace_with_sidecar, SidecarOutcome, TapProfiler,
+    profile_trace_lanes, profile_trace_windowed, profile_trace_windowed_lanes,
+    profile_trace_with_sidecar, profile_trace_with_sidecar_lanes, SidecarOutcome, TapProfiler,
     WindowedTapProfiler,
 };
 pub use replay::{

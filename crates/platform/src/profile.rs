@@ -38,6 +38,26 @@
 //! refill of a run to the run's start cycle (runs are short, so that
 //! coarsening is one run long at worst).
 //!
+//! # Lane-parallel profiling
+//!
+//! The profiler's per-key stack banks are disjoint across
+//! [`PartitionKey`]s by construction (an access only touches its own
+//! key's stacks), so the trace feed also comes in a lane-parallel
+//! flavour: [`profile_trace_lanes`] / [`profile_trace_windowed_lanes`]
+//! split the L2-bound stream by key the way
+//! [`replay_lanes`](crate::lanes::replay_lanes) does, profile each key on
+//! its own shard ([`StackDistanceProfiler::keys_only`]) on a scoped
+//! worker pool, and merge the shards back
+//! ([`StackDistanceProfiler::merge`] /
+//! [`WindowedCurves::absorb_shard`]) into *exactly* the serial result.
+//! The aggregate whole-L2 curve is the documented exception — all keys
+//! fold into one reuse stack, so it rides a designated full-stream shard
+//! ([`StackDistanceProfiler::aggregate_only`]); that shard is the
+//! critical path, which caps the speedup at roughly 2× regardless of the
+//! key count. Unlike replay lanes, profiling lanes need no eligibility
+//! check: the split is exact for every organisation, because the
+//! profiler models LRU reuse stacks, not the mounted L2.
+//!
 //! # Persisted curve sidecars
 //!
 //! Profiling a trace pays the L1 filter simulation before the profiler
@@ -57,10 +77,12 @@
 
 use std::io::Read;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use compmem_cache::{
-    CurveResolution, MissRateCurves, StackDistanceProfiler, WindowConfig, WindowedCurves,
-    WindowedProfiler,
+    CurveResolution, MissRateCurves, PartitionKey, PlannedWindowedProfiler, StackDistanceProfiler,
+    WindowConfig, WindowPlan, WindowedCurves, WindowedProfiler,
 };
 use compmem_trace::codec::{TraceReader, TraceRecord};
 use compmem_trace::curves::{trace_content_hash, EncodedCurves};
@@ -205,6 +227,192 @@ pub fn profile_trace_windowed(
         }
     }
     Ok(profiler.finish())
+}
+
+/// One unit of lane-parallel profiling work: the designated full-stream
+/// shard carrying the aggregate whole-L2 curve, or one per-key shard.
+#[derive(Clone, Copy)]
+enum ProfileLane {
+    Aggregate,
+    Key(PartitionKey),
+}
+
+/// The lane list of a lane-parallel profile: the aggregate shard first
+/// (it is the longest-running lane, so it must start first), then one
+/// shard per distinct partition key.
+fn profile_lanes_of(keys: Vec<PartitionKey>) -> Vec<ProfileLane> {
+    std::iter::once(ProfileLane::Aggregate)
+        .chain(keys.into_iter().map(ProfileLane::Key))
+        .collect()
+}
+
+/// Runs one closure per lane on up to `jobs` scoped worker threads and
+/// returns the results in lane order — the same shared-cursor pool
+/// [`replay_lanes`](crate::lanes::replay_lanes) uses (this crate sits
+/// below the batch executor of `compmem-core`, so it brings its own).
+fn run_profile_lanes<T, F>(lanes: &[ProfileLane], jobs: usize, run_lane: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(ProfileLane) -> T + Sync,
+{
+    let workers = jobs.max(1).min(lanes.len());
+    if workers <= 1 {
+        return lanes.iter().map(|lane| run_lane(*lane)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = lanes.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(lane) = lanes.get(index) else { break };
+                let result = run_lane(*lane);
+                *slots[index].lock().expect("profile lane slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("profile lane slot poisoned")
+                .expect("every lane index was claimed by a worker")
+        })
+        .collect()
+}
+
+fn profile_merge_error(error: compmem_cache::CacheError) -> PlatformError {
+    PlatformError::ProfileMerge {
+        message: error.to_string(),
+    }
+}
+
+/// The per-region partition keys of a table, indexable by
+/// [`RegionId`](compmem_trace::RegionId) index.
+fn region_key_map(regions: &compmem_trace::RegionTable) -> Vec<PartitionKey> {
+    regions
+        .iter()
+        .map(|region| PartitionKey::from_region_kind(region.kind))
+        .collect()
+}
+
+/// Lane-parallel sibling of [`profile_trace`]: splits the L2-bound stream
+/// by [`PartitionKey`], profiles each key's sub-stream on its own shard on
+/// up to `jobs` worker threads, and merges the shards into curves
+/// **point-for-point identical** to the serial pass (the merge
+/// cross-validates coverage and fails loudly rather than approximating —
+/// see [`StackDistanceProfiler::merge`]).
+///
+/// `jobs <= 1` (or a single-key trace) delegates to the serial
+/// [`profile_trace`], so the job count is a performance knob, never a
+/// semantics switch.
+///
+/// # Errors
+///
+/// As for [`profile_trace`], plus [`PlatformError::ProfileMerge`] if the
+/// shards fail their merge cross-validation (an internal invariant
+/// violation).
+pub fn profile_trace_lanes(
+    config: &PlatformConfig,
+    trace: &PreparedTrace,
+    resolution: CurveResolution,
+    jobs: usize,
+) -> Result<MissRateCurves, PlatformError> {
+    let keys = PartitionKey::distinct_keys(trace.table());
+    if jobs.max(1) <= 1 || keys.len() <= 1 {
+        return profile_trace(config, trace, resolution);
+    }
+    let filtered = trace.filtered_for(config)?;
+    let regions = trace.table();
+    let region_keys = region_key_map(regions);
+    let lanes = profile_lanes_of(keys);
+    let run_lane = |lane: ProfileLane| -> StackDistanceProfiler {
+        let mut shard = match lane {
+            ProfileLane::Aggregate => StackDistanceProfiler::aggregate_only(resolution, regions),
+            ProfileLane::Key(_) => StackDistanceProfiler::keys_only(resolution, regions),
+        };
+        for run in &filtered.runs {
+            for refill in &run.refills {
+                let observe = match lane {
+                    ProfileLane::Aggregate => true,
+                    ProfileLane::Key(key) => region_keys[refill.access.region.index()] == key,
+                };
+                if observe {
+                    shard.observe(&refill.access);
+                }
+            }
+        }
+        shard
+    };
+    let mut shards = run_profile_lanes(&lanes, jobs, run_lane).into_iter();
+    let mut merged = shards.next().expect("the aggregate shard always exists");
+    for shard in shards {
+        merged = merged.merge(shard).map_err(profile_merge_error)?;
+    }
+    Ok(merged.into_curves())
+}
+
+/// Lane-parallel sibling of [`profile_trace_windowed`]: every shard
+/// closes its windows at the *globally planned* access ordinals (a
+/// [`WindowPlan`] distilled from the cycle stream alone, which every lane
+/// shares), so the per-window curves merge window-for-window into exactly
+/// the serial result.
+///
+/// # Errors
+///
+/// As for [`profile_trace_lanes`].
+pub fn profile_trace_windowed_lanes(
+    config: &PlatformConfig,
+    trace: &PreparedTrace,
+    resolution: CurveResolution,
+    window: WindowConfig,
+    jobs: usize,
+) -> Result<WindowedCurves, PlatformError> {
+    let keys = PartitionKey::distinct_keys(trace.table());
+    if jobs.max(1) <= 1 || keys.len() <= 1 {
+        return profile_trace_windowed(config, trace, resolution, window);
+    }
+    let filtered = trace.filtered_for(config)?;
+    let regions = trace.table();
+    let region_keys = region_key_map(regions);
+    // The plan sees the same clocking the serial pass uses — every refill
+    // at its run's start cycle — so window boundaries land on identical
+    // global ordinals for every shard.
+    let plan = WindowPlan::from_cycles(
+        window,
+        filtered
+            .runs
+            .iter()
+            .flat_map(|run| run.refills.iter().map(move |_| run.start_cycle)),
+    );
+    let lanes = profile_lanes_of(keys);
+    let run_lane = |lane: ProfileLane| -> WindowedCurves {
+        let shard = match lane {
+            ProfileLane::Aggregate => StackDistanceProfiler::aggregate_only(resolution, regions),
+            ProfileLane::Key(_) => StackDistanceProfiler::keys_only(resolution, regions),
+        };
+        let mut planned = PlannedWindowedProfiler::new(shard, plan.clone());
+        let mut ordinal = 0u64;
+        for run in &filtered.runs {
+            for refill in &run.refills {
+                let observe = match lane {
+                    ProfileLane::Aggregate => true,
+                    ProfileLane::Key(key) => region_keys[refill.access.region.index()] == key,
+                };
+                if observe {
+                    planned.observe(ordinal, &refill.access);
+                }
+                ordinal += 1;
+            }
+        }
+        planned.finish()
+    };
+    let mut shards = run_profile_lanes(&lanes, jobs, run_lane).into_iter();
+    let mut merged = shards.next().expect("the aggregate shard always exists");
+    for shard in shards {
+        merged.absorb_shard(&shard).map_err(profile_merge_error)?;
+    }
+    Ok(merged)
 }
 
 /// Profiles a trace straight from a streaming [`TraceReader`] — record by
@@ -373,12 +581,34 @@ pub fn profile_trace_with_sidecar(
     window: WindowConfig,
     sidecar: &Path,
 ) -> Result<(WindowedCurves, SidecarOutcome), PlatformError> {
+    profile_trace_with_sidecar_lanes(config, trace, resolution, window, sidecar, 1)
+}
+
+/// Lane-parallel sibling of [`profile_trace_with_sidecar`]: a missing or
+/// mismatched sidecar is re-measured by
+/// [`profile_trace_windowed_lanes`] on up to `jobs` workers. Lane-measured
+/// curves equal serial ones point-for-point and the sidecar encoding is
+/// deterministic, so the written sidecar is **byte-identical** for every
+/// job count — and a sidecar written serially is reused as-is.
+///
+/// # Errors
+///
+/// As for [`profile_trace_with_sidecar`], plus
+/// [`PlatformError::ProfileMerge`] from the lane merge.
+pub fn profile_trace_with_sidecar_lanes(
+    config: &PlatformConfig,
+    trace: &PreparedTrace,
+    resolution: CurveResolution,
+    window: WindowConfig,
+    sidecar: &Path,
+    jobs: usize,
+) -> Result<(WindowedCurves, SidecarOutcome), PlatformError> {
     let rejection = match try_load_sidecar(config, trace, resolution, window, sidecar) {
         Ok(Some(windowed)) => return Ok((windowed, SidecarOutcome::Reused)),
         Ok(None) => None,
         Err(reason) => Some(reason),
     };
-    let windowed = profile_trace_windowed(config, trace, resolution, window)?;
+    let windowed = profile_trace_windowed_lanes(config, trace, resolution, window, jobs)?;
     windowed
         .to_sidecar(trace.trace().content_hash(), l1_filter_signature(config))
         .write_to(sidecar)
@@ -820,6 +1050,89 @@ mod tests {
         assert_eq!(outcome, SidecarOutcome::Reused);
         assert_eq!(loaded, empty);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lane_parallel_profiles_match_serial_point_for_point() {
+        let prepared = PreparedTrace::from(record());
+        let serial = profile_trace(&platform(), &prepared, resolution()).unwrap();
+        assert!(serial.accesses() > 0, "the workload must reach the L2");
+        for jobs in [1, 2, 4, 8] {
+            let laned = profile_trace_lanes(&platform(), &prepared, resolution(), jobs).unwrap();
+            assert_eq!(laned, serial, "jobs = {jobs} must not change the curves");
+        }
+    }
+
+    #[test]
+    fn lane_parallel_windowed_profiles_match_serial_window_for_window() {
+        let prepared = PreparedTrace::from(record());
+        for window in [
+            compmem_cache::WindowConfig::whole_run(),
+            compmem_cache::WindowConfig::accesses(40).unwrap(),
+            compmem_cache::WindowConfig::cycles(200).unwrap(),
+        ] {
+            let serial =
+                profile_trace_windowed(&platform(), &prepared, resolution(), window).unwrap();
+            for jobs in [2, 4] {
+                let laned = profile_trace_windowed_lanes(
+                    &platform(),
+                    &prepared,
+                    resolution(),
+                    window,
+                    jobs,
+                )
+                .unwrap();
+                assert_eq!(laned, serial, "window {window:?}, jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_profiled_sidecar_is_byte_identical_to_serial() {
+        let dir = std::env::temp_dir().join("compmem-sidecar-lanes-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let serial_path = dir.join("serial.curves");
+        let laned_path = dir.join("laned.curves");
+        let _ = std::fs::remove_file(&serial_path);
+        let _ = std::fs::remove_file(&laned_path);
+
+        let prepared = PreparedTrace::from(record());
+        let window = compmem_cache::WindowConfig::accesses(64).unwrap();
+        let (serial, outcome) =
+            profile_trace_with_sidecar(&platform(), &prepared, resolution(), window, &serial_path)
+                .unwrap();
+        assert_eq!(outcome, SidecarOutcome::Written);
+        let (laned, outcome) = profile_trace_with_sidecar_lanes(
+            &platform(),
+            &prepared,
+            resolution(),
+            window,
+            &laned_path,
+            4,
+        )
+        .unwrap();
+        assert_eq!(outcome, SidecarOutcome::Written);
+        assert_eq!(laned, serial);
+        assert_eq!(
+            std::fs::read(&serial_path).unwrap(),
+            std::fs::read(&laned_path).unwrap(),
+            "lane-measured sidecars must be byte-identical to serial ones"
+        );
+
+        // A serially written sidecar satisfies a lane-parallel request.
+        let (reused, outcome) = profile_trace_with_sidecar_lanes(
+            &platform(),
+            &prepared,
+            resolution(),
+            window,
+            &serial_path,
+            4,
+        )
+        .unwrap();
+        assert_eq!(outcome, SidecarOutcome::Reused);
+        assert_eq!(reused, serial);
+        let _ = std::fs::remove_file(&serial_path);
+        let _ = std::fs::remove_file(&laned_path);
     }
 
     #[test]

@@ -274,4 +274,134 @@ proptest! {
         prop_assert!(exact.total_units <= capacity);
         prop_assert!(greedy.total_units <= capacity);
     }
+
+    /// Lane decomposition of the single-pass profiler: one keys-only
+    /// shard per partition key fed *only that key's substream*, plus one
+    /// aggregate-only shard walking the full stream, merge into curves
+    /// identical to the unsharded pass — for any interleaving. Per-key
+    /// stack banks only ever see their own key's accesses, so sharding by
+    /// key changes nothing; the whole-L2 aggregate is not decomposable
+    /// and rides the designated full-stream shard.
+    #[test]
+    fn merged_profiler_shards_match_the_unsharded_pass(
+        task_a in trace_strategy(192, 300),
+        task_b in trace_strategy(192, 300),
+    ) {
+        use compmem_cache::{CurveResolution, StackDistanceProfiler};
+
+        let mut table = RegionTable::new();
+        let ra = table
+            .insert("a.data", RegionKind::TaskData { task: TaskId::new(0) }, 192 * 64)
+            .unwrap();
+        let rb = table
+            .insert("b.data", RegionKind::TaskData { task: TaskId::new(1) }, 192 * 64)
+            .unwrap();
+        let base_a = table.region(ra).base;
+        let base_b = table.region(rb).base;
+        let mut accesses: Vec<Access> = Vec::new();
+        let mut ai = task_a.iter();
+        let mut bi = task_b.iter();
+        loop {
+            match (ai.next(), bi.next()) {
+                (None, None) => break,
+                (a, b) => {
+                    if let Some(&l) = a {
+                        accesses.push(Access::load(base_a.offset(l * 64), 4, TaskId::new(0), ra));
+                    }
+                    if let Some(&l) = b {
+                        accesses.push(Access::load(base_b.offset(l * 64), 4, TaskId::new(1), rb));
+                    }
+                }
+            }
+        }
+
+        let resolution = CurveResolution::new(4, 32, 4).unwrap();
+        let mut whole = StackDistanceProfiler::new(resolution, &table);
+        whole.observe_all(&accesses);
+        let whole = whole.into_curves();
+
+        let mut aggregate = StackDistanceProfiler::aggregate_only(resolution, &table);
+        aggregate.observe_all(&accesses);
+        let mut merged = aggregate;
+        for task in [TaskId::new(0), TaskId::new(1)] {
+            let mut shard = StackDistanceProfiler::keys_only(resolution, &table);
+            for access in accesses.iter().filter(|a| a.task == task) {
+                shard.observe(access);
+            }
+            merged = merged.merge(shard).unwrap();
+        }
+        prop_assert_eq!(&merged.into_curves(), &whole);
+    }
+
+    /// The windowed lane decomposition: every shard closes its windows at
+    /// the *globally planned* access ordinals (a [`WindowPlan`] distilled
+    /// from the cycle stream, shared by all lanes), so the per-window
+    /// curves of the per-key shards absorb window-for-window into exactly
+    /// the serial windowed pass — whole-run totals and every individual
+    /// window.
+    #[test]
+    fn planned_window_shards_reconstruct_the_serial_windows(
+        task_a in trace_strategy(192, 260),
+        task_b in trace_strategy(192, 260),
+        window_len in 1u64..90,
+        stride in 1u64..40,
+    ) {
+        use compmem_cache::{CurveResolution, PlannedWindowedProfiler, StackDistanceProfiler,
+            WindowConfig, WindowPlan, WindowedProfiler};
+
+        let mut table = RegionTable::new();
+        let ra = table
+            .insert("a.data", RegionKind::TaskData { task: TaskId::new(0) }, 192 * 64)
+            .unwrap();
+        let rb = table
+            .insert("b.data", RegionKind::TaskData { task: TaskId::new(1) }, 192 * 64)
+            .unwrap();
+        let base_a = table.region(ra).base;
+        let base_b = table.region(rb).base;
+        let accesses: Vec<Access> = task_a
+            .iter()
+            .map(|&l| Access::load(base_a.offset(l * 64), 4, TaskId::new(0), ra))
+            .chain(task_b.iter().map(|&l| {
+                Access::load(base_b.offset(l * 64), 4, TaskId::new(1), rb)
+            }))
+            .collect();
+        // A monotone cycle clock, several accesses per cycle when the
+        // stride is small relative to the window.
+        let cycles: Vec<u64> = (0..accesses.len() as u64).map(|i| i / stride).collect();
+
+        let resolution = CurveResolution::new(4, 32, 4).unwrap();
+        let config = WindowConfig::accesses(window_len).unwrap();
+        let mut serial = WindowedProfiler::new(config, resolution, &table);
+        for (access, &cycle) in accesses.iter().zip(&cycles) {
+            serial.observe_at(cycle, access);
+        }
+        let serial = serial.finish();
+
+        let plan = WindowPlan::from_cycles(config, cycles.iter().copied());
+        let run_shard = |shard: StackDistanceProfiler, key: Option<TaskId>| {
+            let mut planned = PlannedWindowedProfiler::new(shard, plan.clone());
+            for (ordinal, access) in accesses.iter().enumerate() {
+                if key.is_none() || key == Some(access.task) {
+                    planned.observe(ordinal as u64, access);
+                }
+            }
+            planned.finish()
+        };
+        let mut merged = run_shard(
+            StackDistanceProfiler::aggregate_only(resolution, &table),
+            None,
+        );
+        for task in [TaskId::new(0), TaskId::new(1)] {
+            let shard = run_shard(
+                StackDistanceProfiler::keys_only(resolution, &table),
+                Some(task),
+            );
+            merged.absorb_shard(&shard).unwrap();
+        }
+        prop_assert_eq!(&merged.total, &serial.total);
+        prop_assert_eq!(merged.windows.len(), serial.windows.len());
+        for (m, s) in merged.windows.iter().zip(&serial.windows) {
+            prop_assert_eq!(m, s);
+        }
+    }
 }
