@@ -1,5 +1,6 @@
 //! The `compmem` command-line tool: record, replay, profile and sweep
-//! traces. The worked end-to-end session lives in `docs/CLI.md`.
+//! traces — one-shot, or through the `compmem serve` daemon. The worked
+//! end-to-end session lives in `docs/CLI.md`.
 //!
 //! Usage:
 //!
@@ -18,83 +19,37 @@
 //! compmem sweep-shapes --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
 //!                      [--check-replay on|off] [--save-curves auto|off|PATH]
 //! compmem info         --trace FILE [--schedule PATH] [--l2-kb N] [--ways N]
+//! compmem serve        [--store DIR] [--port N] [--jobs N] [--background on|off]
+//! compmem client VERB  [--port N] [--trace FILE | --hash HEX] [flags...]
 //! ```
 //!
-//! `record` executes an application live on the discrete-event simulator
-//! and streams every memory access into the binary trace IR (see
-//! `compmem_trace::codec`). `replay` re-issues a recorded trace through a
-//! freshly built hierarchy — under the organisation it was recorded with,
-//! the cache statistics are bit-identical to the live run. `sweep` replays
-//! one trace over the organisations (shared, set-partitioned equal-split,
-//! way-partitioned) at one or more L2 sizes, which is the record-once /
-//! sweep-many workflow the subsystem exists for.
-//!
-//! `profile` runs the single-pass stack-distance profiler over a recorded
-//! trace: one pass yields every entity's exact miss count at every
-//! partition size of the lattice — the `m_i(S_k)` inputs of the paper's
-//! optimiser — and the partition sizing the chosen solver derives from
-//! them. With `--windows` (L2-bound accesses per window) or
-//! `--window-cycles` the pass is phase-aware: `--phases DELTA` segments
-//! the windows at curve-delta boundaries and re-runs the solver per
-//! phase. Measured curves are persisted in a `.curves` sidecar next to
-//! the trace (`--save-curves`, default `auto`); a later invocation with
-//! the same configuration loads the sidecar and skips the L1 filter pass
-//! entirely.
-//!
-//! `sweep-shapes` evaluates the analytic L2 size × associativity sweep
-//! from one set of curves — the exact shared-cache miss count at every
-//! power-of-two shape within the resolution, with **no replay per
-//! shape**; `--check-replay on` replays every shape anyway and verifies
-//! the analytic numbers point for point. `info` prints a trace's version,
-//! summary counters, embedded region table and sidecar status (and, with
-//! `--schedule PATH`, a schedule file's steps validated against the
-//! trace).
-//!
-//! The parallelism layers compose per invocation (see the "Parallel
-//! execution" section of `docs/ARCHITECTURE.md`): `--jobs N` bounds a
-//! sweep's batch worker pool and, on `replay`/`profile`, runs the L1
-//! filter pass segment-parallel (one worker per processor stream);
-//! `--lanes N` splits a replay or profiling pass into per-partition-key
-//! lanes. Lanes are **required** on `replay` (an ineligible scenario is
-//! a hard error naming the reason) and **opportunistic** on `sweep`
-//! (ineligible rows fall back to one serial lane). All parallel paths
-//! produce cache-side counters identical to the serial run; lane-parallel
-//! replays do not reconstruct the global timing interleaving, so their
-//! makespan column prints `-`. `compmem info` prints each organisation's
-//! lane-eligibility verdict for the trace.
-//!
-//! `replay --schedule` executes partitioning as a **time-varying
-//! policy**: `phases` derives a per-phase `PartitionSchedule` from a
-//! windowed profile of the trace (the validation driver — it replays
-//! static-best and phase-scheduled on the same trace and reports
-//! predicted vs measured per-phase misses, repartition flush costs
-//! included), while a `PATH` names a schedule file (text format: one
-//! `AT_CYCLE key=sets ...` or `AT_CYCLE shared` step per line;
-//! `--save-schedule` writes a derived schedule in that format).
+//! The one-shot subcommands are documented in `compmem_bench::cli`, whose
+//! command functions this binary runs against stdout. `serve` starts the
+//! scenario-evaluation daemon: a content-hash-addressed store of traces
+//! and `.curves` sidecars behind a local TCP socket (see
+//! `compmem_platform::serve` and the "Service layer" section of
+//! `docs/ARCHITECTURE.md`). `client` talks to it: `put` uploads a trace,
+//! `profile` / `sweep-shapes` / `schedule` / `info` evaluate commands
+//! over a stored trace (`--trace FILE` uploads-and-uses in one step;
+//! `--hash HEX` names an already stored trace), `stats` prints the
+//! daemon's counters and `shutdown` stops it cleanly. Every other flag is
+//! forwarded verbatim to the daemon, and the response bytes are exactly
+//! what the equivalent one-shot invocation would print — the parity
+//! contract CI's `serve-smoke` job enforces.
 
-use std::path::{Path, PathBuf};
+use std::io::Write;
+use std::net::TcpStream;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use compmem::experiment::{
-    allocation_problem_for_table, phase_allocations_for_table, run_replay,
-    sweep_shapes_from_curves, validate_phase_plan, Experiment, ReplayParallelism, RunOutcome,
-    ScenarioSpec,
-};
-use compmem::{CoreError, OptimizerKind};
-use compmem_bench::{jpeg_canny_experiment, mpeg2_experiment, Scale};
-use compmem_cache::{
-    CacheConfig, CacheSizeLattice, CurveResolution, OrganizationSpec, PartitionKey, PartitionMap,
-    PartitionSchedule, ReplacementPolicy, WayAllocation, WindowConfig, WindowedCurves,
-};
-use compmem_platform::{
-    lane_eligibility, profile_trace_windowed_lanes, profile_trace_with_sidecar_lanes,
-    PlatformConfig, PreparedTrace, SidecarOutcome,
-};
-use compmem_trace::{
-    curves::sidecar_path, BufferId, EncodedCurves, EncodedTrace, RegionTable, TaskId,
-};
-use compmem_workloads::apps::Application;
+use compmem_bench::cli;
+use compmem_bench::service::{run_serve, ServeOptions};
+use compmem_platform::{ServeClient, ServeRequest, ServeResponse, ServeStats};
+use compmem_trace::trace_content_hash;
+
+/// Default TCP port of `compmem serve` (a fixed local port so client
+/// invocations need no configuration).
+const DEFAULT_PORT: &str = "7177";
 
 fn usage() {
     eprintln!(
@@ -110,11 +65,16 @@ fn usage() {
          [--phases DELTA] [--save-curves auto|off|PATH] [--lanes N] [--jobs N]\n  \
          compmem sweep-shapes --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
          [--check-replay on|off] [--jobs N] [--lanes N] [--save-curves auto|off|PATH]\n  \
-         compmem info --trace FILE [--schedule PATH] [--l2-kb N] [--ways N]\n\
+         compmem info --trace FILE [--schedule PATH] [--l2-kb N] [--ways N]\n  \
+         compmem serve [--store DIR] [--port N] [--jobs N] [--background on|off]\n  \
+         compmem client put|profile|sweep-shapes|schedule|info|stats|shutdown \
+         [--port N] [--trace FILE | --hash HEX] [forwarded flags...]\n\
          (--jobs N bounds the worker pool of a sweep — default: the host's available \
          parallelism — and runs the L1 filter pass of a replay/profile \
          segment-parallel; --lanes N splits a replay or profiling pass into \
-         per-partition-key lanes, required on replay and opportunistic on sweep)"
+         per-partition-key lanes, required on replay and opportunistic on sweep; \
+         serve answers sidecar-covered requests analytically and queues the rest \
+         on --jobs workers shared by all clients)"
     );
 }
 
@@ -125,12 +85,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let result = match command.as_str() {
-        "record" => record(&args[1..]),
-        "replay" => replay(&args[1..]),
-        "sweep" => sweep(&args[1..]),
-        "profile" => profile(&args[1..]),
-        "sweep-shapes" => sweep_shapes(&args[1..]),
-        "info" => info(&args[1..]),
+        "record" | "replay" | "sweep" | "profile" | "sweep-shapes" | "info" => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            cli::dispatch(command, &args[1..], &mut out)
+        }
+        "serve" => serve(&args[1..]),
+        "client" => client(&args[1..]),
         "--help" | "-h" | "help" => {
             usage();
             return ExitCode::SUCCESS;
@@ -150,7 +111,9 @@ fn main() -> ExitCode {
     }
 }
 
-/// Minimal flag parser: every option takes one value.
+/// Minimal flag parser: every option takes one value (the same contract
+/// as `compmem_bench::cli::parse_flags`, duplicated here for the two
+/// daemon-side subcommands so the cli module stays sink-pure).
 fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
     let mut out = Vec::new();
     let mut iter = args.iter();
@@ -174,1109 +137,228 @@ fn get<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
-/// Worker-pool size of a sweep: `--jobs N`, defaulting to the host's
-/// available parallelism.
-fn jobs_flag(flags: &[(String, String)]) -> Result<usize, String> {
-    match get(flags, "jobs") {
-        None => Ok(compmem::executor::default_jobs()),
+fn serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let store = get(&flags, "store").unwrap_or("store").to_string();
+    let port = get(&flags, "port").unwrap_or(DEFAULT_PORT);
+    let port: u16 = port
+        .parse()
+        .map_err(|_| "--port needs a port number".to_string())?;
+    let jobs = match get(&flags, "jobs") {
+        None => compmem::executor::default_jobs(),
         Some(value) => match value.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            _ => Err("--jobs needs a number of at least 1".to_string()),
+            Ok(n) if n >= 1 => n,
+            _ => return Err("--jobs needs a number of at least 1".to_string()),
         },
-    }
-}
-
-/// Segment-parallel L1-filter workers of a single replay/profile
-/// invocation: `--jobs N`, defaulting to 1 (serial). Unlike a sweep's
-/// batch pool there is only one replay to run, so parallelism is opt-in.
-fn segment_jobs_flag(flags: &[(String, String)]) -> Result<usize, String> {
-    match get(flags, "jobs") {
-        None => Ok(1),
-        Some(value) => match value.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            _ => Err("--jobs needs a number of at least 1".to_string()),
-        },
-    }
-}
-
-/// Lane count of a replay/profiling invocation: `--lanes N`, defaulting
-/// to 1 (serial).
-fn lanes_flag(flags: &[(String, String)]) -> Result<usize, String> {
-    match get(flags, "lanes") {
-        None => Ok(1),
-        Some(value) => match value.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            _ => Err("--lanes needs a number of at least 1".to_string()),
-        },
-    }
-}
-
-fn record(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    let app = get(&flags, "app").ok_or("record needs --app jpeg_canny|mpeg2")?;
-    let out = get(&flags, "out").ok_or("record needs --out FILE")?;
-    let scale = match get(&flags, "scale") {
-        None => Scale::Small,
-        Some(name) => Scale::parse(name).ok_or_else(|| format!("unknown scale `{name}`"))?,
     };
-    let org = get(&flags, "org").unwrap_or("shared");
-
-    let (outcome, trace) = match app {
-        "jpeg_canny" => record_with(&jpeg_canny_experiment(scale), org)?,
-        "mpeg2" => record_with(&mpeg2_experiment(scale), org)?,
-        other => return Err(format!("unknown app `{other}` (use jpeg_canny or mpeg2)")),
-    };
-    trace.trace().write_to(out).map_err(|e| e.to_string())?;
-    let summary = trace.summary();
-    println!(
-        "recorded {app} ({org} L2): {} accesses in {} runs on {} processors",
-        summary.accesses, summary.runs, summary.processors
-    );
-    println!(
-        "  live run: {} cycles makespan, L2 miss rate {:.2}%",
-        outcome.report.makespan_cycles,
-        100.0 * outcome.report.l2_miss_rate()
-    );
-    println!(
-        "  wrote {out}: {} bytes ({:.2} bytes/access)",
-        summary.encoded_bytes,
-        summary.bytes_per_access()
-    );
-    Ok(())
-}
-
-fn record_with<F: Fn() -> Application>(
-    experiment: &Experiment<F>,
-    org: &str,
-) -> Result<(RunOutcome, Arc<PreparedTrace>), String> {
-    let spec = match org {
-        "shared" => experiment.shared_spec(),
-        "way-partitioned" => experiment.way_partitioned_spec(),
-        "profiling" => experiment.profiling_spec(),
-        other => {
-            return Err(format!(
-            "cannot record under organisation `{other}` (use shared, way-partitioned or profiling)"
-        ))
-        }
-    };
-    experiment.record_trace(&spec).map_err(|e| e.to_string())
-}
-
-fn load_trace(flags: &[(String, String)]) -> Result<Arc<PreparedTrace>, String> {
-    load_trace_with_path(flags).map(|(trace, _)| trace)
-}
-
-fn load_trace_with_path(
-    flags: &[(String, String)],
-) -> Result<(Arc<PreparedTrace>, PathBuf), String> {
-    let path = get(flags, "trace").ok_or("missing --trace FILE")?;
-    EncodedTrace::read_from(path)
-        .map(|trace| (Arc::new(PreparedTrace::from(trace)), PathBuf::from(path)))
-        .map_err(|e| format!("{path}: {e}"))
-}
-
-/// Resolves the `--save-curves` policy: `None` disables persistence,
-/// otherwise the sidecar path to use. The `auto` default keys the path
-/// on the window configuration (`TRACE.curves` for whole-run,
-/// `TRACE.wN.curves` / `TRACE.cyN.curves` for windowed passes), so a
-/// windowed profile and a whole-run `sweep-shapes` each keep their own
-/// persisted curves instead of rewriting a shared file back and forth.
-fn save_curves_path(
-    flags: &[(String, String)],
-    trace_path: &Path,
-    window: WindowConfig,
-) -> Result<Option<PathBuf>, String> {
-    match get(flags, "save-curves").unwrap_or("auto") {
-        "off" => Ok(None),
-        "auto" => Ok(Some(match window.kind {
-            compmem_cache::WindowKind::WholeRun => sidecar_path(trace_path),
-            compmem_cache::WindowKind::Accesses => {
-                trace_path.with_extension(format!("w{}.curves", window.length))
-            }
-            compmem_cache::WindowKind::Cycles => {
-                trace_path.with_extension(format!("cy{}.curves", window.length))
-            }
-        })),
-        custom if !custom.is_empty() => Ok(Some(PathBuf::from(custom))),
-        _ => Err("--save-curves needs auto, off or a file path".to_string()),
-    }
-}
-
-/// The window configuration of a profiling invocation (`--windows` /
-/// `--window-cycles`; default: one whole-run window).
-fn window_config(flags: &[(String, String)]) -> Result<WindowConfig, String> {
-    match (get(flags, "windows"), get(flags, "window-cycles")) {
-        (Some(_), Some(_)) => Err("--windows and --window-cycles are exclusive".to_string()),
-        (Some(n), None) => {
-            let n: u64 = n
-                .parse()
-                .map_err(|_| "--windows needs a number".to_string())?;
-            WindowConfig::accesses(n).map_err(|e| e.to_string())
-        }
-        (None, Some(n)) => {
-            let n: u64 = n
-                .parse()
-                .map_err(|_| "--window-cycles needs a number".to_string())?;
-            WindowConfig::cycles(n).map_err(|e| e.to_string())
-        }
-        (None, None) => Ok(WindowConfig::whole_run()),
-    }
-}
-
-/// Profiles a trace, reusing or writing the sidecar as configured, and
-/// narrates what happened with the persistence layer.
-///
-/// `lanes > 1` runs the pass lane-parallel (one worker per partition-key
-/// shard, merged exactly); the notice goes to stderr because stdout —
-/// tables, sidecar narration, and the sidecar bytes themselves — is
-/// identical to a serial run, and CI diffs it to prove that.
-fn profile_with_policy(
-    platform: &PlatformConfig,
-    trace: &PreparedTrace,
-    resolution: CurveResolution,
-    window: WindowConfig,
-    sidecar: Option<&Path>,
-    lanes: usize,
-) -> Result<WindowedCurves, String> {
-    if lanes > 1 {
-        eprintln!("note: profiling on up to {lanes} lane workers (results match a serial pass)");
-    }
-    match sidecar {
-        None => profile_trace_windowed_lanes(platform, trace, resolution, window, lanes)
-            .map_err(|e| e.to_string()),
-        Some(path) => {
-            let (windowed, outcome) =
-                profile_trace_with_sidecar_lanes(platform, trace, resolution, window, path, lanes)
-                    .map_err(|e| e.to_string())?;
-            match outcome {
-                SidecarOutcome::Reused => println!(
-                    "reusing persisted curves from {} (L1 filter pass skipped)",
-                    path.display()
-                ),
-                SidecarOutcome::Written => {
-                    println!("wrote curve sidecar {}", path.display());
-                }
-                SidecarOutcome::Rewritten { reason } => println!(
-                    "sidecar {} was unusable ({reason}); re-profiled and rewrote it",
-                    path.display()
-                ),
-            }
-            Ok(windowed)
-        }
-    }
-}
-
-fn l2_config(flags: &[(String, String)]) -> Result<CacheConfig, String> {
-    let kb: u64 = get(flags, "l2-kb")
-        .unwrap_or("64")
-        .parse()
-        .map_err(|_| "--l2-kb needs a number".to_string())?;
-    let ways: u32 = get(flags, "ways")
-        .unwrap_or("4")
-        .parse()
-        .map_err(|_| "--ways needs a number".to_string())?;
-    let mut config = CacheConfig::with_size_bytes(kb * 1024, ways).map_err(|e| e.to_string())?;
-    if let Some(name) = get(flags, "policy") {
-        let policy = ReplacementPolicy::ALL
-            .into_iter()
-            .find(|p| p.to_string() == name)
-            .ok_or_else(|| format!("unknown replacement policy `{name}`"))?;
-        config = config.policy(policy);
-    }
-    Ok(config)
-}
-
-/// Rejects profiling-backed invocations over a non-LRU L2: the
-/// stack-distance curves are exact for LRU only, so a FIFO/PLRU/random
-/// `--policy` would silently produce predictions the replayed cache
-/// does not follow (the CLI-side twin of `CoreError::NonLruProfiling`).
-fn require_lru_for_profiling(l2: CacheConfig) -> Result<(), String> {
-    let policy = l2.replacement_policy();
-    if policy != ReplacementPolicy::Lru {
-        return Err(format!(
-            "stack-distance profiling is exact for LRU only; the scenario's L2 uses \
-             `{policy}` (drop --policy {policy} or use LRU)"
-        ));
-    }
-    Ok(())
-}
-
-fn organization(
-    name: &str,
-    l2: CacheConfig,
-    table: &RegionTable,
-) -> Result<OrganizationSpec, String> {
-    match name {
-        "shared" => Ok(OrganizationSpec::Shared),
-        "set-partitioned" => {
-            let keys = PartitionKey::distinct_keys(table);
-            PartitionMap::equal_split(l2.geometry(), &keys)
-                .map(OrganizationSpec::SetPartitioned)
-                .map_err(|e| e.to_string())
-        }
-        "way-partitioned" => Ok(OrganizationSpec::WayPartitioned(
-            WayAllocation::equal_split(l2.geometry(), &PartitionKey::distinct_keys(table)),
-        )),
-        "profiling" => Ok(OrganizationSpec::Profiling(
-            compmem_cache::CacheSizeLattice::new(l2.geometry(), 16),
-        )),
-        other => Err(format!("unknown organisation `{other}`")),
-    }
-}
-
-fn print_outcome_row(label: &str, outcome: &RunOutcome) {
-    let r = &outcome.report;
-    // Lane-parallel replays reproduce every cache-side counter exactly
-    // but do not reconstruct the global timing interleaving, so there is
-    // no makespan to report.
-    let makespan = match outcome.lane_decision {
-        Some(_) => "-".to_string(),
-        None => r.makespan_cycles.to_string(),
-    };
-    println!(
-        "{label:<24} {:>12} {:>12} {:>8.3}% {:>10} {:>14}",
-        r.l2.accesses,
-        r.l2.misses,
-        100.0 * r.l2_miss_rate(),
-        r.dram_accesses,
-        makespan
-    );
-}
-
-fn outcome_header() {
-    println!(
-        "{:<24} {:>12} {:>12} {:>9} {:>10} {:>14}",
-        "organisation", "l2 accesses", "l2 misses", "missrate", "dram", "makespan"
-    );
-}
-
-/// The partition-sizing solver of a profiling/scheduling invocation.
-fn solver_kind(flags: &[(String, String)]) -> Result<OptimizerKind, String> {
-    match get(flags, "solve").unwrap_or("exact-ilp") {
-        "exact-ilp" => Ok(OptimizerKind::ExactIlp),
-        "greedy" => Ok(OptimizerKind::Greedy),
-        "equal-split" => Ok(OptimizerKind::EqualSplit),
-        other => Err(format!("unknown solver `{other}`")),
-    }
-}
-
-/// The schedule-file token of a partition key (`task0`, `buffer3`,
-/// `app.data`, ...) — the inverse of [`parse_partition_key`].
-fn key_token(key: PartitionKey) -> String {
-    match key {
-        PartitionKey::Task(t) => format!("task{}", t.index()),
-        PartitionKey::Buffer(b) => format!("buffer{}", b.index()),
-        PartitionKey::AppData => "app.data".to_string(),
-        PartitionKey::AppBss => "app.bss".to_string(),
-        PartitionKey::RtData => "rt.data".to_string(),
-        PartitionKey::RtBss => "rt.bss".to_string(),
-    }
-}
-
-fn parse_partition_key(token: &str) -> Result<PartitionKey, String> {
-    if let Some(n) = token.strip_prefix("task") {
-        if let Ok(i) = n.parse::<u32>() {
-            return Ok(PartitionKey::Task(TaskId::new(i)));
-        }
-    }
-    if let Some(n) = token.strip_prefix("buffer") {
-        if let Ok(i) = n.parse::<u32>() {
-            return Ok(PartitionKey::Buffer(BufferId::new(i)));
-        }
-    }
-    match token {
-        "app.data" => Ok(PartitionKey::AppData),
-        "app.bss" => Ok(PartitionKey::AppBss),
-        "rt.data" => Ok(PartitionKey::RtData),
-        "rt.bss" => Ok(PartitionKey::RtBss),
-        other => Err(format!(
-            "unknown partition key `{other}` (use taskN, bufferN, app.data, app.bss, \
-             rt.data or rt.bss)"
-        )),
-    }
-}
-
-/// Parses the text schedule format: one step per line, `AT_CYCLE
-/// key=sets ...` (packed back to back in listed order) or `AT_CYCLE
-/// shared`; `#` starts a comment.
-fn parse_schedule_file(path: &str, l2: CacheConfig) -> Result<PartitionSchedule, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut steps = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let bad = |what: &str| format!("{path}:{}: {what}", lineno + 1);
-        let mut parts = line.split_whitespace();
-        let at_cycle: u64 = parts
-            .next()
-            .expect("non-empty line has a first token")
-            .parse()
-            .map_err(|_| bad("step must start with its AT_CYCLE"))?;
-        let rest: Vec<&str> = parts.collect();
-        let organization = if rest == ["shared"] {
-            OrganizationSpec::Shared
-        } else if rest.is_empty() {
-            return Err(bad("step needs `shared` or key=sets assignments"));
-        } else {
-            // `key=sets` entries are packed back to back in listed order;
-            // `key=sets@base` pins the exact placement (what
-            // --save-schedule emits, so stable layouts round-trip). The
-            // two forms cannot mix within one step.
-            let mut sizes = Vec::with_capacity(rest.len());
-            let mut placed = PartitionMap::new(l2.geometry());
-            let mut explicit = 0usize;
-            for assignment in rest {
-                let (key, value) = assignment
-                    .split_once('=')
-                    .ok_or_else(|| bad("assignments are key=sets or key=sets@base"))?;
-                let key = parse_partition_key(key).map_err(|e| bad(&e))?;
-                let (sets, base) = match value.split_once('@') {
-                    None => (value, None),
-                    Some((sets, base)) => (
-                        sets,
-                        Some(
-                            base.parse::<u32>()
-                                .map_err(|_| bad("placement base must be a number"))?,
-                        ),
-                    ),
-                };
-                let sets: u32 = sets
-                    .parse()
-                    .map_err(|_| bad("assignment set count must be a number"))?;
-                match base {
-                    Some(base) => {
-                        explicit += 1;
-                        placed
-                            .assign(key, base, sets)
-                            .map_err(|e| bad(&e.to_string()))?;
-                    }
-                    None => sizes.push((key, sets)),
-                }
-            }
-            let map = match (explicit, sizes.is_empty()) {
-                (0, _) => {
-                    PartitionMap::pack(l2.geometry(), &sizes).map_err(|e| bad(&e.to_string()))?
-                }
-                (_, true) => placed,
-                _ => return Err(bad("cannot mix key=sets and key=sets@base in one step")),
-            };
-            OrganizationSpec::SetPartitioned(map)
-        };
-        steps.push((at_cycle, organization));
-    }
-    PartitionSchedule::new(steps).map_err(|e| format!("{path}: {e}"))
-}
-
-/// Writes a schedule in the text format [`parse_schedule_file`] reads
-/// (set-partitioned maps are emitted in key order, which is also their
-/// packed layout order, so the file round-trips exactly).
-fn write_schedule_file(path: &str, schedule: &PartitionSchedule) -> Result<(), String> {
-    let mut out = String::from(
-        "# compmem partition schedule: AT_CYCLE key=sets@base ... | AT_CYCLE shared\n",
-    );
-    for step in schedule.steps() {
-        match &step.organization {
-            OrganizationSpec::Shared => {
-                out.push_str(&format!("{} shared\n", step.at_cycle));
-            }
-            OrganizationSpec::SetPartitioned(map) => {
-                out.push_str(&format!("{}", step.at_cycle));
-                for (key, partition) in map.iter() {
-                    out.push_str(&format!(
-                        " {}={}@{}",
-                        key_token(*key),
-                        partition.sets,
-                        partition.base_set
-                    ));
-                }
-                out.push('\n');
-            }
-            other => {
-                return Err(format!(
-                    "schedule files cannot express `{}` steps",
-                    other.label()
-                ))
-            }
-        }
-    }
-    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
-}
-
-/// Prints one line per step: step 0 as a summary, every switch as the
-/// diff against its predecessor (only re-sized/moved partitions).
-fn print_schedule_steps(schedule: &PartitionSchedule) {
-    let mut previous: Option<&PartitionMap> = None;
-    for (i, step) in schedule.steps().iter().enumerate() {
-        print!(
-            "  step {i} @ cycle {:>10}: {}",
-            step.at_cycle,
-            step.organization.label()
-        );
-        if let OrganizationSpec::SetPartitioned(map) = &step.organization {
-            match previous {
-                None => print!(
-                    " — {} partitions over {} sets",
-                    map.len(),
-                    map.assigned_sets()
-                ),
-                Some(prev) => {
-                    let changed: Vec<String> = map
-                        .iter()
-                        .filter_map(|(key, p)| {
-                            let old = prev.partition_for(*key);
-                            (old != Some(*p)).then(|| match old {
-                                Some(o) if o.sets != p.sets => {
-                                    format!("{key} {}->{} sets", o.sets, p.sets)
-                                }
-                                Some(_) => format!("{key} moved"),
-                                None => format!("{key} +{} sets", p.sets),
-                            })
-                        })
-                        .collect();
-                    if changed.is_empty() {
-                        print!(" — unchanged");
-                    } else {
-                        print!(" — {}", changed.join(", "));
-                    }
-                }
-            }
-            previous = Some(map);
-        }
-        println!();
-    }
-}
-
-fn replay(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    match get(&flags, "schedule") {
-        None => replay_static(&flags),
-        Some("phases") => replay_phase_schedule(&flags),
-        Some(path) => replay_schedule_file(&flags, path),
-    }
-}
-
-/// The [`ReplayParallelism`] of a single replay invocation. `--lanes`
-/// on `replay` is **required**: asking for lanes on a scenario that
-/// cannot split exactly is a hard error naming the reason, never a
-/// silent serial run.
-fn replay_parallelism(flags: &[(String, String)]) -> Result<ReplayParallelism, String> {
-    let lanes = lanes_flag(flags)?;
-    let request = if lanes > 1 {
-        ReplayParallelism::required_lanes(lanes)
-    } else {
-        ReplayParallelism::default()
-    };
-    Ok(request.with_segment_jobs(segment_jobs_flag(flags)?))
-}
-
-/// Narrates how a laned replay split (printed after the outcome row).
-fn print_lane_decision(outcome: &RunOutcome) {
-    if let Some(decision) = outcome.lane_decision {
-        match decision.fallback {
-            None => println!(
-                "lane split: {} per-key lanes on up to {} workers (cache-side counters \
-                 lane-exact; no makespan)",
-                decision.lanes, decision.requested
-            ),
-            Some(reason) => println!("lane split: fell back to one serial lane — {reason}",),
-        }
-    }
-}
-
-fn replay_static(flags: &[(String, String)]) -> Result<(), String> {
-    let trace = load_trace(flags)?;
-    let l2 = l2_config(flags)?;
-    let org_name = get(flags, "org").unwrap_or("shared");
-    let org = organization(org_name, l2, trace.table())?;
-    let parallelism = replay_parallelism(flags)?;
-    let spec = ScenarioSpec::replay(l2, org, trace.clone()).with_parallelism(parallelism);
-    let outcome = run_replay(&PlatformConfig::default(), &spec).map_err(|e| e.to_string())?;
-    println!(
-        "replayed {} accesses on {} processors under `{}`",
-        trace.accesses(),
-        trace.processors(),
-        org_name
-    );
-    outcome_header();
-    print_outcome_row(org_name, &outcome);
-    print_lane_decision(&outcome);
-    Ok(())
-}
-
-/// The validation driver behind `replay --schedule phases`: derive a
-/// per-phase schedule from a windowed profile of the trace, then replay
-/// static-best and phase-scheduled on the same traffic.
-fn replay_phase_schedule(flags: &[(String, String)]) -> Result<(), String> {
-    if get(flags, "lanes").is_some() {
-        return Err(
-            "replay --schedule phases validates a timing-derived schedule end to end; \
-             --lanes is not supported here (use a static or schedule-file replay)"
-                .to_string(),
-        );
-    }
-    let (trace, trace_path) = load_trace_with_path(flags)?;
-    let l2 = l2_config(flags)?;
-    require_lru_for_profiling(l2)?;
-    let geometry = l2.geometry();
-    let sets_per_unit: u32 = get(flags, "sets-per-unit")
-        .unwrap_or("16")
-        .parse()
-        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
-    let resolution =
-        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
-    let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
-    let kind = solver_kind(flags)?;
-    let windows: u64 = get(flags, "windows")
-        .unwrap_or("400")
-        .parse()
-        .map_err(|_| "--windows needs a number".to_string())?;
-    let window = WindowConfig::accesses(windows).map_err(|e| e.to_string())?;
-    let threshold: f64 = get(flags, "phases")
-        .unwrap_or("0.1")
-        .parse()
-        .map_err(|_| "--phases needs a curve-delta threshold".to_string())?;
-    let sidecar = save_curves_path(flags, &trace_path, window)?;
-
-    let platform = PlatformConfig::default();
-    let windowed =
-        profile_with_policy(&platform, &trace, resolution, window, sidecar.as_deref(), 1)?;
-    let plan = phase_allocations_for_table(
-        &windowed,
-        threshold,
-        trace.table(),
-        &lattice,
-        geometry,
-        kind,
-    )
-    .map_err(|e| e.to_string())?;
-    println!(
-        "derived {} phase(s) from {} windows of {} L2-bound accesses (curve-delta {threshold})",
-        plan.phases.len(),
-        windowed.windows.len(),
-        windows
-    );
-    let validation =
-        validate_phase_plan(&platform, l2, &lattice, &plan, &trace).map_err(|e| e.to_string())?;
-
-    if let Some(path) = get(flags, "save-schedule") {
-        write_schedule_file(path, &validation.schedule)?;
-        println!("wrote schedule file {path}");
-    }
-
-    let spec = ScenarioSpec::scheduled_replay(l2, validation.schedule.clone(), trace.clone());
-    println!("scenario: {spec}");
-    outcome_header();
-    print_outcome_row("static whole-run", &validation.static_outcome);
-    print_outcome_row("phase-scheduled", &validation.scheduled_outcome);
-    print_repartition_report(&validation);
-    Ok(())
-}
-
-fn print_repartition_report(validation: &compmem::experiment::ScheduleValidation) {
-    let records = &validation.scheduled_outcome.report.repartitions;
-    println!("repartition events ({} fired):", records.len());
-    for record in records {
-        println!(
-            "  step {} @ cycle {:>10}: {}",
-            record.step, record.at_cycle, record.flush
-        );
-    }
-    println!(
-        "{:<10} {:>22} {:>10} {:>10} {:>7}",
-        "phase", "cycles", "predicted", "measured", "delta"
-    );
-    for comparison in &validation.phases {
-        println!(
-            "{:<10} {:>22} {:>10} {:>10} {:>+7}",
-            format!("phase {}", comparison.phase),
-            format!("{}..{}", comparison.start_cycle, comparison.end_cycle),
-            comparison.predicted_misses,
-            comparison.measured_misses,
-            comparison.delta()
-        );
-    }
-    println!(
-        "scheduled vs static: {:+} L2 misses ({} across all switches)",
-        -validation.measured_improvement(),
-        validation.total_flush()
-    );
-}
-
-/// Replays the trace under a schedule file (`replay --schedule PATH`).
-fn replay_schedule_file(flags: &[(String, String)], path: &str) -> Result<(), String> {
-    let trace = load_trace(flags)?;
-    let l2 = l2_config(flags)?;
-    let schedule = parse_schedule_file(path, l2)?;
-    schedule
-        .validate_for(l2.geometry(), trace.table())
-        .map_err(|e| format!("{path}: {e}"))?;
-    let parallelism = replay_parallelism(flags)?;
-    let spec =
-        ScenarioSpec::scheduled_replay(l2, schedule, trace.clone()).with_parallelism(parallelism);
-    println!("scenario: {spec}");
-    let outcome = run_replay(&PlatformConfig::default(), &spec).map_err(|e| e.to_string())?;
-    println!(
-        "replayed {} accesses on {} processors under the schedule",
-        trace.accesses(),
-        trace.processors(),
-    );
-    outcome_header();
-    print_outcome_row("scheduled", &outcome);
-    print_lane_decision(&outcome);
-    println!(
-        "repartition events ({} fired):",
-        outcome.report.repartitions.len()
-    );
-    for record in &outcome.report.repartitions {
-        println!(
-            "  step {} @ cycle {:>10}: {}",
-            record.step, record.at_cycle, record.flush
-        );
-    }
-    Ok(())
-}
-
-fn sweep(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    let trace = load_trace(&flags)?;
-    let sizes: Vec<u64> = get(&flags, "l2-kb")
-        .unwrap_or("64")
-        .split(',')
-        .map(|s| s.parse().map_err(|_| format!("bad L2 size `{s}`")))
-        .collect::<Result<_, _>>()?;
-    let ways: u32 = get(&flags, "ways")
-        .unwrap_or("4")
-        .parse()
-        .map_err(|_| "--ways needs a number".to_string())?;
-    let jobs = jobs_flag(&flags)?;
-    let lanes = lanes_flag(&flags)?;
-    // Lanes on a sweep are opportunistic: rows whose organisation cannot
-    // split exactly (shared, overlapping way masks) fall back to one
-    // serial lane instead of failing, so the grid always fills. The
-    // cache-side counters are identical either way.
-    let parallelism = if lanes > 1 {
-        ReplayParallelism::lanes(lanes)
-    } else {
-        ReplayParallelism::default()
-    };
-    let platform = PlatformConfig::default();
-
-    let lane_note = if lanes > 1 {
-        format!(", up to {lanes} lanes/row")
-    } else {
-        String::new()
-    };
-    println!(
-        "sweeping {} organisations x {} L2 sizes over {} recorded accesses ({jobs} jobs{lane_note})",
-        3,
-        sizes.len(),
-        trace.accesses()
-    );
-    // The whole (size x organisation) grid is one batch on the bounded
-    // work-stealing pool: at most `jobs` worker threads regardless of how
-    // many sizes are swept, with slow rows (big partitioned replays)
-    // stolen by idle workers. Rows whose spec cannot be built (e.g. more
-    // entities than ways) are reported in place, and a panicking row
-    // surfaces as its own error instead of aborting the sweep.
-    let mut grid: Vec<(u64, &str, Result<ScenarioSpec, String>)> = Vec::new();
-    for &kb in &sizes {
-        let l2 = CacheConfig::with_size_bytes(kb * 1024, ways).map_err(|e| e.to_string())?;
-        for name in ["shared", "set-partitioned", "way-partitioned"] {
-            let spec = organization(name, l2, trace.table()).map(|org| {
-                ScenarioSpec::replay(l2, org, trace.clone()).with_parallelism(parallelism)
-            });
-            grid.push((kb, name, spec));
-        }
-    }
-    let outcomes = compmem::executor::run_batch(&grid, jobs, |_, (_, _, spec)| match spec {
-        Ok(spec) => run_replay(&platform, spec),
-        Err(message) => Err(CoreError::Infeasible {
-            reason: message.clone(),
-        }),
-    });
-    for ((kb, name, spec), outcome) in grid.iter().zip(&outcomes) {
-        if *name == "shared" {
-            println!("\nL2 = {kb} KB, {ways}-way:");
-            outcome_header();
-        }
-        match (spec, outcome) {
-            (Err(e), _) => println!("{name:<24} (skipped: {e})"),
-            (Ok(_), Ok(outcome)) => print_outcome_row(name, outcome),
-            (Ok(_), Err(e)) => println!("{name:<24} (failed: {e})"),
-        }
-    }
-    Ok(())
-}
-
-fn profile(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    let (trace, trace_path) = load_trace_with_path(&flags)?;
-    let l2 = l2_config(&flags)?;
-    require_lru_for_profiling(l2)?;
-    let geometry = l2.geometry();
-    let sets_per_unit: u32 = get(&flags, "sets-per-unit")
-        .unwrap_or("16")
-        .parse()
-        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
-    let resolution =
-        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
-    let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
-    let kind = solver_kind(&flags)?;
-    let window = window_config(&flags)?;
-    let sidecar = save_curves_path(&flags, &trace_path, window)?;
-    // Validate before the (potentially expensive) profiling pass.
-    let phase_threshold: Option<f64> = get(&flags, "phases")
-        .map(|t| {
-            t.parse()
-                .map_err(|_| "--phases needs a curve-delta threshold".to_string())
-        })
-        .transpose()?;
-
-    let lanes = lanes_flag(&flags)?;
-    let seg_jobs = segment_jobs_flag(&flags)?;
-    let platform = PlatformConfig::default();
-    if seg_jobs > 1 {
-        // Pre-warm the filtered-trace cache segment-parallel: the lane
-        // workers then share the one filtered stream.
-        trace
-            .filtered_for_jobs(&platform, seg_jobs)
-            .map_err(|e| e.to_string())?;
-    }
-    let windowed = profile_with_policy(
-        &platform,
-        &trace,
-        resolution,
-        window,
-        sidecar.as_deref(),
-        lanes,
-    )?;
-    let curves = &windowed.total;
-    let profiles = curves
-        .to_profiles(&lattice, geometry.ways())
-        .map_err(|e| e.to_string())?;
-
-    println!(
-        "profiled {} recorded accesses ({} L2-bound after the L1 filter) in one pass",
-        trace.accesses(),
-        curves.accesses()
-    );
-    println!(
-        "misses per entity by exclusive partition size ({} sets = {} B per unit):",
-        sets_per_unit,
-        lattice.unit_bytes(geometry)
-    );
-    print_profile_table(&lattice, &profiles);
-
-    let allocation = solve_allocation(trace.table(), &lattice, geometry, profiles, kind)?;
-    println!(
-        "\n{kind} allocation over {} units ({} used, {} predicted misses):",
-        lattice.total_units, allocation.total_units, allocation.predicted_misses
-    );
-    print_allocation_rows(&lattice, &allocation);
-
-    if windowed.windows.len() > 1 {
-        println!(
-            "\n{} windows of {} {}:",
-            windowed.windows.len(),
-            windowed.config.length,
-            match windowed.config.kind {
-                compmem_cache::WindowKind::Accesses => "L2-bound accesses",
-                compmem_cache::WindowKind::Cycles => "cycles",
-                compmem_cache::WindowKind::WholeRun => "whole-run",
-            }
-        );
-        for w in &windowed.windows {
-            println!(
-                "  window {:>3}  cycles {:>10}..{:<10}  {:>8} accesses  missrate {:>6.2}%",
-                w.index,
-                w.start_cycle,
-                w.end_cycle,
-                w.curves.accesses(),
-                100.0
-                    * w.curves
-                        .aggregate
-                        .miss_rate(geometry.sets(), geometry.ways())
-                        .unwrap_or(0.0),
-            );
-        }
-    }
-
-    if let Some(threshold) = phase_threshold {
-        phase_report(&windowed, threshold, &trace, &lattice, geometry, kind)?;
-    }
-    Ok(())
-}
-
-fn print_profile_table(lattice: &CacheSizeLattice, profiles: &compmem::MissProfiles) {
-    print!("{:<16} {:>10}", "entity", "accesses");
-    for &units in &lattice.candidate_units {
-        print!(" {:>9}", format!("{units}u"));
-    }
-    println!();
-    for (key, profile) in &profiles.profiles {
-        print!("{:<16} {:>10}", key.to_string(), profile.accesses);
-        for &units in &lattice.candidate_units {
-            print!(" {:>9}", profile.misses_at(units));
-        }
-        println!();
-    }
-}
-
-fn solve_allocation(
-    table: &RegionTable,
-    lattice: &CacheSizeLattice,
-    geometry: compmem_cache::CacheGeometry,
-    profiles: compmem::MissProfiles,
-    kind: OptimizerKind,
-) -> Result<compmem::Allocation, String> {
-    let problem = allocation_problem_for_table(table, lattice, geometry, profiles);
-    compmem::optimizer::solve(&problem, kind).map_err(|e| e.to_string())
-}
-
-fn print_allocation_rows(lattice: &CacheSizeLattice, allocation: &compmem::Allocation) {
-    for (key, &units) in allocation.iter() {
-        println!(
-            "  {:<16} {:>4} units = {:>5} sets",
-            key.to_string(),
-            units,
-            lattice.sets_of(units)
-        );
-    }
-}
-
-/// Detects phases in a windowed profile and re-runs the solver per phase
-/// (through the same [`phase_allocations_for_table`] flow the library's
-/// `Experiment::phase_allocations` uses).
-fn phase_report(
-    windowed: &WindowedCurves,
-    threshold: f64,
-    trace: &PreparedTrace,
-    lattice: &CacheSizeLattice,
-    geometry: compmem_cache::CacheGeometry,
-    kind: OptimizerKind,
-) -> Result<(), String> {
-    let plan =
-        phase_allocations_for_table(windowed, threshold, trace.table(), lattice, geometry, kind)
-            .map_err(|e| e.to_string())?;
-    println!(
-        "\n{} phase(s) at curve-delta threshold {threshold} \
-         (allocations re-solved per phase):",
-        plan.phases.len()
-    );
-    for (i, phase) in plan.phases.iter().enumerate() {
-        println!(
-            "phase {i}: windows {}..={} (cycles {}..{}), {} accesses, \
-             {} predicted misses:",
-            phase.first_window,
-            phase.last_window,
-            phase.start_cycle,
-            phase.end_cycle,
-            phase.accesses,
-            phase.allocation.predicted_misses
-        );
-        print_allocation_rows(lattice, &phase.allocation);
-    }
-    Ok(())
-}
-
-fn sweep_shapes(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    let (trace, trace_path) = load_trace_with_path(&flags)?;
-    let l2 = l2_config(&flags)?;
-    require_lru_for_profiling(l2)?;
-    let geometry = l2.geometry();
-    let sets_per_unit: u32 = get(&flags, "sets-per-unit")
-        .unwrap_or("16")
-        .parse()
-        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
-    let resolution =
-        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
-    let check_replay = match get(&flags, "check-replay").unwrap_or("off") {
+    let background = match get(&flags, "background").unwrap_or("off") {
         "on" => true,
         "off" => false,
-        other => return Err(format!("--check-replay needs on or off, not `{other}`")),
+        other => return Err(format!("--background needs on or off, not `{other}`")),
     };
-    let sidecar = save_curves_path(&flags, &trace_path, WindowConfig::whole_run())?;
-    let jobs = jobs_flag(&flags)?;
-    let lanes = lanes_flag(&flags)?;
-
-    let platform = PlatformConfig::default();
-    let windowed = profile_with_policy(
-        &platform,
-        &trace,
-        resolution,
-        WindowConfig::whole_run(),
-        sidecar.as_deref(),
-        lanes,
-    )?;
-    let sweep = sweep_shapes_from_curves(&windowed.total);
-
-    println!(
-        "analytic shape sweep from one pass over {} L2-bound accesses \
-         ({} shapes, no replay per shape):",
-        sweep.accesses,
-        sweep.points.len()
-    );
-    // Each row is a set count; total capacity at a cell is
-    // sets x ways x 64 B, i.e. the row's per-way size times the column's
-    // way count.
-    let ways = sweep.way_counts();
-    print!("{:<10} {:>10}", "L2 sets", "way size");
-    for w in &ways {
-        print!(" {:>12}", format!("{w}-way misses"));
+    let options = ServeOptions {
+        store,
+        addr: format!("127.0.0.1:{port}"),
+        jobs,
+    };
+    if background {
+        serve_background(&options, port, jobs)
+    } else {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        run_serve(&options, &mut out)
     }
-    println!();
-    for sets in sweep.set_counts() {
-        let way_bytes = u64::from(sets) * 64;
-        let way_size = if way_bytes >= 1024 {
-            format!("{} KB", way_bytes / 1024)
-        } else {
-            format!("{way_bytes} B")
-        };
-        print!("{sets:<10} {way_size:>10}");
-        for &w in &ways {
-            let point = sweep.point(sets, w).expect("sweep covers the grid");
-            print!(" {:>12}", point.misses);
-        }
-        println!();
-    }
-
-    if check_replay {
-        verify_sweep_against_replay(&platform, &trace, &sweep, jobs)?;
-        println!(
-            "replay cross-check: all {} shapes match the analytic sweep exactly",
-            sweep.points.len()
-        );
-    }
-    Ok(())
 }
 
-/// Replays the trace at every shape of the sweep and verifies the
-/// analytic miss counts point for point.
-fn verify_sweep_against_replay(
-    platform: &PlatformConfig,
-    trace: &Arc<PreparedTrace>,
-    sweep: &compmem::experiment::ShapeSweep,
-    jobs: usize,
-) -> Result<(), String> {
-    // Every shape replays the same immutable trace, so the cross-check
-    // fans out on the work-stealing pool like the main sweep does.
-    let outcomes = compmem::executor::run_batch(&sweep.points, jobs, |_, point| {
-        let l2 = CacheConfig::new(point.sets, point.ways).map_err(CoreError::from)?;
-        let spec = ScenarioSpec::replay(l2, OrganizationSpec::Shared, Arc::clone(trace));
-        run_replay(platform, &spec)
-    });
-    for (point, outcome) in sweep.points.iter().zip(outcomes) {
-        let outcome = outcome.map_err(|e| e.to_string())?;
-        if outcome.report.l2.misses != point.misses {
+/// Re-executes this binary as a detached foreground daemon with its
+/// output redirected to `<store>/serve.log`, waits until the socket
+/// accepts connections, and returns. The child must not inherit stdout:
+/// scripts capture `compmem serve --background on` with command
+/// substitution, which would otherwise block until the daemon exits.
+fn serve_background(options: &ServeOptions, port: u16, jobs: usize) -> Result<(), String> {
+    std::fs::create_dir_all(&options.store)
+        .map_err(|e| format!("cannot create store {}: {e}", options.store))?;
+    let log_path = std::path::Path::new(&options.store).join("serve.log");
+    let log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&log_path)
+        .map_err(|e| format!("cannot open {}: {e}", log_path.display()))?;
+    let log_err = log
+        .try_clone()
+        .map_err(|e| format!("cannot clone log handle: {e}"))?;
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--store",
+            &options.store,
+            "--port",
+            &port.to_string(),
+            "--jobs",
+            &jobs.to_string(),
+            "--background",
+            "off",
+        ])
+        .stdin(std::process::Stdio::null())
+        .stdout(log)
+        .stderr(log_err)
+        .spawn()
+        .map_err(|e| format!("cannot spawn daemon: {e}"))?;
+    // Wait for the daemon to accept — or to die early (port in use,
+    // unwritable store), in which case surface its exit instead of
+    // spinning for the full timeout.
+    let addr = format!("127.0.0.1:{port}");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if TcpStream::connect(&addr).is_ok() {
+            break;
+        }
+        if let Ok(Some(status)) = child.try_wait() {
             return Err(format!(
-                "analytic sweep diverged from replay at {} sets x {} ways: \
-                 analytic {} misses, replay {}",
-                point.sets, point.ways, point.misses, outcome.report.l2.misses
+                "daemon exited during startup ({status}); see {}",
+                log_path.display()
             ));
         }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "daemon did not start listening on {addr} within 10s; see {}",
+                log_path.display()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
     }
+    println!(
+        "compmem serve: daemon running on {addr} (pid {}, log {})",
+        child.id(),
+        log_path.display()
+    );
     Ok(())
 }
 
-fn info(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    let (trace, trace_path) = load_trace_with_path(&flags)?;
-    let summary = trace.summary();
-    println!(
-        "trace IR version {} ({} processors), content hash {:016x}",
-        trace.trace().version(),
-        summary.processors,
-        trace.trace().content_hash()
-    );
-    println!(
-        "{} accesses in {} runs; {} bytes ({:.2} bytes/access)",
-        summary.accesses,
-        summary.runs,
-        summary.encoded_bytes,
-        summary.bytes_per_access()
-    );
-    // The segment directory is what lets replay tools slice the stream
-    // without a full decode; v1 streams have none and replay as one unit.
-    let segments = trace.trace().segment_directory();
-    if segments.is_empty() {
-        println!(
-            "segment directory: none (v{} stream replays as a single unit)",
-            trace.trace().version()
+fn client(args: &[String]) -> Result<(), String> {
+    let Some(verb) = args.first() else {
+        return Err(
+            "client needs a verb: put, profile, sweep-shapes, schedule, info, stats or shutdown"
+                .to_string(),
         );
-    } else {
-        println!(
-            "segment directory: {} segments, ~{} accesses/segment, {} region snapshots",
-            segments.len(),
-            summary.accesses / segments.len() as u64,
-            segments.iter().map(|s| s.regions.len()).sum::<usize>()
-        );
-    }
-    // The embedded region table is the identity the codec validates every
-    // DEF_REGION record against — print it in full (index, name, kind,
-    // address range, size) so corrupt-trace errors can be acted on.
-    println!("embedded region table ({} regions):", trace.table().len());
-    for region in trace.table().iter() {
-        println!("  [{}] {region}", region.id.index());
-    }
-    // The lane-eligibility verdict per organisation: which scenarios a
-    // `replay --lanes N` / `sweep --lanes N` over this trace can split
-    // into per-partition-key lanes, and — when they cannot — why. Sized
-    // by --l2-kb/--ways (default 64 KB, 4-way) because way-partitioned
-    // eligibility depends on whether the allocation's masks overlap.
-    let l2 = l2_config(&flags)?;
-    let geometry = l2.geometry();
-    println!(
-        "lane eligibility at a {} KB {}-way L2:",
-        geometry.size_bytes() / 1024,
-        geometry.ways()
-    );
-    for name in ["shared", "set-partitioned", "way-partitioned", "profiling"] {
-        match organization(name, l2, trace.table()) {
-            Err(e) => println!("  {name:<16} unavailable ({e})"),
-            Ok(org) => match lane_eligibility(l2, &PartitionSchedule::single(org), trace.table()) {
-                Ok(keys) => println!(
-                    "  {name:<16} eligible — {} lanes (one per partition key)",
-                    keys.len()
-                ),
-                Err(reason) => println!("  {name:<16} ineligible — {reason}"),
-            },
-        }
-    }
-    if let Some(path) = get(&flags, "schedule") {
-        let schedule = parse_schedule_file(path, l2)?;
-        println!("schedule {path}: {schedule}");
-        print_schedule_steps(&schedule);
-        match schedule.validate_for(l2.geometry(), trace.table()) {
-            Ok(()) => println!("  validates against this trace's region table: ok"),
-            Err(e) => println!("  DOES NOT validate against this trace: {e}"),
-        }
-    }
-    let sidecar = sidecar_path(&trace_path);
-    match EncodedCurves::read_from(&sidecar) {
-        Ok(curves) => {
-            let header = curves.header();
-            let matches = curves.validate_for_trace(trace.trace().bytes()).is_ok();
+    };
+    let flags = parse_flags(&args[1..])?;
+    let port = get(&flags, "port").unwrap_or(DEFAULT_PORT);
+    let addr = format!("127.0.0.1:{port}");
+    let mut client = ServeClient::connect(&addr).map_err(|e| e.to_string())?;
+
+    match verb.as_str() {
+        "put" => {
+            let path = get(&flags, "trace").ok_or("client put needs --trace FILE")?;
+            let (hash, existed) = put_trace(&mut client, path)?;
             println!(
-                "curve sidecar {}: {} window(s), sets {}..={}, up to {} ways — {}",
-                sidecar.display(),
-                curves.windows().len(),
-                header.min_sets,
-                header.max_sets,
-                header.ways_cap,
-                if matches {
-                    "matches this trace"
-                } else {
-                    "STALE (recorded over different trace bytes)"
-                }
+                "stored trace {hash:016x} from {path}{}",
+                if existed { " (already present)" } else { "" }
             );
+            Ok(())
         }
-        Err(compmem_trace::CodecError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-            println!("curve sidecar {}: not present", sidecar.display());
+        "stats" => match client
+            .request(&ServeRequest::Stats)
+            .map_err(|e| e.to_string())?
+        {
+            ServeResponse::Stats(stats) => {
+                print_stats(&stats);
+                Ok(())
+            }
+            other => Err(format!("unexpected response {other:?}")),
+        },
+        "shutdown" => {
+            match client
+                .request(&ServeRequest::Shutdown)
+                .map_err(|e| e.to_string())?
+            {
+                ServeResponse::ShuttingDown => {
+                    println!("daemon on {addr} is shutting down");
+                    Ok(())
+                }
+                other => Err(format!("unexpected response {other:?}")),
+            }
         }
-        Err(e) => println!("curve sidecar {}: unusable ({e})", sidecar.display()),
+        command_verb @ ("profile" | "sweep-shapes" | "schedule" | "info") => {
+            let hash = match (get(&flags, "hash"), get(&flags, "trace")) {
+                (Some(_), Some(_)) => {
+                    return Err("--hash and --trace are exclusive".to_string());
+                }
+                (Some(hex), None) => u64::from_str_radix(hex, 16)
+                    .map_err(|_| format!("--hash needs a hex content hash, not `{hex}`"))?,
+                (None, Some(path)) => put_trace(&mut client, path)?.0,
+                (None, None) => {
+                    return Err(format!(
+                        "client {command_verb} needs --trace FILE (upload and use) \
+                         or --hash HEX (an already stored trace)"
+                    ));
+                }
+            };
+            // Forward every flag except the client-side ones, preserving
+            // the original order (parity requires the daemon to see the
+            // argv a one-shot invocation would).
+            let forwarded: Vec<String> = flags
+                .iter()
+                .filter(|(name, _)| !matches!(name.as_str(), "port" | "trace" | "hash"))
+                .flat_map(|(name, value)| [format!("--{name}"), value.clone()])
+                .collect();
+            let request = ServeRequest::Command {
+                trace: hash,
+                verb: command_verb.to_string(),
+                args: forwarded,
+            };
+            match client.request(&request).map_err(|e| e.to_string())? {
+                ServeResponse::Output { bytes } => {
+                    let stdout = std::io::stdout();
+                    let mut out = stdout.lock();
+                    out.write_all(&bytes)
+                        .and_then(|()| out.flush())
+                        .map_err(|e| format!("cannot write response: {e}"))
+                }
+                ServeResponse::Error { kind, message } => {
+                    Err(format!("daemon refused ({}): {message}", kind.label()))
+                }
+                other => Err(format!("unexpected response {other:?}")),
+            }
+        }
+        other => Err(format!(
+            "unknown client verb `{other}` (use put, profile, sweep-shapes, schedule, \
+             info, stats or shutdown)"
+        )),
     }
-    Ok(())
+}
+
+/// Uploads a trace file and returns its content hash. Validates the hash
+/// locally first so a corrupt upload fails client-side with the file
+/// name, and cross-checks the daemon's answer.
+fn put_trace(client: &mut ServeClient, path: &str) -> Result<(u64, bool), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let local_hash = trace_content_hash(&bytes);
+    match client
+        .request(&ServeRequest::PutTrace { bytes })
+        .map_err(|e| e.to_string())?
+    {
+        ServeResponse::PutOk { hash, existed } => {
+            if hash != local_hash {
+                return Err(format!(
+                    "daemon stored {path} as {hash:016x} but its local hash is \
+                     {local_hash:016x}"
+                ));
+            }
+            Ok((hash, existed))
+        }
+        ServeResponse::Error { kind, message } => {
+            Err(format!("daemon refused ({}): {message}", kind.label()))
+        }
+        other => Err(format!("unexpected response {other:?}")),
+    }
+}
+
+fn print_stats(stats: &ServeStats) {
+    println!("traces stored   {}", stats.traces);
+    println!("puts handled    {}", stats.puts);
+    println!("cache hits      {}", stats.cache_hits);
+    println!("cache misses    {}", stats.cache_misses);
+    println!("errors          {}", stats.errors);
 }

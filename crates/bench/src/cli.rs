@@ -1,0 +1,1370 @@
+//! The `compmem` CLI command bodies, as a library.
+//!
+//! Every subcommand of the `compmem` binary (`record`, `replay`, `sweep`,
+//! `profile`, `sweep-shapes`, `info`) lives here, parameterised on the
+//! output sink it writes to. The one-shot binary calls [`dispatch`] with
+//! (locked) stdout; the `compmem serve` daemon calls the *same* function
+//! with an in-memory buffer and ships the bytes over the wire. That
+//! sharing is the daemon's correctness contract — a served response is
+//! byte-identical to the one-shot CLI run because it **is** the one-shot
+//! CLI run, minus the process — and `docs/ARCHITECTURE.md` ("Service
+//! layer") documents it as such.
+//!
+//! Diagnostics that are *about the invocation* rather than part of the
+//! result (the lane-worker notice) still go to the process's stderr:
+//! stderr is not captured, not shipped, and not part of the parity
+//! contract.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use compmem::experiment::{
+    allocation_problem_for_table, phase_allocations_for_table, run_replay,
+    sweep_shapes_from_curves, validate_phase_plan, Experiment, ReplayParallelism, RunOutcome,
+    ScenarioSpec,
+};
+use compmem::{CoreError, OptimizerKind};
+use compmem_cache::{
+    CacheConfig, CacheSizeLattice, CurveResolution, OrganizationSpec, PartitionKey, PartitionMap,
+    PartitionSchedule, ReplacementPolicy, WayAllocation, WindowConfig, WindowedCurves,
+};
+use compmem_platform::{
+    lane_eligibility, profile_trace_windowed_lanes, profile_trace_with_sidecar_lanes,
+    PlatformConfig, PreparedTrace, SidecarOutcome,
+};
+use compmem_trace::{
+    curves::sidecar_path, BufferId, EncodedCurves, EncodedTrace, RegionTable, TaskId,
+};
+use compmem_workloads::apps::Application;
+
+use crate::{jpeg_canny_experiment, mpeg2_experiment, Scale};
+
+fn io_err(e: std::io::Error) -> String {
+    format!("output write failed: {e}")
+}
+
+/// `writeln!` into the command's sink, mapping the I/O error to the
+/// CLI's `String` error type.
+macro_rules! outln {
+    ($out:expr) => { writeln!($out).map_err(io_err)? };
+    ($out:expr, $($arg:tt)*) => { writeln!($out, $($arg)*).map_err(io_err)? };
+}
+
+/// `write!` (no newline) into the command's sink.
+macro_rules! outw {
+    ($out:expr, $($arg:tt)*) => { write!($out, $($arg)*).map_err(io_err)? };
+}
+
+/// Runs one `compmem` subcommand, writing its output (the exact bytes the
+/// one-shot binary would print to stdout) into `out`.
+///
+/// # Errors
+///
+/// The human-readable error message the binary would print to stderr.
+pub fn dispatch(verb: &str, args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    dispatch_preloaded(verb, args, None, out)
+}
+
+/// A trace the caller has already read and decoded: commands whose
+/// `--trace` flag names exactly `path` reuse `trace` instead of loading
+/// the file again. The `compmem serve` daemon passes its store's
+/// memoised decode here, so a cache-hit request costs the analytic
+/// evaluation alone — decoding is deterministic, so the output bytes are
+/// unchanged.
+pub struct PreloadedTrace {
+    /// The path the trace was read from (compared against `--trace`).
+    pub path: PathBuf,
+    /// The decoded trace, shared with the caller's cache.
+    pub trace: Arc<PreparedTrace>,
+}
+
+/// [`dispatch`] with an optional [`PreloadedTrace`].
+///
+/// # Errors
+///
+/// The human-readable error message the binary would print to stderr.
+pub fn dispatch_preloaded(
+    verb: &str,
+    args: &[String],
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    match verb {
+        "record" => record(args, out),
+        "replay" => replay(args, preloaded, out),
+        "sweep" => sweep(args, preloaded, out),
+        "profile" => profile(args, preloaded, out),
+        "sweep-shapes" => sweep_shapes(args, preloaded, out),
+        "info" => info(args, preloaded, out),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Minimal flag parser: every option takes one value.
+pub(crate) fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{flag}`"));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        out.push((name.to_string(), value.clone()));
+    }
+    Ok(out)
+}
+
+pub(crate) fn get<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Worker-pool size of a sweep: `--jobs N`, defaulting to the host's
+/// available parallelism.
+fn jobs_flag(flags: &[(String, String)]) -> Result<usize, String> {
+    match get(flags, "jobs") {
+        None => Ok(compmem::executor::default_jobs()),
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err("--jobs needs a number of at least 1".to_string()),
+        },
+    }
+}
+
+/// Segment-parallel L1-filter workers of a single replay/profile
+/// invocation: `--jobs N`, defaulting to 1 (serial). Unlike a sweep's
+/// batch pool there is only one replay to run, so parallelism is opt-in.
+fn segment_jobs_flag(flags: &[(String, String)]) -> Result<usize, String> {
+    match get(flags, "jobs") {
+        None => Ok(1),
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err("--jobs needs a number of at least 1".to_string()),
+        },
+    }
+}
+
+/// Lane count of a replay/profiling invocation: `--lanes N`, defaulting
+/// to 1 (serial).
+fn lanes_flag(flags: &[(String, String)]) -> Result<usize, String> {
+    match get(flags, "lanes") {
+        None => Ok(1),
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err("--lanes needs a number of at least 1".to_string()),
+        },
+    }
+}
+
+fn record(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let app = get(&flags, "app").ok_or("record needs --app jpeg_canny|mpeg2")?;
+    let out_path = get(&flags, "out").ok_or("record needs --out FILE")?;
+    let scale = match get(&flags, "scale") {
+        None => Scale::Small,
+        Some(name) => Scale::parse(name).ok_or_else(|| format!("unknown scale `{name}`"))?,
+    };
+    let org = get(&flags, "org").unwrap_or("shared");
+
+    let (outcome, trace) = match app {
+        "jpeg_canny" => record_with(&jpeg_canny_experiment(scale), org)?,
+        "mpeg2" => record_with(&mpeg2_experiment(scale), org)?,
+        other => return Err(format!("unknown app `{other}` (use jpeg_canny or mpeg2)")),
+    };
+    trace
+        .trace()
+        .write_to(out_path)
+        .map_err(|e| e.to_string())?;
+    let summary = trace.summary();
+    outln!(
+        out,
+        "recorded {app} ({org} L2): {} accesses in {} runs on {} processors",
+        summary.accesses,
+        summary.runs,
+        summary.processors
+    );
+    outln!(
+        out,
+        "  live run: {} cycles makespan, L2 miss rate {:.2}%",
+        outcome.report.makespan_cycles,
+        100.0 * outcome.report.l2_miss_rate()
+    );
+    outln!(
+        out,
+        "  wrote {out_path}: {} bytes ({:.2} bytes/access)",
+        summary.encoded_bytes,
+        summary.bytes_per_access()
+    );
+    Ok(())
+}
+
+fn record_with<F: Fn() -> Application>(
+    experiment: &Experiment<F>,
+    org: &str,
+) -> Result<(RunOutcome, Arc<PreparedTrace>), String> {
+    let spec = match org {
+        "shared" => experiment.shared_spec(),
+        "way-partitioned" => experiment.way_partitioned_spec(),
+        "profiling" => experiment.profiling_spec(),
+        other => {
+            return Err(format!(
+            "cannot record under organisation `{other}` (use shared, way-partitioned or profiling)"
+        ))
+        }
+    };
+    experiment.record_trace(&spec).map_err(|e| e.to_string())
+}
+
+fn load_trace(
+    flags: &[(String, String)],
+    preloaded: Option<&PreloadedTrace>,
+) -> Result<Arc<PreparedTrace>, String> {
+    load_trace_with_path(flags, preloaded).map(|(trace, _)| trace)
+}
+
+fn load_trace_with_path(
+    flags: &[(String, String)],
+    preloaded: Option<&PreloadedTrace>,
+) -> Result<(Arc<PreparedTrace>, PathBuf), String> {
+    let path = get(flags, "trace").ok_or("missing --trace FILE")?;
+    if let Some(ready) = preloaded {
+        if ready.path.as_os_str() == path {
+            return Ok((Arc::clone(&ready.trace), ready.path.clone()));
+        }
+    }
+    EncodedTrace::read_from(path)
+        .map(|trace| (Arc::new(PreparedTrace::from(trace)), PathBuf::from(path)))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Resolves the `--save-curves` policy: `None` disables persistence,
+/// otherwise the sidecar path to use. The `auto` default keys the path
+/// on the window configuration (`TRACE.curves` for whole-run,
+/// `TRACE.wN.curves` / `TRACE.cyN.curves` for windowed passes), so a
+/// windowed profile and a whole-run `sweep-shapes` each keep their own
+/// persisted curves instead of rewriting a shared file back and forth.
+pub(crate) fn save_curves_path(
+    flags: &[(String, String)],
+    trace_path: &Path,
+    window: WindowConfig,
+) -> Result<Option<PathBuf>, String> {
+    match get(flags, "save-curves").unwrap_or("auto") {
+        "off" => Ok(None),
+        "auto" => Ok(Some(match window.kind {
+            compmem_cache::WindowKind::WholeRun => sidecar_path(trace_path),
+            compmem_cache::WindowKind::Accesses => {
+                trace_path.with_extension(format!("w{}.curves", window.length))
+            }
+            compmem_cache::WindowKind::Cycles => {
+                trace_path.with_extension(format!("cy{}.curves", window.length))
+            }
+        })),
+        custom if !custom.is_empty() => Ok(Some(PathBuf::from(custom))),
+        _ => Err("--save-curves needs auto, off or a file path".to_string()),
+    }
+}
+
+/// The window configuration of a profiling invocation (`--windows` /
+/// `--window-cycles`; default: one whole-run window).
+pub(crate) fn window_config(flags: &[(String, String)]) -> Result<WindowConfig, String> {
+    match (get(flags, "windows"), get(flags, "window-cycles")) {
+        (Some(_), Some(_)) => Err("--windows and --window-cycles are exclusive".to_string()),
+        (Some(n), None) => {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| "--windows needs a number".to_string())?;
+            WindowConfig::accesses(n).map_err(|e| e.to_string())
+        }
+        (None, Some(n)) => {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| "--window-cycles needs a number".to_string())?;
+            WindowConfig::cycles(n).map_err(|e| e.to_string())
+        }
+        (None, None) => Ok(WindowConfig::whole_run()),
+    }
+}
+
+/// Profiles a trace, reusing or writing the sidecar as configured, and
+/// narrates what happened with the persistence layer.
+///
+/// `lanes > 1` runs the pass lane-parallel (one worker per partition-key
+/// shard, merged exactly); the notice goes to stderr because stdout —
+/// tables, sidecar narration, and the sidecar bytes themselves — is
+/// identical to a serial run, and CI diffs it to prove that.
+fn profile_with_policy(
+    platform: &PlatformConfig,
+    trace: &PreparedTrace,
+    resolution: CurveResolution,
+    window: WindowConfig,
+    sidecar: Option<&Path>,
+    lanes: usize,
+    out: &mut dyn Write,
+) -> Result<WindowedCurves, String> {
+    if lanes > 1 {
+        eprintln!("note: profiling on up to {lanes} lane workers (results match a serial pass)");
+    }
+    match sidecar {
+        None => profile_trace_windowed_lanes(platform, trace, resolution, window, lanes)
+            .map_err(|e| e.to_string()),
+        Some(path) => {
+            let (windowed, outcome) =
+                profile_trace_with_sidecar_lanes(platform, trace, resolution, window, path, lanes)
+                    .map_err(|e| e.to_string())?;
+            match outcome {
+                SidecarOutcome::Reused => outln!(
+                    out,
+                    "reusing persisted curves from {} (L1 filter pass skipped)",
+                    path.display()
+                ),
+                SidecarOutcome::Written => {
+                    outln!(out, "wrote curve sidecar {}", path.display());
+                }
+                SidecarOutcome::Rewritten { reason } => outln!(
+                    out,
+                    "sidecar {} was unusable ({reason}); re-profiled and rewrote it",
+                    path.display()
+                ),
+            }
+            Ok(windowed)
+        }
+    }
+}
+
+pub(crate) fn l2_config(flags: &[(String, String)]) -> Result<CacheConfig, String> {
+    let kb: u64 = get(flags, "l2-kb")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| "--l2-kb needs a number".to_string())?;
+    let ways: u32 = get(flags, "ways")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--ways needs a number".to_string())?;
+    let mut config = CacheConfig::with_size_bytes(kb * 1024, ways).map_err(|e| e.to_string())?;
+    if let Some(name) = get(flags, "policy") {
+        let policy = ReplacementPolicy::ALL
+            .into_iter()
+            .find(|p| p.to_string() == name)
+            .ok_or_else(|| format!("unknown replacement policy `{name}`"))?;
+        config = config.policy(policy);
+    }
+    Ok(config)
+}
+
+/// Rejects profiling-backed invocations over a non-LRU L2: the
+/// stack-distance curves are exact for LRU only, so a FIFO/PLRU/random
+/// `--policy` would silently produce predictions the replayed cache
+/// does not follow (the CLI-side twin of `CoreError::NonLruProfiling`).
+fn require_lru_for_profiling(l2: CacheConfig) -> Result<(), String> {
+    let policy = l2.replacement_policy();
+    if policy != ReplacementPolicy::Lru {
+        return Err(format!(
+            "stack-distance profiling is exact for LRU only; the scenario's L2 uses \
+             `{policy}` (drop --policy {policy} or use LRU)"
+        ));
+    }
+    Ok(())
+}
+
+fn organization(
+    name: &str,
+    l2: CacheConfig,
+    table: &RegionTable,
+) -> Result<OrganizationSpec, String> {
+    match name {
+        "shared" => Ok(OrganizationSpec::Shared),
+        "set-partitioned" => {
+            let keys = PartitionKey::distinct_keys(table);
+            PartitionMap::equal_split(l2.geometry(), &keys)
+                .map(OrganizationSpec::SetPartitioned)
+                .map_err(|e| e.to_string())
+        }
+        "way-partitioned" => Ok(OrganizationSpec::WayPartitioned(
+            WayAllocation::equal_split(l2.geometry(), &PartitionKey::distinct_keys(table)),
+        )),
+        "profiling" => Ok(OrganizationSpec::Profiling(
+            compmem_cache::CacheSizeLattice::new(l2.geometry(), 16),
+        )),
+        other => Err(format!("unknown organisation `{other}`")),
+    }
+}
+
+fn print_outcome_row(label: &str, outcome: &RunOutcome, out: &mut dyn Write) -> Result<(), String> {
+    let r = &outcome.report;
+    // Lane-parallel replays reproduce every cache-side counter exactly
+    // but do not reconstruct the global timing interleaving, so there is
+    // no makespan to report.
+    let makespan = match outcome.lane_decision {
+        Some(_) => "-".to_string(),
+        None => r.makespan_cycles.to_string(),
+    };
+    outln!(
+        out,
+        "{label:<24} {:>12} {:>12} {:>8.3}% {:>10} {:>14}",
+        r.l2.accesses,
+        r.l2.misses,
+        100.0 * r.l2_miss_rate(),
+        r.dram_accesses,
+        makespan
+    );
+    Ok(())
+}
+
+fn outcome_header(out: &mut dyn Write) -> Result<(), String> {
+    outln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>9} {:>10} {:>14}",
+        "organisation",
+        "l2 accesses",
+        "l2 misses",
+        "missrate",
+        "dram",
+        "makespan"
+    );
+    Ok(())
+}
+
+/// The partition-sizing solver of a profiling/scheduling invocation.
+fn solver_kind(flags: &[(String, String)]) -> Result<OptimizerKind, String> {
+    match get(flags, "solve").unwrap_or("exact-ilp") {
+        "exact-ilp" => Ok(OptimizerKind::ExactIlp),
+        "greedy" => Ok(OptimizerKind::Greedy),
+        "equal-split" => Ok(OptimizerKind::EqualSplit),
+        other => Err(format!("unknown solver `{other}`")),
+    }
+}
+
+/// The schedule-file token of a partition key (`task0`, `buffer3`,
+/// `app.data`, ...) — the inverse of [`parse_partition_key`].
+fn key_token(key: PartitionKey) -> String {
+    match key {
+        PartitionKey::Task(t) => format!("task{}", t.index()),
+        PartitionKey::Buffer(b) => format!("buffer{}", b.index()),
+        PartitionKey::AppData => "app.data".to_string(),
+        PartitionKey::AppBss => "app.bss".to_string(),
+        PartitionKey::RtData => "rt.data".to_string(),
+        PartitionKey::RtBss => "rt.bss".to_string(),
+    }
+}
+
+fn parse_partition_key(token: &str) -> Result<PartitionKey, String> {
+    if let Some(n) = token.strip_prefix("task") {
+        if let Ok(i) = n.parse::<u32>() {
+            return Ok(PartitionKey::Task(TaskId::new(i)));
+        }
+    }
+    if let Some(n) = token.strip_prefix("buffer") {
+        if let Ok(i) = n.parse::<u32>() {
+            return Ok(PartitionKey::Buffer(BufferId::new(i)));
+        }
+    }
+    match token {
+        "app.data" => Ok(PartitionKey::AppData),
+        "app.bss" => Ok(PartitionKey::AppBss),
+        "rt.data" => Ok(PartitionKey::RtData),
+        "rt.bss" => Ok(PartitionKey::RtBss),
+        other => Err(format!(
+            "unknown partition key `{other}` (use taskN, bufferN, app.data, app.bss, \
+             rt.data or rt.bss)"
+        )),
+    }
+}
+
+/// Parses the text schedule format: one step per line, `AT_CYCLE
+/// key=sets ...` (packed back to back in listed order) or `AT_CYCLE
+/// shared`; `#` starts a comment.
+fn parse_schedule_file(path: &str, l2: CacheConfig) -> Result<PartitionSchedule, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut steps = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| format!("{path}:{}: {what}", lineno + 1);
+        let mut parts = line.split_whitespace();
+        let at_cycle: u64 = parts
+            .next()
+            .expect("non-empty line has a first token")
+            .parse()
+            .map_err(|_| bad("step must start with its AT_CYCLE"))?;
+        let rest: Vec<&str> = parts.collect();
+        let organization = if rest == ["shared"] {
+            OrganizationSpec::Shared
+        } else if rest.is_empty() {
+            return Err(bad("step needs `shared` or key=sets assignments"));
+        } else {
+            // `key=sets` entries are packed back to back in listed order;
+            // `key=sets@base` pins the exact placement (what
+            // --save-schedule emits, so stable layouts round-trip). The
+            // two forms cannot mix within one step.
+            let mut sizes = Vec::with_capacity(rest.len());
+            let mut placed = PartitionMap::new(l2.geometry());
+            let mut explicit = 0usize;
+            for assignment in rest {
+                let (key, value) = assignment
+                    .split_once('=')
+                    .ok_or_else(|| bad("assignments are key=sets or key=sets@base"))?;
+                let key = parse_partition_key(key).map_err(|e| bad(&e))?;
+                let (sets, base) = match value.split_once('@') {
+                    None => (value, None),
+                    Some((sets, base)) => (
+                        sets,
+                        Some(
+                            base.parse::<u32>()
+                                .map_err(|_| bad("placement base must be a number"))?,
+                        ),
+                    ),
+                };
+                let sets: u32 = sets
+                    .parse()
+                    .map_err(|_| bad("assignment set count must be a number"))?;
+                match base {
+                    Some(base) => {
+                        explicit += 1;
+                        placed
+                            .assign(key, base, sets)
+                            .map_err(|e| bad(&e.to_string()))?;
+                    }
+                    None => sizes.push((key, sets)),
+                }
+            }
+            let map = match (explicit, sizes.is_empty()) {
+                (0, _) => {
+                    PartitionMap::pack(l2.geometry(), &sizes).map_err(|e| bad(&e.to_string()))?
+                }
+                (_, true) => placed,
+                _ => return Err(bad("cannot mix key=sets and key=sets@base in one step")),
+            };
+            OrganizationSpec::SetPartitioned(map)
+        };
+        steps.push((at_cycle, organization));
+    }
+    PartitionSchedule::new(steps).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Writes a schedule in the text format [`parse_schedule_file`] reads
+/// (set-partitioned maps are emitted in key order, which is also their
+/// packed layout order, so the file round-trips exactly).
+fn write_schedule_file(path: &str, schedule: &PartitionSchedule) -> Result<(), String> {
+    let mut out = String::from(
+        "# compmem partition schedule: AT_CYCLE key=sets@base ... | AT_CYCLE shared\n",
+    );
+    for step in schedule.steps() {
+        match &step.organization {
+            OrganizationSpec::Shared => {
+                out.push_str(&format!("{} shared\n", step.at_cycle));
+            }
+            OrganizationSpec::SetPartitioned(map) => {
+                out.push_str(&format!("{}", step.at_cycle));
+                for (key, partition) in map.iter() {
+                    out.push_str(&format!(
+                        " {}={}@{}",
+                        key_token(*key),
+                        partition.sets,
+                        partition.base_set
+                    ));
+                }
+                out.push('\n');
+            }
+            other => {
+                return Err(format!(
+                    "schedule files cannot express `{}` steps",
+                    other.label()
+                ))
+            }
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Prints one line per step: step 0 as a summary, every switch as the
+/// diff against its predecessor (only re-sized/moved partitions).
+fn print_schedule_steps(schedule: &PartitionSchedule, out: &mut dyn Write) -> Result<(), String> {
+    let mut previous: Option<&PartitionMap> = None;
+    for (i, step) in schedule.steps().iter().enumerate() {
+        outw!(
+            out,
+            "  step {i} @ cycle {:>10}: {}",
+            step.at_cycle,
+            step.organization.label()
+        );
+        if let OrganizationSpec::SetPartitioned(map) = &step.organization {
+            match previous {
+                None => outw!(
+                    out,
+                    " — {} partitions over {} sets",
+                    map.len(),
+                    map.assigned_sets()
+                ),
+                Some(prev) => {
+                    let changed: Vec<String> = map
+                        .iter()
+                        .filter_map(|(key, p)| {
+                            let old = prev.partition_for(*key);
+                            (old != Some(*p)).then(|| match old {
+                                Some(o) if o.sets != p.sets => {
+                                    format!("{key} {}->{} sets", o.sets, p.sets)
+                                }
+                                Some(_) => format!("{key} moved"),
+                                None => format!("{key} +{} sets", p.sets),
+                            })
+                        })
+                        .collect();
+                    if changed.is_empty() {
+                        outw!(out, " — unchanged");
+                    } else {
+                        outw!(out, " — {}", changed.join(", "));
+                    }
+                }
+            }
+            previous = Some(map);
+        }
+        outln!(out);
+    }
+    Ok(())
+}
+
+fn replay(
+    args: &[String],
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    match get(&flags, "schedule") {
+        None => replay_static(&flags, preloaded, out),
+        Some("phases") => replay_phase_schedule(&flags, preloaded, out),
+        Some(path) => {
+            let path = path.to_string();
+            replay_schedule_file(&flags, &path, preloaded, out)
+        }
+    }
+}
+
+/// The [`ReplayParallelism`] of a single replay invocation. `--lanes`
+/// on `replay` is **required**: asking for lanes on a scenario that
+/// cannot split exactly is a hard error naming the reason, never a
+/// silent serial run.
+fn replay_parallelism(flags: &[(String, String)]) -> Result<ReplayParallelism, String> {
+    let lanes = lanes_flag(flags)?;
+    let request = if lanes > 1 {
+        ReplayParallelism::required_lanes(lanes)
+    } else {
+        ReplayParallelism::default()
+    };
+    Ok(request.with_segment_jobs(segment_jobs_flag(flags)?))
+}
+
+/// Narrates how a laned replay split (printed after the outcome row).
+fn print_lane_decision(outcome: &RunOutcome, out: &mut dyn Write) -> Result<(), String> {
+    if let Some(decision) = outcome.lane_decision {
+        match decision.fallback {
+            None => outln!(
+                out,
+                "lane split: {} per-key lanes on up to {} workers (cache-side counters \
+                 lane-exact; no makespan)",
+                decision.lanes,
+                decision.requested
+            ),
+            Some(reason) => outln!(out, "lane split: fell back to one serial lane — {reason}",),
+        }
+    }
+    Ok(())
+}
+
+fn replay_static(
+    flags: &[(String, String)],
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let trace = load_trace(flags, preloaded)?;
+    let l2 = l2_config(flags)?;
+    let org_name = get(flags, "org").unwrap_or("shared");
+    let org = organization(org_name, l2, trace.table())?;
+    let parallelism = replay_parallelism(flags)?;
+    let spec = ScenarioSpec::replay(l2, org, trace.clone()).with_parallelism(parallelism);
+    let outcome = run_replay(&PlatformConfig::default(), &spec).map_err(|e| e.to_string())?;
+    outln!(
+        out,
+        "replayed {} accesses on {} processors under `{}`",
+        trace.accesses(),
+        trace.processors(),
+        org_name
+    );
+    outcome_header(out)?;
+    print_outcome_row(org_name, &outcome, out)?;
+    print_lane_decision(&outcome, out)?;
+    Ok(())
+}
+
+/// The validation driver behind `replay --schedule phases`: derive a
+/// per-phase schedule from a windowed profile of the trace, then replay
+/// static-best and phase-scheduled on the same traffic.
+fn replay_phase_schedule(
+    flags: &[(String, String)],
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    if get(flags, "lanes").is_some() {
+        return Err(
+            "replay --schedule phases validates a timing-derived schedule end to end; \
+             --lanes is not supported here (use a static or schedule-file replay)"
+                .to_string(),
+        );
+    }
+    let (trace, trace_path) = load_trace_with_path(flags, preloaded)?;
+    let l2 = l2_config(flags)?;
+    require_lru_for_profiling(l2)?;
+    let geometry = l2.geometry();
+    let sets_per_unit: u32 = get(flags, "sets-per-unit")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
+    let resolution =
+        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
+    let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
+    let kind = solver_kind(flags)?;
+    let windows: u64 = get(flags, "windows")
+        .unwrap_or("400")
+        .parse()
+        .map_err(|_| "--windows needs a number".to_string())?;
+    let window = WindowConfig::accesses(windows).map_err(|e| e.to_string())?;
+    let threshold: f64 = get(flags, "phases")
+        .unwrap_or("0.1")
+        .parse()
+        .map_err(|_| "--phases needs a curve-delta threshold".to_string())?;
+    let sidecar = save_curves_path(flags, &trace_path, window)?;
+
+    let platform = PlatformConfig::default();
+    let windowed = profile_with_policy(
+        &platform,
+        &trace,
+        resolution,
+        window,
+        sidecar.as_deref(),
+        1,
+        out,
+    )?;
+    let plan = phase_allocations_for_table(
+        &windowed,
+        threshold,
+        trace.table(),
+        &lattice,
+        geometry,
+        kind,
+    )
+    .map_err(|e| e.to_string())?;
+    outln!(
+        out,
+        "derived {} phase(s) from {} windows of {} L2-bound accesses (curve-delta {threshold})",
+        plan.phases.len(),
+        windowed.windows.len(),
+        windows
+    );
+    let validation =
+        validate_phase_plan(&platform, l2, &lattice, &plan, &trace).map_err(|e| e.to_string())?;
+
+    if let Some(path) = get(flags, "save-schedule") {
+        write_schedule_file(path, &validation.schedule)?;
+        outln!(out, "wrote schedule file {path}");
+    }
+
+    let spec = ScenarioSpec::scheduled_replay(l2, validation.schedule.clone(), trace.clone());
+    outln!(out, "scenario: {spec}");
+    outcome_header(out)?;
+    print_outcome_row("static whole-run", &validation.static_outcome, out)?;
+    print_outcome_row("phase-scheduled", &validation.scheduled_outcome, out)?;
+    print_repartition_report(&validation, out)?;
+    Ok(())
+}
+
+fn print_repartition_report(
+    validation: &compmem::experiment::ScheduleValidation,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let records = &validation.scheduled_outcome.report.repartitions;
+    outln!(out, "repartition events ({} fired):", records.len());
+    for record in records {
+        outln!(
+            out,
+            "  step {} @ cycle {:>10}: {}",
+            record.step,
+            record.at_cycle,
+            record.flush
+        );
+    }
+    outln!(
+        out,
+        "{:<10} {:>22} {:>10} {:>10} {:>7}",
+        "phase",
+        "cycles",
+        "predicted",
+        "measured",
+        "delta"
+    );
+    for comparison in &validation.phases {
+        outln!(
+            out,
+            "{:<10} {:>22} {:>10} {:>10} {:>+7}",
+            format!("phase {}", comparison.phase),
+            format!("{}..{}", comparison.start_cycle, comparison.end_cycle),
+            comparison.predicted_misses,
+            comparison.measured_misses,
+            comparison.delta()
+        );
+    }
+    outln!(
+        out,
+        "scheduled vs static: {:+} L2 misses ({} across all switches)",
+        -validation.measured_improvement(),
+        validation.total_flush()
+    );
+    Ok(())
+}
+
+/// Replays the trace under a schedule file (`replay --schedule PATH`).
+fn replay_schedule_file(
+    flags: &[(String, String)],
+    path: &str,
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let trace = load_trace(flags, preloaded)?;
+    let l2 = l2_config(flags)?;
+    let schedule = parse_schedule_file(path, l2)?;
+    schedule
+        .validate_for(l2.geometry(), trace.table())
+        .map_err(|e| format!("{path}: {e}"))?;
+    let parallelism = replay_parallelism(flags)?;
+    let spec =
+        ScenarioSpec::scheduled_replay(l2, schedule, trace.clone()).with_parallelism(parallelism);
+    outln!(out, "scenario: {spec}");
+    let outcome = run_replay(&PlatformConfig::default(), &spec).map_err(|e| e.to_string())?;
+    outln!(
+        out,
+        "replayed {} accesses on {} processors under the schedule",
+        trace.accesses(),
+        trace.processors(),
+    );
+    outcome_header(out)?;
+    print_outcome_row("scheduled", &outcome, out)?;
+    print_lane_decision(&outcome, out)?;
+    outln!(
+        out,
+        "repartition events ({} fired):",
+        outcome.report.repartitions.len()
+    );
+    for record in &outcome.report.repartitions {
+        outln!(
+            out,
+            "  step {} @ cycle {:>10}: {}",
+            record.step,
+            record.at_cycle,
+            record.flush
+        );
+    }
+    Ok(())
+}
+
+fn sweep(
+    args: &[String],
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let trace = load_trace(&flags, preloaded)?;
+    let sizes: Vec<u64> = get(&flags, "l2-kb")
+        .unwrap_or("64")
+        .split(',')
+        .map(|s| s.parse().map_err(|_| format!("bad L2 size `{s}`")))
+        .collect::<Result<_, _>>()?;
+    let ways: u32 = get(&flags, "ways")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--ways needs a number".to_string())?;
+    let jobs = jobs_flag(&flags)?;
+    let lanes = lanes_flag(&flags)?;
+    // Lanes on a sweep are opportunistic: rows whose organisation cannot
+    // split exactly (shared, overlapping way masks) fall back to one
+    // serial lane instead of failing, so the grid always fills. The
+    // cache-side counters are identical either way.
+    let parallelism = if lanes > 1 {
+        ReplayParallelism::lanes(lanes)
+    } else {
+        ReplayParallelism::default()
+    };
+    let platform = PlatformConfig::default();
+
+    let lane_note = if lanes > 1 {
+        format!(", up to {lanes} lanes/row")
+    } else {
+        String::new()
+    };
+    outln!(
+        out,
+        "sweeping {} organisations x {} L2 sizes over {} recorded accesses ({jobs} jobs{lane_note})",
+        3,
+        sizes.len(),
+        trace.accesses()
+    );
+    // The whole (size x organisation) grid is one batch on the bounded
+    // work-stealing pool: at most `jobs` worker threads regardless of how
+    // many sizes are swept, with slow rows (big partitioned replays)
+    // stolen by idle workers. Rows whose spec cannot be built (e.g. more
+    // entities than ways) are reported in place, and a panicking row
+    // surfaces as its own error instead of aborting the sweep.
+    let mut grid: Vec<(u64, &str, Result<ScenarioSpec, String>)> = Vec::new();
+    for &kb in &sizes {
+        let l2 = CacheConfig::with_size_bytes(kb * 1024, ways).map_err(|e| e.to_string())?;
+        for name in ["shared", "set-partitioned", "way-partitioned"] {
+            let spec = organization(name, l2, trace.table()).map(|org| {
+                ScenarioSpec::replay(l2, org, trace.clone()).with_parallelism(parallelism)
+            });
+            grid.push((kb, name, spec));
+        }
+    }
+    let outcomes = compmem::executor::run_batch(&grid, jobs, |_, (_, _, spec)| match spec {
+        Ok(spec) => run_replay(&platform, spec),
+        Err(message) => Err(CoreError::Infeasible {
+            reason: message.clone(),
+        }),
+    });
+    for ((kb, name, spec), outcome) in grid.iter().zip(&outcomes) {
+        if *name == "shared" {
+            outln!(out, "\nL2 = {kb} KB, {ways}-way:");
+            outcome_header(out)?;
+        }
+        match (spec, outcome) {
+            (Err(e), _) => outln!(out, "{name:<24} (skipped: {e})"),
+            (Ok(_), Ok(outcome)) => print_outcome_row(name, outcome, out)?,
+            (Ok(_), Err(e)) => outln!(out, "{name:<24} (failed: {e})"),
+        }
+    }
+    Ok(())
+}
+
+fn profile(
+    args: &[String],
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (trace, trace_path) = load_trace_with_path(&flags, preloaded)?;
+    let l2 = l2_config(&flags)?;
+    require_lru_for_profiling(l2)?;
+    let geometry = l2.geometry();
+    let sets_per_unit: u32 = get(&flags, "sets-per-unit")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
+    let resolution =
+        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
+    let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
+    let kind = solver_kind(&flags)?;
+    let window = window_config(&flags)?;
+    let sidecar = save_curves_path(&flags, &trace_path, window)?;
+    // Validate before the (potentially expensive) profiling pass.
+    let phase_threshold: Option<f64> = get(&flags, "phases")
+        .map(|t| {
+            t.parse()
+                .map_err(|_| "--phases needs a curve-delta threshold".to_string())
+        })
+        .transpose()?;
+
+    let lanes = lanes_flag(&flags)?;
+    let seg_jobs = segment_jobs_flag(&flags)?;
+    let platform = PlatformConfig::default();
+    if seg_jobs > 1 {
+        // Pre-warm the filtered-trace cache segment-parallel: the lane
+        // workers then share the one filtered stream.
+        trace
+            .filtered_for_jobs(&platform, seg_jobs)
+            .map_err(|e| e.to_string())?;
+    }
+    let windowed = profile_with_policy(
+        &platform,
+        &trace,
+        resolution,
+        window,
+        sidecar.as_deref(),
+        lanes,
+        out,
+    )?;
+    let curves = &windowed.total;
+    let profiles = curves
+        .to_profiles(&lattice, geometry.ways())
+        .map_err(|e| e.to_string())?;
+
+    outln!(
+        out,
+        "profiled {} recorded accesses ({} L2-bound after the L1 filter) in one pass",
+        trace.accesses(),
+        curves.accesses()
+    );
+    outln!(
+        out,
+        "misses per entity by exclusive partition size ({} sets = {} B per unit):",
+        sets_per_unit,
+        lattice.unit_bytes(geometry)
+    );
+    print_profile_table(&lattice, &profiles, out)?;
+
+    let allocation = solve_allocation(trace.table(), &lattice, geometry, profiles, kind)?;
+    outln!(
+        out,
+        "\n{kind} allocation over {} units ({} used, {} predicted misses):",
+        lattice.total_units,
+        allocation.total_units,
+        allocation.predicted_misses
+    );
+    print_allocation_rows(&lattice, &allocation, out)?;
+
+    if windowed.windows.len() > 1 {
+        outln!(
+            out,
+            "\n{} windows of {} {}:",
+            windowed.windows.len(),
+            windowed.config.length,
+            match windowed.config.kind {
+                compmem_cache::WindowKind::Accesses => "L2-bound accesses",
+                compmem_cache::WindowKind::Cycles => "cycles",
+                compmem_cache::WindowKind::WholeRun => "whole-run",
+            }
+        );
+        for w in &windowed.windows {
+            outln!(
+                out,
+                "  window {:>3}  cycles {:>10}..{:<10}  {:>8} accesses  missrate {:>6.2}%",
+                w.index,
+                w.start_cycle,
+                w.end_cycle,
+                w.curves.accesses(),
+                100.0
+                    * w.curves
+                        .aggregate
+                        .miss_rate(geometry.sets(), geometry.ways())
+                        .unwrap_or(0.0),
+            );
+        }
+    }
+
+    if let Some(threshold) = phase_threshold {
+        phase_report(&windowed, threshold, &trace, &lattice, geometry, kind, out)?;
+    }
+    Ok(())
+}
+
+fn print_profile_table(
+    lattice: &CacheSizeLattice,
+    profiles: &compmem::MissProfiles,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    outw!(out, "{:<16} {:>10}", "entity", "accesses");
+    for &units in &lattice.candidate_units {
+        outw!(out, " {:>9}", format!("{units}u"));
+    }
+    outln!(out);
+    for (key, profile) in &profiles.profiles {
+        outw!(out, "{:<16} {:>10}", key.to_string(), profile.accesses);
+        for &units in &lattice.candidate_units {
+            outw!(out, " {:>9}", profile.misses_at(units));
+        }
+        outln!(out);
+    }
+    Ok(())
+}
+
+fn solve_allocation(
+    table: &RegionTable,
+    lattice: &CacheSizeLattice,
+    geometry: compmem_cache::CacheGeometry,
+    profiles: compmem::MissProfiles,
+    kind: OptimizerKind,
+) -> Result<compmem::Allocation, String> {
+    let problem = allocation_problem_for_table(table, lattice, geometry, profiles);
+    compmem::optimizer::solve(&problem, kind).map_err(|e| e.to_string())
+}
+
+fn print_allocation_rows(
+    lattice: &CacheSizeLattice,
+    allocation: &compmem::Allocation,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    for (key, &units) in allocation.iter() {
+        outln!(
+            out,
+            "  {:<16} {:>4} units = {:>5} sets",
+            key.to_string(),
+            units,
+            lattice.sets_of(units)
+        );
+    }
+    Ok(())
+}
+
+/// Detects phases in a windowed profile and re-runs the solver per phase
+/// (through the same [`phase_allocations_for_table`] flow the library's
+/// `Experiment::phase_allocations` uses).
+#[allow(clippy::too_many_arguments)]
+fn phase_report(
+    windowed: &WindowedCurves,
+    threshold: f64,
+    trace: &PreparedTrace,
+    lattice: &CacheSizeLattice,
+    geometry: compmem_cache::CacheGeometry,
+    kind: OptimizerKind,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let plan =
+        phase_allocations_for_table(windowed, threshold, trace.table(), lattice, geometry, kind)
+            .map_err(|e| e.to_string())?;
+    outln!(
+        out,
+        "\n{} phase(s) at curve-delta threshold {threshold} \
+         (allocations re-solved per phase):",
+        plan.phases.len()
+    );
+    for (i, phase) in plan.phases.iter().enumerate() {
+        outln!(
+            out,
+            "phase {i}: windows {}..={} (cycles {}..{}), {} accesses, \
+             {} predicted misses:",
+            phase.first_window,
+            phase.last_window,
+            phase.start_cycle,
+            phase.end_cycle,
+            phase.accesses,
+            phase.allocation.predicted_misses
+        );
+        print_allocation_rows(lattice, &phase.allocation, out)?;
+    }
+    Ok(())
+}
+
+fn sweep_shapes(
+    args: &[String],
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (trace, trace_path) = load_trace_with_path(&flags, preloaded)?;
+    let l2 = l2_config(&flags)?;
+    require_lru_for_profiling(l2)?;
+    let geometry = l2.geometry();
+    let sets_per_unit: u32 = get(&flags, "sets-per-unit")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
+    let resolution =
+        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
+    let check_replay = match get(&flags, "check-replay").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--check-replay needs on or off, not `{other}`")),
+    };
+    let sidecar = save_curves_path(&flags, &trace_path, WindowConfig::whole_run())?;
+    let jobs = jobs_flag(&flags)?;
+    let lanes = lanes_flag(&flags)?;
+
+    let platform = PlatformConfig::default();
+    let windowed = profile_with_policy(
+        &platform,
+        &trace,
+        resolution,
+        WindowConfig::whole_run(),
+        sidecar.as_deref(),
+        lanes,
+        out,
+    )?;
+    let sweep = sweep_shapes_from_curves(&windowed.total);
+
+    outln!(
+        out,
+        "analytic shape sweep from one pass over {} L2-bound accesses \
+         ({} shapes, no replay per shape):",
+        sweep.accesses,
+        sweep.points.len()
+    );
+    // Each row is a set count; total capacity at a cell is
+    // sets x ways x 64 B, i.e. the row's per-way size times the column's
+    // way count.
+    let ways = sweep.way_counts();
+    outw!(out, "{:<10} {:>10}", "L2 sets", "way size");
+    for w in &ways {
+        outw!(out, " {:>12}", format!("{w}-way misses"));
+    }
+    outln!(out);
+    for sets in sweep.set_counts() {
+        let way_bytes = u64::from(sets) * 64;
+        let way_size = if way_bytes >= 1024 {
+            format!("{} KB", way_bytes / 1024)
+        } else {
+            format!("{way_bytes} B")
+        };
+        outw!(out, "{sets:<10} {way_size:>10}");
+        for &w in &ways {
+            let point = sweep.point(sets, w).expect("sweep covers the grid");
+            outw!(out, " {:>12}", point.misses);
+        }
+        outln!(out);
+    }
+
+    if check_replay {
+        verify_sweep_against_replay(&platform, &trace, &sweep, jobs)?;
+        outln!(
+            out,
+            "replay cross-check: all {} shapes match the analytic sweep exactly",
+            sweep.points.len()
+        );
+    }
+    Ok(())
+}
+
+/// Replays the trace at every shape of the sweep and verifies the
+/// analytic miss counts point for point.
+fn verify_sweep_against_replay(
+    platform: &PlatformConfig,
+    trace: &Arc<PreparedTrace>,
+    sweep: &compmem::experiment::ShapeSweep,
+    jobs: usize,
+) -> Result<(), String> {
+    // Every shape replays the same immutable trace, so the cross-check
+    // fans out on the work-stealing pool like the main sweep does.
+    let outcomes = compmem::executor::run_batch(&sweep.points, jobs, |_, point| {
+        let l2 = CacheConfig::new(point.sets, point.ways).map_err(CoreError::from)?;
+        let spec = ScenarioSpec::replay(l2, OrganizationSpec::Shared, Arc::clone(trace));
+        run_replay(platform, &spec)
+    });
+    for (point, outcome) in sweep.points.iter().zip(outcomes) {
+        let outcome = outcome.map_err(|e| e.to_string())?;
+        if outcome.report.l2.misses != point.misses {
+            return Err(format!(
+                "analytic sweep diverged from replay at {} sets x {} ways: \
+                 analytic {} misses, replay {}",
+                point.sets, point.ways, point.misses, outcome.report.l2.misses
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn info(
+    args: &[String],
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (trace, trace_path) = load_trace_with_path(&flags, preloaded)?;
+    let summary = trace.summary();
+    outln!(
+        out,
+        "trace IR version {} ({} processors), content hash {:016x}",
+        trace.trace().version(),
+        summary.processors,
+        trace.trace().content_hash()
+    );
+    outln!(
+        out,
+        "{} accesses in {} runs; {} bytes ({:.2} bytes/access)",
+        summary.accesses,
+        summary.runs,
+        summary.encoded_bytes,
+        summary.bytes_per_access()
+    );
+    // The segment directory is what lets replay tools slice the stream
+    // without a full decode; v1 streams have none and replay as one unit.
+    let segments = trace.trace().segment_directory();
+    if segments.is_empty() {
+        outln!(
+            out,
+            "segment directory: none (v{} stream replays as a single unit)",
+            trace.trace().version()
+        );
+    } else {
+        outln!(
+            out,
+            "segment directory: {} segments, ~{} accesses/segment, {} region snapshots",
+            segments.len(),
+            summary.accesses / segments.len() as u64,
+            segments.iter().map(|s| s.regions.len()).sum::<usize>()
+        );
+    }
+    // The embedded region table is the identity the codec validates every
+    // DEF_REGION record against — print it in full (index, name, kind,
+    // address range, size) so corrupt-trace errors can be acted on.
+    outln!(
+        out,
+        "embedded region table ({} regions):",
+        trace.table().len()
+    );
+    for region in trace.table().iter() {
+        outln!(out, "  [{}] {region}", region.id.index());
+    }
+    // The lane-eligibility verdict per organisation: which scenarios a
+    // `replay --lanes N` / `sweep --lanes N` over this trace can split
+    // into per-partition-key lanes, and — when they cannot — why. Sized
+    // by --l2-kb/--ways (default 64 KB, 4-way) because way-partitioned
+    // eligibility depends on whether the allocation's masks overlap.
+    let l2 = l2_config(&flags)?;
+    let geometry = l2.geometry();
+    outln!(
+        out,
+        "lane eligibility at a {} KB {}-way L2:",
+        geometry.size_bytes() / 1024,
+        geometry.ways()
+    );
+    for name in ["shared", "set-partitioned", "way-partitioned", "profiling"] {
+        match organization(name, l2, trace.table()) {
+            Err(e) => outln!(out, "  {name:<16} unavailable ({e})"),
+            Ok(org) => match lane_eligibility(l2, &PartitionSchedule::single(org), trace.table()) {
+                Ok(keys) => outln!(
+                    out,
+                    "  {name:<16} eligible — {} lanes (one per partition key)",
+                    keys.len()
+                ),
+                Err(reason) => outln!(out, "  {name:<16} ineligible — {reason}"),
+            },
+        }
+    }
+    if let Some(path) = get(&flags, "schedule") {
+        let schedule = parse_schedule_file(path, l2)?;
+        outln!(out, "schedule {path}: {schedule}");
+        print_schedule_steps(&schedule, out)?;
+        match schedule.validate_for(l2.geometry(), trace.table()) {
+            Ok(()) => outln!(out, "  validates against this trace's region table: ok"),
+            Err(e) => outln!(out, "  DOES NOT validate against this trace: {e}"),
+        }
+    }
+    let sidecar = sidecar_path(&trace_path);
+    match EncodedCurves::read_from(&sidecar) {
+        Ok(curves) => {
+            let header = curves.header();
+            let matches = curves.validate_for_trace(trace.trace().bytes()).is_ok();
+            outln!(
+                out,
+                "curve sidecar {}: {} window(s), sets {}..={}, up to {} ways — {}",
+                sidecar.display(),
+                curves.windows().len(),
+                header.min_sets,
+                header.max_sets,
+                header.ways_cap,
+                if matches {
+                    "matches this trace"
+                } else {
+                    "STALE (recorded over different trace bytes)"
+                }
+            );
+        }
+        Err(compmem_trace::CodecError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            outln!(out, "curve sidecar {}: not present", sidecar.display());
+        }
+        Err(e) => outln!(out, "curve sidecar {}: unusable ({e})", sidecar.display()),
+    }
+    Ok(())
+}

@@ -4,6 +4,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod service;
+
 use compmem::experiment::{Experiment, ExperimentConfig, PaperFlowOutcome, RunOutcome};
 use compmem::CoreError;
 use compmem_cache::CacheConfig;

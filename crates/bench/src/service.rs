@@ -1,0 +1,264 @@
+//! The `compmem serve` daemon logic: command evaluation over the
+//! content-addressed curve store.
+//!
+//! `compmem_platform::serve` owns transport and storage; this module
+//! supplies the [`CommandHandler`] that gives wire requests their
+//! meaning. A request names a verb (`profile`, `sweep-shapes`,
+//! `schedule`, `info`), a stored trace (by content hash) and the flags
+//! the one-shot CLI would take; the handler rebuilds the equivalent CLI
+//! argv (`--trace <store>/<hash>.cmt` plus the forwarded flags) and runs
+//! it through [`cli::dispatch`] — the *same* function the `compmem`
+//! binary runs — into an in-memory buffer. The response bytes are
+//! therefore byte-identical to the one-shot invocation by construction.
+//!
+//! The **hit/miss split**: before evaluating, the handler classifies the
+//! request. `info` and any `profile`/`sweep-shapes` whose persisted
+//! sidecar passes the full reuse validation (trace hash, L1 filter
+//! signature, resolution, window config — the same checks
+//! `profile_trace_with_sidecar` applies) are *cache hits*: they run
+//! analytically on the connection thread, no L1 filter pass, no queueing.
+//! Everything else is a *cache miss* and is submitted to a shared
+//! [`WorkQueue`] — the front end of `executor::run_batch` — so however
+//! many clients are connected, at most `jobs` measurement threads run.
+
+use std::sync::Arc;
+
+use compmem::executor::WorkQueue;
+use compmem_cache::{CurveResolution, WindowConfig, WindowedCurves};
+use compmem_platform::{
+    l1_filter_signature, CommandFailure, CommandHandler, CurveStore, PlatformConfig,
+    ServeErrorKind, ServedFrom, Server,
+};
+use compmem_trace::EncodedCurves;
+
+use crate::cli;
+
+/// Flags a client may not forward: the daemon owns the trace (`--trace`),
+/// the worker budget (`--jobs`, `--lanes`) and the filesystem
+/// (`--save-schedule`); `--schedule` is expressed by the `schedule` verb.
+const FORBIDDEN_FLAGS: [&str; 5] = ["trace", "jobs", "lanes", "schedule", "save-schedule"];
+
+/// The daemon's [`CommandHandler`]: classifies each request as a cache
+/// hit (served inline) or miss (queued on the shared worker pool) and
+/// evaluates it through the one-shot CLI's own command functions.
+pub struct DaemonHandler {
+    queue: WorkQueue<Result<Vec<u8>, String>>,
+}
+
+impl DaemonHandler {
+    /// Builds a handler whose cache-miss work runs on at most `jobs`
+    /// worker threads, shared across every connected client.
+    pub fn new(jobs: usize) -> Self {
+        DaemonHandler {
+            queue: WorkQueue::start(jobs),
+        }
+    }
+
+    /// Runs one command inline and captures its output bytes.
+    fn run_inline(
+        verb: &str,
+        argv: &[String],
+        preloaded: &cli::PreloadedTrace,
+    ) -> Result<Vec<u8>, CommandFailure> {
+        let mut buffer = Vec::new();
+        cli::dispatch_preloaded(verb, argv, Some(preloaded), &mut buffer)
+            .map_err(|message| CommandFailure::new(ServeErrorKind::Evaluation, message))?;
+        Ok(buffer)
+    }
+}
+
+impl CommandHandler for DaemonHandler {
+    fn evaluate(
+        &self,
+        store: &CurveStore,
+        trace: u64,
+        verb: &str,
+        args: &[String],
+    ) -> Result<(Vec<u8>, ServedFrom), CommandFailure> {
+        let bad = |message: String| CommandFailure::new(ServeErrorKind::BadRequest, message);
+        // `schedule` is the wire name of the phase-schedule validation
+        // flow (`replay --schedule phases` in the one-shot CLI).
+        let (cli_verb, prefix): (&str, Vec<String>) = match verb {
+            "profile" => ("profile", vec![]),
+            "sweep-shapes" => ("sweep-shapes", vec![]),
+            "info" => ("info", vec![]),
+            "schedule" => (
+                "replay",
+                vec!["--schedule".to_string(), "phases".to_string()],
+            ),
+            other => {
+                return Err(bad(format!(
+                    "unknown verb `{other}` (use profile, sweep-shapes, schedule or info)"
+                )))
+            }
+        };
+        let flags = cli::parse_flags(args).map_err(bad)?;
+        for (name, _) in &flags {
+            if FORBIDDEN_FLAGS.contains(&name.as_str()) {
+                return Err(bad(format!(
+                    "--{name} cannot be forwarded to the daemon (the daemon owns the \
+                     store, the schedule verb and the worker budget)"
+                )));
+            }
+            if name == "save-curves" {
+                return Err(bad(
+                    "--save-curves cannot be forwarded to the daemon (the store owns \
+                     its sidecars)"
+                        .to_string(),
+                ));
+            }
+        }
+        if !store.contains(trace) {
+            return Err(CommandFailure::new(
+                ServeErrorKind::UnknownTrace,
+                format!("trace {trace:016x} is not in the store (put it first)"),
+            ));
+        }
+        let trace_path = store.trace_path(trace);
+        // Hand the store's memoised decode to the evaluation: a request
+        // then pays for its answer, not for re-reading the trace file.
+        // Decoding is deterministic, so the bytes are unchanged.
+        let preloaded = cli::PreloadedTrace {
+            path: trace_path.clone(),
+            trace: store
+                .get(trace)
+                .map_err(|e| CommandFailure::new(ServeErrorKind::Store, e.to_string()))?,
+        };
+        let mut argv: Vec<String> = vec![
+            "--trace".to_string(),
+            trace_path.to_string_lossy().into_owned(),
+        ];
+        argv.extend(prefix);
+        argv.extend(args.iter().cloned());
+
+        let served_from = match verb {
+            // `info` is pure inspection — always analytic.
+            "info" => ServedFrom::Cache,
+            // `schedule` replays the trace twice — always measurement.
+            "schedule" => ServedFrom::Pool,
+            // `profile` / `sweep-shapes` are analytic iff the persisted
+            // sidecar would pass the reuse validation.
+            _ => match sidecar_answers(store, trace, verb, &argv) {
+                true => ServedFrom::Cache,
+                false => ServedFrom::Pool,
+            },
+        };
+
+        match served_from {
+            ServedFrom::Cache => Self::run_inline(cli_verb, &argv, &preloaded)
+                .map(|bytes| (bytes, ServedFrom::Cache)),
+            ServedFrom::Pool => {
+                let cli_verb = cli_verb.to_string();
+                let receiver = self.queue.submit(move || {
+                    let mut buffer = Vec::new();
+                    // Command failures are data, not worker errors:
+                    // only a panic surfaces as CoreError.
+                    Ok(
+                        cli::dispatch_preloaded(&cli_verb, &argv, Some(&preloaded), &mut buffer)
+                            .map(|()| buffer),
+                    )
+                });
+                match receiver.recv() {
+                    Ok(Ok(Ok(bytes))) => Ok((bytes, ServedFrom::Pool)),
+                    Ok(Ok(Err(message))) => {
+                        Err(CommandFailure::new(ServeErrorKind::Evaluation, message))
+                    }
+                    Ok(Err(core_error)) => Err(CommandFailure::new(
+                        ServeErrorKind::Panic,
+                        core_error.to_string(),
+                    )),
+                    Err(_) => Err(CommandFailure::new(
+                        ServeErrorKind::Evaluation,
+                        "daemon work queue disconnected".to_string(),
+                    )),
+                }
+            }
+        }
+    }
+}
+
+/// Whether the persisted sidecar of this request would pass the full
+/// reuse validation — the daemon-side twin of the profiling layer's
+/// `try_load_sidecar` checks (trace hash, L1 filter signature,
+/// resolution, window config). `false` on *any* doubt: a misclassified
+/// miss merely queues an analytic request, while a misclassified hit
+/// would run a measurement pass on the connection thread.
+fn sidecar_answers(store: &CurveStore, trace: u64, verb: &str, argv: &[String]) -> bool {
+    let Ok(flags) = cli::parse_flags(argv) else {
+        return false;
+    };
+    let Ok(l2) = cli::l2_config(&flags) else {
+        return false;
+    };
+    // sweep-shapes always profiles whole-run; profile follows --windows /
+    // --window-cycles.
+    let window = if verb == "sweep-shapes" {
+        WindowConfig::whole_run()
+    } else {
+        match cli::window_config(&flags) {
+            Ok(window) => window,
+            Err(_) => return false,
+        }
+    };
+    let Ok(Some(sidecar)) = cli::save_curves_path(&flags, &store.trace_path(trace), window) else {
+        return false;
+    };
+    let Ok(sets_per_unit) = cli::get(&flags, "sets-per-unit").unwrap_or("16").parse() else {
+        return false;
+    };
+    let Ok(resolution) = CurveResolution::for_geometry(l2.geometry(), sets_per_unit) else {
+        return false;
+    };
+    let Ok(prepared) = store.get(trace) else {
+        return false;
+    };
+    let Ok(encoded) = EncodedCurves::read_from(&sidecar) else {
+        return false;
+    };
+    if encoded
+        .validate_for_trace(prepared.trace().bytes())
+        .is_err()
+    {
+        return false;
+    }
+    if encoded.header().l1_signature != l1_filter_signature(&PlatformConfig::default()) {
+        return false;
+    }
+    let Ok(windowed) = WindowedCurves::from_sidecar(&encoded) else {
+        return false;
+    };
+    windowed.resolution == resolution && windowed.config == window
+}
+
+/// Configuration of a `compmem serve` invocation.
+pub struct ServeOptions {
+    /// Store directory (created if missing). Kept as given — the paths
+    /// the daemon prints embed it verbatim.
+    pub store: String,
+    /// Address to bind (`host:port`; port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads shared by all cache-miss requests.
+    pub jobs: usize,
+}
+
+/// Opens the store, starts the daemon and runs its accept loop until a
+/// shutdown request arrives. Prints the bound address and store root to
+/// `out` before serving (the line clients and scripts wait for).
+///
+/// # Errors
+///
+/// The rendered bind/store error.
+pub fn run_serve(options: &ServeOptions, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let store = Arc::new(CurveStore::open(&options.store).map_err(|e| e.to_string())?);
+    let handler = DaemonHandler::new(options.jobs);
+    let server = Server::bind(&options.addr, store, handler).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "compmem serve: listening on {addr} (store {}, {} jobs)",
+        options.store, options.jobs
+    )
+    .map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| e.to_string())
+}

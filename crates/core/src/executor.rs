@@ -36,7 +36,7 @@
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use crate::error::CoreError;
 
@@ -171,6 +171,135 @@ where
         .collect()
 }
 
+type QueuedJob<R> = Box<dyn FnOnce() -> Result<R, CoreError> + Send + 'static>;
+type QueuedEntry<R> = (QueuedJob<R>, mpsc::Sender<Result<R, CoreError>>);
+
+struct QueueState<R> {
+    pending: Vec<QueuedEntry<R>>,
+    closed: bool,
+}
+
+struct QueueShared<R> {
+    state: Mutex<QueueState<R>>,
+    ready: Condvar,
+}
+
+/// A long-lived front end over [`run_batch`]: jobs submitted from any
+/// thread are batched by a single dispatcher thread and evaluated on the
+/// same bounded work-stealing pool, so concurrent producers share one
+/// worker budget instead of each spawning their own threads.
+///
+/// This is the scheduling half of `compmem serve`: every cache-miss
+/// request becomes one [`WorkQueue::submit`], and however many clients
+/// are connected, at most `jobs` measurement threads ever run. The
+/// dispatcher drains *all* pending jobs into each batch, so a burst of
+/// requests is load-balanced by `run_batch`'s stealing rather than
+/// handled strictly FIFO-serially.
+///
+/// Panic isolation carries over from [`run_batch`]: a panicking job
+/// resolves to [`CoreError::WorkerPanicked`] on its own receiver while
+/// every other job completes normally. Dropping the queue finishes the
+/// jobs already submitted, then stops the dispatcher.
+pub struct WorkQueue<R: Send + 'static> {
+    shared: Arc<QueueShared<R>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<R: Send + 'static> WorkQueue<R> {
+    /// Starts a queue whose batches run on at most `jobs` worker threads
+    /// (clamped to at least 1). The queue itself owns one extra
+    /// dispatcher thread, which is idle whenever no jobs are pending.
+    pub fn start(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let shared = Arc::new(QueueShared {
+            state: Mutex::new(QueueState {
+                pending: Vec::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let dispatcher_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::spawn(move || loop {
+            let batch = {
+                let mut state = dispatcher_shared
+                    .state
+                    .lock()
+                    .expect("work queue state poisoned");
+                while state.pending.is_empty() && !state.closed {
+                    state = dispatcher_shared
+                        .ready
+                        .wait(state)
+                        .expect("work queue state poisoned");
+                }
+                if state.pending.is_empty() {
+                    return;
+                }
+                std::mem::take(&mut state.pending)
+            };
+            let (jobs_taken, senders): (Vec<_>, Vec<_>) = batch.into_iter().unzip();
+            // run_batch wants `Fn(usize, &T)`, but a job is FnOnce; a
+            // per-item Mutex<Option<...>> hands each job to exactly one
+            // worker.
+            let items: Vec<Mutex<Option<QueuedJob<R>>>> = jobs_taken
+                .into_iter()
+                .map(|j| Mutex::new(Some(j)))
+                .collect();
+            let results = run_batch(&items, jobs, |_, slot| {
+                let job = slot
+                    .lock()
+                    .expect("work queue job slot poisoned")
+                    .take()
+                    .expect("work queue job ran twice");
+                job()
+            });
+            for (sender, result) in senders.into_iter().zip(results) {
+                // A submitter that dropped its receiver no longer wants
+                // the answer; that is not the queue's problem.
+                let _ = sender.send(result);
+            }
+        });
+        WorkQueue {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submits one job and returns the receiver its result will arrive
+    /// on. Blocking on the receiver gives exactly the `Result` the job
+    /// returned — or [`CoreError::WorkerPanicked`] if it panicked, or (on
+    /// a queue that is already shut down) a `WorkerPanicked` with a
+    /// shutdown message, so a submitter never hangs.
+    pub fn submit(
+        &self,
+        job: impl FnOnce() -> Result<R, CoreError> + Send + 'static,
+    ) -> mpsc::Receiver<Result<R, CoreError>> {
+        let (sender, receiver) = mpsc::channel();
+        let mut state = self.shared.state.lock().expect("work queue state poisoned");
+        if state.closed {
+            let _ = sender.send(Err(CoreError::WorkerPanicked {
+                message: "work queue is shut down".to_string(),
+            }));
+        } else {
+            state.pending.push((Box::new(job), sender));
+            self.shared.ready.notify_one();
+        }
+        receiver
+    }
+}
+
+impl<R: Send + 'static> Drop for WorkQueue<R> {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("work queue state poisoned");
+            state.closed = true;
+            self.shared.ready.notify_one();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +385,75 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn work_queue_returns_each_submitters_own_result() {
+        let queue: WorkQueue<u64> = WorkQueue::start(3);
+        let receivers: Vec<_> = (0..32u64)
+            .map(|x| queue.submit(move || Ok(x * x)))
+            .collect();
+        for (x, receiver) in receivers.into_iter().enumerate() {
+            let result = receiver.recv().expect("dispatcher sends a result");
+            assert_eq!(result.unwrap(), (x * x) as u64);
+        }
+    }
+
+    #[test]
+    fn work_queue_isolates_panics_per_job() {
+        let queue: WorkQueue<u32> = WorkQueue::start(2);
+        let bad = queue.submit(|| panic!("queued job is poisoned"));
+        let good = queue.submit(|| Ok(7));
+        match bad.recv().unwrap() {
+            Err(CoreError::WorkerPanicked { message }) => {
+                assert!(message.contains("poisoned"), "message: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert_eq!(good.recv().unwrap().unwrap(), 7);
+    }
+
+    #[test]
+    fn work_queue_runs_concurrent_submitters_on_a_shared_pool() {
+        let queue: Arc<WorkQueue<usize>> = Arc::new(WorkQueue::start(2));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                let ran = Arc::clone(&ran);
+                std::thread::spawn(move || {
+                    let receiver = queue.submit(move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        Ok(t)
+                    });
+                    receiver.recv().unwrap().unwrap()
+                })
+            })
+            .collect();
+        let mut answers: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        answers.sort_unstable();
+        assert_eq!(answers, (0..8).collect::<Vec<_>>());
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn work_queue_drop_finishes_pending_jobs_and_rejects_late_submits() {
+        let queue: WorkQueue<u32> = WorkQueue::start(1);
+        let receivers: Vec<_> = (0..4).map(|x| queue.submit(move || Ok(x))).collect();
+        drop(queue);
+        for (x, receiver) in receivers.into_iter().enumerate() {
+            assert_eq!(receiver.recv().unwrap().unwrap(), x as u32);
+        }
+        let queue: WorkQueue<u32> = WorkQueue::start(1);
+        // Simulate a submit racing shutdown: close, then submit.
+        {
+            let mut state = queue.shared.state.lock().unwrap();
+            state.closed = true;
+        }
+        let late = queue.submit(|| Ok(1));
+        assert!(matches!(
+            late.recv().unwrap(),
+            Err(CoreError::WorkerPanicked { .. })
+        ));
     }
 }

@@ -75,6 +75,20 @@ pub enum PlatformError {
         /// Rendered ineligibility reason.
         reason: String,
     },
+    /// A wire-protocol frame could not be read, written or decoded (the
+    /// rendered I/O or framing problem; `std::io::Error` is not `Clone`).
+    /// Raised by the `compmem serve` transport — a malformed frame is a
+    /// typed error back to the client, never a daemon crash.
+    Wire {
+        /// Rendered message of the transport failure.
+        message: String,
+    },
+    /// The content-addressed curve store could not read, validate or
+    /// write a trace file (rendered I/O or codec problem).
+    Store {
+        /// Rendered message of the store failure.
+        message: String,
+    },
     /// Parallel profiling shards failed to merge back into one exact
     /// profile (the rendered
     /// [`CacheError::ShardMerge`](compmem_cache::CacheError) reason). This
@@ -127,6 +141,12 @@ impl fmt::Display for PlatformError {
                 "{requested} lanes were required but the scenario cannot \
                  split into per-key lanes: {reason}"
             ),
+            PlatformError::Wire { message } => {
+                write!(f, "wire protocol error: {message}")
+            }
+            PlatformError::Store { message } => {
+                write!(f, "curve store error: {message}")
+            }
             PlatformError::ProfileMerge { message } => {
                 write!(f, "parallel profiling shards failed to merge: {message}")
             }

@@ -89,6 +89,7 @@ mod processor;
 pub mod profile;
 pub mod replay;
 mod scheduler;
+pub mod serve;
 mod system;
 
 pub use bus::Bus;
@@ -114,4 +115,8 @@ pub use replay::{
     ReplaySystem,
 };
 pub use scheduler::TaskMapping;
+pub use serve::{
+    CommandFailure, CommandHandler, CurveStore, ServeClient, ServeErrorKind, ServeRequest,
+    ServeResponse, ServeStats, ServedFrom, Server,
+};
 pub use system::System;

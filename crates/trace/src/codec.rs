@@ -97,6 +97,34 @@ pub const TRACE_VERSION_V1: u8 = 1;
 /// dictionaries, full-width first deltas) stays amortised.
 pub const DEFAULT_SEGMENT_ACCESSES: u64 = 8192;
 
+/// Monotonic discriminator for atomic-write temp file names, so
+/// concurrent writers within one process never collide.
+static ATOMIC_WRITE_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// Writes `bytes` to `path` atomically: a uniquely named temp file in the
+/// same directory, then a rename. A concurrent reader observes the old
+/// contents or the new contents, never a torn mixture — the property the
+/// `compmem serve` curve store relies on when many clients write traces
+/// and sidecars at once.
+///
+/// # Errors
+///
+/// Propagates the I/O error of the write or the rename (the temp file is
+/// removed on a failed rename).
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let n = ATOMIC_WRITE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    name.push_str(&format!(".tmp-{}-{n}", std::process::id()));
+    let tmp = path.with_file_name(name);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 const TAG_END: u8 = 0x00;
 const TAG_DEF_TASK: u8 = 0x01;
 const TAG_DEF_REGION: u8 = 0x02;
@@ -1530,13 +1558,14 @@ impl EncodedTrace {
         merge_segment_runs(chunks)
     }
 
-    /// Writes the encoded bytes to a file.
+    /// Writes the encoded bytes to a file (atomically: temp file +
+    /// rename, so a concurrent reader never observes a torn trace).
     ///
     /// # Errors
     ///
     /// Propagates the I/O error.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), CodecError> {
-        std::fs::write(path, &self.bytes).map_err(CodecError::Io)
+        write_file_atomic(path.as_ref(), &self.bytes).map_err(CodecError::Io)
     }
 
     /// Reads and validates an encoded trace from a file.
@@ -1572,6 +1601,26 @@ pub fn merge_segment_runs(chunks: impl IntoIterator<Item = Vec<TraceRun>>) -> Ve
 mod tests {
     use super::*;
     use crate::gen::{looping, strided, StreamParams};
+
+    #[test]
+    fn atomic_writes_replace_files_whole() {
+        let dir = std::env::temp_dir().join(format!("compmem-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("value.bin");
+        write_file_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_file_atomic(&path, b"second-longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second-longer");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
     fn table() -> RegionTable {
         let mut t = RegionTable::new();

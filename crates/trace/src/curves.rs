@@ -711,13 +711,14 @@ impl EncodedCurves {
         Ok(())
     }
 
-    /// Writes the encoded sidecar to a file.
+    /// Writes the encoded sidecar to a file (atomically: temp file +
+    /// rename, so a concurrent reader never observes a torn sidecar).
     ///
     /// # Errors
     ///
     /// Propagates encoding and I/O errors.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), CodecError> {
-        std::fs::write(path, self.to_bytes()?).map_err(CodecError::Io)
+        crate::codec::write_file_atomic(path.as_ref(), &self.to_bytes()?).map_err(CodecError::Io)
     }
 
     /// Reads and validates a sidecar from a file.

@@ -76,8 +76,8 @@ pub mod stats;
 pub use access::{Access, AccessKind};
 pub use addr::{Addr, LineAddr, LINE_SIZE_BYTES};
 pub use codec::{
-    CodecError, EncodedTrace, SegmentEntry, TraceReader, TraceRecord, TraceRun, TraceSummary,
-    TraceWriter, DEFAULT_SEGMENT_ACCESSES,
+    write_file_atomic, CodecError, EncodedTrace, SegmentEntry, TraceReader, TraceRecord, TraceRun,
+    TraceSummary, TraceWriter, DEFAULT_SEGMENT_ACCESSES,
 };
 pub use curves::{
     trace_content_hash, CurveEntry, CurveHeader, CurveReader, CurveWriter, EncodedCurves,
