@@ -1,0 +1,151 @@
+//! Cost of closing the control loop: online repartitioning vs a plain
+//! static replay of the same traffic.
+//!
+//! The same recorded small-scale MPEG-2 trace (L1 filter warmed once) is
+//! replayed four ways:
+//!
+//! * `static_replay` — one equal-split map, no controller: the in-run
+//!   reference every controlled case is gated against;
+//! * `greedy_replay` — the online `Greedy` policy re-solving the exact
+//!   allocation on every closed profiling window and switching through
+//!   the push path (inline windowed profiling + per-window ILP: the most
+//!   expensive causal controller);
+//! * `hysteresis_replay` — `Hysteresis` with the phase detector gating
+//!   the re-solve, a fresh policy per iteration (the detector carries
+//!   state across windows, not across runs);
+//! * `oracle_replay` — the offline plan (computed once, outside the
+//!   timing loop) replayed through its pre-installed schedule.
+//!
+//! The committed `BENCH_controller.json` baseline records the quartet;
+//! `scripts/bench_check` gates the same-run ratios static/greedy and
+//! static/oracle, which fire only if the control loop loses ground
+//! relative to the uncontrolled replay — machine speed cancels out of
+//! the quotients. Regenerate with
+//! `CRITERION_OUTPUT_JSON=BENCH_controller.json cargo bench --bench
+//! controller_regret`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use compmem::controller::{
+    compete, replay_controlled, ControllerConfig, ControllerPolicy, Greedy, Hysteresis, Oracle,
+};
+use compmem::experiment::{run_replay, ScenarioSpec};
+use compmem_bench::{mpeg2_experiment, Scale};
+use compmem_cache::{
+    CacheSizeLattice, CurveResolution, OrganizationSpec, PartitionKey, PartitionMap,
+};
+
+const SETS_PER_UNIT: u32 = 4; // Scale::Small's allocation-unit granule
+const WINDOWS: u64 = 6;
+const PHASE_THRESHOLD: f64 = 0.1;
+const SWITCH_MARGIN: f64 = 1.0;
+
+fn bench_controller_regret(c: &mut Criterion) {
+    let experiment = mpeg2_experiment(Scale::Small);
+    let (live, trace) = experiment
+        .record_trace(&experiment.shared_spec())
+        .expect("recording the small MPEG-2 run succeeds");
+    let l2 = experiment.config().l2;
+    let platform = experiment.config().platform;
+    let lattice = CacheSizeLattice::new(l2.geometry(), SETS_PER_UNIT);
+    let resolution = CurveResolution::for_geometry(l2.geometry(), SETS_PER_UNIT)
+        .expect("resolution covers the geometry");
+    let window_cycles = (live.report.makespan_cycles / WINDOWS).max(1);
+    let config =
+        ControllerConfig::cycles(window_cycles, resolution).expect("window length is positive");
+
+    // Warm the trace's cached L1 filter so every contestant measures the
+    // control loop, not the shared filter pass a sweep pays once.
+    trace.filtered_for(&platform).expect("filter pass succeeds");
+
+    let keys = PartitionKey::distinct_keys(trace.table());
+    let map = PartitionMap::equal_split(l2.geometry(), &keys).expect("equal split fits");
+    let static_spec = ScenarioSpec::replay(
+        l2,
+        OrganizationSpec::SetPartitioned(map),
+        Arc::clone(&trace),
+    );
+
+    let mut oracle = Oracle::plan(&platform, l2, &lattice, &trace, PHASE_THRESHOLD, &config)
+        .expect("offline planning succeeds");
+
+    // Sanity before timing: the competition reconciles exactly — the
+    // oracle's regret is zero, every cost is misses plus flush traffic,
+    // and greedy actually exercises the switch path.
+    {
+        let mut greedy = Greedy;
+        let mut hysteresis = Hysteresis::new(PHASE_THRESHOLD, SWITCH_MARGIN);
+        let mut policies: Vec<&mut dyn ControllerPolicy> =
+            vec![&mut greedy, &mut hysteresis, &mut oracle];
+        let (outcomes, report) = compete(&platform, l2, &lattice, &trace, &mut policies, &config)
+            .expect("competition succeeds");
+        assert_eq!(report.baseline, "oracle");
+        for (outcome, entry) in outcomes.iter().zip(&report.entries) {
+            assert_eq!(entry.cost, outcome.cost());
+            assert_eq!(
+                entry.cost,
+                outcome.outcome.report.l2.misses + outcome.total_flush().written_back
+            );
+            assert_eq!(entry.regret, entry.cost as i64 - report.oracle_cost as i64);
+        }
+        let oracle_row = report
+            .entries
+            .iter()
+            .find(|e| e.policy == "oracle")
+            .unwrap();
+        assert_eq!(
+            oracle_row.regret, 0,
+            "oracle regret is zero by construction"
+        );
+        let greedy_row = report
+            .entries
+            .iter()
+            .find(|e| e.policy == "greedy")
+            .unwrap();
+        assert!(greedy_row.switches >= 2, "greedy must actually repartition");
+        println!(
+            "trace: {} accesses, {} windows of {} cycles\n{}",
+            trace.accesses(),
+            WINDOWS,
+            window_cycles,
+            report.table()
+        );
+    }
+
+    let mut group = c.benchmark_group("controller_regret");
+    group.sample_size(10);
+    group.bench_function("static_replay", |b| {
+        b.iter(|| {
+            let outcome = run_replay(&platform, &static_spec).expect("static replay succeeds");
+            black_box(outcome.report.l2.misses)
+        })
+    });
+    group.bench_function("greedy_replay", |b| {
+        b.iter(|| {
+            let outcome = replay_controlled(&platform, l2, &lattice, &trace, &mut Greedy, &config)
+                .expect("greedy replay succeeds");
+            black_box(outcome.cost())
+        })
+    });
+    group.bench_function("hysteresis_replay", |b| {
+        b.iter(|| {
+            let mut policy = Hysteresis::new(PHASE_THRESHOLD, SWITCH_MARGIN);
+            let outcome = replay_controlled(&platform, l2, &lattice, &trace, &mut policy, &config)
+                .expect("hysteresis replay succeeds");
+            black_box(outcome.cost())
+        })
+    });
+    group.bench_function("oracle_replay", |b| {
+        b.iter(|| {
+            let outcome = replay_controlled(&platform, l2, &lattice, &trace, &mut oracle, &config)
+                .expect("oracle replay succeeds");
+            black_box(outcome.cost())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller_regret);
+criterion_main!(benches);

@@ -11,6 +11,9 @@
 //!                      [--policy lru|fifo|tree-plru|random] [--lanes N] [--jobs N]
 //!                      [--schedule phases|PATH [--sets-per-unit N] [--windows N]
 //!                       [--phases DELTA] [--solve KIND] [--save-schedule PATH]]
+//!                      [--controller greedy|hysteresis|oracle|compete
+//!                       --window-cycles N [--sets-per-unit N] [--phases DELTA]
+//!                       [--margin M] [--solve KIND]]
 //! compmem sweep        --trace FILE [--l2-kb N[,N...]] [--ways N] [--jobs N] [--lanes N]
 //! compmem profile      --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N]
 //!                      [--solve exact-ilp|greedy|equal-split]
@@ -58,7 +61,9 @@ fn usage() {
          [--org ORG] [--l2-kb N] [--ways N] [--policy lru|fifo|tree-plru|random] \
          [--lanes N] [--jobs N] \
          [--schedule phases|PATH [--sets-per-unit N] [--windows N] [--phases DELTA] \
-         [--solve KIND] [--save-schedule PATH]]\n  \
+         [--solve KIND] [--save-schedule PATH]] \
+         [--controller greedy|hysteresis|oracle|compete --window-cycles N \
+         [--sets-per-unit N] [--phases DELTA] [--margin M] [--solve KIND]]\n  \
          compmem sweep --trace FILE [--l2-kb N[,N...]] [--ways N] [--jobs N] [--lanes N]\n  \
          compmem profile --trace FILE [--l2-kb N] [--ways N] [--sets-per-unit N] \
          [--solve exact-ilp|greedy|equal-split] [--windows N | --window-cycles N] \

@@ -637,6 +637,12 @@ fn replay(
     out: &mut dyn Write,
 ) -> Result<(), String> {
     let flags = parse_flags(args)?;
+    if let Some(name) = get(&flags, "controller") {
+        if get(&flags, "schedule").is_some() {
+            return Err("--controller and --schedule are exclusive".to_string());
+        }
+        return replay_controller(&flags, name, preloaded, out);
+    }
     match get(&flags, "schedule") {
         None => replay_static(&flags, preloaded, out),
         Some("phases") => replay_phase_schedule(&flags, preloaded, out),
@@ -645,6 +651,140 @@ fn replay(
             replay_schedule_file(&flags, &path, preloaded, out)
         }
     }
+}
+
+/// The online control loop behind `replay --controller`: replay the
+/// trace with a self-tuning policy re-solving on each closed profiling
+/// window, or (`--controller compete`) race greedy, hysteresis and the
+/// offline oracle on the same traffic and print the regret table.
+fn replay_controller(
+    flags: &[(String, String)],
+    name: &str,
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    use compmem::controller::{
+        compete, replay_controlled, ControllerPolicy, Greedy, Hysteresis, Oracle,
+    };
+
+    if get(flags, "lanes").is_some() {
+        return Err(
+            "replay --controller drives the timing loop end to end; --lanes is not \
+             supported here (use a static or schedule-file replay)"
+                .to_string(),
+        );
+    }
+    let trace = load_trace(flags, preloaded)?;
+    let l2 = l2_config(flags)?;
+    require_lru_for_profiling(l2)?;
+    let geometry = l2.geometry();
+    let sets_per_unit: u32 = get(flags, "sets-per-unit")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
+    let resolution =
+        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
+    let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
+    let window_cycles: u64 = get(flags, "window-cycles")
+        .ok_or("replay --controller needs --window-cycles N (the control clock)")?
+        .parse()
+        .map_err(|_| "--window-cycles needs a number".to_string())?;
+    let threshold: f64 = get(flags, "phases")
+        .unwrap_or("0.1")
+        .parse()
+        .map_err(|_| "--phases needs a curve-delta threshold".to_string())?;
+    let margin: f64 = get(flags, "margin")
+        .unwrap_or("1.0")
+        .parse()
+        .map_err(|_| "--margin needs a number of misses per flushed line".to_string())?;
+    let mut config = compmem::controller::ControllerConfig::cycles(window_cycles, resolution)
+        .map_err(|e| e.to_string())?;
+    config.optimizer = solver_kind(flags)?;
+    let platform = PlatformConfig::default();
+    // `--jobs N` parallelises the one-off L1 filter pass; the controlled
+    // replay itself is serial and reads the same filtered trace either
+    // way, so the output is byte-identical across jobs counts.
+    trace
+        .filtered_for_jobs(&platform, segment_jobs_flag(flags)?)
+        .map_err(|e| e.to_string())?;
+
+    if name == "compete" {
+        let mut greedy = Greedy;
+        let mut hysteresis = Hysteresis::new(threshold, margin);
+        let mut oracle = Oracle::plan(&platform, l2, &lattice, &trace, threshold, &config)
+            .map_err(|e| e.to_string())?;
+        let mut policies: Vec<&mut dyn ControllerPolicy> =
+            vec![&mut greedy, &mut hysteresis, &mut oracle];
+        let (outcomes, report) = compete(&platform, l2, &lattice, &trace, &mut policies, &config)
+            .map_err(|e| e.to_string())?;
+        outln!(
+            out,
+            "controller competition on {} accesses: windows of {window_cycles} cycles, \
+             phase threshold {threshold}, switch margin {margin}",
+            trace.accesses()
+        );
+        outcome_header(out)?;
+        for outcome in &outcomes {
+            print_outcome_row(&outcome.policy, &outcome.outcome, out)?;
+        }
+        outln!(
+            out,
+            "regret vs `{}` (cost {}):",
+            report.baseline,
+            report.oracle_cost
+        );
+        outw!(out, "{}", report.table());
+        return Ok(());
+    }
+
+    let mut policy: Box<dyn ControllerPolicy> = match name {
+        "greedy" => Box::new(Greedy),
+        "hysteresis" => Box::new(Hysteresis::new(threshold, margin)),
+        "oracle" => Box::new(
+            Oracle::plan(&platform, l2, &lattice, &trace, threshold, &config)
+                .map_err(|e| e.to_string())?,
+        ),
+        other => {
+            return Err(format!(
+                "unknown controller `{other}` (use greedy, hysteresis, oracle or compete)"
+            ))
+        }
+    };
+    let outcome = replay_controlled(&platform, l2, &lattice, &trace, policy.as_mut(), &config)
+        .map_err(|e| e.to_string())?;
+    outln!(
+        out,
+        "controlled replay of {} accesses: policy `{}`, {} windows of {window_cycles} \
+         cycles observed, {} switches fired",
+        trace.accesses(),
+        outcome.policy,
+        outcome.ticks,
+        outcome.switches()
+    );
+    outcome_header(out)?;
+    print_outcome_row(&outcome.policy, &outcome.outcome, out)?;
+    outln!(
+        out,
+        "repartition events ({} fired):",
+        outcome.outcome.report.repartitions.len()
+    );
+    for record in &outcome.outcome.report.repartitions {
+        outln!(
+            out,
+            "  step {} @ cycle {:>10}: {}",
+            record.step,
+            record.at_cycle,
+            record.flush
+        );
+    }
+    outln!(
+        out,
+        "control cost {} = {} L2 misses + {} flushed lines written back",
+        outcome.cost(),
+        outcome.outcome.report.l2.misses,
+        outcome.total_flush().written_back
+    );
+    Ok(())
 }
 
 /// The [`ReplayParallelism`] of a single replay invocation. `--lanes`

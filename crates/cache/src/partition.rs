@@ -302,6 +302,24 @@ impl PartitionMap {
         self.assignments.get(&key).copied()
     }
 
+    /// Number of sets whose ownership would change when reconfiguring
+    /// from this map to `next`: sets that move to a different key, join a
+    /// key, or leave all keys. Every line resident in such a set is
+    /// invalidated by the switch, so `moved_sets × ways` bounds the flush
+    /// cost — the estimate a hysteresis controller weighs predicted miss
+    /// savings against before committing to a repartition.
+    pub fn moved_sets(&self, next: &PartitionMap) -> u32 {
+        let owner = |map: &PartitionMap, set: u32| {
+            map.assignments
+                .iter()
+                .find(|(_, p)| p.base_set <= set && set < p.end_set())
+                .map(|(key, _)| *key)
+        };
+        (0..self.geometry.sets())
+            .filter(|&set| owner(self, set) != owner(next, set))
+            .count() as u32
+    }
+
     /// Iterates over `(key, partition)` in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&PartitionKey, &Partition)> {
         self.assignments.iter()

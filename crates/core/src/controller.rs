@@ -1,0 +1,834 @@
+//! The self-tuning online cache controller: closing the paper's loop.
+//!
+//! The offline pipeline of [`experiment`](crate::experiment) measures a
+//! whole recorded run, segments it into phases and *then* derives a
+//! [`PartitionSchedule`] — it knows the future. This module runs the same
+//! machinery **online**: a [`WindowedProfiler`] rides the replayed access
+//! stream, and every time a profiling window closes a
+//! [`ControllerPolicy`] may re-solve the allocation problem on the
+//! *measured* curves of that window and repartition the live L2 at the
+//! very next run boundary. The loop is strictly causal — the policy that
+//! acts at the boundary of window `N + 1` has only seen windows
+//! `0 ..= N` — so its decisions lag the offline oracle by one window,
+//! and the gap between the two is the controller's *regret*, measured by
+//! [`compete`] in misses plus flush write-backs on identical traffic.
+//!
+//! Three reference policies span the design space:
+//!
+//! * [`Greedy`] re-solves and repartitions at **every** window boundary —
+//!   maximal adaptivity, maximal flush traffic;
+//! * [`Hysteresis`] re-solves only when the [`OnlinePhaseDetector`]
+//!   reports a phase change, and switches only when the predicted miss
+//!   savings exceed the predicted flush cost by a margin;
+//! * [`Oracle`] replays the best offline schedule
+//!   ([`validate_phase_plan`]'s static-vs-scheduled winner) — zero
+//!   regret by construction, the yardstick the others are charged
+//!   against.
+//!
+//! Everything runs through the exact-replay engine
+//! ([`ReplaySystem::run_controlled`]), so competing policies see
+//! byte-identical traffic and their miss deltas are attributable to the
+//! control decisions alone.
+
+use std::sync::Arc;
+
+use compmem_cache::FlushStats;
+use compmem_cache::{
+    CacheConfig, CacheGeometry, CacheSizeLattice, CurveResolution, MissRateCurves,
+    OnlinePhaseDetector, OrganizationSpec, PartitionKey, PartitionMap, PartitionSchedule,
+    ReplacementPolicy, ScheduleStep, WindowConfig, WindowKind, WindowedProfiler,
+};
+use compmem_platform::{profile_trace_windowed, PlatformConfig, PreparedTrace, ReplaySystem};
+use compmem_trace::RegionTable;
+
+use crate::error::CoreError;
+use crate::experiment::{
+    allocation_problem_for_table, by_key_from_regions, phase_allocations_for_table,
+    validate_phase_plan, RunOutcome,
+};
+use crate::optimizer::{self, Allocation, OptimizerKind};
+
+/// Everything a policy needs to turn measured curves into an installable
+/// [`PartitionMap`]: the trace's region table, the allocation-unit
+/// lattice, the L2 geometry and the solver to use. The solve-and-pack
+/// path is **the same code path** as the offline
+/// [`PhasePlan::to_schedule`](crate::experiment::PhasePlan) pipeline
+/// (profiles → [`allocation_problem_for_table`] → [`optimizer::solve`] →
+/// capacity check → [`PartitionMap::pack`]/[`pack_stable`]), which is
+/// what makes online-vs-offline parity a meaningful test.
+///
+/// [`pack_stable`]: PartitionMap::pack_stable
+#[derive(Debug, Clone, Copy)]
+pub struct SolverContext<'a> {
+    /// Region table of the replayed trace (names the partition keys).
+    pub table: &'a RegionTable,
+    /// The allocation-unit lattice partition sizes are drawn from.
+    pub lattice: &'a CacheSizeLattice,
+    /// Geometry of the L2 being controlled.
+    pub geometry: CacheGeometry,
+    /// Solver used for every re-solve.
+    pub optimizer: OptimizerKind,
+}
+
+impl SolverContext<'_> {
+    /// Solves the allocation problem on one window's measured curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates curve-conversion and optimizer errors.
+    pub fn solve(&self, curves: &MissRateCurves) -> Result<Allocation, CoreError> {
+        let profiles = curves.to_profiles(self.lattice, self.geometry.ways())?;
+        let problem =
+            allocation_problem_for_table(self.table, self.lattice, self.geometry, profiles);
+        optimizer::solve(&problem, self.optimizer)
+    }
+
+    /// Packs an allocation into a partition map — laid out fresh
+    /// ([`PartitionMap::pack`]) when `previous` is `None`, or stably
+    /// against the currently installed map
+    /// ([`PartitionMap::pack_stable`]) so unchanged keys keep their
+    /// exact sets and the switch flushes only what actually moved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CapacityExceeded`] if the allocation does
+    /// not fit the lattice, and propagates map-packing errors.
+    pub fn pack(
+        &self,
+        allocation: &Allocation,
+        previous: Option<&PartitionMap>,
+    ) -> Result<PartitionMap, CoreError> {
+        if allocation.total_units > self.lattice.total_units {
+            return Err(CoreError::CapacityExceeded {
+                requested: allocation.total_units,
+                available: self.lattice.total_units,
+            });
+        }
+        let sizes: Vec<(PartitionKey, u32)> = allocation
+            .iter()
+            .map(|(key, &units)| (*key, self.lattice.sets_of(units)))
+            .collect();
+        match previous {
+            None => PartitionMap::pack(self.geometry, &sizes).map_err(CoreError::from),
+            Some(previous) => {
+                PartitionMap::pack_stable(self.geometry, &sizes, previous).map_err(CoreError::from)
+            }
+        }
+    }
+
+    /// The profile-free fallback start map: every key of the table gets
+    /// an equal share of the sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates map construction errors (an empty table has no keys).
+    pub fn equal_split(&self) -> Result<PartitionMap, CoreError> {
+        let keys = PartitionKey::distinct_keys(self.table);
+        PartitionMap::equal_split(self.geometry, &keys).map_err(CoreError::from)
+    }
+}
+
+/// One observation handed to a policy: a profiling window just closed
+/// (or, under [`CurveFeed::Oracle`], is just opening) and the engine is
+/// at a run boundary where a repartition can be installed.
+#[derive(Debug)]
+pub struct ControllerTick<'a> {
+    /// Index of the window `curves` describe.
+    pub window: usize,
+    /// The window's measured miss-rate curves.
+    pub curves: &'a MissRateCurves,
+    /// Cycle of the run boundary the decision would be installed at.
+    pub at_cycle: u64,
+    /// The map currently installed on the L2.
+    pub current: &'a PartitionMap,
+}
+
+/// Which window's curves a tick carries — the causality knob of the
+/// controller loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveFeed {
+    /// **Causal** (the default): at the boundary opening window `N + 1`
+    /// the policy sees the measured curves of the just-closed window
+    /// `N`. This is what a real controller can know; its one-window lag
+    /// is the source of regret.
+    Measured,
+    /// **Clairvoyant**: the whole trace is profiled up front and the
+    /// tick at the same boundary carries the curves of the *opening*
+    /// window `N + 1`. A [`Greedy`] policy on this feed reproduces the
+    /// offline per-window schedule switch for switch (the parity test),
+    /// isolating the lag from every other difference.
+    Oracle,
+}
+
+/// Configuration of a controlled replay.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// How the stream is sliced into profiling windows. Must be
+    /// [`WindowKind::Cycles`]: a cycle grid closes windows exactly at
+    /// run boundaries of the replayed stream (every refill of a run
+    /// carries the run's start cycle), so the switch the policy emits
+    /// installs at the true window edge. An access-count window can
+    /// close *mid*-run, after boundary refills already replayed — the
+    /// driver rejects the configuration rather than silently lag.
+    pub window: WindowConfig,
+    /// Resolution of the online profiler.
+    pub resolution: CurveResolution,
+    /// Solver used for every re-solve.
+    pub optimizer: OptimizerKind,
+    /// Which window's curves each tick carries.
+    pub feed: CurveFeed,
+}
+
+impl ControllerConfig {
+    /// A causal controller re-solving every `window_cycles` cycles with
+    /// the exact DP solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`](compmem_cache::CacheError) if
+    /// `window_cycles` is zero.
+    pub fn cycles(window_cycles: u64, resolution: CurveResolution) -> Result<Self, CoreError> {
+        Ok(ControllerConfig {
+            window: WindowConfig::cycles(window_cycles)?,
+            resolution,
+            optimizer: OptimizerKind::ExactIlp,
+            feed: CurveFeed::Measured,
+        })
+    }
+
+    /// The same controller on the clairvoyant feed (see
+    /// [`CurveFeed::Oracle`]).
+    pub fn oracle_feed(mut self) -> Self {
+        self.feed = CurveFeed::Oracle;
+        self
+    }
+}
+
+/// An online repartitioning policy driven by the controller loop.
+pub trait ControllerPolicy {
+    /// Display name of the policy (used in regret tables and the CLI).
+    fn name(&self) -> &str;
+
+    /// The map the run starts under. With curves available (the
+    /// clairvoyant feed profiles window 0 up front) the default solves
+    /// them; otherwise it falls back to an equal split — a causal
+    /// controller knows nothing before the first window closes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and map-packing errors.
+    fn initial_map(
+        &mut self,
+        solver: &SolverContext<'_>,
+        curves: Option<&MissRateCurves>,
+    ) -> Result<PartitionMap, CoreError> {
+        match curves {
+            Some(curves) => {
+                let allocation = solver.solve(curves)?;
+                solver.pack(&allocation, None)
+            }
+            None => solver.equal_split(),
+        }
+    }
+
+    /// A policy that replays a precomputed offline schedule instead of
+    /// deciding online ([`Oracle`]). When this returns `Some`, the
+    /// driver installs the schedule through the ordinary
+    /// [`ReplaySystem::install_schedule`] path and never calls
+    /// [`observe`](ControllerPolicy::observe).
+    fn preinstalled_schedule(&self) -> Option<&PartitionSchedule> {
+        None
+    }
+
+    /// Reacts to one window boundary; `Some` installs the map at the
+    /// tick's cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and map-packing errors; the driver aborts the
+    /// decision loop and surfaces the first error after the replay.
+    fn observe(
+        &mut self,
+        solver: &SolverContext<'_>,
+        tick: &ControllerTick<'_>,
+    ) -> Result<Option<PartitionMap>, CoreError>;
+}
+
+/// Re-solves and repartitions at **every** window boundary, mirroring
+/// the offline per-phase schedule's behaviour (identical maps are still
+/// re-installed: they flush nothing and their fired boundary records
+/// segment the run for measurement, exactly as
+/// [`PhasePlan::to_schedule`](crate::experiment::PhasePlan::to_schedule)
+/// keeps same-allocation steps).
+#[derive(Debug, Default)]
+pub struct Greedy;
+
+impl ControllerPolicy for Greedy {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn observe(
+        &mut self,
+        solver: &SolverContext<'_>,
+        tick: &ControllerTick<'_>,
+    ) -> Result<Option<PartitionMap>, CoreError> {
+        let allocation = solver.solve(tick.curves)?;
+        Ok(Some(solver.pack(&allocation, Some(tick.current))?))
+    }
+}
+
+/// Sums the misses the curves predict for the next window under `map`:
+/// each key's curve evaluated at its partition's set count. `None` when
+/// any partition's shape falls outside the profiled resolution (e.g. a
+/// non-power-of-two equal-split share).
+fn predicted_misses(curves: &MissRateCurves, map: &PartitionMap, ways: u32) -> Option<u64> {
+    let mut total = 0u64;
+    for (key, curve) in &curves.curves {
+        let partition = map.partition_for(*key)?;
+        total += curve.misses(partition.sets, ways).ok()?;
+    }
+    Some(total)
+}
+
+/// Switches only on detected phase changes, and only when it pays:
+/// the [`OnlinePhaseDetector`] gates re-solving, and a candidate map is
+/// installed only if the miss savings its curves predict for the next
+/// window exceed the predicted flush cost (sets moved × ways, the upper
+/// bound on lines invalidated by the switch) by `margin`.
+#[derive(Debug)]
+pub struct Hysteresis {
+    detector: OnlinePhaseDetector,
+    margin: f64,
+}
+
+impl Hysteresis {
+    /// A detector-gated policy: phase threshold `threshold` (see
+    /// [`curve_delta`](compmem_cache::curve_delta)), switch margin
+    /// `margin` (a switch needs `savings > margin × flush_cost`).
+    /// Uses an unsmoothed detector (`alpha = 1.0`), whose decisions
+    /// match the offline segmentation window for window.
+    pub fn new(threshold: f64, margin: f64) -> Self {
+        Self::with_smoothing(threshold, 1.0, margin)
+    }
+
+    /// As [`new`](Hysteresis::new) with EWMA smoothing factor `alpha`
+    /// on the detector's deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn with_smoothing(threshold: f64, alpha: f64, margin: f64) -> Self {
+        Hysteresis {
+            detector: OnlinePhaseDetector::with_smoothing(threshold, alpha),
+            margin,
+        }
+    }
+}
+
+impl ControllerPolicy for Hysteresis {
+    fn name(&self) -> &str {
+        "hysteresis"
+    }
+
+    fn observe(
+        &mut self,
+        solver: &SolverContext<'_>,
+        tick: &ControllerTick<'_>,
+    ) -> Result<Option<PartitionMap>, CoreError> {
+        if self.detector.observe(tick.curves).is_none() {
+            return Ok(None); // still inside the current phase
+        }
+        let allocation = solver.solve(tick.curves)?;
+        let candidate = solver.pack(&allocation, Some(tick.current))?;
+        if candidate == *tick.current {
+            return Ok(None);
+        }
+        let ways = solver.geometry.ways();
+        let stay = predicted_misses(tick.curves, tick.current, ways);
+        let go = predicted_misses(tick.curves, &candidate, ways);
+        let switch = match (stay, go) {
+            // The currently installed map cannot be priced on the curves
+            // (off-lattice shapes, e.g. the equal-split start): escape it.
+            (None, _) => true,
+            // The candidate cannot be priced: stay put.
+            (Some(_), None) => false,
+            (Some(stay), Some(go)) => {
+                let savings = stay.saturating_sub(go);
+                let flush = u64::from(tick.current.moved_sets(&candidate)) * u64::from(ways);
+                savings as f64 > self.margin * flush as f64
+            }
+        };
+        Ok(switch.then_some(candidate))
+    }
+}
+
+/// The offline clairvoyant: replays the better of
+/// [`validate_phase_plan`]'s static-best and phase-scheduled runs (by
+/// measured misses plus flush write-backs). Its regret is zero by
+/// construction — [`compete`] charges every other policy against it.
+#[derive(Debug)]
+pub struct Oracle {
+    schedule: PartitionSchedule,
+    /// Measured cost of the chosen schedule in the planning replay
+    /// (misses + flush write-backs); the competition replay reproduces
+    /// it exactly, which the competition test asserts.
+    pub planned_cost: u64,
+}
+
+/// Misses plus repartition write-backs of one outcome — the single
+/// scalar cost the regret harness optimises.
+fn cost_of(outcome: &RunOutcome) -> u64 {
+    let flushed: u64 = outcome
+        .report
+        .repartitions
+        .iter()
+        .map(|r| r.flush.written_back)
+        .sum();
+    outcome.report.l2.misses + flushed
+}
+
+impl Oracle {
+    /// Plans the oracle schedule for a trace: profiles it windowed,
+    /// segments phases at `threshold`, runs the static-vs-scheduled
+    /// validation replay and keeps the cheaper policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling, solver, schedule and platform errors.
+    pub fn plan(
+        platform: &PlatformConfig,
+        l2: CacheConfig,
+        lattice: &CacheSizeLattice,
+        trace: &PreparedTrace,
+        threshold: f64,
+        config: &ControllerConfig,
+    ) -> Result<Self, CoreError> {
+        let geometry = l2.geometry();
+        let windowed = profile_trace_windowed(platform, trace, config.resolution, config.window)?;
+        let plan = phase_allocations_for_table(
+            &windowed,
+            threshold,
+            trace.table(),
+            lattice,
+            geometry,
+            config.optimizer,
+        )?;
+        let validation = validate_phase_plan(platform, l2, lattice, &plan, trace)?;
+        let static_cost = cost_of(&validation.static_outcome);
+        let scheduled_cost = cost_of(&validation.scheduled_outcome);
+        if scheduled_cost <= static_cost {
+            Ok(Oracle {
+                schedule: validation.schedule,
+                planned_cost: scheduled_cost,
+            })
+        } else {
+            let sizes: Vec<(PartitionKey, u32)> = plan
+                .whole_run
+                .iter()
+                .map(|(key, &units)| (*key, lattice.sets_of(units)))
+                .collect();
+            let map = PartitionMap::pack(geometry, &sizes)?;
+            Ok(Oracle {
+                schedule: PartitionSchedule::single(OrganizationSpec::SetPartitioned(map)),
+                planned_cost: static_cost,
+            })
+        }
+    }
+
+    /// The schedule the oracle replays.
+    pub fn schedule(&self) -> &PartitionSchedule {
+        &self.schedule
+    }
+}
+
+impl ControllerPolicy for Oracle {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn preinstalled_schedule(&self) -> Option<&PartitionSchedule> {
+        Some(&self.schedule)
+    }
+
+    fn observe(
+        &mut self,
+        _solver: &SolverContext<'_>,
+        _tick: &ControllerTick<'_>,
+    ) -> Result<Option<PartitionMap>, CoreError> {
+        Ok(None) // never reached: the driver takes the preinstalled path
+    }
+}
+
+/// Result of one controlled replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlledOutcome {
+    /// Name of the policy that drove the run.
+    pub policy: String,
+    /// The replay outcome (report, per-key statistics, repartition log).
+    pub outcome: RunOutcome,
+    /// Window boundaries the policy was shown (0 for a preinstalled
+    /// schedule, which bypasses the online loop).
+    pub ticks: usize,
+    /// The run's partitioning as an offline-equivalent schedule: the
+    /// initial map plus every switch the controller installed, in the
+    /// exact form [`PhasePlan::to_schedule`] would produce — the parity
+    /// test compares the two byte for byte.
+    ///
+    /// [`PhasePlan::to_schedule`]: crate::experiment::PhasePlan::to_schedule
+    pub schedule: PartitionSchedule,
+}
+
+impl ControlledOutcome {
+    /// Every switch fired during the run, folded into one flush total.
+    pub fn total_flush(&self) -> FlushStats {
+        let mut total = FlushStats::default();
+        for record in &self.outcome.report.repartitions {
+            total.absorb(record.flush);
+        }
+        total
+    }
+
+    /// The scalar the regret harness charges: L2 misses plus flush
+    /// write-backs (each written-back line is one extra bus/DRAM
+    /// transfer the switch caused).
+    pub fn cost(&self) -> u64 {
+        cost_of(&self.outcome)
+    }
+
+    /// Switches the run actually fired.
+    pub fn switches(&self) -> usize {
+        self.outcome.report.repartitions.len()
+    }
+}
+
+/// Replays a recorded trace under an online controller policy.
+///
+/// The engine observes every run of the replayed stream *before* it
+/// executes (profiling is organisation-independent, so feeding the
+/// profiler ahead of the replay does not peek at timing the controller
+/// could not know). When the profiler closes a window, the policy is
+/// shown the window's curves ([`ControllerTick`]) and may answer with a
+/// map, which is pushed as a switch at the observed run's start cycle —
+/// it fires inside the engine at the first refill reaching that
+/// boundary, with exact [`FlushStats`] accounting, precisely like a
+/// pre-installed [`PartitionSchedule`] step.
+///
+/// # Errors
+///
+/// * [`CoreError::NonLruProfiling`] if the L2's replacement policy is
+///   not LRU — the controller's curves would be fiction;
+/// * [`CoreError::Infeasible`] if the window kind is not
+///   [`WindowKind::Cycles`] (see [`ControllerConfig::window`]);
+/// * solver, map-packing, schedule and platform errors from the
+///   decision loop and the replay.
+pub fn replay_controlled(
+    platform: &PlatformConfig,
+    l2: CacheConfig,
+    lattice: &CacheSizeLattice,
+    trace: &Arc<PreparedTrace>,
+    policy: &mut dyn ControllerPolicy,
+    config: &ControllerConfig,
+) -> Result<ControlledOutcome, CoreError> {
+    if l2.replacement_policy() != ReplacementPolicy::Lru {
+        return Err(CoreError::NonLruProfiling {
+            policy: l2.replacement_policy().to_string(),
+        });
+    }
+    let table = trace.table();
+    let geometry = l2.geometry();
+    let solver = SolverContext {
+        table,
+        lattice,
+        geometry,
+        optimizer: config.optimizer,
+    };
+
+    // A preinstalled schedule (the oracle) replays through the ordinary
+    // scheduled path: same engine, no online loop.
+    if let Some(schedule) = policy.preinstalled_schedule() {
+        let schedule = schedule.clone();
+        let l2_model = schedule.initial().build(l2, table)?;
+        let mut system = ReplaySystem::new(platform, l2_model, trace)?;
+        if !schedule.is_static() {
+            system.install_schedule(&schedule, table)?;
+        }
+        let report = system.run();
+        let by_key = by_key_from_regions(table, &report);
+        let l2_snapshot = system.into_l2().snapshot();
+        return Ok(ControlledOutcome {
+            policy: policy.name().to_string(),
+            outcome: RunOutcome {
+                report,
+                by_key,
+                l2_snapshot,
+                lane_decision: None,
+            },
+            ticks: 0,
+            schedule,
+        });
+    }
+
+    if config.window.kind != WindowKind::Cycles {
+        return Err(CoreError::Infeasible {
+            reason: format!(
+                "the online controller requires cycle windows ({:?} windows can close \
+                 mid-run, after the boundary's refills already replayed)",
+                config.window.kind
+            ),
+        });
+    }
+
+    // The clairvoyant feed profiles the whole trace up front; the causal
+    // feed starts blind.
+    let precomputed = match config.feed {
+        CurveFeed::Oracle => Some(profile_trace_windowed(
+            platform,
+            trace,
+            config.resolution,
+            config.window,
+        )?),
+        CurveFeed::Measured => None,
+    };
+    let initial_curves = precomputed
+        .as_ref()
+        .and_then(|w| w.windows.first())
+        .map(|w| &w.curves);
+    let initial = policy.initial_map(&solver, initial_curves)?;
+
+    let l2_model = OrganizationSpec::SetPartitioned(initial.clone()).build(l2, table)?;
+    let mut system = ReplaySystem::new(platform, l2_model, trace)?;
+
+    let mut profiler = WindowedProfiler::new(config.window, config.resolution, table);
+    let mut closed = 0usize; // windows already shown to the policy
+    let mut ticks = 0usize;
+    let mut current = initial.clone();
+    let mut installed: Vec<ScheduleStep> = Vec::new();
+    let mut decision_error: Option<CoreError> = None;
+
+    let report = system.run_controlled(table, |obs| {
+        if decision_error.is_some() {
+            return None; // inert after the first failed decision
+        }
+        for refill in obs.refills {
+            profiler.observe_at(obs.start_cycle, &refill.access);
+        }
+        let mut decided: Option<PartitionMap> = None;
+        while closed < profiler.windows().len() {
+            let tick_source = match (&precomputed, config.feed) {
+                (Some(windowed), CurveFeed::Oracle) => windowed
+                    .windows
+                    .get(closed + 1)
+                    .map(|w| (closed + 1, &w.curves)),
+                _ => Some((closed, &profiler.windows()[closed].curves)),
+            };
+            closed += 1;
+            let Some((window, curves)) = tick_source else {
+                continue; // clairvoyant feed past the last window: nothing to open
+            };
+            ticks += 1;
+            let tick = ControllerTick {
+                window,
+                curves,
+                at_cycle: obs.start_cycle,
+                current: decided.as_ref().unwrap_or(&current),
+            };
+            match policy.observe(&solver, &tick) {
+                // First decision of the boundary wins, mirroring the
+                // offline schedule's folding of same-cycle steps.
+                Ok(Some(map)) if decided.is_none() => decided = Some(map),
+                Ok(_) => {}
+                Err(e) => {
+                    decision_error = Some(e);
+                    return None;
+                }
+            }
+        }
+        decided.map(|map| {
+            current = map.clone();
+            let organization = OrganizationSpec::SetPartitioned(map);
+            installed.push(ScheduleStep {
+                at_cycle: obs.start_cycle,
+                organization: organization.clone(),
+            });
+            organization
+        })
+    })?;
+    if let Some(error) = decision_error {
+        return Err(error);
+    }
+
+    let mut steps: Vec<(u64, OrganizationSpec)> =
+        vec![(0, OrganizationSpec::SetPartitioned(initial))];
+    steps.extend(installed.into_iter().map(|s| (s.at_cycle, s.organization)));
+    let schedule = PartitionSchedule::new(steps)?;
+
+    let by_key = by_key_from_regions(table, &report);
+    let l2_snapshot = system.into_l2().snapshot();
+    Ok(ControlledOutcome {
+        policy: policy.name().to_string(),
+        outcome: RunOutcome {
+            report,
+            by_key,
+            l2_snapshot,
+            lane_decision: None,
+        },
+        ticks,
+        schedule,
+    })
+}
+
+/// Replays a precomputed schedule by **pushing** each switch at the
+/// first run boundary reaching its cycle — the stream-order firing
+/// semantics of the online controller — instead of pre-installing it.
+///
+/// The two semantics differ only in *where inside the stream* a switch
+/// lands: [`ReplaySystem::install_schedule`] fires on the replayed
+/// clock, which can be mid-way through an earlier run whose replayed
+/// timing overshoots the boundary; the push path fires at the boundary
+/// run's first refill, which is all a causal controller can do (its
+/// decision needs the window that the boundary run closes). Replaying
+/// the *offline* schedule through this function therefore gives the
+/// exact reference an online policy must match byte for byte — the
+/// parity test's yardstick.
+///
+/// # Errors
+///
+/// Propagates cache-model, schedule and platform errors.
+pub fn replay_pushed(
+    platform: &PlatformConfig,
+    l2: CacheConfig,
+    schedule: &PartitionSchedule,
+    trace: &Arc<PreparedTrace>,
+) -> Result<ControlledOutcome, CoreError> {
+    let table = trace.table();
+    let l2_model = schedule.initial().build(l2, table)?;
+    let mut system = ReplaySystem::new(platform, l2_model, trace)?;
+    let switches: Vec<ScheduleStep> = schedule.switches().to_vec();
+    let mut next = 0usize;
+    let report = system.run_controlled(table, |obs| {
+        let mut due: Option<OrganizationSpec> = None;
+        // Several boundaries may fall inside one run gap; the last due
+        // organisation is the one that should be in force.
+        while next < switches.len() && switches[next].at_cycle <= obs.start_cycle {
+            due = Some(switches[next].organization.clone());
+            next += 1;
+        }
+        due
+    })?;
+    let by_key = by_key_from_regions(table, &report);
+    let l2_snapshot = system.into_l2().snapshot();
+    Ok(ControlledOutcome {
+        policy: "pushed".to_string(),
+        outcome: RunOutcome {
+            report,
+            by_key,
+            l2_snapshot,
+            lane_decision: None,
+        },
+        ticks: 0,
+        schedule: schedule.clone(),
+    })
+}
+
+/// One row of a [`RegretReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyRegret {
+    /// Policy name.
+    pub policy: String,
+    /// Measured L2 misses of the policy's run.
+    pub misses: u64,
+    /// Lines written back by the policy's repartition flushes.
+    pub flush_written_back: u64,
+    /// Switches the run fired.
+    pub switches: usize,
+    /// Misses plus flush write-backs.
+    pub cost: u64,
+    /// `cost − oracle_cost`; the oracle's own row is zero by
+    /// construction.
+    pub regret: i64,
+}
+
+/// The competition's verdict: every policy's measured cost charged
+/// against the oracle's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegretReport {
+    /// Name of the baseline the others are charged against (`"oracle"`
+    /// when present, otherwise the cheapest entry).
+    pub baseline: String,
+    /// The baseline's cost.
+    pub oracle_cost: u64,
+    /// One row per competed policy, in competition order.
+    pub entries: Vec<PolicyRegret>,
+}
+
+impl RegretReport {
+    /// Builds the report from competed outcomes: the entry named
+    /// `"oracle"` is the baseline; without one, the cheapest entry is.
+    pub fn from_outcomes(outcomes: &[ControlledOutcome]) -> RegretReport {
+        let baseline = outcomes
+            .iter()
+            .find(|o| o.policy == "oracle")
+            .or_else(|| outcomes.iter().min_by_key(|o| o.cost()));
+        let (baseline, oracle_cost) =
+            baseline.map_or_else(|| ("none".to_string(), 0), |o| (o.policy.clone(), o.cost()));
+        let entries = outcomes
+            .iter()
+            .map(|o| PolicyRegret {
+                policy: o.policy.clone(),
+                misses: o.outcome.report.l2.misses,
+                flush_written_back: o.total_flush().written_back,
+                switches: o.switches(),
+                cost: o.cost(),
+                regret: o.cost() as i64 - oracle_cost as i64,
+            })
+            .collect();
+        RegretReport {
+            baseline,
+            oracle_cost,
+            entries,
+        }
+    }
+
+    /// The report as a fixed-width text table (one header line, one row
+    /// per policy), for the CLI and the CI smoke log.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "{:<12} {:>12} {:>12} {:>8} {:>12} {:>10}\n",
+            "policy", "misses", "flushed", "switches", "cost", "regret"
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>12} {:>8} {:>12} {:>10}\n",
+                e.policy, e.misses, e.flush_written_back, e.switches, e.cost, e.regret
+            ));
+        }
+        out
+    }
+}
+
+/// Runs every policy on the **same** recorded trace under one
+/// configuration and charges each against the oracle (any policy whose
+/// [`preinstalled_schedule`](ControllerPolicy::preinstalled_schedule)
+/// is set and whose name is `"oracle"`).
+///
+/// # Errors
+///
+/// As for [`replay_controlled`], for whichever policy fails first.
+pub fn compete(
+    platform: &PlatformConfig,
+    l2: CacheConfig,
+    lattice: &CacheSizeLattice,
+    trace: &Arc<PreparedTrace>,
+    policies: &mut [&mut dyn ControllerPolicy],
+    config: &ControllerConfig,
+) -> Result<(Vec<ControlledOutcome>, RegretReport), CoreError> {
+    let mut outcomes = Vec::with_capacity(policies.len());
+    for policy in policies.iter_mut() {
+        outcomes.push(replay_controlled(
+            platform, l2, lattice, trace, *policy, config,
+        )?);
+    }
+    let report = RegretReport::from_outcomes(&outcomes);
+    Ok((outcomes, report))
+}

@@ -476,7 +476,7 @@ impl PaperFlowOutcome {
 }
 
 /// Aggregates per-region statistics into per-partition-key statistics.
-fn by_key_from_regions(
+pub(crate) fn by_key_from_regions(
     table: &RegionTable,
     report: &SystemReport,
 ) -> BTreeMap<PartitionKey, KeyStats> {

@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod compositionality;
+pub mod controller;
 mod error;
 pub mod executor;
 pub mod experiment;
@@ -77,6 +78,11 @@ pub mod optimizer;
 pub mod profile;
 pub mod report;
 
+pub use controller::{
+    compete, replay_controlled, replay_pushed, ControlledOutcome, ControllerConfig,
+    ControllerPolicy, ControllerTick, CurveFeed, Greedy, Hysteresis, Oracle, PolicyRegret,
+    RegretReport, SolverContext,
+};
 pub use error::CoreError;
 pub use optimizer::{Allocation, AllocationProblem, OptimizerKind};
 pub use profile::{

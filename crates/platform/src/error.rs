@@ -75,6 +75,16 @@ pub enum PlatformError {
         /// Rendered ineligibility reason.
         reason: String,
     },
+    /// An online controller (see
+    /// [`SystemController`](crate::SystemController)) emitted a
+    /// repartition the memory system rejected — an out-of-order boundary
+    /// cycle, a wrong-geometry map or an uncovered region (the rendered
+    /// [`CacheError`](compmem_cache::CacheError)). The run stops at the
+    /// rejecting chunk.
+    ControlCache {
+        /// Rendered message of the cache error.
+        message: String,
+    },
     /// A wire-protocol frame could not be read, written or decoded (the
     /// rendered I/O or framing problem; `std::io::Error` is not `Clone`).
     /// Raised by the `compmem serve` transport — a malformed frame is a
@@ -141,6 +151,9 @@ impl fmt::Display for PlatformError {
                 "{requested} lanes were required but the scenario cannot \
                  split into per-key lanes: {reason}"
             ),
+            PlatformError::ControlCache { message } => {
+                write!(f, "online controller repartition rejected: {message}")
+            }
             PlatformError::Wire { message } => {
                 write!(f, "wire protocol error: {message}")
             }

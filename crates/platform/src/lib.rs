@@ -112,11 +112,11 @@ pub use profile::{
 };
 pub use replay::{
     AccessTap, FilteredRun, FilteredTrace, NullTap, PreparedTrace, ReplayCounters, ReplayProcessor,
-    ReplaySystem,
+    ReplaySystem, RunObservation,
 };
 pub use scheduler::TaskMapping;
 pub use serve::{
     CommandFailure, CommandHandler, CurveStore, ServeClient, ServeErrorKind, ServeRequest,
     ServeResponse, ServeStats, ServedFrom, Server,
 };
-pub use system::System;
+pub use system::{System, SystemController};

@@ -3,7 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use compmem_cache::{
-    CacheError, CacheModel, CacheStats, PartitionSchedule, ScheduleStep, SetAssocCache,
+    CacheError, CacheModel, CacheStats, OrganizationSpec, PartitionSchedule, ScheduleStep,
+    SetAssocCache,
 };
 use compmem_trace::{Access, RegionTable, LINE_SIZE_BYTES};
 
@@ -173,6 +174,60 @@ impl MemorySystem {
         self.next_switch = 0;
         self.next_switch_at = self.switches.first().map_or(u64::MAX, |step| step.at_cycle);
         self.repartition_log.clear();
+        Ok(())
+    }
+
+    /// Appends one pending repartition event: from `at_cycle` on, the L2
+    /// runs under `organization`.
+    ///
+    /// This is the incremental sibling of
+    /// [`install_schedule`](MemorySystem::install_schedule) for online
+    /// controllers that decide switches *during* a run: the step passes
+    /// the same geometry/coverage/like-for-like validation a schedule
+    /// step does, joins the same pending queue, and fires through the
+    /// same [`apply_due_repartitions`](MemorySystem::apply_due_repartitions)
+    /// machinery with exact flush accounting — once pending, a pushed
+    /// switch and an installed one are indistinguishable. Unlike
+    /// `install_schedule`, pushing never resets the repartition log, so
+    /// fired events keep accumulating across pushes.
+    ///
+    /// # Errors
+    ///
+    /// * [`CacheError::ScheduleOutOfOrder`] if `at_cycle` is 0 (step 0 is
+    ///   the organisation the cache was built with) or does not lie
+    ///   strictly after the last pushed or installed switch,
+    /// * [`CacheError::ReconfigureUnsupported`] if `organization` is not
+    ///   like-for-like with the live L2,
+    /// * geometry and coverage errors as for
+    ///   [`PartitionSchedule::validate_for`].
+    pub fn push_switch(
+        &mut self,
+        at_cycle: u64,
+        organization: OrganizationSpec,
+        regions: &RegionTable,
+    ) -> Result<(), CacheError> {
+        if at_cycle == 0 || self.switches.last().is_some_and(|s| at_cycle <= s.at_cycle) {
+            return Err(CacheError::ScheduleOutOfOrder { at_cycle });
+        }
+        let (from, to) = (self.l2.organization(), organization.label());
+        if from != to || matches!(organization, OrganizationSpec::Profiling(_)) {
+            return Err(CacheError::ReconfigureUnsupported { from, to });
+        }
+        // Reuse the schedule validator for the geometry/coverage checks:
+        // a pushed step must satisfy exactly what an installed one does.
+        PartitionSchedule::single(organization.clone())
+            .validate_for(self.l2.geometry(), regions)?;
+        self.switches.push(ScheduleStep {
+            at_cycle,
+            organization,
+        });
+        if self.switch_regions.is_none() {
+            self.switch_regions = Some(regions.clone());
+        }
+        self.next_switch_at = self
+            .switches
+            .get(self.next_switch)
+            .map_or(u64::MAX, |step| step.at_cycle);
         Ok(())
     }
 

@@ -45,7 +45,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use compmem_cache::{
-    CacheConfig, CacheError, CacheModel, CacheStats, PartitionSchedule, SetAssocCache,
+    CacheConfig, CacheError, CacheModel, CacheStats, OrganizationSpec, PartitionSchedule,
+    SetAssocCache,
 };
 use compmem_trace::codec::{EncodedTrace, TraceRun, TraceSummary, TraceWriter};
 use compmem_trace::{Access, RegionTable};
@@ -519,6 +520,26 @@ impl ReplayProcessor {
     }
 }
 
+/// One pre-replay observation handed to a [`ReplaySystem::run_controlled`]
+/// controller: the globally next recorded run, just before it replays.
+///
+/// The refills are the run's L2-bound stream — the same
+/// organisation-independent data the windowed profilers consume — so a
+/// controller can profile the run *before* replaying it without
+/// disturbing determinism: profiling depends only on the trace and the
+/// L1 filter, never on the L2 organisation the controller is switching.
+#[derive(Debug)]
+pub struct RunObservation<'a> {
+    /// Global sequence number of the run in the recorded interleaving.
+    pub sequence: u64,
+    /// Recorded processor that issued the run.
+    pub processor: usize,
+    /// Recorded issue cycle of the run's first access.
+    pub start_cycle: u64,
+    /// The run's L2-bound refills (its L1 misses), in order.
+    pub refills: &'a [L1Refill],
+}
+
 /// A multiprocessor system that replays a recorded trace instead of
 /// executing a workload.
 ///
@@ -634,6 +655,60 @@ impl ReplaySystem {
         // must fire the same switches live and replayed.
         self.memory.apply_due_repartitions(u64::MAX);
         self.report()
+    }
+
+    /// Replays the whole trace with an online controller in the loop.
+    ///
+    /// The event loop is [`run`](ReplaySystem::run)'s, with one extra
+    /// step: before each recorded run replays, `controller` observes it
+    /// (sequence number, recorded start cycle, L2-bound refills — see
+    /// [`RunObservation`]). Returning `Some(organization)` pushes a
+    /// repartition at the run's start cycle through
+    /// [`MemorySystem::push_switch`]; because the run's refill clocks
+    /// start at exactly that cycle, the switch fires at the run's first
+    /// refill — with the same flush accounting, bus charging and
+    /// [`RepartitionRecord`](crate::RepartitionRecord) logging an
+    /// installed schedule's switch gets. Trailing switches fire at the
+    /// end, exactly as in `run`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemorySystem::push_switch`] validation errors; the
+    /// replay stops at the offending decision.
+    pub fn run_controlled<F>(
+        &mut self,
+        regions: &RegionTable,
+        mut controller: F,
+    ) -> Result<SystemReport, CacheError>
+    where
+        F: FnMut(&RunObservation<'_>) -> Option<OrganizationSpec>,
+    {
+        let filtered = self.filtered.clone();
+        let mut events: EventQueue<usize> = EventQueue::new();
+        for (pi, p) in self.processors.iter().enumerate() {
+            if let Some(seq) = p.next_sequence() {
+                events.push(seq, pi);
+            }
+        }
+        while let Some((seq, pi)) = events.pop() {
+            let run = &filtered.runs[seq as usize];
+            let observation = RunObservation {
+                sequence: seq,
+                processor: run.processor as usize,
+                start_cycle: run.start_cycle,
+                refills: &run.refills,
+            };
+            if let Some(organization) = controller(&observation) {
+                self.memory
+                    .push_switch(run.start_cycle, organization, regions)?;
+            }
+            self.processors[pi].replay_next(&mut self.memory, &filtered.runs);
+            if let Some(seq) = self.processors[pi].next_sequence() {
+                events.push(seq, pi);
+            }
+        }
+        self.memory.apply_due_repartitions(u64::MAX);
+        Ok(self.report())
     }
 
     fn report(&self) -> SystemReport {

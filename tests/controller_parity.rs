@@ -1,0 +1,321 @@
+//! Online-vs-offline parity of the self-tuning cache controller.
+//!
+//! The controller loop (`compmem::controller`) is correct when it is a
+//! strict *causal re-arrangement* of the offline pipeline: with the
+//! window grid fixed, every window its own phase (threshold `-1.0`) and
+//! the clairvoyant curve feed, the online `Greedy` policy must
+//! reproduce the offline `PhasePlan::to_schedule` run **byte for byte**
+//! — same switch sequence, same `RepartitionRecord`s (boundaries and
+//! flush stats), same final cache snapshot. And a controller that never
+//! switches must be invisible: its run is the static run.
+
+use std::sync::Arc;
+
+use compmem::controller::{
+    replay_controlled, replay_pushed, ControllerConfig, ControllerPolicy, ControllerTick, Greedy,
+    SolverContext,
+};
+use compmem::experiment::{
+    phase_allocations_for_table, run_replay, Experiment, ExperimentConfig, ScenarioSpec,
+};
+use compmem::{CoreError, OptimizerKind};
+use compmem_cache::{
+    CacheConfig, CacheSizeLattice, CurveResolution, MissRateCurves, OrganizationSpec, PartitionKey,
+    PartitionMap, ReplacementPolicy, WindowConfig,
+};
+use compmem_platform::{profile_trace_windowed, PlatformConfig, PreparedTrace};
+use compmem_workloads::apps::{mpeg2_app, Application, Mpeg2Params};
+
+const SETS_PER_UNIT: u32 = 2;
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        l2: CacheConfig::with_size_bytes(32 * 1024, 4).unwrap(),
+        sets_per_unit: SETS_PER_UNIT,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn mpeg2_experiment() -> Experiment<impl Fn() -> Application> {
+    let params = Mpeg2Params::tiny();
+    Experiment::new(tiny_config(), move || {
+        mpeg2_app(&params).expect("valid params")
+    })
+}
+
+struct Fixture {
+    trace: Arc<PreparedTrace>,
+    l2: CacheConfig,
+    platform: PlatformConfig,
+    lattice: CacheSizeLattice,
+    resolution: CurveResolution,
+    window_cycles: u64,
+}
+
+fn fixture() -> Fixture {
+    let experiment = mpeg2_experiment();
+    let (live, trace) = experiment.record_trace(&experiment.shared_spec()).unwrap();
+    let l2 = experiment.config().l2;
+    Fixture {
+        trace,
+        l2,
+        platform: experiment.config().platform,
+        lattice: CacheSizeLattice::new(l2.geometry(), SETS_PER_UNIT),
+        resolution: CurveResolution::for_geometry(l2.geometry(), SETS_PER_UNIT).unwrap(),
+        window_cycles: (live.report.makespan_cycles / 5).max(1),
+    }
+}
+
+/// With fixed window boundaries, one phase per window and the
+/// clairvoyant feed, the online `Greedy` controller and the offline
+/// `PhasePlan::to_schedule` pipeline produce the identical schedule and
+/// the identical run: same `ScheduleStep`s, same fired
+/// `RepartitionRecord`s (boundary cycles *and* flush stats), same
+/// snapshot, same per-key statistics.
+#[test]
+fn greedy_on_oracle_feed_reproduces_the_offline_schedule_byte_for_byte() {
+    let f = fixture();
+    let geometry = f.l2.geometry();
+    let window = WindowConfig::cycles(f.window_cycles).unwrap();
+
+    let windowed = profile_trace_windowed(&f.platform, &f.trace, f.resolution, window).unwrap();
+    assert!(
+        windowed.windows.len() >= 3,
+        "need several windows for a meaningful parity run, got {}",
+        windowed.windows.len()
+    );
+    let plan = phase_allocations_for_table(
+        &windowed,
+        -1.0, // every window its own phase
+        f.trace.table(),
+        &f.lattice,
+        geometry,
+        OptimizerKind::ExactIlp,
+    )
+    .unwrap();
+    assert_eq!(plan.phases.len(), windowed.windows.len());
+    let offline_schedule = plan.to_schedule(&f.lattice, geometry).unwrap();
+    let offline = run_replay(
+        &f.platform,
+        &ScenarioSpec::scheduled_replay(f.l2, offline_schedule.clone(), Arc::clone(&f.trace)),
+    )
+    .unwrap();
+
+    let config = ControllerConfig::cycles(f.window_cycles, f.resolution)
+        .unwrap()
+        .oracle_feed();
+    let online = replay_controlled(
+        &f.platform,
+        f.l2,
+        &f.lattice,
+        &f.trace,
+        &mut Greedy,
+        &config,
+    )
+    .unwrap();
+
+    assert_eq!(
+        online.schedule, offline_schedule,
+        "the controller must emit the offline schedule switch for switch"
+    );
+    assert_eq!(online.ticks, windowed.windows.len() - 1);
+
+    // The pre-installed offline replay fires on the replayed clock —
+    // possibly a few refills *before* the boundary run, when an earlier
+    // run's replayed timing overshoots the boundary — so only the switch
+    // boundaries are comparable against it.
+    let offline_boundaries: Vec<u64> = offline
+        .report
+        .repartitions
+        .iter()
+        .map(|r| r.at_cycle)
+        .collect();
+    let online_boundaries: Vec<u64> = online
+        .outcome
+        .report
+        .repartitions
+        .iter()
+        .map(|r| r.at_cycle)
+        .collect();
+    assert_eq!(online_boundaries, offline_boundaries);
+
+    // The byte-for-byte reference: the *same offline schedule* replayed
+    // with the controller's stream-order firing semantics (each switch
+    // at its boundary run). Decisions and execution must now coincide
+    // exactly — same `RepartitionRecord`s, flush stats, snapshot, all.
+    let pushed = replay_pushed(&f.platform, f.l2, &offline_schedule, &f.trace).unwrap();
+    assert_eq!(
+        online.outcome.report.repartitions, pushed.outcome.report.repartitions,
+        "every fired switch must match: boundary cycle and flush stats"
+    );
+    assert_eq!(
+        online.outcome, pushed.outcome,
+        "the whole run must be identical"
+    );
+}
+
+/// A policy that observes every window but never switches.
+struct Never;
+
+impl ControllerPolicy for Never {
+    fn name(&self) -> &str {
+        "never"
+    }
+
+    fn observe(
+        &mut self,
+        _solver: &SolverContext<'_>,
+        _tick: &ControllerTick<'_>,
+    ) -> Result<Option<PartitionMap>, CoreError> {
+        Ok(None)
+    }
+}
+
+/// A never-switching controller does not perturb the run: its outcome is
+/// byte-identical to the static run under its start map, its repartition
+/// log is empty and its reported schedule is the static single-step one.
+#[test]
+fn never_switching_controller_is_byte_identical_to_the_static_run() {
+    let f = fixture();
+    let keys = PartitionKey::distinct_keys(f.trace.table());
+    let map = PartitionMap::equal_split(f.l2.geometry(), &keys).unwrap();
+    let static_outcome = run_replay(
+        &f.platform,
+        &ScenarioSpec::replay(
+            f.l2,
+            OrganizationSpec::SetPartitioned(map.clone()),
+            Arc::clone(&f.trace),
+        ),
+    )
+    .unwrap();
+
+    let config = ControllerConfig::cycles(f.window_cycles, f.resolution).unwrap();
+    let online =
+        replay_controlled(&f.platform, f.l2, &f.lattice, &f.trace, &mut Never, &config).unwrap();
+
+    assert_eq!(
+        online.outcome, static_outcome,
+        "a silent controller must be invisible"
+    );
+    assert!(online.outcome.report.repartitions.is_empty());
+    assert!(online.schedule.is_static());
+    assert_eq!(
+        *online.schedule.initial(),
+        OrganizationSpec::SetPartitioned(map)
+    );
+    assert!(online.ticks > 0, "the policy was actually consulted");
+}
+
+/// The controller path rejects a non-LRU L2 up front with the typed
+/// `CoreError::NonLruProfiling` — its curves would be fiction on any
+/// other policy — instead of silently profiling garbage.
+#[test]
+fn controller_rejects_non_lru_l2_with_a_typed_error() {
+    let f = fixture();
+    let config = ControllerConfig::cycles(f.window_cycles, f.resolution).unwrap();
+    for policy in [
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Random,
+    ] {
+        let non_lru = f.l2.policy(policy);
+        let err = replay_controlled(
+            &f.platform,
+            non_lru,
+            &f.lattice,
+            &f.trace,
+            &mut Greedy,
+            &config,
+        )
+        .unwrap_err();
+        match err {
+            CoreError::NonLruProfiling { policy: name } => {
+                assert_eq!(name, policy.to_string());
+            }
+            other => panic!("expected NonLruProfiling for {policy:?}, got {other:?}"),
+        }
+    }
+}
+
+/// Non-cycle window kinds are rejected: an access-count window can close
+/// mid-run, after the boundary's refills already replayed, so the
+/// controller could not install the switch at the true window edge.
+#[test]
+fn controller_rejects_access_count_windows() {
+    let f = fixture();
+    let config = ControllerConfig {
+        window: WindowConfig::accesses(400).unwrap(),
+        resolution: f.resolution,
+        optimizer: OptimizerKind::ExactIlp,
+        feed: compmem::controller::CurveFeed::Measured,
+    };
+    let err = replay_controlled(
+        &f.platform,
+        f.l2,
+        &f.lattice,
+        &f.trace,
+        &mut Greedy,
+        &config,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, CoreError::Infeasible { .. }),
+        "expected Infeasible, got {err:?}"
+    );
+}
+
+/// The causal (measured-feed) controller is deterministic: two identical
+/// controlled replays produce identical outcomes, schedules and logs.
+#[test]
+fn measured_feed_controller_is_deterministic() {
+    let f = fixture();
+    let config = ControllerConfig::cycles(f.window_cycles, f.resolution).unwrap();
+    let run = || {
+        replay_controlled(
+            &f.platform,
+            f.l2,
+            &f.lattice,
+            &f.trace,
+            &mut Greedy,
+            &config,
+        )
+        .unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.outcome, second.outcome);
+    assert_eq!(first.schedule, second.schedule);
+    assert_eq!(first.ticks, second.ticks);
+    assert!(
+        first.ticks >= 2,
+        "the controller must actually tick: {} windows",
+        first.ticks
+    );
+    // Greedy re-solves every window: every boundary after the first
+    // window carries an installed switch.
+    assert_eq!(first.schedule.switches().len(), first.ticks);
+}
+
+/// `MissRateCurves` is consumed by the controller exactly as produced by
+/// the profiler: the online profiler's windows equal the offline pass's
+/// windows on the same stream (sanity anchor for the feeds).
+#[test]
+fn online_and_offline_profilers_agree_on_windows() {
+    let f = fixture();
+    let window = WindowConfig::cycles(f.window_cycles).unwrap();
+    let a: Vec<MissRateCurves> =
+        profile_trace_windowed(&f.platform, &f.trace, f.resolution, window)
+            .unwrap()
+            .windows
+            .into_iter()
+            .map(|w| w.curves)
+            .collect();
+    let b: Vec<MissRateCurves> =
+        profile_trace_windowed(&f.platform, &f.trace, f.resolution, window)
+            .unwrap()
+            .windows
+            .into_iter()
+            .map(|w| w.curves)
+            .collect();
+    assert_eq!(a, b);
+}

@@ -1,20 +1,29 @@
 //! Property-based tests of the core invariants of the memory system.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
 
+use compmem::controller::{
+    replay_controlled, ControllerConfig, ControllerPolicy, ControllerTick, SolverContext,
+};
+use compmem::experiment::{run_replay, Experiment, ExperimentConfig, RunOutcome, ScenarioSpec};
 use compmem::optimizer::{
     solve_equal_split, solve_exact, solve_exhaustive, solve_greedy, AllocationEntity,
     AllocationProblem,
 };
 use compmem::profile::{MissProfile, MissProfiles};
+use compmem::{CoreError, OptimizerKind};
 use compmem_cache::{
-    CacheConfig, CacheGeometry, CacheModel, PartitionKey, PartitionMap, SetPartitionedCache,
-    SharedCache,
+    CacheConfig, CacheGeometry, CacheModel, CacheSizeLattice, CurveResolution, OrganizationSpec,
+    PartitionKey, PartitionMap, PartitionSchedule, SetPartitionedCache, SharedCache, WindowConfig,
+    WindowedProfiler,
 };
+use compmem_platform::{PlatformConfig, PreparedTrace};
 use compmem_trace::stats::ReuseDistanceHistogram;
 use compmem_trace::{Access, Addr, RegionKind, RegionTable, TaskId};
+use compmem_workloads::apps::{mpeg2_app, Mpeg2Params};
 
 /// Strategy: a short trace of line-aligned accesses of one task inside a
 /// bounded working set.
@@ -403,5 +412,171 @@ proptest! {
         for (m, s) in merged.windows.iter().zip(&serial.windows) {
             prop_assert_eq!(m, s);
         }
+    }
+
+    /// The controller's solver stage is install-safe by construction: for
+    /// any access stream and any window grid, every map it emits — the
+    /// equal-split start map, the fresh first pack, and every
+    /// `pack_stable` chained against the previously installed map — has
+    /// the target geometry and covers every region. The schedule
+    /// assembled from the whole run passes
+    /// [`PartitionSchedule::validate_for`], the exact check
+    /// `MemorySystem::push_switch` applies before installing.
+    #[test]
+    fn controller_solver_maps_always_validate(
+        task_a in trace_strategy(192, 300),
+        task_b in trace_strategy(192, 300),
+        window_len in 1u64..120,
+    ) {
+        let mut table = RegionTable::new();
+        let ra = table
+            .insert("a.data", RegionKind::TaskData { task: TaskId::new(0) }, 192 * 64)
+            .unwrap();
+        let rb = table
+            .insert("b.data", RegionKind::TaskData { task: TaskId::new(1) }, 192 * 64)
+            .unwrap();
+        let base_a = table.region(ra).base;
+        let base_b = table.region(rb).base;
+        let accesses: Vec<Access> = task_a
+            .iter()
+            .map(|&l| Access::load(base_a.offset(l * 64), 4, TaskId::new(0), ra))
+            .chain(task_b.iter().map(|&l| {
+                Access::load(base_b.offset(l * 64), 4, TaskId::new(1), rb)
+            }))
+            .collect();
+
+        let geometry = CacheGeometry::new(64, 4).unwrap();
+        let sets_per_unit = 2;
+        let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
+        let resolution = CurveResolution::for_geometry(geometry, sets_per_unit).unwrap();
+        let mut profiler = WindowedProfiler::new(
+            WindowConfig::accesses(window_len).unwrap(),
+            resolution,
+            &table,
+        );
+        for a in &accesses {
+            profiler.observe(a);
+        }
+        let windowed = profiler.finish();
+
+        let solver = SolverContext {
+            table: &table,
+            lattice: &lattice,
+            geometry,
+            optimizer: OptimizerKind::ExactIlp,
+        };
+        let mut current = solver.equal_split().unwrap();
+        prop_assert_eq!(current.geometry(), geometry);
+        prop_assert!(current.validate_covers(&table).is_ok());
+        let mut steps = vec![(0u64, OrganizationSpec::SetPartitioned(current.clone()))];
+        for (i, window) in windowed.windows.iter().enumerate() {
+            let allocation = solver.solve(&window.curves).unwrap();
+            let map = if i == 0 {
+                solver.pack(&allocation, None).unwrap()
+            } else {
+                solver.pack(&allocation, Some(&current)).unwrap()
+            };
+            prop_assert_eq!(map.geometry(), geometry, "window {} map geometry", i);
+            prop_assert!(map.validate_covers(&table).is_ok(), "window {} coverage", i);
+            if map != current {
+                steps.push((i as u64 + 1, OrganizationSpec::SetPartitioned(map.clone())));
+            }
+            current = map;
+        }
+        let schedule = PartitionSchedule::new(steps).unwrap();
+        prop_assert!(schedule.validate_for(geometry, &table).is_ok());
+    }
+}
+
+/// A policy that observes every window but never switches.
+struct Never;
+
+impl ControllerPolicy for Never {
+    fn name(&self) -> &str {
+        "never"
+    }
+
+    fn observe(
+        &mut self,
+        _solver: &SolverContext<'_>,
+        _tick: &ControllerTick<'_>,
+    ) -> Result<Option<PartitionMap>, CoreError> {
+        Ok(None)
+    }
+}
+
+/// The once-recorded tiny MPEG-2 trace plus its equal-split static
+/// replay, shared by every case of the replay-backed property below.
+struct ControllerFixture {
+    platform: PlatformConfig,
+    l2: CacheConfig,
+    trace: Arc<PreparedTrace>,
+    lattice: CacheSizeLattice,
+    resolution: CurveResolution,
+    makespan: u64,
+    static_outcome: RunOutcome,
+}
+
+fn controller_fixture() -> &'static ControllerFixture {
+    static FIXTURE: OnceLock<ControllerFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let l2 = CacheConfig::with_size_bytes(32 * 1024, 4).unwrap();
+        let config = ExperimentConfig {
+            l2,
+            sets_per_unit: 2,
+            ..ExperimentConfig::default()
+        };
+        let params = Mpeg2Params::tiny();
+        let experiment = Experiment::new(config, move || mpeg2_app(&params).expect("valid params"));
+        let (live, trace) = experiment.record_trace(&experiment.shared_spec()).unwrap();
+        let platform = experiment.config().platform;
+        let keys = PartitionKey::distinct_keys(trace.table());
+        let map = PartitionMap::equal_split(l2.geometry(), &keys).unwrap();
+        let static_outcome = run_replay(
+            &platform,
+            &ScenarioSpec::replay(
+                l2,
+                OrganizationSpec::SetPartitioned(map),
+                Arc::clone(&trace),
+            ),
+        )
+        .unwrap();
+        ControllerFixture {
+            platform,
+            l2,
+            trace,
+            lattice: CacheSizeLattice::new(l2.geometry(), 2),
+            resolution: CurveResolution::for_geometry(l2.geometry(), 2).unwrap(),
+            makespan: live.report.makespan_cycles,
+            static_outcome,
+        }
+    })
+}
+
+proptest! {
+    // Each case replays the whole trace; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the window grid, a controller that never switches is
+    /// invisible: its controlled replay is byte-identical to the plain
+    /// static replay under the same start map, with an empty repartition
+    /// log and a static reported schedule.
+    #[test]
+    fn never_switching_controller_matches_static_for_any_window(divisor in 1u64..96) {
+        let f = controller_fixture();
+        let window_cycles = (f.makespan / divisor).max(1);
+        let config = ControllerConfig::cycles(window_cycles, f.resolution).unwrap();
+        let online = replay_controlled(
+            &f.platform,
+            f.l2,
+            &f.lattice,
+            &f.trace,
+            &mut Never,
+            &config,
+        )
+        .unwrap();
+        prop_assert_eq!(&online.outcome, &f.static_outcome);
+        prop_assert!(online.outcome.report.repartitions.is_empty());
+        prop_assert!(online.schedule.is_static());
     }
 }
