@@ -7,8 +7,13 @@
 //! ```text
 //! compmem record       --app jpeg_canny|mpeg2 [--scale paper|small|tiny]
 //!                      [--org shared|way-partitioned|profiling] --out FILE
+//! compmem gen          --kind zipf|scan|chase|phased|mix --out FILE [--seed N]
+//!                      [--accesses N] [--ws-kb N] [--footprint-kb N] [--hot-kb N]
+//!                      [--scan-kb N] [--phase-accesses N] [--cycles-per-access N]
+//!                      [--tasks family[:SIZE][xMULT],...]
 //! compmem replay       --trace FILE [--org ORG] [--l2-kb N] [--ways N]
 //!                      [--policy lru|fifo|tree-plru|random] [--lanes N] [--jobs N]
+//!                      [--qos RATE|key=rate,... [--sets-per-unit N] [--solve KIND]]
 //!                      [--schedule phases|PATH [--sets-per-unit N] [--windows N]
 //!                       [--phases DELTA] [--solve KIND] [--save-schedule PATH]]
 //!                      [--controller greedy|hysteresis|oracle|compete
@@ -57,9 +62,14 @@ const DEFAULT_PORT: &str = "7177";
 fn usage() {
     eprintln!(
         "usage:\n  compmem record --app jpeg_canny|mpeg2 [--scale paper|small|tiny] \
-         [--org shared|way-partitioned|profiling] --out FILE\n  compmem replay --trace FILE \
+         [--org shared|way-partitioned|profiling] --out FILE\n  compmem gen \
+         --kind zipf|scan|chase|phased|mix --out FILE [--seed N] [--accesses N] \
+         [--ws-kb N] [--footprint-kb N] [--hot-kb N] [--scan-kb N] [--phase-accesses N] \
+         [--cycles-per-access N] [--tasks family[:SIZE][xMULT],...]\n  \
+         compmem replay --trace FILE \
          [--org ORG] [--l2-kb N] [--ways N] [--policy lru|fifo|tree-plru|random] \
          [--lanes N] [--jobs N] \
+         [--qos RATE|key=rate,... [--sets-per-unit N] [--solve KIND]] \
          [--schedule phases|PATH [--sets-per-unit N] [--windows N] [--phases DELTA] \
          [--solve KIND] [--save-schedule PATH]] \
          [--controller greedy|hysteresis|oracle|compete --window-cycles N \
@@ -90,7 +100,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let result = match command.as_str() {
-        "record" | "replay" | "sweep" | "profile" | "sweep-shapes" | "info" => {
+        "record" | "gen" | "replay" | "sweep" | "profile" | "sweep-shapes" | "info" => {
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             cli::dispatch(command, &args[1..], &mut out)

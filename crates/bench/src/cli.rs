@@ -1,7 +1,7 @@
 //! The `compmem` CLI command bodies, as a library.
 //!
-//! Every subcommand of the `compmem` binary (`record`, `replay`, `sweep`,
-//! `profile`, `sweep-shapes`, `info`) lives here, parameterised on the
+//! Every subcommand of the `compmem` binary (`record`, `gen`, `replay`,
+//! `sweep`, `profile`, `sweep-shapes`, `info`) lives here, parameterised on the
 //! output sink it writes to. The one-shot binary calls [`dispatch`] with
 //! (locked) stdout; the `compmem serve` daemon calls the *same* function
 //! with an in-memory buffer and ships the bytes over the wire. That
@@ -24,7 +24,7 @@ use compmem::experiment::{
     sweep_shapes_from_curves, validate_phase_plan, Experiment, ReplayParallelism, RunOutcome,
     ScenarioSpec,
 };
-use compmem::{CoreError, OptimizerKind};
+use compmem::{solve_with_floors, CoreError, OptimizerKind, QosFloor};
 use compmem_cache::{
     CacheConfig, CacheSizeLattice, CurveResolution, OrganizationSpec, PartitionKey, PartitionMap,
     PartitionSchedule, ReplacementPolicy, WayAllocation, WindowConfig, WindowedCurves,
@@ -33,8 +33,10 @@ use compmem_platform::{
     lane_eligibility, profile_trace_windowed_lanes, profile_trace_with_sidecar_lanes,
     PlatformConfig, PreparedTrace, SidecarOutcome,
 };
+use compmem_trace::gen::{generate, provenance, GenKind, GenSpec, GenTask};
 use compmem_trace::{
     curves::sidecar_path, BufferId, EncodedCurves, EncodedTrace, RegionTable, TaskId,
+    DEFAULT_CYCLES_PER_ACCESS,
 };
 use compmem_workloads::apps::Application;
 
@@ -92,6 +94,7 @@ pub fn dispatch_preloaded(
 ) -> Result<(), String> {
     match verb {
         "record" => record(args, out),
+        "gen" => gen(args, out),
         "replay" => replay(args, preloaded, out),
         "sweep" => sweep(args, preloaded, out),
         "profile" => profile(args, preloaded, out),
@@ -219,6 +222,186 @@ fn record_with<F: Fn() -> Application>(
         }
     };
     experiment.record_trace(&spec).map_err(|e| e.to_string())
+}
+
+/// The workload zoo front door: `compmem gen` synthesises a deterministic
+/// scenario trace (standard v2 IR, so every other subcommand consumes it
+/// unchanged) from a family name, a seed and per-family knobs — or a
+/// multi-program mix via `--tasks`. The full generator spec is embedded
+/// in the trace's region names; `compmem info` prints it back.
+fn gen(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let path = get(&flags, "out").ok_or("gen needs --out FILE")?;
+    let kind_name = get(&flags, "kind").ok_or("gen needs --kind zipf|scan|chase|phased|mix")?;
+    let seed: u64 = get(&flags, "seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "--seed needs a number".to_string())?;
+    let accesses: u64 = get(&flags, "accesses")
+        .unwrap_or("20000")
+        .parse()
+        .map_err(|_| "--accesses needs a number".to_string())?;
+    let cycles_per_access: u64 = match get(&flags, "cycles-per-access") {
+        None => DEFAULT_CYCLES_PER_ACCESS,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--cycles-per-access needs a number".to_string())?,
+    };
+
+    let tasks = match kind_name {
+        "mix" => parse_task_specs(
+            get(&flags, "tasks").unwrap_or("chase:24,scan:256x4"),
+            accesses,
+        )?,
+        single => {
+            if get(&flags, "tasks").is_some() {
+                return Err("--tasks is only meaningful with --kind mix".to_string());
+            }
+            vec![GenTask {
+                kind: single_gen_kind(single, &flags)?,
+                accesses,
+            }]
+        }
+    };
+    let spec = GenSpec {
+        seed,
+        cycles_per_access,
+        tasks,
+    };
+
+    let trace = generate(&spec).map_err(|e| e.to_string())?;
+    trace.write_to(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary = trace.summary();
+    outln!(
+        out,
+        "generated `{kind_name}` scenario: {} task(s), {} accesses, seed {seed}, \
+         content hash {:016x}",
+        spec.tasks.len(),
+        summary.accesses,
+        trace.content_hash()
+    );
+    for p in provenance(trace.table()) {
+        outln!(out, "  {p}");
+    }
+    outln!(
+        out,
+        "wrote {path}: {} bytes (same spec regenerates byte-identical output)",
+        summary.encoded_bytes
+    );
+    Ok(())
+}
+
+/// One single-family [`GenKind`] from the `gen` flags, with the zoo's
+/// canonical defaults (zipf 32 KB, scan 256 KB, chase 24 KB, phased
+/// 8 KB hot + 128 KB scan every 2048 accesses).
+fn single_gen_kind(name: &str, flags: &[(String, String)]) -> Result<GenKind, String> {
+    let kb = |flag: &str, default_kb: u64| -> Result<u64, String> {
+        match get(flags, flag) {
+            None => Ok(default_kb * 1024),
+            Some(v) => match v.parse::<u64>() {
+                Ok(n) if n >= 1 => Ok(n * 1024),
+                _ => Err(format!("--{flag} needs a size in KB")),
+            },
+        }
+    };
+    match name {
+        "zipf" => Ok(GenKind::Zipf {
+            working_set_bytes: kb("ws-kb", 32)?,
+        }),
+        "scan" => Ok(GenKind::Scan {
+            footprint_bytes: kb("footprint-kb", 256)?,
+        }),
+        "chase" => Ok(GenKind::Chase {
+            working_set_bytes: kb("ws-kb", 24)?,
+        }),
+        "phased" => Ok(GenKind::Phased {
+            hot_bytes: kb("hot-kb", 8)?,
+            scan_bytes: kb("scan-kb", 128)?,
+            phase_accesses: match get(flags, "phase-accesses") {
+                None => 2_048,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| "--phase-accesses needs a number".to_string())?,
+            },
+        }),
+        other => Err(format!(
+            "unknown generator family `{other}` (use zipf, scan, chase, phased or mix)"
+        )),
+    }
+}
+
+/// Parses the `--tasks` mix grammar: comma-separated `family[:SIZE][xN]`
+/// entries, one task each. SIZE is the family's footprint in KB — for
+/// `phased` it is `HOT+SCAN[+PHASE]` (KB, KB, accesses) — and `xN`
+/// multiplies the per-task `--accesses` budget (an adversarial streamer
+/// issuing at four times the victim's rate is `scan:256x4`).
+fn parse_task_specs(spec: &str, base_accesses: u64) -> Result<Vec<GenTask>, String> {
+    let mut tasks = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        let bad = |what: &str| format!("--tasks entry `{entry}`: {what}");
+        let (head, mult) = match entry.rsplit_once('x') {
+            Some((head, m))
+                if !head.is_empty() && !m.is_empty() && m.bytes().all(|b| b.is_ascii_digit()) =>
+            {
+                (head, m.parse::<u64>().map_err(|_| bad("bad multiplier"))?)
+            }
+            _ => (entry, 1),
+        };
+        if mult == 0 {
+            return Err(bad("multiplier must be at least 1"));
+        }
+        let (family, params) = match head.split_once(':') {
+            None => (head, None),
+            Some((f, p)) => (f, Some(p)),
+        };
+        let size_kb = |default_kb: u64| -> Result<u64, String> {
+            match params {
+                None => Ok(default_kb * 1024),
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => Ok(n * 1024),
+                    _ => Err(bad("size must be a KB count")),
+                },
+            }
+        };
+        let kind = match family {
+            "zipf" => GenKind::Zipf {
+                working_set_bytes: size_kb(32)?,
+            },
+            "scan" => GenKind::Scan {
+                footprint_bytes: size_kb(256)?,
+            },
+            "chase" => GenKind::Chase {
+                working_set_bytes: size_kb(24)?,
+            },
+            "phased" => {
+                let parts: Vec<&str> = params.map_or_else(Vec::new, |p| p.split('+').collect());
+                if parts.len() > 3 {
+                    return Err(bad("phased params are HOT+SCAN[+PHASE]"));
+                }
+                let num = |i: usize, default: u64| -> Result<u64, String> {
+                    match parts.get(i) {
+                        None => Ok(default),
+                        Some(v) => match v.parse::<u64>() {
+                            Ok(n) if n >= 1 => Ok(n),
+                            _ => Err(bad("phased params are HOT+SCAN[+PHASE]")),
+                        },
+                    }
+                };
+                GenKind::Phased {
+                    hot_bytes: num(0, 8)? * 1024,
+                    scan_bytes: num(1, 128)? * 1024,
+                    phase_accesses: num(2, 2_048)?,
+                }
+            }
+            other => return Err(bad(&format!("unknown family `{other}`"))),
+        };
+        tasks.push(GenTask {
+            kind,
+            accesses: base_accesses * mult,
+        });
+    }
+    Ok(tasks)
 }
 
 fn load_trace(
@@ -637,6 +820,17 @@ fn replay(
     out: &mut dyn Write,
 ) -> Result<(), String> {
     let flags = parse_flags(args)?;
+    if let Some(qos) = get(&flags, "qos") {
+        if get(&flags, "controller").is_some() || get(&flags, "schedule").is_some() {
+            return Err(
+                "--qos solves one static floor-constrained partitioning; it is exclusive \
+                 with --controller and --schedule"
+                    .to_string(),
+            );
+        }
+        let qos = qos.to_string();
+        return replay_qos(&flags, &qos, preloaded, out);
+    }
     if let Some(name) = get(&flags, "controller") {
         if get(&flags, "schedule").is_some() {
             return Err("--controller and --schedule are exclusive".to_string());
@@ -651,6 +845,161 @@ fn replay(
             replay_schedule_file(&flags, &path, preloaded, out)
         }
     }
+}
+
+/// The floor-constrained replay behind `replay --qos`: profile the trace
+/// (reusing its curve sidecar when present), solve the allocation under
+/// per-key QoS floors ([`solve_with_floors`]), replay through the
+/// resulting set-partitioned L2 and print a measured-vs-predicted-vs-
+/// floor verdict per guaranteed key. An unsatisfiable floor is the
+/// solver's typed `QosInfeasible` error, surfaced as a nonzero exit.
+fn replay_qos(
+    flags: &[(String, String)],
+    qos: &str,
+    preloaded: Option<&PreloadedTrace>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    if get(flags, "lanes").is_some() {
+        return Err(
+            "replay --qos validates a floor-solved partitioning end to end; --lanes is \
+             not supported here (use a static replay of the solved schedule)"
+                .to_string(),
+        );
+    }
+    let (trace, trace_path) = load_trace_with_path(flags, preloaded)?;
+    let l2 = l2_config(flags)?;
+    require_lru_for_profiling(l2)?;
+    let geometry = l2.geometry();
+    let sets_per_unit: u32 = get(flags, "sets-per-unit")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--sets-per-unit needs a number".to_string())?;
+    let resolution =
+        CurveResolution::for_geometry(geometry, sets_per_unit).map_err(|e| e.to_string())?;
+    let lattice = CacheSizeLattice::new(geometry, sets_per_unit);
+    let kind = solver_kind(flags)?;
+    let floors = parse_qos_floors(qos, trace.table())?;
+
+    let window = WindowConfig::whole_run();
+    let sidecar = save_curves_path(flags, &trace_path, window)?;
+    let platform = PlatformConfig::default();
+    let windowed = profile_with_policy(
+        &platform,
+        &trace,
+        resolution,
+        window,
+        sidecar.as_deref(),
+        1,
+        out,
+    )?;
+    let profiles = windowed
+        .total
+        .to_profiles(&lattice, geometry.ways())
+        .map_err(|e| e.to_string())?;
+
+    let problem = allocation_problem_for_table(trace.table(), &lattice, geometry, profiles.clone());
+    let allocation = solve_with_floors(&problem, &floors, kind).map_err(|e| e.to_string())?;
+    let sizes: Vec<(PartitionKey, u32)> = allocation
+        .iter()
+        .map(|(&key, &units)| (key, lattice.sets_of(units)))
+        .collect();
+    let map = PartitionMap::pack(geometry, &sizes).map_err(|e| e.to_string())?;
+
+    let spec = ScenarioSpec::replay(l2, OrganizationSpec::SetPartitioned(map), trace.clone());
+    let outcome = run_replay(&platform, &spec).map_err(|e| e.to_string())?;
+
+    outln!(
+        out,
+        "replayed {} accesses under a {kind} allocation honouring {} QoS floor(s)",
+        trace.accesses(),
+        floors.len()
+    );
+    outcome_header(out)?;
+    print_outcome_row("qos-partitioned", &outcome, out)?;
+    outln!(
+        out,
+        "per-floor verdicts (measured on the partitioned replay):"
+    );
+    outln!(
+        out,
+        "  {:<16} {:>6} {:>10} {:>10} {:>8}  verdict",
+        "key",
+        "units",
+        "predicted",
+        "measured",
+        "floor"
+    );
+    for floor in &floors {
+        let units = allocation.units_of(floor.key);
+        let predicted = profiles
+            .profile(floor.key)
+            .map_or(0.0, |p| p.miss_rate_at(units));
+        let stats = outcome.by_key.get(&floor.key).copied().unwrap_or_default();
+        let measured = if stats.accesses == 0 {
+            0.0
+        } else {
+            stats.misses as f64 / stats.accesses as f64
+        };
+        outln!(
+            out,
+            "  {:<16} {:>6} {:>9.2}% {:>9.2}% {:>7.2}%  {}",
+            floor.key.to_string(),
+            units,
+            predicted * 100.0,
+            measured * 100.0,
+            floor.max_miss_rate * 100.0,
+            if measured <= floor.max_miss_rate {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+        );
+    }
+    Ok(())
+}
+
+/// Parses `--qos`: either one bare rate (`0.05`) applied to every task
+/// in the trace's region table, or comma-separated `key=rate` entries
+/// (`task0=0.05,buffer1=0.2`) over any partition key.
+fn parse_qos_floors(spec: &str, table: &RegionTable) -> Result<Vec<QosFloor>, String> {
+    let check = |rate: f64, context: &str| -> Result<f64, String> {
+        if (0.0..=1.0).contains(&rate) {
+            Ok(rate)
+        } else {
+            Err(format!("{context}: a miss-rate floor lives in 0..=1"))
+        }
+    };
+    if let Ok(rate) = spec.parse::<f64>() {
+        let rate = check(rate, "--qos RATE")?;
+        let floors: Vec<QosFloor> = PartitionKey::distinct_keys(table)
+            .into_iter()
+            .filter(|key| matches!(key, PartitionKey::Task(_)))
+            .map(|key| QosFloor {
+                key,
+                max_miss_rate: rate,
+            })
+            .collect();
+        if floors.is_empty() {
+            return Err("--qos RATE needs at least one task in the trace".to_string());
+        }
+        return Ok(floors);
+    }
+    let mut floors = Vec::new();
+    for entry in spec.split(',') {
+        let (key, rate) = entry.split_once('=').ok_or_else(|| {
+            format!("--qos entry `{entry}` is not key=rate (or one bare rate for all tasks)")
+        })?;
+        let key = parse_partition_key(key.trim())?;
+        let rate: f64 = rate
+            .trim()
+            .parse()
+            .map_err(|_| format!("--qos entry `{entry}`: rate must be a number"))?;
+        floors.push(QosFloor {
+            key,
+            max_miss_rate: check(rate, &format!("--qos entry `{entry}`"))?,
+        });
+    }
+    Ok(floors)
 }
 
 /// The online control loop behind `replay --controller`: replay the
@@ -1445,6 +1794,19 @@ fn info(
     );
     for region in trace.table().iter() {
         outln!(out, "  [{}] {region}", region.id.index());
+    }
+    // Workload-zoo traces carry their full generator spec in the region
+    // names; parse and print it so a generated file is self-describing.
+    let generated = provenance(trace.table());
+    if !generated.is_empty() {
+        outln!(
+            out,
+            "generator provenance (workload zoo, {} task(s)):",
+            generated.len()
+        );
+        for p in &generated {
+            outln!(out, "  {p}");
+        }
     }
     // The lane-eligibility verdict per organisation: which scenarios a
     // `replay --lanes N` / `sweep --lanes N` over this trace can split

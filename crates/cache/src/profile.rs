@@ -131,6 +131,18 @@ impl MissProfile {
     pub fn gain(&self, from: u32, to: u32) -> u64 {
         self.misses_at(from).saturating_sub(self.misses_at(to))
     }
+
+    /// Predicted miss rate (misses over the entity's profiled L2-bound
+    /// accesses) with `units` allocated units. Zero for an entity that
+    /// never reached the L2 — the denominator a QoS floor is stated
+    /// against.
+    pub fn miss_rate_at(&self, units: u32) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses_at(units) as f64 / self.accesses as f64
+        }
+    }
 }
 
 /// Profiles of every partition key observed during a profiling run.

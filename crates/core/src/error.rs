@@ -40,6 +40,16 @@ pub enum CoreError {
         /// Display name of the offending replacement policy.
         policy: String,
     },
+    /// A QoS floor cannot be honoured: no candidate size keeps the
+    /// entity's predicted miss rate at or under its stated bound, or the
+    /// floors' combined minimum sizes exceed the cache. Rates are carried
+    /// pre-rendered because this enum is `Eq` (no floats).
+    QosInfeasible {
+        /// Display name of the floored partition key.
+        key: String,
+        /// Why the floor is unsatisfiable, with the rates involved.
+        reason: String,
+    },
     /// An underlying cache-model error.
     Cache(CacheError),
     /// An underlying platform error.
@@ -81,6 +91,9 @@ impl fmt::Display for CoreError {
                 "stack-distance profiling is exact for LRU only; the scenario's L2 uses \
                  `{policy}` (run the shadow-bank profiler or switch the L2 to LRU)"
             ),
+            CoreError::QosInfeasible { key, reason } => {
+                write!(f, "QoS floor for `{key}` is unsatisfiable: {reason}")
+            }
             CoreError::Cache(e) => write!(f, "cache error: {e}"),
             CoreError::Platform(e) => write!(f, "platform error: {e}"),
             CoreError::Workload(e) => write!(f, "workload error: {e}"),

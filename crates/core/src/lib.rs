@@ -73,6 +73,7 @@ pub mod controller;
 mod error;
 pub mod executor;
 pub mod experiment;
+pub mod isolation;
 pub mod model;
 pub mod optimizer;
 pub mod profile;
@@ -84,7 +85,10 @@ pub use controller::{
     RegretReport, SolverContext,
 };
 pub use error::CoreError;
-pub use optimizer::{Allocation, AllocationProblem, OptimizerKind};
+pub use isolation::{run_isolation, IsolationReport, IsolationRun, IsolationSpec};
+pub use optimizer::{
+    apply_qos_floors, solve_with_floors, Allocation, AllocationProblem, OptimizerKind, QosFloor,
+};
 pub use profile::{
     CacheSizeLattice, CurveResolution, MissProfile, MissProfiles, MissRateCurve, MissRateCurves,
     ProfilingCache, StackDistanceProfiler, WindowConfig, WindowedCurves,

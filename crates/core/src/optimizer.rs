@@ -282,6 +282,125 @@ pub fn solve(problem: &AllocationProblem, kind: OptimizerKind) -> Result<Allocat
     }
 }
 
+/// A per-entity quality-of-service floor: the chosen partition must keep
+/// the entity's **predicted** miss rate (its profile's misses over its
+/// profiled L2-bound accesses) at or under `max_miss_rate`.
+///
+/// This is the paper's compositionality guarantee as a constraint: a task
+/// whose floor holds behaves within a stated bound of its solo run no
+/// matter what its co-runners do, because its partition is exclusively
+/// its own. Floors compose with every solver via [`solve_with_floors`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosFloor {
+    /// The entity whose service is guaranteed.
+    pub key: PartitionKey,
+    /// Highest acceptable predicted miss rate in `[0, 1]`.
+    pub max_miss_rate: f64,
+}
+
+/// Restricts each floored entity's candidate sizes to those meeting its
+/// floor, in place.
+///
+/// An entity without a profile never reached the L2 during profiling, so
+/// every candidate trivially satisfies its floor and the entity is left
+/// untouched.
+///
+/// # Errors
+///
+/// Returns [`CoreError::QosInfeasible`] when a floor names a key that is
+/// not part of the problem, when no candidate size of a floored entity
+/// meets its bound, or when the floored minimum sizes no longer fit the
+/// cache (a plain [`CoreError::Infeasible`] problem stays `Infeasible`;
+/// only floor-caused impossibility gets the QoS error).
+pub fn apply_qos_floors(
+    problem: &mut AllocationProblem,
+    floors: &[QosFloor],
+) -> Result<(), CoreError> {
+    if floors.is_empty() {
+        return Ok(());
+    }
+    for floor in floors {
+        let Some(index) = problem.entities.iter().position(|e| e.key == floor.key) else {
+            return Err(CoreError::QosInfeasible {
+                key: floor.key.to_string(),
+                reason: "the key is not part of the allocation problem".to_string(),
+            });
+        };
+        let Some(profile) = problem.profiles.profile(floor.key) else {
+            continue;
+        };
+        let entity = &problem.entities[index];
+        let kept: Vec<u32> = entity
+            .candidates
+            .iter()
+            .copied()
+            .filter(|&units| profile.miss_rate_at(units) <= floor.max_miss_rate)
+            .collect();
+        if kept.is_empty() {
+            let best = entity
+                .candidates
+                .iter()
+                .map(|&units| profile.miss_rate_at(units))
+                .fold(f64::INFINITY, f64::min);
+            return Err(CoreError::QosInfeasible {
+                key: floor.key.to_string(),
+                reason: format!(
+                    "no candidate size meets the {:.2}% floor (best predicted miss \
+                     rate over the candidates is {:.2}%)",
+                    floor.max_miss_rate * 100.0,
+                    best * 100.0
+                ),
+            });
+        }
+        problem.entities[index].candidates = kept;
+    }
+    let minimum: u32 = problem
+        .entities
+        .iter()
+        .map(|e| e.candidates.iter().copied().min().unwrap_or(1))
+        .sum();
+    if minimum > problem.total_units {
+        let demanding = floors
+            .iter()
+            .max_by_key(|f| {
+                problem
+                    .entities
+                    .iter()
+                    .find(|e| e.key == f.key)
+                    .and_then(|e| e.candidates.iter().copied().min())
+                    .unwrap_or(0)
+            })
+            .expect("floors is non-empty");
+        return Err(CoreError::QosInfeasible {
+            key: demanding.key.to_string(),
+            reason: format!(
+                "honouring every floor needs at least {minimum} units but only {} \
+                 are available",
+                problem.total_units
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Solves the problem with the requested solver under per-entity QoS
+/// floors: every floored entity's chosen size must keep its predicted
+/// miss rate at or under its bound, and the solver minimises total misses
+/// within what the floors leave open.
+///
+/// # Errors
+///
+/// As for [`apply_qos_floors`] and the individual solvers.
+pub fn solve_with_floors(
+    problem: &AllocationProblem,
+    floors: &[QosFloor],
+    kind: OptimizerKind,
+) -> Result<Allocation, CoreError> {
+    let mut constrained = problem.clone();
+    apply_qos_floors(&mut constrained, floors)?;
+    solve(&constrained, kind)
+}
+
 /// Brute-force reference solver used in tests (exponential; only for tiny
 /// problems).
 pub fn solve_exhaustive(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
@@ -436,6 +555,119 @@ mod tests {
         let mut empty = problem(8);
         empty.entities.clear();
         assert!(solve(&empty, OptimizerKind::Greedy).is_err());
+    }
+
+    #[test]
+    fn qos_floor_pins_the_floored_entity_to_meeting_sizes() {
+        // Task 1's profile has accesses 625: rates 0.64 / 0.128 / 0.12 /
+        // 0.112 over the candidates. A 0.119 floor leaves only 8 units.
+        let p = problem(16);
+        let key = PartitionKey::Task(TaskId::new(1));
+        let floor = QosFloor {
+            key,
+            max_miss_rate: 0.119,
+        };
+        let a = solve_with_floors(&p, &[floor], OptimizerKind::ExactIlp).unwrap();
+        assert_eq!(a.units_of(key), 8);
+        let rate = p.profiles.profile(key).unwrap().miss_rate_at(8);
+        assert!(rate <= floor.max_miss_rate);
+        // Without the floor the same capacity gives task 1 less.
+        let free = solve_exact(&p).unwrap();
+        assert!(free.units_of(key) < 8);
+        assert!(free.predicted_misses <= a.predicted_misses);
+    }
+
+    #[test]
+    fn qos_floor_no_candidate_is_a_typed_error() {
+        // Task 2 streams: 300/1200 = 25% misses at every size.
+        let p = problem(16);
+        let key = PartitionKey::Task(TaskId::new(2));
+        let err = solve_with_floors(
+            &p,
+            &[QosFloor {
+                key,
+                max_miss_rate: 0.2,
+            }],
+            OptimizerKind::Greedy,
+        )
+        .unwrap_err();
+        match err {
+            CoreError::QosInfeasible { key: k, reason } => {
+                assert_eq!(k, key.to_string());
+                assert!(reason.contains("20.00%"), "{reason}");
+            }
+            other => panic!("expected QosInfeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qos_floors_that_do_not_fit_together_are_a_typed_error() {
+        // Floors forcing tasks 0 and 1 to 8 units each leave no room for
+        // task 2's smallest candidate in a 16-unit cache.
+        let p = problem(16);
+        let floors = [
+            QosFloor {
+                key: PartitionKey::Task(TaskId::new(0)),
+                max_miss_rate: 0.05,
+            },
+            QosFloor {
+                key: PartitionKey::Task(TaskId::new(1)),
+                max_miss_rate: 0.119,
+            },
+        ];
+        let err = solve_with_floors(&p, &floors, OptimizerKind::ExactIlp).unwrap_err();
+        assert!(
+            matches!(err, CoreError::QosInfeasible { .. }),
+            "expected QosInfeasible, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn qos_floor_on_an_unknown_key_is_a_typed_error() {
+        let p = problem(16);
+        let err = solve_with_floors(
+            &p,
+            &[QosFloor {
+                key: PartitionKey::Task(TaskId::new(9)),
+                max_miss_rate: 0.5,
+            }],
+            OptimizerKind::ExactIlp,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::QosInfeasible { .. }));
+    }
+
+    #[test]
+    fn qos_floor_on_an_unprofiled_entity_is_trivially_satisfied() {
+        // An entity that never reached the L2 has no profile; any floor
+        // holds and its candidates stay untouched.
+        let mut p = problem(16);
+        let key = PartitionKey::Task(TaskId::new(2));
+        p.profiles.profiles.remove(&key);
+        let mut constrained = p.clone();
+        apply_qos_floors(
+            &mut constrained,
+            &[QosFloor {
+                key,
+                max_miss_rate: 0.0,
+            }],
+        )
+        .unwrap();
+        assert_eq!(constrained.entities, p.entities);
+    }
+
+    #[test]
+    fn empty_floors_leave_the_problem_alone() {
+        let p = problem(11);
+        let with = solve_with_floors(&p, &[], OptimizerKind::ExactIlp).unwrap();
+        let without = solve_exact(&p).unwrap();
+        assert_eq!(with, without);
+        // A plainly infeasible problem stays `Infeasible`, not QoS.
+        let tiny = problem(2);
+        assert!(matches!(
+            solve_with_floors(&tiny, &[], OptimizerKind::ExactIlp),
+            Err(CoreError::Infeasible { .. })
+        ));
     }
 
     #[test]

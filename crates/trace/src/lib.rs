@@ -31,8 +31,10 @@
 //!   over, keyed by a content hash of the trace bytes so stale or foreign
 //!   sidecars are rejected ([`CodecError`], never a panic). `compmem
 //!   profile` uses it to skip the L1 filter pass on re-invocation.
-//! * [`gen`] — synthetic access-stream generators used by unit tests,
-//!   property tests and micro-benchmarks.
+//! * [`gen`] — synthetic access-stream generators and the **workload
+//!   zoo**: deterministic, seed-parameterised scenario generation
+//!   ([`GenSpec`] → [`gen::generate`]) whose multi-program mixes drive
+//!   every layer above through standard encoded traces (`compmem gen`).
 //! * [`stats`] — footprint and reuse-distance analysis of traces.
 //!
 //! (The workspace-level architecture guide — layers, dataflow, the
@@ -84,6 +86,7 @@ pub use curves::{
     SidecarKey, SidecarWindow, SidecarWindowKind, WindowRecord,
 };
 pub use error::TraceError;
+pub use gen::{GenError, GenKind, GenProvenance, GenSpec, GenTask, DEFAULT_CYCLES_PER_ACCESS};
 pub use memspace::{AddressSpace, ScalarArray};
 pub use region::{BufferId, Region, RegionId, RegionKind, RegionTable, TaskId};
 pub use sink::{AccessSink, CountingSink, NullSink, TraceBuffer};

@@ -1,0 +1,200 @@
+//! The workload zoo, end to end: generated traces are first-class
+//! scenarios for every analytic and replay path, and the paper's
+//! compositionality claim survives an adversarial stress test.
+//!
+//! Two families of assertions:
+//!
+//! * **Parity** — the analytic `sweep_shapes` (one stack-distance pass)
+//!   equals a full replay **point for point** on a generated Zipf trace
+//!   and on a phased multi-program mixture, extending
+//!   `shape_sweep_parity.rs` beyond the recorded apps.
+//! * **Isolation** — the [`compmem::isolation`] harness: a victim task
+//!   with a QoS floor keeps its solo miss rate under an adversarial
+//!   streamer when partitioned, while the shared cache measurably
+//!   violates the floor; an unmeetable floor is the typed
+//!   [`CoreError::QosInfeasible`].
+
+use std::sync::Arc;
+
+use compmem::experiment::{run_replay, sweep_shapes_from_curves, ScenarioSpec};
+use compmem::isolation::{run_isolation, IsolationSpec};
+use compmem::{CoreError, CurveResolution, OptimizerKind};
+use compmem_cache::{CacheConfig, OrganizationSpec};
+use compmem_platform::{profile_trace, PlatformConfig, PreparedTrace};
+use compmem_trace::gen::{generate, GenKind, GenSpec, GenTask};
+
+fn prepared(spec: &GenSpec) -> Arc<PreparedTrace> {
+    Arc::new(PreparedTrace::from(
+        generate(spec).expect("valid zoo spec generates"),
+    ))
+}
+
+/// Analytic sweep == replay sweep, point for point, on one trace.
+fn assert_shape_parity(trace: &Arc<PreparedTrace>, l2: CacheConfig, sets_per_unit: u32) {
+    let platform = PlatformConfig::default();
+    let resolution =
+        CurveResolution::for_geometry(l2.geometry(), sets_per_unit).expect("valid resolution");
+    let curves = profile_trace(&platform, trace, resolution).expect("profiling succeeds");
+    let sweep = sweep_shapes_from_curves(&curves);
+    assert!(!sweep.points.is_empty());
+    for point in &sweep.points {
+        let shape = CacheConfig::new(point.sets, point.ways).expect("resolved shapes are valid");
+        let spec = ScenarioSpec::replay(shape, OrganizationSpec::Shared, Arc::clone(trace));
+        let outcome = run_replay(&platform, &spec).expect("replay succeeds");
+        assert_eq!(outcome.report.l2.accesses, sweep.accesses);
+        assert_eq!(
+            outcome.report.l2.misses, point.misses,
+            "analytic vs replay diverged at {} sets x {} ways",
+            point.sets, point.ways
+        );
+    }
+}
+
+#[test]
+fn analytic_sweep_matches_replay_on_a_generated_zipf_trace() {
+    let trace = prepared(&GenSpec::single(
+        GenKind::Zipf {
+            working_set_bytes: 32 * 1024,
+        },
+        7,
+        20_000,
+    ));
+    assert_shape_parity(
+        &trace,
+        CacheConfig::with_size_bytes(32 * 1024, 4).unwrap(),
+        2,
+    );
+}
+
+#[test]
+fn analytic_sweep_matches_replay_on_a_phased_mixture() {
+    // A two-program mix with real phase structure: the controller's
+    // traffic shape, profiled and replayed like any recorded app.
+    let trace = prepared(&GenSpec::mix(
+        vec![
+            GenTask {
+                kind: GenKind::Phased {
+                    hot_bytes: 8 * 1024,
+                    scan_bytes: 128 * 1024,
+                    phase_accesses: 2_048,
+                },
+                accesses: 12_000,
+            },
+            GenTask {
+                kind: GenKind::Zipf {
+                    working_set_bytes: 24 * 1024,
+                },
+                accesses: 12_000,
+            },
+        ],
+        7,
+    ));
+    assert_shape_parity(
+        &trace,
+        CacheConfig::with_size_bytes(32 * 1024, 4).unwrap(),
+        2,
+    );
+}
+
+/// The victim/streamer pair of the isolation experiment: a pointer chase
+/// whose working set fits half the L2, against a scan four times its
+/// rate over four times the cache.
+fn victim_and_mix() -> (Arc<PreparedTrace>, Arc<PreparedTrace>) {
+    let victim = GenTask {
+        kind: GenKind::Chase {
+            working_set_bytes: 24 * 1024,
+        },
+        accesses: 20_000,
+    };
+    let streamer = GenTask {
+        kind: GenKind::Scan {
+            footprint_bytes: 256 * 1024,
+        },
+        accesses: 80_000,
+    };
+    // Same seed and same task index -> the victim's stream (and its
+    // region base) is identical in both traces.
+    let solo = prepared(&GenSpec::mix(vec![victim], 42));
+    let mix = prepared(&GenSpec::mix(vec![victim, streamer], 42));
+    (solo, mix)
+}
+
+fn isolation_spec() -> IsolationSpec {
+    IsolationSpec {
+        l2: CacheConfig::with_size_bytes(64 * 1024, 4).unwrap(),
+        sets_per_unit: 16,
+        victim: compmem_trace::TaskId::new(0),
+        max_miss_rate: 0.05,
+        solver: OptimizerKind::ExactIlp,
+    }
+}
+
+#[test]
+fn qos_floor_isolates_the_victim_from_an_adversarial_streamer() {
+    let (solo, mix) = victim_and_mix();
+    let report = run_isolation(&PlatformConfig::default(), &isolation_spec(), solo, mix)
+        .expect("isolation experiment runs");
+
+    // The baseline: alone, the victim's working set fits and it mostly
+    // hits; under the shared cache the streamer evicts it wholesale.
+    assert!(
+        report.solo.miss_rate() < 0.05,
+        "solo miss rate {:.4} should be low",
+        report.solo.miss_rate()
+    );
+    assert!(
+        report.shared_violates_floor(),
+        "shared run must violate the floor: {:.4}",
+        report.shared.miss_rate()
+    );
+    assert!(
+        report.shared_delta() > 0.5,
+        "the adversary should devastate the shared victim (delta {:.4})",
+        report.shared_delta()
+    );
+
+    // The claim: with a floor-solved partition the victim stays within
+    // tolerance of solo, under the same adversary.
+    assert!(
+        report.floor_holds(),
+        "partitioned miss rate {:.4} must stay under the floor",
+        report.partitioned.miss_rate()
+    );
+    assert!(
+        report.partitioned_delta().abs() < 0.02,
+        "partitioned must stay within 2pp of solo (delta {:.4})",
+        report.partitioned_delta()
+    );
+
+    // The victim's L2-bound stream is identical in solo and mix (private
+    // L1s, same seed, same processor) — the comparison is apples to
+    // apples.
+    assert_eq!(report.solo.accesses, report.shared.accesses);
+    assert_eq!(report.solo.accesses, report.partitioned.accesses);
+
+    // The report renders all three configurations.
+    let text = report.to_string();
+    assert!(text.contains("solo/shared"));
+    assert!(text.contains("floor holds under the adversary"));
+}
+
+#[test]
+fn unmeetable_qos_floor_is_a_typed_error() {
+    let (_, mix) = victim_and_mix();
+    let spec = IsolationSpec {
+        max_miss_rate: 0.0001,
+        ..isolation_spec()
+    };
+    let err = run_isolation(
+        &PlatformConfig::default(),
+        &spec,
+        Arc::clone(&mix),
+        Arc::clone(&mix),
+    )
+    .expect_err("a 0.01% floor is unmeetable for a 24 KB chase");
+    assert!(
+        matches!(err, CoreError::QosInfeasible { .. }),
+        "expected QosInfeasible, got {err:?}"
+    );
+    assert!(err.to_string().contains("QoS floor"));
+}
